@@ -1,0 +1,224 @@
+//! The systems-under-test of Tables 3 and Figure 5, expressed as runtime
+//! configurations plus optional instruments.
+
+use std::sync::Arc;
+
+use ireplayer::{AllocatorMode, Config, ConfigBuilder, Instrument, RunMode, Runtime, RuntimeError};
+
+use crate::asan::AsanChecker;
+use crate::clap::ClapRecorder;
+use crate::rr::RrEmulator;
+
+/// The systems compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemUnderTest {
+    /// Default library: no recording, global-lock allocator (the "pthreads"
+    /// baseline every row of Table 3 is normalized to).
+    Baseline,
+    /// iReplayer's allocator without recording ("IR-Alloc").
+    IrAlloc,
+    /// Full iReplayer recording.
+    IReplayer,
+    /// iReplayer recording plus the overflow and use-after-free detectors
+    /// ("iReplayer (OF+DP)", Figure 5).
+    IReplayerDetectors,
+    /// The CLAP-style path recorder.
+    Clap,
+    /// The rr-style serializing recorder.
+    Rr,
+    /// The AddressSanitizer-style checker (Figure 5).
+    AddressSanitizer,
+}
+
+impl SystemUnderTest {
+    /// The label used in the printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemUnderTest::Baseline => "baseline",
+            SystemUnderTest::IrAlloc => "IR-Alloc",
+            SystemUnderTest::IReplayer => "iReplayer",
+            SystemUnderTest::IReplayerDetectors => "iReplayer(OF+DP)",
+            SystemUnderTest::Clap => "CLAP",
+            SystemUnderTest::Rr => "RR",
+            SystemUnderTest::AddressSanitizer => "AddressSanitizer",
+        }
+    }
+
+    /// The systems of Table 3, in column order.
+    pub fn table3() -> Vec<SystemUnderTest> {
+        vec![
+            SystemUnderTest::Baseline,
+            SystemUnderTest::IrAlloc,
+            SystemUnderTest::IReplayer,
+            SystemUnderTest::Clap,
+            SystemUnderTest::Rr,
+        ]
+    }
+
+    /// The systems of Figure 5, in series order (plus the baseline used for
+    /// normalization).
+    pub fn figure5() -> Vec<SystemUnderTest> {
+        vec![
+            SystemUnderTest::Baseline,
+            SystemUnderTest::IReplayer,
+            SystemUnderTest::IReplayerDetectors,
+            SystemUnderTest::AddressSanitizer,
+        ]
+    }
+}
+
+/// A fully assembled benchmark configuration: the runtime configuration and
+/// the instrument to attach, if any.
+pub struct BenchConfig {
+    /// Which system this is.
+    pub system: SystemUnderTest,
+    /// The runtime configuration.
+    pub config: Config,
+    /// Instrument to attach (CLAP, rr, ASan).
+    pub instrument: Option<Arc<dyn Instrument>>,
+    /// Whether the detection hooks (overflow + use-after-free) should be
+    /// attached by the harness.
+    pub attach_detectors: bool,
+}
+
+impl BenchConfig {
+    /// Builds the configuration for a system, starting from common sizing
+    /// parameters supplied by the harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the sizing parameters are
+    /// inconsistent.
+    pub fn assemble(
+        system: SystemUnderTest,
+        base: ConfigBuilder,
+    ) -> Result<BenchConfig, RuntimeError> {
+        let (config, instrument, attach_detectors): (Config, Option<Arc<dyn Instrument>>, bool) =
+            match system {
+                SystemUnderTest::Baseline => (
+                    base.mode(RunMode::Passthrough)
+                        .allocator(AllocatorMode::GlobalLock)
+                        .build()?,
+                    None,
+                    false,
+                ),
+                SystemUnderTest::IrAlloc => (
+                    base.mode(RunMode::Passthrough)
+                        .allocator(AllocatorMode::PerThread)
+                        .build()?,
+                    None,
+                    false,
+                ),
+                SystemUnderTest::IReplayer => (
+                    base.mode(RunMode::Record)
+                        .allocator(AllocatorMode::PerThread)
+                        .build()?,
+                    None,
+                    false,
+                ),
+                SystemUnderTest::IReplayerDetectors => (
+                    base.mode(RunMode::Record)
+                        .allocator(AllocatorMode::PerThread)
+                        .canaries(true)
+                        .quarantine_bytes(256 * 1024)
+                        .build()?,
+                    None,
+                    true,
+                ),
+                SystemUnderTest::Clap => {
+                    let config = base
+                        .mode(RunMode::Passthrough)
+                        .allocator(AllocatorMode::GlobalLock)
+                        .build()?;
+                    (config, Some(ClapRecorder::new() as Arc<dyn Instrument>), false)
+                }
+                SystemUnderTest::Rr => {
+                    let config = base
+                        .mode(RunMode::Record)
+                        .allocator(AllocatorMode::PerThread)
+                        .build()?;
+                    (config, Some(RrEmulator::new() as Arc<dyn Instrument>), false)
+                }
+                SystemUnderTest::AddressSanitizer => {
+                    let config = base
+                        .mode(RunMode::Passthrough)
+                        .allocator(AllocatorMode::GlobalLock)
+                        .build()?;
+                    let arena = config.arena_size;
+                    (
+                        config,
+                        Some(AsanChecker::new(arena) as Arc<dyn Instrument>),
+                        false,
+                    )
+                }
+            };
+        Ok(BenchConfig {
+            system,
+            config,
+            instrument,
+            attach_detectors,
+        })
+    }
+
+    /// Creates a runtime for this configuration with the instrument already
+    /// attached.  The harness adds detector hooks when
+    /// [`BenchConfig::attach_detectors`] is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the runtime-creation error, if any.
+    pub fn runtime(&self) -> Result<Runtime, RuntimeError> {
+        let runtime = Runtime::new(self.config.clone())?;
+        if let Some(instrument) = &self.instrument {
+            runtime.set_instrument(Arc::clone(instrument));
+        }
+        Ok(runtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ConfigBuilder {
+        Config::builder().arena_size(4 << 20).heap_block_size(128 << 10)
+    }
+
+    #[test]
+    fn every_system_assembles() {
+        for system in [
+            SystemUnderTest::Baseline,
+            SystemUnderTest::IrAlloc,
+            SystemUnderTest::IReplayer,
+            SystemUnderTest::IReplayerDetectors,
+            SystemUnderTest::Clap,
+            SystemUnderTest::Rr,
+            SystemUnderTest::AddressSanitizer,
+        ] {
+            let bench = BenchConfig::assemble(system, base()).unwrap();
+            assert_eq!(bench.system, system);
+            assert!(!system.label().is_empty());
+            let _runtime = bench.runtime().unwrap();
+        }
+    }
+
+    #[test]
+    fn table_and_figure_lists_have_the_expected_columns() {
+        assert_eq!(SystemUnderTest::table3().len(), 5);
+        assert_eq!(SystemUnderTest::figure5().len(), 4);
+    }
+
+    #[test]
+    fn recording_modes_match_the_paper() {
+        let baseline = BenchConfig::assemble(SystemUnderTest::Baseline, base()).unwrap();
+        assert_eq!(baseline.config.mode, RunMode::Passthrough);
+        assert_eq!(baseline.config.allocator, AllocatorMode::GlobalLock);
+        let ir = BenchConfig::assemble(SystemUnderTest::IReplayer, base()).unwrap();
+        assert_eq!(ir.config.mode, RunMode::Record);
+        assert_eq!(ir.config.allocator, AllocatorMode::PerThread);
+        let detectors =
+            BenchConfig::assemble(SystemUnderTest::IReplayerDetectors, base()).unwrap();
+        assert!(detectors.config.canaries);
+        assert!(detectors.attach_detectors);
+    }
+}

@@ -1,0 +1,33 @@
+//! Comparison systems used by the paper's evaluation (§5.3, §5.4.2).
+//!
+//! Table 3 compares the recording overhead of iReplayer against:
+//!
+//! * the default `pthreads` library (the **baseline**: no recording, a
+//!   global-lock allocator);
+//! * **IR-Alloc** (iReplayer's allocator without recording);
+//! * **CLAP**, which records thread-local execution paths (Ball-Larus path
+//!   profiling) at run time and reconstructs the schedule offline;
+//! * **rr**, which serializes all threads onto one core and traces their
+//!   system calls.
+//!
+//! Figure 5 additionally compares the detection tools against
+//! **AddressSanitizer**, which instruments every (heap) store.
+//!
+//! The original comparators interpose on real binaries and cannot run on
+//! the managed substrate, so this crate re-creates their *recording
+//! mechanisms* as [`Instrument`] implementations that the benchmark harness
+//! attaches to the same workloads (see DESIGN.md for the substitution
+//! argument).  The CLAP offline phase (path-based schedule reconstruction)
+//! is implemented in [`clap`] as well, with a real Ball-Larus numbering.
+
+pub mod asan;
+pub mod ball_larus;
+pub mod clap;
+pub mod configs;
+pub mod rr;
+
+pub use asan::AsanChecker;
+pub use ball_larus::{BallLarus, Cfg};
+pub use clap::{ClapRecorder, ScheduleInference};
+pub use configs::{BenchConfig, SystemUnderTest};
+pub use rr::RrEmulator;

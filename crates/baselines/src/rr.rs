@@ -1,0 +1,99 @@
+//! The rr-style baseline (Mozilla rr; §5.3 and §7.1 of the paper).
+//!
+//! rr achieves identical replay by running all threads of the recorded
+//! process on a single core, context-switching them under its control and
+//! trapping their system calls.  Its recording overhead therefore comes from
+//! two sources: the complete loss of parallelism, and a per-event trap cost.
+//!
+//! On the managed substrate the same effect is obtained by (a) running the
+//! workload with every memory access serialized through one global token --
+//! the single-core, one-thread-at-a-time execution model -- and (b) charging
+//! a small trap cost per simulated scheduling quantum.  The benchmark
+//! harness combines this instrument with a single-worker configuration (see
+//! [`crate::configs`]); EXPERIMENTS.md discusses how the measured factor
+//! relates to the paper's 17x on a 16-core machine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use ireplayer::{Instrument, MemAddr, ThreadId};
+
+/// Number of managed memory accesses per simulated scheduling quantum.
+const QUANTUM_ACCESSES: u64 = 64;
+
+/// Cost, in iterations of a small spin, charged when a quantum expires
+/// (models rr's context switch + ptrace stop).
+const TRAP_SPIN: u64 = 400;
+
+/// The serializing instrument emulating rr's single-core execution.
+#[derive(Debug, Default)]
+pub struct RrEmulator {
+    /// The single "core": whoever holds it runs; everyone else waits.
+    core: Mutex<()>,
+    accesses: AtomicU64,
+    switches: AtomicU64,
+}
+
+impl RrEmulator {
+    /// Creates an emulator.
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(RrEmulator::default())
+    }
+
+    /// Number of simulated context switches performed.
+    pub fn context_switches(&self) -> u64 {
+        self.switches.load(Ordering::Relaxed)
+    }
+
+    /// Number of serialized memory accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    fn serialize(&self) {
+        // Take the core for the duration of the access.
+        let _core = self.core.lock();
+        let count = self.accesses.fetch_add(1, Ordering::Relaxed);
+        if count % QUANTUM_ACCESSES == 0 {
+            // Quantum expired: pay the trap / context-switch cost.
+            self.switches.fetch_add(1, Ordering::Relaxed);
+            let mut acc = 0u64;
+            for i in 0..TRAP_SPIN {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        }
+    }
+}
+
+impl Instrument for RrEmulator {
+    fn on_store(&self, _thread: ThreadId, _addr: MemAddr, _len: usize) {
+        self.serialize();
+    }
+
+    fn on_load(&self, _thread: ThreadId, _addr: MemAddr, _len: usize) {
+        self.serialize();
+    }
+
+    fn on_branch(&self, _thread: ThreadId, _edge: u32) {
+        self.serialize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_and_counts_accesses() {
+        let rr = RrEmulator::new();
+        for _ in 0..200 {
+            rr.on_store(ThreadId(0), MemAddr::new(8), 8);
+            rr.on_load(ThreadId(1), MemAddr::new(8), 8);
+        }
+        rr.on_branch(ThreadId(0), 3);
+        assert_eq!(rr.accesses(), 401);
+        assert!(rr.context_switches() >= 401 / QUANTUM_ACCESSES);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation of the epoch length (paper §2.1 and §2.2.3).
+//!
+//! Epochs close when an irrevocable system call arrives or when the
+//! per-thread event budget is exhausted ("users may use the size of logging
+//! as the criteria").  Each epoch boundary pays for a stop-the-world,
+//! a memory checkpoint, and log housekeeping, so shorter epochs trade
+//! memory for overhead -- the reason the paper eliminates irrevocable
+//! classifications wherever possible.  This bench runs the same lock- and
+//! allocation-heavy program under iReplayer with decreasing per-thread
+//! event budgets and measures the slowdown.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ireplayer::{Config, Program, Runtime, Step};
+
+fn run_with_event_budget(events_per_thread: usize) {
+    let config = Config::builder()
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .events_per_thread(events_per_thread)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(config).unwrap();
+    let report = runtime
+        .run(Program::new("epoch-ablation", |ctx| {
+            let lock = ctx.mutex();
+            let cell = ctx.global("counter", 8);
+            for round in 0..1_500u64 {
+                ctx.lock(lock);
+                let value = ctx.read_u64(cell);
+                ctx.write_u64(cell, value + round);
+                ctx.unlock(lock);
+                if round % 16 == 0 {
+                    let scratch = ctx.alloc(64);
+                    ctx.write_u64(scratch, round);
+                    ctx.free(scratch);
+                }
+            }
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success());
+}
+
+fn epoch_length_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_length");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    // 65_536 is the default (epochs close only at program end here); 512
+    // forces frequent checkpoints, the regime the paper avoids by deferring
+    // and reclassifying system calls.
+    for budget in [65_536usize, 4_096, 512] {
+        group.bench_function(BenchmarkId::from_parameter(budget), |b| {
+            b.iter(|| run_with_event_budget(budget))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, epoch_length_ablation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion version of the Figure 5 measurement on reduced inputs: the
+//! overhead of the detection tools versus the AddressSanitizer-style
+//! checker on three representative workloads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ireplayer_baselines::SystemUnderTest;
+use ireplayer_bench::run_once;
+use ireplayer_workloads::{workload_by_name, WorkloadSpec};
+
+fn figure5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let spec = WorkloadSpec::tiny();
+    for workload_name in ["streamcluster", "memcached", "pbzip2"] {
+        for system in SystemUnderTest::figure5() {
+            let id = BenchmarkId::new(workload_name, system.label());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let workload = workload_by_name(workload_name).unwrap();
+                    run_once(system, workload.as_ref(), &spec)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure5);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the mechanisms the paper's §3.2 design choices
+//! target: the cost of recording a lock acquisition, of an allocation on
+//! the deterministic heap versus the global-lock heap, and of an epoch
+//! checkpoint.  These are the ablation knobs called out in DESIGN.md.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ireplayer::{AllocatorMode, Config, Program, RunMode, Runtime, Step};
+
+fn small_config() -> ireplayer::ConfigBuilder {
+    Config::builder().arena_size(16 << 20).heap_block_size(256 << 10)
+}
+
+fn run_program(config: Config, mut body: impl FnMut(&mut ireplayer::ThreadCtx<'_>) -> Step + Send + 'static) {
+    let runtime = Runtime::new(config).unwrap();
+    let report = runtime.run(Program::new("micro", move |ctx| body(ctx))).unwrap();
+    assert!(report.outcome.is_success());
+}
+
+/// Recording cost per lock acquisition: the same lock-heavy loop with and
+/// without recording.
+fn record_lock_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_acquisition");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (name, mode) in [("passthrough", RunMode::Passthrough), ("recording", RunMode::Record)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_program(small_config().mode(mode).build().unwrap(), |ctx| {
+                    let lock = ctx.mutex();
+                    for _ in 0..2_000 {
+                        ctx.lock(lock);
+                        ctx.unlock(lock);
+                    }
+                    Step::Done
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Allocation cost: deterministic per-thread heap versus the global-lock
+/// baseline allocator (the "IR-Alloc is 3% faster" claim of §5.3).
+fn allocator_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (name, allocator) in [
+        ("per_thread", AllocatorMode::PerThread),
+        ("global_lock", AllocatorMode::GlobalLock),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_program(
+                    small_config()
+                        .mode(RunMode::Passthrough)
+                        .allocator(allocator)
+                        .build()
+                        .unwrap(),
+                    |ctx| {
+                        let mut live = Vec::new();
+                        for i in 0..1_500usize {
+                            live.push(ctx.alloc(16 + (i % 8) * 32));
+                            if i % 3 == 0 {
+                                if let Some(addr) = live.pop() {
+                                    ctx.free(addr);
+                                }
+                            }
+                        }
+                        for addr in live.drain(..) {
+                            ctx.free(addr);
+                        }
+                        Step::Done
+                    },
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cost of an explicit epoch boundary (checkpoint + housekeeping).
+fn epoch_checkpoint_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_checkpoint");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("explicit_epochs", |b| {
+        b.iter(|| {
+            run_program(small_config().build().unwrap(), {
+                let mut rounds = 0u64;
+                move |ctx| {
+                    let cell = ctx.alloc(64);
+                    ctx.write_u64(cell, rounds);
+                    ctx.free(cell);
+                    ctx.end_epoch();
+                    rounds += 1;
+                    if rounds >= 10 {
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, record_lock_cost, allocator_cost, epoch_checkpoint_cost);
+criterion_main!(benches);

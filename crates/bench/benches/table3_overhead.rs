@@ -1,0 +1,35 @@
+//! Criterion version of the Table 3 measurement on reduced inputs: the
+//! recording overhead of each system on three representative workloads
+//! (lock-heavy, pipeline/allocation-heavy, IO-bound).  The full-size table
+//! is produced by the `table3_overhead` binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ireplayer_baselines::SystemUnderTest;
+use ireplayer_bench::run_once;
+use ireplayer_workloads::{workload_by_name, WorkloadSpec};
+
+fn table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let spec = WorkloadSpec::tiny();
+    for workload_name in ["fluidanimate", "dedup", "aget"] {
+        for system in SystemUnderTest::table3() {
+            let id = BenchmarkId::new(workload_name, system.label());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let workload = workload_by_name(workload_name).unwrap();
+                    run_once(system, workload.as_ref(), &spec)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Runs every experiment of the evaluation in sequence (quick sizes) and
+//! prints the paper-style tables.  EXPERIMENTS.md records a captured run.
+//!
+//! Usage: `cargo run --release -p ireplayer-bench --bin all_experiments`
+
+use ireplayer_bench::{
+    render_overhead, render_table1, render_table2, run_figure5, run_table1, run_table2,
+    run_table3,
+};
+use ireplayer_workloads::WorkloadSpec;
+
+fn main() {
+    println!("==== Table 1: memory difference between original and re-execution ====\n");
+    println!("{}", render_table1(&run_table1(&WorkloadSpec::tiny())));
+
+    println!("==== Table 2: replays needed to reproduce Crasher's race ====\n");
+    println!("{}", render_table2(&run_table2(60)));
+
+    println!("==== Table 3: recording overhead ====\n");
+    println!("{}", render_overhead(&run_table3(&WorkloadSpec::small()), true));
+
+    println!("==== Figure 5: detection-tool overhead ====\n");
+    println!("{}", render_overhead(&run_figure5(&WorkloadSpec::small()), true));
+}

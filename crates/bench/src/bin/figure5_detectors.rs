@@ -1,0 +1,20 @@
+//! Reproduces Figure 5 of the paper: normalized runtime of iReplayer, the
+//! iReplayer detection tools (overflow + use-after-free), and the
+//! AddressSanitizer-style checker.
+//!
+//! Usage: `cargo run --release -p ireplayer-bench --bin figure5_detectors [--bench-size]`
+
+use ireplayer_bench::{render_overhead, run_figure5};
+use ireplayer_workloads::WorkloadSpec;
+
+fn main() {
+    let bench = std::env::args().any(|a| a == "--bench-size");
+    let spec = if bench {
+        WorkloadSpec::bench()
+    } else {
+        WorkloadSpec::small()
+    };
+    println!("Figure 5: detection-tool overhead (normalized runtime, baseline = default library)\n");
+    let rows = run_figure5(&spec);
+    println!("{}", render_overhead(&rows, true));
+}

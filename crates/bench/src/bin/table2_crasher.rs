@@ -1,0 +1,17 @@
+//! Reproduces Table 2 of the paper: the number of replays needed to
+//! reproduce Crasher's race.
+//!
+//! Usage: `cargo run --release -p ireplayer-bench --bin table2_crasher [trials]`
+//! (default 200 trials; the paper uses 100,000).
+
+use ireplayer_bench::{render_table2, run_table2};
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(200);
+    println!("Table 2: reproducing Crasher's race ({trials} trials)\n");
+    let result = run_table2(trials);
+    println!("{}", render_table2(&result));
+}

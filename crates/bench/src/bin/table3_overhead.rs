@@ -1,0 +1,19 @@
+//! Reproduces Table 3 of the paper: recording-phase runtime of IR-Alloc,
+//! iReplayer, CLAP, and rr, normalized to the default library.
+//!
+//! Usage: `cargo run --release -p ireplayer-bench --bin table3_overhead [--bench-size]`
+
+use ireplayer_bench::{render_overhead, run_table3};
+use ireplayer_workloads::WorkloadSpec;
+
+fn main() {
+    let bench = std::env::args().any(|a| a == "--bench-size");
+    let spec = if bench {
+        WorkloadSpec::bench()
+    } else {
+        WorkloadSpec::small()
+    };
+    println!("Table 3: recording overhead (normalized runtime, baseline = default library)\n");
+    let rows = run_table3(&spec);
+    println!("{}", render_overhead(&rows, true));
+}

@@ -1,0 +1,206 @@
+//! Allocation dispatch: the deterministic per-thread heap (paper §2.2.4),
+//! the global-lock baseline allocator, allocation canaries (§4.1), and the
+//! free quarantine (§4.2).
+
+use ireplayer_mem::{Allocation, MemAddr, MemError, QuarantineEntry};
+
+use crate::fault::FaultKind;
+use crate::site::SiteId;
+use crate::state::{RtInner, VThread};
+use crate::stats::Counters;
+use crate::sync::{mark_dirty, superheap_fetch_ordered};
+
+/// Allocates `size` bytes of managed memory for `vt`.
+///
+/// Out-of-memory and oversized requests become faults (the analogue of an
+/// aborting `malloc` failure), so the application-facing signature stays a
+/// plain address.
+pub(crate) fn alloc(rt: &RtInner, vt: &VThread, size: usize, site: SiteId) -> MemAddr {
+    mark_dirty(vt);
+    let result = if rt.per_thread_alloc() {
+        alloc_per_thread(rt, vt, size)
+    } else {
+        alloc_global(rt, vt, size)
+    };
+    let allocation = match result {
+        Ok(a) => a,
+        Err(MemError::AllocationTooLarge { requested, .. })
+        | Err(MemError::OutOfMemory { requested }) => {
+            rt.raise_fault(vt, FaultKind::OutOfMemory { requested }, Some(site))
+        }
+        Err(other) => rt.raise_fault(
+            vt,
+            FaultKind::Panic {
+                message: format!("allocator error: {other}"),
+            },
+            Some(site),
+        ),
+    };
+
+    if let Some(canary) = allocation.canary {
+        // Record the placement so the overflow detector can scan it at the
+        // epoch boundary (§4.1).  The heap already filled the bytes.
+        let mut canaries = rt.canaries.lock();
+        let _ = canaries.plant(&rt.arena, canary.addr, canary.len as usize, allocation.payload);
+    }
+
+    rt.alloc_sites.lock().insert(allocation.payload, site);
+    Counters::bump(&rt.counters.allocations);
+    Counters::add(&rt.counters.bytes_allocated, size as u64);
+    if let Some(instrument) = rt.instrument.read().clone() {
+        instrument.on_alloc(vt.id, allocation.payload, size);
+    }
+    allocation.payload
+}
+
+fn alloc_per_thread(rt: &RtInner, vt: &VThread, size: usize) -> Result<Allocation, MemError> {
+    // Fetch any needed block under the recorded global lock so that block
+    // assignment is identical during replay.
+    loop {
+        let needs = vt.heap.lock().needs_block(size)?;
+        if !needs {
+            break;
+        }
+        let block = match superheap_fetch_ordered(rt, vt) {
+            Ok(block) => block,
+            Err(e) => return Err(e),
+        };
+        vt.heap.lock().add_block(block);
+    }
+    vt.heap.lock().alloc(&rt.arena, &rt.super_heap, size)
+}
+
+fn alloc_global(rt: &RtInner, _vt: &VThread, size: usize) -> Result<Allocation, MemError> {
+    // The baseline allocator: one heap, one lock, layout dependent on
+    // scheduling (Table 1's "Orig" column and Table 3's baseline).
+    rt.global_heap.lock().alloc(&rt.arena, &rt.super_heap, size)
+}
+
+/// Frees the allocation whose payload starts at `addr`.
+///
+/// With the quarantine enabled (use-after-free detection), the object is
+/// poisoned and parked instead of being returned to a free list; quarantined
+/// objects are recycled once the quarantine exceeds its budget, checking
+/// their poison bytes on the way out.
+pub(crate) fn free(rt: &RtInner, vt: &VThread, addr: MemAddr, site: SiteId) {
+    mark_dirty(vt);
+    Counters::bump(&rt.counters.frees);
+    rt.free_sites.lock().insert(addr, site);
+
+    // If this object carries a canary, check it before the slot is recycled
+    // so overflow evidence is not lost to reuse.
+    if rt.config.canaries {
+        if let Some(size) = allocation_size(rt, vt, addr) {
+            let canary_addr = addr + size as u64;
+            if let Ok(Some(corrupted)) = rt.canaries.lock().check_and_remove(&rt.arena, canary_addr)
+            {
+                rt.pending_canary_evidence.lock().push(corrupted);
+            }
+        }
+    }
+
+    if let Some(instrument) = rt.instrument.read().clone() {
+        if let Some(size) = allocation_size(rt, vt, addr) {
+            instrument.on_free(vt.id, addr, size);
+        } else {
+            instrument.on_free(vt.id, addr, 0);
+        }
+    }
+
+    let quarantine_enabled = rt.config.quarantine_bytes > 0;
+    let result = if quarantine_enabled {
+        free_to_quarantine(rt, vt, addr, site)
+    } else if rt.per_thread_alloc() {
+        vt.heap.lock().free(&rt.arena, addr).map(|_| ())
+    } else {
+        rt.global_heap.lock().free(&rt.arena, addr).map(|_| ())
+    };
+
+    match result {
+        Ok(()) => {}
+        Err(MemError::DoubleFree { addr }) => {
+            rt.raise_fault(vt, FaultKind::DoubleFree { addr }, Some(site))
+        }
+        Err(MemError::InvalidFree { addr }) => {
+            rt.raise_fault(vt, FaultKind::InvalidFree { addr }, Some(site))
+        }
+        Err(other) => rt.raise_fault(
+            vt,
+            FaultKind::Panic {
+                message: format!("allocator error: {other}"),
+            },
+            Some(site),
+        ),
+    }
+}
+
+fn free_to_quarantine(
+    rt: &RtInner,
+    vt: &VThread,
+    addr: MemAddr,
+    site: SiteId,
+) -> Result<(), MemError> {
+    let (record, slot_start) = if rt.per_thread_alloc() {
+        vt.heap.lock().retire(&rt.arena, addr)?
+    } else {
+        rt.global_heap.lock().retire(&rt.arena, addr)?
+    };
+    let entry = QuarantineEntry {
+        payload: record.payload,
+        slot_start,
+        class: record.class,
+        requested: record.requested,
+        free_site: u64::from(site.0),
+    };
+    let mut quarantine = vt.quarantine.lock();
+    quarantine.push(&rt.arena, entry)?;
+    let (evicted, evidence) = quarantine.evict_to_budget(&rt.arena)?;
+    drop(quarantine);
+    if !evidence.is_empty() {
+        rt.pending_uaf_evidence.lock().extend(evidence);
+    }
+    for old in evicted {
+        if rt.per_thread_alloc() {
+            vt.heap.lock().recycle(old.class, old.slot_start);
+        } else {
+            rt.global_heap.lock().recycle(old.class, old.slot_start);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the live allocation containing `addr`, searching every heap.  Used
+/// by tools to attribute a corrupted address to an allocation.
+pub(crate) fn containing_allocation(
+    rt: &RtInner,
+    addr: MemAddr,
+) -> Option<ireplayer_mem::AllocRecord> {
+    if let Some(record) = rt.global_heap.lock().containing_allocation(addr) {
+        return Some(record);
+    }
+    for vt in rt.threads.read().iter() {
+        if let Some(record) = vt.heap.lock().containing_allocation(addr) {
+            return Some(record);
+        }
+    }
+    None
+}
+
+/// Size of the live allocation whose payload starts at `addr`, if known.
+pub(crate) fn allocation_size(rt: &RtInner, vt: &VThread, addr: MemAddr) -> Option<usize> {
+    if rt.per_thread_alloc() {
+        if let Some(record) = vt.heap.lock().lookup(addr) {
+            return Some(record.requested);
+        }
+    } else if let Some(record) = rt.global_heap.lock().lookup(addr) {
+        return Some(record.requested);
+    }
+    // Cross-thread lookups: the allocation may belong to another thread's
+    // heap (a thread may free or measure objects it did not allocate).
+    for other in rt.threads.read().iter() {
+        if let Some(record) = other.heap.lock().lookup(addr) {
+            return Some(record.requested);
+        }
+    }
+    None
+}

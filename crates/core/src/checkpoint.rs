@@ -1,0 +1,233 @@
+//! Epoch checkpoints: capture at epoch begin (§3.1), restore on rollback
+//! (§3.4).
+//!
+//! A checkpoint captures everything a re-execution needs to start from the
+//! epoch begin:
+//!
+//! * the managed memory image (heap + globals), up to the super heap's
+//!   high-water mark;
+//! * allocator metadata (super-heap cursor, per-thread heap state, the
+//!   global-lock heap in baseline mode);
+//! * simulated-OS state that replay depends on (open-file positions);
+//! * per-thread state: life-cycle phase, random-stream state, quarantine
+//!   contents;
+//! * detector state (canary map, site tables, pending evidence).
+//!
+//! Synchronization state needs no capture: checkpoints are taken at global
+//! step-boundary quiescence, where no locks are held and no thread waits
+//! inside a primitive, so every synchronization variable is in its default
+//! state (see DESIGN.md).
+
+use std::collections::HashMap;
+
+use ireplayer_mem::{CanaryMap, CorruptedCanary, Globals, MemAddr, MemSnapshot, Quarantine, SuperHeapState, ThreadHeapState, UafEvidence};
+use ireplayer_sys::OsSnapshot;
+
+use crate::site::SiteId;
+use crate::state::{RtInner, ThreadPhase};
+
+/// Per-thread checkpointed state.
+#[derive(Debug, Clone)]
+pub(crate) struct ThreadCheckpoint {
+    /// Life-cycle phase at the checkpoint.
+    pub phase: ThreadPhase,
+    /// Allocator metadata.
+    pub heap: ThreadHeapState,
+    /// Quarantined frees.
+    pub quarantine: Quarantine,
+    /// Random-stream state.
+    pub rng_state: u64,
+    /// Whether the thread had already been joined.
+    pub joined: bool,
+}
+
+/// A complete epoch checkpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct Checkpoint {
+    /// Epoch this checkpoint begins.
+    pub epoch: u64,
+    /// Managed-memory image.
+    pub memory: MemSnapshot,
+    /// Super-heap allocation cursor.
+    pub super_heap: SuperHeapState,
+    /// Global-lock heap metadata (baseline allocator).
+    pub global_heap: ThreadHeapState,
+    /// Managed-globals name table.
+    pub globals: Globals,
+    /// Simulated-OS state (open-file positions).
+    pub os: OsSnapshot,
+    /// Canary placements.
+    pub canaries: CanaryMap,
+    /// Allocation-site table.
+    pub alloc_sites: HashMap<MemAddr, SiteId>,
+    /// Free-site table.
+    pub free_sites: HashMap<MemAddr, SiteId>,
+    /// Overflow evidence already pending at the checkpoint.
+    pub pending_canary_evidence: Vec<CorruptedCanary>,
+    /// Use-after-free evidence already pending at the checkpoint.
+    pub pending_uaf_evidence: Vec<UafEvidence>,
+    /// Per-thread state, indexed by thread id.
+    pub threads: Vec<ThreadCheckpoint>,
+}
+
+/// Captures a checkpoint.  The caller guarantees step-boundary quiescence.
+pub(crate) fn capture(rt: &RtInner) -> Checkpoint {
+    let high_water = rt.super_heap.high_water().as_usize();
+    let threads = rt
+        .threads
+        .read()
+        .iter()
+        .map(|vt| {
+            let control = vt.control.lock();
+            ThreadCheckpoint {
+                phase: control.phase,
+                heap: vt.heap.lock().state(),
+                quarantine: vt.quarantine.lock().clone(),
+                rng_state: vt.rng.lock().state(),
+                joined: control.joined,
+            }
+        })
+        .collect();
+    Checkpoint {
+        epoch: rt.epoch.lock().number,
+        memory: MemSnapshot::capture(&rt.arena, high_water),
+        super_heap: rt.super_heap.state(),
+        global_heap: rt.global_heap.lock().state(),
+        globals: rt.globals.lock().clone(),
+        os: rt.os.snapshot(),
+        canaries: rt.canaries.lock().clone(),
+        alloc_sites: rt.alloc_sites.lock().clone(),
+        free_sites: rt.free_sites.lock().clone(),
+        pending_canary_evidence: rt.pending_canary_evidence.lock().clone(),
+        pending_uaf_evidence: rt.pending_uaf_evidence.lock().clone(),
+        threads,
+    }
+}
+
+/// Restores runtime state from a checkpoint (rollback).  Thread lists and
+/// per-variable lists are *not* cleared -- they hold the recorded schedule
+/// that the re-execution will follow; their cursors are rewound by the
+/// replay setup in the runtime module.
+pub(crate) fn restore(rt: &RtInner, checkpoint: &Checkpoint) {
+    // Zero the memory handed out after the checkpoint (blocks fetched during
+    // the epoch being rolled back): the re-execution must observe the same
+    // fresh, zeroed blocks the original execution did -- the analogue of the
+    // paper zeroing the unused portion of restored stacks (§3.4).
+    let old_high_water = checkpoint.memory.len();
+    let new_high_water = rt.super_heap.high_water().as_usize();
+    if new_high_water > old_high_water && old_high_water >= 1 {
+        let _ = rt.arena.fill(
+            ireplayer_mem::MemAddr::new(old_high_water as u64),
+            new_high_water - old_high_water,
+            0,
+        );
+    }
+    checkpoint
+        .memory
+        .restore(&rt.arena)
+        .expect("checkpoint restore: arena size cannot shrink during a run");
+    rt.super_heap.restore(checkpoint.super_heap);
+    rt.global_heap.lock().restore(checkpoint.global_heap.clone());
+    *rt.globals.lock() = checkpoint.globals.clone();
+    rt.os.restore(&checkpoint.os);
+    *rt.canaries.lock() = checkpoint.canaries.clone();
+    *rt.alloc_sites.lock() = checkpoint.alloc_sites.clone();
+    *rt.free_sites.lock() = checkpoint.free_sites.clone();
+    *rt.pending_canary_evidence.lock() = checkpoint.pending_canary_evidence.clone();
+    *rt.pending_uaf_evidence.lock() = checkpoint.pending_uaf_evidence.clone();
+
+    // Per-thread state.  Threads created after the checkpoint keep their
+    // runtime records (they are revived by their parent's replayed creation
+    // event); their heaps start empty exactly as they did originally.
+    let threads = rt.threads.read();
+    for (index, vt) in threads.iter().enumerate() {
+        if let Some(saved) = checkpoint.threads.get(index) {
+            vt.heap.lock().restore(saved.heap.clone());
+            *vt.quarantine.lock() = saved.quarantine.clone();
+            vt.rng.lock().restore(saved.rng_state);
+            let mut control = vt.control.lock();
+            control.joined = saved.joined;
+            control.held_locks.clear();
+        } else {
+            // Created during the epoch being replayed: reset to a pristine
+            // state.
+            vt.heap.lock().restore(
+                ireplayer_mem::ThreadHeap::new(vt.id.0, rt.heap_config()).state(),
+            );
+            *vt.quarantine.lock() = Quarantine::new(rt.config.quarantine_bytes);
+            vt.rng
+                .lock()
+                .restore(crate::rng::DetRng::new(rt.config.seed).derive(u64::from(vt.id.0)).state());
+            let mut control = vt.control.lock();
+            control.joined = false;
+            control.held_locks.clear();
+        }
+    }
+
+    // Synchronization state: quiescence guarantees the default state.
+    for var in rt.sync_table.read().iter() {
+        var.state.lock().reset();
+    }
+
+    // The deferred-operation queue is rebuilt by the re-execution.
+    rt.epoch.lock().deferred.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn small_rt() -> RtInner {
+        RtInner::new(
+            Config::builder()
+                .arena_size(1 << 20)
+                .heap_block_size(64 << 10)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn capture_and_restore_round_trip_memory_and_os_state() {
+        let rt = small_rt();
+        rt.os.create_file("f.txt", b"0123456789".to_vec());
+        let fd = rt.os.open("f.txt").unwrap();
+        rt.os.file_read(fd, 4).unwrap();
+        rt.arena
+            .write_bytes(ireplayer_mem::MemAddr::new(32), b"before")
+            .unwrap();
+
+        let checkpoint = capture(&rt);
+
+        // Post-checkpoint mutations...
+        rt.arena
+            .write_bytes(ireplayer_mem::MemAddr::new(32), b"after!")
+            .unwrap();
+        rt.os.file_read(fd, 4).unwrap();
+        rt.epoch
+            .lock()
+            .deferred
+            .push(crate::state::DeferredOp::Close(fd));
+
+        // ...are undone by the rollback.
+        restore(&rt, &checkpoint);
+        let mut buf = [0u8; 6];
+        rt.arena
+            .read_bytes(ireplayer_mem::MemAddr::new(32), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"before");
+        assert_eq!(rt.os.file_read(fd, 4).unwrap(), b"4567");
+        assert!(rt.epoch.lock().deferred.is_empty());
+    }
+
+    #[test]
+    fn restore_resets_sync_state() {
+        let rt = small_rt();
+        let var = rt.register_sync_var(crate::state::SyncVarKind::Mutex);
+        let checkpoint = capture(&rt);
+        var.state.lock().locked = true;
+        restore(&rt, &checkpoint);
+        assert!(!var.state.lock().locked);
+    }
+}

@@ -1,0 +1,268 @@
+//! Runtime configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RuntimeError;
+
+/// How the runtime treats the execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// No recording at all: synchronization and system calls execute
+    /// directly.  Replay is unavailable.  This is the "IR-Alloc"
+    /// configuration of Table 3 (the custom allocator without recording)
+    /// and, combined with [`AllocatorMode::GlobalLock`], the plain baseline.
+    Passthrough,
+    /// Record synchronization order and system-call results, enabling
+    /// rollback and identical replay of the last epoch.  This is the full
+    /// iReplayer configuration.
+    Record,
+}
+
+/// Which allocator serves application allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocatorMode {
+    /// The paper's deterministic per-thread heap (§2.2.4): identical layout
+    /// across re-executions, no lock per allocation.
+    PerThread,
+    /// A single heap shared by all threads behind one lock, imitating a
+    /// default `malloc`: layout depends on scheduling, so re-executions see
+    /// different addresses.  Used for the "Orig" column of Table 1 and the
+    /// baseline of Table 3.
+    GlobalLock,
+}
+
+/// What the runtime does when an application fault is detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultPolicy {
+    /// Roll back and replay the last epoch so that tools (watchpoints,
+    /// detectors, the interactive debugger) can diagnose the fault, then
+    /// terminate with a report.
+    DiagnoseAndReport,
+    /// Terminate immediately with a report, without replaying.
+    ReportOnly,
+}
+
+/// Configuration of a [`crate::Runtime`], built with
+/// [`Config::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Recording mode.
+    pub mode: RunMode,
+    /// Allocator used for application allocations.
+    pub allocator: AllocatorMode,
+    /// Size of the managed arena in bytes.
+    pub arena_size: usize,
+    /// Bytes reserved at the start of the arena for managed globals.
+    pub globals_size: usize,
+    /// Size of a super-heap block.
+    pub heap_block_size: u64,
+    /// Soft limit on recorded events per thread per epoch; reaching it
+    /// schedules an epoch end.
+    pub events_per_thread: usize,
+    /// Plant canaries after every allocation (used by the overflow
+    /// detector).
+    pub canaries: bool,
+    /// Quarantine budget in bytes for freed objects (0 disables the
+    /// quarantine; used by the use-after-free detector).
+    pub quarantine_bytes: usize,
+    /// Maximum number of replay attempts when searching for a matching
+    /// schedule (the paper supports an unlimited number; a bound keeps
+    /// pathological tests finite).
+    pub max_replay_attempts: u32,
+    /// Upper bound, in microseconds, of the random delays inserted at
+    /// diverging points on later replay attempts.
+    pub max_divergence_delay_us: u64,
+    /// How faults are handled.
+    pub fault_policy: FaultPolicy,
+    /// Seed for the runtime's deterministic random sources (per-thread
+    /// application RNGs and divergence delays).
+    pub seed: u64,
+    /// Time budget for reaching step-boundary quiescence before reporting a
+    /// bounded-step violation, in milliseconds.
+    pub quiescence_timeout_ms: u64,
+    /// Validate the final heap image of a matching replay against the image
+    /// recorded at the end of the original epoch (the §5.2 validation).
+    pub validate_replay_image: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mode: RunMode::Record,
+            allocator: AllocatorMode::PerThread,
+            arena_size: 64 << 20,
+            globals_size: 64 << 10,
+            heap_block_size: 1 << 20,
+            events_per_thread: 1 << 16,
+            canaries: false,
+            quarantine_bytes: 0,
+            max_replay_attempts: 64,
+            max_divergence_delay_us: 500,
+            fault_policy: FaultPolicy::DiagnoseAndReport,
+            seed: 0x5eed_2018,
+            quiescence_timeout_ms: 30_000,
+            validate_replay_image: true,
+        }
+    }
+}
+
+impl Config {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            config: Config::default(),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if sizes are inconsistent
+    /// (for example a globals region larger than the arena).
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        if self.arena_size < (1 << 16) {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "arena of {} bytes is too small (minimum 64 KiB)",
+                self.arena_size
+            )));
+        }
+        if self.globals_size + (self.heap_block_size as usize) > self.arena_size {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "globals region ({}) plus one heap block ({}) exceed the arena ({})",
+                self.globals_size, self.heap_block_size, self.arena_size
+            )));
+        }
+        if self.events_per_thread == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "events_per_thread must be non-zero".into(),
+            ));
+        }
+        if self.max_replay_attempts == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "max_replay_attempts must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Config`].
+///
+/// # Example
+///
+/// ```
+/// use ireplayer::{AllocatorMode, Config, RunMode};
+///
+/// let config = Config::builder()
+///     .mode(RunMode::Record)
+///     .allocator(AllocatorMode::PerThread)
+///     .arena_size(16 << 20)
+///     .canaries(true)
+///     .build()
+///     .unwrap();
+/// assert!(config.canaries);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.config.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl ConfigBuilder {
+    builder_setters! {
+        /// Sets the recording mode.
+        mode: RunMode,
+        /// Sets the allocator.
+        allocator: AllocatorMode,
+        /// Sets the arena size in bytes.
+        arena_size: usize,
+        /// Sets the managed-globals region size in bytes.
+        globals_size: usize,
+        /// Sets the super-heap block size in bytes.
+        heap_block_size: u64,
+        /// Sets the per-thread event soft limit.
+        events_per_thread: usize,
+        /// Enables or disables allocation canaries.
+        canaries: bool,
+        /// Sets the quarantine budget in bytes (0 disables it).
+        quarantine_bytes: usize,
+        /// Sets the maximum number of replay attempts.
+        max_replay_attempts: u32,
+        /// Sets the maximum divergence delay in microseconds.
+        max_divergence_delay_us: u64,
+        /// Sets the fault policy.
+        fault_policy: FaultPolicy,
+        /// Sets the deterministic seed.
+        seed: u64,
+        /// Sets the quiescence timeout in milliseconds.
+        quiescence_timeout_ms: u64,
+        /// Enables or disables final-image validation of matching replays.
+        validate_replay_image: bool,
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn build(self) -> Result<Config, RuntimeError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(Config::default().validate().is_ok());
+        let built = Config::builder().build().unwrap();
+        assert_eq!(built, Config::default());
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let config = Config::builder()
+            .mode(RunMode::Passthrough)
+            .allocator(AllocatorMode::GlobalLock)
+            .arena_size(1 << 20)
+            .heap_block_size(64 << 10)
+            .canaries(true)
+            .quarantine_bytes(4096)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(config.mode, RunMode::Passthrough);
+        assert_eq!(config.allocator, AllocatorMode::GlobalLock);
+        assert!(config.canaries);
+        assert_eq!(config.quarantine_bytes, 4096);
+        assert_eq!(config.seed, 7);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(Config::builder().arena_size(1024).build().is_err());
+        assert!(Config::builder()
+            .arena_size(1 << 20)
+            .heap_block_size(4 << 20)
+            .build()
+            .is_err());
+        assert!(Config::builder().events_per_thread(0).build().is_err());
+        assert!(Config::builder().max_replay_attempts(0).build().is_err());
+    }
+}

@@ -1,0 +1,949 @@
+//! [`ThreadCtx`]: the application-facing API.
+//!
+//! Application code receives a `&mut ThreadCtx` in every step and performs
+//! *all* externally visible actions through it: managed-memory accesses,
+//! allocation, synchronization, thread management, and system calls.  This
+//! is the analogue of the original system's `LD_PRELOAD` interposition
+//! boundary -- the set of operations iReplayer can observe, record, and
+//! replay.
+//!
+//! Managed memory accesses that fault (out-of-bounds, null) terminate the
+//! step like a segmentation fault and are handled by the runtime's fault
+//! machinery, so the accessors return plain values rather than `Result`s.
+
+use std::panic::Location;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ireplayer_log::{EventKind, SyncOp, SyscallOutcome, ThreadId, VarId};
+use ireplayer_mem::{MemAddr, Span};
+use ireplayer_sys::{SyscallKind, Whence};
+
+use crate::alloc;
+use crate::fault::{unwind_with, FaultKind, UnwindSignal};
+use crate::hooks::Instrument;
+use crate::program::{BodyFn, Step};
+use crate::site::SiteId;
+use crate::state::{
+    Command, ExecPhase, RtInner, SyncVarKind, ThreadPhase, VThread, REGISTRATION_VAR,
+};
+use crate::stats::WatchHitReport;
+use crate::sync;
+use crate::syscall;
+
+/// Handle to a managed mutex created with [`ThreadCtx::mutex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MutexHandle(pub(crate) VarId);
+
+/// Handle to a managed condition variable created with
+/// [`ThreadCtx::condvar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CondvarHandle(pub(crate) VarId);
+
+/// Handle to a managed barrier created with [`ThreadCtx::barrier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierHandle {
+    pub(crate) var: VarId,
+    pub(crate) parties: u32,
+}
+
+/// Handle to a spawned thread, used with [`ThreadCtx::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinHandle(pub(crate) ThreadId);
+
+impl JoinHandle {
+    /// Identifier of the spawned thread.
+    pub fn thread(&self) -> ThreadId {
+        self.0
+    }
+}
+
+/// The per-thread execution context handed to every step of a thread body.
+pub struct ThreadCtx<'a> {
+    pub(crate) rt: &'a Arc<RtInner>,
+    pub(crate) vt: &'a Arc<VThread>,
+    /// Cached instrument pointer (baseline instrumentation), refreshed once
+    /// per step so the hot path avoids the registry lock.
+    pub(crate) instrument: Option<Arc<dyn Instrument>>,
+}
+
+impl<'a> ThreadCtx<'a> {
+    pub(crate) fn new(rt: &'a Arc<RtInner>, vt: &'a Arc<VThread>) -> Self {
+        let instrument = rt.instrument.read().clone();
+        ThreadCtx { rt, vt, instrument }
+    }
+
+    fn site(&self, location: &Location<'_>) -> SiteId {
+        self.rt.sites.intern(location)
+    }
+
+    // ------------------------------------------------------------------
+    // Identity, time, and miscellaneous.
+    // ------------------------------------------------------------------
+
+    /// Identifier of the current thread (identical across re-executions).
+    pub fn thread_id(&self) -> ThreadId {
+        self.vt.id
+    }
+
+    /// Name given to this thread at spawn time.
+    pub fn thread_name(&self) -> &str {
+        &self.vt.name
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.rt.epoch.lock().number
+    }
+
+    /// Returns `true` while the runtime is re-executing the last epoch.
+    /// Applications normally do not need this; tools and tests use it.
+    pub fn is_replaying(&self) -> bool {
+        self.rt.replaying()
+    }
+
+    /// Deterministic per-thread random 64-bit value.  The generator state is
+    /// part of the epoch checkpoint, so replays observe the same stream.
+    pub fn rand_u64(&mut self) -> u64 {
+        self.vt.rng.lock().next_u64()
+    }
+
+    /// Deterministic per-thread random value below `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.vt.rng.lock().next_below(bound)
+    }
+
+    /// Deterministic per-thread random `f64` in `[0, 1)`.
+    pub fn rand_f64(&mut self) -> f64 {
+        self.vt.rng.lock().next_f64()
+    }
+
+    /// Burns CPU deterministically for `iterations` rounds of integer work
+    /// and returns a checksum.  Workloads use this to model computation that
+    /// does not touch shared state.
+    ///
+    /// When an instrumentation baseline is installed (CLAP path recording,
+    /// rr-style serialization), the loop reports one branch event per eight
+    /// iterations -- the analogue of compile-time instrumentation of the
+    /// application's hot loops.  The iReplayer configurations install no
+    /// instrument and pay only for a pointer check.
+    pub fn work(&self, iterations: u64) -> u64 {
+        let mut acc: u64 = 0x9e37_79b9 ^ iterations;
+        match &self.instrument {
+            None => {
+                for i in 0..iterations {
+                    acc = acc
+                        .rotate_left(13)
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                        .wrapping_add(i);
+                }
+            }
+            Some(instrument) => {
+                for i in 0..iterations {
+                    acc = acc
+                        .rotate_left(13)
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                        .wrapping_add(i);
+                    if i % 8 == 0 {
+                        instrument.on_branch(self.vt.id, (acc & 0xffff) as u32);
+                    }
+                }
+            }
+        }
+        std::hint::black_box(acc)
+    }
+
+    /// Sleeps for the given duration.  Used by synthetic racy programs (the
+    /// Crasher benchmark intentionally widens its race window with sleeps).
+    pub fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// Requests an epoch boundary at the next quiescent point (the paper's
+    /// "user-defined criteria" for closing an epoch).
+    pub fn end_epoch(&self) {
+        self.rt
+            .request_epoch_end(crate::state::EpochEndReason::Explicit);
+    }
+
+    /// Reports a branch (Ball-Larus edge) to the instrumentation baseline,
+    /// if one is installed.  The iReplayer configurations pay only for the
+    /// `None` check.
+    pub fn branch(&self, edge: u32) {
+        if let Some(instrument) = &self.instrument {
+            instrument.on_branch(self.vt.id, edge);
+        }
+    }
+
+    /// Reports a function entry/exit to the instrumentation baseline.
+    pub fn function(&self, func: u32, enter: bool) {
+        if let Some(instrument) = &self.instrument {
+            instrument.on_function(self.vt.id, func, enter);
+        }
+    }
+
+    /// Aborts the program with a message (assertion failure / `abort()`
+    /// analogue).  The runtime intercepts the abort, optionally replays the
+    /// epoch for diagnosis, and reports.
+    #[track_caller]
+    pub fn crash(&mut self, message: impl Into<String>) -> ! {
+        let site = self.site(Location::caller());
+        self.rt.raise_fault(
+            self.vt,
+            FaultKind::ExplicitCrash {
+                message: message.into(),
+            },
+            Some(site),
+        )
+    }
+
+    /// Checks an application invariant; a failure is treated like an
+    /// assertion failure (fault, diagnosis, report).
+    #[track_caller]
+    pub fn assert_that(&mut self, condition: bool, message: impl Into<String>) {
+        if !condition {
+            let site = self.site(Location::caller());
+            self.rt.raise_fault(
+                self.vt,
+                FaultKind::AssertionFailure {
+                    message: message.into(),
+                },
+                Some(site),
+            )
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Managed memory.
+    // ------------------------------------------------------------------
+
+    /// Allocates `size` bytes from the managed heap and returns the address
+    /// of the first byte.
+    #[track_caller]
+    pub fn alloc(&mut self, size: usize) -> MemAddr {
+        let site = self.site(Location::caller());
+        alloc::alloc(self.rt, self.vt, size, site)
+    }
+
+    /// Frees an allocation returned by [`ThreadCtx::alloc`].
+    #[track_caller]
+    pub fn free(&mut self, addr: MemAddr) {
+        let site = self.site(Location::caller());
+        alloc::free(self.rt, self.vt, addr, site);
+    }
+
+    /// Defines (or looks up) a named managed global of `size` bytes and
+    /// returns its address.  Globals live in the arena and are covered by
+    /// epoch checkpoints.
+    #[track_caller]
+    pub fn global(&mut self, name: &str, size: u64) -> MemAddr {
+        let result = self.rt.globals.lock().define(name, size);
+        match result {
+            Ok(addr) => addr,
+            Err(_) => {
+                let site = self.site(Location::caller());
+                self.rt.raise_fault(
+                    self.vt,
+                    FaultKind::OutOfMemory {
+                        requested: size as usize,
+                    },
+                    Some(site),
+                )
+            }
+        }
+    }
+
+    fn fault_mem(&self, addr: MemAddr, len: usize, is_write: bool, site: SiteId) -> ! {
+        self.rt.raise_fault(
+            self.vt,
+            FaultKind::SegFault { addr, len, is_write },
+            Some(site),
+        )
+    }
+
+    fn observe_store(&mut self, addr: MemAddr, len: usize, site: SiteId) {
+        sync::mark_dirty(self.vt);
+        if let Some(instrument) = &self.instrument {
+            instrument.on_store(self.vt.id, addr, len);
+        }
+        if self.rt.watch_active.load(std::sync::atomic::Ordering::Acquire) {
+            let hit = self.rt.watch.lock().check_write_at(addr, len);
+            if let Some(hit) = hit {
+                let report = WatchHitReport {
+                    watched: hit.watchpoint.span,
+                    access: Span::new(addr, len as u64),
+                    thread: self.vt.id,
+                    site: self.rt.sites.resolve(site),
+                    attempt: self
+                        .rt
+                        .replay_attempt
+                        .load(std::sync::atomic::Ordering::Acquire),
+                };
+                for hook in self.rt.hooks.read().iter() {
+                    hook.on_watch_hit(&report);
+                }
+                self.rt.epoch.lock().watch_hits.push(report);
+            }
+        }
+    }
+
+    fn observe_load(&self, addr: MemAddr, len: usize) {
+        if let Some(instrument) = &self.instrument {
+            instrument.on_load(self.vt.id, addr, len);
+        }
+    }
+
+    /// Writes raw bytes to managed memory.
+    #[track_caller]
+    pub fn write_bytes(&mut self, addr: MemAddr, data: &[u8]) {
+        let site = self.site(Location::caller());
+        self.observe_store(addr, data.len(), site);
+        if self.rt.arena.write_bytes(addr, data).is_err() {
+            self.fault_mem(addr, data.len(), true, site);
+        }
+    }
+
+    /// Reads raw bytes from managed memory into `buf`.
+    #[track_caller]
+    pub fn read_bytes(&mut self, addr: MemAddr, buf: &mut [u8]) {
+        let site = self.site(Location::caller());
+        self.observe_load(addr, buf.len());
+        if self.rt.arena.read_bytes(addr, buf).is_err() {
+            self.fault_mem(addr, buf.len(), false, site);
+        }
+    }
+
+    /// Fills `len` bytes of managed memory with `value`.
+    #[track_caller]
+    pub fn fill(&mut self, addr: MemAddr, len: usize, value: u8) {
+        let site = self.site(Location::caller());
+        self.observe_store(addr, len, site);
+        if self.rt.arena.fill(addr, len, value).is_err() {
+            self.fault_mem(addr, len, true, site);
+        }
+    }
+
+    /// Copies `len` bytes within managed memory.
+    #[track_caller]
+    pub fn copy(&mut self, src: MemAddr, dst: MemAddr, len: usize) {
+        let site = self.site(Location::caller());
+        self.observe_load(src, len);
+        self.observe_store(dst, len, site);
+        if self.rt.arena.copy(src, dst, len).is_err() {
+            self.fault_mem(dst, len, true, site);
+        }
+    }
+}
+
+macro_rules! mem_accessors {
+    ($($read:ident / $write:ident: $ty:ty [$n:expr]),* $(,)?) => {
+        impl<'a> ThreadCtx<'a> {
+            $(
+                /// Reads a value of this width from managed memory.
+                #[track_caller]
+                pub fn $read(&mut self, addr: MemAddr) -> $ty {
+                    let site = self.site(Location::caller());
+                    self.observe_load(addr, $n);
+                    match self.rt.arena.$read(addr) {
+                        Ok(value) => value,
+                        Err(_) => self.fault_mem(addr, $n, false, site),
+                    }
+                }
+
+                /// Writes a value of this width to managed memory.
+                #[track_caller]
+                pub fn $write(&mut self, addr: MemAddr, value: $ty) {
+                    let site = self.site(Location::caller());
+                    self.observe_store(addr, $n, site);
+                    if self.rt.arena.$write(addr, value).is_err() {
+                        self.fault_mem(addr, $n, true, site);
+                    }
+                }
+            )*
+        }
+    };
+}
+
+mem_accessors! {
+    read_u8 / write_u8: u8 [1],
+    read_u16 / write_u16: u16 [2],
+    read_u32 / write_u32: u32 [4],
+    read_u64 / write_u64: u64 [8],
+    read_i64 / write_i64: i64 [8],
+    read_f64 / write_f64: f64 [8],
+    read_addr / write_addr: MemAddr [8],
+}
+
+impl<'a> ThreadCtx<'a> {
+    // ------------------------------------------------------------------
+    // Synchronization objects.
+    // ------------------------------------------------------------------
+
+    fn register_var(&mut self, kind: SyncVarKind) -> VarId {
+        let reg = self.rt.sync_var(REGISTRATION_VAR);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.register_sync_var(kind).id,
+            ExecPhase::Recording => {
+                // Hold the registration variable's lock across "assign id +
+                // record" so the recorded order equals the assignment order.
+                let _guard = reg.state.lock();
+                let var = self.rt.register_sync_var(kind);
+                sync::record_sync(self.rt, self.vt, &reg, SyncOp::VarRegister, i64::from(var.id.0));
+                var.id
+            }
+            ExecPhase::Replaying => {
+                let actual = EventKind::Sync {
+                    var: REGISTRATION_VAR,
+                    op: SyncOp::VarRegister,
+                    result: 0,
+                };
+                let recorded = sync::replay_expect(self.rt, self.vt, &actual);
+                // Order registrations exactly as recorded, then reuse the
+                // variable created during the original execution.
+                let id = VarId(recorded as u32);
+                sync::replay_advance_thread(self.vt);
+                reg.var_list.lock().advance();
+                reg.cv.notify_all();
+                id
+            }
+        }
+    }
+
+    /// Creates a managed mutex.
+    pub fn mutex(&mut self) -> MutexHandle {
+        MutexHandle(self.register_var(SyncVarKind::Mutex))
+    }
+
+    /// Acquires a managed mutex.
+    pub fn lock(&mut self, handle: MutexHandle) {
+        let var = self.rt.sync_var(handle.0);
+        sync::mutex_lock(self.rt, self.vt, &var);
+    }
+
+    /// Attempts to acquire a managed mutex without blocking; returns whether
+    /// the lock was obtained.  The result is recorded and reproduced during
+    /// replay (§3.2.1).
+    pub fn try_lock(&mut self, handle: MutexHandle) -> bool {
+        let var = self.rt.sync_var(handle.0);
+        sync::mutex_trylock(self.rt, self.vt, &var)
+    }
+
+    /// Releases a managed mutex.
+    pub fn unlock(&mut self, handle: MutexHandle) {
+        let var = self.rt.sync_var(handle.0);
+        sync::mutex_unlock(self.rt, self.vt, &var);
+    }
+
+    /// Runs `body` while holding the mutex.
+    pub fn with_lock<R>(&mut self, handle: MutexHandle, body: impl FnOnce(&mut Self) -> R) -> R {
+        self.lock(handle);
+        let result = body(self);
+        self.unlock(handle);
+        result
+    }
+
+    /// Creates a managed condition variable.
+    pub fn condvar(&mut self) -> CondvarHandle {
+        CondvarHandle(self.register_var(SyncVarKind::Condvar))
+    }
+
+    /// Waits on a condition variable, releasing and re-acquiring the mutex
+    /// around the wait.
+    pub fn wait(&mut self, condvar: CondvarHandle, mutex: MutexHandle) {
+        let cv_var = self.rt.sync_var(condvar.0);
+        let mutex_var = self.rt.sync_var(mutex.0);
+        sync::cond_wait(self.rt, self.vt, &cv_var, &mutex_var);
+    }
+
+    /// Wakes one waiter of the condition variable.
+    pub fn signal(&mut self, condvar: CondvarHandle) {
+        let cv_var = self.rt.sync_var(condvar.0);
+        sync::cond_signal(self.rt, self.vt, &cv_var);
+    }
+
+    /// Wakes all waiters of the condition variable.
+    pub fn broadcast(&mut self, condvar: CondvarHandle) {
+        let cv_var = self.rt.sync_var(condvar.0);
+        sync::cond_broadcast(self.rt, self.vt, &cv_var);
+    }
+
+    /// Creates a managed barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn barrier(&mut self, parties: u32) -> BarrierHandle {
+        assert!(parties > 0, "a barrier needs at least one party");
+        BarrierHandle {
+            var: self.register_var(SyncVarKind::Barrier { parties }),
+            parties,
+        }
+    }
+
+    /// Waits on a barrier; returns `true` for exactly one (serial) thread
+    /// per generation.  The return value is recorded and reproduced during
+    /// replay.
+    pub fn barrier_wait(&mut self, handle: BarrierHandle) -> bool {
+        let var = self.rt.sync_var(handle.var);
+        sync::barrier_wait(self.rt, self.vt, &var, handle.parties)
+    }
+
+    // ------------------------------------------------------------------
+    // Threads.
+    // ------------------------------------------------------------------
+
+    /// Spawns a new application thread running `body` and returns a handle
+    /// for joining it.
+    ///
+    /// Thread creation is serialized by a global lock and recorded, so the
+    /// child receives the same identifier, heap, and random stream in every
+    /// re-execution.  During replay, the existing (kept-alive) thread is
+    /// revived instead of creating a new one (§3.5.1).
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> JoinHandle
+    where
+        F: FnMut(&mut ThreadCtx<'_>) -> Step + Send + 'static,
+    {
+        self.spawn_boxed(name.into(), Box::new(body))
+    }
+
+    fn spawn_boxed(&mut self, name: String, body: BodyFn) -> JoinHandle {
+        if self.rt.replaying() {
+            let child_id = sync::replay_thread_create(self.rt, self.vt);
+            let child = self.rt.thread(child_id);
+            {
+                let mut control = child.control.lock();
+                control.awaiting_creation = false;
+            }
+            child.notify();
+            self.rt.poke_world();
+            return JoinHandle(child_id);
+        }
+
+        sync::mark_dirty(self.vt);
+        let _guard = self.rt.creation_lock.lock();
+        let id = ThreadId(self.rt.threads.read().len() as u32);
+        let join_var = self.rt.register_sync_var(SyncVarKind::Internal).id;
+        let heap = ireplayer_mem::ThreadHeap::new(id.0, self.rt.heap_config());
+        let rng = crate::rng::DetRng::new(self.rt.config.seed).derive(u64::from(id.0));
+        let created_epoch = self.rt.epoch.lock().number;
+        let vt = Arc::new(VThread::new(
+            id,
+            name,
+            heap,
+            rng,
+            join_var,
+            created_epoch,
+            self.rt.config.events_per_thread,
+            self.rt.config.quarantine_bytes,
+        ));
+        {
+            let mut control = vt.control.lock();
+            control.command = Some(Command::Run {
+                target: None,
+                expect_fault: false,
+            });
+        }
+        self.rt.threads.write().push(vt.clone());
+        if self.rt.recording() {
+            sync::record_thread_create(self.rt, self.vt, id);
+        }
+        let rt2 = Arc::clone(self.rt);
+        let vt2 = Arc::clone(&vt);
+        let handle = std::thread::Builder::new()
+            .name(format!("ireplayer-{}", id.0))
+            .spawn(move || crate::exec::thread_main(rt2, vt2, body))
+            .expect("failed to spawn an OS thread for an application thread");
+        self.rt.os_threads.lock().push(handle);
+        JoinHandle(id)
+    }
+
+    /// Waits for the thread behind `handle` to finish.
+    pub fn join(&mut self, handle: JoinHandle) {
+        let child = self.rt.thread(handle.0);
+        // Wait until the child's body has returned `Done` (in replay it will
+        // do so again after re-executing its recorded steps).
+        {
+            let mut control = child.control.lock();
+            loop {
+                if matches!(control.phase, ThreadPhase::Finished | ThreadPhase::Reclaimed) {
+                    break;
+                }
+                if self.rt.abort_pending() {
+                    drop(control);
+                    unwind_with(UnwindSignal::EpochAbort);
+                }
+                if self.rt.epoch_end_pending() && !self.rt.replaying() && !self.vt.step_is_dirty()
+                {
+                    drop(control);
+                    unwind_with(UnwindSignal::ReparkCleanStep);
+                }
+                child
+                    .control_cv
+                    .wait_for(&mut control, Duration::from_millis(2));
+            }
+        }
+        if self.rt.replaying() {
+            sync::replay_thread_join(self.rt, self.vt, &child);
+        } else if self.rt.recording() {
+            sync::mark_dirty(self.vt);
+            sync::record_thread_join(self.rt, self.vt, &child);
+        }
+        child.control.lock().joined = true;
+    }
+
+    // ------------------------------------------------------------------
+    // System calls.
+    // ------------------------------------------------------------------
+
+    /// `getpid()` -- repeatable, never recorded.
+    pub fn getpid(&mut self) -> u32 {
+        syscall::syscall_prologue(self.rt, self.vt);
+        self.rt.os.getpid()
+    }
+
+    /// `gettimeofday()` in nanoseconds -- recordable.
+    pub fn now_ns(&mut self) -> u64 {
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.os.gettime_ns(),
+            ExecPhase::Recording => {
+                let now = self.rt.os.gettime_ns();
+                syscall::record_syscall(
+                    self.rt,
+                    self.vt,
+                    SyscallKind::GetTime,
+                    SyscallOutcome::ret(now as i64),
+                );
+                now
+            }
+            ExecPhase::Replaying => {
+                syscall::replay_syscall(self.rt, self.vt, SyscallKind::GetTime).ret as u64
+            }
+        }
+    }
+
+    fn recordable_fd_call(
+        &mut self,
+        kind: SyscallKind,
+        exec: impl FnOnce(&RtInner) -> Result<i32, ireplayer_sys::SysError>,
+    ) -> Option<i32> {
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => exec(self.rt.as_ref()).ok(),
+            ExecPhase::Recording => {
+                let result = exec(self.rt.as_ref());
+                let ret = match &result {
+                    Ok(fd) => i64::from(*fd),
+                    Err(_) => -1,
+                };
+                syscall::record_syscall(self.rt, self.vt, kind, SyscallOutcome::ret(ret));
+                result.ok()
+            }
+            ExecPhase::Replaying => {
+                let outcome = syscall::replay_syscall(self.rt, self.vt, kind);
+                if outcome.ret < 0 {
+                    None
+                } else {
+                    Some(outcome.ret as i32)
+                }
+            }
+        }
+    }
+
+    /// `open(path)` -- recordable.  Returns the descriptor, or `None` if the
+    /// file does not exist.
+    pub fn open(&mut self, path: &str) -> Option<i32> {
+        let path = path.to_owned();
+        self.recordable_fd_call(SyscallKind::Open, move |rt| rt.os.open(&path))
+    }
+
+    /// `open`-or-create -- recordable.
+    pub fn open_create(&mut self, path: &str) -> Option<i32> {
+        let path = path.to_owned();
+        self.recordable_fd_call(SyscallKind::Open, move |rt| rt.os.open_create(&path))
+    }
+
+    /// `dup(fd)` -- recordable.
+    pub fn dup(&mut self, fd: i32) -> Option<i32> {
+        self.recordable_fd_call(SyscallKind::Dup, move |rt| rt.os.dup(fd))
+    }
+
+    /// `connect(address)` -- recordable.
+    pub fn connect(&mut self, address: &str) -> Option<i32> {
+        let address = address.to_owned();
+        self.recordable_fd_call(SyscallKind::SocketConnect, move |rt| {
+            rt.os.socket_connect(&address)
+        })
+    }
+
+    /// `accept(address)` on a listening endpoint -- recordable.  Returns
+    /// `None` when no client is pending.
+    pub fn accept(&mut self, address: &str) -> Option<i32> {
+        let address = address.to_owned();
+        self.recordable_fd_call(SyscallKind::SocketAccept, move |rt| {
+            rt.os.socket_accept(&address)
+        })
+    }
+
+    /// `read(fd, len)` on a regular file -- revocable: re-issued during
+    /// replay after file positions are restored.
+    #[track_caller]
+    pub fn read(&mut self, fd: i32, len: usize) -> Vec<u8> {
+        let site = self.site(Location::caller());
+        syscall::syscall_prologue(self.rt, self.vt);
+        if self.rt.replaying() {
+            // Verify the marker, then re-issue the call against the restored
+            // file position.
+            let _ = syscall::replay_syscall(self.rt, self.vt, SyscallKind::FileRead);
+            return self.rt.os.file_read(fd, len).unwrap_or_default();
+        }
+        match self.rt.os.file_read(fd, len) {
+            Ok(data) => {
+                if self.rt.recording() {
+                    syscall::record_syscall(
+                        self.rt,
+                        self.vt,
+                        SyscallKind::FileRead,
+                        SyscallOutcome::ret(data.len() as i64),
+                    );
+                }
+                data
+            }
+            Err(e) => self.sys_fault(e, site),
+        }
+    }
+
+    /// `write(fd, data)` on a regular file -- revocable.
+    #[track_caller]
+    pub fn write(&mut self, fd: i32, data: &[u8]) -> usize {
+        let site = self.site(Location::caller());
+        syscall::syscall_prologue(self.rt, self.vt);
+        if self.rt.replaying() {
+            let _ = syscall::replay_syscall(self.rt, self.vt, SyscallKind::FileWrite);
+            return self.rt.os.file_write(fd, data).unwrap_or(0);
+        }
+        match self.rt.os.file_write(fd, data) {
+            Ok(written) => {
+                if self.rt.recording() {
+                    syscall::record_syscall(
+                        self.rt,
+                        self.vt,
+                        SyscallKind::FileWrite,
+                        SyscallOutcome::ret(written as i64),
+                    );
+                }
+                written
+            }
+            Err(e) => self.sys_fault(e, site),
+        }
+    }
+
+    /// `recv(fd, len)` on a socket -- recordable: the bytes are logged and
+    /// served from the log during replay.
+    #[track_caller]
+    pub fn recv(&mut self, fd: i32, len: usize) -> Vec<u8> {
+        let site = self.site(Location::caller());
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.os.socket_read(fd, len).unwrap_or_default(),
+            ExecPhase::Recording => match self.rt.os.socket_read(fd, len) {
+                Ok(data) => {
+                    syscall::record_syscall(
+                        self.rt,
+                        self.vt,
+                        SyscallKind::SocketRead,
+                        SyscallOutcome::with_data(data.len() as i64, data.clone()),
+                    );
+                    data
+                }
+                Err(e) => self.sys_fault(e, site),
+            },
+            ExecPhase::Replaying => {
+                syscall::replay_syscall(self.rt, self.vt, SyscallKind::SocketRead).data
+            }
+        }
+    }
+
+    /// `send(fd, data)` on a socket -- recordable: the bytes are not
+    /// re-transmitted during replay.
+    #[track_caller]
+    pub fn send(&mut self, fd: i32, data: &[u8]) -> usize {
+        let site = self.site(Location::caller());
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.os.socket_write(fd, data).unwrap_or(0),
+            ExecPhase::Recording => match self.rt.os.socket_write(fd, data) {
+                Ok(sent) => {
+                    syscall::record_syscall(
+                        self.rt,
+                        self.vt,
+                        SyscallKind::SocketWrite,
+                        SyscallOutcome::ret(sent as i64),
+                    );
+                    sent
+                }
+                Err(e) => self.sys_fault(e, site),
+            },
+            ExecPhase::Replaying => {
+                syscall::replay_syscall(self.rt, self.vt, SyscallKind::SocketWrite).ret as usize
+            }
+        }
+    }
+
+    /// `epoll_wait`-style readiness query -- recordable.
+    pub fn poll(&mut self, fds: &[i32]) -> Vec<i32> {
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.os.poll_readable(fds),
+            ExecPhase::Recording => {
+                let ready = self.rt.os.poll_readable(fds);
+                let data: Vec<u8> = ready.iter().flat_map(|fd| fd.to_le_bytes()).collect();
+                syscall::record_syscall(
+                    self.rt,
+                    self.vt,
+                    SyscallKind::PollWait,
+                    SyscallOutcome::with_data(ready.len() as i64, data),
+                );
+                ready
+            }
+            ExecPhase::Replaying => {
+                let outcome = syscall::replay_syscall(self.rt, self.vt, SyscallKind::PollWait);
+                outcome
+                    .data
+                    .chunks_exact(4)
+                    .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect()
+            }
+        }
+    }
+
+    /// `lseek(fd, offset, whence)`.  A repositioning seek is irrevocable and
+    /// closes the current epoch (§2.2.3); a position query is repeatable.
+    #[track_caller]
+    pub fn lseek(&mut self, fd: i32, offset: i64, whence: Whence) -> u64 {
+        let site = self.site(Location::caller());
+        syscall::syscall_prologue(self.rt, self.vt);
+        let repositions = !(offset == 0 && whence == Whence::Cur);
+        if repositions && self.rt.recording() {
+            syscall::irrevocable(self.rt, "lseek");
+        }
+        match self.rt.os.lseek(fd, offset, whence) {
+            Ok(pos) => pos,
+            Err(e) => self.sys_fault(e, site),
+        }
+    }
+
+    /// `close(fd)` -- deferrable: the descriptor is only really closed at
+    /// the next epoch begin so that descriptor values stay reproducible.
+    pub fn close(&mut self, fd: i32) {
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => {
+                let _ = self.rt.os.close(fd);
+            }
+            ExecPhase::Recording => {
+                syscall::defer(self.rt, crate::state::DeferredOp::Close(fd));
+                syscall::record_syscall(
+                    self.rt,
+                    self.vt,
+                    SyscallKind::Close,
+                    SyscallOutcome::ret(0),
+                );
+            }
+            ExecPhase::Replaying => {
+                // The original close was deferred; replay only checks the
+                // marker and re-defers nothing (the deferred queue was
+                // restored by the rollback).
+                let _ = syscall::replay_syscall(self.rt, self.vt, SyscallKind::Close);
+                syscall::defer(self.rt, crate::state::DeferredOp::Close(fd));
+            }
+        }
+    }
+
+    /// `mmap(len)` -- recordable; returns the simulated base address.
+    #[track_caller]
+    pub fn mmap(&mut self, len: u64) -> u64 {
+        let site = self.site(Location::caller());
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.os.mmap(len).unwrap_or(0),
+            ExecPhase::Recording => match self.rt.os.mmap(len) {
+                Ok(addr) => {
+                    syscall::record_syscall(
+                        self.rt,
+                        self.vt,
+                        SyscallKind::Mmap,
+                        SyscallOutcome::ret(addr as i64),
+                    );
+                    addr
+                }
+                Err(e) => self.sys_fault(e, site),
+            },
+            ExecPhase::Replaying => {
+                syscall::replay_syscall(self.rt, self.vt, SyscallKind::Mmap).ret as u64
+            }
+        }
+    }
+
+    /// `munmap(addr)` -- deferrable.
+    pub fn munmap(&mut self, addr: u64) {
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => {
+                let _ = self.rt.os.munmap(addr);
+            }
+            ExecPhase::Recording => {
+                syscall::defer(self.rt, crate::state::DeferredOp::Munmap(addr));
+                syscall::record_syscall(
+                    self.rt,
+                    self.vt,
+                    SyscallKind::Munmap,
+                    SyscallOutcome::ret(0),
+                );
+            }
+            ExecPhase::Replaying => {
+                let _ = syscall::replay_syscall(self.rt, self.vt, SyscallKind::Munmap);
+                syscall::defer(self.rt, crate::state::DeferredOp::Munmap(addr));
+            }
+        }
+    }
+
+    /// `fcntl(fd, F_GETFL)` -- repeatable.
+    pub fn fcntl_get(&mut self, fd: i32) -> i64 {
+        syscall::syscall_prologue(self.rt, self.vt);
+        self.rt.os.fcntl_get(fd).unwrap_or(-1)
+    }
+
+    /// `fork()` -- irrevocable: executes, then closes the current epoch.
+    pub fn fork(&mut self) -> u32 {
+        syscall::syscall_prologue(self.rt, self.vt);
+        if self.rt.recording() {
+            syscall::irrevocable(self.rt, "fork");
+        }
+        self.rt.os.fork()
+    }
+
+    #[track_caller]
+    fn sys_fault(&mut self, error: ireplayer_sys::SysError, site: SiteId) -> ! {
+        self.rt.raise_fault(
+            self.vt,
+            FaultKind::Panic {
+                message: format!("system call failed: {error}"),
+            },
+            Some(site),
+        )
+    }
+}
+
+impl std::fmt::Debug for ThreadCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("thread", &self.vt.id)
+            .field("phase", &self.rt.phase())
+            .finish_non_exhaustive()
+    }
+}

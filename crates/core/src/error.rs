@@ -1,0 +1,139 @@
+//! Error type of the runtime.
+
+use std::fmt;
+
+use ireplayer_mem::MemError;
+use ireplayer_sys::SysError;
+
+use crate::fault::FaultRecord;
+
+/// Errors returned by [`crate::Runtime`] operations.
+#[derive(Debug, Clone)]
+pub enum RuntimeError {
+    /// The runtime configuration is invalid.
+    InvalidConfig(String),
+    /// A managed-memory operation failed in a context where it cannot be
+    /// turned into an application fault (e.g. while checkpointing).
+    Memory(MemError),
+    /// A simulated system call failed in a context where the failure cannot
+    /// be surfaced to the application.
+    Sys(SysError),
+    /// The program faulted (memory error, explicit crash, panic, assertion)
+    /// and the run was terminated after diagnosis.
+    Faulted(FaultRecord),
+    /// The coordinator could not bring all threads to a step-boundary
+    /// quiescent state within the configured timeout.  This indicates the
+    /// program violates the bounded-step discipline described in the crate
+    /// documentation (for example, a thread blocks forever on a wait that no
+    /// concurrently running step will satisfy).
+    QuiescenceTimeout {
+        /// Threads that never reached a step boundary.
+        stuck_threads: Vec<u32>,
+    },
+    /// The recorded epoch could not be reproduced within the configured
+    /// maximum number of replay attempts.
+    ReplayBudgetExhausted {
+        /// Number of attempts performed.
+        attempts: u32,
+    },
+    /// A replay was requested for an epoch containing an irrevocable system
+    /// call, which cannot be rolled back.
+    UnreplayableEpoch {
+        /// Name of the irrevocable call.
+        syscall: &'static str,
+    },
+    /// The program requested a replay but the runtime is in passthrough
+    /// mode, where nothing is recorded.
+    RecordingDisabled,
+    /// An application thread panicked with a payload the runtime does not
+    /// understand (a genuine application panic, not a runtime signal).
+    ApplicationPanic(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            RuntimeError::Memory(e) => write!(f, "managed memory error: {e}"),
+            RuntimeError::Sys(e) => write!(f, "simulated OS error: {e}"),
+            RuntimeError::Faulted(fault) => write!(f, "program faulted: {fault}"),
+            RuntimeError::QuiescenceTimeout { stuck_threads } => write!(
+                f,
+                "threads {stuck_threads:?} never reached a step boundary (bounded-step discipline violated)"
+            ),
+            RuntimeError::ReplayBudgetExhausted { attempts } => {
+                write!(f, "no matching schedule found after {attempts} replay attempts")
+            }
+            RuntimeError::UnreplayableEpoch { syscall } => write!(
+                f,
+                "the current epoch contains the irrevocable system call {syscall} and cannot be replayed"
+            ),
+            RuntimeError::RecordingDisabled => {
+                write!(f, "replay requested but recording is disabled (passthrough mode)")
+            }
+            RuntimeError::ApplicationPanic(msg) => write!(f, "application panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<MemError> for RuntimeError {
+    fn from(e: MemError) -> Self {
+        RuntimeError::Memory(e)
+    }
+}
+
+impl From<SysError> for RuntimeError {
+    fn from(e: SysError) -> Self {
+        RuntimeError::Sys(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultRecord};
+    use ireplayer_log::ThreadId;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants: Vec<RuntimeError> = vec![
+            RuntimeError::InvalidConfig("x".into()),
+            RuntimeError::Memory(MemError::NoWatchpointSlot),
+            RuntimeError::Sys(SysError::WouldBlock),
+            RuntimeError::Faulted(FaultRecord {
+                thread: ThreadId(1),
+                kind: FaultKind::ExplicitCrash {
+                    message: "boom".into(),
+                },
+                site: None,
+                epoch: 0,
+            }),
+            RuntimeError::QuiescenceTimeout {
+                stuck_threads: vec![2],
+            },
+            RuntimeError::ReplayBudgetExhausted { attempts: 5 },
+            RuntimeError::UnreplayableEpoch { syscall: "fork" },
+            RuntimeError::RecordingDisabled,
+            RuntimeError::ApplicationPanic("oops".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let mem: RuntimeError = MemError::NoWatchpointSlot.into();
+        assert!(matches!(mem, RuntimeError::Memory(_)));
+        let sys: RuntimeError = SysError::WouldBlock.into();
+        assert!(matches!(sys, RuntimeError::Sys(_)));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

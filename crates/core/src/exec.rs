@@ -1,0 +1,194 @@
+//! The per-thread execution loop.
+//!
+//! Every application thread is backed by one OS thread running
+//! [`thread_main`]: it waits for a command from the coordinator, executes
+//! steps of the application body until the segment ends (stop requested,
+//! replay target reached, body finished, abort, or fault), parks, and
+//! reports back.  Threads are kept alive across epoch boundaries -- and
+//! across rollbacks -- exactly as the paper keeps threads alive to preserve
+//! their identifiers and stacks (§3.2.1).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::context::ThreadCtx;
+use crate::fault::{FaultKind, UnwindSignal};
+use crate::program::{BodyFn, Step};
+use crate::state::{Command, RtInner, SegmentEnd, ThreadPhase, VThread};
+
+/// Poll slice for command waits.
+const COMMAND_WAIT: Duration = Duration::from_millis(5);
+
+/// Entry point of every application OS thread.
+pub(crate) fn thread_main(rt: Arc<RtInner>, vt: Arc<VThread>, mut body: BodyFn) {
+    loop {
+        let command = wait_for_command(&rt, &vt);
+        match command {
+            Command::Exit => {
+                set_phase(&rt, &vt, ThreadPhase::Reclaimed);
+                return;
+            }
+            Command::Run { target, expect_fault } => {
+                set_phase(&rt, &vt, ThreadPhase::Running);
+                crate::state::rt_trace!("{:?} running segment target={target:?}", vt.id);
+                let end = run_segment(&rt, &vt, &mut body, target, expect_fault);
+                crate::state::rt_trace!(
+                    "{:?} segment end {:?} steps={}",
+                    vt.id,
+                    end,
+                    vt.control.lock().segment_steps
+                );
+                let phase = match end {
+                    SegmentEnd::Finished => ThreadPhase::Finished,
+                    _ => ThreadPhase::Parked,
+                };
+                {
+                    let mut control = vt.control.lock();
+                    control.last_segment_end = Some(end);
+                    control.command = None;
+                    control.phase = phase;
+                }
+                vt.notify();
+                rt.poke_world();
+            }
+        }
+    }
+}
+
+/// Blocks until the coordinator issues a command (and, during replay, until
+/// the thread's creation event has been replayed when applicable).
+fn wait_for_command(rt: &RtInner, vt: &VThread) -> Command {
+    let mut control = vt.control.lock();
+    loop {
+        if let Some(command) = control.command {
+            if !control.awaiting_creation {
+                return command;
+            }
+        }
+        vt.control_cv.wait_for(&mut control, COMMAND_WAIT);
+        let _ = rt;
+    }
+}
+
+fn set_phase(rt: &RtInner, vt: &VThread, phase: ThreadPhase) {
+    {
+        let mut control = vt.control.lock();
+        control.phase = phase;
+    }
+    vt.notify();
+    rt.poke_world();
+}
+
+/// Runs steps until the segment ends.
+fn run_segment(
+    rt: &Arc<RtInner>,
+    vt: &Arc<VThread>,
+    body: &mut BodyFn,
+    target: Option<u64>,
+    expect_fault: bool,
+) -> SegmentEnd {
+    loop {
+        // Step-boundary checks.
+        {
+            let control = vt.control.lock();
+            debug_assert!(
+                control.held_locks.is_empty(),
+                "locks must not be held across step boundaries (thread {:?})",
+                vt.id
+            );
+            let steps = control.segment_steps;
+            drop(control);
+            if let Some(target) = target {
+                if steps >= target {
+                    // Replay: the recorded number of steps has been re-run.
+                    // If recorded events remain, they belong to a step that
+                    // was interrupted mid-way in the original epoch; drain
+                    // them by running further (bounded) steps.
+                    if vt.list.lock().replay_complete() || !rt.replaying() {
+                        return SegmentEnd::TargetReached;
+                    }
+                }
+            }
+        }
+        if rt.abort_pending() {
+            return SegmentEnd::Aborted;
+        }
+        if rt.epoch_end_pending() && !rt.replaying() {
+            return SegmentEnd::Stopped;
+        }
+
+        // Execute one step.
+        vt.step_dirty.store(false, Ordering::Release);
+        let outcome = {
+            let mut ctx = ThreadCtx::new(rt, vt);
+            std::panic::catch_unwind(AssertUnwindSafe(|| (body)(&mut ctx)))
+        };
+
+        match outcome {
+            Ok(Step::Yield) => {
+                let mut control = vt.control.lock();
+                control.segment_steps += 1;
+                drop(control);
+                vt.total_steps.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Step::Done) => {
+                let mut control = vt.control.lock();
+                control.segment_steps += 1;
+                drop(control);
+                vt.total_steps.fetch_add(1, Ordering::Relaxed);
+                return SegmentEnd::Finished;
+            }
+            Err(payload) => match payload.downcast_ref::<UnwindSignal>() {
+                Some(UnwindSignal::EpochAbort) => return SegmentEnd::Aborted,
+                Some(UnwindSignal::Fault) => {
+                    if expect_fault {
+                        // A diagnostic replay reproduced the original fault:
+                        // this is the expected end of the segment.
+                        return SegmentEnd::Faulted;
+                    }
+                    return SegmentEnd::Faulted;
+                }
+                Some(UnwindSignal::ReparkCleanStep) => {
+                    // The step blocked before doing anything while an epoch
+                    // end was pending; it will be re-run next epoch.
+                    if rt.replaying() {
+                        // During replay this signal is only produced by a
+                        // drain-mode thread that consumed its whole log.
+                        return SegmentEnd::TargetReached;
+                    }
+                    return SegmentEnd::Stopped;
+                }
+                None => {
+                    // A genuine application panic: convert it into a fault.
+                    let message = panic_message(payload.as_ref());
+                    register_panic_fault(rt, vt, message);
+                    return SegmentEnd::Faulted;
+                }
+            },
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_owned()
+    }
+}
+
+fn register_panic_fault(rt: &RtInner, vt: &VThread, message: String) {
+    let record = crate::fault::FaultRecord {
+        thread: vt.id,
+        kind: FaultKind::Panic { message },
+        site: None,
+        epoch: rt.epoch.lock().number,
+    };
+    rt.epoch.lock().faults.push(record);
+    rt.abort_requested.store(true, Ordering::Release);
+    rt.poke_world();
+}

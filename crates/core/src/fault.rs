@@ -1,0 +1,210 @@
+//! Application faults and the unwinding signals the runtime uses internally.
+//!
+//! In the original system, faults are POSIX signals (`SIGSEGV`, `SIGABRT`)
+//! intercepted by installed handlers; iReplayer stops the epoch, and either
+//! terminates with a report or rolls back and replays for diagnosis (§3.4,
+//! §4.3).  In the managed substrate, faults are produced by the runtime
+//! itself -- an out-of-bounds managed access is the analogue of a
+//! segmentation fault -- or explicitly by the application.
+//!
+//! Internally, faults (and the "abort this re-execution" signal) travel out
+//! of application code by unwinding with a typed payload, which the
+//! per-thread step loop catches.  This plays the role of the signal handler
+//! plus `setcontext` dance of §3.4: the half-executed step's effects on
+//! managed memory are discarded by the rollback's memory restore.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ireplayer_log::ThreadId;
+use ireplayer_mem::MemAddr;
+
+use crate::site::Site;
+
+/// The kinds of application faults the runtime recognizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// An access outside the managed arena or through a null/dangling
+    /// address -- the analogue of `SIGSEGV`.
+    SegFault {
+        /// Faulting address.
+        addr: MemAddr,
+        /// Length of the faulting access.
+        len: usize,
+        /// Whether the access was a write.
+        is_write: bool,
+    },
+    /// `free` of an address that is not a live allocation.
+    InvalidFree {
+        /// The address passed to `free`.
+        addr: MemAddr,
+    },
+    /// A second `free` of the same allocation.
+    DoubleFree {
+        /// The address passed to `free`.
+        addr: MemAddr,
+    },
+    /// The managed heap is exhausted -- the analogue of an aborting
+    /// allocation failure.
+    OutOfMemory {
+        /// Size of the failing request.
+        requested: usize,
+    },
+    /// The application called [`crate::ThreadCtx::crash`] (assertion
+    /// failure / `abort()` analogue).
+    ExplicitCrash {
+        /// Message supplied by the application.
+        message: String,
+    },
+    /// The application's step closure panicked.
+    Panic {
+        /// The panic message, if it was a string.
+        message: String,
+    },
+    /// An application-level assertion failed
+    /// ([`crate::ThreadCtx::assert_that`]).
+    AssertionFailure {
+        /// Message supplied by the application.
+        message: String,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::SegFault { addr, len, is_write } => {
+                let op = if *is_write { "write" } else { "read" };
+                write!(f, "segmentation fault: {op} of {len} bytes at {addr}")
+            }
+            FaultKind::InvalidFree { addr } => write!(f, "invalid free of {addr}"),
+            FaultKind::DoubleFree { addr } => write!(f, "double free of {addr}"),
+            FaultKind::OutOfMemory { requested } => {
+                write!(f, "out of managed memory allocating {requested} bytes")
+            }
+            FaultKind::ExplicitCrash { message } => write!(f, "abort: {message}"),
+            FaultKind::Panic { message } => write!(f, "panic: {message}"),
+            FaultKind::AssertionFailure { message } => write!(f, "assertion failed: {message}"),
+        }
+    }
+}
+
+/// A fault observed during an execution, with the context needed for
+/// reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Thread that faulted.
+    pub thread: ThreadId,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Source location of the faulting operation, when known.
+    pub site: Option<Site>,
+    /// Epoch in which the fault occurred.
+    pub epoch: u64,
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in epoch {}: {}", self.thread, self.epoch, self.kind)?;
+        if let Some(site) = &self.site {
+            write!(f, " at {site}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The payload carried by runtime-initiated unwinds of application steps.
+///
+/// The per-thread step loop downcasts panic payloads to this type; anything
+/// else is a genuine application panic and becomes a [`FaultKind::Panic`].
+#[derive(Debug, Clone)]
+pub enum UnwindSignal {
+    /// The step faulted; the record has already been registered with the
+    /// runtime.
+    Fault,
+    /// The coordinator aborted the current re-execution (divergence or a new
+    /// rollback); the step's partial effects will be discarded by the
+    /// memory restore.
+    EpochAbort,
+    /// The step blocked before performing any side effect while an epoch
+    /// end was pending; it is safe to re-run it from the start in the next
+    /// epoch, so the thread parks at the step boundary without counting the
+    /// step.
+    ReparkCleanStep,
+}
+
+/// Unwinds the current application step with the given runtime signal.
+///
+/// # Panics
+///
+/// Always panics (by design); the panic is caught by the runtime's step
+/// loop.
+pub(crate) fn unwind_with(signal: UnwindSignal) -> ! {
+    std::panic::panic_any(signal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kinds_display_meaningfully() {
+        let kinds = [
+            FaultKind::SegFault {
+                addr: MemAddr::new(0),
+                len: 8,
+                is_write: true,
+            },
+            FaultKind::InvalidFree {
+                addr: MemAddr::new(64),
+            },
+            FaultKind::DoubleFree {
+                addr: MemAddr::new(64),
+            },
+            FaultKind::OutOfMemory { requested: 128 },
+            FaultKind::ExplicitCrash {
+                message: "bad state".into(),
+            },
+            FaultKind::Panic {
+                message: "index out of bounds".into(),
+            },
+            FaultKind::AssertionFailure {
+                message: "x == y".into(),
+            },
+        ];
+        for kind in kinds {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn records_mention_thread_epoch_and_site() {
+        let record = FaultRecord {
+            thread: ThreadId(2),
+            kind: FaultKind::ExplicitCrash {
+                message: "boom".into(),
+            },
+            site: Some(Site {
+                file: "app.rs".into(),
+                line: 10,
+                column: 5,
+            }),
+            epoch: 3,
+        };
+        let text = record.to_string();
+        assert!(text.contains("T2"));
+        assert!(text.contains("epoch 3"));
+        assert!(text.contains("app.rs:10:5"));
+
+        let without_site = FaultRecord { site: None, ..record };
+        assert!(!without_site.to_string().contains("app.rs"));
+    }
+
+    #[test]
+    fn unwind_signal_is_catchable() {
+        let result = std::panic::catch_unwind(|| unwind_with(UnwindSignal::EpochAbort));
+        let payload = result.unwrap_err();
+        let signal = payload.downcast_ref::<UnwindSignal>().unwrap();
+        assert!(matches!(signal, UnwindSignal::EpochAbort));
+    }
+}

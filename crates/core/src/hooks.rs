@@ -1,0 +1,246 @@
+//! Tool hooks: the extension points used by the detection and debugging
+//! tools of paper §4, and the instrumentation interface used by the
+//! comparison baselines (CLAP path recording, AddressSanitizer-style
+//! checking).
+
+use ireplayer_log::ThreadId;
+use ireplayer_mem::{CorruptedCanary, MemAddr, Span, UafEvidence};
+
+use crate::fault::FaultRecord;
+use crate::site::Site;
+use crate::stats::WatchHitReport;
+
+/// What a tool asks the runtime to do at an epoch boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochDecision {
+    /// Proceed to the next epoch.
+    Continue,
+    /// Roll back and replay the last epoch for diagnosis.
+    Replay(ReplayRequest),
+}
+
+/// A request for a diagnostic replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayRequest {
+    /// Address ranges to watch during the replay (at most four are
+    /// installed per replay, as with hardware debug registers; the rest are
+    /// deferred to further replays).
+    pub watch: Vec<Span>,
+    /// Human-readable reason, included in reports.
+    pub reason: String,
+}
+
+impl ReplayRequest {
+    /// Creates a request with a reason and no watchpoints.
+    pub fn because(reason: impl Into<String>) -> Self {
+        ReplayRequest {
+            watch: Vec::new(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Adds a watched range.
+    pub fn watch(mut self, span: Span) -> Self {
+        self.watch.push(span);
+        self
+    }
+}
+
+/// Read-only view of the runtime state offered to tools at epoch boundaries
+/// and during replays.
+///
+/// The concrete type lives in the runtime module; tools receive it as a
+/// trait object so that the runtime's internals stay private.
+pub trait EpochView {
+    /// Epoch number (0-based).
+    fn epoch(&self) -> u64;
+
+    /// Scans all allocation canaries and returns the corrupted ones
+    /// (overflow evidence, §4.1).  Canaries must have been enabled in the
+    /// configuration.
+    fn corrupted_canaries(&self) -> Vec<CorruptedCanary>;
+
+    /// Scans the quarantine and returns modified freed objects
+    /// (use-after-free evidence, §4.2).  The quarantine must have been
+    /// enabled in the configuration.
+    fn use_after_free_evidence(&self) -> Vec<UafEvidence>;
+
+    /// Reads managed memory (for tools that inspect application data).
+    fn read_bytes(&self, addr: MemAddr, len: usize) -> Vec<u8>;
+
+    /// Source location of the allocation containing `addr`, if the runtime
+    /// knows it.
+    fn alloc_site(&self, addr: MemAddr) -> Option<Site>;
+
+    /// Source location of the free of the quarantined object at `payload`.
+    fn free_site(&self, payload: MemAddr) -> Option<Site>;
+
+    /// Faults recorded so far in this epoch.
+    fn faults(&self) -> Vec<FaultRecord>;
+
+    /// Watchpoint hits observed so far (meaningful after a replay).
+    fn watch_hits(&self) -> Vec<WatchHitReport>;
+}
+
+/// A tool that participates in epoch boundaries and replays.
+///
+/// All methods have default implementations so a tool only overrides what
+/// it needs.  Tools use interior mutability for their own state; hook
+/// methods may be called from the coordinator thread at any epoch boundary.
+pub trait ToolHook: Send + Sync {
+    /// Name used in reports.
+    fn name(&self) -> &str;
+
+    /// Called at the end of every epoch, before the continue/replay
+    /// decision.  The first hook returning [`EpochDecision::Replay`] wins;
+    /// watch requests from all hooks are merged.
+    fn at_epoch_end(&self, view: &dyn EpochView) -> EpochDecision {
+        let _ = view;
+        EpochDecision::Continue
+    }
+
+    /// Called when a fault is intercepted, before the diagnostic replay.
+    /// Returns additional address ranges to watch during that replay.
+    fn on_fault(&self, fault: &FaultRecord, view: &dyn EpochView) -> Vec<Span> {
+        let _ = (fault, view);
+        Vec::new()
+    }
+
+    /// Called for every watchpoint hit during a replay.
+    fn on_watch_hit(&self, hit: &WatchHitReport) {
+        let _ = hit;
+    }
+
+    /// Called after a replay finishes (matched or not).
+    fn after_replay(&self, view: &dyn EpochView, matched: bool, attempts: u32) {
+        let _ = (view, matched, attempts);
+    }
+}
+
+/// Low-level execution instrumentation, used by the comparison baselines:
+/// the CLAP recorder consumes branch/function events, the
+/// AddressSanitizer-style checker consumes loads and stores.
+///
+/// The default implementation of every method is empty, and the runtime
+/// only consults the instrument when one is installed, so the iReplayer
+/// configurations pay nothing for this interface.
+pub trait Instrument: Send + Sync {
+    /// A branch (Ball-Larus edge) was taken by `thread`.
+    fn on_branch(&self, thread: ThreadId, edge: u32) {
+        let _ = (thread, edge);
+    }
+
+    /// A function was entered (`enter = true`) or left.
+    fn on_function(&self, thread: ThreadId, func: u32, enter: bool) {
+        let _ = (thread, func, enter);
+    }
+
+    /// A managed store of `len` bytes at `addr`.
+    fn on_store(&self, thread: ThreadId, addr: MemAddr, len: usize) {
+        let _ = (thread, addr, len);
+    }
+
+    /// A managed load of `len` bytes at `addr`.
+    fn on_load(&self, thread: ThreadId, addr: MemAddr, len: usize) {
+        let _ = (thread, addr, len);
+    }
+
+    /// An allocation of `size` bytes returned `payload`.
+    fn on_alloc(&self, thread: ThreadId, payload: MemAddr, size: usize) {
+        let _ = (thread, payload, size);
+    }
+
+    /// The allocation at `payload` (of `size` bytes) was freed.
+    fn on_free(&self, thread: ThreadId, payload: MemAddr, size: usize) {
+        let _ = (thread, payload, size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NullTool;
+    impl ToolHook for NullTool {
+        fn name(&self) -> &str {
+            "null"
+        }
+    }
+
+    struct NullInstrument;
+    impl Instrument for NullInstrument {}
+
+    struct FakeView;
+    impl EpochView for FakeView {
+        fn epoch(&self) -> u64 {
+            7
+        }
+        fn corrupted_canaries(&self) -> Vec<CorruptedCanary> {
+            Vec::new()
+        }
+        fn use_after_free_evidence(&self) -> Vec<UafEvidence> {
+            Vec::new()
+        }
+        fn read_bytes(&self, _addr: MemAddr, len: usize) -> Vec<u8> {
+            vec![0; len]
+        }
+        fn alloc_site(&self, _addr: MemAddr) -> Option<Site> {
+            None
+        }
+        fn free_site(&self, _payload: MemAddr) -> Option<Site> {
+            None
+        }
+        fn faults(&self) -> Vec<FaultRecord> {
+            Vec::new()
+        }
+        fn watch_hits(&self) -> Vec<WatchHitReport> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn default_hook_continues_and_requests_nothing() {
+        let tool = NullTool;
+        let view = FakeView;
+        assert_eq!(tool.name(), "null");
+        assert_eq!(tool.at_epoch_end(&view), EpochDecision::Continue);
+        let fault = FaultRecord {
+            thread: ThreadId(0),
+            kind: crate::fault::FaultKind::ExplicitCrash {
+                message: "x".into(),
+            },
+            site: None,
+            epoch: 0,
+        };
+        assert!(tool.on_fault(&fault, &view).is_empty());
+        // Default no-op notifications do not panic.
+        tool.after_replay(&view, true, 1);
+        let instrument = NullInstrument;
+        instrument.on_branch(ThreadId(0), 1);
+        instrument.on_store(ThreadId(0), MemAddr::new(8), 8);
+        instrument.on_alloc(ThreadId(0), MemAddr::new(8), 8);
+        instrument.on_free(ThreadId(0), MemAddr::new(8), 8);
+        instrument.on_load(ThreadId(0), MemAddr::new(8), 8);
+        instrument.on_function(ThreadId(0), 1, true);
+    }
+
+    #[test]
+    fn replay_requests_accumulate_watches() {
+        let request = ReplayRequest::because("canary corrupted")
+            .watch(Span::new(MemAddr::new(100), 8))
+            .watch(Span::new(MemAddr::new(200), 8));
+        assert_eq!(request.watch.len(), 2);
+        assert_eq!(request.reason, "canary corrupted");
+        assert_eq!(
+            EpochDecision::Replay(request.clone()),
+            EpochDecision::Replay(request)
+        );
+    }
+
+    #[test]
+    fn view_defaults_expose_epoch() {
+        let view = FakeView;
+        assert_eq!(view.epoch(), 7);
+        assert_eq!(view.read_bytes(MemAddr::new(1), 4), vec![0; 4]);
+    }
+}

@@ -1,0 +1,100 @@
+//! # iReplayer-rs: in-situ and identical record-and-replay
+//!
+//! A Rust reproduction of *iReplayer: In-situ and Identical
+//! Record-and-Replay for Multithreaded Applications* (Liu et al., PLDI
+//! 2018).
+//!
+//! The runtime executes a multithreaded [`Program`] while recording only the
+//! order of synchronizations and the results of non-repeatable system calls,
+//! dividing the execution into epochs.  On demand -- evidence of a memory
+//! error, a fault, or an explicit request -- it rolls the *same* process
+//! back to the beginning of the last epoch and re-executes it **in situ**,
+//! enforcing the recorded order, detecting divergence caused by data races,
+//! and retrying with randomized delays until the re-execution matches.  The
+//! replay is **identical**: same thread identifiers, same heap layout, same
+//! file descriptors, same system-call results.
+//!
+//! ## Architecture
+//!
+//! * application memory lives in a managed arena with a deterministic
+//!   per-thread heap ([`ireplayer_mem`]);
+//! * synchronization and system-call events are recorded in per-thread and
+//!   per-variable lists ([`ireplayer_log`]);
+//! * system calls run against a simulated OS ([`ireplayer_sys`]) and are
+//!   classified as repeatable / recordable / revocable / deferrable /
+//!   irrevocable;
+//! * threads are step-structured (see [`Program`] and DESIGN.md): the
+//!   runtime checkpoints managed state at step-boundary quiescence and
+//!   re-invokes the step closures after a rollback, the safe-Rust analogue
+//!   of the original system's stack checkpointing.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ireplayer::{Config, Program, Runtime, Step};
+//!
+//! # fn main() -> Result<(), ireplayer::RuntimeError> {
+//! let config = Config::builder()
+//!     .arena_size(8 << 20)
+//!     .heap_block_size(256 << 10)
+//!     .build()?;
+//! let runtime = Runtime::new(config)?;
+//!
+//! let program = Program::new("sum", |ctx| {
+//!     let total = ctx.global("total", 8);
+//!     let lock = ctx.mutex();
+//!     let mut workers = Vec::new();
+//!     for _ in 0..4 {
+//!         workers.push(ctx.spawn("adder", move |ctx| {
+//!             ctx.lock(lock);
+//!             let value = ctx.read_u64(total);
+//!             ctx.write_u64(total, value + 1);
+//!             ctx.unlock(lock);
+//!             Step::Done
+//!         }));
+//!     }
+//!     for worker in workers {
+//!         ctx.join(worker);
+//!     }
+//!     Step::Done
+//! });
+//!
+//! let report = runtime.run(program)?;
+//! assert!(report.outcome.is_success());
+//! # Ok(())
+//! # }
+//! ```
+
+mod alloc;
+mod checkpoint;
+mod config;
+mod context;
+mod error;
+mod exec;
+mod fault;
+mod hooks;
+mod program;
+mod rng;
+mod runtime;
+mod site;
+mod state;
+mod stats;
+mod sync;
+mod syscall;
+
+pub use config::{AllocatorMode, Config, ConfigBuilder, FaultPolicy, RunMode};
+pub use context::{BarrierHandle, CondvarHandle, JoinHandle, MutexHandle, ThreadCtx};
+pub use error::RuntimeError;
+pub use fault::{FaultKind, FaultRecord};
+pub use hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
+pub use program::{BodyFn, Program, Step};
+pub use rng::DetRng;
+pub use runtime::Runtime;
+pub use site::{Site, SiteId};
+pub use stats::{ReplayValidation, RunOutcome, RunReport, WatchHitReport};
+
+// Re-export the substrate types that appear in the public API so downstream
+// users only need this crate.
+pub use ireplayer_log::{Divergence, DivergenceKind, SyncOp, SyscallClass, ThreadId, VarId};
+pub use ireplayer_mem::{DiffStats, MemAddr, Span};
+pub use ireplayer_sys::{PeerScript, SimOs, SyscallKind, Whence};

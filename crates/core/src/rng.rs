@@ -1,0 +1,131 @@
+//! Deterministic per-thread random number generation.
+//!
+//! Applications frequently use pseudo-randomness (workload generators,
+//! randomized algorithms).  For identical replay, a thread's random stream
+//! must restart from the value it had at the epoch begin, so the generator
+//! state is part of the per-thread checkpoint.  The runtime also uses a
+//! generator of its own for the random delays inserted at diverging points
+//! (§3.5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A small, fast, checkpointable PRNG (SplitMix64).
+///
+/// Not cryptographically secure; quality is more than sufficient for
+/// workload generation and delay jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Derives an independent generator for a labelled sub-stream (for
+    /// example one per thread).
+    pub fn derive(&self, label: u64) -> Self {
+        let mut child = DetRng {
+            state: self.state ^ label.wrapping_mul(0xa24b_aed4_963e_e407),
+        };
+        child.next_u64();
+        child
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        // Multiplicative range reduction; bias is negligible for the bounds
+        // used by workloads and delay jitter.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns the raw state, stored in checkpoints.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Restores a state captured with [`DetRng::state`].
+    pub fn restore(&mut self, state: u64) {
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_produce_identical_streams() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn derived_streams_are_independent() {
+        let root = DetRng::new(1);
+        let mut t0 = root.derive(0);
+        let mut t1 = root.derive(1);
+        let s0: Vec<u64> = (0..10).map(|_| t0.next_u64()).collect();
+        let s1: Vec<u64> = (0..10).map(|_| t1.next_u64()).collect();
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn state_checkpoint_restores_the_stream() {
+        let mut rng = DetRng::new(9);
+        rng.next_u64();
+        let saved = rng.state();
+        let expected: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        rng.restore(saved);
+        let replayed: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_eq!(expected, replayed);
+    }
+
+    #[test]
+    fn bounded_values_stay_in_range() {
+        let mut rng = DetRng::new(5);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..50 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+        for _ in 0..100 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bound_panics() {
+        DetRng::new(1).next_below(0);
+    }
+}

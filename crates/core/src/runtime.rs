@@ -1,0 +1,922 @@
+//! The public [`Runtime`] and its coordinator ("supervisor") loop.
+//!
+//! The original iReplayer promotes the thread that triggers an epoch end to
+//! "coordinator" (§3.3).  In this reproduction the coordination duties --
+//! waiting for quiescence, housekeeping, checkpointing, deciding between
+//! continue and rollback, and orchestrating replay attempts -- run on the
+//! thread that called [`Runtime::run`], which supervises the application
+//! threads.  The protocol it implements is the paper's: epochs begin with a
+//! checkpoint (§3.1), end at a safe stop of all threads (§3.3), and can be
+//! rolled back (§3.4) and re-executed under the recorded order with
+//! divergence detection and randomized retry (§3.5).
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ireplayer_log::ThreadId;
+use ireplayer_mem::{CorruptedCanary, MemAddr, MemSnapshot, Span, ThreadHeap, UafEvidence};
+use ireplayer_sys::SimOs;
+
+use crate::checkpoint::{self, Checkpoint};
+use crate::config::{Config, FaultPolicy, RunMode};
+use crate::error::RuntimeError;
+use crate::exec;
+use crate::fault::{FaultRecord, UnwindSignal};
+use crate::hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
+use crate::program::Program;
+use crate::rng::DetRng;
+use crate::site::Site;
+use crate::state::{
+    Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, SyncVarKind, ThreadPhase, VThread,
+};
+use crate::stats::{Counters, ReplayValidation, RunOutcome, RunReport, WatchHitReport};
+
+/// How long the supervisor waits between scans of the world state.
+const SUPERVISOR_SLICE: Duration = Duration::from_millis(5);
+
+/// The in-situ record-and-replay runtime.
+///
+/// A `Runtime` executes one [`Program`]; create a fresh runtime per run.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer::{Config, Program, Runtime, Step};
+///
+/// # fn main() -> Result<(), ireplayer::RuntimeError> {
+/// let config = Config::builder()
+///     .arena_size(8 << 20)
+///     .heap_block_size(256 << 10)
+///     .build()?;
+/// let runtime = Runtime::new(config)?;
+/// let program = Program::new("counter", |ctx| {
+///     let cell = ctx.global("counter", 8);
+///     let value = ctx.read_u64(cell);
+///     ctx.write_u64(cell, value + 1);
+///     if value + 1 == 10 {
+///         ireplayer::Step::Done
+///     } else {
+///         ireplayer::Step::Yield
+///     }
+/// });
+/// # let _ = Step::Yield;
+/// let report = runtime.run(program)?;
+/// assert!(report.outcome.is_success());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Runtime {
+    rt: Arc<RtInner>,
+}
+
+impl Runtime {
+    /// Creates a runtime from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: Config) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        install_panic_hook();
+        Ok(Runtime {
+            rt: Arc::new(RtInner::new(config)),
+        })
+    }
+
+    /// The configuration this runtime was created with.
+    pub fn config(&self) -> &Config {
+        &self.rt.config
+    }
+
+    /// The simulated operating system, used to stage files and network peers
+    /// before running a program and to inspect them afterwards.
+    pub fn os(&self) -> &SimOs {
+        &self.rt.os
+    }
+
+    /// Registers a tool hook (detector, debugger).
+    pub fn add_hook(&self, hook: Arc<dyn ToolHook>) {
+        self.rt.hooks.write().push(hook);
+    }
+
+    /// Installs an execution instrument (used by the comparison baselines).
+    pub fn set_instrument(&self, instrument: Arc<dyn Instrument>) {
+        *self.rt.instrument.write() = Some(instrument);
+    }
+
+    /// Runs the program to completion (or to its first unrecoverable fault)
+    /// and returns the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration proves unusable at runtime, or
+    /// if the program violates the bounded-step discipline
+    /// ([`RuntimeError::QuiescenceTimeout`]).
+    pub fn run(self, program: Program) -> Result<RunReport, RuntimeError> {
+        let started = Instant::now();
+        let (program_name, main_body) = program.into_parts();
+        let rt = self.rt;
+
+        // Create the main application thread (ThreadId 0).
+        let main_vt = create_thread(&rt, "main".to_owned(), 0);
+        let rt_for_main = Arc::clone(&rt);
+        let vt_for_main = Arc::clone(&main_vt);
+        let handle = std::thread::Builder::new()
+            .name("ireplayer-0".to_owned())
+            .spawn(move || exec::thread_main(rt_for_main, vt_for_main, main_body))
+            .expect("failed to spawn the main application thread");
+        rt.os_threads.lock().push(handle);
+
+        let mut checkpoint = begin_epoch(&rt, true);
+        let mut replay_validations: Vec<ReplayValidation> = Vec::new();
+        let mut outcome = RunOutcome::Completed;
+        let mut supervisor_error: Option<RuntimeError> = None;
+
+        loop {
+            wait_world_tick(&rt);
+
+            if rt.abort_pending() && !rt.replaying() {
+                // A fault occurred during recording (or passthrough).
+                if let Err(e) = wait_for_settle(&rt) {
+                    supervisor_error = Some(e);
+                    break;
+                }
+                let fault = rt.epoch.lock().faults.first().cloned();
+                let Some(fault) = fault else {
+                    // Spurious abort without a fault record; clear and go on.
+                    rt.abort_requested.store(false, Ordering::Release);
+                    continue;
+                };
+                outcome = RunOutcome::Faulted(fault.clone());
+                if rt.config.fault_policy == FaultPolicy::DiagnoseAndReport
+                    && rt.config.mode == RunMode::Record
+                    && rt.epoch.lock().tainted_by.is_none()
+                {
+                    let watch = fault_watchpoints(&rt, &fault);
+                    let request = ReplayRequest {
+                        watch,
+                        reason: format!("diagnose fault: {}", fault.kind),
+                    };
+                    match run_replay_cycle(&rt, &checkpoint, request, Some(fault.thread)) {
+                        Ok(validation) => replay_validations.push(validation),
+                        Err(e) => supervisor_error = Some(e),
+                    }
+                }
+                break;
+            }
+
+            if all_threads_done(&rt) {
+                // Final epoch end: let tools scan for evidence (implanted
+                // overflows are detected here) and possibly replay.
+                if let Some(request) = collect_epoch_decision(&rt) {
+                    if rt.config.mode == RunMode::Record && rt.epoch.lock().tainted_by.is_none() {
+                        match run_replay_cycle(&rt, &checkpoint, request, None) {
+                            Ok(validation) => replay_validations.push(validation),
+                            Err(e) => supervisor_error = Some(e),
+                        }
+                    }
+                }
+                break;
+            }
+
+            if rt.epoch_end_pending() && !rt.replaying() {
+                match wait_for_quiescence(&rt) {
+                    Quiescence::Reached => {
+                        if let Some(request) = collect_epoch_decision(&rt) {
+                            if rt.config.mode == RunMode::Record
+                                && rt.epoch.lock().tainted_by.is_none()
+                            {
+                                match run_replay_cycle(&rt, &checkpoint, request, None) {
+                                    Ok(validation) => replay_validations.push(validation),
+                                    Err(e) => {
+                                        supervisor_error = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        checkpoint = begin_epoch(&rt, false);
+                    }
+                    Quiescence::Stalled => {
+                        // Some thread is blocked mid-step on a wait its
+                        // peers have already parked past; cancel the stop and
+                        // retry at the next trigger.
+                        cancel_epoch_end(&rt);
+                    }
+                    Quiescence::Failed(stuck) => {
+                        supervisor_error = Some(RuntimeError::QuiescenceTimeout {
+                            stuck_threads: stuck,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Teardown: tell every OS thread to exit and join them.
+        rt.abort_requested.store(false, Ordering::Release);
+        for vt in rt.threads.read().iter() {
+            let mut control = vt.control.lock();
+            control.command = Some(Command::Exit);
+            control.awaiting_creation = false;
+            vt.notify();
+        }
+        let handles: Vec<_> = rt.os_threads.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+
+        if let Some(error) = supervisor_error {
+            return Err(error);
+        }
+
+        let final_high_water = rt.super_heap.high_water().as_usize();
+        let epoch_guard = rt.epoch.lock();
+        let report = RunReport {
+            program: program_name,
+            wall_time: started.elapsed(),
+            outcome,
+            epochs: Counters::get(&rt.counters.epochs),
+            threads: rt.threads.read().len() as u32,
+            sync_events: Counters::get(&rt.counters.sync_events),
+            syscalls: Counters::get(&rt.counters.syscalls),
+            allocations: Counters::get(&rt.counters.allocations),
+            frees: Counters::get(&rt.counters.frees),
+            bytes_allocated: Counters::get(&rt.counters.bytes_allocated),
+            replay_attempts: Counters::get(&rt.counters.replay_attempts),
+            divergences: Counters::get(&rt.counters.divergences),
+            final_heap_hash: rt.arena.hash_prefix(final_high_water),
+            replay_validations,
+            watch_hits: epoch_guard.watch_hits.clone(),
+            faults: epoch_guard.faults.clone(),
+        };
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime").field("rt", &self.rt).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread creation (shared with `ThreadCtx::spawn`, which performs the same
+// construction for dynamically created threads).
+// ---------------------------------------------------------------------------
+
+fn create_thread(rt: &Arc<RtInner>, name: String, created_epoch: u64) -> Arc<VThread> {
+    let id = ThreadId(rt.threads.read().len() as u32);
+    let join_var = rt.register_sync_var(SyncVarKind::Internal).id;
+    let heap = ThreadHeap::new(id.0, rt.heap_config());
+    let rng = DetRng::new(rt.config.seed).derive(u64::from(id.0));
+    let vt = Arc::new(VThread::new(
+        id,
+        name,
+        heap,
+        rng,
+        join_var,
+        created_epoch,
+        rt.config.events_per_thread,
+        rt.config.quarantine_bytes,
+    ));
+    rt.threads.write().push(vt.clone());
+    vt
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor helpers.
+// ---------------------------------------------------------------------------
+
+fn wait_world_tick(rt: &RtInner) {
+    let version = rt.world_version.load(Ordering::Acquire);
+    let mut guard = rt.world_lock.lock();
+    if rt.world_version.load(Ordering::Acquire) != version {
+        return;
+    }
+    rt.world_cv.wait_for(&mut guard, SUPERVISOR_SLICE);
+}
+
+fn all_threads_done(rt: &RtInner) -> bool {
+    rt.threads.read().iter().all(|vt| {
+        matches!(
+            vt.control.lock().phase,
+            ThreadPhase::Finished | ThreadPhase::Reclaimed
+        )
+    })
+}
+
+/// Waits until every thread is settled (parked, finished, reclaimed, or
+/// idle), used after an abort.
+fn wait_for_settle(rt: &RtInner) -> Result<(), RuntimeError> {
+    let deadline = Instant::now() + Duration::from_millis(rt.config.quiescence_timeout_ms);
+    loop {
+        let stuck: Vec<u32> = rt
+            .threads
+            .read()
+            .iter()
+            .filter(|vt| matches!(vt.control.lock().phase, ThreadPhase::Running))
+            .map(|vt| vt.id.0)
+            .collect();
+        if stuck.is_empty() {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(RuntimeError::QuiescenceTimeout { stuck_threads: stuck });
+        }
+        wait_world_tick(rt);
+    }
+}
+
+enum Quiescence {
+    Reached,
+    Stalled,
+    Failed(Vec<u32>),
+}
+
+/// Waits for step-boundary quiescence for a continue-type epoch end.
+fn wait_for_quiescence(rt: &RtInner) -> Quiescence {
+    let stall_window = Duration::from_millis(200);
+    let deadline = Instant::now() + Duration::from_millis(rt.config.quiescence_timeout_ms);
+    let mut last_progress = Instant::now();
+    let mut last_running = usize::MAX;
+    loop {
+        let running: Vec<u32> = rt
+            .threads
+            .read()
+            .iter()
+            .filter(|vt| {
+                matches!(
+                    vt.control.lock().phase,
+                    ThreadPhase::Running | ThreadPhase::Idle
+                )
+            })
+            .map(|vt| vt.id.0)
+            .collect();
+        if running.is_empty() {
+            return Quiescence::Reached;
+        }
+        if running.len() != last_running {
+            last_running = running.len();
+            last_progress = Instant::now();
+        }
+        if Instant::now() > deadline {
+            return Quiescence::Failed(running);
+        }
+        // If only a few threads remain running and nothing has changed for a
+        // while, they are very likely blocked mid-step on an application
+        // wait; give up on this stop and let execution continue.
+        if Instant::now().duration_since(last_progress) > stall_window {
+            return Quiescence::Stalled;
+        }
+        wait_world_tick(rt);
+    }
+}
+
+fn cancel_epoch_end(rt: &RtInner) {
+    rt.epoch_end_requested.store(false, Ordering::Release);
+    rt.epoch.lock().end_reason = None;
+    // Re-release the threads that already parked for the cancelled stop.
+    for vt in rt.threads.read().iter() {
+        let mut control = vt.control.lock();
+        if control.phase == ThreadPhase::Parked
+            && control.last_segment_end == Some(SegmentEnd::Stopped)
+            && control.command.is_none()
+        {
+            control.command = Some(Command::Run {
+                target: None,
+                expect_fault: false,
+            });
+            vt.notify();
+        }
+    }
+    rt.poke_world();
+}
+
+/// Housekeeping plus checkpoint plus release: the epoch-begin protocol of
+/// §3.1.  Returns the new checkpoint.
+fn begin_epoch(rt: &RtInner, first: bool) -> Checkpoint {
+    // Housekeeping: issue deferred system calls, reclaim joined threads,
+    // drop the previous epoch's logs.
+    {
+        let mut epoch = rt.epoch.lock();
+        if !first {
+            epoch.number += 1;
+        }
+        for op in epoch.deferred.drain(..) {
+            match op {
+                crate::state::DeferredOp::Close(fd) => {
+                    let _ = rt.os.close(fd);
+                }
+                crate::state::DeferredOp::Munmap(addr) => {
+                    let _ = rt.os.munmap(addr);
+                }
+            }
+        }
+        epoch.end_reason = None;
+        epoch.tainted_by = None;
+        epoch.divergences.clear();
+        epoch.pending_reclaim.clear();
+    }
+    Counters::bump(&rt.counters.epochs);
+    rt.replay_attempt.store(0, Ordering::Release);
+    rt.delay_plan.lock().clear();
+
+    for vt in rt.threads.read().iter() {
+        // Reclaim finished-and-joined threads.
+        let mut control = vt.control.lock();
+        if control.phase == ThreadPhase::Finished && control.joined {
+            control.command = Some(Command::Exit);
+            vt.notify();
+        }
+        control.segment_steps = 0;
+        control.last_segment_end = None;
+        drop(control);
+        vt.list.lock().clear();
+    }
+    for var in rt.sync_table.read().iter() {
+        var.var_list.lock().clear();
+    }
+    rt.epoch.lock().watch_hits.clear();
+
+    let checkpoint = checkpoint::capture(rt);
+
+    // Release: clear the stop flag, then command every runnable thread.
+    rt.epoch_end_requested.store(false, Ordering::Release);
+    for vt in rt.threads.read().iter() {
+        let mut control = vt.control.lock();
+        if matches!(control.phase, ThreadPhase::Idle | ThreadPhase::Parked) {
+            control.command = Some(Command::Run {
+                target: None,
+                expect_fault: false,
+            });
+            vt.notify();
+        }
+    }
+    rt.poke_world();
+    checkpoint
+}
+
+/// Runs every hook's epoch-end inspection and merges the replay requests.
+fn collect_epoch_decision(rt: &Arc<RtInner>) -> Option<ReplayRequest> {
+    let view = RtEpochView { rt: Arc::clone(rt) };
+    let mut merged: Option<ReplayRequest> = None;
+    for hook in rt.hooks.read().iter() {
+        match hook.at_epoch_end(&view) {
+            EpochDecision::Continue => {}
+            EpochDecision::Replay(request) => match &mut merged {
+                None => merged = Some(request),
+                Some(existing) => {
+                    existing.watch.extend(request.watch);
+                    if existing.reason.is_empty() {
+                        existing.reason = request.reason;
+                    }
+                }
+            },
+        }
+    }
+    merged
+}
+
+/// Asks hooks for fault-specific watchpoints (§4.3: binary analysis of the
+/// faulting address, here delegated to the registered tools).
+fn fault_watchpoints(rt: &Arc<RtInner>, fault: &FaultRecord) -> Vec<Span> {
+    let view = RtEpochView { rt: Arc::clone(rt) };
+    let mut spans = Vec::new();
+    for hook in rt.hooks.read().iter() {
+        spans.extend(hook.on_fault(fault, &view));
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------------
+// Rollback and replay (§3.4, §3.5).
+// ---------------------------------------------------------------------------
+
+/// Per-thread replay plan derived from the state at the epoch end.
+struct ReplayPlan {
+    targets: HashMap<ThreadId, u64>,
+    created_in_epoch: Vec<ThreadId>,
+    skip: Vec<ThreadId>,
+    faulting: Option<ThreadId>,
+}
+
+fn build_replay_plan(
+    rt: &RtInner,
+    checkpoint: &Checkpoint,
+    faulting: Option<ThreadId>,
+) -> ReplayPlan {
+    let mut plan = ReplayPlan {
+        targets: HashMap::new(),
+        created_in_epoch: Vec::new(),
+        skip: Vec::new(),
+        faulting,
+    };
+    for (index, vt) in rt.threads.read().iter().enumerate() {
+        let control = vt.control.lock();
+        match checkpoint.threads.get(index) {
+            Some(saved) => {
+                if matches!(saved.phase, ThreadPhase::Finished | ThreadPhase::Reclaimed) {
+                    plan.skip.push(vt.id);
+                } else {
+                    plan.targets.insert(vt.id, control.segment_steps);
+                }
+            }
+            None => {
+                plan.created_in_epoch.push(vt.id);
+                plan.targets.insert(vt.id, control.segment_steps);
+            }
+        }
+    }
+    plan
+}
+
+fn run_replay_cycle(
+    rt: &Arc<RtInner>,
+    checkpoint: &Checkpoint,
+    request: ReplayRequest,
+    faulting: Option<ThreadId>,
+) -> Result<ReplayValidation, RuntimeError> {
+    if rt.config.mode != RunMode::Record {
+        return Err(RuntimeError::RecordingDisabled);
+    }
+    if let Some(syscall) = rt.epoch.lock().tainted_by {
+        return Err(RuntimeError::UnreplayableEpoch { syscall });
+    }
+
+    let plan = build_replay_plan(rt, checkpoint, faulting);
+    let epoch_number = rt.epoch.lock().number;
+
+    // Image of the original epoch end, used for the identical-replay
+    // validation of §5.2 / Table 1.
+    let original_end = if rt.config.validate_replay_image {
+        let high_water = rt.super_heap.high_water().as_usize();
+        Some(MemSnapshot::capture(&rt.arena, high_water))
+    } else {
+        None
+    };
+
+    // Install up to four watchpoints (hardware debug-register limit).
+    {
+        let mut watch = rt.watch.lock();
+        watch.clear();
+        for span in request.watch.iter().take(ireplayer_mem::MAX_WATCHPOINTS) {
+            let _ = watch.install(*span);
+        }
+        rt.watch_active
+            .store(watch.len() > 0, Ordering::Release);
+    }
+
+    let mut matched = false;
+    let mut attempts = 0;
+    let max_attempts = rt.config.max_replay_attempts;
+
+    for attempt in 1..=max_attempts {
+        attempts = attempt;
+        Counters::bump(&rt.counters.replay_attempts);
+        rt.replay_attempt.store(attempt, Ordering::Release);
+
+        // Rollback (§3.4).
+        rt.abort_requested.store(false, Ordering::Release);
+        rt.epoch_end_requested.store(false, Ordering::Release);
+        checkpoint::restore(rt, checkpoint);
+        for vt in rt.threads.read().iter() {
+            vt.list.lock().begin_replay();
+        }
+        for var in rt.sync_table.read().iter() {
+            var.var_list.lock().begin_replay();
+        }
+        {
+            let mut epoch = rt.epoch.lock();
+            epoch.watch_hits.clear();
+        }
+        let divergences_before = rt.epoch.lock().divergences.len();
+        let faults_before = rt.epoch.lock().faults.len();
+        rt.set_phase(ExecPhase::Replaying);
+
+        // Release the threads that participate in the re-execution.  Threads
+        // created inside the replayed epoch are configured *first* (marked
+        // as awaiting their creation event) so that a parent replaying a
+        // `spawn` cannot clear a flag that has not been set yet.
+        let configure = |vt: &VThread, awaiting: bool| {
+            let Some(target) = plan.targets.get(&vt.id).copied() else {
+                return;
+            };
+            let expect_fault = plan.faulting == Some(vt.id);
+            let mut control = vt.control.lock();
+            control.segment_steps = 0;
+            control.last_segment_end = None;
+            control.awaiting_creation = awaiting;
+            control.command = Some(Command::Run {
+                // The faulting thread re-runs its final (interrupted) step.
+                target: Some(if expect_fault { target + 1 } else { target }),
+                expect_fault,
+            });
+            drop(control);
+            vt.notify();
+        };
+        for vt in rt.threads.read().iter() {
+            if plan.skip.contains(&vt.id) || !plan.created_in_epoch.contains(&vt.id) {
+                continue;
+            }
+            configure(vt, true);
+        }
+        for vt in rt.threads.read().iter() {
+            if plan.skip.contains(&vt.id) || plan.created_in_epoch.contains(&vt.id) {
+                continue;
+            }
+            configure(vt, false);
+        }
+        rt.poke_world();
+
+        // Wait for the attempt to settle.
+        let mut settled = wait_replay_settle(rt, &plan);
+        if !settled {
+            // A stalled attempt (threads waiting for recorded turns that a
+            // racy re-execution will never produce) is treated like a
+            // divergence: abort the attempt, let every thread park, and try
+            // again with fresh delays (§3.5.2).
+            rt.abort_requested.store(true, Ordering::Release);
+            rt.poke_world();
+            settled = wait_replay_settle(rt, &plan);
+            rt.abort_requested.store(false, Ordering::Release);
+        }
+        crate::state::rt_trace!(
+            "replay attempt {attempt}: settled={settled} divergences={:?}",
+            rt.epoch.lock().divergences.len()
+        );
+
+        let diverged = rt.epoch.lock().divergences.len() > divergences_before;
+        let fault_reproduced = rt.epoch.lock().faults.len() > faults_before;
+        let complete = plan
+            .targets
+            .keys()
+            .all(|tid| rt.thread(*tid).list.lock().replay_complete());
+        let fault_ok = plan.faulting.is_none() || fault_reproduced;
+
+        crate::state::rt_trace!(
+            "replay attempt {attempt}: diverged={diverged} complete={complete} fault_ok={fault_ok}"
+        );
+        if settled && !diverged && complete && fault_ok {
+            matched = true;
+            break;
+        }
+
+        // Prepare random delays at the diverging points for the next
+        // attempt (§3.5.2).
+        augment_delay_plan(rt, divergences_before);
+        // Clear any abort left over from the failed attempt before rolling
+        // back again.
+        rt.abort_requested.store(false, Ordering::Release);
+    }
+
+    // Tear down replay state.
+    rt.watch_active.store(false, Ordering::Release);
+    rt.watch.lock().clear();
+    rt.abort_requested.store(false, Ordering::Release);
+    rt.set_phase(match rt.config.mode {
+        RunMode::Record => ExecPhase::Recording,
+        RunMode::Passthrough => ExecPhase::Passthrough,
+    });
+    for vt in rt.threads.read().iter() {
+        vt.list.lock().end_replay();
+    }
+
+    let image_diff = original_end.map(|snapshot| snapshot.diff(&rt.arena));
+
+    let view = RtEpochView { rt: Arc::clone(rt) };
+    for hook in rt.hooks.read().iter() {
+        hook.after_replay(&view, matched, attempts);
+    }
+
+    Ok(ReplayValidation {
+        epoch: epoch_number,
+        attempts,
+        matched,
+        image_diff,
+    })
+}
+
+/// Waits until every replaying thread has ended its segment (parked,
+/// finished, or still idle awaiting a creation event that never came).
+fn wait_replay_settle(rt: &RtInner, plan: &ReplayPlan) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(rt.config.quiescence_timeout_ms);
+    loop {
+        let mut unsettled = 0;
+        for vt in rt.threads.read().iter() {
+            if plan.skip.contains(&vt.id) || !plan.targets.contains_key(&vt.id) {
+                continue;
+            }
+            let control = vt.control.lock();
+            match control.phase {
+                ThreadPhase::Running => unsettled += 1,
+                ThreadPhase::Idle if !control.awaiting_creation && control.command.is_some() => {
+                    unsettled += 1
+                }
+                _ => {}
+            }
+        }
+        if unsettled == 0 {
+            return true;
+        }
+        if Instant::now() > deadline {
+            return false;
+        }
+        wait_world_tick(rt);
+    }
+}
+
+/// Adds randomized delays before the events where the failed attempt
+/// diverged, bounded by the configured maximum (§3.5.2).
+fn augment_delay_plan(rt: &RtInner, divergences_before: usize) {
+    let epoch = rt.epoch.lock();
+    let new_divergences: Vec<(ThreadId, usize)> = epoch
+        .divergences
+        .iter()
+        .skip(divergences_before)
+        .map(|d| (d.thread, d.at_index))
+        .collect();
+    drop(epoch);
+    let mut rng = rt.replay_rng.lock();
+    let max_delay = rt.config.max_divergence_delay_us.max(1);
+    let mut plan = rt.delay_plan.lock();
+    if new_divergences.is_empty() {
+        // The attempt failed without an explicit divergence (for example an
+        // expected fault that did not reproduce): jitter the start of every
+        // thread instead.
+        for vt in rt.threads.read().iter() {
+            plan.insert((vt.id, 0), rng.next_below(max_delay));
+        }
+        return;
+    }
+    for (thread, at_index) in new_divergences {
+        plan.insert((thread, at_index as u32), rng.next_below(max_delay));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch view handed to tool hooks.
+// ---------------------------------------------------------------------------
+
+struct RtEpochView {
+    rt: Arc<RtInner>,
+}
+
+impl EpochView for RtEpochView {
+    fn epoch(&self) -> u64 {
+        self.rt.epoch.lock().number
+    }
+
+    fn corrupted_canaries(&self) -> Vec<CorruptedCanary> {
+        let mut evidence = self.rt.pending_canary_evidence.lock().clone();
+        if let Ok(mut scanned) = self.rt.canaries.lock().check(&self.rt.arena) {
+            evidence.append(&mut scanned);
+        }
+        evidence
+    }
+
+    fn use_after_free_evidence(&self) -> Vec<UafEvidence> {
+        let mut evidence = self.rt.pending_uaf_evidence.lock().clone();
+        for vt in self.rt.threads.read().iter() {
+            if let Ok(mut scanned) = vt.quarantine.lock().check(&self.rt.arena) {
+                evidence.append(&mut scanned);
+            }
+        }
+        evidence
+    }
+
+    fn read_bytes(&self, addr: MemAddr, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        let _ = self.rt.arena.read_bytes(addr, &mut buf);
+        buf
+    }
+
+    fn alloc_site(&self, addr: MemAddr) -> Option<Site> {
+        let payload = if self.rt.alloc_sites.lock().contains_key(&addr) {
+            addr
+        } else {
+            crate::alloc::containing_allocation(&self.rt, addr)?.payload
+        };
+        let site = self.rt.alloc_sites.lock().get(&payload).copied()?;
+        self.rt.sites.resolve(site)
+    }
+
+    fn free_site(&self, payload: MemAddr) -> Option<Site> {
+        let site = self.rt.free_sites.lock().get(&payload).copied()?;
+        self.rt.sites.resolve(site)
+    }
+
+    fn faults(&self) -> Vec<FaultRecord> {
+        self.rt.epoch.lock().faults.clone()
+    }
+
+    fn watch_hits(&self) -> Vec<WatchHitReport> {
+        self.rt.epoch.lock().watch_hits.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic-hook installation: runtime-internal unwinds must not spam stderr.
+// ---------------------------------------------------------------------------
+
+fn install_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<UnwindSignal>().is_some() {
+                // Runtime-internal control-flow unwind; silent by design.
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+// Internal consistency note: the epoch-end reason is currently only used for
+// bookkeeping; expose it for tests.
+#[allow(dead_code)]
+pub(crate) fn epoch_end_reason(rt: &RtInner) -> Option<EpochEndReason> {
+    rt.epoch.lock().end_reason
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Step;
+
+    fn small_config() -> Config {
+        Config::builder()
+            .arena_size(4 << 20)
+            .heap_block_size(128 << 10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_thread_program_completes() {
+        let runtime = Runtime::new(small_config()).unwrap();
+        let report = runtime
+            .run(Program::new("single", |ctx| {
+                let cell = ctx.global("cell", 8);
+                let value = ctx.read_u64(cell);
+                ctx.write_u64(cell, value + 1);
+                if value + 1 == 5 {
+                    Step::Done
+                } else {
+                    Step::Yield
+                }
+            }))
+            .unwrap();
+        assert!(report.outcome.is_success());
+        assert_eq!(report.threads, 1);
+        assert!(report.epochs >= 1);
+    }
+
+    #[test]
+    fn spawned_threads_run_and_join() {
+        let runtime = Runtime::new(small_config()).unwrap();
+        let report = runtime
+            .run(Program::new("spawner", |ctx| {
+                let counter = ctx.global("counter", 8);
+                let mutex = ctx.mutex();
+                let mut handles = Vec::new();
+                for _ in 0..3 {
+                    handles.push(ctx.spawn("worker", move |ctx| {
+                        ctx.lock(mutex);
+                        let value = ctx.read_u64(counter);
+                        ctx.write_u64(counter, value + 1);
+                        ctx.unlock(mutex);
+                        Step::Done
+                    }));
+                }
+                for handle in handles {
+                    ctx.join(handle);
+                }
+                let total = ctx.read_u64(counter);
+                ctx.assert_that(total == 3, "all workers incremented");
+                Step::Done
+            }))
+            .unwrap();
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+        assert_eq!(report.threads, 4);
+        assert!(report.sync_events > 0);
+    }
+
+    #[test]
+    fn segfault_is_reported_as_fault() {
+        let runtime = Runtime::new(small_config()).unwrap();
+        let report = runtime
+            .run(Program::new("oob", |ctx| {
+                // Dereference the null address: the analogue of a SIGSEGV.
+                let _ = ctx.read_u64(ireplayer_mem::MemAddr::NULL);
+                Step::Done
+            }))
+            .unwrap();
+        assert!(!report.outcome.is_success());
+        assert!(!report.faults.is_empty());
+    }
+}

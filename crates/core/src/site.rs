@@ -1,0 +1,129 @@
+//! Call-site tracking.
+//!
+//! The original system reports the complete call stack of the instruction
+//! that triggered a watchpoint, and the allocation/free sites of objects
+//! involved in memory errors, by unwinding the native stack.  In the managed
+//! substrate, every `ThreadCtx` operation that matters for diagnosis is
+//! annotated with `#[track_caller]`, and the source location of the caller
+//! is interned into a small registry.  Bug reports then name the exact
+//! source line in the application, which is the information the paper's
+//! tools ultimately surface to the developer.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::Location;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Interned identifier of a source location.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SiteId(pub u32);
+
+/// A resolved source location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Site {
+    /// Source file of the call.
+    pub file: String,
+    /// Line number of the call.
+    pub line: u32,
+    /// Column of the call.
+    pub column: u32,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.file, self.line, self.column)
+    }
+}
+
+/// Thread-safe interning registry of call sites.
+#[derive(Debug, Default)]
+pub struct SiteRegistry {
+    inner: Mutex<SiteRegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct SiteRegistryInner {
+    by_site: HashMap<Site, SiteId>,
+    sites: Vec<Site>,
+}
+
+impl SiteRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SiteRegistry::default()
+    }
+
+    /// Interns a `#[track_caller]` location and returns its id.
+    pub fn intern(&self, location: &Location<'_>) -> SiteId {
+        let site = Site {
+            file: location.file().to_owned(),
+            line: location.line(),
+            column: location.column(),
+        };
+        let mut inner = self.inner.lock();
+        if let Some(id) = inner.by_site.get(&site) {
+            return *id;
+        }
+        let id = SiteId(inner.sites.len() as u32);
+        inner.sites.push(site.clone());
+        inner.by_site.insert(site, id);
+        id
+    }
+
+    /// Resolves an id back to its source location.
+    pub fn resolve(&self, id: SiteId) -> Option<Site> {
+        self.inner.lock().sites.get(id.0 as usize).cloned()
+    }
+
+    /// Number of distinct interned sites.
+    pub fn len(&self) -> usize {
+        self.inner.lock().sites.len()
+    }
+
+    /// Returns `true` if no sites have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[track_caller]
+    fn here(registry: &SiteRegistry) -> SiteId {
+        registry.intern(Location::caller())
+    }
+
+    #[test]
+    fn interning_is_idempotent_per_location() {
+        let registry = SiteRegistry::new();
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            ids.push(here(&registry)); // same line each iteration
+        }
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+        assert_eq!(registry.len(), 1);
+
+        let other = here(&registry); // different line
+        assert_ne!(other, ids[0]);
+        assert_eq!(registry.len(), 2);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn resolve_returns_file_and_line() {
+        let registry = SiteRegistry::new();
+        let id = here(&registry);
+        let site = registry.resolve(id).unwrap();
+        assert!(site.file.ends_with("site.rs"));
+        assert!(site.line > 0);
+        assert!(site.to_string().contains("site.rs"));
+        assert!(registry.resolve(SiteId(999)).is_none());
+    }
+}

@@ -1,0 +1,617 @@
+//! Shared runtime state: the inner runtime object and per-thread state.
+//!
+//! These types are crate-private; the public surface is
+//! [`crate::Runtime`] and [`crate::ThreadCtx`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use ireplayer_log::{Divergence, ThreadId, ThreadList, VarId, VarList};
+use ireplayer_mem::{
+    Arena, CanaryMap, Globals, HeapConfig, MemAddr, Quarantine, SuperHeap, ThreadHeap,
+    WatchRegistry,
+};
+use ireplayer_sys::SimOs;
+
+use crate::config::{AllocatorMode, Config, RunMode};
+use crate::fault::FaultRecord;
+use crate::hooks::{Instrument, ToolHook};
+use crate::program::BodyFn;
+use crate::rng::DetRng;
+use crate::site::{SiteId, SiteRegistry};
+use crate::stats::{Counters, WatchHitReport};
+
+/// Execution phase of the whole runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecPhase {
+    /// No recording (passthrough mode).
+    Passthrough,
+    /// Recording the original execution.
+    Recording,
+    /// Re-executing the last epoch.
+    Replaying,
+}
+
+/// Why the coordinator asked the world to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EpochEndReason {
+    /// A per-thread event list reached its soft capacity.
+    LogFull,
+    /// An irrevocable system call was executed.
+    Irrevocable,
+    /// The application asked for an epoch boundary
+    /// ([`crate::ThreadCtx::end_epoch`]).
+    Explicit,
+}
+
+/// Life-cycle phase of an application thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThreadPhase {
+    /// Created but not yet released (or, during replay, waiting for its
+    /// creation event to be replayed by its parent).
+    Idle,
+    /// Executing steps.
+    Running,
+    /// Parked at a step boundary, waiting for a command.
+    Parked,
+    /// The body returned [`crate::Step::Done`]; kept alive until the next
+    /// epoch boundary.
+    Finished,
+    /// Reclaimed; the OS thread has been told to exit.
+    Reclaimed,
+}
+
+/// How the last segment of a thread ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SegmentEnd {
+    /// Stop was requested and the thread parked at a step boundary.
+    Stopped,
+    /// The replay target number of steps was reached.
+    TargetReached,
+    /// The body returned [`crate::Step::Done`].
+    Finished,
+    /// The segment was aborted (divergence or rollback).
+    Aborted,
+    /// The thread faulted.
+    Faulted,
+}
+
+/// Command issued by the coordinator to a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Command {
+    /// Run steps until stop/target/done.
+    Run {
+        /// Stop after completing this many steps in the segment (replay).
+        target: Option<u64>,
+        /// Expect the final (partial) step to fault (diagnostic replay of a
+        /// faulting thread).
+        expect_fault: bool,
+    },
+    /// Exit the OS thread.
+    Exit,
+}
+
+/// Mutable control block of a thread, protected by [`VThread::control`].
+#[derive(Debug)]
+pub(crate) struct ThreadControl {
+    pub phase: ThreadPhase,
+    pub command: Option<Command>,
+    pub last_segment_end: Option<SegmentEnd>,
+    /// Steps completed in the current segment (i.e. since the last epoch
+    /// boundary).
+    pub segment_steps: u64,
+    /// During replay, a thread created inside the replayed epoch waits for
+    /// its creation event to be replayed by its parent before running.
+    pub awaiting_creation: bool,
+    /// Whether the parent has joined this thread.
+    pub joined: bool,
+    /// Epoch in which the thread was created.
+    pub created_epoch: u64,
+    /// Locks currently held (discipline check: must be empty at step
+    /// boundaries).
+    pub held_locks: Vec<VarId>,
+}
+
+impl ThreadControl {
+    fn new(created_epoch: u64) -> Self {
+        ThreadControl {
+            phase: ThreadPhase::Idle,
+            command: None,
+            last_segment_end: None,
+            segment_steps: 0,
+            awaiting_creation: false,
+            joined: false,
+            created_epoch,
+            held_locks: Vec::new(),
+        }
+    }
+}
+
+/// Per-thread runtime state.
+pub(crate) struct VThread {
+    pub id: ThreadId,
+    pub name: String,
+    pub control: Mutex<ThreadControl>,
+    pub control_cv: Condvar,
+    pub heap: Mutex<ThreadHeap>,
+    pub quarantine: Mutex<Quarantine>,
+    pub list: Mutex<ThreadList>,
+    pub rng: Mutex<DetRng>,
+    /// Identifier of this thread's join variable in the sync table.
+    pub join_var: VarId,
+    /// Total steps completed since thread start (monotonic; never rolled
+    /// back).
+    pub total_steps: AtomicU64,
+    /// The current step performed a side effect (event, write, allocation,
+    /// system call); a blocked pristine step may be re-parked safely.
+    pub step_dirty: AtomicBool,
+}
+
+impl VThread {
+    pub fn new(
+        id: ThreadId,
+        name: String,
+        heap: ThreadHeap,
+        rng: DetRng,
+        join_var: VarId,
+        created_epoch: u64,
+        events_capacity: usize,
+        quarantine_budget: usize,
+    ) -> Self {
+        VThread {
+            id,
+            name,
+            control: Mutex::new(ThreadControl::new(created_epoch)),
+            control_cv: Condvar::new(),
+            heap: Mutex::new(heap),
+            quarantine: Mutex::new(Quarantine::new(quarantine_budget)),
+            list: Mutex::new(ThreadList::new(id, events_capacity)),
+            rng: Mutex::new(rng),
+            join_var,
+            total_steps: AtomicU64::new(0),
+            step_dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// Returns `true` if the current step has already produced a side
+    /// effect.
+    pub fn step_is_dirty(&self) -> bool {
+        self.step_dirty.load(Ordering::Acquire)
+    }
+
+    /// Notifies anyone waiting on this thread's control block.
+    pub fn notify(&self) {
+        self.control_cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for VThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VThread")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Kind of a synchronization variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SyncVarKind {
+    Mutex,
+    Condvar,
+    Barrier { parties: u32 },
+    /// Runtime-internal lock (thread creation, super-heap fetch) or a
+    /// per-thread join variable.
+    Internal,
+}
+
+/// State of a synchronization variable, protected by [`SyncVar::state`].
+#[derive(Debug, Default)]
+pub(crate) struct SyncState {
+    // Mutex state.
+    pub locked: bool,
+    pub owner: Option<ThreadId>,
+    // Condition-variable state.
+    pub waiters: usize,
+    pub pending_signals: usize,
+    // Barrier state.
+    pub barrier_count: u32,
+    pub barrier_generation: u64,
+}
+
+impl SyncState {
+    /// Resets to the quiescent (epoch-boundary) state.  Valid because the
+    /// bounded-step discipline guarantees no locks are held and no thread is
+    /// blocked inside a wait at any checkpoint.
+    pub fn reset(&mut self) {
+        *self = SyncState::default();
+    }
+}
+
+/// A shadow synchronization object (paper §3.2): the real synchronization
+/// state plus the per-variable event list, reached through one level of
+/// indirection (the application's handle carries the [`VarId`]).
+pub(crate) struct SyncVar {
+    pub id: VarId,
+    pub kind: SyncVarKind,
+    pub state: Mutex<SyncState>,
+    pub cv: Condvar,
+    pub var_list: Mutex<VarList>,
+}
+
+impl SyncVar {
+    pub fn new(id: VarId, kind: SyncVarKind) -> Self {
+        SyncVar {
+            id,
+            kind,
+            state: Mutex::new(SyncState::default()),
+            cv: Condvar::new(),
+            var_list: Mutex::new(VarList::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for SyncVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncVar")
+            .field("id", &self.id)
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A deferred system call, issued at the next epoch begin (§2.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeferredOp {
+    Close(i32),
+    Munmap(u64),
+}
+
+/// Coordinator-owned epoch bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct EpochShared {
+    pub number: u64,
+    pub end_reason: Option<EpochEndReason>,
+    /// Name of the irrevocable syscall that tainted the current epoch, if
+    /// any (such an epoch cannot be replayed).
+    pub tainted_by: Option<&'static str>,
+    pub deferred: Vec<DeferredOp>,
+    pub faults: Vec<FaultRecord>,
+    pub divergences: Vec<Divergence>,
+    pub watch_hits: Vec<WatchHitReport>,
+    /// Reclaimed (joined + finished) threads pending OS-thread exit.
+    pub pending_reclaim: Vec<ThreadId>,
+}
+
+/// The inner, shared runtime object.
+pub(crate) struct RtInner {
+    pub config: Config,
+    pub arena: Arena,
+    pub super_heap: SuperHeap,
+    pub globals: Mutex<Globals>,
+    /// Shared heap used in [`AllocatorMode::GlobalLock`] mode.
+    pub global_heap: Mutex<ThreadHeap>,
+    pub os: SimOs,
+    pub sites: SiteRegistry,
+    pub counters: Counters,
+
+    phase: AtomicU8,
+    pub epoch_end_requested: AtomicBool,
+    pub abort_requested: AtomicBool,
+    /// Incremented on every thread phase change; the supervisor waits on it.
+    pub world_version: AtomicU64,
+    pub world_lock: Mutex<()>,
+    pub world_cv: Condvar,
+
+    pub threads: RwLock<Vec<Arc<VThread>>>,
+    pub sync_table: RwLock<Vec<Arc<SyncVar>>>,
+    /// Serializes thread creation (§3.2.1).
+    pub creation_lock: Mutex<()>,
+    /// OS thread handles, joined at the end of the run.
+    pub os_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Bodies handed from a spawning thread to the new OS thread.
+    pub pending_bodies: Mutex<HashMap<ThreadId, BodyFn>>,
+
+    pub epoch: Mutex<EpochShared>,
+    pub canaries: Mutex<CanaryMap>,
+    /// Canary corruption discovered outside the epoch-end scan (e.g. when a
+    /// corrupted object is freed mid-epoch).
+    pub pending_canary_evidence: Mutex<Vec<ireplayer_mem::CorruptedCanary>>,
+    /// Use-after-free evidence discovered when objects leave the quarantine
+    /// mid-epoch.
+    pub pending_uaf_evidence: Mutex<Vec<ireplayer_mem::UafEvidence>>,
+    pub watch: Mutex<WatchRegistry>,
+    pub watch_active: AtomicBool,
+    pub alloc_sites: Mutex<HashMap<MemAddr, SiteId>>,
+    pub free_sites: Mutex<HashMap<MemAddr, SiteId>>,
+
+    pub hooks: RwLock<Vec<Arc<dyn ToolHook>>>,
+    pub instrument: RwLock<Option<Arc<dyn Instrument>>>,
+
+    /// Extra delays (in microseconds) injected before specific recorded
+    /// events on later replay attempts (§3.5.2).
+    pub delay_plan: Mutex<HashMap<(ThreadId, u32), u64>>,
+    pub replay_attempt: AtomicU32,
+    pub replay_rng: Mutex<DetRng>,
+}
+
+/// Prints a diagnostic line when the `IREPLAYER_TRACE` environment variable
+/// is set.  Used to debug runtime hangs and replay mismatches.
+macro_rules! rt_trace {
+    ($($arg:tt)*) => {
+        if std::env::var_os("IREPLAYER_TRACE").is_some() {
+            eprintln!("[ireplayer] {}", format_args!($($arg)*));
+        }
+    };
+}
+pub(crate) use rt_trace;
+
+/// Reserved sync-variable ids for runtime-internal locks.
+pub(crate) const CREATION_VAR: VarId = VarId(0);
+pub(crate) const SUPERHEAP_VAR: VarId = VarId(1);
+pub(crate) const REGISTRATION_VAR: VarId = VarId(2);
+
+impl RtInner {
+    pub fn new(config: Config) -> Self {
+        let arena = Arena::new(config.arena_size);
+        let heap_config = HeapConfig {
+            block_size: config.heap_block_size,
+            canaries: config.canaries,
+            canary_len: 8,
+        };
+        let globals_region = ireplayer_mem::Span::new(
+            ireplayer_mem::MemAddr::new(16),
+            config.globals_size as u64,
+        );
+        let heap_region = ireplayer_mem::Span::new(
+            ireplayer_mem::MemAddr::new(16 + config.globals_size as u64),
+            (config.arena_size - config.globals_size - 32) as u64,
+        );
+        let super_heap = SuperHeap::new(heap_region, heap_config.clone());
+        let global_heap = ThreadHeap::new(u32::MAX, heap_config);
+        let phase = match config.mode {
+            RunMode::Passthrough => ExecPhase::Passthrough,
+            RunMode::Record => ExecPhase::Recording,
+        };
+        let sync_table = vec![
+            Arc::new(SyncVar::new(CREATION_VAR, SyncVarKind::Internal)),
+            Arc::new(SyncVar::new(SUPERHEAP_VAR, SyncVarKind::Internal)),
+            Arc::new(SyncVar::new(REGISTRATION_VAR, SyncVarKind::Internal)),
+        ];
+        let os = SimOs::new(1000);
+        os.raise_fd_limit(1 << 16);
+        let seed = config.seed;
+        RtInner {
+            arena,
+            super_heap,
+            globals: Mutex::new(Globals::new(globals_region)),
+            global_heap: Mutex::new(global_heap),
+            os,
+            sites: SiteRegistry::new(),
+            counters: Counters::default(),
+            phase: AtomicU8::new(phase as u8),
+            epoch_end_requested: AtomicBool::new(false),
+            abort_requested: AtomicBool::new(false),
+            world_version: AtomicU64::new(0),
+            world_lock: Mutex::new(()),
+            world_cv: Condvar::new(),
+            threads: RwLock::new(Vec::new()),
+            sync_table: RwLock::new(sync_table),
+            creation_lock: Mutex::new(()),
+            os_threads: Mutex::new(Vec::new()),
+            pending_bodies: Mutex::new(HashMap::new()),
+            epoch: Mutex::new(EpochShared::default()),
+            canaries: Mutex::new(CanaryMap::new()),
+            pending_canary_evidence: Mutex::new(Vec::new()),
+            pending_uaf_evidence: Mutex::new(Vec::new()),
+            watch: Mutex::new(WatchRegistry::new()),
+            watch_active: AtomicBool::new(false),
+            alloc_sites: Mutex::new(HashMap::new()),
+            free_sites: Mutex::new(HashMap::new()),
+            hooks: RwLock::new(Vec::new()),
+            instrument: RwLock::new(None),
+            delay_plan: Mutex::new(HashMap::new()),
+            replay_attempt: AtomicU32::new(0),
+            replay_rng: Mutex::new(DetRng::new(seed ^ 0xdddd)),
+            config,
+        }
+    }
+
+    /// Current execution phase.
+    pub fn phase(&self) -> ExecPhase {
+        match self.phase.load(Ordering::Acquire) {
+            x if x == ExecPhase::Passthrough as u8 => ExecPhase::Passthrough,
+            x if x == ExecPhase::Recording as u8 => ExecPhase::Recording,
+            _ => ExecPhase::Replaying,
+        }
+    }
+
+    /// Switches the execution phase.
+    pub fn set_phase(&self, phase: ExecPhase) {
+        self.phase.store(phase as u8, Ordering::Release);
+    }
+
+    /// Returns `true` when recording is active (not passthrough).
+    pub fn recording(&self) -> bool {
+        self.phase() == ExecPhase::Recording
+    }
+
+    /// Returns `true` during a re-execution.
+    pub fn replaying(&self) -> bool {
+        self.phase() == ExecPhase::Replaying
+    }
+
+    /// Returns `true` when an abort (rollback or divergence) is pending.
+    pub fn abort_pending(&self) -> bool {
+        self.abort_requested.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` when a continue-type epoch end is pending.
+    pub fn epoch_end_pending(&self) -> bool {
+        self.epoch_end_requested.load(Ordering::Acquire)
+    }
+
+    /// Requests a continue-type epoch end (log full, irrevocable syscall,
+    /// explicit request).
+    pub fn request_epoch_end(&self, reason: EpochEndReason) {
+        {
+            let mut epoch = self.epoch.lock();
+            if epoch.end_reason.is_none() {
+                epoch.end_reason = Some(reason);
+            }
+        }
+        self.epoch_end_requested.store(true, Ordering::Release);
+        self.poke_world();
+    }
+
+    /// Wakes the supervisor and any thread parked on a sync variable so
+    /// that pending flags are observed promptly.
+    pub fn poke_world(&self) {
+        self.world_version.fetch_add(1, Ordering::AcqRel);
+        let _guard = self.world_lock.lock();
+        self.world_cv.notify_all();
+    }
+
+    /// Looks up a thread by id.
+    pub fn thread(&self, id: ThreadId) -> Arc<VThread> {
+        self.threads.read()[id.index()].clone()
+    }
+
+    /// Looks up a sync variable by id.
+    pub fn sync_var(&self, id: VarId) -> Arc<SyncVar> {
+        self.sync_table.read()[id.index()].clone()
+    }
+
+    /// Registers a new sync variable and returns it.
+    pub fn register_sync_var(&self, kind: SyncVarKind) -> Arc<SyncVar> {
+        let mut table = self.sync_table.write();
+        let id = VarId(table.len() as u32);
+        let var = Arc::new(SyncVar::new(id, kind));
+        table.push(var.clone());
+        var
+    }
+
+    /// Heap configuration derived from the runtime configuration.
+    pub fn heap_config(&self) -> HeapConfig {
+        HeapConfig {
+            block_size: self.config.heap_block_size,
+            canaries: self.config.canaries,
+            canary_len: 8,
+        }
+    }
+
+    /// Whether the per-thread (deterministic) allocator is active.
+    pub fn per_thread_alloc(&self) -> bool {
+        self.config.allocator == AllocatorMode::PerThread
+    }
+
+    /// Registers a fault, requests an abort of the current execution, and
+    /// unwinds the faulting step.  This is the analogue of a signal handler
+    /// intercepting `SIGSEGV`/`SIGABRT` (§3.4): the coordinator decides
+    /// whether to replay for diagnosis or terminate with a report.
+    pub fn raise_fault(
+        &self,
+        vt: &VThread,
+        kind: crate::fault::FaultKind,
+        site: Option<SiteId>,
+    ) -> ! {
+        let record = crate::fault::FaultRecord {
+            thread: vt.id,
+            kind,
+            site: site.and_then(|s| self.sites.resolve(s)),
+            epoch: self.epoch.lock().number,
+        };
+        self.epoch.lock().faults.push(record);
+        // During a diagnostic replay, the thread that faulted originally is
+        // *expected* to fault again; its fault ends its own segment without
+        // aborting the other threads, which still need to finish replaying
+        // their recorded events.  Any other fault aborts the attempt.
+        let expected = self.replaying()
+            && vt
+                .control
+                .lock()
+                .command
+                .map(|c| matches!(c, Command::Run { expect_fault: true, .. }))
+                .unwrap_or(false);
+        if !expected {
+            self.abort_requested.store(true, Ordering::Release);
+        }
+        self.poke_world();
+        crate::fault::unwind_with(crate::fault::UnwindSignal::Fault)
+    }
+}
+
+impl std::fmt::Debug for RtInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtInner")
+            .field("config", &self.config)
+            .field("phase", &self.phase())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> Config {
+        Config::builder()
+            .arena_size(1 << 20)
+            .heap_block_size(64 << 10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn phase_round_trips() {
+        let rt = RtInner::new(small_config());
+        assert_eq!(rt.phase(), ExecPhase::Recording);
+        assert!(rt.recording());
+        rt.set_phase(ExecPhase::Replaying);
+        assert!(rt.replaying());
+        rt.set_phase(ExecPhase::Passthrough);
+        assert_eq!(rt.phase(), ExecPhase::Passthrough);
+    }
+
+    #[test]
+    fn internal_sync_vars_are_preregistered() {
+        let rt = RtInner::new(small_config());
+        assert_eq!(rt.sync_var(CREATION_VAR).id, CREATION_VAR);
+        assert_eq!(rt.sync_var(SUPERHEAP_VAR).id, SUPERHEAP_VAR);
+        assert_eq!(rt.sync_var(REGISTRATION_VAR).id, REGISTRATION_VAR);
+        let extra = rt.register_sync_var(SyncVarKind::Mutex);
+        assert_eq!(extra.id, VarId(3));
+        assert!(!format!("{rt:?}").is_empty());
+        assert!(!format!("{:?}", rt.sync_var(CREATION_VAR)).is_empty());
+    }
+
+    #[test]
+    fn epoch_end_request_records_the_first_reason() {
+        let rt = RtInner::new(small_config());
+        assert!(!rt.epoch_end_pending());
+        rt.request_epoch_end(EpochEndReason::LogFull);
+        rt.request_epoch_end(EpochEndReason::Explicit);
+        assert!(rt.epoch_end_pending());
+        assert_eq!(rt.epoch.lock().end_reason, Some(EpochEndReason::LogFull));
+    }
+
+    #[test]
+    fn sync_state_reset_clears_everything() {
+        let mut state = SyncState {
+            locked: true,
+            owner: Some(ThreadId(3)),
+            waiters: 2,
+            pending_signals: 1,
+            barrier_count: 4,
+            barrier_generation: 9,
+        };
+        state.reset();
+        assert!(!state.locked);
+        assert_eq!(state.owner, None);
+        assert_eq!(state.waiters, 0);
+        assert_eq!(state.barrier_count, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Run statistics and the final report returned by [`crate::Runtime::run`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use ireplayer_log::ThreadId;
+use ireplayer_mem::{DiffStats, Span};
+
+use crate::fault::FaultRecord;
+use crate::site::Site;
+
+/// Validation record of one rollback/replay cycle (the §5.2 experiment).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayValidation {
+    /// Epoch that was replayed.
+    pub epoch: u64,
+    /// Number of re-execution attempts needed to find a matching schedule.
+    pub attempts: u32,
+    /// Whether a matching schedule was found.
+    pub matched: bool,
+    /// Byte-level difference between the heap image at the end of the
+    /// original epoch and at the end of the matching replay.  Identical
+    /// replay means zero differing bytes (Table 1).
+    pub image_diff: Option<DiffStats>,
+}
+
+/// A watchpoint hit observed during a diagnostic replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchHitReport {
+    /// The watched address range.
+    pub watched: Span,
+    /// The write access that triggered the hit.
+    pub access: Span,
+    /// Thread that performed the write.
+    pub thread: ThreadId,
+    /// Source location of the write, when known.
+    pub site: Option<Site>,
+    /// Replay attempt during which the hit was observed.
+    pub attempt: u32,
+}
+
+/// How the run ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The program ran to completion.
+    Completed,
+    /// The program faulted; the record describes the first fault.
+    Faulted(FaultRecord),
+}
+
+impl RunOutcome {
+    /// Returns `true` if the program completed without faulting.
+    pub fn is_success(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+}
+
+/// Aggregate statistics and diagnostics of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Program name.
+    pub program: String,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Number of epochs executed.
+    pub epochs: u64,
+    /// Number of application threads created (including the main thread).
+    pub threads: u32,
+    /// Synchronization events recorded.
+    pub sync_events: u64,
+    /// System calls issued (recorded or not).
+    pub syscalls: u64,
+    /// Allocations served.
+    pub allocations: u64,
+    /// Frees served.
+    pub frees: u64,
+    /// Total bytes requested from the allocator.
+    pub bytes_allocated: u64,
+    /// Total replay attempts across all rollbacks.
+    pub replay_attempts: u64,
+    /// Divergences observed during replays.
+    pub divergences: u64,
+    /// FNV hash of the heap image at the end of the run (used by tests to
+    /// compare executions).
+    pub final_heap_hash: u64,
+    /// Per-rollback validation results.
+    pub replay_validations: Vec<ReplayValidation>,
+    /// Watchpoint hits observed during diagnostic replays.
+    pub watch_hits: Vec<WatchHitReport>,
+    /// All faults observed.
+    pub faults: Vec<FaultRecord>,
+}
+
+impl RunReport {
+    /// Returns `true` if every rollback found a matching schedule and every
+    /// validated image was identical.
+    pub fn replays_identical(&self) -> bool {
+        self.replay_validations.iter().all(|v| {
+            v.matched && v.image_diff.map(|d| d.is_identical()).unwrap_or(true)
+        })
+    }
+}
+
+/// Internal atomic counters, aggregated into a [`RunReport`] at the end of a
+/// run.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub sync_events: AtomicU64,
+    pub syscalls: AtomicU64,
+    pub allocations: AtomicU64,
+    pub frees: AtomicU64,
+    pub bytes_allocated: AtomicU64,
+    pub replay_attempts: AtomicU64,
+    pub divergences: AtomicU64,
+    pub epochs: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            program: "sample".into(),
+            wall_time: Duration::from_millis(5),
+            outcome: RunOutcome::Completed,
+            epochs: 2,
+            threads: 4,
+            sync_events: 100,
+            syscalls: 10,
+            allocations: 50,
+            frees: 40,
+            bytes_allocated: 4096,
+            replay_attempts: 1,
+            divergences: 0,
+            final_heap_hash: 0xabc,
+            replay_validations: vec![ReplayValidation {
+                epoch: 1,
+                attempts: 1,
+                matched: true,
+                image_diff: Some(DiffStats {
+                    bytes_compared: 1000,
+                    bytes_different: 0,
+                }),
+            }],
+            watch_hits: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_replays_are_recognized() {
+        let mut report = sample_report();
+        assert!(report.outcome.is_success());
+        assert!(report.replays_identical());
+
+        report.replay_validations[0].image_diff = Some(DiffStats {
+            bytes_compared: 1000,
+            bytes_different: 3,
+        });
+        assert!(!report.replays_identical());
+
+        report.replay_validations[0].image_diff = None;
+        report.replay_validations[0].matched = false;
+        assert!(!report.replays_identical());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let counters = Counters::default();
+        Counters::bump(&counters.sync_events);
+        Counters::add(&counters.sync_events, 4);
+        assert_eq!(Counters::get(&counters.sync_events), 5);
+    }
+}

@@ -1,0 +1,571 @@
+//! Synchronization primitives: recording and replay of mutexes, try-locks,
+//! condition variables, barriers, thread creation and joins (paper §3.2.1,
+//! §3.5.1).
+//!
+//! Every operation has three paths selected by the runtime phase:
+//!
+//! * **passthrough** -- execute the primitive directly (baseline and
+//!   IR-Alloc configurations);
+//! * **recording** -- execute the primitive, then append the event to the
+//!   thread's per-thread list and (for ordered operations) to the
+//!   variable's per-variable list;
+//! * **replaying** -- verify that the operation matches the next recorded
+//!   event of the thread (divergence otherwise), wait until the variable's
+//!   per-variable list says it is this thread's turn, then perform the
+//!   primitive and return the recorded result.
+//!
+//! Blocking waits poll with a short timeout so that pending abort and
+//! epoch-end flags are observed promptly; the common, uncontended paths do
+//! not sleep.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use ireplayer_log::{Divergence, DivergenceKind, EventKind, SyncOp, ThreadId};
+
+use crate::fault::{unwind_with, UnwindSignal};
+use crate::state::{RtInner, SyncVar, VThread};
+use crate::stats::Counters;
+
+/// Poll interval for blocking waits.  Short enough that aborts propagate
+/// quickly, long enough not to burn CPU.
+const WAIT_SLICE: Duration = Duration::from_millis(2);
+
+/// Result value recorded for the serial thread of a barrier wait.
+pub const BARRIER_SERIAL: i64 = 1;
+
+// ---------------------------------------------------------------------------
+// Recording helpers.
+// ---------------------------------------------------------------------------
+
+/// Appends a synchronization event to the thread list (and schedules an
+/// epoch end if the soft capacity is reached).  Returns the index of the
+/// event within the thread list.
+pub(crate) fn record_thread_event(rt: &RtInner, vt: &VThread, kind: EventKind) -> u32 {
+    Counters::bump(&rt.counters.sync_events);
+    let mut list = vt.list.lock();
+    match list.append(kind.clone()) {
+        Ok(index) => {
+            if list.is_full() {
+                drop(list);
+                rt.request_epoch_end(crate::state::EpochEndReason::LogFull);
+            }
+            index
+        }
+        Err(_) => {
+            let index = list.append_past_capacity(kind);
+            drop(list);
+            rt.request_epoch_end(crate::state::EpochEndReason::LogFull);
+            index
+        }
+    }
+}
+
+/// Records an ordered synchronization event: thread list plus per-variable
+/// list (Figure 4).
+pub(crate) fn record_sync(rt: &RtInner, vt: &VThread, var: &SyncVar, op: SyncOp, result: i64) {
+    let index = record_thread_event(
+        rt,
+        vt,
+        EventKind::Sync {
+            var: var.id,
+            op,
+            result,
+        },
+    );
+    var.var_list.lock().append(vt.id, op, index);
+}
+
+/// Marks the current step as dirty: it has produced a side effect and can no
+/// longer be re-parked for a pending epoch end.
+pub(crate) fn mark_dirty(vt: &VThread) {
+    vt.step_dirty.store(true, Ordering::Release);
+}
+
+// ---------------------------------------------------------------------------
+// Replay helpers.
+// ---------------------------------------------------------------------------
+
+/// Verifies that the operation the thread is about to perform matches its
+/// next recorded event; signals a divergence (and aborts the re-execution)
+/// otherwise.  Returns the recorded result value.
+pub(crate) fn replay_expect(rt: &RtInner, vt: &VThread, actual: &EventKind) -> i64 {
+    apply_planned_delay(rt, vt);
+    let expected = {
+        let list = vt.list.lock();
+        list.peek().cloned()
+    };
+    match expected {
+        Some(event) if event.kind.same_operation(actual) => match &event.kind {
+            EventKind::Sync { result, .. } => *result,
+            EventKind::Syscall { outcome, .. } => outcome.ret,
+        },
+        Some(event) => {
+            signal_divergence(
+                rt,
+                vt,
+                DivergenceKind::WrongOperation {
+                    expected: event.kind.clone(),
+                    actual: actual.clone(),
+                },
+            );
+        }
+        None => {
+            signal_divergence(
+                rt,
+                vt,
+                DivergenceKind::ExtraOperation {
+                    actual: actual.clone(),
+                },
+            );
+        }
+    }
+}
+
+/// Registers a divergence, requests an abort of the current re-execution,
+/// and unwinds.  When the thread is running a drain segment (its target was
+/// already reached and it is only consuming trailing events), exhaustion of
+/// the list is expected and the thread simply parks.
+pub(crate) fn signal_divergence(rt: &RtInner, vt: &VThread, kind: DivergenceKind) -> ! {
+    // A drain-mode thread that runs out of recorded events is done, not
+    // divergent (see DESIGN.md on interrupted trailing steps).
+    if matches!(kind, DivergenceKind::ExtraOperation { .. }) {
+        let control = vt.control.lock();
+        let past_target = control
+            .command
+            .map(|c| match c {
+                crate::state::Command::Run { target: Some(t), .. } => control.segment_steps >= t,
+                _ => false,
+            })
+            .unwrap_or(false);
+        drop(control);
+        if past_target && vt.list.lock().replay_complete() {
+            unwind_with(UnwindSignal::ReparkCleanStep);
+        }
+    }
+    let at_index = vt.list.lock().cursor();
+    let attempt = rt.replay_attempt.load(Ordering::Acquire);
+    crate::state::rt_trace!("{:?} divergence at index {at_index}: {kind:?}", vt.id);
+    Counters::bump(&rt.counters.divergences);
+    rt.epoch.lock().divergences.push(Divergence {
+        thread: vt.id,
+        at_index,
+        attempt,
+        kind,
+    });
+    rt.abort_requested.store(true, Ordering::Release);
+    rt.poke_world();
+    unwind_with(UnwindSignal::EpochAbort)
+}
+
+/// Applies any planned divergence delay for the event the thread is about to
+/// replay (§3.5.2: random sleeps at diverging points, without changing the
+/// recorded order).
+fn apply_planned_delay(rt: &RtInner, vt: &VThread) {
+    let cursor = vt.list.lock().cursor() as u32;
+    let delay_us = rt.delay_plan.lock().get(&(vt.id, cursor)).copied();
+    if let Some(us) = delay_us {
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+}
+
+/// Advances the thread-list cursor (after a successful replayed operation).
+pub(crate) fn replay_advance_thread(vt: &VThread) {
+    vt.list.lock().advance();
+}
+
+/// Blocks until the per-variable list says it is this thread's turn for
+/// `var`, honouring aborts.
+fn wait_for_turn(rt: &RtInner, vt: &VThread, var: &SyncVar) {
+    loop {
+        if rt.abort_pending() {
+            unwind_with(UnwindSignal::EpochAbort);
+        }
+        if var.var_list.lock().is_turn(vt.id) {
+            return;
+        }
+        let mut state = var.state.lock();
+        // Re-check under the lock to avoid a missed notification.
+        if var.var_list.lock().is_turn(vt.id) {
+            return;
+        }
+        var.cv.wait_for(&mut state, WAIT_SLICE);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abort / re-park checks used inside blocking primitives.
+// ---------------------------------------------------------------------------
+
+/// Called inside blocking waits: honours a pending abort, and re-parks a
+/// still-pristine step when a continue-type epoch end is pending so that the
+/// world can reach quiescence.
+fn check_blocking_flags(rt: &RtInner, vt: &VThread) {
+    if rt.abort_pending() {
+        unwind_with(UnwindSignal::EpochAbort);
+    }
+    if rt.epoch_end_pending() && !rt.replaying() && !vt.step_is_dirty() {
+        unwind_with(UnwindSignal::ReparkCleanStep);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutexes.
+// ---------------------------------------------------------------------------
+
+/// Acquires the raw mutex state (no recording).
+fn raw_lock(rt: &RtInner, vt: &VThread, var: &SyncVar) {
+    let mut state = var.state.lock();
+    while state.locked {
+        check_blocking_flags(rt, vt);
+        var.cv.wait_for(&mut state, WAIT_SLICE);
+    }
+    state.locked = true;
+    state.owner = Some(vt.id);
+}
+
+/// Releases the raw mutex state (no recording).
+fn raw_unlock(var: &SyncVar) {
+    {
+        let mut state = var.state.lock();
+        state.locked = false;
+        state.owner = None;
+    }
+    var.cv.notify_all();
+}
+
+/// Mutex acquisition.
+pub(crate) fn mutex_lock(rt: &RtInner, vt: &VThread, var: &SyncVar) {
+    if rt.replaying() {
+        let actual = EventKind::Sync {
+            var: var.id,
+            op: SyncOp::MutexLock,
+            result: 0,
+        };
+        replay_expect(rt, vt, &actual);
+        wait_for_turn(rt, vt, var);
+        raw_lock(rt, vt, var);
+        replay_advance_thread(vt);
+        var.var_list.lock().advance();
+        var.cv.notify_all();
+    } else {
+        // Waiting for the lock is side-effect free, so the dirty mark is set
+        // only once the acquisition succeeds; a pristine step blocked here
+        // can still be re-parked for a pending epoch end.
+        raw_lock(rt, vt, var);
+        mark_dirty(vt);
+        if rt.recording() {
+            record_sync(rt, vt, var, SyncOp::MutexLock, 0);
+        }
+    }
+    vt.control.lock().held_locks.push(var.id);
+}
+
+/// Mutex try-acquisition; returns whether the lock was obtained.
+pub(crate) fn mutex_trylock(rt: &RtInner, vt: &VThread, var: &SyncVar) -> bool {
+    if rt.replaying() {
+        let actual = EventKind::Sync {
+            var: var.id,
+            op: SyncOp::MutexTryLock,
+            result: 0,
+        };
+        let recorded = replay_expect(rt, vt, &actual) != 0;
+        if recorded {
+            wait_for_turn(rt, vt, var);
+            raw_lock(rt, vt, var);
+            var.var_list.lock().advance();
+            var.cv.notify_all();
+            vt.control.lock().held_locks.push(var.id);
+        }
+        replay_advance_thread(vt);
+        recorded
+    } else {
+        mark_dirty(vt);
+        let acquired = {
+            let mut state = var.state.lock();
+            if state.locked {
+                false
+            } else {
+                state.locked = true;
+                state.owner = Some(vt.id);
+                true
+            }
+        };
+        if rt.recording() {
+            // The attempt always enters the thread list; only successful
+            // acquisitions enter the per-variable list (§3.2.1).
+            let index = record_thread_event(
+                rt,
+                vt,
+                EventKind::Sync {
+                    var: var.id,
+                    op: SyncOp::MutexTryLock,
+                    result: i64::from(acquired),
+                },
+            );
+            if acquired {
+                var.var_list.lock().append(vt.id, SyncOp::MutexTryLock, index);
+            }
+        }
+        if acquired {
+            vt.control.lock().held_locks.push(var.id);
+        }
+        acquired
+    }
+}
+
+/// Mutex release.  Not recorded: within a thread the release order follows
+/// program order, and across threads the next acquisition is what matters.
+pub(crate) fn mutex_unlock(_rt: &RtInner, vt: &VThread, var: &SyncVar) {
+    raw_unlock(var);
+    let mut control = vt.control.lock();
+    if let Some(pos) = control.held_locks.iter().rposition(|v| *v == var.id) {
+        control.held_locks.remove(pos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condition variables.
+// ---------------------------------------------------------------------------
+
+/// Waits on condition variable `cv_var`, releasing and re-acquiring
+/// `mutex_var` around the wait.  The wake-up is recorded (as a `CondWake`
+/// event); the signal/broadcast themselves are not (§3.2.1).
+pub(crate) fn cond_wait(rt: &RtInner, vt: &VThread, cv_var: &SyncVar, mutex_var: &SyncVar) {
+    mutex_unlock(rt, vt, mutex_var);
+    if rt.replaying() {
+        let actual = EventKind::Sync {
+            var: cv_var.id,
+            op: SyncOp::CondWake,
+            result: 0,
+        };
+        replay_expect(rt, vt, &actual);
+        // Wait for the recorded wake-up turn and for a signal to have been
+        // produced by the re-execution.
+        {
+            let mut state = cv_var.state.lock();
+            state.waiters += 1;
+            loop {
+                if rt.abort_pending() {
+                    state.waiters -= 1;
+                    drop(state);
+                    unwind_with(UnwindSignal::EpochAbort);
+                }
+                let turn = cv_var.var_list.lock().is_turn(vt.id);
+                if turn && state.pending_signals > 0 {
+                    state.pending_signals -= 1;
+                    state.waiters -= 1;
+                    break;
+                }
+                cv_var.cv.wait_for(&mut state, WAIT_SLICE);
+            }
+        }
+        replay_advance_thread(vt);
+        cv_var.var_list.lock().advance();
+        cv_var.cv.notify_all();
+    } else {
+        mark_dirty(vt);
+        {
+            let mut state = cv_var.state.lock();
+            state.waiters += 1;
+            loop {
+                if rt.abort_pending() {
+                    state.waiters -= 1;
+                    drop(state);
+                    unwind_with(UnwindSignal::EpochAbort);
+                }
+                if state.pending_signals > 0 {
+                    state.pending_signals -= 1;
+                    state.waiters -= 1;
+                    break;
+                }
+                cv_var.cv.wait_for(&mut state, WAIT_SLICE);
+            }
+        }
+        if rt.recording() {
+            record_sync(rt, vt, cv_var, SyncOp::CondWake, 0);
+        }
+    }
+    mutex_lock(rt, vt, mutex_var);
+}
+
+/// Signals one waiter of `cv_var`.  Not recorded.
+pub(crate) fn cond_signal(rt: &RtInner, _vt: &VThread, cv_var: &SyncVar) {
+    {
+        let mut state = cv_var.state.lock();
+        if rt.replaying() {
+            // During replay signals are never lost, so that the recorded
+            // wake order can always be satisfied even if the signal is
+            // re-produced before the waiter re-blocks.
+            state.pending_signals += 1;
+        } else if state.pending_signals < state.waiters {
+            state.pending_signals += 1;
+        }
+    }
+    cv_var.cv.notify_all();
+}
+
+/// Wakes all waiters of `cv_var`.  Not recorded.
+pub(crate) fn cond_broadcast(rt: &RtInner, _vt: &VThread, cv_var: &SyncVar) {
+    {
+        let mut state = cv_var.state.lock();
+        if rt.replaying() {
+            state.pending_signals += state.waiters.max(1);
+        } else {
+            state.pending_signals = state.waiters;
+        }
+    }
+    cv_var.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Barriers.
+// ---------------------------------------------------------------------------
+
+/// Waits on a barrier of `parties` threads.  Returns `true` for exactly one
+/// (the "serial") thread per generation, mirroring
+/// `PTHREAD_BARRIER_SERIAL_THREAD`.  The entry order is not recorded (§3.2.1:
+/// "a thread waiting on a barrier will not change the state"); only the
+/// return value is.
+pub(crate) fn barrier_wait(rt: &RtInner, vt: &VThread, var: &SyncVar, parties: u32) -> bool {
+    if rt.replaying() {
+        let actual = EventKind::Sync {
+            var: var.id,
+            op: SyncOp::BarrierWait,
+            result: 0,
+        };
+        let recorded = replay_expect(rt, vt, &actual);
+        raw_barrier_wait(rt, vt, var, parties);
+        replay_advance_thread(vt);
+        return recorded == BARRIER_SERIAL;
+    }
+    mark_dirty(vt);
+    let serial = raw_barrier_wait(rt, vt, var, parties);
+    if rt.recording() {
+        let result = if serial { BARRIER_SERIAL } else { 0 };
+        record_thread_event(
+            rt,
+            vt,
+            EventKind::Sync {
+                var: var.id,
+                op: SyncOp::BarrierWait,
+                result,
+            },
+        );
+    }
+    serial
+}
+
+fn raw_barrier_wait(rt: &RtInner, vt: &VThread, var: &SyncVar, parties: u32) -> bool {
+    let mut state = var.state.lock();
+    let generation = state.barrier_generation;
+    state.barrier_count += 1;
+    if state.barrier_count >= parties {
+        state.barrier_count = 0;
+        state.barrier_generation += 1;
+        drop(state);
+        var.cv.notify_all();
+        true
+    } else {
+        while state.barrier_generation == generation {
+            if rt.abort_pending() {
+                // Leave the barrier consistent before unwinding: the whole
+                // generation is going to be rolled back anyway.
+                state.barrier_count = state.barrier_count.saturating_sub(1);
+                drop(state);
+                unwind_with(UnwindSignal::EpochAbort);
+            }
+            // A pristine-step re-park is *not* safe here: other threads may
+            // already count on this arrival, so only aborts interrupt a
+            // barrier wait.
+            var.cv.wait_for(&mut state, WAIT_SLICE);
+        }
+        let _ = vt;
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread creation and joins (recording side; the runtime module owns the
+// actual OS-thread management).
+// ---------------------------------------------------------------------------
+
+/// Records a thread-creation event on the global creation variable.
+pub(crate) fn record_thread_create(rt: &RtInner, vt: &VThread, child: ThreadId) {
+    let var = rt.sync_var(crate::state::CREATION_VAR);
+    record_sync(rt, vt, &var, SyncOp::ThreadCreate, i64::from(child.0));
+}
+
+/// During replay, verifies and orders the thread-creation event, returning
+/// the recorded child id.
+pub(crate) fn replay_thread_create(rt: &RtInner, vt: &VThread) -> ThreadId {
+    let var = rt.sync_var(crate::state::CREATION_VAR);
+    let actual = EventKind::Sync {
+        var: var.id,
+        op: SyncOp::ThreadCreate,
+        result: 0,
+    };
+    let recorded = replay_expect(rt, vt, &actual);
+    wait_for_turn(rt, vt, &var);
+    replay_advance_thread(vt);
+    var.var_list.lock().advance();
+    var.cv.notify_all();
+    ThreadId(recorded as u32)
+}
+
+/// Records a join of `child` on that thread's join variable.
+pub(crate) fn record_thread_join(rt: &RtInner, vt: &VThread, child: &VThread) {
+    let var = rt.sync_var(child.join_var);
+    record_sync(rt, vt, &var, SyncOp::ThreadJoin, i64::from(child.id.0));
+}
+
+/// During replay, verifies and orders a join event.
+pub(crate) fn replay_thread_join(rt: &RtInner, vt: &VThread, child: &VThread) {
+    let var = rt.sync_var(child.join_var);
+    let actual = EventKind::Sync {
+        var: var.id,
+        op: SyncOp::ThreadJoin,
+        result: 0,
+    };
+    replay_expect(rt, vt, &actual);
+    wait_for_turn(rt, vt, &var);
+    replay_advance_thread(vt);
+    var.var_list.lock().advance();
+}
+
+/// Fetches a block from the super heap under the global block-fetch lock
+/// (§2.2.4).  During recording, the acquisition order is logged on the
+/// dedicated super-heap variable *while the lock is held*, so that the order
+/// of the log entries equals the order of the fetches; during replay, each
+/// thread waits for its recorded turn before fetching, which reproduces the
+/// block-to-thread assignment exactly.
+pub(crate) fn superheap_fetch_ordered(
+    rt: &RtInner,
+    vt: &VThread,
+) -> Result<ireplayer_mem::Span, ireplayer_mem::MemError> {
+    let var = rt.sync_var(crate::state::SUPERHEAP_VAR);
+    if rt.replaying() {
+        let actual = EventKind::Sync {
+            var: var.id,
+            op: SyncOp::SuperHeapFetch,
+            result: 0,
+        };
+        replay_expect(rt, vt, &actual);
+        wait_for_turn(rt, vt, &var);
+        let block = rt.super_heap.fetch_block();
+        replay_advance_thread(vt);
+        var.var_list.lock().advance();
+        var.cv.notify_all();
+        block
+    } else if rt.recording() {
+        // Hold the variable's lock across "record + fetch" so the recorded
+        // order matches the fetch order.
+        let _guard = var.state.lock();
+        record_sync(rt, vt, &var, SyncOp::SuperHeapFetch, 0);
+        rt.super_heap.fetch_block()
+    } else {
+        rt.super_heap.fetch_block()
+    }
+}

@@ -1,0 +1,93 @@
+//! System-call dispatch helpers implementing the record/replay policy of
+//! each classification (paper §2.2.3).
+//!
+//! * **Repeatable** calls execute directly in every phase.
+//! * **Recordable** calls execute and have their outcome logged during
+//!   recording; during replay the logged outcome is returned without
+//!   executing the call.
+//! * **Revocable** calls execute in every phase; a marker event is logged so
+//!   that divergence checking covers them, and the file positions restored
+//!   at rollback make the re-issued call return the same data.
+//! * **Deferrable** calls are queued and issued at the next epoch begin; a
+//!   marker event is logged.
+//! * **Irrevocable** calls execute, taint the current epoch (it can no
+//!   longer be replayed) and schedule an epoch end.
+
+use ireplayer_log::{EventKind, SyscallOutcome};
+use ireplayer_sys::SyscallKind;
+
+use crate::state::{DeferredOp, EpochEndReason, RtInner, VThread};
+use crate::stats::Counters;
+use crate::sync::{mark_dirty, record_thread_event, replay_advance_thread, replay_expect, signal_divergence};
+
+/// Records the outcome of a recordable call (or the marker of a revocable /
+/// deferrable call).
+pub(crate) fn record_syscall(rt: &RtInner, vt: &VThread, kind: SyscallKind, outcome: SyscallOutcome) {
+    record_thread_event(
+        rt,
+        vt,
+        EventKind::Syscall {
+            code: kind.code(),
+            outcome,
+        },
+    );
+}
+
+/// During replay, verifies that the next recorded event of the thread is
+/// this system call and returns the recorded outcome.
+pub(crate) fn replay_syscall(rt: &RtInner, vt: &VThread, kind: SyscallKind) -> SyscallOutcome {
+    let actual = EventKind::Syscall {
+        code: kind.code(),
+        outcome: SyscallOutcome::default(),
+    };
+    // `replay_expect` validates the operation; the full outcome (which may
+    // carry data) is then cloned from the event under the cursor.
+    replay_expect(rt, vt, &actual);
+    let outcome = {
+        let list = vt.list.lock();
+        match list.peek() {
+            Some(event) => match &event.kind {
+                EventKind::Syscall { outcome, .. } => outcome.clone(),
+                _ => SyscallOutcome::default(),
+            },
+            None => SyscallOutcome::default(),
+        }
+    };
+    replay_advance_thread(vt);
+    outcome
+}
+
+/// Marks the beginning of a system call: bumps counters, marks the step
+/// dirty, and notifies the instrumentation baseline if one is installed.
+pub(crate) fn syscall_prologue(rt: &RtInner, vt: &VThread) {
+    mark_dirty(vt);
+    Counters::bump(&rt.counters.syscalls);
+}
+
+/// Queues a deferrable operation for the next epoch begin.
+pub(crate) fn defer(rt: &RtInner, op: DeferredOp) {
+    rt.epoch.lock().deferred.push(op);
+}
+
+/// Handles an irrevocable call: taints the epoch and schedules an epoch end
+/// so that a fresh, replayable epoch starts as soon as the world reaches
+/// quiescence.
+pub(crate) fn irrevocable(rt: &RtInner, name: &'static str) {
+    rt.epoch.lock().tainted_by = Some(name);
+    rt.request_epoch_end(EpochEndReason::Irrevocable);
+}
+
+/// During replay, a call that should never be re-issued (it was classified
+/// recordable but carries no logged event, which indicates a divergence).
+pub(crate) fn replay_unexpected(rt: &RtInner, vt: &VThread, kind: SyscallKind) -> ! {
+    signal_divergence(
+        rt,
+        vt,
+        ireplayer_log::DivergenceKind::ExtraOperation {
+            actual: EventKind::Syscall {
+                code: kind.code(),
+                outcome: SyscallOutcome::default(),
+            },
+        },
+    )
+}

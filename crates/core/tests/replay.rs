@@ -1,0 +1,213 @@
+//! Integration tests of the record/rollback/replay cycle inside the core
+//! crate (cross-crate scenarios live in the workspace-level `tests/`
+//! directory).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use ireplayer::{
+    Config, EpochDecision, EpochView, Program, ReplayRequest, Runtime, Step, ToolHook,
+};
+
+fn config() -> Config {
+    Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(128 << 10)
+        .max_replay_attempts(3)
+        .quiescence_timeout_ms(5_000)
+        .build()
+        .unwrap()
+}
+
+/// A hook that requests one replay of the final epoch, with no watchpoints.
+struct ReplayOnce {
+    requested: AtomicU32,
+    replays_seen: AtomicU32,
+    matched: AtomicU32,
+}
+
+impl ReplayOnce {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplayOnce {
+            requested: AtomicU32::new(0),
+            replays_seen: AtomicU32::new(0),
+            matched: AtomicU32::new(0),
+        })
+    }
+}
+
+impl ToolHook for ReplayOnce {
+    fn name(&self) -> &str {
+        "replay-once"
+    }
+
+    fn at_epoch_end(&self, _view: &dyn EpochView) -> EpochDecision {
+        if self.requested.fetch_add(1, Ordering::SeqCst) == 0 {
+            EpochDecision::Replay(ReplayRequest::because("validation replay"))
+        } else {
+            EpochDecision::Continue
+        }
+    }
+
+    fn after_replay(&self, _view: &dyn EpochView, matched: bool, _attempts: u32) {
+        self.replays_seen.fetch_add(1, Ordering::SeqCst);
+        if matched {
+            self.matched.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A deterministic multithreaded workload: several workers move values
+/// between heap objects under locks, do file and socket IO, and the main
+/// thread aggregates the results.
+fn mixed_program() -> Program {
+    Program::new("mixed", |ctx| {
+        let total = ctx.global("total", 8);
+        let lock = ctx.mutex();
+        let barrier = ctx.barrier(4);
+
+        let fd = ctx.open_create("scratch.dat").expect("open scratch file");
+        ctx.write(fd, b"header--");
+
+        let mut workers = Vec::new();
+        for worker_index in 0..3u64 {
+            workers.push(ctx.spawn("worker", move |ctx| {
+                let buffer = ctx.alloc(256);
+                for i in 0..32u64 {
+                    ctx.write_u64(buffer + (i % 16) * 8, i * worker_index);
+                }
+                let checksum = ctx.work(500) ^ worker_index;
+                ctx.lock(lock);
+                let value = ctx.read_u64(total);
+                ctx.write_u64(total, value + checksum % 97 + 1);
+                ctx.unlock(lock);
+                ctx.barrier_wait(barrier);
+                ctx.free(buffer);
+                Step::Done
+            }));
+        }
+        ctx.barrier_wait(barrier);
+        for worker in workers {
+            ctx.join(worker);
+        }
+        let time = ctx.now_ns();
+        let sum = ctx.read_u64(total);
+        ctx.write(fd, format!("sum={sum} t={}", time % 7).as_bytes());
+        ctx.close(fd);
+        Step::Done
+    })
+}
+
+#[test]
+fn matching_replay_reproduces_the_heap_image() {
+    let runtime = Runtime::new(config()).unwrap();
+    let hook = ReplayOnce::new();
+    runtime.add_hook(hook.clone());
+    let report = runtime.run(mixed_program()).unwrap();
+
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    assert_eq!(report.replay_validations.len(), 1);
+    let validation = &report.replay_validations[0];
+    assert!(validation.matched, "replay did not find a matching schedule");
+    let diff = validation.image_diff.expect("image validation enabled");
+    assert_eq!(
+        diff.bytes_different, 0,
+        "identical replay must reproduce the heap image exactly: {diff}"
+    );
+    assert_eq!(hook.replays_seen.load(Ordering::SeqCst), 1);
+    assert_eq!(hook.matched.load(Ordering::SeqCst), 1);
+    assert!(report.replay_attempts >= 1);
+}
+
+#[test]
+fn replay_reproduces_recorded_syscall_results() {
+    // The recorded gettimeofday value must be returned during replay; if the
+    // replay re-invoked the clock the derived value stored in the heap would
+    // differ and the image diff would be non-zero.
+    let runtime = Runtime::new(config()).unwrap();
+    let hook = ReplayOnce::new();
+    runtime.add_hook(hook.clone());
+    let report = runtime
+        .run(Program::new("time-dependent", |ctx| {
+            let slot = ctx.global("slot", 8);
+            let now = ctx.now_ns();
+            ctx.write_u64(slot, now);
+            let cell = ctx.alloc(64);
+            ctx.write_u64(cell, now ^ 0xabcd);
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success());
+    let validation = &report.replay_validations[0];
+    assert!(validation.matched);
+    assert_eq!(validation.image_diff.unwrap().bytes_different, 0);
+}
+
+#[test]
+fn fault_diagnosis_replay_runs_and_reports() {
+    // An explicit crash triggers a diagnostic replay under the default fault
+    // policy; the run reports the fault and the replay validation.
+    let runtime = Runtime::new(config()).unwrap();
+    let report = runtime
+        .run(Program::new("crasher", |ctx| {
+            let cell = ctx.alloc(32);
+            ctx.write_u64(cell, 7);
+            if ctx.read_u64(cell) == 7 {
+                ctx.crash("invariant violated on purpose");
+            }
+            Step::Done
+        }))
+        .unwrap();
+    assert!(!report.outcome.is_success());
+    assert_eq!(report.faults.iter().filter(|f| f.thread.0 == 0).count() >= 1, true);
+    assert_eq!(report.replay_validations.len(), 1);
+    assert!(report.replay_validations[0].matched);
+}
+
+#[test]
+fn passthrough_mode_records_nothing_and_cannot_replay() {
+    let config = Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(128 << 10)
+        .mode(ireplayer::RunMode::Passthrough)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(config).unwrap();
+    let report = runtime
+        .run(Program::new("plain", |ctx| {
+            let lock = ctx.mutex();
+            ctx.lock(lock);
+            ctx.unlock(lock);
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success());
+    assert_eq!(report.sync_events, 0);
+    assert!(report.replay_validations.is_empty());
+}
+
+#[test]
+fn deferred_close_keeps_descriptors_reproducible() {
+    // Open/close/open: with close deferred to the next epoch the second open
+    // must receive a *different* descriptor, which is what makes the
+    // recorded descriptor values reproducible during replay.
+    let runtime = Runtime::new(config()).unwrap();
+    runtime.os().create_file("a.txt", vec![1, 2, 3]);
+    let hook = ReplayOnce::new();
+    runtime.add_hook(hook);
+    let report = runtime
+        .run(Program::new("fds", |ctx| {
+            let first = ctx.open("a.txt").unwrap();
+            ctx.close(first);
+            let second = ctx.open("a.txt").unwrap();
+            let cell = ctx.global("fds", 16);
+            ctx.write_u64(cell, first as u64);
+            ctx.write_u64(cell + 8, second as u64);
+            ctx.assert_that(first != second, "close must be deferred");
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    assert!(report.replay_validations[0].matched);
+    assert_eq!(report.replay_validations[0].image_diff.unwrap().bytes_different, 0);
+}

@@ -1,0 +1,189 @@
+//! Interactive replay debugging (paper §4.3).
+//!
+//! The original tool stops inside the signal handler on an abnormal exit so
+//! that a developer attached with GDB can inspect the fault, set
+//! watchpoints, and issue a `rollback` command that re-executes the last
+//! epoch under those watchpoints.  The managed-substrate analogue is a
+//! *programmatic* debugger: a callback (the "debugger session") is invoked
+//! when a fault is intercepted; it can read memory, inspect the fault, and
+//! request watchpoints, and is later handed the watch hits observed during
+//! the diagnostic replay.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use ireplayer::{EpochView, FaultRecord, MemAddr, Span, ToolHook, WatchHitReport};
+
+/// The state of one debugging session, passed to the user callback when a
+/// fault is intercepted.
+pub struct DebugSession<'a> {
+    fault: &'a FaultRecord,
+    view: &'a dyn EpochView,
+    watchpoints: Vec<Span>,
+}
+
+impl<'a> DebugSession<'a> {
+    /// The fault that triggered the session.
+    pub fn fault(&self) -> &FaultRecord {
+        self.fault
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// Reads managed memory (like `x/` in GDB).
+    pub fn read_bytes(&self, addr: MemAddr, len: usize) -> Vec<u8> {
+        self.view.read_bytes(addr, len)
+    }
+
+    /// Reads a 64-bit little-endian value from managed memory.
+    pub fn read_u64(&self, addr: MemAddr) -> u64 {
+        let bytes = self.view.read_bytes(addr, 8);
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&bytes);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Source location of the allocation containing `addr`, if known.
+    pub fn alloc_site(&self, addr: MemAddr) -> Option<ireplayer::Site> {
+        self.view.alloc_site(addr)
+    }
+
+    /// Installs a watchpoint for the diagnostic replay (like `watch` in
+    /// GDB).  At most four are honoured per replay.
+    pub fn watch(&mut self, span: Span) {
+        self.watchpoints.push(span);
+    }
+}
+
+type SessionCallback = dyn Fn(&mut DebugSession<'_>) + Send + Sync;
+
+/// The interactive debugger hook.
+///
+/// Register a session callback with [`ReplayDebugger::on_fault_session`];
+/// it runs when a fault is intercepted and decides which addresses to watch
+/// during the rollback.  After the replay, [`ReplayDebugger::hits`] returns
+/// the watchpoint hits (the "GDB stopped at watchpoint" notifications), and
+/// [`ReplayDebugger::sessions`] the number of faults handled.
+#[derive(Default)]
+pub struct ReplayDebugger {
+    callback: Mutex<Option<Box<SessionCallback>>>,
+    hits: Mutex<Vec<WatchHitReport>>,
+    faults: Mutex<Vec<FaultRecord>>,
+}
+
+impl ReplayDebugger {
+    /// Creates a debugger, ready to be attached with
+    /// [`ireplayer::Runtime::add_hook`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(ReplayDebugger::default())
+    }
+
+    /// Registers the session callback invoked on every intercepted fault.
+    pub fn on_fault_session<F>(&self, callback: F)
+    where
+        F: Fn(&mut DebugSession<'_>) + Send + Sync + 'static,
+    {
+        *self.callback.lock() = Some(Box::new(callback));
+    }
+
+    /// Watchpoint hits observed during diagnostic replays.
+    pub fn hits(&self) -> Vec<WatchHitReport> {
+        self.hits.lock().clone()
+    }
+
+    /// Faults intercepted so far.
+    pub fn faults(&self) -> Vec<FaultRecord> {
+        self.faults.lock().clone()
+    }
+
+    /// Number of debugging sessions run.
+    pub fn sessions(&self) -> usize {
+        self.faults.lock().len()
+    }
+}
+
+impl std::fmt::Debug for ReplayDebugger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayDebugger")
+            .field("sessions", &self.sessions())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ToolHook for ReplayDebugger {
+    fn name(&self) -> &str {
+        "replay-debugger"
+    }
+
+    fn on_fault(&self, fault: &FaultRecord, view: &dyn EpochView) -> Vec<Span> {
+        self.faults.lock().push(fault.clone());
+        let mut session = DebugSession {
+            fault,
+            view,
+            watchpoints: Vec::new(),
+        };
+        if let Some(callback) = self.callback.lock().as_ref() {
+            callback(&mut session);
+        }
+        session.watchpoints
+    }
+
+    fn on_watch_hit(&self, hit: &WatchHitReport) {
+        self.hits.lock().push(hit.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer::{Config, Program, Runtime, Step};
+
+    #[test]
+    fn debugger_session_runs_on_fault_and_receives_watch_hits() {
+        let config = Config::builder()
+            .arena_size(8 << 20)
+            .heap_block_size(128 << 10)
+            .build()
+            .unwrap();
+        let runtime = Runtime::new(config).unwrap();
+        let debugger = ReplayDebugger::new();
+        runtime.add_hook(debugger.clone());
+
+        // The session watches the memory cell the program scribbles on right
+        // before crashing; the rollback replays the epoch and the watchpoint
+        // fires at the culprit write.
+        let watched_cell = std::sync::Arc::new(Mutex::new(None));
+        let watched_for_cb = watched_cell.clone();
+        debugger.on_fault_session(move |session| {
+            assert!(session.epoch() == 0 || session.epoch() > 0);
+            let addr = MemAddr::new(session.fault().epoch + 1); // placeholder, replaced below
+            let _ = addr;
+            if let Some(cell) = *watched_for_cb.lock() {
+                assert_ne!(session.read_u64(cell), 0);
+                session.watch(Span::new(cell, 8));
+            }
+        });
+
+        let cell_for_program = watched_cell.clone();
+        let report = runtime
+            .run(Program::new("debug-me", move |ctx| {
+                let cell = ctx.alloc(16);
+                *cell_for_program.lock() = Some(cell);
+                ctx.write_u64(cell, 0xfeed);
+                ctx.crash("simulated abnormal exit");
+                #[allow(unreachable_code)]
+                Step::Done
+            }))
+            .unwrap();
+
+        assert!(!report.outcome.is_success());
+        assert_eq!(debugger.sessions(), 1);
+        assert_eq!(debugger.faults().len(), 1);
+        // The replay re-executed the write to the watched cell.
+        assert!(!debugger.hits().is_empty());
+        assert!(!format!("{debugger:?}").is_empty());
+    }
+}

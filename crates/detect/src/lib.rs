@@ -1,0 +1,59 @@
+//! Detection and debugging tools built on top of the iReplayer runtime
+//! (paper §4).
+//!
+//! Three tools are provided, mirroring the paper's applications:
+//!
+//! * [`OverflowDetector`] -- detects heap buffer overflows from corrupted
+//!   allocation canaries at epoch boundaries and pinpoints the faulting
+//!   write by replaying the epoch with watchpoints installed on the
+//!   corrupted addresses (§4.1);
+//! * [`UseAfterFreeDetector`] -- detects writes to freed (quarantined)
+//!   objects and identifies the use-after-free site the same way (§4.2);
+//! * [`ReplayDebugger`] -- an interactive (programmatic) debugger in the
+//!   spirit of the GDB integration of §4.3: on a fault it lets the caller
+//!   inspect memory, set watchpoints, request a rollback, and receive
+//!   watch-hit notifications.
+//!
+//! A fourth hook, [`PreventionAdvisor`], implements the evidence-based
+//! failure-prevention workflow the paper's introduction proposes: it turns
+//! the same evidence into a [`PreventionPlan`] that hardens the next
+//! deployment's configuration (delayed frees, padded allocations).
+//!
+//! All of these are [`ToolHook`]s; attach them to a [`ireplayer::Runtime`]
+//! with [`ireplayer::Runtime::add_hook`].  The overflow detector requires
+//! canaries to be enabled in the runtime configuration, and the
+//! use-after-free detector requires a non-zero quarantine budget;
+//! convenience constructors for suitable configurations are provided.
+
+pub mod debugger;
+pub mod overflow;
+pub mod prevention;
+pub mod report;
+pub mod use_after_free;
+
+pub use debugger::{DebugSession, ReplayDebugger};
+pub use overflow::OverflowDetector;
+pub use prevention::{PreventionAction, PreventionAdvisor, PreventionPlan};
+pub use report::{BugKind, BugReport};
+pub use use_after_free::UseAfterFreeDetector;
+
+use ireplayer::Config;
+
+/// Returns a configuration builder pre-set for the detection tools: the
+/// paper's "iReplayer (OF+DP)" configuration with canaries and a freed-object
+/// quarantine (Figure 5).
+pub fn detection_config() -> ireplayer::ConfigBuilder {
+    Config::builder().canaries(true).quarantine_bytes(256 * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_config_enables_canaries_and_quarantine() {
+        let config = detection_config().arena_size(1 << 20).heap_block_size(64 << 10).build().unwrap();
+        assert!(config.canaries);
+        assert!(config.quarantine_bytes > 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Heap-overflow detection (paper §4.1).
+//!
+//! The runtime plants canaries after every allocation (when configured).
+//! At each epoch boundary this hook scans the canaries; any overwritten
+//! canary is incontrovertible evidence of an overflow.  The hook then
+//! requests a replay of the epoch with watchpoints installed on the
+//! corrupted addresses (at most four per replay, the hardware debug-register
+//! limit), and assembles a [`BugReport`] naming the allocation site and the
+//! faulting write.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use ireplayer::{
+    EpochDecision, EpochView, MemAddr, ReplayRequest, Span, ToolHook, WatchHitReport,
+};
+
+use crate::report::{BugKind, BugReport, Culprit};
+
+/// The heap-overflow detector hook.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use ireplayer::{Program, Runtime, Step};
+/// use ireplayer_detect::{detection_config, OverflowDetector};
+///
+/// # fn main() -> Result<(), ireplayer::RuntimeError> {
+/// let config = detection_config()
+///     .arena_size(8 << 20)
+///     .heap_block_size(128 << 10)
+///     .build()?;
+/// let runtime = Runtime::new(config)?;
+/// let detector = OverflowDetector::new();
+/// runtime.add_hook(detector.clone());
+///
+/// let report = runtime.run(Program::new("overflow", |ctx| {
+///     let buffer = ctx.alloc(32);
+///     // Write one element past the end of the 32-byte buffer.
+///     ctx.write_u64(buffer + 32, 0xbad);
+///     Step::Done
+/// }))?;
+/// assert!(report.outcome.is_success());
+/// let bugs = detector.reports();
+/// assert_eq!(bugs.len(), 1);
+/// assert!(bugs[0].culprit.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct OverflowDetector {
+    state: Mutex<DetectorState>,
+}
+
+#[derive(Debug, Default)]
+struct DetectorState {
+    /// Corruption found at the last epoch end, waiting for the replay's
+    /// watch hits.
+    pending: Vec<PendingBug>,
+    /// Watch hits observed during the current diagnostic replay.
+    hits: Vec<WatchHitReport>,
+    /// Finalized reports.
+    reports: Vec<BugReport>,
+    /// Number of diagnostic replays requested.
+    replays_requested: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingBug {
+    corrupted: MemAddr,
+    span: Span,
+    object: MemAddr,
+    epoch: u64,
+}
+
+impl OverflowDetector {
+    /// Creates a detector, ready to be attached with
+    /// [`ireplayer::Runtime::add_hook`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(OverflowDetector::default())
+    }
+
+    /// The bug reports assembled so far.
+    pub fn reports(&self) -> Vec<BugReport> {
+        self.state.lock().reports.clone()
+    }
+
+    /// Number of diagnostic replays this detector has requested.
+    pub fn replays_requested(&self) -> u64 {
+        self.state.lock().replays_requested
+    }
+}
+
+impl ToolHook for OverflowDetector {
+    fn name(&self) -> &str {
+        "heap-overflow-detector"
+    }
+
+    fn at_epoch_end(&self, view: &dyn EpochView) -> EpochDecision {
+        let corrupted = view.corrupted_canaries();
+        if corrupted.is_empty() {
+            return EpochDecision::Continue;
+        }
+        let mut state = self.state.lock();
+        let mut request = ReplayRequest::because("heap overflow: corrupted allocation canary");
+        for evidence in corrupted {
+            state.pending.push(PendingBug {
+                corrupted: evidence.first_bad_byte,
+                span: evidence.span,
+                object: evidence.guarded,
+                epoch: view.epoch(),
+            });
+            request = request.watch(evidence.span);
+        }
+        state.hits.clear();
+        state.replays_requested += 1;
+        EpochDecision::Replay(request)
+    }
+
+    fn on_watch_hit(&self, hit: &WatchHitReport) {
+        self.state.lock().hits.push(hit.clone());
+    }
+
+    fn after_replay(&self, view: &dyn EpochView, _matched: bool, _attempts: u32) {
+        let mut state = self.state.lock();
+        let pending = std::mem::take(&mut state.pending);
+        let hits = std::mem::take(&mut state.hits);
+        for bug in pending {
+            let culprit = hits
+                .iter()
+                .find(|hit| hit.watched.overlaps(&bug.span) || hit.access.overlaps(&bug.span))
+                .map(|hit| Culprit {
+                    watched: hit.watched,
+                    access: hit.access,
+                    thread: hit.thread.0,
+                    site: hit.site.clone(),
+                });
+            let report = BugReport {
+                kind: BugKind::HeapOverflow,
+                corrupted: bug.corrupted,
+                object: bug.object,
+                alloc_site: view.alloc_site(bug.object),
+                free_site: None,
+                culprit,
+                epoch: bug.epoch,
+            };
+            state.reports.push(report);
+        }
+    }
+}

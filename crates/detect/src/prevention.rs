@@ -1,0 +1,307 @@
+//! Evidence-based failure prevention (paper §1, "enables evidence-based
+//! approaches to prevent program failures").
+//!
+//! The paper points out that an in-situ, identical RnR system can do more
+//! than diagnose: once a failure's root cause is known, the runtime can be
+//! reconfigured so the *same* class of failure no longer corrupts state --
+//! for example by delaying the re-allocation of objects freed at a
+//! use-after-free site, or by padding allocations at an overflow site.
+//! This module implements that workflow for the two memory-error classes
+//! the detection tools cover:
+//!
+//! 1. attach a [`PreventionAdvisor`] alongside the detectors;
+//! 2. it accumulates the evidence the runtime exposes at epoch boundaries
+//!    (corrupted canaries, modified quarantined objects) into
+//!    [`PreventionAction`]s;
+//! 3. [`PreventionPlan::harden`] applies the plan to a configuration for
+//!    the next deployment: larger quarantine budgets (so discovered
+//!    use-after-free sites keep hitting poisoned-but-unreused memory
+//!    instead of live objects) and canaries/padding for discovered
+//!    overflow sites.
+//!
+//! The plan is deliberately conservative: it never turns protection off,
+//! and applying an empty plan leaves the configuration unchanged.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use ireplayer::{Config, EpochDecision, EpochView, Site, ToolHook};
+
+/// One hardening measure derived from observed evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreventionAction {
+    /// Delay the reuse of objects freed at `free_site` by keeping at least
+    /// `quarantine_bytes` of freed memory quarantined.
+    DelayFrees {
+        /// Where the prematurely reused object was freed, if known.
+        free_site: Option<Site>,
+        /// Advised minimum quarantine budget in bytes.
+        quarantine_bytes: usize,
+    },
+    /// Keep canaries enabled and pad allocations made at `alloc_site` by
+    /// `pad_bytes` so the next overflow of the same object lands in padding
+    /// instead of a neighbouring object.
+    PadAllocations {
+        /// Where the overflowed object was allocated, if known.
+        alloc_site: Option<Site>,
+        /// Advised padding in bytes.
+        pad_bytes: usize,
+    },
+}
+
+/// The accumulated hardening plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PreventionPlan {
+    actions: Vec<PreventionAction>,
+}
+
+impl PreventionPlan {
+    /// Creates a plan from a list of actions (used by tools and tests that
+    /// assemble plans outside the advisor hook).
+    pub fn from_actions(actions: Vec<PreventionAction>) -> Self {
+        PreventionPlan { actions }
+    }
+
+    /// The individual actions, in the order the evidence was observed.
+    pub fn actions(&self) -> &[PreventionAction] {
+        &self.actions
+    }
+
+    /// Returns `true` if no evidence has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The quarantine budget the plan advises (the maximum over all
+    /// delay-frees actions), if any.
+    pub fn advised_quarantine_bytes(&self) -> Option<usize> {
+        self.actions
+            .iter()
+            .filter_map(|action| match action {
+                PreventionAction::DelayFrees {
+                    quarantine_bytes, ..
+                } => Some(*quarantine_bytes),
+                PreventionAction::PadAllocations { .. } => None,
+            })
+            .max()
+    }
+
+    /// The allocation padding the plan advises (the maximum over all
+    /// pad-allocations actions), if any.
+    pub fn advised_padding_bytes(&self) -> Option<usize> {
+        self.actions
+            .iter()
+            .filter_map(|action| match action {
+                PreventionAction::PadAllocations { pad_bytes, .. } => Some(*pad_bytes),
+                PreventionAction::DelayFrees { .. } => None,
+            })
+            .max()
+    }
+
+    /// Applies the plan to a configuration for the next run: enables
+    /// canaries when an overflow was observed and raises the quarantine
+    /// budget to the advised value when a use-after-free was observed.
+    /// Hardening is monotone -- it never disables a protection or shrinks a
+    /// budget -- and an empty plan returns the configuration unchanged.
+    pub fn harden(&self, mut config: Config) -> Config {
+        if self.advised_padding_bytes().is_some() {
+            config.canaries = true;
+        }
+        if let Some(bytes) = self.advised_quarantine_bytes() {
+            config.quarantine_bytes = config.quarantine_bytes.max(bytes);
+        }
+        config
+    }
+
+    /// Sites implicated by the plan, grouped by file and line, for
+    /// human-readable summaries.
+    pub fn implicated_sites(&self) -> Vec<Site> {
+        let mut sites: BTreeMap<(String, u32, u32), Site> = BTreeMap::new();
+        for action in &self.actions {
+            let site = match action {
+                PreventionAction::DelayFrees { free_site, .. } => free_site,
+                PreventionAction::PadAllocations { alloc_site, .. } => alloc_site,
+            };
+            if let Some(site) = site {
+                sites.insert((site.file.clone(), site.line, site.column), site.clone());
+            }
+        }
+        sites.into_values().collect()
+    }
+}
+
+impl std::fmt::Display for PreventionPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.actions.is_empty() {
+            return f.write_str("no hardening required (no evidence observed)");
+        }
+        for action in &self.actions {
+            match action {
+                PreventionAction::DelayFrees {
+                    free_site,
+                    quarantine_bytes,
+                } => {
+                    write!(f, "delay frees")?;
+                    if let Some(site) = free_site {
+                        write!(f, " at {site}")?;
+                    }
+                    writeln!(f, ": keep >= {quarantine_bytes} bytes quarantined")?;
+                }
+                PreventionAction::PadAllocations {
+                    alloc_site,
+                    pad_bytes,
+                } => {
+                    write!(f, "pad allocations")?;
+                    if let Some(site) = alloc_site {
+                        write!(f, " at {site}")?;
+                    }
+                    writeln!(f, ": reserve {pad_bytes} guard bytes")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Tool hook that converts detector evidence into a [`PreventionPlan`].
+///
+/// The advisor never requests replays itself (diagnosis belongs to the
+/// detectors); it only observes the same evidence and accumulates the plan.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer::{Program, Runtime, Step};
+/// use ireplayer_detect::{detection_config, PreventionAdvisor};
+///
+/// # fn main() -> Result<(), ireplayer::RuntimeError> {
+/// let config = detection_config()
+///     .arena_size(8 << 20)
+///     .heap_block_size(128 << 10)
+///     .build()?;
+/// let runtime = Runtime::new(config)?;
+/// let advisor = PreventionAdvisor::new();
+/// runtime.add_hook(advisor.clone());
+///
+/// let report = runtime.run(Program::new("uaf", |ctx| {
+///     let object = ctx.alloc(64);
+///     ctx.free(object);
+///     ctx.write_u64(object, 7); // use after free
+///     Step::Done
+/// }))?;
+/// assert!(report.outcome.is_success());
+/// let plan = advisor.plan();
+/// assert!(plan.advised_quarantine_bytes().is_some());
+/// // The next deployment starts from a hardened configuration.
+/// let hardened = plan.harden(detection_config().build()?);
+/// assert!(hardened.quarantine_bytes > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct PreventionAdvisor {
+    plan: Mutex<PreventionPlan>,
+}
+
+/// Default quarantine budget advised per discovered use-after-free, chosen
+/// to match AddressSanitizer's default per-thread quarantine ballpark.
+const ADVISED_QUARANTINE_BYTES: usize = 1 << 20;
+
+/// Default padding advised per discovered overflow: one cache line past the
+/// requested size absorbs small off-by-N overwrites.
+const ADVISED_PAD_BYTES: usize = 64;
+
+impl PreventionAdvisor {
+    /// Creates an advisor, ready to be attached with
+    /// [`ireplayer::Runtime::add_hook`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(PreventionAdvisor::default())
+    }
+
+    /// The plan accumulated so far.
+    pub fn plan(&self) -> PreventionPlan {
+        self.plan.lock().clone()
+    }
+}
+
+impl ToolHook for PreventionAdvisor {
+    fn name(&self) -> &str {
+        "failure-prevention-advisor"
+    }
+
+    fn at_epoch_end(&self, view: &dyn EpochView) -> EpochDecision {
+        let mut plan = self.plan.lock();
+        for corruption in view.corrupted_canaries() {
+            plan.actions.push(PreventionAction::PadAllocations {
+                alloc_site: view.alloc_site(corruption.guarded),
+                pad_bytes: ADVISED_PAD_BYTES.max(corruption.span.len as usize),
+            });
+        }
+        for evidence in view.use_after_free_evidence() {
+            plan.actions.push(PreventionAction::DelayFrees {
+                free_site: view.free_site(evidence.entry.payload),
+                quarantine_bytes: ADVISED_QUARANTINE_BYTES
+                    .max(evidence.entry.requested.saturating_mul(8)),
+            });
+        }
+        // Diagnosis (and therefore the replay decision) is left to the
+        // detection tools; the advisor only listens.
+        EpochDecision::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_empty_plan_changes_nothing_and_says_so() {
+        let plan = PreventionPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.advised_quarantine_bytes(), None);
+        assert_eq!(plan.advised_padding_bytes(), None);
+        assert!(plan.to_string().contains("no hardening required"));
+        let baseline = crate::detection_config().build().unwrap();
+        let hardened = plan.harden(baseline.clone());
+        assert_eq!(baseline, hardened);
+    }
+
+    #[test]
+    fn plans_merge_evidence_into_conservative_advice() {
+        let plan = PreventionPlan {
+            actions: vec![
+                PreventionAction::DelayFrees {
+                    free_site: Some(Site {
+                        file: "cache.rs".into(),
+                        line: 10,
+                        column: 5,
+                    }),
+                    quarantine_bytes: 4096,
+                },
+                PreventionAction::DelayFrees {
+                    free_site: None,
+                    quarantine_bytes: 1 << 20,
+                },
+                PreventionAction::PadAllocations {
+                    alloc_site: Some(Site {
+                        file: "parser.rs".into(),
+                        line: 99,
+                        column: 1,
+                    }),
+                    pad_bytes: 64,
+                },
+            ],
+        };
+        assert_eq!(plan.advised_quarantine_bytes(), Some(1 << 20));
+        assert_eq!(plan.advised_padding_bytes(), Some(64));
+        assert_eq!(plan.implicated_sites().len(), 2);
+        let text = plan.to_string();
+        assert!(text.contains("cache.rs:10:5"));
+        assert!(text.contains("parser.rs:99:1"));
+        let config = plan.harden(ireplayer::Config::default());
+        assert!(config.canaries);
+        assert_eq!(config.quarantine_bytes, 1 << 20);
+    }
+}

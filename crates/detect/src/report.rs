@@ -1,0 +1,133 @@
+//! Bug reports produced by the detection tools.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ireplayer::{MemAddr, Site, Span};
+
+/// The kind of memory error a report describes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugKind {
+    /// A write past the end of a heap allocation.
+    HeapOverflow,
+    /// A write to an object after it was freed.
+    UseAfterFree,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugKind::HeapOverflow => f.write_str("heap buffer overflow"),
+            BugKind::UseAfterFree => f.write_str("use after free"),
+        }
+    }
+}
+
+/// A diagnosed memory error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BugReport {
+    /// What kind of error was found.
+    pub kind: BugKind,
+    /// The corrupted address (first overwritten canary / poison byte).
+    pub corrupted: MemAddr,
+    /// The allocation the corruption belongs to (payload address).
+    pub object: MemAddr,
+    /// Where the object was allocated, if known.
+    pub alloc_site: Option<Site>,
+    /// Where the object was freed (use-after-free only), if known.
+    pub free_site: Option<Site>,
+    /// The write that corrupted the memory, identified by a watchpoint hit
+    /// during the diagnostic replay: the watched range, the access, and the
+    /// source location of the faulting write.
+    pub culprit: Option<Culprit>,
+    /// Epoch in which the corruption was detected.
+    pub epoch: u64,
+}
+
+/// The faulting write identified during the diagnostic replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Culprit {
+    /// The watched (corrupted) range.
+    pub watched: Span,
+    /// The write access that hit it.
+    pub access: Span,
+    /// Thread that performed the write.
+    pub thread: u32,
+    /// Source location of the write.
+    pub site: Option<Site>,
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on object {} (corrupted byte {})",
+            self.kind, self.object, self.corrupted
+        )?;
+        if let Some(site) = &self.alloc_site {
+            write!(f, "\n  allocated at {site}")?;
+        }
+        if let Some(site) = &self.free_site {
+            write!(f, "\n  freed at     {site}")?;
+        }
+        match &self.culprit {
+            Some(culprit) => {
+                write!(
+                    f,
+                    "\n  corrupted by a {}-byte write at {} from thread {}",
+                    culprit.access.len, culprit.access.addr, culprit.thread
+                )?;
+                if let Some(site) = &culprit.site {
+                    write!(f, "\n  faulting statement: {site}")?;
+                }
+            }
+            None => write!(f, "\n  culprit write not identified (no watch hit)")?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_render_all_known_information() {
+        let report = BugReport {
+            kind: BugKind::HeapOverflow,
+            corrupted: MemAddr::new(0x140),
+            object: MemAddr::new(0x100),
+            alloc_site: Some(Site {
+                file: "app.rs".into(),
+                line: 10,
+                column: 9,
+            }),
+            free_site: None,
+            culprit: Some(Culprit {
+                watched: Span::new(MemAddr::new(0x140), 8),
+                access: Span::new(MemAddr::new(0x140), 8),
+                thread: 2,
+                site: Some(Site {
+                    file: "app.rs".into(),
+                    line: 42,
+                    column: 13,
+                }),
+            }),
+            epoch: 0,
+        };
+        let text = report.to_string();
+        assert!(text.contains("heap buffer overflow"));
+        assert!(text.contains("app.rs:10:9"));
+        assert!(text.contains("app.rs:42:13"));
+        assert!(text.contains("thread 2"));
+
+        let without = BugReport {
+            culprit: None,
+            kind: BugKind::UseAfterFree,
+            ..report
+        };
+        assert!(without.to_string().contains("use after free"));
+        assert!(without.to_string().contains("not identified"));
+    }
+}

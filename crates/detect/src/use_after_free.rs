@@ -1,0 +1,147 @@
+//! Use-after-free detection (paper §4.2).
+//!
+//! The runtime quarantines freed objects (when configured) and poisons their
+//! first 128 bytes.  This hook scans the quarantine at epoch boundaries; any
+//! modified poison byte is evidence that freed memory was written.  The hook
+//! replays the epoch with watchpoints on the modified addresses to identify
+//! the faulting write, and reports the allocation site, the free site, and
+//! the use-after-free site.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use ireplayer::{
+    EpochDecision, EpochView, MemAddr, ReplayRequest, Span, ToolHook, WatchHitReport,
+};
+
+use crate::report::{BugKind, BugReport, Culprit};
+
+/// The use-after-free detector hook.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer::{Program, Runtime, Step};
+/// use ireplayer_detect::{detection_config, UseAfterFreeDetector};
+///
+/// # fn main() -> Result<(), ireplayer::RuntimeError> {
+/// let config = detection_config()
+///     .arena_size(8 << 20)
+///     .heap_block_size(128 << 10)
+///     .build()?;
+/// let runtime = Runtime::new(config)?;
+/// let detector = UseAfterFreeDetector::new();
+/// runtime.add_hook(detector.clone());
+///
+/// let report = runtime.run(Program::new("uaf", |ctx| {
+///     let buffer = ctx.alloc(64);
+///     ctx.write_u64(buffer, 1);
+///     ctx.free(buffer);
+///     // The object is quarantined; this dangling write is a use-after-free.
+///     ctx.write_u64(buffer + 8, 2);
+///     Step::Done
+/// }))?;
+/// assert!(report.outcome.is_success());
+/// assert_eq!(detector.reports().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct UseAfterFreeDetector {
+    state: Mutex<DetectorState>,
+}
+
+#[derive(Debug, Default)]
+struct DetectorState {
+    pending: Vec<PendingBug>,
+    hits: Vec<WatchHitReport>,
+    reports: Vec<BugReport>,
+    replays_requested: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingBug {
+    corrupted: MemAddr,
+    object: MemAddr,
+    watched: Span,
+    epoch: u64,
+}
+
+impl UseAfterFreeDetector {
+    /// Creates a detector, ready to be attached with
+    /// [`ireplayer::Runtime::add_hook`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(UseAfterFreeDetector::default())
+    }
+
+    /// The bug reports assembled so far.
+    pub fn reports(&self) -> Vec<BugReport> {
+        self.state.lock().reports.clone()
+    }
+
+    /// Number of diagnostic replays this detector has requested.
+    pub fn replays_requested(&self) -> u64 {
+        self.state.lock().replays_requested
+    }
+}
+
+impl ToolHook for UseAfterFreeDetector {
+    fn name(&self) -> &str {
+        "use-after-free-detector"
+    }
+
+    fn at_epoch_end(&self, view: &dyn EpochView) -> EpochDecision {
+        let evidence = view.use_after_free_evidence();
+        if evidence.is_empty() {
+            return EpochDecision::Continue;
+        }
+        let mut state = self.state.lock();
+        let mut request = ReplayRequest::because("use-after-free: modified quarantined object");
+        for item in evidence {
+            // Watch the start of the freed object's poisoned prefix around
+            // the first modified byte.
+            let watched = Span::new(item.first_bad_byte, 8);
+            state.pending.push(PendingBug {
+                corrupted: item.first_bad_byte,
+                object: item.entry.payload,
+                watched,
+                epoch: view.epoch(),
+            });
+            request = request.watch(watched);
+        }
+        state.hits.clear();
+        state.replays_requested += 1;
+        EpochDecision::Replay(request)
+    }
+
+    fn on_watch_hit(&self, hit: &WatchHitReport) {
+        self.state.lock().hits.push(hit.clone());
+    }
+
+    fn after_replay(&self, view: &dyn EpochView, _matched: bool, _attempts: u32) {
+        let mut state = self.state.lock();
+        let pending = std::mem::take(&mut state.pending);
+        let hits = std::mem::take(&mut state.hits);
+        for bug in pending {
+            let culprit = hits
+                .iter()
+                .find(|hit| hit.watched.overlaps(&bug.watched) || hit.access.contains(bug.corrupted))
+                .map(|hit| Culprit {
+                    watched: hit.watched,
+                    access: hit.access,
+                    thread: hit.thread.0,
+                    site: hit.site.clone(),
+                });
+            let report = BugReport {
+                kind: BugKind::UseAfterFree,
+                corrupted: bug.corrupted,
+                object: bug.object,
+                alloc_site: view.alloc_site(bug.object),
+                free_site: view.free_site(bug.object),
+                culprit,
+                epoch: bug.epoch,
+            };
+            state.reports.push(report);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Divergence descriptors (paper §3.5.2).
+//!
+//! During re-execution iReplayer checks, before every synchronization and
+//! system call, that the operation the thread is about to perform matches
+//! the next recorded event in its per-thread list.  When all explicit
+//! synchronizations and system calls are replayed faithfully, any mismatch
+//! can only be caused by an unrecorded data race; the runtime reacts by
+//! immediately rolling back and starting another re-execution, optionally
+//! inserting random delays at the diverging point.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventKind, ThreadId};
+
+/// The ways a re-execution can depart from the recorded schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivergenceKind {
+    /// The thread attempted an operation that differs from the next recorded
+    /// event (different variable, operation, or syscall).
+    WrongOperation {
+        /// The event the log expected next.
+        expected: EventKind,
+        /// The operation the re-execution attempted.
+        actual: EventKind,
+    },
+    /// The thread attempted an operation but its recorded list was already
+    /// exhausted -- the re-execution performs *more* work than the original.
+    ExtraOperation {
+        /// The operation the re-execution attempted.
+        actual: EventKind,
+    },
+    /// The thread reached the epoch end with recorded events still pending
+    /// -- the re-execution performs *less* work than the original.
+    MissingOperations {
+        /// Number of recorded events that were never replayed.
+        remaining: usize,
+    },
+}
+
+/// A divergence observed by one thread during a re-execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Thread that observed the divergence.
+    pub thread: ThreadId,
+    /// Position in the thread's per-thread list where it occurred.
+    pub at_index: usize,
+    /// Replay attempt (1-based) during which the divergence was observed.
+    pub attempt: u32,
+    /// What went wrong.
+    pub kind: DivergenceKind,
+}
+
+impl Divergence {
+    /// Returns `true` if the divergence happened on the very first recorded
+    /// event of the thread, which the replay engine treats as a hint to
+    /// insert a start-up delay for this thread on the next attempt.
+    pub fn at_start(&self) -> bool {
+        self.at_index == 0
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DivergenceKind::WrongOperation { expected, actual } => write!(
+                f,
+                "{} diverged at event {} (attempt {}): expected {expected}, attempted {actual}",
+                self.thread, self.at_index, self.attempt
+            ),
+            DivergenceKind::ExtraOperation { actual } => write!(
+                f,
+                "{} diverged at event {} (attempt {}): attempted {actual} beyond the recorded log",
+                self.thread, self.at_index, self.attempt
+            ),
+            DivergenceKind::MissingOperations { remaining } => write!(
+                f,
+                "{} reached epoch end at event {} (attempt {}) with {remaining} recorded events unreplayed",
+                self.thread, self.at_index, self.attempt
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SyncOp, SyscallOutcome, VarId};
+
+    fn lock(var: u32) -> EventKind {
+        EventKind::Sync {
+            var: VarId(var),
+            op: SyncOp::MutexLock,
+            result: 0,
+        }
+    }
+
+    #[test]
+    fn display_names_the_thread_and_attempt() {
+        let d = Divergence {
+            thread: ThreadId(3),
+            at_index: 5,
+            attempt: 2,
+            kind: DivergenceKind::WrongOperation {
+                expected: lock(1),
+                actual: lock(2),
+            },
+        };
+        let text = d.to_string();
+        assert!(text.contains("T3"));
+        assert!(text.contains("attempt 2"));
+        assert!(text.contains("V1"));
+        assert!(text.contains("V2"));
+    }
+
+    #[test]
+    fn extra_and_missing_variants_format() {
+        let extra = Divergence {
+            thread: ThreadId(0),
+            at_index: 9,
+            attempt: 1,
+            kind: DivergenceKind::ExtraOperation {
+                actual: EventKind::Syscall {
+                    code: 11,
+                    outcome: SyscallOutcome::ret(0),
+                },
+            },
+        };
+        assert!(extra.to_string().contains("beyond the recorded log"));
+        let missing = Divergence {
+            thread: ThreadId(0),
+            at_index: 4,
+            attempt: 1,
+            kind: DivergenceKind::MissingOperations { remaining: 3 },
+        };
+        assert!(missing.to_string().contains("3 recorded events"));
+    }
+
+    #[test]
+    fn at_start_detects_index_zero() {
+        let d = Divergence {
+            thread: ThreadId(1),
+            at_index: 0,
+            attempt: 1,
+            kind: DivergenceKind::MissingOperations { remaining: 1 },
+        };
+        assert!(d.at_start());
+        let later = Divergence { at_index: 3, ..d };
+        assert!(!later.at_start());
+    }
+}

@@ -1,0 +1,291 @@
+//! Event and identifier types shared by the recording and replay phases.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an application thread.
+///
+/// Thread ids are assigned in creation order (thread creation is serialized
+/// by a global lock, §3.2.1), so they are identical across the original
+/// execution and every re-execution -- one of the system states the paper's
+/// identical replay preserves.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Returns the id as an index into per-thread tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a synchronization variable (mutex, condition variable,
+/// barrier, or one of the runtime's internal global locks).
+///
+/// The paper reaches the per-variable list through a shadow object whose
+/// pointer is stored in the first word of the application's synchronization
+/// object; here the handle the application holds *is* the indirection, and
+/// `VarId` indexes the runtime's shadow-object table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Returns the id as an index into the shadow-object table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// The synchronization operations whose order (and, where relevant, result)
+/// is recorded (§3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncOp {
+    /// A mutex acquisition.
+    MutexLock,
+    /// A mutex try-lock; the recorded result says whether it succeeded.
+    /// Only successful try-locks enter the per-variable list.
+    MutexTryLock,
+    /// Wake-up of a thread that was waiting on a condition variable.  The
+    /// paper records the wake-up order, not the order of signal/broadcast.
+    CondWake,
+    /// Completion of a barrier wait; the recorded result is the value
+    /// returned to the application (serial thread or not).
+    BarrierWait,
+    /// Creation of a child thread (serialized by the global creation lock).
+    ThreadCreate,
+    /// Joining a child thread.
+    ThreadJoin,
+    /// Acquisition of the super heap's block-fetch lock (§2.2.4), recorded
+    /// so that block-to-thread assignment replays identically.
+    SuperHeapFetch,
+    /// Registration of a new synchronization variable (mutex, condition
+    /// variable, barrier).  Recorded so that the identifier a replayed
+    /// registration receives equals the original one, mirroring the paper's
+    /// shadow-object indirection.
+    VarRegister,
+}
+
+impl fmt::Display for SyncOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SyncOp::MutexLock => "lock",
+            SyncOp::MutexTryLock => "trylock",
+            SyncOp::CondWake => "cond-wake",
+            SyncOp::BarrierWait => "barrier",
+            SyncOp::ThreadCreate => "create",
+            SyncOp::ThreadJoin => "join",
+            SyncOp::SuperHeapFetch => "superheap",
+            SyncOp::VarRegister => "var-register",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The recorded outcome of a recordable system call (§2.2.3).
+///
+/// Repeatable calls are not recorded; revocable calls are re-issued during
+/// replay; deferrable calls are queued; irrevocable calls end the epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SyscallOutcome {
+    /// Primary return value (e.g. a byte count, a file descriptor, 0/-errno).
+    pub ret: i64,
+    /// Out-of-band data returned by the call (e.g. bytes read from a
+    /// socket, the bytes of a `gettimeofday` result).
+    pub data: Vec<u8>,
+}
+
+impl SyscallOutcome {
+    /// An outcome carrying only a return value.
+    pub fn ret(ret: i64) -> Self {
+        SyscallOutcome { ret, data: Vec::new() }
+    }
+
+    /// An outcome carrying a return value and payload bytes.
+    pub fn with_data(ret: i64, data: Vec<u8>) -> Self {
+        SyscallOutcome { ret, data }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A synchronization operation on `var`.
+    Sync {
+        /// The synchronization variable involved.
+        var: VarId,
+        /// The operation performed.
+        op: SyncOp,
+        /// The result returned to the application (try-lock success, barrier
+        /// serial flag, child thread id for `ThreadCreate`, ...).
+        result: i64,
+    },
+    /// A system call.  `code` identifies the call (the `ireplayer-sys` crate
+    /// defines the mapping); `outcome` is stored only for recordable calls.
+    Syscall {
+        /// Call identifier.
+        code: u16,
+        /// Recorded outcome, replayed without re-executing the call.
+        outcome: SyscallOutcome,
+    },
+}
+
+impl EventKind {
+    /// Returns the synchronization variable of a sync event.
+    pub fn var(&self) -> Option<VarId> {
+        match self {
+            EventKind::Sync { var, .. } => Some(*var),
+            EventKind::Syscall { .. } => None,
+        }
+    }
+
+    /// Returns `true` if two events describe the same *operation*, ignoring
+    /// recorded results.  Replay uses this to decide whether the operation a
+    /// thread is about to perform matches the recorded schedule; results are
+    /// then supplied from the log rather than compared.
+    pub fn same_operation(&self, other: &EventKind) -> bool {
+        match (self, other) {
+            (
+                EventKind::Sync { var: v1, op: o1, .. },
+                EventKind::Sync { var: v2, op: o2, .. },
+            ) => v1 == v2 && o1 == o2,
+            (EventKind::Syscall { code: c1, .. }, EventKind::Syscall { code: c2, .. }) => c1 == c2,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Sync { var, op, result } => write!(f, "{op}({var})={result}"),
+            EventKind::Syscall { code, outcome } => {
+                write!(f, "syscall#{code}={}", outcome.ret)
+            }
+        }
+    }
+}
+
+/// An event stored in a per-thread list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Thread that performed the event.
+    pub thread: ThreadId,
+    /// Index of the event within its per-thread list.
+    pub index: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}: {}", self.thread, self.index, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(VarId(9).to_string(), "V9");
+        assert_eq!(ThreadId::MAIN.index(), 0);
+        assert_eq!(VarId(4).index(), 4);
+    }
+
+    #[test]
+    fn same_operation_ignores_results() {
+        let a = EventKind::Sync {
+            var: VarId(1),
+            op: SyncOp::MutexLock,
+            result: 0,
+        };
+        let b = EventKind::Sync {
+            var: VarId(1),
+            op: SyncOp::MutexLock,
+            result: 99,
+        };
+        let c = EventKind::Sync {
+            var: VarId(2),
+            op: SyncOp::MutexLock,
+            result: 0,
+        };
+        let d = EventKind::Sync {
+            var: VarId(1),
+            op: SyncOp::MutexTryLock,
+            result: 0,
+        };
+        assert!(a.same_operation(&b));
+        assert!(!a.same_operation(&c));
+        assert!(!a.same_operation(&d));
+
+        let s1 = EventKind::Syscall {
+            code: 7,
+            outcome: SyscallOutcome::ret(1),
+        };
+        let s2 = EventKind::Syscall {
+            code: 7,
+            outcome: SyscallOutcome::with_data(2, vec![1, 2, 3]),
+        };
+        let s3 = EventKind::Syscall {
+            code: 8,
+            outcome: SyscallOutcome::ret(1),
+        };
+        assert!(s1.same_operation(&s2));
+        assert!(!s1.same_operation(&s3));
+        assert!(!s1.same_operation(&a));
+    }
+
+    #[test]
+    fn var_accessor_distinguishes_sync_and_syscall() {
+        let sync = EventKind::Sync {
+            var: VarId(5),
+            op: SyncOp::BarrierWait,
+            result: 1,
+        };
+        let sys = EventKind::Syscall {
+            code: 3,
+            outcome: SyscallOutcome::default(),
+        };
+        assert_eq!(sync.var(), Some(VarId(5)));
+        assert_eq!(sys.var(), None);
+    }
+
+    #[test]
+    fn events_display_thread_and_index() {
+        let e = Event {
+            thread: ThreadId(2),
+            index: 14,
+            kind: EventKind::Sync {
+                var: VarId(1),
+                op: SyncOp::MutexLock,
+                result: 0,
+            },
+        };
+        let text = e.to_string();
+        assert!(text.contains("T2"));
+        assert!(text.contains("#14"));
+        assert!(text.contains("lock"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Event recording data structures for the iReplayer runtime.
+//!
+//! This crate implements the paper's "novel data structure" for tracking
+//! synchronization and system-call events (§3.2, Figures 3 and 4):
+//!
+//! * every event is appended to the **per-thread list** of the thread that
+//!   performed it, preserving program order within a thread;
+//! * synchronization events are additionally appended to the **per-variable
+//!   list** of the synchronization variable involved, preserving the order
+//!   of operations on that variable across threads;
+//! * system calls appear only in per-thread lists (their cross-thread order
+//!   is irrelevant for replay);
+//! * there is **no global order**, no offline reconstruction, and no
+//!   hardware timestamping -- replay proceeds whenever a thread's next
+//!   per-thread event is also at the head of its per-variable list.
+//!
+//! The crate also provides the replay cursors used to drive re-execution,
+//! the divergence descriptors produced when a re-execution departs from the
+//! recorded order (caused only by unrecorded data races, §3.5.2), and the
+//! system-call classification of §2.2.3.
+//!
+//! The structures here are intentionally unsynchronized: a per-thread list
+//! is owned by its thread, and a per-variable list is owned by the runtime's
+//! shadow synchronization object and only touched while that variable's own
+//! lock is held, so recording introduces no additional lock contention --
+//! one of the main reasons the paper's recording overhead is ~3%.
+
+pub mod divergence;
+pub mod event;
+pub mod lookup;
+pub mod recorder;
+pub mod syscall_class;
+pub mod thread_list;
+pub mod var_list;
+
+pub use divergence::{Divergence, DivergenceKind};
+pub use event::{Event, EventKind, SyncOp, SyscallOutcome, ThreadId, VarId};
+pub use lookup::{HashDirectory, ShadowDirectory, SyncAddr, SyncSlot, SyncVarDirectory};
+pub use recorder::EpochLog;
+pub use syscall_class::SyscallClass;
+pub use thread_list::{ThreadList, ThreadListFull};
+pub use var_list::VarList;

@@ -1,0 +1,268 @@
+//! Synchronization-variable lookup strategies (paper §3.2, second bullet).
+//!
+//! Every recorded synchronization operation must find the per-variable list
+//! of the synchronization object it touches.  The paper reports that the
+//! naive approach -- a global hash table keyed by the object's address --
+//! imposed up to 4x overhead on applications with very many synchronization
+//! variables (fluidanimate), because it is hard to size the table and to
+//! find a balanced hash.  iReplayer instead allocates a *shadow object* per
+//! synchronization variable and stores a pointer to it in the first word of
+//! the original object, so the per-variable list is reached in a couple of
+//! dereferences ("a level of indirection", à la SyncPerf).
+//!
+//! This module models both strategies behind one trait so the design choice
+//! can be measured in isolation: [`ShadowDirectory`] is the paper's
+//! indirection, [`HashDirectory`] is the rejected global hash table.  The
+//! `ablation_lookup` Criterion bench in `ireplayer-bench` sweeps the number
+//! of variables and reproduces the crossover the paper describes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{SyncOp, ThreadId, VarId};
+use crate::var_list::VarList;
+
+/// A handle the "application" keeps for one of its synchronization
+/// variables.  It plays the role of the original object's address: the only
+/// piece of information an interposed `pthread_mutex_lock` call has in hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncAddr(pub u64);
+
+/// A registered synchronization variable: its identifier and its
+/// per-variable list.
+#[derive(Debug)]
+pub struct SyncSlot {
+    /// Identifier assigned at registration.
+    pub id: VarId,
+    /// The per-variable list of recorded operations.
+    pub list: Mutex<VarList>,
+}
+
+impl SyncSlot {
+    fn new(id: VarId) -> Arc<Self> {
+        Arc::new(SyncSlot {
+            id,
+            list: Mutex::new(VarList::new()),
+        })
+    }
+}
+
+/// A directory that maps application synchronization objects to their
+/// per-variable lists.
+///
+/// Both implementations are thread-safe; `register` is called once per
+/// variable (under the runtime's creation lock), `slot` is called on every
+/// synchronization operation and is the hot path this ablation measures.
+pub trait SyncVarDirectory: Send + Sync {
+    /// Human-readable strategy name, used in bench output.
+    fn strategy(&self) -> &'static str;
+
+    /// Registers the synchronization object at `addr` and returns the
+    /// token the application stores (the shadow pointer / nothing but the
+    /// address itself for the hash table).
+    fn register(&self, addr: SyncAddr) -> VarId;
+
+    /// Finds the slot for a previously registered object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never registered (the analogue of using an
+    /// uninitialized `pthread_mutex_t`).
+    fn slot(&self, addr: SyncAddr) -> Arc<SyncSlot>;
+
+    /// Convenience used by the bench: record one operation on `addr`.
+    fn record(&self, addr: SyncAddr, thread: ThreadId, op: SyncOp, thread_index: u32) {
+        let slot = self.slot(addr);
+        slot.list.lock().append(thread, op, thread_index);
+    }
+
+    /// Number of registered variables.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no variables are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shadow-object indirection (the paper's design).
+// ---------------------------------------------------------------------------
+
+/// The paper's design: registration allocates a shadow slot and publishes
+/// its index through the first word of the original object.  This type
+/// models that first word with a dense side table indexed by the low bits
+/// of the address token handed back to the application, so a lookup is one
+/// bounds-checked index plus one pointer dereference -- the same cost
+/// profile as the original's two dereferences.
+#[derive(Debug, Default)]
+pub struct ShadowDirectory {
+    /// Slot storage; the "first word" of object `i` holds `i`.
+    slots: Mutex<Vec<Arc<SyncSlot>>>,
+}
+
+impl ShadowDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        ShadowDirectory::default()
+    }
+}
+
+impl SyncVarDirectory for ShadowDirectory {
+    fn strategy(&self) -> &'static str {
+        "shadow-indirection"
+    }
+
+    fn register(&self, _addr: SyncAddr) -> VarId {
+        let mut slots = self.slots.lock();
+        let id = VarId(slots.len() as u32);
+        slots.push(SyncSlot::new(id));
+        id
+    }
+
+    fn slot(&self, addr: SyncAddr) -> Arc<SyncSlot> {
+        // The address token *is* the shadow index for registered objects:
+        // the application stored it in the object's first word at
+        // registration time.
+        let slots = self.slots.lock();
+        slots
+            .get(addr.0 as usize)
+            .cloned()
+            .expect("synchronization object was never registered")
+    }
+
+    fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global hash table (the rejected design).
+// ---------------------------------------------------------------------------
+
+/// The rejected design: a global chained hash table keyed by the object's
+/// address.  The bucket count is fixed up front (the paper: "it is
+/// difficult to define the size of the hash table"), so applications with
+/// very many synchronization variables degrade to long chain walks under a
+/// lock -- the effect the paper measured at up to 4x on fluidanimate.
+#[derive(Debug)]
+pub struct HashDirectory {
+    buckets: Vec<Mutex<Vec<(SyncAddr, Arc<SyncSlot>)>>>,
+    count: Mutex<u32>,
+}
+
+impl HashDirectory {
+    /// Creates a directory with `buckets` chains (rounded up to at least
+    /// one).  The default used by the ablation bench is 64, a plausible
+    /// guess for "how many mutexes does a program have".
+    pub fn with_buckets(buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        HashDirectory {
+            buckets: (0..buckets).map(|_| Mutex::new(Vec::new())).collect(),
+            count: Mutex::new(0),
+        }
+    }
+
+    fn bucket_for(&self, addr: SyncAddr) -> usize {
+        // A simple multiplicative hash of the address, as an interposition
+        // library without knowledge of the allocation pattern would use.
+        let hash = addr.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (hash >> 33) as usize % self.buckets.len()
+    }
+
+    /// Average chain length, reported by the ablation bench.
+    pub fn average_chain_length(&self) -> f64 {
+        let total: usize = self.buckets.iter().map(|b| b.lock().len()).sum();
+        total as f64 / self.buckets.len() as f64
+    }
+}
+
+impl Default for HashDirectory {
+    fn default() -> Self {
+        HashDirectory::with_buckets(64)
+    }
+}
+
+impl SyncVarDirectory for HashDirectory {
+    fn strategy(&self) -> &'static str {
+        "global-hash-table"
+    }
+
+    fn register(&self, addr: SyncAddr) -> VarId {
+        let mut count = self.count.lock();
+        let id = VarId(*count);
+        *count += 1;
+        let bucket = self.bucket_for(addr);
+        self.buckets[bucket].lock().push((addr, SyncSlot::new(id)));
+        id
+    }
+
+    fn slot(&self, addr: SyncAddr) -> Arc<SyncSlot> {
+        let bucket = self.bucket_for(addr);
+        let chain = self.buckets[bucket].lock();
+        chain
+            .iter()
+            .find(|(key, _)| *key == addr)
+            .map(|(_, slot)| Arc::clone(slot))
+            .expect("synchronization object was never registered")
+    }
+
+    fn len(&self) -> usize {
+        *self.count.lock() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(directory: &dyn SyncVarDirectory, variables: u64) {
+        assert!(directory.is_empty());
+        let addrs: Vec<SyncAddr> = (0..variables)
+            .map(|i| {
+                // The shadow directory's token is its own index; the hash
+                // directory keys on whatever address arrives.  Registering
+                // in order keeps the two interchangeable in this test.
+                let addr = SyncAddr(i);
+                let id = directory.register(addr);
+                assert_eq!(id, VarId(i as u32));
+                addr
+            })
+            .collect();
+        assert_eq!(directory.len(), variables as usize);
+        for (round, addr) in addrs.iter().enumerate() {
+            directory.record(*addr, ThreadId(0), SyncOp::MutexLock, round as u32);
+        }
+        for (index, addr) in addrs.iter().enumerate() {
+            let slot = directory.slot(*addr);
+            assert_eq!(slot.id, VarId(index as u32));
+            assert_eq!(slot.list.lock().len(), 1);
+        }
+    }
+
+    #[test]
+    fn shadow_directory_registers_and_finds_every_variable() {
+        exercise(&ShadowDirectory::new(), 200);
+    }
+
+    #[test]
+    fn hash_directory_registers_and_finds_every_variable() {
+        let directory = HashDirectory::with_buckets(16);
+        exercise(&directory, 200);
+        assert!(directory.average_chain_length() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never registered")]
+    fn unregistered_variables_are_a_programming_error() {
+        let directory = ShadowDirectory::new();
+        let _ = directory.slot(SyncAddr(3));
+    }
+
+    #[test]
+    fn strategies_identify_themselves() {
+        assert_eq!(ShadowDirectory::new().strategy(), "shadow-indirection");
+        assert_eq!(HashDirectory::default().strategy(), "global-hash-table");
+    }
+}

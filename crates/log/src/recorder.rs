@@ -1,0 +1,302 @@
+//! A single-owner facade over the per-thread and per-variable lists.
+//!
+//! In the full runtime (`ireplayer` crate) the per-thread lists live in
+//! per-thread state and the per-variable lists live inside the shadow
+//! synchronization objects, so that recording adds no shared mutable state
+//! beyond what the application already synchronizes on.  [`EpochLog`]
+//! gathers the same structures under a single owner for the cases where one
+//! component holds the whole log: the rr-style serializing baseline, unit
+//! tests, and offline inspection/export of a recorded epoch.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind, SyncOp, ThreadId, VarId};
+use crate::thread_list::{ThreadList, ThreadListFull};
+use crate::var_list::VarList;
+
+/// A complete recorded epoch: every thread's list plus every variable's
+/// list, owned by a single component.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_log::{EpochLog, EventKind, SyncOp, ThreadId, VarId};
+///
+/// let mut log = EpochLog::new(64);
+/// log.record_sync(ThreadId(0), VarId(0), SyncOp::MutexLock, 0).unwrap();
+/// log.record_sync(ThreadId(1), VarId(0), SyncOp::MutexLock, 0).unwrap();
+/// log.begin_replay();
+/// assert!(log.is_turn(ThreadId(0), VarId(0)));
+/// assert!(!log.is_turn(ThreadId(1), VarId(0)));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochLog {
+    capacity_per_thread: usize,
+    threads: BTreeMap<ThreadId, ThreadList>,
+    vars: BTreeMap<VarId, VarList>,
+}
+
+impl EpochLog {
+    /// Creates an empty log whose per-thread lists hold at most
+    /// `capacity_per_thread` events.
+    pub fn new(capacity_per_thread: usize) -> Self {
+        EpochLog {
+            capacity_per_thread,
+            threads: BTreeMap::new(),
+            vars: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the per-thread list for `thread`, creating it if needed.
+    pub fn thread_mut(&mut self, thread: ThreadId) -> &mut ThreadList {
+        let capacity = self.capacity_per_thread;
+        self.threads
+            .entry(thread)
+            .or_insert_with(|| ThreadList::new(thread, capacity))
+    }
+
+    /// Returns the per-variable list for `var`, creating it if needed.
+    pub fn var_mut(&mut self, var: VarId) -> &mut VarList {
+        self.vars.entry(var).or_default()
+    }
+
+    /// Returns the per-thread list for `thread`, if any events were
+    /// recorded for it.
+    pub fn thread(&self, thread: ThreadId) -> Option<&ThreadList> {
+        self.threads.get(&thread)
+    }
+
+    /// Returns the per-variable list for `var`, if any operations were
+    /// recorded on it.
+    pub fn var(&self, var: VarId) -> Option<&VarList> {
+        self.vars.get(&var)
+    }
+
+    /// Records a synchronization event: appended to the thread's list and to
+    /// the variable's list, as in Figure 4 of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadListFull`] when the thread's pre-allocated entries
+    /// are exhausted.
+    pub fn record_sync(
+        &mut self,
+        thread: ThreadId,
+        var: VarId,
+        op: SyncOp,
+        result: i64,
+    ) -> Result<u32, ThreadListFull> {
+        let index = self
+            .thread_mut(thread)
+            .append(EventKind::Sync { var, op, result })?;
+        self.var_mut(var).append(thread, op, index);
+        Ok(index)
+    }
+
+    /// Records a try-lock: the attempt always enters the per-thread list
+    /// (its result must be reproduced), but only successful acquisitions
+    /// enter the per-variable list (§3.2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadListFull`] when the thread's pre-allocated entries
+    /// are exhausted.
+    pub fn record_trylock(
+        &mut self,
+        thread: ThreadId,
+        var: VarId,
+        acquired: bool,
+    ) -> Result<u32, ThreadListFull> {
+        let index = self.thread_mut(thread).append(EventKind::Sync {
+            var,
+            op: SyncOp::MutexTryLock,
+            result: i64::from(acquired),
+        })?;
+        if acquired {
+            self.var_mut(var).append(thread, SyncOp::MutexTryLock, index);
+        }
+        Ok(index)
+    }
+
+    /// Records a system call (per-thread list only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadListFull`] when the thread's pre-allocated entries
+    /// are exhausted.
+    pub fn record_syscall(
+        &mut self,
+        thread: ThreadId,
+        code: u16,
+        outcome: crate::event::SyscallOutcome,
+    ) -> Result<u32, ThreadListFull> {
+        self.thread_mut(thread)
+            .append(EventKind::Syscall { code, outcome })
+    }
+
+    /// Resets every cursor to the start of the recorded epoch.
+    pub fn begin_replay(&mut self) {
+        for list in self.threads.values_mut() {
+            list.begin_replay();
+        }
+        for list in self.vars.values_mut() {
+            list.begin_replay();
+        }
+    }
+
+    /// Clears every list (epoch housekeeping).
+    pub fn clear(&mut self) {
+        for list in self.threads.values_mut() {
+            list.clear();
+        }
+        for list in self.vars.values_mut() {
+            list.clear();
+        }
+    }
+
+    /// Implements the replay rule of §3.5.1 for this log: `thread` may
+    /// perform its next operation on `var` only if that operation is the
+    /// next event in its per-thread list *and* the head of the variable's
+    /// list belongs to it.
+    pub fn is_turn(&self, thread: ThreadId, var: VarId) -> bool {
+        let Some(thread_list) = self.threads.get(&thread) else {
+            return false;
+        };
+        let Some(next) = thread_list.peek() else {
+            return false;
+        };
+        if next.kind.var() != Some(var) {
+            return false;
+        }
+        self.vars.get(&var).is_some_and(|v| v.is_turn(thread))
+    }
+
+    /// Advances both cursors after `thread` replays its next operation on
+    /// `var`, returning the recorded event.
+    pub fn advance(&mut self, thread: ThreadId, var: VarId) -> Option<Event> {
+        let event = self.threads.get_mut(&thread)?.advance()?.clone();
+        self.vars.get_mut(&var)?.advance();
+        Some(event)
+    }
+
+    /// Total number of recorded events across all threads.
+    pub fn total_events(&self) -> usize {
+        self.threads.values().map(ThreadList::len).sum()
+    }
+
+    /// Returns `true` when every thread has replayed all of its events.
+    pub fn replay_complete(&self) -> bool {
+        self.threads.values().all(ThreadList::replay_complete)
+    }
+
+    /// Iterates over the recorded per-thread lists.
+    pub fn threads_iter(&self) -> impl Iterator<Item = (&ThreadId, &ThreadList)> {
+        self.threads.iter()
+    }
+
+    /// Iterates over the recorded per-variable lists.
+    pub fn vars_iter(&self) -> impl Iterator<Item = (&VarId, &VarList)> {
+        self.vars.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SyscallOutcome;
+
+    /// Re-create the running example of Figure 3/4: two threads, three
+    /// locks, two system calls.
+    fn figure4_log() -> EpochLog {
+        let mut log = EpochLog::new(32);
+        let (t1, t2) = (ThreadId(1), ThreadId(2));
+        let (lock1, lock2, lock3) = (VarId(1), VarId(2), VarId(3));
+
+        // Thread1: Lock(1); Lock(2); Lock(3)   (unlocks are not recorded)
+        log.record_sync(t1, lock1, SyncOp::MutexLock, 0).unwrap();
+        log.record_sync(t1, lock2, SyncOp::MutexLock, 0).unwrap();
+        log.record_sync(t1, lock3, SyncOp::MutexLock, 0).unwrap();
+        // Thread2: Lock(2); Syscall1; Lock(1); Syscall2
+        log.record_sync(t2, lock2, SyncOp::MutexLock, 0).unwrap();
+        log.record_syscall(t2, 1, SyscallOutcome::ret(0)).unwrap();
+        log.record_sync(t2, lock1, SyncOp::MutexLock, 0).unwrap();
+        log.record_syscall(t2, 2, SyscallOutcome::ret(0)).unwrap();
+        log
+    }
+
+    #[test]
+    fn per_variable_lists_capture_cross_thread_order() {
+        let log = figure4_log();
+        let lock1 = log.var(VarId(1)).unwrap();
+        assert_eq!(lock1.entries()[0].thread, ThreadId(1));
+        assert_eq!(lock1.entries()[1].thread, ThreadId(2));
+        let lock2 = log.var(VarId(2)).unwrap();
+        assert_eq!(lock2.len(), 2);
+        let lock3 = log.var(VarId(3)).unwrap();
+        assert_eq!(lock3.len(), 1);
+        assert_eq!(log.total_events(), 7);
+    }
+
+    #[test]
+    fn syscalls_only_appear_in_thread_lists() {
+        let log = figure4_log();
+        let t2 = log.thread(ThreadId(2)).unwrap();
+        assert_eq!(t2.len(), 4);
+        assert!(matches!(t2.events()[1].kind, EventKind::Syscall { code: 1, .. }));
+        // No per-variable list exists for syscalls.
+        assert_eq!(log.vars_iter().count(), 3);
+    }
+
+    #[test]
+    fn replay_rule_orders_contended_variables() {
+        let mut log = figure4_log();
+        log.begin_replay();
+        assert!(!log.replay_complete());
+        // lock1 must go to thread 1 first.
+        assert!(log.is_turn(ThreadId(1), VarId(1)));
+        assert!(!log.is_turn(ThreadId(2), VarId(1)));
+        // lock2 was also acquired by thread 1 first in this recording, so
+        // thread 2 must wait for it even though it is thread 2's next event.
+        assert!(!log.is_turn(ThreadId(2), VarId(2)));
+        log.advance(ThreadId(1), VarId(1)).unwrap();
+        log.advance(ThreadId(1), VarId(2)).unwrap();
+        // Once thread 1's lock2 acquisition has been replayed, thread 2 may
+        // proceed with its own.
+        assert!(log.is_turn(ThreadId(2), VarId(2)));
+        log.advance(ThreadId(1), VarId(3)).unwrap();
+        assert!(log.thread(ThreadId(1)).unwrap().replay_complete());
+        assert!(!log.replay_complete());
+    }
+
+    #[test]
+    fn trylock_failures_stay_out_of_var_lists() {
+        let mut log = EpochLog::new(8);
+        log.record_trylock(ThreadId(0), VarId(0), true).unwrap();
+        log.record_trylock(ThreadId(1), VarId(0), false).unwrap();
+        assert_eq!(log.var(VarId(0)).unwrap().len(), 1);
+        assert_eq!(log.thread(ThreadId(1)).unwrap().len(), 1);
+        match &log.thread(ThreadId(1)).unwrap().events()[0].kind {
+            EventKind::Sync { result, .. } => assert_eq!(*result, 0),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clear_resets_everything_for_the_next_epoch() {
+        let mut log = figure4_log();
+        log.clear();
+        assert_eq!(log.total_events(), 0);
+        assert!(log.var(VarId(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn is_turn_is_false_for_unknown_threads_and_vars() {
+        let mut log = figure4_log();
+        log.begin_replay();
+        assert!(!log.is_turn(ThreadId(9), VarId(1)));
+        assert!(!log.is_turn(ThreadId(1), VarId(9)));
+        assert!(log.advance(ThreadId(9), VarId(1)).is_none());
+    }
+}

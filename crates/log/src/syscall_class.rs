@@ -1,0 +1,107 @@
+//! System-call classification (paper §2.2.3).
+//!
+//! iReplayer classifies system calls into five categories that determine how
+//! each call is handled during recording and replay.  The classification of
+//! *concrete* calls (which may depend on their parameters, e.g. `fcntl`)
+//! lives with the simulated OS in `ireplayer-sys`; this module defines the
+//! categories and their handling policy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The five system-call categories of §2.2.3 and how each is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyscallClass {
+    /// Always returns the same result in the in-situ setting (e.g.
+    /// `getpid`).  Not recorded; executed normally in both phases.
+    Repeatable,
+    /// Would return different results if re-invoked (e.g. `gettimeofday`,
+    /// socket reads/writes).  The result is recorded and returned during
+    /// replay without re-invoking the call.
+    Recordable,
+    /// Modifies system state whose effects can be reproduced if the initial
+    /// state is recovered first (file reads/writes).  Not recorded; the file
+    /// position is checkpointed at epoch begin and the call is re-issued
+    /// during replay.
+    Revocable,
+    /// Irrevocably changes system state but can be safely delayed until the
+    /// next epoch (e.g. `close`, `munmap`).
+    Deferrable,
+    /// Irrevocably changes system state and cannot be delayed (e.g. `fork`,
+    /// `execve`, repositioning `lseek`).  Ends the current epoch before
+    /// executing.
+    Irrevocable,
+}
+
+impl SyscallClass {
+    /// Returns `true` if the call's result must be stored in the event log.
+    pub fn needs_recording(self) -> bool {
+        matches!(self, SyscallClass::Recordable)
+    }
+
+    /// Returns `true` if the call must be re-issued (rather than skipped or
+    /// served from the log) during a re-execution.
+    pub fn reissued_in_replay(self) -> bool {
+        matches!(self, SyscallClass::Repeatable | SyscallClass::Revocable)
+    }
+
+    /// Returns `true` if the call's execution is postponed to the next epoch
+    /// boundary.
+    pub fn deferred(self) -> bool {
+        matches!(self, SyscallClass::Deferrable)
+    }
+
+    /// Returns `true` if encountering the call closes the current epoch.
+    pub fn closes_epoch(self) -> bool {
+        matches!(self, SyscallClass::Irrevocable)
+    }
+}
+
+impl fmt::Display for SyscallClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SyscallClass::Repeatable => "repeatable",
+            SyscallClass::Recordable => "recordable",
+            SyscallClass::Revocable => "revocable",
+            SyscallClass::Deferrable => "deferrable",
+            SyscallClass::Irrevocable => "irrevocable",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_flags_match_the_paper() {
+        use SyscallClass::*;
+        // Only recordable calls store results.
+        assert!(Recordable.needs_recording());
+        for c in [Repeatable, Revocable, Deferrable, Irrevocable] {
+            assert!(!c.needs_recording(), "{c} should not be recorded");
+        }
+        // Repeatable and revocable calls are re-executed during replay.
+        assert!(Repeatable.reissued_in_replay());
+        assert!(Revocable.reissued_in_replay());
+        assert!(!Recordable.reissued_in_replay());
+        // Only deferrable calls are postponed.
+        assert!(Deferrable.deferred());
+        for c in [Repeatable, Recordable, Revocable, Irrevocable] {
+            assert!(!c.deferred(), "{c} should not be deferred");
+        }
+        // Only irrevocable calls close the epoch.
+        assert!(Irrevocable.closes_epoch());
+        for c in [Repeatable, Recordable, Revocable, Deferrable] {
+            assert!(!c.closes_epoch(), "{c} should not close the epoch");
+        }
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(SyscallClass::Repeatable.to_string(), "repeatable");
+        assert_eq!(SyscallClass::Irrevocable.to_string(), "irrevocable");
+    }
+}

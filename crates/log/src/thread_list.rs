@@ -1,0 +1,292 @@
+//! Per-thread event lists (paper §3.2, Figure 4).
+//!
+//! Each thread records its synchronization and system-call events into its
+//! own pre-allocated list.  Pre-allocation means recording performs no
+//! memory allocation; when the list is full, the runtime closes the current
+//! epoch ("when all entries are exhausted, it is time to stop the current
+//! epoch and start a new epoch").
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind, ThreadId};
+
+/// Error returned when a per-thread list has exhausted its pre-allocated
+/// entries; the runtime reacts by closing the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadListFull {
+    /// The thread whose list filled up.
+    pub thread: ThreadId,
+    /// The configured capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for ThreadListFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "per-thread event list of {} is full ({} entries)",
+            self.thread, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for ThreadListFull {}
+
+/// The per-thread event list with its replay cursor.
+///
+/// During recording, events are appended.  During replay, the cursor walks
+/// the list: a thread may perform its next operation only if it matches the
+/// event under the cursor (divergence otherwise), and recorded results are
+/// returned from the event under the cursor.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_log::{EventKind, SyncOp, ThreadId, ThreadList, VarId};
+///
+/// let mut list = ThreadList::new(ThreadId(1), 16);
+/// list.append(EventKind::Sync { var: VarId(0), op: SyncOp::MutexLock, result: 0 }).unwrap();
+/// list.begin_replay();
+/// assert!(list.peek().is_some());
+/// list.advance();
+/// assert!(list.peek().is_none());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadList {
+    thread: ThreadId,
+    capacity: usize,
+    events: Vec<Event>,
+    cursor: usize,
+    replaying: bool,
+}
+
+impl ThreadList {
+    /// Creates an empty list for `thread` with room for `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(thread: ThreadId, capacity: usize) -> Self {
+        assert!(capacity > 0, "per-thread list capacity must be non-zero");
+        ThreadList {
+            thread,
+            capacity,
+            events: Vec::with_capacity(capacity),
+            cursor: 0,
+            replaying: false,
+        }
+    }
+
+    /// The thread this list belongs to.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Remaining capacity before the epoch must end.
+    pub fn remaining(&self) -> usize {
+        self.capacity.saturating_sub(self.events.len())
+    }
+
+    /// Returns `true` if the list cannot accept further events.
+    pub fn is_full(&self) -> bool {
+        self.events.len() >= self.capacity
+    }
+
+    /// Appends an event during the recording phase and returns its index
+    /// within this list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadListFull`] when the pre-allocated entries are
+    /// exhausted; the caller must close the epoch.
+    pub fn append(&mut self, kind: EventKind) -> Result<u32, ThreadListFull> {
+        if self.is_full() {
+            return Err(ThreadListFull {
+                thread: self.thread,
+                capacity: self.capacity,
+            });
+        }
+        let index = self.events.len() as u32;
+        self.events.push(Event {
+            thread: self.thread,
+            index,
+            kind,
+        });
+        Ok(index)
+    }
+
+    /// Appends an event even when the pre-allocated entries are exhausted.
+    ///
+    /// The runtime uses this after [`ThreadList::append`] reported the list
+    /// full and an epoch end has already been scheduled: the event that
+    /// tripped the limit must still be recorded so that the epoch remains
+    /// replayable, at the cost of one allocation past the reserved capacity.
+    pub fn append_past_capacity(&mut self, kind: EventKind) -> u32 {
+        let index = self.events.len() as u32;
+        self.events.push(Event {
+            thread: self.thread,
+            index,
+            kind,
+        });
+        index
+    }
+
+    /// Clears all recorded events and leaves recording mode.  Called by
+    /// epoch housekeeping at every epoch begin (§3.1).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.cursor = 0;
+        self.replaying = false;
+    }
+
+    /// Resets the replay cursor to the first recorded event (rollback,
+    /// §3.4) and enters replay mode.
+    pub fn begin_replay(&mut self) {
+        self.cursor = 0;
+        self.replaying = true;
+    }
+
+    /// Leaves replay mode (the re-execution reached the epoch end).
+    pub fn end_replay(&mut self) {
+        self.replaying = false;
+    }
+
+    /// Returns `true` while the list is driving a replay.
+    pub fn is_replaying(&self) -> bool {
+        self.replaying
+    }
+
+    /// The event the cursor points at, or `None` when the recorded events
+    /// are exhausted (the thread has replayed its whole epoch).
+    pub fn peek(&self) -> Option<&Event> {
+        self.events.get(self.cursor)
+    }
+
+    /// Advances the cursor past the current event and returns it, or `None`
+    /// if every recorded event has already been replayed.
+    pub fn advance(&mut self) -> Option<&Event> {
+        if self.cursor < self.events.len() {
+            let index = self.cursor;
+            self.cursor += 1;
+            self.events.get(index)
+        } else {
+            None
+        }
+    }
+
+    /// Index of the next event to be replayed.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Returns `true` when every recorded event has been replayed.
+    pub fn replay_complete(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// All recorded events, in program order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SyncOp, SyscallOutcome, VarId};
+
+    fn lock_event(var: u32) -> EventKind {
+        EventKind::Sync {
+            var: VarId(var),
+            op: SyncOp::MutexLock,
+            result: 0,
+        }
+    }
+
+    #[test]
+    fn append_preserves_program_order_and_indices() {
+        let mut list = ThreadList::new(ThreadId(2), 8);
+        assert_eq!(list.append(lock_event(1)).unwrap(), 0);
+        assert_eq!(
+            list.append(EventKind::Syscall {
+                code: 4,
+                outcome: SyscallOutcome::ret(10),
+            })
+            .unwrap(),
+            1
+        );
+        assert_eq!(list.append(lock_event(2)).unwrap(), 2);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.remaining(), 5);
+        assert_eq!(list.events()[1].index, 1);
+        assert_eq!(list.events()[1].thread, ThreadId(2));
+    }
+
+    #[test]
+    fn exhausting_capacity_reports_full() {
+        let mut list = ThreadList::new(ThreadId(0), 2);
+        list.append(lock_event(1)).unwrap();
+        list.append(lock_event(1)).unwrap();
+        assert!(list.is_full());
+        let err = list.append(lock_event(1)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert_eq!(err.thread, ThreadId(0));
+        assert!(!err.to_string().is_empty());
+        // The runtime can still force the event in once an epoch end has
+        // been scheduled.
+        let index = list.append_past_capacity(lock_event(1));
+        assert_eq!(index, 2);
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn replay_cursor_walks_the_recorded_events() {
+        let mut list = ThreadList::new(ThreadId(0), 8);
+        list.append(lock_event(1)).unwrap();
+        list.append(lock_event(2)).unwrap();
+        assert!(!list.is_replaying());
+
+        list.begin_replay();
+        assert!(list.is_replaying());
+        assert!(!list.replay_complete());
+        assert_eq!(list.peek().unwrap().kind, lock_event(1));
+        assert_eq!(list.advance().unwrap().kind, lock_event(1));
+        assert_eq!(list.cursor(), 1);
+        assert_eq!(list.peek().unwrap().kind, lock_event(2));
+        list.advance();
+        assert!(list.replay_complete());
+        assert!(list.peek().is_none());
+        assert!(list.advance().is_none());
+        list.end_replay();
+        assert!(!list.is_replaying());
+    }
+
+    #[test]
+    fn clear_discards_events_and_cursor() {
+        let mut list = ThreadList::new(ThreadId(0), 4);
+        list.append(lock_event(1)).unwrap();
+        list.begin_replay();
+        list.advance();
+        list.clear();
+        assert!(list.is_empty());
+        assert_eq!(list.cursor(), 0);
+        assert!(!list.is_replaying());
+        assert_eq!(list.remaining(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_is_rejected() {
+        let _ = ThreadList::new(ThreadId(0), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-variable event lists (paper §3.2, Figure 4).
+//!
+//! Every synchronization variable has a list of the operations performed on
+//! it, in acquisition order across all threads.  Together with the
+//! per-thread lists this removes the need for a global order: during replay,
+//! a thread may perform an operation on a variable only when its entry is at
+//! the head of that variable's list.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{SyncOp, ThreadId};
+
+/// One entry of a per-variable list: which thread performed which operation,
+/// and where that event sits in the thread's own list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarEntry {
+    /// The thread that performed the operation.
+    pub thread: ThreadId,
+    /// The operation performed.
+    pub op: SyncOp,
+    /// Index of the corresponding event in the thread's per-thread list.
+    pub thread_index: u32,
+}
+
+/// The ordered list of operations on one synchronization variable, with its
+/// replay cursor.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_log::{SyncOp, ThreadId, VarList};
+///
+/// let mut list = VarList::new();
+/// list.append(ThreadId(0), SyncOp::MutexLock, 0);
+/// list.append(ThreadId(1), SyncOp::MutexLock, 0);
+/// list.begin_replay();
+/// assert!(list.is_turn(ThreadId(0)));
+/// assert!(!list.is_turn(ThreadId(1)));
+/// list.advance();
+/// assert!(list.is_turn(ThreadId(1)));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VarList {
+    entries: Vec<VarEntry>,
+    cursor: usize,
+}
+
+impl VarList {
+    /// Creates an empty per-variable list.
+    pub fn new() -> Self {
+        VarList::default()
+    }
+
+    /// Number of recorded operations on this variable.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an operation during recording.
+    ///
+    /// The caller holds the variable's own lock (the operation being
+    /// recorded *is* an acquisition of it), so no extra synchronization is
+    /// introduced.
+    pub fn append(&mut self, thread: ThreadId, op: SyncOp, thread_index: u32) {
+        self.entries.push(VarEntry {
+            thread,
+            op,
+            thread_index,
+        });
+    }
+
+    /// Clears the list at epoch begin.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.cursor = 0;
+    }
+
+    /// Resets the replay cursor to the first recorded operation (§3.4).
+    pub fn begin_replay(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// The entry at the head of the list, if any operations remain.
+    pub fn peek(&self) -> Option<&VarEntry> {
+        self.entries.get(self.cursor)
+    }
+
+    /// Returns `true` if the next recorded operation on this variable
+    /// belongs to `thread` -- the replay rule of §3.5.1: "whenever the first
+    /// event of a per-variable list is also the first event of its
+    /// corresponding per-thread list, the current thread can proceed".
+    pub fn is_turn(&self, thread: ThreadId) -> bool {
+        self.peek().is_some_and(|e| e.thread == thread)
+    }
+
+    /// Advances the cursor past the head entry and returns it.
+    pub fn advance(&mut self) -> Option<VarEntry> {
+        let entry = self.entries.get(self.cursor).copied();
+        if entry.is_some() {
+            self.cursor += 1;
+        }
+        entry
+    }
+
+    /// Index of the next entry to be replayed.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Returns `true` when every recorded operation has been replayed.
+    pub fn replay_complete(&self) -> bool {
+        self.cursor >= self.entries.len()
+    }
+
+    /// All recorded entries in acquisition order.
+    pub fn entries(&self) -> &[VarEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_cross_thread_acquisition_order() {
+        // Figure 3/4 of the paper: lock1 is acquired first by Thread1, then
+        // by Thread2.
+        let mut lock1 = VarList::new();
+        lock1.append(ThreadId(1), SyncOp::MutexLock, 0);
+        lock1.append(ThreadId(2), SyncOp::MutexLock, 2);
+        assert_eq!(lock1.len(), 2);
+        assert_eq!(lock1.entries()[0].thread, ThreadId(1));
+        assert_eq!(lock1.entries()[1].thread, ThreadId(2));
+        assert_eq!(lock1.entries()[1].thread_index, 2);
+    }
+
+    #[test]
+    fn replay_turn_follows_recorded_order() {
+        let mut list = VarList::new();
+        list.append(ThreadId(0), SyncOp::MutexLock, 0);
+        list.append(ThreadId(1), SyncOp::MutexLock, 0);
+        list.append(ThreadId(0), SyncOp::MutexLock, 1);
+        list.begin_replay();
+
+        assert!(list.is_turn(ThreadId(0)));
+        assert!(!list.is_turn(ThreadId(1)));
+        let first = list.advance().unwrap();
+        assert_eq!(first.thread, ThreadId(0));
+
+        assert!(list.is_turn(ThreadId(1)));
+        list.advance();
+        assert!(list.is_turn(ThreadId(0)));
+        list.advance();
+        assert!(list.replay_complete());
+        assert!(!list.is_turn(ThreadId(0)));
+        assert!(list.advance().is_none());
+    }
+
+    #[test]
+    fn clear_resets_entries_and_cursor() {
+        let mut list = VarList::new();
+        list.append(ThreadId(0), SyncOp::BarrierWait, 0);
+        list.begin_replay();
+        list.advance();
+        list.clear();
+        assert!(list.is_empty());
+        assert_eq!(list.cursor(), 0);
+        assert!(list.peek().is_none());
+    }
+
+    #[test]
+    fn begin_replay_rewinds_after_partial_replay() {
+        let mut list = VarList::new();
+        list.append(ThreadId(0), SyncOp::MutexLock, 0);
+        list.append(ThreadId(1), SyncOp::MutexLock, 0);
+        list.begin_replay();
+        list.advance();
+        assert_eq!(list.cursor(), 1);
+        // A divergence triggers another rollback: cursors rewind.
+        list.begin_replay();
+        assert_eq!(list.cursor(), 0);
+        assert!(list.is_turn(ThreadId(0)));
+    }
+}

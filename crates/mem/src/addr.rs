@@ -1,0 +1,232 @@
+//! Address and span newtypes for the managed arena.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An address inside the managed arena.
+///
+/// Addresses are byte offsets from the start of the arena.  Because the
+/// arena replaces the process heap of the original system, these offsets are
+/// the analogue of virtual addresses: the deterministic allocator guarantees
+/// that the same allocation sequence produces the same `MemAddr` values in
+/// the original execution and in every re-execution.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_mem::MemAddr;
+///
+/// let a = MemAddr::new(64);
+/// assert_eq!(a.offset(), 64);
+/// assert_eq!((a + 8).offset(), 72);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MemAddr(u64);
+
+impl MemAddr {
+    /// The null address.  Like the C null pointer, it is never returned by
+    /// the allocator and dereferencing it faults.
+    pub const NULL: MemAddr = MemAddr(0);
+
+    /// Creates an address from a byte offset.
+    pub const fn new(offset: u64) -> Self {
+        MemAddr(offset)
+    }
+
+    /// Returns the byte offset of this address.
+    pub const fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte offset as a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset does not fit in `usize` (impossible on 64-bit
+    /// hosts).
+    pub fn as_usize(self) -> usize {
+        usize::try_from(self.0).expect("arena offset exceeds usize")
+    }
+
+    /// Returns `true` if this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the address advanced by `bytes`, saturating at `u64::MAX`.
+    pub const fn wrapping_add(self, bytes: u64) -> Self {
+        MemAddr(self.0.wrapping_add(bytes))
+    }
+
+    /// Returns this address aligned up to `align`, which must be a power of
+    /// two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_up(self, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        MemAddr((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl Add<u64> for MemAddr {
+    type Output = MemAddr;
+
+    fn add(self, rhs: u64) -> MemAddr {
+        MemAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for MemAddr {
+    type Output = MemAddr;
+
+    fn sub(self, rhs: u64) -> MemAddr {
+        MemAddr(self.0 - rhs)
+    }
+}
+
+impl Sub<MemAddr> for MemAddr {
+    type Output = u64;
+
+    fn sub(self, rhs: MemAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<MemAddr> for u64 {
+    fn from(addr: MemAddr) -> u64 {
+        addr.0
+    }
+}
+
+impl From<u64> for MemAddr {
+    fn from(offset: u64) -> MemAddr {
+        MemAddr(offset)
+    }
+}
+
+/// A contiguous span of managed memory.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_mem::{MemAddr, Span};
+///
+/// let span = Span::new(MemAddr::new(16), 32);
+/// assert!(span.contains(MemAddr::new(47)));
+/// assert!(!span.contains(MemAddr::new(48)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// First byte of the span.
+    pub addr: MemAddr,
+    /// Length of the span in bytes.
+    pub len: u64,
+}
+
+impl Span {
+    /// Creates a span starting at `addr` covering `len` bytes.
+    pub const fn new(addr: MemAddr, len: u64) -> Self {
+        Span { addr, len }
+    }
+
+    /// Returns the first address past the end of this span.
+    pub const fn end(&self) -> MemAddr {
+        MemAddr::new(self.addr.offset() + self.len)
+    }
+
+    /// Returns `true` if `addr` falls inside the span.
+    pub const fn contains(&self, addr: MemAddr) -> bool {
+        addr.offset() >= self.addr.offset() && addr.offset() < self.addr.offset() + self.len
+    }
+
+    /// Returns `true` if the two spans share at least one byte.
+    pub const fn overlaps(&self, other: &Span) -> bool {
+        self.addr.offset() < other.addr.offset() + other.len
+            && other.addr.offset() < self.addr.offset() + self.len
+    }
+
+    /// Returns `true` if the span has zero length.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.addr, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_address_is_null() {
+        assert!(MemAddr::NULL.is_null());
+        assert!(!MemAddr::new(1).is_null());
+        assert_eq!(MemAddr::default(), MemAddr::NULL);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = MemAddr::new(100);
+        assert_eq!(a + 28, MemAddr::new(128));
+        assert_eq!(MemAddr::new(128) - 28, a);
+        assert_eq!(MemAddr::new(128) - a, 28);
+        assert_eq!(u64::from(a), 100);
+        assert_eq!(MemAddr::from(100u64), a);
+    }
+
+    #[test]
+    fn align_up_rounds_to_power_of_two() {
+        assert_eq!(MemAddr::new(0).align_up(8), MemAddr::new(0));
+        assert_eq!(MemAddr::new(1).align_up(8), MemAddr::new(8));
+        assert_eq!(MemAddr::new(8).align_up(8), MemAddr::new(8));
+        assert_eq!(MemAddr::new(9).align_up(16), MemAddr::new(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_up_rejects_non_power_of_two() {
+        let _ = MemAddr::new(1).align_up(12);
+    }
+
+    #[test]
+    fn span_contains_and_overlaps() {
+        let s = Span::new(MemAddr::new(16), 16);
+        assert_eq!(s.end(), MemAddr::new(32));
+        assert!(s.contains(MemAddr::new(16)));
+        assert!(s.contains(MemAddr::new(31)));
+        assert!(!s.contains(MemAddr::new(32)));
+        assert!(!s.contains(MemAddr::new(15)));
+
+        let t = Span::new(MemAddr::new(31), 4);
+        let u = Span::new(MemAddr::new(32), 4);
+        assert!(s.overlaps(&t));
+        assert!(!s.overlaps(&u));
+        assert!(!u.overlaps(&s));
+        assert!(Span::new(MemAddr::new(0), 0).is_empty());
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(MemAddr::new(255).to_string(), "0xff");
+        assert_eq!(
+            Span::new(MemAddr::new(16), 16).to_string(),
+            "[0x10, 0x20)"
+        );
+    }
+}

@@ -1,0 +1,429 @@
+//! The managed arena: the byte-addressable memory region that plays the role
+//! of the process heap and globals in the original system.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::addr::{MemAddr, Span};
+use crate::error::MemError;
+
+/// A contiguous, shared, byte-addressable memory region.
+///
+/// The arena is the single backing store for all application-visible memory:
+/// the managed globals region, the deterministic heap, and the managed
+/// thread-local slots.  It is shared between all application threads.
+///
+/// Every byte is stored in an [`AtomicU8`] accessed with relaxed ordering.
+/// This gives racy applications real data races -- concurrent unsynchronized
+/// writes can interleave and multi-byte values can tear -- while remaining
+/// sound Rust.  That is exactly the behaviour iReplayer needs: data races in
+/// the original execution are *not* recorded, and the replay machinery
+/// detects the divergence they cause and searches for a matching schedule
+/// (paper §2.2.2, §3.5.2).
+///
+/// Addresses start at 1: offset 0 is reserved so that [`MemAddr::NULL`]
+/// always faults, mirroring a null-pointer dereference.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_mem::{Arena, MemAddr};
+///
+/// # fn main() -> Result<(), ireplayer_mem::MemError> {
+/// let arena = Arena::new(4096);
+/// arena.write_u32(MemAddr::new(128), 7)?;
+/// assert_eq!(arena.read_u32(MemAddr::new(128))?, 7);
+/// assert!(arena.read_u8(MemAddr::NULL).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Arena {
+    bytes: Box<[AtomicU8]>,
+}
+
+impl Arena {
+    /// Creates a zero-filled arena of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "arena size must be non-zero");
+        let mut bytes = Vec::with_capacity(size);
+        bytes.resize_with(size, || AtomicU8::new(0));
+        Arena {
+            bytes: bytes.into_boxed_slice(),
+        }
+    }
+
+    /// Returns the size of the arena in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns the span of usable addresses: `[1, size)`.
+    ///
+    /// Offset 0 is reserved for the null address.
+    pub fn span(&self) -> Span {
+        Span::new(MemAddr::new(1), self.bytes.len() as u64 - 1)
+    }
+
+    fn check(&self, addr: MemAddr, len: usize) -> Result<usize, MemError> {
+        let start = addr.as_usize();
+        let end = start.checked_add(len);
+        match end {
+            Some(end) if start >= 1 && end <= self.bytes.len() && len > 0 => Ok(start),
+            _ => Err(MemError::OutOfBounds {
+                addr,
+                len,
+                arena_size: self.bytes.len(),
+            }),
+        }
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the address is null or outside
+    /// the arena.
+    pub fn read_u8(&self, addr: MemAddr) -> Result<u8, MemError> {
+        let start = self.check(addr, 1)?;
+        Ok(self.bytes[start].load(Ordering::Relaxed))
+    }
+
+    /// Writes a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the address is null or outside
+    /// the arena.
+    pub fn write_u8(&self, addr: MemAddr, value: u8) -> Result<(), MemError> {
+        let start = self.check(addr, 1)?;
+        self.bytes[start].store(value, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if any byte of the range is outside
+    /// the arena.
+    pub fn read_bytes(&self, addr: MemAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let start = self.check(addr, buf.len())?;
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = self.bytes[start + i].load(Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Writes all of `data` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if any byte of the range is outside
+    /// the arena.
+    pub fn write_bytes(&self, addr: MemAddr, data: &[u8]) -> Result<(), MemError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let start = self.check(addr, data.len())?;
+        for (i, byte) in data.iter().enumerate() {
+            self.bytes[start + i].store(*byte, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes starting at `addr` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if any byte of the range is outside
+    /// the arena.
+    pub fn fill(&self, addr: MemAddr, len: usize, value: u8) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let start = self.check(addr, len)?;
+        for i in 0..len {
+            self.bytes[start + i].store(value, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within the arena.
+    ///
+    /// The copy is not atomic; concurrent writers may interleave, as with a
+    /// racy `memcpy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if either range is outside the
+    /// arena.
+    pub fn copy(&self, src: MemAddr, dst: MemAddr, len: usize) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let s = self.check(src, len)?;
+        let d = self.check(dst, len)?;
+        if d <= s {
+            for i in 0..len {
+                let b = self.bytes[s + i].load(Ordering::Relaxed);
+                self.bytes[d + i].store(b, Ordering::Relaxed);
+            }
+        } else {
+            for i in (0..len).rev() {
+                let b = self.bytes[s + i].load(Ordering::Relaxed);
+                self.bytes[d + i].store(b, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Dumps the whole arena (including the reserved null byte) into a
+    /// `Vec<u8>`.  Used by snapshots and by the memory-diff experiment.
+    pub fn dump(&self) -> Vec<u8> {
+        self.bytes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Dumps only the first `len` bytes of the arena.
+    ///
+    /// Snapshots use this to avoid copying memory past the heap high-water
+    /// mark, mirroring the paper's "copy all writable memory" step without
+    /// copying untouched pages.
+    pub fn dump_prefix(&self, len: usize) -> Vec<u8> {
+        let len = len.min(self.bytes.len());
+        self.bytes[..len]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Overwrites the first `data.len()` bytes of the arena with `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::SnapshotSizeMismatch`] if `data` is larger than
+    /// the arena.
+    pub fn restore_prefix(&self, data: &[u8]) -> Result<(), MemError> {
+        if data.len() > self.bytes.len() {
+            return Err(MemError::SnapshotSizeMismatch {
+                snapshot: data.len(),
+                arena: self.bytes.len(),
+            });
+        }
+        for (i, byte) in data.iter().enumerate() {
+            self.bytes[i].store(*byte, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// A 64-bit FNV-1a hash of the first `len` bytes of the arena.
+    ///
+    /// The identical-replay validation (§5.2) compares heap images before and
+    /// after a replay; hashing gives a cheap equality check and the full
+    /// [`crate::snapshot::MemSnapshot::diff`] gives the byte-level
+    /// percentage reported in Table 1.
+    pub fn hash_prefix(&self, len: usize) -> u64 {
+        let len = len.min(self.bytes.len());
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in &self.bytes[..len] {
+            hash ^= u64::from(b.load(Ordering::Relaxed));
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+macro_rules! int_accessors {
+    ($read:ident, $write:ident, $ty:ty, $n:expr) => {
+        impl Arena {
+            /// Reads a little-endian integer of this width.
+            ///
+            /// The read is composed of per-byte atomic loads, so concurrent
+            /// unsynchronized writers can produce torn values -- exactly the
+            /// behaviour of a data race on real hardware.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`MemError::OutOfBounds`] if the range is outside the
+            /// arena.
+            pub fn $read(&self, addr: MemAddr) -> Result<$ty, MemError> {
+                let mut buf = [0u8; $n];
+                self.read_bytes(addr, &mut buf)?;
+                Ok(<$ty>::from_le_bytes(buf))
+            }
+
+            /// Writes a little-endian integer of this width.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`MemError::OutOfBounds`] if the range is outside the
+            /// arena.
+            pub fn $write(&self, addr: MemAddr, value: $ty) -> Result<(), MemError> {
+                self.write_bytes(addr, &value.to_le_bytes())
+            }
+        }
+    };
+}
+
+int_accessors!(read_u16, write_u16, u16, 2);
+int_accessors!(read_u32, write_u32, u32, 4);
+int_accessors!(read_u64, write_u64, u64, 8);
+int_accessors!(read_i64, write_i64, i64, 8);
+
+impl Arena {
+    /// Reads an `f64` stored in little-endian byte order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range is outside the arena.
+    pub fn read_f64(&self, addr: MemAddr) -> Result<f64, MemError> {
+        Ok(f64::from_bits(self.read_u64(addr)?))
+    }
+
+    /// Writes an `f64` in little-endian byte order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range is outside the arena.
+    pub fn write_f64(&self, addr: MemAddr, value: f64) -> Result<(), MemError> {
+        self.write_u64(addr, value.to_bits())
+    }
+
+    /// Reads a managed-memory address stored at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range is outside the arena.
+    pub fn read_addr(&self, addr: MemAddr) -> Result<MemAddr, MemError> {
+        Ok(MemAddr::new(self.read_u64(addr)?))
+    }
+
+    /// Stores a managed-memory address at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range is outside the arena.
+    pub fn write_addr(&self, addr: MemAddr, value: MemAddr) -> Result<(), MemError> {
+        self.write_u64(addr, value.offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_widths() {
+        let arena = Arena::new(1024);
+        let a = MemAddr::new(16);
+        arena.write_u8(a, 0xab).unwrap();
+        assert_eq!(arena.read_u8(a).unwrap(), 0xab);
+        arena.write_u16(a, 0xbeef).unwrap();
+        assert_eq!(arena.read_u16(a).unwrap(), 0xbeef);
+        arena.write_u32(a, 0xdead_beef).unwrap();
+        assert_eq!(arena.read_u32(a).unwrap(), 0xdead_beef);
+        arena.write_u64(a, u64::MAX - 5).unwrap();
+        assert_eq!(arena.read_u64(a).unwrap(), u64::MAX - 5);
+        arena.write_i64(a, -12345).unwrap();
+        assert_eq!(arena.read_i64(a).unwrap(), -12345);
+        arena.write_f64(a, 3.5).unwrap();
+        assert_eq!(arena.read_f64(a).unwrap(), 3.5);
+        arena.write_addr(a, MemAddr::new(77)).unwrap();
+        assert_eq!(arena.read_addr(a).unwrap(), MemAddr::new(77));
+    }
+
+    #[test]
+    fn null_and_out_of_bounds_fault() {
+        let arena = Arena::new(64);
+        assert!(arena.read_u8(MemAddr::NULL).is_err());
+        assert!(arena.write_u8(MemAddr::NULL, 1).is_err());
+        assert!(arena.read_u8(MemAddr::new(64)).is_err());
+        assert!(arena.read_u64(MemAddr::new(60)).is_err());
+        assert!(arena.write_u64(MemAddr::new(56), 0).is_ok());
+        assert!(arena.write_u64(MemAddr::new(57), 0).is_err());
+    }
+
+    #[test]
+    fn byte_ranges_and_fill() {
+        let arena = Arena::new(256);
+        let a = MemAddr::new(10);
+        arena.write_bytes(a, b"hello world").unwrap();
+        let mut buf = [0u8; 11];
+        arena.read_bytes(a, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+        arena.fill(a, 5, b'x').unwrap();
+        arena.read_bytes(a, &mut buf).unwrap();
+        assert_eq!(&buf, b"xxxxx world");
+        // Empty operations succeed even at the null address.
+        arena.read_bytes(MemAddr::NULL, &mut []).unwrap();
+        arena.write_bytes(MemAddr::NULL, &[]).unwrap();
+        arena.fill(MemAddr::NULL, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn copy_handles_overlap() {
+        let arena = Arena::new(128);
+        arena.write_bytes(MemAddr::new(10), b"abcdef").unwrap();
+        // Forward overlapping copy.
+        arena.copy(MemAddr::new(10), MemAddr::new(12), 6).unwrap();
+        let mut buf = [0u8; 6];
+        arena.read_bytes(MemAddr::new(12), &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+        // Backward overlapping copy.
+        arena.copy(MemAddr::new(12), MemAddr::new(11), 6).unwrap();
+        arena.read_bytes(MemAddr::new(11), &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn dump_and_restore_round_trip() {
+        let arena = Arena::new(128);
+        arena.write_bytes(MemAddr::new(1), b"state one").unwrap();
+        let saved = arena.dump_prefix(64);
+        let hash_before = arena.hash_prefix(64);
+        arena.write_bytes(MemAddr::new(1), b"state two").unwrap();
+        assert_ne!(arena.hash_prefix(64), hash_before);
+        arena.restore_prefix(&saved).unwrap();
+        assert_eq!(arena.hash_prefix(64), hash_before);
+        let mut buf = [0u8; 9];
+        arena.read_bytes(MemAddr::new(1), &mut buf).unwrap();
+        assert_eq!(&buf, b"state one");
+    }
+
+    #[test]
+    fn restore_rejects_oversized_snapshot() {
+        let arena = Arena::new(16);
+        let err = arena.restore_prefix(&[0u8; 32]).unwrap_err();
+        assert!(matches!(err, MemError::SnapshotSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn span_excludes_null_byte() {
+        let arena = Arena::new(100);
+        let span = arena.span();
+        assert_eq!(span.addr, MemAddr::new(1));
+        assert_eq!(span.len, 99);
+        assert_eq!(arena.size(), 100);
+    }
+
+    #[test]
+    fn arena_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Arena>();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_sized_arena_panics() {
+        let _ = Arena::new(0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Canary values and the canary placement map (paper §4.1).
+//!
+//! The heap-overflow detector "places canaries (e.g. known random values)
+//! adjacent to allocated objects in the original execution" and "uses a
+//! bitmap internally to record the placement of canaries".  An overwritten
+//! canary is incontrovertible evidence of an overflow; the detector then
+//! replays the epoch with watchpoints on the corrupted addresses.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{MemAddr, Span};
+use crate::arena::Arena;
+use crate::error::MemError;
+
+/// The byte value used to fill canary regions.
+pub const CANARY_BYTE: u8 = 0x7e;
+
+/// An eight-byte canary word (`CANARY_BYTE` repeated).
+pub const CANARY_WORD: u64 = u64::from_le_bytes([CANARY_BYTE; 8]);
+
+/// Record of canary placements, keyed by address.
+///
+/// The paper uses a bitmap over the heap; a sorted map keyed by address gives
+/// the same "where did I plant canaries?" query while also remembering the
+/// length of each canary region and the allocation it guards.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_mem::{Arena, CanaryMap, MemAddr};
+///
+/// # fn main() -> Result<(), ireplayer_mem::MemError> {
+/// let arena = Arena::new(256);
+/// let mut map = CanaryMap::new();
+/// map.plant(&arena, MemAddr::new(64), 8, MemAddr::new(32))?;
+/// assert!(map.check(&arena)?.is_empty());
+/// arena.write_u8(MemAddr::new(66), 0)?; // simulate an overflow
+/// assert_eq!(map.check(&arena)?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CanaryMap {
+    entries: BTreeMap<MemAddr, CanaryEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct CanaryEntry {
+    len: usize,
+    guarded: MemAddr,
+}
+
+/// A canary region found to be corrupted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptedCanary {
+    /// Span of the canary region.
+    pub span: Span,
+    /// First corrupted byte within the region.
+    pub first_bad_byte: MemAddr,
+    /// Start address of the allocation this canary guards.
+    pub guarded: MemAddr,
+}
+
+impl CanaryMap {
+    /// Creates an empty canary map.
+    pub fn new() -> Self {
+        CanaryMap::default()
+    }
+
+    /// Number of live canary regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no canaries are planted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fills `[addr, addr + len)` with the canary byte and records the
+    /// placement.  `guarded` is the allocation the canary protects, used in
+    /// bug reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the region is outside the arena.
+    pub fn plant(
+        &mut self,
+        arena: &Arena,
+        addr: MemAddr,
+        len: usize,
+        guarded: MemAddr,
+    ) -> Result<(), MemError> {
+        arena.fill(addr, len, CANARY_BYTE)?;
+        self.entries.insert(addr, CanaryEntry { len, guarded });
+        Ok(())
+    }
+
+    /// Removes the canary planted at `addr`, if any, without checking it.
+    pub fn remove(&mut self, addr: MemAddr) -> bool {
+        self.entries.remove(&addr).is_some()
+    }
+
+    /// Checks a single canary region and removes it from the map.
+    ///
+    /// Returns `Ok(Some(..))` if the region was corrupted, `Ok(None)` if it
+    /// was intact or not present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the region is outside the arena.
+    pub fn check_and_remove(
+        &mut self,
+        arena: &Arena,
+        addr: MemAddr,
+    ) -> Result<Option<CorruptedCanary>, MemError> {
+        match self.entries.remove(&addr) {
+            None => Ok(None),
+            Some(entry) => Self::check_entry(arena, addr, &entry),
+        }
+    }
+
+    /// Scans every planted canary and returns all corrupted regions.
+    ///
+    /// The heap-overflow detector runs this at every epoch boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if a region is outside the arena,
+    /// which indicates runtime corruption rather than an application bug.
+    pub fn check(&self, arena: &Arena) -> Result<Vec<CorruptedCanary>, MemError> {
+        let mut corrupted = Vec::new();
+        for (addr, entry) in &self.entries {
+            if let Some(bad) = Self::check_entry(arena, *addr, entry)? {
+                corrupted.push(bad);
+            }
+        }
+        Ok(corrupted)
+    }
+
+    /// Removes every canary.  Used when the detector is disabled mid-run and
+    /// by epoch housekeeping when the guarded allocations are reclaimed.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over `(address, length, guarded allocation)` of every planted
+    /// canary.
+    pub fn iter(&self) -> impl Iterator<Item = (MemAddr, usize, MemAddr)> + '_ {
+        self.entries
+            .iter()
+            .map(|(addr, entry)| (*addr, entry.len, entry.guarded))
+    }
+
+    fn check_entry(
+        arena: &Arena,
+        addr: MemAddr,
+        entry: &CanaryEntry,
+    ) -> Result<Option<CorruptedCanary>, MemError> {
+        let mut buf = vec![0u8; entry.len];
+        arena.read_bytes(addr, &mut buf)?;
+        for (i, byte) in buf.iter().enumerate() {
+            if *byte != CANARY_BYTE {
+                return Ok(Some(CorruptedCanary {
+                    span: Span::new(addr, entry.len as u64),
+                    first_bad_byte: addr + i as u64,
+                    guarded: entry.guarded,
+                }));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intact_canaries_pass_the_scan() {
+        let arena = Arena::new(512);
+        let mut map = CanaryMap::new();
+        map.plant(&arena, MemAddr::new(100), 8, MemAddr::new(92))
+            .unwrap();
+        map.plant(&arena, MemAddr::new(200), 16, MemAddr::new(180))
+            .unwrap();
+        assert_eq!(map.len(), 2);
+        assert!(map.check(&arena).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupted_canary_reports_first_bad_byte_and_guarded_object() {
+        let arena = Arena::new(512);
+        let mut map = CanaryMap::new();
+        map.plant(&arena, MemAddr::new(100), 8, MemAddr::new(92))
+            .unwrap();
+        arena.write_u8(MemAddr::new(103), 0x00).unwrap();
+        let bad = map.check(&arena).unwrap();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].first_bad_byte, MemAddr::new(103));
+        assert_eq!(bad[0].guarded, MemAddr::new(92));
+        assert_eq!(bad[0].span, Span::new(MemAddr::new(100), 8));
+    }
+
+    #[test]
+    fn check_and_remove_consumes_the_entry() {
+        let arena = Arena::new(256);
+        let mut map = CanaryMap::new();
+        map.plant(&arena, MemAddr::new(64), 8, MemAddr::new(32))
+            .unwrap();
+        arena.write_u8(MemAddr::new(64), 1).unwrap();
+        let first = map.check_and_remove(&arena, MemAddr::new(64)).unwrap();
+        assert!(first.is_some());
+        assert!(map.is_empty());
+        let second = map.check_and_remove(&arena, MemAddr::new(64)).unwrap();
+        assert!(second.is_none());
+    }
+
+    #[test]
+    fn remove_and_clear_forget_placements() {
+        let arena = Arena::new(256);
+        let mut map = CanaryMap::new();
+        map.plant(&arena, MemAddr::new(64), 8, MemAddr::new(32))
+            .unwrap();
+        map.plant(&arena, MemAddr::new(96), 8, MemAddr::new(80))
+            .unwrap();
+        assert!(map.remove(MemAddr::new(64)));
+        assert!(!map.remove(MemAddr::new(64)));
+        assert_eq!(map.iter().count(), 1);
+        map.clear();
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn canary_word_matches_canary_byte() {
+        assert_eq!(CANARY_WORD.to_le_bytes(), [CANARY_BYTE; 8]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Byte-level difference statistics between two memory images.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Result of comparing a memory snapshot against the live arena.
+///
+/// Table 1 of the paper reports, per application, the percentage of heap
+/// memory that differs between the original execution and the re-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DiffStats {
+    /// Number of bytes compared.
+    pub bytes_compared: usize,
+    /// Number of bytes that differ.
+    pub bytes_different: usize,
+}
+
+impl DiffStats {
+    /// Percentage (0-100) of compared bytes that differ.
+    pub fn percent(&self) -> f64 {
+        if self.bytes_compared == 0 {
+            0.0
+        } else {
+            100.0 * self.bytes_different as f64 / self.bytes_compared as f64
+        }
+    }
+
+    /// Returns `true` if the two images were identical.
+    pub fn is_identical(&self) -> bool {
+        self.bytes_different == 0
+    }
+
+    /// Merges another comparison into this one (used when diffing several
+    /// regions, e.g. heap and globals, separately).
+    pub fn merge(&mut self, other: DiffStats) {
+        self.bytes_compared += other.bytes_compared;
+        self.bytes_different += other.bytes_different;
+    }
+}
+
+impl fmt::Display for DiffStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} bytes differ ({:.3}%)",
+            self.bytes_different,
+            self.bytes_compared,
+            self.percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_handles_empty_and_nonempty_comparisons() {
+        assert_eq!(DiffStats::default().percent(), 0.0);
+        assert!(DiffStats::default().is_identical());
+        let d = DiffStats {
+            bytes_compared: 200,
+            bytes_different: 25,
+        };
+        assert!((d.percent() - 12.5).abs() < 1e-9);
+        assert!(!d.is_identical());
+    }
+
+    #[test]
+    fn merge_accumulates_both_fields() {
+        let mut a = DiffStats {
+            bytes_compared: 100,
+            bytes_different: 1,
+        };
+        a.merge(DiffStats {
+            bytes_compared: 300,
+            bytes_different: 3,
+        });
+        assert_eq!(a.bytes_compared, 400);
+        assert_eq!(a.bytes_different, 4);
+        assert!((a.percent() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_percentage() {
+        let d = DiffStats {
+            bytes_compared: 100,
+            bytes_different: 1,
+        };
+        assert!(d.to_string().contains('%'));
+    }
+}

@@ -1,0 +1,142 @@
+//! Error type for managed-memory operations.
+
+use std::fmt;
+
+use crate::addr::MemAddr;
+
+/// Errors produced by managed-memory operations.
+///
+/// Out-of-bounds accesses play the role of segmentation faults in the
+/// original system: the runtime layer converts them into a fault that closes
+/// the current epoch and (optionally) triggers a diagnostic replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// An access touched memory outside the arena.
+    OutOfBounds {
+        /// Start of the faulting access.
+        addr: MemAddr,
+        /// Length of the faulting access in bytes.
+        len: usize,
+        /// Total size of the arena.
+        arena_size: usize,
+    },
+    /// The super heap has no blocks left to hand out.
+    OutOfMemory {
+        /// Size of the request that could not be satisfied.
+        requested: usize,
+    },
+    /// An allocation request exceeded the largest supported size class.
+    AllocationTooLarge {
+        /// Size of the request.
+        requested: usize,
+        /// Largest size a single allocation may have.
+        max: usize,
+    },
+    /// `free` was called on an address that is not the start of a live
+    /// allocation.
+    InvalidFree {
+        /// The address passed to `free`.
+        addr: MemAddr,
+    },
+    /// `free` was called twice on the same allocation.
+    DoubleFree {
+        /// The address passed to `free`.
+        addr: MemAddr,
+    },
+    /// A watchpoint slot was requested but all hardware-style slots are in
+    /// use.
+    NoWatchpointSlot,
+    /// A snapshot restore was attempted against an arena of a different size.
+    SnapshotSizeMismatch {
+        /// Size of the snapshot in bytes.
+        snapshot: usize,
+        /// Size of the arena in bytes.
+        arena: usize,
+    },
+    /// The globals region is exhausted.
+    GlobalsExhausted {
+        /// Size of the request that could not be satisfied.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds {
+                addr,
+                len,
+                arena_size,
+            } => write!(
+                f,
+                "access of {len} bytes at {addr} is outside the {arena_size}-byte arena"
+            ),
+            MemError::OutOfMemory { requested } => {
+                write!(f, "super heap exhausted while requesting {requested} bytes")
+            }
+            MemError::AllocationTooLarge { requested, max } => write!(
+                f,
+                "allocation of {requested} bytes exceeds the maximum object size of {max} bytes"
+            ),
+            MemError::InvalidFree { addr } => {
+                write!(f, "free of {addr} which is not a live allocation")
+            }
+            MemError::DoubleFree { addr } => write!(f, "double free of {addr}"),
+            MemError::NoWatchpointSlot => {
+                write!(f, "all watchpoint slots are in use")
+            }
+            MemError::SnapshotSizeMismatch { snapshot, arena } => write!(
+                f,
+                "snapshot of {snapshot} bytes cannot be restored into an arena of {arena} bytes"
+            ),
+            MemError::GlobalsExhausted { requested } => {
+                write!(f, "globals region exhausted while requesting {requested} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants = [
+            MemError::OutOfBounds {
+                addr: MemAddr::new(4),
+                len: 8,
+                arena_size: 16,
+            },
+            MemError::OutOfMemory { requested: 64 },
+            MemError::AllocationTooLarge {
+                requested: 1 << 30,
+                max: 1 << 22,
+            },
+            MemError::InvalidFree {
+                addr: MemAddr::new(12),
+            },
+            MemError::DoubleFree {
+                addr: MemAddr::new(12),
+            },
+            MemError::NoWatchpointSlot,
+            MemError::SnapshotSizeMismatch {
+                snapshot: 8,
+                arena: 16,
+            },
+            MemError::GlobalsExhausted { requested: 128 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

@@ -1,0 +1,148 @@
+//! Managed global variables.
+//!
+//! The original system checkpoints the globals of the application and of all
+//! shared libraries by parsing `/proc/self/maps` and copying the writable
+//! segments.  In the managed substrate, applications declare their globals
+//! through this bump allocator at start-up; the region is part of the arena
+//! and is therefore covered by the same snapshot/restore machinery used for
+//! the heap.
+
+use std::collections::HashMap;
+
+use crate::addr::{MemAddr, Span};
+use crate::error::MemError;
+
+/// Allocator and name registry for the managed globals region.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_mem::{Globals, MemAddr, Span};
+///
+/// # fn main() -> Result<(), ireplayer_mem::MemError> {
+/// let mut globals = Globals::new(Span::new(MemAddr::new(64), 1024));
+/// let counter = globals.define("counter", 8)?;
+/// assert_eq!(globals.lookup("counter"), Some(Span::new(counter, 8)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Globals {
+    region: Span,
+    next: MemAddr,
+    vars: HashMap<String, Span>,
+}
+
+impl Globals {
+    /// Creates a globals allocator over `region`.
+    pub fn new(region: Span) -> Self {
+        Globals {
+            next: region.addr.align_up(8),
+            region,
+            vars: HashMap::new(),
+        }
+    }
+
+    /// Returns the region managed by this allocator.
+    pub fn region(&self) -> Span {
+        self.region
+    }
+
+    /// Number of bytes still available.
+    pub fn remaining(&self) -> u64 {
+        self.region.end().offset().saturating_sub(self.next.offset())
+    }
+
+    /// Defines a named global of `size` bytes, 8-byte aligned, and returns
+    /// its address.  Defining a name twice returns the existing address if
+    /// the size matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::GlobalsExhausted`] if the region cannot hold the
+    /// variable.
+    pub fn define(&mut self, name: &str, size: u64) -> Result<MemAddr, MemError> {
+        if let Some(existing) = self.vars.get(name) {
+            if existing.len == size {
+                return Ok(existing.addr);
+            }
+        }
+        let addr = self.next.align_up(8);
+        let end = addr.wrapping_add(size);
+        if end.offset() > self.region.end().offset() {
+            return Err(MemError::GlobalsExhausted {
+                requested: size as usize,
+            });
+        }
+        self.next = end;
+        self.vars.insert(name.to_owned(), Span::new(addr, size));
+        Ok(addr)
+    }
+
+    /// Returns the span of the named global, if defined.
+    pub fn lookup(&self, name: &str) -> Option<Span> {
+        self.vars.get(name).copied()
+    }
+
+    /// Iterates over `(name, span)` pairs of every defined global.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Span)> {
+        self.vars.iter().map(|(name, span)| (name.as_str(), *span))
+    }
+
+    /// Number of defined globals.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if no globals have been defined.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_are_aligned_and_disjoint() {
+        let mut globals = Globals::new(Span::new(MemAddr::new(100), 1024));
+        let a = globals.define("a", 3).unwrap();
+        let b = globals.define("b", 8).unwrap();
+        assert_eq!(a.offset() % 8, 0);
+        assert_eq!(b.offset() % 8, 0);
+        assert!(b.offset() >= a.offset() + 3);
+        assert_eq!(globals.len(), 2);
+        assert!(!globals.is_empty());
+    }
+
+    #[test]
+    fn redefining_the_same_name_returns_the_same_address() {
+        let mut globals = Globals::new(Span::new(MemAddr::new(64), 256));
+        let a = globals.define("x", 8).unwrap();
+        let b = globals.define("x", 8).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(globals.len(), 1);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut globals = Globals::new(Span::new(MemAddr::new(64), 32));
+        globals.define("a", 16).unwrap();
+        assert!(matches!(
+            globals.define("b", 64),
+            Err(MemError::GlobalsExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_and_iter_report_defined_variables() {
+        let mut globals = Globals::new(Span::new(MemAddr::new(64), 256));
+        let a = globals.define("counter", 8).unwrap();
+        assert_eq!(globals.lookup("counter"), Some(Span::new(a, 8)));
+        assert_eq!(globals.lookup("missing"), None);
+        let names: Vec<&str> = globals.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["counter"]);
+        assert!(globals.remaining() < 256);
+    }
+}

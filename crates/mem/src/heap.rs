@@ -1,0 +1,735 @@
+//! The deterministic heap of paper §2.2.4.
+//!
+//! iReplayer avoids recording memory allocations entirely by making the heap
+//! layout a pure function of (a) per-thread program order and (b) the
+//! recorded order of a small number of global lock acquisitions:
+//!
+//! * a **super heap** holds large blocks (4 MB in the paper); a per-thread
+//!   heap fetches a new block under a global lock whose acquisition order is
+//!   recorded and replayed;
+//! * each **per-thread heap** serves allocations from power-of-two size
+//!   classes, first from its free list, otherwise by bumping a pointer inside
+//!   its current block;
+//! * a free always returns the object to the heap of the *freeing* thread,
+//!   so cross-thread frees only influence that thread's subsequent
+//!   allocations, which again follow program order;
+//! * two live threads never share a per-thread heap.
+//!
+//! The runtime crate owns the global lock and records its acquisitions; this
+//! module implements the allocation mechanics and object headers.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{MemAddr, Span};
+use crate::arena::Arena;
+use crate::canary::CANARY_BYTE;
+use crate::error::MemError;
+use crate::size_class::{class_for, SizeClass, MAX_CLASS, NUM_CLASSES};
+
+/// Size in bytes of the per-object header stored in the arena just before
+/// the payload.
+pub const HEADER_SIZE: u64 = 16;
+
+/// Magic value stored in every object header, used to validate frees.
+const HEADER_MAGIC: u32 = 0x51e9_a110;
+
+/// Object states stored in the header.
+const STATE_LIVE: u8 = 1;
+const STATE_FREED: u8 = 2;
+
+/// Configuration shared by the super heap and all per-thread heaps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapConfig {
+    /// Size of a super-heap block in bytes.  The paper uses 4 MiB; tests use
+    /// smaller blocks to exercise block exhaustion cheaply.
+    pub block_size: u64,
+    /// When `true`, every allocation is followed by a canary region of
+    /// `canary_len` bytes (used by the overflow detector, §4.1).
+    pub canaries: bool,
+    /// Length of the canary region in bytes.
+    pub canary_len: usize,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            block_size: 4 * 1024 * 1024,
+            canaries: false,
+            canary_len: 8,
+        }
+    }
+}
+
+impl HeapConfig {
+    /// Returns a configuration with canaries enabled.
+    pub fn with_canaries(mut self) -> Self {
+        self.canaries = true;
+        self
+    }
+
+    /// Returns a configuration with the given super-heap block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is smaller than the largest size class plus
+    /// header overhead would allow for at least one minimum allocation.
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        assert!(block_size >= 1024, "block size must be at least 1 KiB");
+        self.block_size = block_size;
+        self
+    }
+}
+
+/// A single allocation returned by [`ThreadHeap::alloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Address of the first payload byte (what the application sees).
+    pub payload: MemAddr,
+    /// The whole slot: header, payload, canary and padding.
+    pub slot: Span,
+    /// Size requested by the application.
+    pub requested: usize,
+    /// Size class the request was rounded into.
+    pub class: SizeClass,
+    /// Span of the canary region, when canaries are enabled.
+    pub canary: Option<Span>,
+}
+
+/// Metadata returned by [`ThreadHeap::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocRecord {
+    /// Address of the first payload byte.
+    pub payload: MemAddr,
+    /// Size requested at allocation time.
+    pub requested: usize,
+    /// Size class of the slot.
+    pub class: SizeClass,
+    /// Thread that performed the original allocation.
+    pub allocating_thread: u32,
+}
+
+/// Counters describing heap activity, reported in [`crate::HeapStats`] form
+/// by the runtime at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStats {
+    /// Number of successful allocations.
+    pub allocations: u64,
+    /// Number of successful frees.
+    pub frees: u64,
+    /// Number of allocations served from a free list.
+    pub free_list_hits: u64,
+    /// Number of blocks fetched from the super heap.
+    pub blocks_fetched: u64,
+    /// Total bytes requested by the application.
+    pub bytes_requested: u64,
+}
+
+/// The super heap: a bump allocator over the arena's heap region that hands
+/// out fixed-size blocks to per-thread heaps.
+///
+/// The internal lock only protects block fetches (one per 4 MB of
+/// allocation, per the paper), not individual allocations.  The runtime
+/// records the acquisition order of its own global lock around
+/// [`SuperHeap::fetch_block`] so that block assignment replays identically.
+#[derive(Debug)]
+pub struct SuperHeap {
+    inner: Mutex<SuperHeapState>,
+    config: HeapConfig,
+}
+
+/// Snapshot of the super heap's allocation cursor, captured at epoch begin
+/// and restored on rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuperHeapState {
+    /// Next address a block will be carved from.
+    pub next: MemAddr,
+    /// End of the heap region.
+    pub end: MemAddr,
+    /// Number of blocks handed out so far.
+    pub blocks_handed: u64,
+}
+
+impl SuperHeap {
+    /// Creates a super heap that carves blocks out of `region`.
+    pub fn new(region: Span, config: HeapConfig) -> Self {
+        SuperHeap {
+            inner: Mutex::new(SuperHeapState {
+                next: region.addr.align_up(16),
+                end: region.end(),
+                blocks_handed: 0,
+            }),
+            config,
+        }
+    }
+
+    /// Fetches one block.  The caller (the runtime) is responsible for
+    /// serializing and recording calls so that the assignment of blocks to
+    /// threads is identical during replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] when the heap region is exhausted.
+    pub fn fetch_block(&self) -> Result<Span, MemError> {
+        let mut state = self.inner.lock();
+        let start = state.next;
+        let end = start.wrapping_add(self.config.block_size);
+        if end.offset() > state.end.offset() {
+            return Err(MemError::OutOfMemory {
+                requested: self.config.block_size as usize,
+            });
+        }
+        state.next = end;
+        state.blocks_handed += 1;
+        Ok(Span::new(start, self.config.block_size))
+    }
+
+    /// Returns the configuration this super heap was created with.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Captures the allocation cursor for an epoch checkpoint.
+    pub fn state(&self) -> SuperHeapState {
+        *self.inner.lock()
+    }
+
+    /// Restores a previously captured allocation cursor (rollback, §3.4).
+    pub fn restore(&self, state: SuperHeapState) {
+        *self.inner.lock() = state;
+    }
+
+    /// Address one past the last byte ever handed out; snapshots only need
+    /// to copy arena bytes up to this high-water mark.
+    pub fn high_water(&self) -> MemAddr {
+        self.inner.lock().next
+    }
+}
+
+/// A per-thread heap (paper §2.2.4).
+///
+/// Not `Sync`: each heap is owned by exactly one live thread.  The runtime
+/// checkpoints and restores the heap's [`ThreadHeapState`] at epoch
+/// boundaries so that allocator metadata rolls back together with memory
+/// contents.
+#[derive(Debug)]
+pub struct ThreadHeap {
+    thread: u32,
+    config: HeapConfig,
+    free_lists: Vec<Vec<MemAddr>>,
+    bump: MemAddr,
+    bump_remaining: u64,
+    stats: HeapStats,
+    /// Live allocations made *or freed* through this heap, used to validate
+    /// frees and to answer size queries.  Keyed by payload address.
+    live: HashMap<MemAddr, AllocRecord>,
+}
+
+/// Checkpointable state of a [`ThreadHeap`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadHeapState {
+    free_lists: Vec<Vec<MemAddr>>,
+    bump: MemAddr,
+    bump_remaining: u64,
+    stats: HeapStats,
+    live: HashMap<MemAddr, AllocRecord>,
+}
+
+impl ThreadHeap {
+    /// Creates an empty heap owned by thread `thread`.
+    pub fn new(thread: u32, config: HeapConfig) -> Self {
+        ThreadHeap {
+            thread,
+            config,
+            free_lists: vec![Vec::new(); NUM_CLASSES],
+            bump: MemAddr::NULL,
+            bump_remaining: 0,
+            stats: HeapStats::default(),
+            live: HashMap::new(),
+        }
+    }
+
+    /// Returns the id of the owning thread.
+    pub fn thread(&self) -> u32 {
+        self.thread
+    }
+
+    /// Returns accumulated allocation statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Size (including header and canary) of the slot needed for `size`
+    /// requested bytes, and the size class it maps to.
+    fn slot_class(&self, size: usize) -> Result<SizeClass, MemError> {
+        let canary = if self.config.canaries {
+            self.config.canary_len
+        } else {
+            0
+        };
+        let needed = size
+            .checked_add(HEADER_SIZE as usize + canary)
+            .ok_or(MemError::AllocationTooLarge {
+                requested: size,
+                max: MAX_CLASS,
+            })?;
+        class_for(needed).ok_or(MemError::AllocationTooLarge {
+            requested: size,
+            max: MAX_CLASS,
+        })
+    }
+
+    /// Returns `true` if allocating `size` bytes would require fetching a
+    /// new block from the super heap.
+    ///
+    /// The runtime uses this to perform the fetch itself under its recorded
+    /// global lock (so that block-to-thread assignment replays identically)
+    /// and then hand the block over with [`ThreadHeap::add_block`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AllocationTooLarge`] if the request exceeds the
+    /// largest size class.
+    pub fn needs_block(&self, size: usize) -> Result<bool, MemError> {
+        let class = self.slot_class(size)?;
+        Ok(self.free_lists[class.index()].is_empty()
+            && self.bump_remaining < class.size() as u64)
+    }
+
+    /// Hands a freshly fetched super-heap block to this heap's bump
+    /// allocator.  Any remainder of the previous block is abandoned, as in
+    /// the paper's design.
+    pub fn add_block(&mut self, block: Span) {
+        self.bump = block.addr;
+        self.bump_remaining = block.len;
+        self.stats.blocks_fetched += 1;
+    }
+
+    /// Allocates `size` bytes.
+    ///
+    /// The free list of the size class is consulted first (LIFO); otherwise
+    /// the request is served by the bump pointer, fetching a new block from
+    /// the super heap if the current block cannot hold the slot.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::AllocationTooLarge`] if the request exceeds the largest
+    ///   size class.
+    /// * [`MemError::OutOfMemory`] if the super heap is exhausted.
+    /// * [`MemError::OutOfBounds`] if header or canary writes fault, which
+    ///   indicates arena mis-configuration.
+    pub fn alloc(
+        &mut self,
+        arena: &Arena,
+        super_heap: &SuperHeap,
+        size: usize,
+    ) -> Result<Allocation, MemError> {
+        let class = self.slot_class(size)?;
+        let slot_size = class.size() as u64;
+        let slot_start = if let Some(addr) = self.free_lists[class.index()].pop() {
+            self.stats.free_list_hits += 1;
+            addr
+        } else {
+            if self.bump_remaining < slot_size {
+                let block = super_heap.fetch_block()?;
+                self.stats.blocks_fetched += 1;
+                self.bump = block.addr;
+                self.bump_remaining = block.len;
+                if self.bump_remaining < slot_size {
+                    return Err(MemError::OutOfMemory { requested: size });
+                }
+            }
+            let addr = self.bump;
+            self.bump = self.bump + slot_size;
+            self.bump_remaining -= slot_size;
+            addr
+        };
+
+        let payload = slot_start + HEADER_SIZE;
+        self.write_header(arena, slot_start, class, size, STATE_LIVE)?;
+        let canary = if self.config.canaries {
+            let canary_addr = payload + size as u64;
+            arena.fill(canary_addr, self.config.canary_len, CANARY_BYTE)?;
+            Some(Span::new(canary_addr, self.config.canary_len as u64))
+        } else {
+            None
+        };
+
+        self.stats.allocations += 1;
+        self.stats.bytes_requested += size as u64;
+        self.live.insert(
+            payload,
+            AllocRecord {
+                payload,
+                requested: size,
+                class,
+                allocating_thread: self.thread,
+            },
+        );
+
+        Ok(Allocation {
+            payload,
+            slot: Span::new(slot_start, slot_size),
+            requested: size,
+            class,
+            canary,
+        })
+    }
+
+    /// Frees the allocation whose payload starts at `payload`.
+    ///
+    /// Per the paper, the object is returned to *this* heap's free list (the
+    /// heap of the freeing thread) regardless of which thread allocated it;
+    /// the caller is responsible for routing cross-thread frees here.
+    ///
+    /// Returns the record of the freed allocation so that detectors can
+    /// quarantine it or report on it.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::InvalidFree`] if `payload` is not the start of a known
+    ///   allocation.
+    /// * [`MemError::DoubleFree`] if the allocation was already freed.
+    pub fn free(&mut self, arena: &Arena, payload: MemAddr) -> Result<AllocRecord, MemError> {
+        let (record, slot_start) = self.retire(arena, payload)?;
+        // Head insertion: "each deallocated object will be inserted into the
+        // head of its corresponding free list".
+        self.free_lists[record.class.index()].push(slot_start);
+        Ok(record)
+    }
+
+    /// Validates and retires an allocation *without* returning its slot to a
+    /// free list.  The use-after-free detector uses this to move freed
+    /// objects into a quarantine; [`ThreadHeap::recycle`] returns the slot
+    /// once it leaves quarantine.
+    ///
+    /// Returns the allocation record and the slot's start address.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThreadHeap::free`].
+    pub fn retire(
+        &mut self,
+        arena: &Arena,
+        payload: MemAddr,
+    ) -> Result<(AllocRecord, MemAddr), MemError> {
+        if payload.offset() <= HEADER_SIZE {
+            return Err(MemError::InvalidFree { addr: payload });
+        }
+        let slot_start = payload - HEADER_SIZE;
+        let (magic, class_idx, state, _requested) = self.read_header(arena, slot_start)?;
+        if magic != HEADER_MAGIC {
+            return Err(MemError::InvalidFree { addr: payload });
+        }
+        if state == STATE_FREED {
+            return Err(MemError::DoubleFree { addr: payload });
+        }
+        if state != STATE_LIVE || usize::from(class_idx) >= NUM_CLASSES {
+            return Err(MemError::InvalidFree { addr: payload });
+        }
+        let record = self
+            .live
+            .remove(&payload)
+            .unwrap_or(AllocRecord {
+                payload,
+                requested: _requested as usize,
+                class: SizeClass(class_idx),
+                allocating_thread: u32::MAX,
+            });
+        self.mark_state(arena, slot_start, STATE_FREED)?;
+        self.stats.frees += 1;
+        Ok((record, slot_start))
+    }
+
+    /// Re-inserts a slot previously removed by the quarantine, without
+    /// re-validating its header.  Used by the use-after-free detector when an
+    /// object leaves quarantine and becomes genuinely reusable.
+    pub fn recycle(&mut self, class: SizeClass, slot_start: MemAddr) {
+        self.free_lists[class.index()].push(slot_start);
+    }
+
+    /// Looks up the allocation record for a live payload address.
+    pub fn lookup(&self, payload: MemAddr) -> Option<&AllocRecord> {
+        self.live.get(&payload)
+    }
+
+    /// Returns `true` if `addr` falls within any live allocation of this
+    /// heap, along with the payload address of that allocation.
+    pub fn containing_allocation(&self, addr: MemAddr) -> Option<AllocRecord> {
+        self.live
+            .values()
+            .find(|rec| {
+                addr.offset() >= rec.payload.offset()
+                    && addr.offset() < rec.payload.offset() + rec.requested as u64
+            })
+            .copied()
+    }
+
+    /// Iterates over the live allocations made through this heap.
+    pub fn live_allocations(&self) -> impl Iterator<Item = &AllocRecord> {
+        self.live.values()
+    }
+
+    /// Captures the heap metadata for an epoch checkpoint.
+    pub fn state(&self) -> ThreadHeapState {
+        ThreadHeapState {
+            free_lists: self.free_lists.clone(),
+            bump: self.bump,
+            bump_remaining: self.bump_remaining,
+            stats: self.stats,
+            live: self.live.clone(),
+        }
+    }
+
+    /// Restores heap metadata captured by [`ThreadHeap::state`] (rollback,
+    /// §3.4).  Arena contents (headers, canaries) are restored separately by
+    /// the memory snapshot.
+    pub fn restore(&mut self, state: ThreadHeapState) {
+        self.free_lists = state.free_lists;
+        self.bump = state.bump;
+        self.bump_remaining = state.bump_remaining;
+        self.stats = state.stats;
+        self.live = state.live;
+    }
+
+    fn write_header(
+        &self,
+        arena: &Arena,
+        slot_start: MemAddr,
+        class: SizeClass,
+        requested: usize,
+        state: u8,
+    ) -> Result<(), MemError> {
+        arena.write_u32(slot_start, HEADER_MAGIC)?;
+        arena.write_u8(slot_start + 4, class.index() as u8)?;
+        arena.write_u8(slot_start + 5, state)?;
+        arena.write_u16(slot_start + 6, 0)?;
+        arena.write_u32(slot_start + 8, requested as u32)?;
+        arena.write_u32(slot_start + 12, self.thread)?;
+        Ok(())
+    }
+
+    fn mark_state(&self, arena: &Arena, slot_start: MemAddr, state: u8) -> Result<(), MemError> {
+        arena.write_u8(slot_start + 5, state)
+    }
+
+    fn read_header(
+        &self,
+        arena: &Arena,
+        slot_start: MemAddr,
+    ) -> Result<(u32, u8, u8, u32), MemError> {
+        if slot_start.is_null() || slot_start.offset() < HEADER_SIZE {
+            return Err(MemError::InvalidFree {
+                addr: slot_start + HEADER_SIZE,
+            });
+        }
+        let magic = arena.read_u32(slot_start)?;
+        let class_idx = arena.read_u8(slot_start + 4)?;
+        let state = arena.read_u8(slot_start + 5)?;
+        let requested = arena.read_u32(slot_start + 8)?;
+        Ok((magic, class_idx, state, requested))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(canaries: bool) -> (Arena, SuperHeap, ThreadHeap) {
+        let arena = Arena::new(1 << 20);
+        let config = HeapConfig {
+            block_size: 64 * 1024,
+            canaries,
+            canary_len: 8,
+        };
+        let super_heap = SuperHeap::new(arena.span(), config.clone());
+        let heap = ThreadHeap::new(1, config);
+        (arena, super_heap, heap)
+    }
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let (arena, sh, mut heap) = setup(false);
+        let a = heap.alloc(&arena, &sh, 100).unwrap();
+        assert_eq!(a.requested, 100);
+        assert_eq!(a.class.size(), 128);
+        assert!(a.canary.is_none());
+        arena.write_u64(a.payload, 42).unwrap();
+        let record = heap.free(&arena, a.payload).unwrap();
+        assert_eq!(record.requested, 100);
+        assert_eq!(record.allocating_thread, 1);
+        assert_eq!(heap.stats().allocations, 1);
+        assert_eq!(heap.stats().frees, 1);
+    }
+
+    #[test]
+    fn freed_object_is_reused_lifo() {
+        let (arena, sh, mut heap) = setup(false);
+        let a = heap.alloc(&arena, &sh, 48).unwrap();
+        let b = heap.alloc(&arena, &sh, 48).unwrap();
+        assert_ne!(a.payload, b.payload);
+        heap.free(&arena, a.payload).unwrap();
+        heap.free(&arena, b.payload).unwrap();
+        // LIFO: b freed last, so b is reused first.
+        let c = heap.alloc(&arena, &sh, 48).unwrap();
+        assert_eq!(c.payload, b.payload);
+        let d = heap.alloc(&arena, &sh, 48).unwrap();
+        assert_eq!(d.payload, a.payload);
+        assert_eq!(heap.stats().free_list_hits, 2);
+    }
+
+    #[test]
+    fn identical_allocation_sequences_produce_identical_addresses() {
+        let run = || {
+            let (arena, sh, mut heap) = setup(false);
+            let mut addrs = Vec::new();
+            let mut live = Vec::new();
+            for i in 0..200usize {
+                let a = heap.alloc(&arena, &sh, 16 + (i * 7) % 300).unwrap();
+                addrs.push(a.payload);
+                if i % 3 == 0 {
+                    live.push(a.payload);
+                } else if let Some(victim) = live.pop() {
+                    heap.free(&arena, victim).unwrap();
+                    addrs.push(victim);
+                }
+            }
+            addrs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn double_free_and_invalid_free_are_detected() {
+        let (arena, sh, mut heap) = setup(false);
+        let a = heap.alloc(&arena, &sh, 32).unwrap();
+        heap.free(&arena, a.payload).unwrap();
+        assert!(matches!(
+            heap.free(&arena, a.payload),
+            Err(MemError::DoubleFree { .. })
+        ));
+        assert!(matches!(
+            heap.free(&arena, a.payload + 8),
+            Err(MemError::InvalidFree { .. }) | Err(MemError::DoubleFree { .. })
+        ));
+        assert!(matches!(
+            heap.free(&arena, MemAddr::new(8)),
+            Err(MemError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn canaries_are_planted_after_the_requested_bytes() {
+        let (arena, sh, mut heap) = setup(true);
+        let a = heap.alloc(&arena, &sh, 20).unwrap();
+        let canary = a.canary.expect("canary expected");
+        assert_eq!(canary.addr, a.payload + 20);
+        assert_eq!(canary.len, 8);
+        for i in 0..8u64 {
+            assert_eq!(arena.read_u8(canary.addr + i).unwrap(), CANARY_BYTE);
+        }
+        // Writing within the requested size leaves the canary intact.
+        arena.write_bytes(a.payload, &[0u8; 20]).unwrap();
+        assert_eq!(arena.read_u8(canary.addr).unwrap(), CANARY_BYTE);
+    }
+
+    #[test]
+    fn block_exhaustion_fetches_new_blocks() {
+        let (arena, sh, mut heap) = setup(false);
+        // Each slot is 64 KiB-class after rounding; force several block fetches.
+        for _ in 0..12 {
+            heap.alloc(&arena, &sh, 20 * 1024).unwrap();
+        }
+        assert!(heap.stats().blocks_fetched >= 6);
+        assert_eq!(sh.state().blocks_handed, heap.stats().blocks_fetched);
+    }
+
+    #[test]
+    fn super_heap_exhaustion_reports_out_of_memory() {
+        let arena = Arena::new(64 * 1024);
+        let config = HeapConfig {
+            block_size: 16 * 1024,
+            canaries: false,
+            canary_len: 8,
+        };
+        let sh = SuperHeap::new(arena.span(), config.clone());
+        let mut heap = ThreadHeap::new(0, config);
+        let mut count = 0;
+        loop {
+            match heap.alloc(&arena, &sh, 8 * 1024) {
+                Ok(_) => count += 1,
+                Err(MemError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(count < 100, "allocation should eventually fail");
+        }
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn oversized_allocations_are_rejected() {
+        let (arena, sh, mut heap) = setup(false);
+        assert!(matches!(
+            heap.alloc(&arena, &sh, MAX_CLASS + 1),
+            Err(MemError::AllocationTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn state_snapshot_restores_allocator_metadata() {
+        let (arena, sh, mut heap) = setup(false);
+        let a = heap.alloc(&arena, &sh, 64).unwrap();
+        let checkpoint = heap.state();
+        let sh_checkpoint = sh.state();
+        let mem = arena.dump_prefix(sh.high_water().as_usize());
+
+        // Post-checkpoint activity...
+        let b = heap.alloc(&arena, &sh, 64).unwrap();
+        heap.free(&arena, a.payload).unwrap();
+        assert_ne!(heap.state(), checkpoint);
+
+        // ...is undone by rollback.
+        heap.restore(checkpoint.clone());
+        sh.restore(sh_checkpoint);
+        arena.restore_prefix(&mem).unwrap();
+        assert_eq!(heap.state(), checkpoint);
+
+        // Re-executing the same operations lands on the same addresses.
+        let b2 = heap.alloc(&arena, &sh, 64).unwrap();
+        assert_eq!(b2.payload, b.payload);
+        heap.free(&arena, a.payload).unwrap();
+    }
+
+    #[test]
+    fn lookup_and_containing_allocation() {
+        let (arena, sh, mut heap) = setup(false);
+        let a = heap.alloc(&arena, &sh, 64).unwrap();
+        assert_eq!(heap.lookup(a.payload).unwrap().requested, 64);
+        assert!(heap.lookup(a.payload + 1).is_none());
+        let hit = heap.containing_allocation(a.payload + 63).unwrap();
+        assert_eq!(hit.payload, a.payload);
+        assert!(heap.containing_allocation(a.payload + 64).is_none());
+        assert_eq!(heap.live_allocations().count(), 1);
+    }
+
+    #[test]
+    fn cross_thread_free_goes_to_the_freeing_heap() {
+        let arena = Arena::new(1 << 20);
+        let config = HeapConfig {
+            block_size: 64 * 1024,
+            canaries: false,
+            canary_len: 8,
+        };
+        let sh = SuperHeap::new(arena.span(), config.clone());
+        let mut heap1 = ThreadHeap::new(1, config.clone());
+        let mut heap2 = ThreadHeap::new(2, config);
+        let a = heap1.alloc(&arena, &sh, 64).unwrap();
+        // Thread 2 frees the object allocated by thread 1: it lands on
+        // thread 2's free list and is reused by thread 2's next allocation.
+        heap2.free(&arena, a.payload).unwrap();
+        let b = heap2.alloc(&arena, &sh, 64).unwrap();
+        assert_eq!(b.payload, a.payload);
+    }
+}

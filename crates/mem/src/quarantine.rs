@@ -1,0 +1,325 @@
+//! Quarantine of freed objects for use-after-free detection (paper §4.2).
+//!
+//! "iReplayer delays the re-allocation of freed objects by placing them into
+//! per-thread quarantine lists ... fills the first 128 bytes of freed objects
+//! with canary values.  These freed objects are released from the quarantine
+//! list when the total size of quarantined objects is larger than the
+//! user-defined setting."
+
+use std::collections::VecDeque;
+
+use crate::addr::MemAddr;
+use crate::arena::Arena;
+use crate::canary::CANARY_BYTE;
+use crate::error::MemError;
+use crate::size_class::SizeClass;
+
+/// Number of bytes at the start of a freed object that are poisoned with the
+/// canary byte, as in the paper.
+pub const POISON_PREFIX: usize = 128;
+
+/// A freed object waiting in quarantine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Payload address of the freed object.
+    pub payload: MemAddr,
+    /// Start of the slot (header address), needed to return the object to a
+    /// free list once it leaves quarantine.
+    pub slot_start: MemAddr,
+    /// Size class of the slot.
+    pub class: SizeClass,
+    /// Size requested when the object was allocated.
+    pub requested: usize,
+    /// Opaque token identifying the free site (the runtime stores a call-site
+    /// index here for reporting).
+    pub free_site: u64,
+}
+
+/// Evidence that a quarantined (freed) object was written after being freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UafEvidence {
+    /// The quarantined object that was modified.
+    pub entry: QuarantineEntry,
+    /// First modified byte.
+    pub first_bad_byte: MemAddr,
+}
+
+/// A per-thread quarantine list with a byte budget.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_mem::{Arena, HeapConfig, Quarantine, SuperHeap, ThreadHeap};
+///
+/// # fn main() -> Result<(), ireplayer_mem::MemError> {
+/// let arena = Arena::new(8 << 20);
+/// let config = HeapConfig::default();
+/// let super_heap = SuperHeap::new(arena.span(), config.clone());
+/// let mut heap = ThreadHeap::new(0, config);
+/// let mut quarantine = Quarantine::new(1 << 16);
+///
+/// let obj = heap.alloc(&arena, &super_heap, 64)?;
+/// let record = heap.free(&arena, obj.payload)?;
+/// quarantine.push(
+///     &arena,
+///     ireplayer_mem::QuarantineEntry {
+///         payload: record.payload,
+///         slot_start: obj.slot.addr,
+///         class: record.class,
+///         requested: record.requested,
+///         free_site: 0,
+///     },
+/// )?;
+/// // A use-after-free write is caught when the object leaves quarantine or
+/// // when the detector scans at an epoch boundary.
+/// arena.write_u64(obj.payload, 99)?;
+/// assert_eq!(quarantine.check(&arena)?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    entries: VecDeque<QuarantineEntry>,
+    total_bytes: usize,
+    budget: usize,
+}
+
+impl Quarantine {
+    /// Creates a quarantine that starts evicting once the total size of
+    /// quarantined objects exceeds `budget` bytes.
+    pub fn new(budget: usize) -> Self {
+        Quarantine {
+            entries: VecDeque::new(),
+            total_bytes: 0,
+            budget,
+        }
+    }
+
+    /// Number of objects currently in quarantine.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no objects are quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total requested bytes of all quarantined objects.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Adds a freed object to the quarantine, poisoning its first
+    /// [`POISON_PREFIX`] bytes (or the whole object if smaller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the object lies outside the
+    /// arena.
+    pub fn push(&mut self, arena: &Arena, entry: QuarantineEntry) -> Result<(), MemError> {
+        let poison = entry.requested.min(POISON_PREFIX);
+        arena.fill(entry.payload, poison, CANARY_BYTE)?;
+        self.total_bytes += entry.requested;
+        self.entries.push_back(entry);
+        Ok(())
+    }
+
+    /// Evicts the oldest objects until the total size fits the budget,
+    /// checking each evicted object's poison bytes first.
+    ///
+    /// Returns the evicted entries (to be returned to a free list) together
+    /// with any use-after-free evidence found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if a quarantined object lies
+    /// outside the arena.
+    pub fn evict_to_budget(
+        &mut self,
+        arena: &Arena,
+    ) -> Result<(Vec<QuarantineEntry>, Vec<UafEvidence>), MemError> {
+        let mut evicted = Vec::new();
+        let mut evidence = Vec::new();
+        while self.total_bytes > self.budget {
+            let Some(entry) = self.entries.pop_front() else {
+                break;
+            };
+            self.total_bytes -= entry.requested;
+            if let Some(bad) = Self::check_entry(arena, &entry)? {
+                evidence.push(bad);
+            }
+            evicted.push(entry);
+        }
+        Ok((evicted, evidence))
+    }
+
+    /// Checks every quarantined object without evicting anything.  The
+    /// use-after-free detector runs this at epoch boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if a quarantined object lies
+    /// outside the arena.
+    pub fn check(&self, arena: &Arena) -> Result<Vec<UafEvidence>, MemError> {
+        let mut evidence = Vec::new();
+        for entry in &self.entries {
+            if let Some(bad) = Self::check_entry(arena, entry)? {
+                evidence.push(bad);
+            }
+        }
+        Ok(evidence)
+    }
+
+    /// Removes every entry, returning them so the caller can recycle the
+    /// slots.  Used by epoch housekeeping when the detector is torn down.
+    pub fn drain(&mut self) -> Vec<QuarantineEntry> {
+        self.total_bytes = 0;
+        self.entries.drain(..).collect()
+    }
+
+    /// Iterates over quarantined entries from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &QuarantineEntry> {
+        self.entries.iter()
+    }
+
+    fn check_entry(
+        arena: &Arena,
+        entry: &QuarantineEntry,
+    ) -> Result<Option<UafEvidence>, MemError> {
+        let poison = entry.requested.min(POISON_PREFIX);
+        let mut buf = vec![0u8; poison];
+        arena.read_bytes(entry.payload, &mut buf)?;
+        for (i, byte) in buf.iter().enumerate() {
+            if *byte != CANARY_BYTE {
+                return Ok(Some(UafEvidence {
+                    entry: *entry,
+                    first_bad_byte: entry.payload + i as u64,
+                }));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{HeapConfig, SuperHeap, ThreadHeap};
+
+    fn setup() -> (Arena, SuperHeap, ThreadHeap) {
+        let arena = Arena::new(1 << 20);
+        let config = HeapConfig {
+            block_size: 64 * 1024,
+            canaries: false,
+            canary_len: 8,
+        };
+        let super_heap = SuperHeap::new(arena.span(), config.clone());
+        let heap = ThreadHeap::new(0, config);
+        (arena, super_heap, heap)
+    }
+
+    fn entry_for(
+        heap: &mut ThreadHeap,
+        arena: &Arena,
+        sh: &SuperHeap,
+        size: usize,
+    ) -> QuarantineEntry {
+        let alloc = heap.alloc(arena, sh, size).unwrap();
+        let record = heap.free(arena, alloc.payload).unwrap();
+        QuarantineEntry {
+            payload: record.payload,
+            slot_start: alloc.slot.addr,
+            class: record.class,
+            requested: record.requested,
+            free_site: 7,
+        }
+    }
+
+    #[test]
+    fn clean_quarantine_reports_nothing() {
+        let (arena, sh, mut heap) = setup();
+        let mut q = Quarantine::new(1 << 16);
+        let entry = entry_for(&mut heap, &arena, &sh, 200);
+        q.push(&arena, entry).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_bytes(), 200);
+        assert!(q.check(&arena).unwrap().is_empty());
+    }
+
+    #[test]
+    fn write_after_free_is_detected() {
+        let (arena, sh, mut heap) = setup();
+        let mut q = Quarantine::new(1 << 16);
+        let entry = entry_for(&mut heap, &arena, &sh, 200);
+        q.push(&arena, entry).unwrap();
+        arena.write_u8(entry.payload + 3, 0xff).unwrap();
+        let evidence = q.check(&arena).unwrap();
+        assert_eq!(evidence.len(), 1);
+        assert_eq!(evidence[0].first_bad_byte, entry.payload + 3);
+        assert_eq!(evidence[0].entry.free_site, 7);
+    }
+
+    #[test]
+    fn writes_beyond_the_poison_prefix_are_not_flagged() {
+        let (arena, sh, mut heap) = setup();
+        let mut q = Quarantine::new(1 << 16);
+        let entry = entry_for(&mut heap, &arena, &sh, 512);
+        q.push(&arena, entry).unwrap();
+        arena
+            .write_u8(entry.payload + POISON_PREFIX as u64, 0xff)
+            .unwrap();
+        assert!(q.check(&arena).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eviction_respects_the_budget_and_checks_poison() {
+        let (arena, sh, mut heap) = setup();
+        let mut q = Quarantine::new(300);
+        // Allocate both objects before freeing either, so the two quarantine
+        // entries cover distinct slots (a free/alloc pair would reuse the
+        // same slot via the LIFO free list).
+        let alloc_a = heap.alloc(&arena, &sh, 200).unwrap();
+        let alloc_b = heap.alloc(&arena, &sh, 200).unwrap();
+        let rec_a = heap.free(&arena, alloc_a.payload).unwrap();
+        let rec_b = heap.free(&arena, alloc_b.payload).unwrap();
+        let first = QuarantineEntry {
+            payload: rec_a.payload,
+            slot_start: alloc_a.slot.addr,
+            class: rec_a.class,
+            requested: rec_a.requested,
+            free_site: 1,
+        };
+        let second = QuarantineEntry {
+            payload: rec_b.payload,
+            slot_start: alloc_b.slot.addr,
+            class: rec_b.class,
+            requested: rec_b.requested,
+            free_site: 2,
+        };
+        q.push(&arena, first).unwrap();
+        arena.write_u8(first.payload, 0).unwrap();
+        q.push(&arena, second).unwrap();
+        assert_eq!(q.total_bytes(), 400);
+        let (evicted, evidence) = q.evict_to_budget(&arena).unwrap();
+        // Oldest entry evicted first; its corruption is reported on the way out.
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].payload, first.payload);
+        assert_eq!(evidence.len(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_bytes(), 200);
+    }
+
+    #[test]
+    fn drain_empties_the_quarantine() {
+        let (arena, sh, mut heap) = setup();
+        let mut q = Quarantine::new(1 << 16);
+        q.push(&arena, entry_for(&mut heap, &arena, &sh, 64)).unwrap();
+        q.push(&arena, entry_for(&mut heap, &arena, &sh, 64)).unwrap();
+        assert_eq!(q.iter().count(), 2);
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.total_bytes(), 0);
+    }
+}

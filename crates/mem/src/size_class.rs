@@ -1,0 +1,95 @@
+//! Power-of-two size classes for the deterministic heap (paper §2.2.4).
+//!
+//! "Inside each per-thread heap, objects are managed using power-of-two size
+//! classes.  During allocations, each request will be aligned to the next
+//! power-of-two size."
+
+/// The smallest allocation size in bytes.  Requests below this are rounded
+/// up, which keeps free-list links and object headers aligned.
+pub const MIN_ALLOC: usize = 16;
+
+/// The largest size class supported by a per-thread heap (4 MiB, the size of
+/// one super-heap block in the paper).
+pub const MAX_CLASS: usize = 4 * 1024 * 1024;
+
+/// Number of distinct size classes: 16, 32, ..., 4 MiB.
+pub const NUM_CLASSES: usize = (MAX_CLASS.trailing_zeros() - MIN_ALLOC.trailing_zeros() + 1) as usize;
+
+/// Index of a power-of-two size class.
+///
+/// Class 0 holds 16-byte objects, class 1 holds 32-byte objects, and so on up
+/// to [`MAX_CLASS`].
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_mem::{class_for, class_size};
+///
+/// let class = class_for(100).unwrap();
+/// assert_eq!(class_size(class), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SizeClass(pub(crate) u8);
+
+impl SizeClass {
+    /// Returns the index of this class, in `0..NUM_CLASSES`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Returns the object size of this class in bytes.
+    pub fn size(self) -> usize {
+        MIN_ALLOC << self.0
+    }
+}
+
+/// Returns the size class whose object size is the smallest power of two
+/// greater than or equal to `size`.
+///
+/// Returns `None` when the request exceeds [`MAX_CLASS`]; the caller reports
+/// this as [`crate::MemError::AllocationTooLarge`].
+pub fn class_for(size: usize) -> Option<SizeClass> {
+    if size > MAX_CLASS {
+        return None;
+    }
+    let rounded = size.max(MIN_ALLOC).next_power_of_two();
+    let index = rounded.trailing_zeros() - MIN_ALLOC.trailing_zeros();
+    Some(SizeClass(index as u8))
+}
+
+/// Returns the object size in bytes of size class `class`.
+pub fn class_size(class: SizeClass) -> usize {
+    class.size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_up_to_power_of_two() {
+        assert_eq!(class_for(1).unwrap().size(), MIN_ALLOC);
+        assert_eq!(class_for(16).unwrap().size(), 16);
+        assert_eq!(class_for(17).unwrap().size(), 32);
+        assert_eq!(class_for(100).unwrap().size(), 128);
+        assert_eq!(class_for(4096).unwrap().size(), 4096);
+        assert_eq!(class_for(MAX_CLASS).unwrap().size(), MAX_CLASS);
+        assert!(class_for(MAX_CLASS + 1).is_none());
+    }
+
+    #[test]
+    fn class_indexes_are_dense() {
+        assert_eq!(class_for(MIN_ALLOC).unwrap().index(), 0);
+        assert_eq!(class_for(MAX_CLASS).unwrap().index(), NUM_CLASSES - 1);
+        for i in 0..NUM_CLASSES {
+            let size = MIN_ALLOC << i;
+            assert_eq!(class_for(size).unwrap().index(), i);
+            assert_eq!(class_size(SizeClass(i as u8)), size);
+        }
+    }
+
+    #[test]
+    fn zero_sized_requests_use_minimum_class() {
+        assert_eq!(class_for(0).unwrap().size(), MIN_ALLOC);
+    }
+}

@@ -1,0 +1,132 @@
+//! Byte-exact snapshots of the managed arena (paper §3.1).
+//!
+//! "Checkpointing memory states is performed by copying all writable memory
+//! to a separate block of memory, such as the heap and globals for both the
+//! application and its dynamically-linked libraries."  The snapshot is taken
+//! at every epoch begin and restored on rollback; the Table 1 experiment
+//! diffs the memory image at the end of the original execution against the
+//! image at the end of the replay.
+
+use crate::arena::Arena;
+use crate::diff::DiffStats;
+use crate::error::MemError;
+
+/// A copy of the arena's contents up to a high-water mark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSnapshot {
+    data: Vec<u8>,
+}
+
+impl MemSnapshot {
+    /// Captures the first `len` bytes of the arena.
+    ///
+    /// The runtime passes the super heap's high-water mark so that untouched
+    /// memory is not copied, mirroring the paper's "only writable memory"
+    /// optimization.
+    pub fn capture(arena: &Arena, len: usize) -> Self {
+        MemSnapshot {
+            data: arena.dump_prefix(len),
+        }
+    }
+
+    /// Number of bytes captured.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Restores the captured bytes into the arena (rollback, §3.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::SnapshotSizeMismatch`] if the snapshot is larger
+    /// than the arena.
+    pub fn restore(&self, arena: &Arena) -> Result<(), MemError> {
+        arena.restore_prefix(&self.data)
+    }
+
+    /// Compares the snapshot against the arena's current contents and
+    /// returns byte-level difference statistics.
+    ///
+    /// This is the measurement behind Table 1: after a replay, an identical
+    /// re-execution produces zero differing bytes.
+    pub fn diff(&self, arena: &Arena) -> DiffStats {
+        let current = arena.dump_prefix(self.data.len());
+        let mut different = 0usize;
+        for (a, b) in self.data.iter().zip(current.iter()) {
+            if a != b {
+                different += 1;
+            }
+        }
+        DiffStats {
+            bytes_compared: self.data.len(),
+            bytes_different: different,
+        }
+    }
+
+    /// Read-only access to the captured bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MemAddr;
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let arena = Arena::new(1024);
+        arena.write_bytes(MemAddr::new(1), b"original state").unwrap();
+        let snap = MemSnapshot::capture(&arena, 256);
+        assert_eq!(snap.len(), 256);
+        assert!(!snap.is_empty());
+
+        arena.write_bytes(MemAddr::new(1), b"mutated  state").unwrap();
+        assert!(snap.diff(&arena).bytes_different > 0);
+
+        snap.restore(&arena).unwrap();
+        let diff = snap.diff(&arena);
+        assert_eq!(diff.bytes_different, 0);
+        assert_eq!(diff.bytes_compared, 256);
+        let mut buf = [0u8; 14];
+        arena.read_bytes(MemAddr::new(1), &mut buf).unwrap();
+        assert_eq!(&buf, b"original state");
+    }
+
+    #[test]
+    fn diff_counts_only_the_captured_prefix() {
+        let arena = Arena::new(1024);
+        let snap = MemSnapshot::capture(&arena, 64);
+        // A change beyond the captured prefix is invisible to the diff.
+        arena.write_u8(MemAddr::new(100), 9).unwrap();
+        assert_eq!(snap.diff(&arena).bytes_different, 0);
+        // A change inside the prefix is counted.
+        arena.write_u8(MemAddr::new(10), 9).unwrap();
+        assert_eq!(snap.diff(&arena).bytes_different, 1);
+    }
+
+    #[test]
+    fn restore_into_smaller_arena_fails() {
+        let big = Arena::new(1024);
+        let small = Arena::new(16);
+        let snap = MemSnapshot::capture(&big, 512);
+        assert!(matches!(
+            snap.restore(&small),
+            Err(MemError::SnapshotSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bytes_exposes_the_raw_copy() {
+        let arena = Arena::new(64);
+        arena.write_u8(MemAddr::new(1), 0xaa).unwrap();
+        let snap = MemSnapshot::capture(&arena, 8);
+        assert_eq!(snap.bytes()[1], 0xaa);
+    }
+}

@@ -1,0 +1,208 @@
+//! Software watchpoints used during diagnostic replays (paper §4).
+//!
+//! The original system installs hardware watchpoints via `perf_event_open`
+//! on the addresses of corrupted canaries before a re-execution; writes that
+//! touch a watched address trap, and the tool reports the faulting call
+//! stack.  Hardware offers four debug registers, so "iReplayer can identify
+//! root causes of four buffer overflows in one re-execution simultaneously".
+//!
+//! Here, watchpoints are checked on every managed store performed while a
+//! replay is in progress.  The four-slot limit is kept so that the
+//! multi-replay behaviour of the tools (more than four corrupted addresses
+//! require additional replays) is preserved.
+
+use crate::addr::{MemAddr, Span};
+use crate::error::MemError;
+
+/// Number of watchpoint slots, mirroring x86 debug registers DR0-DR3.
+pub const MAX_WATCHPOINTS: usize = 4;
+
+/// A single installed watchpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchpoint {
+    /// Identifier of the slot holding this watchpoint (0..4).
+    pub slot: u8,
+    /// Watched address range.
+    pub span: Span,
+}
+
+/// A write that touched a watched range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchHit {
+    /// The watchpoint that fired.
+    pub watchpoint: Watchpoint,
+    /// The write access that triggered it.
+    pub access: Span,
+}
+
+/// The set of installed watchpoints.
+///
+/// The registry itself is not synchronized; the runtime keeps it behind its
+/// own lock and only consults it during replay, so that recording-phase
+/// stores pay no cost (the paper only installs watchpoints for
+/// re-executions).
+///
+/// # Example
+///
+/// ```
+/// use ireplayer_mem::{MemAddr, Span, WatchRegistry};
+///
+/// # fn main() -> Result<(), ireplayer_mem::MemError> {
+/// let mut watches = WatchRegistry::new();
+/// watches.install(Span::new(MemAddr::new(100), 8))?;
+/// assert!(watches.check_write(Span::new(MemAddr::new(104), 4)).is_some());
+/// assert!(watches.check_write(Span::new(MemAddr::new(96), 4)).is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WatchRegistry {
+    slots: [Option<Watchpoint>; MAX_WATCHPOINTS],
+}
+
+impl WatchRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        WatchRegistry::default()
+    }
+
+    /// Installs a watchpoint over `span` in the first free slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoWatchpointSlot`] when all four slots are in
+    /// use; the caller schedules the remaining addresses for a later replay,
+    /// as the paper does.
+    pub fn install(&mut self, span: Span) -> Result<Watchpoint, MemError> {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                let wp = Watchpoint {
+                    slot: i as u8,
+                    span,
+                };
+                *slot = Some(wp);
+                return Ok(wp);
+            }
+        }
+        Err(MemError::NoWatchpointSlot)
+    }
+
+    /// Removes the watchpoint in `slot`, returning whether one was present.
+    pub fn remove(&mut self, slot: u8) -> bool {
+        let idx = usize::from(slot);
+        if idx < MAX_WATCHPOINTS {
+            self.slots[idx].take().is_some()
+        } else {
+            false
+        }
+    }
+
+    /// Removes every watchpoint.
+    pub fn clear(&mut self) {
+        self.slots = [None; MAX_WATCHPOINTS];
+    }
+
+    /// Number of installed watchpoints.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Returns `true` when no watchpoints are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the installed watchpoints.
+    pub fn installed(&self) -> impl Iterator<Item = Watchpoint> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+
+    /// Checks whether a write to `access` touches a watched range and
+    /// returns the corresponding hit.
+    ///
+    /// Only the first matching watchpoint is reported, as with hardware
+    /// debug registers where a single trap is delivered per instruction.
+    pub fn check_write(&self, access: Span) -> Option<WatchHit> {
+        if access.is_empty() {
+            return None;
+        }
+        self.slots.iter().flatten().find_map(|wp| {
+            if wp.span.overlaps(&access) {
+                Some(WatchHit {
+                    watchpoint: *wp,
+                    access,
+                })
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Convenience wrapper over [`WatchRegistry::check_write`] for a write of
+    /// `len` bytes at `addr`.
+    pub fn check_write_at(&self, addr: MemAddr, len: usize) -> Option<WatchHit> {
+        self.check_write(Span::new(addr, len as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn installs_up_to_four_watchpoints() {
+        let mut reg = WatchRegistry::new();
+        for i in 0..4u64 {
+            let wp = reg.install(Span::new(MemAddr::new(100 + 16 * i), 8)).unwrap();
+            assert_eq!(wp.slot as u64, i);
+        }
+        assert_eq!(reg.len(), 4);
+        assert!(matches!(
+            reg.install(Span::new(MemAddr::new(500), 8)),
+            Err(MemError::NoWatchpointSlot)
+        ));
+    }
+
+    #[test]
+    fn detects_overlapping_writes_only() {
+        let mut reg = WatchRegistry::new();
+        reg.install(Span::new(MemAddr::new(100), 8)).unwrap();
+        assert!(reg.check_write_at(MemAddr::new(100), 1).is_some());
+        assert!(reg.check_write_at(MemAddr::new(107), 1).is_some());
+        assert!(reg.check_write_at(MemAddr::new(96), 8).is_some());
+        assert!(reg.check_write_at(MemAddr::new(108), 8).is_none());
+        assert!(reg.check_write_at(MemAddr::new(92), 8).is_none());
+        assert!(reg.check_write(Span::new(MemAddr::new(100), 0)).is_none());
+    }
+
+    #[test]
+    fn remove_frees_the_slot_for_reuse() {
+        let mut reg = WatchRegistry::new();
+        let wp = reg.install(Span::new(MemAddr::new(100), 8)).unwrap();
+        assert!(reg.remove(wp.slot));
+        assert!(!reg.remove(wp.slot));
+        assert!(!reg.remove(200));
+        assert!(reg.is_empty());
+        let again = reg.install(Span::new(MemAddr::new(200), 8)).unwrap();
+        assert_eq!(again.slot, 0);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut reg = WatchRegistry::new();
+        reg.install(Span::new(MemAddr::new(100), 8)).unwrap();
+        reg.install(Span::new(MemAddr::new(200), 8)).unwrap();
+        assert_eq!(reg.installed().count(), 2);
+        reg.clear();
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn hit_reports_the_access_and_the_watchpoint() {
+        let mut reg = WatchRegistry::new();
+        let wp = reg.install(Span::new(MemAddr::new(64), 8)).unwrap();
+        let hit = reg.check_write_at(MemAddr::new(60), 8).unwrap();
+        assert_eq!(hit.watchpoint, wp);
+        assert_eq!(hit.access, Span::new(MemAddr::new(60), 8));
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the simulated operating system.
+
+use std::fmt;
+
+/// Errors returned by simulated system calls.
+///
+/// These play the role of `errno` values; the runtime converts them into
+/// negative return values or surfaces them to the application, depending on
+/// the call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysError {
+    /// The file descriptor is not open.
+    BadFd(i32),
+    /// The named file does not exist.
+    NotFound(String),
+    /// The process would exceed its open-file limit.
+    TooManyFiles {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An argument was invalid for the call.
+    InvalidArgument(String),
+    /// A non-blocking operation would have blocked.
+    WouldBlock,
+    /// The peer closed the connection (socket reads return 0 afterwards).
+    ConnectionClosed,
+    /// The descriptor does not refer to a socket.
+    NotASocket(i32),
+    /// The descriptor does not refer to a regular file.
+    NotAFile(i32),
+    /// The simulated memory-map region is exhausted.
+    MmapExhausted {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// An unmap was requested for an unknown mapping.
+    BadMapping(u64),
+}
+
+impl fmt::Display for SysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysError::BadFd(fd) => write!(f, "bad file descriptor {fd}"),
+            SysError::NotFound(name) => write!(f, "no such file: {name}"),
+            SysError::TooManyFiles { limit } => {
+                write!(f, "too many open files (limit {limit})")
+            }
+            SysError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            SysError::WouldBlock => write!(f, "operation would block"),
+            SysError::ConnectionClosed => write!(f, "connection closed by peer"),
+            SysError::NotASocket(fd) => write!(f, "descriptor {fd} is not a socket"),
+            SysError::NotAFile(fd) => write!(f, "descriptor {fd} is not a regular file"),
+            SysError::MmapExhausted { requested } => {
+                write!(f, "mmap region exhausted while requesting {requested} bytes")
+            }
+            SysError::BadMapping(id) => write!(f, "unknown memory mapping {id}"),
+        }
+    }
+}
+
+impl std::error::Error for SysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants = [
+            SysError::BadFd(3),
+            SysError::NotFound("x".into()),
+            SysError::TooManyFiles { limit: 1024 },
+            SysError::InvalidArgument("whence".into()),
+            SysError::WouldBlock,
+            SysError::ConnectionClosed,
+            SysError::NotASocket(4),
+            SysError::NotAFile(5),
+            SysError::MmapExhausted { requested: 64 },
+            SysError::BadMapping(9),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SysError>();
+    }
+}

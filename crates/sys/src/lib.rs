@@ -1,0 +1,42 @@
+//! Simulated operating-system substrate for the iReplayer runtime.
+//!
+//! The original system runs on Linux and handles real system calls by
+//! classifying them into five categories (paper §2.2.3).  This crate
+//! provides an in-memory operating system with the same *hazards* the
+//! classification exists to handle, so that every branch of the record/replay
+//! policy is exercised:
+//!
+//! * an in-memory virtual file system with per-open-file positions, so that
+//!   file reads/writes are **revocable** (re-issued during replay after the
+//!   positions saved at epoch begin are restored) and a repositioning
+//!   `lseek` is **irrevocable**;
+//! * a file-descriptor table that reuses the lowest free descriptor, so that
+//!   a `close` issued eagerly would make descriptor values unreproducible --
+//!   which is why `close` (and `munmap`) are **deferrable** and postponed to
+//!   the next epoch boundary;
+//! * scripted network peers whose socket reads and writes are
+//!   **recordable**: re-invoking them would return different data, so the
+//!   recorded results are returned during replay;
+//! * a virtual clock whose readings are **recordable**;
+//! * process identifiers that are **repeatable** in the in-situ setting;
+//! * `fork`/`exec`, which are **irrevocable** and close the epoch.
+//!
+//! The [`SimOs`] facade bundles these subsystems; the runtime crate talks to
+//! it through typed methods and consults [`SyscallKind::classify`] for the
+//! record/replay policy of each call.
+
+pub mod clock;
+pub mod error;
+pub mod mmap;
+pub mod net;
+pub mod os;
+pub mod syscall;
+pub mod vfs;
+
+pub use clock::VirtualClock;
+pub use error::SysError;
+pub use mmap::{MmapRegion, MmapTable};
+pub use net::{NetSim, PeerScript, SocketId};
+pub use os::{FilePositions, OsSnapshot, SimOs};
+pub use syscall::{SyscallKind, SyscallRequest};
+pub use vfs::{Fd, FdTable, OpenFileKind, Vfs, Whence};

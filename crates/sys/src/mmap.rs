@@ -1,0 +1,128 @@
+//! Simulated anonymous memory mappings.
+//!
+//! `mmap` is *recordable* (the returned mapping must be the same during
+//! replay -- in the in-situ setting the mapping still exists, so the call is
+//! not re-issued) and `munmap` is *deferrable* (tearing the mapping down
+//! eagerly would make the memory unavailable to the re-execution), exactly
+//! the situation the paper describes for `munmap`.
+
+use std::collections::BTreeMap;
+
+use crate::error::SysError;
+
+/// A live simulated mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmapRegion {
+    /// Identifier (the simulated base address).
+    pub id: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// The table of live mappings.
+#[derive(Debug)]
+pub struct MmapTable {
+    regions: BTreeMap<u64, u64>,
+    next_base: u64,
+    capacity: u64,
+    mapped: u64,
+}
+
+impl MmapTable {
+    /// Creates a table that allows at most `capacity` mapped bytes.
+    pub fn new(capacity: u64) -> Self {
+        MmapTable {
+            regions: BTreeMap::new(),
+            next_base: 0x7f00_0000_0000,
+            capacity,
+            mapped: 0,
+        }
+    }
+
+    /// Maps `len` bytes and returns the new region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::MmapExhausted`] if the capacity would be
+    /// exceeded, and [`SysError::InvalidArgument`] for zero-length requests.
+    pub fn mmap(&mut self, len: u64) -> Result<MmapRegion, SysError> {
+        if len == 0 {
+            return Err(SysError::InvalidArgument("mmap of zero bytes".into()));
+        }
+        if self.mapped + len > self.capacity {
+            return Err(SysError::MmapExhausted { requested: len });
+        }
+        let id = self.next_base;
+        self.next_base += len.next_multiple_of(4096);
+        self.mapped += len;
+        self.regions.insert(id, len);
+        Ok(MmapRegion { id, len })
+    }
+
+    /// Unmaps the region with base `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadMapping`] if no such region exists.
+    pub fn munmap(&mut self, id: u64) -> Result<(), SysError> {
+        match self.regions.remove(&id) {
+            Some(len) => {
+                self.mapped -= len;
+                Ok(())
+            }
+            None => Err(SysError::BadMapping(id)),
+        }
+    }
+
+    /// Number of live mappings.
+    pub fn live(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_unmap_round_trip() {
+        let mut table = MmapTable::new(1 << 20);
+        let a = table.mmap(4096).unwrap();
+        let b = table.mmap(8192).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_eq!(table.live(), 2);
+        assert_eq!(table.mapped_bytes(), 12288);
+        table.munmap(a.id).unwrap();
+        assert_eq!(table.live(), 1);
+        assert_eq!(table.mapped_bytes(), 8192);
+        assert!(matches!(table.munmap(a.id), Err(SysError::BadMapping(_))));
+    }
+
+    #[test]
+    fn capacity_and_argument_checks() {
+        let mut table = MmapTable::new(10_000);
+        assert!(matches!(
+            table.mmap(0),
+            Err(SysError::InvalidArgument(_))
+        ));
+        table.mmap(8000).unwrap();
+        assert!(matches!(
+            table.mmap(4000),
+            Err(SysError::MmapExhausted { requested: 4000 })
+        ));
+    }
+
+    #[test]
+    fn identical_mmap_sequences_return_identical_ids() {
+        let run = || {
+            let mut table = MmapTable::new(1 << 20);
+            (0..10).map(|i| table.mmap(4096 * (i + 1)).unwrap().id).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,438 @@
+//! Scripted network peers.
+//!
+//! The paper's evaluation includes network-facing applications (`aget`
+//! downloading over the LAN, Apache and Memcached serving requests).  Socket
+//! reads and writes are *recordable* system calls: the data cannot be
+//! obtained again from the network during a replay, so the recorded bytes
+//! are returned instead.
+//!
+//! [`NetSim`] provides deterministic-but-stateful peers: every read consumes
+//! data that will never be produced again, so a replay that incorrectly
+//! re-invoked a socket read would observe different data -- the same hazard
+//! the real network poses.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SysError;
+
+/// Identifier of an open simulated connection.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SocketId(pub u64);
+
+impl fmt::Display for SocketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sock{}", self.0)
+    }
+}
+
+/// How a peer behaves once connected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerScript {
+    /// A download server: serves `total_bytes` of pseudo-random data derived
+    /// from `seed`, then closes the connection.  Models the `aget` workload.
+    Download {
+        /// Seed of the served byte stream.
+        seed: u64,
+        /// Total bytes the peer will serve.
+        total_bytes: usize,
+    },
+    /// A request/response server: every write of a request enqueues a
+    /// response of `response_len` bytes derived from the request contents.
+    /// Models a memcached/HTTP backend as seen by a *client* workload.
+    Echo {
+        /// Length of each response.
+        response_len: usize,
+    },
+    /// A client that issues `requests` request lines of `request_len` bytes
+    /// derived from `seed`, as read by a *server* workload; bytes written
+    /// back to it are acknowledged and discarded.  Models the `ab` and
+    /// memcached client drivers.
+    Client {
+        /// Seed of the request stream.
+        seed: u64,
+        /// Number of requests the client will send.
+        requests: usize,
+        /// Length of each request in bytes.
+        request_len: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Connection {
+    script: PeerScript,
+    /// Bytes the application has not read yet.
+    inbox: Vec<u8>,
+    /// Read offset into `inbox`.
+    read_pos: usize,
+    /// Bytes of scripted data already generated (Download/Client).
+    generated: usize,
+    /// Requests already generated (Client).
+    requests_generated: usize,
+    closed: bool,
+}
+
+/// A deterministic pseudo-random byte generator (SplitMix64), used so that
+/// scripted peers are reproducible across benchmark runs without pulling a
+/// full RNG into the hot path.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn pseudo_bytes(seed: u64, offset: usize, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = seed ^ (offset as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    while out.len() < len {
+        let word = splitmix64(&mut state).to_le_bytes();
+        let take = (len - out.len()).min(8);
+        out.extend_from_slice(&word[..take]);
+    }
+    out
+}
+
+/// The network simulator: listening endpoints and open connections.
+#[derive(Debug, Default)]
+pub struct NetSim {
+    endpoints: HashMap<String, PeerScript>,
+    connections: HashMap<SocketId, Connection>,
+    next_socket: u64,
+    /// Pending client connections per listening endpoint (for `accept`).
+    backlog: HashMap<String, usize>,
+}
+
+impl NetSim {
+    /// Creates a simulator with no endpoints.
+    pub fn new() -> Self {
+        NetSim::default()
+    }
+
+    /// Registers a peer reachable at `address` (e.g. `"mirror:80"`).
+    pub fn register_peer(&mut self, address: &str, script: PeerScript) {
+        self.endpoints.insert(address.to_owned(), script);
+    }
+
+    /// Queues `count` incoming client connections on the listening address,
+    /// to be handed out by [`NetSim::accept`].
+    pub fn enqueue_clients(&mut self, address: &str, count: usize) {
+        *self.backlog.entry(address.to_owned()).or_insert(0) += count;
+    }
+
+    /// Connects to a registered peer and returns the connection id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotFound`] if no peer is registered at `address`.
+    pub fn connect(&mut self, address: &str) -> Result<SocketId, SysError> {
+        let script = self
+            .endpoints
+            .get(address)
+            .cloned()
+            .ok_or_else(|| SysError::NotFound(address.to_owned()))?;
+        Ok(self.open(script))
+    }
+
+    /// Accepts one pending client connection on a listening address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::WouldBlock`] if no client is waiting, and
+    /// [`SysError::NotFound`] if the address has no registered peer script.
+    pub fn accept(&mut self, address: &str) -> Result<SocketId, SysError> {
+        let pending = self.backlog.get_mut(address).ok_or(SysError::WouldBlock)?;
+        if *pending == 0 {
+            return Err(SysError::WouldBlock);
+        }
+        let script = self
+            .endpoints
+            .get(address)
+            .cloned()
+            .ok_or_else(|| SysError::NotFound(address.to_owned()))?;
+        *pending -= 1;
+        Ok(self.open(script))
+    }
+
+    /// Number of client connections still waiting on `address`.
+    pub fn pending_clients(&self, address: &str) -> usize {
+        self.backlog.get(address).copied().unwrap_or(0)
+    }
+
+    fn open(&mut self, script: PeerScript) -> SocketId {
+        self.next_socket += 1;
+        let id = SocketId(self.next_socket);
+        self.connections.insert(
+            id,
+            Connection {
+                script,
+                inbox: Vec::new(),
+                read_pos: 0,
+                generated: 0,
+                requests_generated: 0,
+                closed: false,
+            },
+        );
+        id
+    }
+
+    /// Reads up to `len` bytes from the connection.  Returns an empty vector
+    /// once the peer has nothing further to send (end of stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`]-style [`SysError::NotASocket`] if the
+    /// connection id is unknown.
+    pub fn read(&mut self, socket: SocketId, len: usize) -> Result<Vec<u8>, SysError> {
+        let conn = self
+            .connections
+            .get_mut(&socket)
+            .ok_or(SysError::NotASocket(socket.0 as i32))?;
+        if conn.read_pos >= conn.inbox.len() {
+            conn.inbox.clear();
+            conn.read_pos = 0;
+            Self::refill(conn);
+        }
+        let available = conn.inbox.len() - conn.read_pos;
+        let take = available.min(len);
+        let out = conn.inbox[conn.read_pos..conn.read_pos + take].to_vec();
+        conn.read_pos += take;
+        Ok(out)
+    }
+
+    /// Writes `data` to the connection, returning the number of bytes the
+    /// peer accepted.  Echo peers enqueue a response; client peers simply
+    /// acknowledge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotASocket`] if the connection id is unknown, and
+    /// [`SysError::ConnectionClosed`] if it was shut down.
+    pub fn write(&mut self, socket: SocketId, data: &[u8]) -> Result<usize, SysError> {
+        let conn = self
+            .connections
+            .get_mut(&socket)
+            .ok_or(SysError::NotASocket(socket.0 as i32))?;
+        if conn.closed {
+            return Err(SysError::ConnectionClosed);
+        }
+        if let PeerScript::Echo { response_len } = conn.script {
+            let digest = data
+                .iter()
+                .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(*b)));
+            let response = pseudo_bytes(digest, conn.generated, response_len);
+            conn.generated += response_len;
+            conn.inbox.extend_from_slice(&response);
+        }
+        Ok(data.len())
+    }
+
+    /// Returns `true` if a read on the connection would return data without
+    /// generating new scripted bytes (used by `epoll_wait`).
+    pub fn readable(&self, socket: SocketId) -> bool {
+        self.connections
+            .get(&socket)
+            .map(|c| c.read_pos < c.inbox.len() || Self::can_refill(c))
+            .unwrap_or(false)
+    }
+
+    /// Shuts down the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotASocket`] if the connection id is unknown.
+    pub fn close(&mut self, socket: SocketId) -> Result<(), SysError> {
+        let conn = self
+            .connections
+            .get_mut(&socket)
+            .ok_or(SysError::NotASocket(socket.0 as i32))?;
+        conn.closed = true;
+        Ok(())
+    }
+
+    /// Removes the connection entirely (epoch housekeeping removes cached
+    /// data for closed sockets, §3.1).
+    pub fn reclaim(&mut self, socket: SocketId) {
+        self.connections.remove(&socket);
+    }
+
+    /// Number of live connections.
+    pub fn open_connections(&self) -> usize {
+        self.connections.len()
+    }
+
+    fn can_refill(conn: &Connection) -> bool {
+        match conn.script {
+            PeerScript::Download { total_bytes, .. } => conn.generated < total_bytes,
+            PeerScript::Client { requests, .. } => conn.requests_generated < requests,
+            PeerScript::Echo { .. } => false,
+        }
+    }
+
+    fn refill(conn: &mut Connection) {
+        if conn.closed {
+            return;
+        }
+        match conn.script {
+            PeerScript::Download { seed, total_bytes } => {
+                if conn.generated < total_bytes {
+                    let chunk = (total_bytes - conn.generated).min(16 * 1024);
+                    let bytes = pseudo_bytes(seed, conn.generated, chunk);
+                    conn.generated += chunk;
+                    conn.inbox.extend_from_slice(&bytes);
+                }
+            }
+            PeerScript::Client {
+                seed,
+                requests,
+                request_len,
+            } => {
+                if conn.requests_generated < requests {
+                    let bytes = pseudo_bytes(
+                        seed.wrapping_add(conn.requests_generated as u64),
+                        0,
+                        request_len,
+                    );
+                    conn.requests_generated += 1;
+                    conn.inbox.extend_from_slice(&bytes);
+                }
+            }
+            PeerScript::Echo { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_peer_serves_exactly_total_bytes() {
+        let mut net = NetSim::new();
+        net.register_peer(
+            "mirror:80",
+            PeerScript::Download {
+                seed: 7,
+                total_bytes: 40_000,
+            },
+        );
+        let sock = net.connect("mirror:80").unwrap();
+        let mut total = 0;
+        loop {
+            let chunk = net.read(sock, 4096).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            total += chunk.len();
+        }
+        assert_eq!(total, 40_000);
+        // End of stream is sticky.
+        assert!(net.read(sock, 4096).unwrap().is_empty());
+    }
+
+    #[test]
+    fn download_streams_are_not_repeatable_once_consumed() {
+        // This is the property that forces socket reads to be recordable:
+        // after the original execution consumed the stream, a replay that
+        // re-invoked the read would see nothing.
+        let mut net = NetSim::new();
+        net.register_peer(
+            "mirror:80",
+            PeerScript::Download {
+                seed: 7,
+                total_bytes: 1000,
+            },
+        );
+        let sock = net.connect("mirror:80").unwrap();
+        let first = net.read(sock, 2000).unwrap();
+        assert_eq!(first.len(), 1000);
+        let second = net.read(sock, 2000).unwrap();
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn echo_peer_responds_to_each_request() {
+        let mut net = NetSim::new();
+        net.register_peer("kv:11211", PeerScript::Echo { response_len: 32 });
+        let sock = net.connect("kv:11211").unwrap();
+        // No request yet: nothing to read.
+        assert!(net.read(sock, 64).unwrap().is_empty());
+        assert_eq!(net.write(sock, b"get key1\r\n").unwrap(), 10);
+        let response = net.read(sock, 64).unwrap();
+        assert_eq!(response.len(), 32);
+        // Different requests produce different responses.
+        net.write(sock, b"get key2\r\n").unwrap();
+        let response2 = net.read(sock, 64).unwrap();
+        assert_ne!(response, response2);
+    }
+
+    #[test]
+    fn client_peers_are_accepted_from_the_backlog() {
+        let mut net = NetSim::new();
+        net.register_peer(
+            "httpd:80",
+            PeerScript::Client {
+                seed: 3,
+                requests: 2,
+                request_len: 64,
+            },
+        );
+        net.enqueue_clients("httpd:80", 2);
+        assert_eq!(net.pending_clients("httpd:80"), 2);
+
+        let c1 = net.accept("httpd:80").unwrap();
+        let c2 = net.accept("httpd:80").unwrap();
+        assert!(matches!(net.accept("httpd:80"), Err(SysError::WouldBlock)));
+        assert_eq!(net.pending_clients("httpd:80"), 0);
+
+        // Each client sends its scripted requests, then the stream ends.
+        let r1 = net.read(c1, 1024).unwrap();
+        assert_eq!(r1.len(), 64);
+        assert!(net.readable(c1));
+        let r2 = net.read(c1, 1024).unwrap();
+        assert_eq!(r2.len(), 64);
+        assert!(net.read(c1, 1024).unwrap().is_empty());
+        assert!(!net.readable(c1));
+        // The server's response write is acknowledged.
+        assert_eq!(net.write(c2, b"HTTP/1.1 200 OK").unwrap(), 15);
+    }
+
+    #[test]
+    fn connect_to_unknown_peer_fails() {
+        let mut net = NetSim::new();
+        assert!(matches!(
+            net.connect("nowhere:1"),
+            Err(SysError::NotFound(_))
+        ));
+        assert!(matches!(net.accept("nowhere:1"), Err(SysError::WouldBlock)));
+    }
+
+    #[test]
+    fn closed_connections_reject_writes_and_can_be_reclaimed() {
+        let mut net = NetSim::new();
+        net.register_peer("kv:11211", PeerScript::Echo { response_len: 8 });
+        let sock = net.connect("kv:11211").unwrap();
+        net.close(sock).unwrap();
+        assert!(matches!(
+            net.write(sock, b"x"),
+            Err(SysError::ConnectionClosed)
+        ));
+        assert_eq!(net.open_connections(), 1);
+        net.reclaim(sock);
+        assert_eq!(net.open_connections(), 0);
+        assert!(matches!(net.read(sock, 1), Err(SysError::NotASocket(_))));
+        assert!(matches!(net.close(sock), Err(SysError::NotASocket(_))));
+    }
+
+    #[test]
+    fn pseudo_bytes_are_deterministic_per_seed_and_offset() {
+        assert_eq!(pseudo_bytes(1, 0, 16), pseudo_bytes(1, 0, 16));
+        assert_ne!(pseudo_bytes(1, 0, 16), pseudo_bytes(2, 0, 16));
+        assert_ne!(pseudo_bytes(1, 0, 16), pseudo_bytes(1, 16, 16));
+    }
+}

@@ -1,0 +1,549 @@
+//! The [`SimOs`] facade: one object bundling the simulated kernel state.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::VirtualClock;
+use crate::error::SysError;
+use crate::mmap::MmapTable;
+use crate::net::{NetSim, PeerScript, SocketId};
+use crate::vfs::{FdTable, OpenFileKind, Vfs, Whence};
+
+/// Saved positions of all open regular files, captured at epoch begin and
+/// restored before a re-execution (§3.1, §3.4).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilePositions(pub Vec<(i32, u64)>);
+
+/// Operating-system state captured at an epoch boundary.
+///
+/// Only file positions need to be captured: file *contents* are revocable
+/// (re-issued writes reproduce them), sockets are recordable (never
+/// re-invoked during replay), and `close`/`munmap` are deferred past the
+/// epoch boundary, so nothing else changes under a re-execution's feet.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OsSnapshot {
+    /// Positions of every open regular file.
+    pub positions: FilePositions,
+}
+
+#[derive(Debug)]
+struct OsInner {
+    vfs: Vfs,
+    fds: FdTable,
+    net: NetSim,
+    mmap: MmapTable,
+    pid: u32,
+    next_child_pid: u32,
+}
+
+/// The simulated operating system shared by all application threads.
+///
+/// All methods take `&self`; the internal state is protected by a single
+/// lock, which plays the role of kernel entry.  The runtime is responsible
+/// for the record/replay policy around each call (classification via
+/// [`crate::SyscallKind::classify`]); `SimOs` just executes them.
+#[derive(Debug)]
+pub struct SimOs {
+    inner: Mutex<OsInner>,
+    clock: VirtualClock,
+}
+
+/// Default open-file limit, deliberately modest so that tests can exercise
+/// the "deferred closes exceed the limit" hazard; the runtime raises it at
+/// initialization exactly as the paper does.
+pub const DEFAULT_FD_LIMIT: usize = 256;
+
+impl SimOs {
+    /// Creates a simulated OS for a process with id `pid`.
+    pub fn new(pid: u32) -> Self {
+        SimOs {
+            inner: Mutex::new(OsInner {
+                vfs: Vfs::new(),
+                fds: FdTable::new(DEFAULT_FD_LIMIT),
+                net: NetSim::new(),
+                mmap: MmapTable::new(1 << 40),
+                pid,
+                next_child_pid: pid + 1,
+            }),
+            clock: VirtualClock::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Workload staging helpers (not system calls).
+    // ------------------------------------------------------------------
+
+    /// Creates (or truncates) a file with the given contents.
+    pub fn create_file(&self, name: &str, contents: Vec<u8>) {
+        self.inner.lock().vfs.create_file(name, contents);
+    }
+
+    /// Returns a copy of a file's contents, for verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotFound`] if the file does not exist.
+    pub fn file_contents(&self, name: &str) -> Result<Vec<u8>, SysError> {
+        self.inner.lock().vfs.contents(name)
+    }
+
+    /// Registers a network peer reachable at `address`.
+    pub fn register_peer(&self, address: &str, script: PeerScript) {
+        self.inner.lock().net.register_peer(address, script);
+    }
+
+    /// Queues `count` incoming client connections on a listening address.
+    pub fn enqueue_clients(&self, address: &str, count: usize) {
+        self.inner.lock().net.enqueue_clients(address, count);
+    }
+
+    /// Number of client connections still waiting on `address`.
+    pub fn pending_clients(&self, address: &str) -> usize {
+        self.inner.lock().net.pending_clients(address)
+    }
+
+    /// Raises the open-file limit (done by the runtime at initialization,
+    /// §2.2.3).
+    pub fn raise_fd_limit(&self, limit: usize) {
+        self.inner.lock().fds.raise_limit(limit);
+    }
+
+    /// Number of currently open descriptors.
+    pub fn open_fd_count(&self) -> usize {
+        self.inner.lock().fds.open_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Repeatable calls.
+    // ------------------------------------------------------------------
+
+    /// `getpid()`.
+    pub fn getpid(&self) -> u32 {
+        self.inner.lock().pid
+    }
+
+    /// `fcntl(fd, F_GETFL)`-style query; returns 0 for any open descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`] if `fd` is not open.
+    pub fn fcntl_get(&self, fd: i32) -> Result<i64, SysError> {
+        self.inner.lock().fds.get(fd).map(|_| 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Recordable calls.
+    // ------------------------------------------------------------------
+
+    /// `gettimeofday()`, in nanoseconds.
+    pub fn gettime_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// `open(path)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotFound`] if the file does not exist and
+    /// [`SysError::TooManyFiles`] if the descriptor limit is reached.
+    pub fn open(&self, path: &str) -> Result<i32, SysError> {
+        let mut inner = self.inner.lock();
+        if !inner.vfs.exists(path) {
+            return Err(SysError::NotFound(path.to_owned()));
+        }
+        inner.fds.allocate(OpenFileKind::File {
+            name: path.to_owned(),
+        })
+    }
+
+    /// Creates the file if missing, then opens it for writing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::TooManyFiles`] if the descriptor limit is
+    /// reached.
+    pub fn open_create(&self, path: &str) -> Result<i32, SysError> {
+        let mut inner = self.inner.lock();
+        if !inner.vfs.exists(path) {
+            inner.vfs.create_file(path, Vec::new());
+        }
+        inner.fds.allocate(OpenFileKind::File {
+            name: path.to_owned(),
+        })
+    }
+
+    /// `dup(fd)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`] or [`SysError::TooManyFiles`].
+    pub fn dup(&self, fd: i32) -> Result<i32, SysError> {
+        self.inner.lock().fds.dup(fd)
+    }
+
+    /// `connect(address)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotFound`] for unknown peers and
+    /// [`SysError::TooManyFiles`] if the descriptor limit is reached.
+    pub fn socket_connect(&self, address: &str) -> Result<i32, SysError> {
+        let mut inner = self.inner.lock();
+        let socket = inner.net.connect(address)?;
+        inner.fds.allocate(OpenFileKind::Socket { socket })
+    }
+
+    /// `accept(address)` on a listening endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::WouldBlock`] if no client is pending.
+    pub fn socket_accept(&self, address: &str) -> Result<i32, SysError> {
+        let mut inner = self.inner.lock();
+        let socket = inner.net.accept(address)?;
+        inner.fds.allocate(OpenFileKind::Socket { socket })
+    }
+
+    /// `recv(fd, len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`] or [`SysError::NotASocket`].
+    pub fn socket_read(&self, fd: i32, len: usize) -> Result<Vec<u8>, SysError> {
+        let mut inner = self.inner.lock();
+        let socket = Self::socket_of(&inner, fd)?;
+        inner.net.read(socket, len)
+    }
+
+    /// `send(fd, data)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`], [`SysError::NotASocket`] or
+    /// [`SysError::ConnectionClosed`].
+    pub fn socket_write(&self, fd: i32, data: &[u8]) -> Result<usize, SysError> {
+        let mut inner = self.inner.lock();
+        let socket = Self::socket_of(&inner, fd)?;
+        inner.net.write(socket, data)
+    }
+
+    /// `epoll_wait`-style readiness query over a set of socket descriptors:
+    /// returns the subset that is readable.
+    pub fn poll_readable(&self, fds: &[i32]) -> Vec<i32> {
+        let inner = self.inner.lock();
+        fds.iter()
+            .copied()
+            .filter(|fd| {
+                Self::socket_of(&inner, *fd)
+                    .map(|socket| inner.net.readable(socket))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// `mmap(len)`: returns the simulated base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::MmapExhausted`] or [`SysError::InvalidArgument`].
+    pub fn mmap(&self, len: u64) -> Result<u64, SysError> {
+        self.inner.lock().mmap.mmap(len).map(|region| region.id)
+    }
+
+    // ------------------------------------------------------------------
+    // Revocable calls.
+    // ------------------------------------------------------------------
+
+    /// `read(fd, len)` on a regular file; advances the position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`], [`SysError::NotAFile`] or
+    /// [`SysError::NotFound`].
+    pub fn file_read(&self, fd: i32, len: usize) -> Result<Vec<u8>, SysError> {
+        let mut inner = self.inner.lock();
+        let (name, pos) = Self::file_of(&inner, fd)?;
+        let data = inner.vfs.read_at(&name, pos, len)?;
+        inner.fds.get_mut(fd)?.pos = pos + data.len() as u64;
+        Ok(data)
+    }
+
+    /// `write(fd, data)` on a regular file; advances the position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`], [`SysError::NotAFile`] or
+    /// [`SysError::NotFound`].
+    pub fn file_write(&self, fd: i32, data: &[u8]) -> Result<usize, SysError> {
+        let mut inner = self.inner.lock();
+        let (name, pos) = Self::file_of(&inner, fd)?;
+        let written = inner.vfs.write_at(&name, pos, data)?;
+        inner.fds.get_mut(fd)?.pos = pos + written as u64;
+        Ok(written)
+    }
+
+    /// `lseek(fd, offset, whence)`; returns the new position.
+    ///
+    /// The runtime treats repositioning seeks as irrevocable (epoch
+    /// boundary) and position queries (`Cur` with offset 0) as repeatable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`], [`SysError::NotAFile`],
+    /// [`SysError::NotFound`] or [`SysError::InvalidArgument`] for seeks
+    /// before the start of the file.
+    pub fn lseek(&self, fd: i32, offset: i64, whence: Whence) -> Result<u64, SysError> {
+        let mut inner = self.inner.lock();
+        let (name, pos) = Self::file_of(&inner, fd)?;
+        let size = inner.vfs.size(&name)? as i64;
+        let base = match whence {
+            Whence::Set => 0,
+            Whence::Cur => pos as i64,
+            Whence::End => size,
+        };
+        let target = base + offset;
+        if target < 0 {
+            return Err(SysError::InvalidArgument(format!(
+                "seek to negative offset {target}"
+            )));
+        }
+        inner.fds.get_mut(fd)?.pos = target as u64;
+        Ok(target as u64)
+    }
+
+    // ------------------------------------------------------------------
+    // Deferrable calls (executed here; *when* they run is the runtime's
+    // decision).
+    // ------------------------------------------------------------------
+
+    /// `close(fd)`.  For sockets, the peer connection is also shut down and
+    /// reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`] if `fd` is not open.
+    pub fn close(&self, fd: i32) -> Result<(), SysError> {
+        let mut inner = self.inner.lock();
+        if let Ok(open) = inner.fds.get(fd) {
+            if let OpenFileKind::Socket { socket } = open.kind {
+                let _ = inner.net.close(socket);
+                inner.net.reclaim(socket);
+            }
+        }
+        inner.fds.close(fd)
+    }
+
+    /// `munmap(addr)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadMapping`] if the mapping does not exist.
+    pub fn munmap(&self, addr: u64) -> Result<(), SysError> {
+        self.inner.lock().mmap.munmap(addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Irrevocable calls.
+    // ------------------------------------------------------------------
+
+    /// `fork()`: returns the child pid (the simulated child never runs; the
+    /// call exists to exercise the irrevocable path).
+    pub fn fork(&self) -> u32 {
+        let mut inner = self.inner.lock();
+        let child = inner.next_child_pid;
+        inner.next_child_pid += 1;
+        child
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch support.
+    // ------------------------------------------------------------------
+
+    /// Captures the state that must be restored before a re-execution.
+    pub fn snapshot(&self) -> OsSnapshot {
+        OsSnapshot {
+            positions: FilePositions(self.inner.lock().fds.file_positions()),
+        }
+    }
+
+    /// Restores a snapshot captured at the last epoch begin (rollback).
+    pub fn restore(&self, snapshot: &OsSnapshot) {
+        self.inner
+            .lock()
+            .fds
+            .restore_positions(&snapshot.positions.0);
+    }
+
+    fn socket_of(inner: &OsInner, fd: i32) -> Result<SocketId, SysError> {
+        match &inner.fds.get(fd)?.kind {
+            OpenFileKind::Socket { socket } => Ok(*socket),
+            OpenFileKind::File { .. } => Err(SysError::NotASocket(fd)),
+        }
+    }
+
+    fn file_of(inner: &OsInner, fd: i32) -> Result<(String, u64), SysError> {
+        let open = inner.fds.get(fd)?;
+        match &open.kind {
+            OpenFileKind::File { name } => Ok((name.clone(), open.pos)),
+            OpenFileKind::Socket { .. } => Err(SysError::NotAFile(fd)),
+        }
+    }
+}
+
+impl Default for SimOs {
+    fn default() -> Self {
+        SimOs::new(4242)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn os_with_file() -> SimOs {
+        let os = SimOs::new(100);
+        os.create_file("data.txt", b"abcdefghijklmnopqrstuvwxyz".to_vec());
+        os
+    }
+
+    #[test]
+    fn pid_is_repeatable_and_fork_is_not() {
+        let os = SimOs::new(77);
+        assert_eq!(os.getpid(), 77);
+        assert_eq!(os.getpid(), 77);
+        let c1 = os.fork();
+        let c2 = os.fork();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn file_reads_and_writes_track_positions() {
+        let os = os_with_file();
+        let fd = os.open("data.txt").unwrap();
+        assert_eq!(os.file_read(fd, 5).unwrap(), b"abcde");
+        assert_eq!(os.file_read(fd, 5).unwrap(), b"fghij");
+        os.file_write(fd, b"XY").unwrap();
+        assert_eq!(os.lseek(fd, 0, Whence::Cur).unwrap(), 12);
+        assert_eq!(os.file_contents("data.txt").unwrap()[10..12], *b"XY");
+        os.lseek(fd, -2, Whence::End).unwrap();
+        assert_eq!(os.file_read(fd, 10).unwrap(), b"yz");
+        assert!(os.lseek(fd, -100, Whence::Set).is_err());
+        assert!(os.open("missing.txt").is_err());
+    }
+
+    #[test]
+    fn position_snapshot_restores_reads_for_replay() {
+        let os = os_with_file();
+        let fd = os.open("data.txt").unwrap();
+        os.file_read(fd, 3).unwrap();
+        // Epoch begin: capture positions.
+        let snap = os.snapshot();
+        let original = os.file_read(fd, 5).unwrap();
+        // Rollback: restore positions, the re-issued read returns the same
+        // data (revocable system call).
+        os.restore(&snap);
+        let replayed = os.file_read(fd, 5).unwrap();
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn descriptor_values_depend_on_close_timing() {
+        // The motivation for deferring close: an eager close changes which
+        // descriptor the next open returns.
+        let eager = os_with_file();
+        let a = eager.open("data.txt").unwrap();
+        eager.close(a).unwrap();
+        let b = eager.open("data.txt").unwrap();
+        assert_eq!(a, b, "descriptor is reused after close");
+
+        let deferred = os_with_file();
+        let a = deferred.open("data.txt").unwrap();
+        // close deferred past the second open...
+        let b = deferred.open("data.txt").unwrap();
+        assert_ne!(a, b, "without the close the descriptor advances");
+        deferred.close(a).unwrap();
+        assert_eq!(deferred.open_fd_count(), 1);
+    }
+
+    #[test]
+    fn sockets_connect_read_write_and_close() {
+        let os = SimOs::default();
+        os.register_peer("kv:11211", PeerScript::Echo { response_len: 16 });
+        let fd = os.socket_connect("kv:11211").unwrap();
+        assert!(os.poll_readable(&[fd]).is_empty());
+        os.socket_write(fd, b"get k\r\n").unwrap();
+        assert_eq!(os.poll_readable(&[fd]), vec![fd]);
+        assert_eq!(os.socket_read(fd, 64).unwrap().len(), 16);
+        // File operations on a socket are rejected, and vice versa.
+        assert!(os.file_read(fd, 1).is_err());
+        os.create_file("f", vec![1, 2, 3]);
+        let ffd = os.open("f").unwrap();
+        assert!(os.socket_read(ffd, 1).is_err());
+        assert!(os.fcntl_get(fd).is_ok());
+        os.close(fd).unwrap();
+        assert!(os.socket_read(fd, 1).is_err());
+    }
+
+    #[test]
+    fn server_accepts_enqueued_clients() {
+        let os = SimOs::default();
+        os.register_peer(
+            "httpd:80",
+            PeerScript::Client {
+                seed: 1,
+                requests: 1,
+                request_len: 32,
+            },
+        );
+        os.enqueue_clients("httpd:80", 1);
+        assert_eq!(os.pending_clients("httpd:80"), 1);
+        let conn = os.socket_accept("httpd:80").unwrap();
+        assert_eq!(os.socket_read(conn, 64).unwrap().len(), 32);
+        assert!(matches!(
+            os.socket_accept("httpd:80"),
+            Err(SysError::WouldBlock)
+        ));
+    }
+
+    #[test]
+    fn mmap_and_munmap_and_dup() {
+        let os = os_with_file();
+        let m = os.mmap(8192).unwrap();
+        os.munmap(m).unwrap();
+        assert!(os.munmap(m).is_err());
+        let fd = os.open("data.txt").unwrap();
+        os.file_read(fd, 4).unwrap();
+        let dup = os.dup(fd).unwrap();
+        assert_eq!(os.lseek(dup, 0, Whence::Cur).unwrap(), 4);
+    }
+
+    #[test]
+    fn fd_limit_can_be_raised() {
+        let os = SimOs::default();
+        os.create_file("f", vec![0]);
+        os.raise_fd_limit(2000);
+        for _ in 0..500 {
+            os.open("f").unwrap();
+        }
+        assert_eq!(os.open_fd_count(), 500);
+    }
+
+    #[test]
+    fn gettime_is_monotonic() {
+        let os = SimOs::default();
+        let a = os.gettime_ns();
+        let b = os.gettime_ns();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn open_create_makes_missing_files() {
+        let os = SimOs::default();
+        let fd = os.open_create("out.bin").unwrap();
+        os.file_write(fd, b"payload").unwrap();
+        assert_eq!(os.file_contents("out.bin").unwrap(), b"payload");
+        // Re-opening an existing file does not truncate it.
+        let fd2 = os.open_create("out.bin").unwrap();
+        assert_eq!(os.file_read(fd2, 7).unwrap(), b"payload");
+    }
+}

@@ -1,0 +1,256 @@
+//! System-call descriptors and their classification (paper §2.2.3).
+
+use serde::{Deserialize, Serialize};
+
+use ireplayer_log::SyscallClass;
+
+/// The system calls exposed by the simulated OS.
+///
+/// Each variant corresponds to a `ThreadCtx` method in the runtime crate.
+/// The classification may depend on parameters, which is why `Lseek` and
+/// `Fcntl` carry the information the classifier needs -- mirroring the
+/// paper's example of `fcntl(F_GETOWN)` (repeatable) versus
+/// `fcntl(F_DUPFD)` (recordable), and of a repositioning `lseek` being
+/// treated as irrevocable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyscallKind {
+    /// `getpid()` -- repeatable in the in-situ setting.
+    GetPid,
+    /// `gettimeofday()` / `clock_gettime()` -- recordable.
+    GetTime,
+    /// `open(path)` -- recordable (the descriptor value is replayed from the
+    /// log; the underlying open is not re-issued because the file is still
+    /// open in the in-situ process).
+    Open,
+    /// `read(fd)` on a regular file -- revocable (re-issued after restoring
+    /// file positions).
+    FileRead,
+    /// `write(fd)` on a regular file -- revocable.
+    FileWrite,
+    /// `lseek(fd)`; a repositioning seek cannot be rolled back without
+    /// invalidating earlier reads, so it is irrevocable; a query
+    /// (`SEEK_CUR` with offset 0) is repeatable.
+    Lseek {
+        /// `true` if the call changes the file position.
+        repositions: bool,
+    },
+    /// `close(fd)` -- deferrable (issued at the next epoch begin).
+    Close,
+    /// `dup(fd)` -- recordable (descriptor values must match the log).
+    Dup,
+    /// `fcntl(fd, F_GETOWN)`-style queries -- repeatable.
+    FcntlGet,
+    /// `fcntl(fd, F_DUPFD)`-style descriptor duplication -- recordable.
+    FcntlDupFd,
+    /// `connect()` -- recordable.
+    SocketConnect,
+    /// `accept()` on a listening socket -- recordable.
+    SocketAccept,
+    /// `recv()`/`read()` on a socket -- recordable (the data cannot be
+    /// re-read from the network).
+    SocketRead,
+    /// `send()`/`write()` on a socket -- recordable (the bytes must not be
+    /// re-transmitted during replay).
+    SocketWrite,
+    /// `epoll_wait()`-style readiness query -- recordable.
+    PollWait,
+    /// `mmap()` -- recordable (the mapping address must match the log;
+    /// in-situ the mapping is still present during replay).
+    Mmap,
+    /// `munmap()` -- deferrable.
+    Munmap,
+    /// `fork()` -- irrevocable.
+    Fork,
+    /// `execve()` -- irrevocable.
+    Exec,
+    /// Process exit -- treated as the end of the last epoch.
+    Exit,
+}
+
+impl SyscallKind {
+    /// Returns the record/replay policy for this call (§2.2.3).
+    pub fn classify(self) -> SyscallClass {
+        use SyscallClass::*;
+        match self {
+            SyscallKind::GetPid | SyscallKind::FcntlGet => Repeatable,
+            SyscallKind::Lseek { repositions: false } => Repeatable,
+            SyscallKind::GetTime
+            | SyscallKind::Open
+            | SyscallKind::Dup
+            | SyscallKind::FcntlDupFd
+            | SyscallKind::SocketConnect
+            | SyscallKind::SocketAccept
+            | SyscallKind::SocketRead
+            | SyscallKind::SocketWrite
+            | SyscallKind::PollWait
+            | SyscallKind::Mmap => Recordable,
+            SyscallKind::FileRead | SyscallKind::FileWrite => Revocable,
+            SyscallKind::Close | SyscallKind::Munmap => Deferrable,
+            SyscallKind::Lseek { repositions: true }
+            | SyscallKind::Fork
+            | SyscallKind::Exec
+            | SyscallKind::Exit => Irrevocable,
+        }
+    }
+
+    /// A small stable integer identifying the call in the event log.
+    pub fn code(self) -> u16 {
+        match self {
+            SyscallKind::GetPid => 1,
+            SyscallKind::GetTime => 2,
+            SyscallKind::Open => 3,
+            SyscallKind::FileRead => 4,
+            SyscallKind::FileWrite => 5,
+            SyscallKind::Lseek { repositions: false } => 6,
+            SyscallKind::Lseek { repositions: true } => 7,
+            SyscallKind::Close => 8,
+            SyscallKind::Dup => 9,
+            SyscallKind::FcntlGet => 10,
+            SyscallKind::FcntlDupFd => 11,
+            SyscallKind::SocketConnect => 12,
+            SyscallKind::SocketAccept => 13,
+            SyscallKind::SocketRead => 14,
+            SyscallKind::SocketWrite => 15,
+            SyscallKind::PollWait => 16,
+            SyscallKind::Mmap => 17,
+            SyscallKind::Munmap => 18,
+            SyscallKind::Fork => 19,
+            SyscallKind::Exec => 20,
+            SyscallKind::Exit => 21,
+        }
+    }
+
+    /// A human-readable name for reports and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyscallKind::GetPid => "getpid",
+            SyscallKind::GetTime => "gettimeofday",
+            SyscallKind::Open => "open",
+            SyscallKind::FileRead => "read",
+            SyscallKind::FileWrite => "write",
+            SyscallKind::Lseek { .. } => "lseek",
+            SyscallKind::Close => "close",
+            SyscallKind::Dup => "dup",
+            SyscallKind::FcntlGet => "fcntl(F_GETOWN)",
+            SyscallKind::FcntlDupFd => "fcntl(F_DUPFD)",
+            SyscallKind::SocketConnect => "connect",
+            SyscallKind::SocketAccept => "accept",
+            SyscallKind::SocketRead => "recv",
+            SyscallKind::SocketWrite => "send",
+            SyscallKind::PollWait => "epoll_wait",
+            SyscallKind::Mmap => "mmap",
+            SyscallKind::Munmap => "munmap",
+            SyscallKind::Fork => "fork",
+            SyscallKind::Exec => "execve",
+            SyscallKind::Exit => "exit",
+        }
+    }
+}
+
+/// A system call about to be issued, used when a component needs to reason
+/// about a call before performing it (for instance the epoch manager asking
+/// "does this call close the epoch?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallRequest {
+    /// Which call.
+    pub kind: SyscallKind,
+    /// Descriptor argument, when the call takes one.
+    pub fd: Option<i32>,
+}
+
+impl SyscallRequest {
+    /// Creates a request without a descriptor argument.
+    pub fn new(kind: SyscallKind) -> Self {
+        SyscallRequest { kind, fd: None }
+    }
+
+    /// Creates a request operating on `fd`.
+    pub fn on_fd(kind: SyscallKind, fd: i32) -> Self {
+        SyscallRequest { kind, fd: Some(fd) }
+    }
+
+    /// Classification of the requested call.
+    pub fn classify(&self) -> SyscallClass {
+        self.kind.classify()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer_log::SyscallClass::*;
+
+    #[test]
+    fn classification_matches_the_paper() {
+        assert_eq!(SyscallKind::GetPid.classify(), Repeatable);
+        assert_eq!(SyscallKind::GetTime.classify(), Recordable);
+        assert_eq!(SyscallKind::SocketRead.classify(), Recordable);
+        assert_eq!(SyscallKind::SocketWrite.classify(), Recordable);
+        assert_eq!(SyscallKind::FileRead.classify(), Revocable);
+        assert_eq!(SyscallKind::FileWrite.classify(), Revocable);
+        assert_eq!(SyscallKind::Close.classify(), Deferrable);
+        assert_eq!(SyscallKind::Munmap.classify(), Deferrable);
+        assert_eq!(SyscallKind::Fork.classify(), Irrevocable);
+        assert_eq!(SyscallKind::Exec.classify(), Irrevocable);
+    }
+
+    #[test]
+    fn parameter_dependent_classification() {
+        // The paper's fcntl example: F_GETOWN is repeatable, F_DUPFD is not.
+        assert_eq!(SyscallKind::FcntlGet.classify(), Repeatable);
+        assert_eq!(SyscallKind::FcntlDupFd.classify(), Recordable);
+        // A repositioning lseek is irrevocable; a position query is not.
+        assert_eq!(
+            SyscallKind::Lseek { repositions: true }.classify(),
+            Irrevocable
+        );
+        assert_eq!(
+            SyscallKind::Lseek { repositions: false }.classify(),
+            Repeatable
+        );
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let all = [
+            SyscallKind::GetPid,
+            SyscallKind::GetTime,
+            SyscallKind::Open,
+            SyscallKind::FileRead,
+            SyscallKind::FileWrite,
+            SyscallKind::Lseek { repositions: false },
+            SyscallKind::Lseek { repositions: true },
+            SyscallKind::Close,
+            SyscallKind::Dup,
+            SyscallKind::FcntlGet,
+            SyscallKind::FcntlDupFd,
+            SyscallKind::SocketConnect,
+            SyscallKind::SocketAccept,
+            SyscallKind::SocketRead,
+            SyscallKind::SocketWrite,
+            SyscallKind::PollWait,
+            SyscallKind::Mmap,
+            SyscallKind::Munmap,
+            SyscallKind::Fork,
+            SyscallKind::Exec,
+            SyscallKind::Exit,
+        ];
+        let mut codes: Vec<u16> = all.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+        for kind in all {
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn requests_carry_descriptors() {
+        let r = SyscallRequest::on_fd(SyscallKind::Close, 7);
+        assert_eq!(r.fd, Some(7));
+        assert_eq!(r.classify(), Deferrable);
+        let plain = SyscallRequest::new(SyscallKind::Fork);
+        assert_eq!(plain.fd, None);
+        assert_eq!(plain.classify(), Irrevocable);
+    }
+}

@@ -1,0 +1,415 @@
+//! In-memory virtual file system and file-descriptor table.
+//!
+//! Files are named byte vectors; open descriptors carry their own positions,
+//! which are exactly the state the paper checkpoints at epoch begin and
+//! restores (via `lseek(SEEK_SET)`) before a re-execution, making file
+//! reads/writes *revocable* system calls.
+//!
+//! The descriptor table hands out the lowest free descriptor, reproducing
+//! the in-situ hazard that motivates deferring `close`: in the sequence
+//! `{open(1), close(1), open(2)}` the second open reuses the first
+//! descriptor, so replaying the sequence after an eager close could not
+//! return the same descriptor values.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SysError;
+use crate::net::SocketId;
+
+/// A file descriptor.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Fd(pub i32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// Seek origins for [`Vfs`] and the descriptor table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Whence {
+    /// Absolute position.
+    Set,
+    /// Relative to the current position.
+    Cur,
+    /// Relative to the end of the file.
+    End,
+}
+
+/// What an open descriptor refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpenFileKind {
+    /// A regular file in the virtual file system.
+    File {
+        /// Name of the file.
+        name: String,
+    },
+    /// A connected socket managed by the network simulator.
+    Socket {
+        /// Connection identifier.
+        socket: SocketId,
+    },
+}
+
+/// An entry in the descriptor table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenFile {
+    /// What the descriptor refers to.
+    pub kind: OpenFileKind,
+    /// Current position (meaningful for regular files).
+    pub pos: u64,
+}
+
+/// The store of file contents, keyed by name.
+#[derive(Debug, Default)]
+pub struct Vfs {
+    files: HashMap<String, Vec<u8>>,
+}
+
+impl Vfs {
+    /// Creates an empty file system.
+    pub fn new() -> Self {
+        Vfs::default()
+    }
+
+    /// Creates (or truncates) a file with the given contents.  Used by
+    /// workloads to stage their inputs.
+    pub fn create_file(&mut self, name: &str, contents: Vec<u8>) {
+        self.files.insert(name.to_owned(), contents);
+    }
+
+    /// Returns `true` if the file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Size of the file in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotFound`] if the file does not exist.
+    pub fn size(&self, name: &str) -> Result<u64, SysError> {
+        self.files
+            .get(name)
+            .map(|c| c.len() as u64)
+            .ok_or_else(|| SysError::NotFound(name.to_owned()))
+    }
+
+    /// Reads up to `len` bytes starting at `pos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotFound`] if the file does not exist.
+    pub fn read_at(&self, name: &str, pos: u64, len: usize) -> Result<Vec<u8>, SysError> {
+        let contents = self
+            .files
+            .get(name)
+            .ok_or_else(|| SysError::NotFound(name.to_owned()))?;
+        let start = (pos as usize).min(contents.len());
+        let end = start.saturating_add(len).min(contents.len());
+        Ok(contents[start..end].to_vec())
+    }
+
+    /// Writes `data` at `pos`, extending the file with zeros if needed, and
+    /// returns the number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotFound`] if the file does not exist.
+    pub fn write_at(&mut self, name: &str, pos: u64, data: &[u8]) -> Result<usize, SysError> {
+        let contents = self
+            .files
+            .get_mut(name)
+            .ok_or_else(|| SysError::NotFound(name.to_owned()))?;
+        let start = pos as usize;
+        let end = start + data.len();
+        if contents.len() < end {
+            contents.resize(end, 0);
+        }
+        contents[start..end].copy_from_slice(data);
+        Ok(data.len())
+    }
+
+    /// Returns a copy of the file's contents (test and verification helper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::NotFound`] if the file does not exist.
+    pub fn contents(&self, name: &str) -> Result<Vec<u8>, SysError> {
+        self.files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SysError::NotFound(name.to_owned()))
+    }
+
+    /// Names of all files, in arbitrary order.
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+}
+
+/// The per-process descriptor table.
+///
+/// Descriptors 0-2 are reserved (standard streams); application descriptors
+/// start at 3 and the lowest free value is always reused.
+#[derive(Debug)]
+pub struct FdTable {
+    entries: BTreeMap<i32, OpenFile>,
+    limit: usize,
+}
+
+/// First descriptor handed out to applications.
+pub const FIRST_FD: i32 = 3;
+
+impl FdTable {
+    /// Creates a table that allows at most `limit` simultaneously open
+    /// descriptors.
+    pub fn new(limit: usize) -> Self {
+        FdTable {
+            entries: BTreeMap::new(),
+            limit,
+        }
+    }
+
+    /// Raises the open-file limit.  iReplayer does this during
+    /// initialization because deferring `close` can push the number of open
+    /// descriptors past the default limit (§2.2.3).
+    pub fn raise_limit(&mut self, new_limit: usize) {
+        if new_limit > self.limit {
+            self.limit = new_limit;
+        }
+    }
+
+    /// The current open-file limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Allocates the lowest free descriptor for `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::TooManyFiles`] if the limit is reached.
+    pub fn allocate(&mut self, kind: OpenFileKind) -> Result<i32, SysError> {
+        if self.entries.len() >= self.limit {
+            return Err(SysError::TooManyFiles { limit: self.limit });
+        }
+        let mut fd = FIRST_FD;
+        for existing in self.entries.keys() {
+            if *existing == fd {
+                fd += 1;
+            } else if *existing > fd {
+                break;
+            }
+        }
+        self.entries.insert(fd, OpenFile { kind, pos: 0 });
+        Ok(fd)
+    }
+
+    /// Duplicates `fd` into the lowest free descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`] if `fd` is not open, or
+    /// [`SysError::TooManyFiles`] if the limit is reached.
+    pub fn dup(&mut self, fd: i32) -> Result<i32, SysError> {
+        let entry = self.entries.get(&fd).cloned().ok_or(SysError::BadFd(fd))?;
+        if self.entries.len() >= self.limit {
+            return Err(SysError::TooManyFiles { limit: self.limit });
+        }
+        self.allocate(entry.kind).map(|new_fd| {
+            if let Some(open) = self.entries.get_mut(&new_fd) {
+                open.pos = entry.pos;
+            }
+            new_fd
+        })
+    }
+
+    /// Closes `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`] if `fd` is not open.
+    pub fn close(&mut self, fd: i32) -> Result<(), SysError> {
+        self.entries.remove(&fd).map(|_| ()).ok_or(SysError::BadFd(fd))
+    }
+
+    /// Returns the entry for `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`] if `fd` is not open.
+    pub fn get(&self, fd: i32) -> Result<&OpenFile, SysError> {
+        self.entries.get(&fd).ok_or(SysError::BadFd(fd))
+    }
+
+    /// Returns the entry for `fd` mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::BadFd`] if `fd` is not open.
+    pub fn get_mut(&mut self, fd: i32) -> Result<&mut OpenFile, SysError> {
+        self.entries.get_mut(&fd).ok_or(SysError::BadFd(fd))
+    }
+
+    /// Iterates over `(fd, entry)` pairs of every open descriptor.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, &OpenFile)> {
+        self.entries.iter().map(|(fd, open)| (*fd, open))
+    }
+
+    /// Positions of every open regular file, captured at epoch begin.
+    pub fn file_positions(&self) -> Vec<(i32, u64)> {
+        self.entries
+            .iter()
+            .filter(|(_, open)| matches!(open.kind, OpenFileKind::File { .. }))
+            .map(|(fd, open)| (*fd, open.pos))
+            .collect()
+    }
+
+    /// Restores positions captured by [`FdTable::file_positions`] (rollback,
+    /// §3.4: "recovers file positions ... by invoking the lseek API with the
+    /// SEEK_SET option").  Positions of descriptors that no longer exist are
+    /// ignored, matching the behaviour of a real `lseek` on a closed fd
+    /// being skipped by the runtime.
+    ///
+    /// Regular files that are open now but were *not* open when the
+    /// snapshot was taken were necessarily opened during the epoch being
+    /// rolled back; their `open` starts them at position zero, so the
+    /// rollback rewinds them to zero so that re-issued (revocable) reads and
+    /// writes observe the same positions as the original execution.
+    pub fn restore_positions(&mut self, positions: &[(i32, u64)]) {
+        for (fd, open) in self.entries.iter_mut() {
+            if !matches!(open.kind, OpenFileKind::File { .. }) {
+                continue;
+            }
+            open.pos = positions
+                .iter()
+                .find(|(snap_fd, _)| snap_fd == fd)
+                .map(|(_, pos)| *pos)
+                .unwrap_or(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vfs_read_write_round_trip() {
+        let mut vfs = Vfs::new();
+        vfs.create_file("input.txt", b"hello world".to_vec());
+        assert!(vfs.exists("input.txt"));
+        assert!(!vfs.exists("missing"));
+        assert_eq!(vfs.size("input.txt").unwrap(), 11);
+        assert_eq!(vfs.read_at("input.txt", 6, 5).unwrap(), b"world");
+        assert_eq!(vfs.read_at("input.txt", 6, 100).unwrap(), b"world");
+        assert_eq!(vfs.read_at("input.txt", 100, 5).unwrap(), b"");
+        vfs.write_at("input.txt", 6, b"earth").unwrap();
+        assert_eq!(vfs.contents("input.txt").unwrap(), b"hello earth");
+        // Writing past the end extends with zeros.
+        vfs.write_at("input.txt", 13, b"!").unwrap();
+        assert_eq!(vfs.size("input.txt").unwrap(), 14);
+        assert!(vfs.read_at("missing", 0, 1).is_err());
+        assert!(vfs.file_names().contains(&"input.txt".to_owned()));
+    }
+
+    #[test]
+    fn fd_table_reuses_the_lowest_free_descriptor() {
+        let mut table = FdTable::new(16);
+        let file = |n: &str| OpenFileKind::File { name: n.to_owned() };
+        let a = table.allocate(file("a")).unwrap();
+        let b = table.allocate(file("b")).unwrap();
+        let c = table.allocate(file("c")).unwrap();
+        assert_eq!((a, b, c), (3, 4, 5));
+        // The in-situ hazard: close(4) then open -> descriptor 4 is reused.
+        table.close(b).unwrap();
+        let d = table.allocate(file("d")).unwrap();
+        assert_eq!(d, 4);
+        assert_eq!(table.open_count(), 3);
+    }
+
+    #[test]
+    fn fd_limit_is_enforced_and_raisable() {
+        let mut table = FdTable::new(2);
+        let file = |n: &str| OpenFileKind::File { name: n.to_owned() };
+        table.allocate(file("a")).unwrap();
+        table.allocate(file("b")).unwrap();
+        assert!(matches!(
+            table.allocate(file("c")),
+            Err(SysError::TooManyFiles { limit: 2 })
+        ));
+        table.raise_limit(4);
+        assert_eq!(table.limit(), 4);
+        table.allocate(file("c")).unwrap();
+        // Lowering is ignored.
+        table.raise_limit(1);
+        assert_eq!(table.limit(), 4);
+    }
+
+    #[test]
+    fn dup_copies_kind_and_position() {
+        let mut table = FdTable::new(8);
+        let fd = table
+            .allocate(OpenFileKind::File { name: "x".into() })
+            .unwrap();
+        table.get_mut(fd).unwrap().pos = 42;
+        let dup = table.dup(fd).unwrap();
+        assert_ne!(dup, fd);
+        assert_eq!(table.get(dup).unwrap().pos, 42);
+        assert!(table.dup(99).is_err());
+    }
+
+    #[test]
+    fn close_of_unknown_descriptor_fails() {
+        let mut table = FdTable::new(8);
+        assert!(matches!(table.close(9), Err(SysError::BadFd(9))));
+        assert!(table.get(9).is_err());
+        assert!(table.get_mut(9).is_err());
+    }
+
+    #[test]
+    fn positions_round_trip_through_checkpoint() {
+        let mut table = FdTable::new(8);
+        let a = table
+            .allocate(OpenFileKind::File { name: "a".into() })
+            .unwrap();
+        let b = table
+            .allocate(OpenFileKind::File { name: "b".into() })
+            .unwrap();
+        let s = table
+            .allocate(OpenFileKind::Socket {
+                socket: SocketId(7),
+            })
+            .unwrap();
+        table.get_mut(a).unwrap().pos = 10;
+        table.get_mut(b).unwrap().pos = 20;
+
+        let saved = table.file_positions();
+        // Sockets have no position to save.
+        assert_eq!(saved.len(), 2);
+
+        table.get_mut(a).unwrap().pos = 999;
+        table.get_mut(b).unwrap().pos = 999;
+        table.restore_positions(&saved);
+        assert_eq!(table.get(a).unwrap().pos, 10);
+        assert_eq!(table.get(b).unwrap().pos, 20);
+        assert_eq!(table.get(s).unwrap().pos, 0);
+        assert_eq!(table.iter().count(), 3);
+
+        // Restoring a position for a vanished descriptor is ignored.
+        table.close(a).unwrap();
+        table.restore_positions(&saved);
+    }
+}

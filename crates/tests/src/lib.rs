@@ -1,0 +1,3 @@
+//! Integration-test support crate.  The tests themselves live in the
+//! workspace-level `tests/` directory (see `Cargo.toml`'s `[[test]]`
+//! entries); this library is intentionally empty.

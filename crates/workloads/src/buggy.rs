@@ -1,0 +1,538 @@
+//! Known-buggy application analogues (paper §5.4.1).
+//!
+//! The paper validates the detection tools on heap overflows and
+//! use-after-free bugs collected from prior tools, Bugbench, and Bugzilla:
+//! `bc-1.06`, `bzip2recover`, `gzip-1.2.4`, `libHX`, `polymorph`,
+//! memcached's SASL authentication overflow, and libtiff's `gif2tiff`
+//! overflow, plus implanted bugs in every evaluated application.  The
+//! originals are C programs; this module provides synthetic analogues that
+//! reproduce the *bug pattern* of each report -- the same kind of object,
+//! the same kind of out-of-bounds or dangling write, reached through a
+//! plausible slice of the application's logic -- written against the
+//! `ireplayer` public API so the detectors of `ireplayer-detect` can be
+//! exercised end to end.
+//!
+//! Every entry implements [`KnownBug`]: a [`Workload`] plus the expected
+//! bug class and the provenance of the original report.  The
+//! `detection_effectiveness` harness in `ireplayer-bench` runs each one
+//! under the detection tools and checks that the corruption is found and
+//! the faulting write is pinpointed by the diagnostic replay.
+
+use ireplayer::{Program, Step};
+
+use crate::spec::{Workload, WorkloadSpec};
+use crate::util::mix;
+
+/// The class of memory error a known-buggy program is expected to trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExpectedBug {
+    /// A write past the end of a live heap allocation.
+    HeapOverflow,
+    /// A write to a heap object after it has been freed.
+    UseAfterFree,
+}
+
+impl std::fmt::Display for ExpectedBug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpectedBug::HeapOverflow => f.write_str("heap overflow"),
+            ExpectedBug::UseAfterFree => f.write_str("use after free"),
+        }
+    }
+}
+
+/// A workload with a known memory error, used by the §5.4.1 detection
+/// effectiveness experiment.
+pub trait KnownBug: Workload {
+    /// The bug class the program triggers.
+    fn expected(&self) -> ExpectedBug;
+
+    /// Where the original report comes from (Bugbench, Bugzilla, CVE, ...).
+    fn origin(&self) -> &'static str;
+}
+
+/// Returns all known-buggy programs in the order used by the paper's §5.4.1
+/// discussion, followed by the two implanted use-after-free scenarios.
+pub fn all_known_bugs() -> Vec<Box<dyn KnownBug>> {
+    vec![
+        Box::new(BcStorage),
+        Box::new(Bzip2Recover),
+        Box::new(GzipPath),
+        Box::new(LibHxSplit),
+        Box::new(PolymorphName),
+        Box::new(MemcachedSasl),
+        Box::new(LibtiffGif),
+        Box::new(ProducerUaf),
+        Box::new(CacheEvictionUaf),
+    ]
+}
+
+/// Looks up a known-buggy program by name.
+pub fn known_bug_by_name(name: &str) -> Option<Box<dyn KnownBug>> {
+    all_known_bugs().into_iter().find(|bug| bug.name() == name)
+}
+
+// ---------------------------------------------------------------------------
+// bc-1.06 (Bugbench): more variables are stored than the storage array was
+// sized for, overflowing the array by one element.
+// ---------------------------------------------------------------------------
+
+/// Analogue of the `bc-1.06` storage-array overflow from Bugbench.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BcStorage;
+
+impl Workload for BcStorage {
+    fn name(&self) -> &'static str {
+        "bc"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let variables = 8 + spec.scaled(4);
+        Program::new("bc", move |ctx| {
+            // The interpreter sizes its variable store for `variables`
+            // entries but the parser later registers one more.
+            let store = ctx.alloc((variables * 8) as usize);
+            for index in 0..variables {
+                ctx.write_u64(store + index * 8, mix(index));
+            }
+            // Evaluate a few expressions so the store is actually used.
+            let mut acc = 0u64;
+            for index in 0..variables {
+                acc = acc.wrapping_add(ctx.read_u64(store + index * 8));
+            }
+            std::hint::black_box(acc);
+            // The off-by-one registration: element `variables` is one past
+            // the end of the array.
+            ctx.write_u64(store + variables * 8, mix(variables));
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for BcStorage {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::HeapOverflow
+    }
+
+    fn origin(&self) -> &'static str {
+        "bc-1.06 storage array overflow (Bugbench)"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bzip2recover (Red Hat Bugzilla #226979): the block-file name buffer is
+// too small for long input file names.
+// ---------------------------------------------------------------------------
+
+/// Analogue of the `bzip2recover` file-name overflow (Bugzilla #226979).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bzip2Recover;
+
+impl Workload for Bzip2Recover {
+    fn name(&self) -> &'static str {
+        "bzip2recover"
+    }
+
+    fn program(&self, _spec: &WorkloadSpec) -> Program {
+        Program::new("bzip2recover", move |ctx| {
+            // The recovered-block output name is built in a fixed buffer of
+            // 32 bytes; the attacker-controlled input name is longer.
+            let name_buffer = ctx.alloc(32);
+            let input_name = b"rec00001-a-very-long-archive-name.bz2";
+            // Copy the "prefix" that fits, byte by byte, as strcpy would.
+            for (offset, byte) in input_name.iter().enumerate() {
+                ctx.write_u8(name_buffer + offset as u64, *byte);
+            }
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for Bzip2Recover {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::HeapOverflow
+    }
+
+    fn origin(&self) -> &'static str {
+        "bzip2recover block-name overflow (Red Hat Bugzilla #226979)"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gzip-1.2.4 (Bugbench): strcpy of the input path into a fixed buffer.
+// ---------------------------------------------------------------------------
+
+/// Analogue of the `gzip-1.2.4` input-path overflow from Bugbench.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GzipPath;
+
+impl Workload for GzipPath {
+    fn name(&self) -> &'static str {
+        "gzip"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        Program::new("gzip", move |ctx| {
+            // Compress a small file first, so the overflow is preceded by
+            // normal application activity.
+            let data = ctx.alloc(spec.scaled(256) as usize);
+            ctx.fill(data, spec.scaled(256) as usize, 0xa5);
+            let mut checksum = 0u64;
+            for offset in (0..spec.scaled(256)).step_by(8) {
+                checksum ^= ctx.read_u64(data + offset);
+            }
+            std::hint::black_box(checksum);
+            ctx.free(data);
+
+            // `ifname` is 48 bytes; the supplied path is longer.
+            let ifname = ctx.alloc(48);
+            let path = b"/tmp/a/really/deep/path/that/keeps/on/going/archive.gz";
+            for (offset, byte) in path.iter().enumerate() {
+                ctx.write_u8(ifname + offset as u64, *byte);
+            }
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for GzipPath {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::HeapOverflow
+    }
+
+    fn origin(&self) -> &'static str {
+        "gzip-1.2.4 ifname overflow (Bugbench)"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// libHX: HX_split miscounts delimiters and allocates one slot too few for
+// the split results.
+// ---------------------------------------------------------------------------
+
+/// Analogue of the `libHX` `HX_split` slot-count overflow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LibHxSplit;
+
+impl Workload for LibHxSplit {
+    fn name(&self) -> &'static str {
+        "libHX"
+    }
+
+    fn program(&self, _spec: &WorkloadSpec) -> Program {
+        Program::new("libHX", move |ctx| {
+            let input = b"alpha:beta:gamma:delta";
+            // The buggy field counter stops at the last delimiter, so it
+            // reports one field fewer than the split produces.
+            let counted_fields = input.iter().filter(|b| **b == b':').count() as u64;
+            let slots = ctx.alloc((counted_fields * 8) as usize);
+            // The split itself produces counted_fields + 1 entries.
+            for field in 0..=counted_fields {
+                ctx.write_u64(slots + field * 8, mix(field));
+            }
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for LibHxSplit {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::HeapOverflow
+    }
+
+    fn origin(&self) -> &'static str {
+        "libHX HX_split slot-count overflow"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// polymorph: fixed-size destination for an attacker-controlled file name.
+// ---------------------------------------------------------------------------
+
+/// Analogue of the `polymorph` file-name overflow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolymorphName;
+
+impl Workload for PolymorphName {
+    fn name(&self) -> &'static str {
+        "polymorph"
+    }
+
+    fn program(&self, _spec: &WorkloadSpec) -> Program {
+        Program::new("polymorph", move |ctx| {
+            let destination = ctx.alloc(40);
+            let long_name = b"AN_EXTREMELY_LONG_UPPERCASE_FILE_NAME.TXT";
+            for (offset, byte) in long_name.iter().enumerate() {
+                ctx.write_u8(destination + offset as u64, byte.to_ascii_lowercase());
+            }
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for PolymorphName {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::HeapOverflow
+    }
+
+    fn origin(&self) -> &'static str {
+        "polymorph file-name overflow (Bugbench)"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// memcached SASL authentication overflow (TALOS-2016-0221): the SASL
+// continuation buffer is sized for the first message only.
+// ---------------------------------------------------------------------------
+
+/// Analogue of memcached's SASL authentication overflow (TALOS-2016-0221).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemcachedSasl;
+
+impl Workload for MemcachedSasl {
+    fn name(&self) -> &'static str {
+        "memcached-sasl"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        Program::new("memcached-sasl", move |ctx| {
+            // A worker thread services ordinary requests concurrently, as a
+            // real memcached would while an authentication exchange runs.
+            let table = ctx.alloc(64 * 16);
+            ctx.fill(table, 64 * 16, 0);
+            let lock = ctx.mutex();
+            let worker = ctx.spawn("worker", move |ctx| {
+                for round in 0..spec.scaled(8) {
+                    ctx.lock(lock);
+                    let slot = (mix(round) % 64) * 16;
+                    ctx.write_u64(table + slot, round);
+                    ctx.write_u64(table + slot + 8, mix(round));
+                    ctx.unlock(lock);
+                    ctx.work(64);
+                }
+                Step::Done
+            });
+
+            // The SASL exchange: the continuation buffer is sized for the
+            // first message, but the second (attacker-controlled) message is
+            // appended to it without a bounds check.
+            let first_message = 40u64;
+            let sasl_buffer = ctx.alloc(first_message as usize);
+            for offset in 0..first_message {
+                ctx.write_u8(sasl_buffer + offset, b'A');
+            }
+            let continuation = b"admin";
+            for (offset, byte) in continuation.iter().enumerate() {
+                ctx.write_u8(sasl_buffer + first_message + offset as u64, *byte);
+            }
+
+            ctx.join(worker);
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for MemcachedSasl {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::HeapOverflow
+    }
+
+    fn origin(&self) -> &'static str {
+        "memcached SASL authentication overflow (TALOS-2016-0221)"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// libtiff gif2tiff (Bugzilla #2451): readgifimage() trusts the GIF logical
+// screen size and overflows the scanline buffer.
+// ---------------------------------------------------------------------------
+
+/// Analogue of libtiff's `gif2tiff` `readgifimage()` overflow
+/// (MapTools Bugzilla #2451).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LibtiffGif;
+
+impl Workload for LibtiffGif {
+    fn name(&self) -> &'static str {
+        "libtiff-gif2tiff"
+    }
+
+    fn program(&self, _spec: &WorkloadSpec) -> Program {
+        Program::new("libtiff-gif2tiff", move |ctx| {
+            // The header claims a width of 64 pixels, so the scanline buffer
+            // is 64 bytes; the image data actually decodes 72 pixels per row.
+            let claimed_width = 64u64;
+            let actual_width = 72u64;
+            let scanline = ctx.alloc(claimed_width as usize);
+            for row in 0..4u64 {
+                for column in 0..actual_width {
+                    let pixel = (mix(row * 131 + column) & 0xff) as u8;
+                    ctx.write_u8(scanline + column, pixel);
+                }
+                // Consume the scanline as the converter would.
+                let mut sum = 0u64;
+                for column in 0..claimed_width {
+                    sum += u64::from(ctx.read_u8(scanline + column));
+                }
+                std::hint::black_box(sum);
+            }
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for LibtiffGif {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::HeapOverflow
+    }
+
+    fn origin(&self) -> &'static str {
+        "libtiff gif2tiff readgifimage overflow (MapTools Bugzilla #2451)"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implanted use-after-free scenarios, mirroring the paper's implanted bugs:
+// a producer/consumer hand-off where the producer retires a buffer the
+// consumer still updates, and a cache that writes statistics into an entry
+// it has already evicted.
+// ---------------------------------------------------------------------------
+
+/// Implanted use-after-free: a retired work buffer is updated after it has
+/// been freed by the producer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProducerUaf;
+
+impl Workload for ProducerUaf {
+    fn name(&self) -> &'static str {
+        "producer-uaf"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        Program::new("producer-uaf", move |ctx| {
+            let buffer = ctx.alloc(96);
+            ctx.fill(buffer, 96, 0);
+            let lock = ctx.mutex();
+            // Consumer fills the buffer under the lock.
+            let consumer = ctx.spawn("consumer", move |ctx| {
+                for round in 0..spec.scaled(4) {
+                    ctx.lock(lock);
+                    ctx.write_u64(buffer + (round % 12) * 8, mix(round));
+                    ctx.unlock(lock);
+                    ctx.work(32);
+                }
+                Step::Done
+            });
+            ctx.join(consumer);
+            // The producer retires the buffer ...
+            ctx.free(buffer);
+            // ... and then posts one final status word into it: the
+            // use-after-free write the quarantine poison catches.
+            ctx.write_u64(buffer + 8, 0xdead_beef);
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for ProducerUaf {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::UseAfterFree
+    }
+
+    fn origin(&self) -> &'static str {
+        "implanted: retired work buffer updated after free"
+    }
+}
+
+/// Implanted use-after-free: statistics are written into a cache entry that
+/// has already been evicted and freed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheEvictionUaf;
+
+impl Workload for CacheEvictionUaf {
+    fn name(&self) -> &'static str {
+        "cache-eviction-uaf"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        Program::new("cache-eviction-uaf", move |ctx| {
+            // A small cache of heap entries; eviction frees the entry but a
+            // stale pointer to the hottest entry survives in the statistics
+            // path.
+            let entries: Vec<_> = (0..4u64)
+                .map(|index| {
+                    let entry = ctx.alloc(64);
+                    ctx.write_u64(entry, index);
+                    entry
+                })
+                .collect();
+            let hot = entries[1];
+            let mut hits = 0u64;
+            for round in 0..spec.scaled(16) {
+                let entry = entries[(mix(round) % 4) as usize];
+                hits = hits.wrapping_add(ctx.read_u64(entry));
+            }
+            std::hint::black_box(hits);
+            // Eviction pass frees every entry.
+            for entry in &entries {
+                ctx.free(*entry);
+            }
+            // The statistics path still holds `hot` and bumps its hit
+            // counter: a dangling write into quarantined memory.
+            ctx.write_u64(hot + 16, hits);
+            Step::Done
+        })
+    }
+}
+
+impl KnownBug for CacheEvictionUaf {
+    fn expected(&self) -> ExpectedBug {
+        ExpectedBug::UseAfterFree
+    }
+
+    fn origin(&self) -> &'static str {
+        "implanted: statistics written into an evicted cache entry"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_suite_covers_both_bug_classes() {
+        let bugs = all_known_bugs();
+        assert!(bugs.len() >= 9);
+        assert!(bugs
+            .iter()
+            .any(|bug| bug.expected() == ExpectedBug::HeapOverflow));
+        assert!(bugs
+            .iter()
+            .any(|bug| bug.expected() == ExpectedBug::UseAfterFree));
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let bugs = all_known_bugs();
+        let mut names: Vec<_> = bugs.iter().map(|bug| bug.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), bugs.len(), "duplicate known-bug names");
+        for name in names {
+            let found = known_bug_by_name(name).expect("lookup by name");
+            assert_eq!(found.name(), name);
+            assert!(!found.origin().is_empty());
+        }
+        assert!(known_bug_by_name("no-such-bug").is_none());
+    }
+
+    #[test]
+    fn expected_bug_displays_human_readably() {
+        assert_eq!(ExpectedBug::HeapOverflow.to_string(), "heap overflow");
+        assert_eq!(ExpectedBug::UseAfterFree.to_string(), "use after free");
+    }
+}

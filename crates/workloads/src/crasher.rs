@@ -1,0 +1,133 @@
+//! The Crasher workload: a synthetic racy program (paper §5.2.1, Table 2).
+//!
+//! Crasher intentionally widens a race window with sleeps so that a crash
+//! (a null-pointer dereference) occurs in the majority of executions.  One
+//! thread repeatedly publishes a pointer, briefly nulls it, and restores it;
+//! the other thread reads the pointer and dereferences it.  If the reader
+//! observes the transient null, it dereferences the null address and
+//! faults.  iReplayer's job is to reproduce exactly this crash during the
+//! diagnostic replay, which Table 2 quantifies by the number of replay
+//! attempts needed.
+
+use std::time::Duration;
+
+use ireplayer::{MemAddr, Program, Step};
+
+use crate::spec::{implant_overflow, Workload, WorkloadSpec};
+
+/// The Crasher racy program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Crasher {
+    /// Microseconds the writer keeps the pointer null; larger values make
+    /// the crash more likely (the paper's Crasher observes the race in
+    /// roughly 83% of runs).
+    pub null_window_us: u64,
+    /// Number of publish/deref rounds per execution.
+    pub rounds: u64,
+}
+
+impl Crasher {
+    /// The configuration used by the Table 2 harness.
+    pub fn table2() -> Self {
+        Crasher {
+            null_window_us: 300,
+            rounds: 12,
+        }
+    }
+}
+
+impl Workload for Crasher {
+    fn name(&self) -> &'static str {
+        "crasher"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let window = if self.null_window_us == 0 {
+            200
+        } else {
+            self.null_window_us
+        };
+        let rounds = if self.rounds == 0 {
+            spec.scaled(4)
+        } else {
+            self.rounds
+        };
+        let spec = *spec;
+        Program::new("crasher", move |ctx| {
+            // Shared cell holding a pointer to a heap object; 0 models NULL.
+            let pointer_cell = ctx.global("shared_pointer", 8);
+            let flag = ctx.global("done_flag", 8);
+            let object = ctx.alloc(64);
+            ctx.write_u64(object, 0x5eed);
+            ctx.write_addr(pointer_cell, object);
+            ctx.write_u64(flag, 0);
+
+            // Writer: transiently nulls the shared pointer without holding
+            // any lock -- the data race.
+            let writer = ctx.spawn("writer", move |ctx| {
+                for _ in 0..rounds {
+                    ctx.write_addr(pointer_cell, MemAddr::NULL);
+                    ctx.sleep(Duration::from_micros(window));
+                    ctx.write_addr(pointer_cell, object);
+                    ctx.sleep(Duration::from_micros(window / 4));
+                }
+                ctx.write_u64(flag, 1);
+                Step::Done
+            });
+
+            // Reader: dereferences whatever the shared pointer holds.  When
+            // it observes the transient null, the dereference is the
+            // SIGSEGV analogue that ends the run.
+            let reader = ctx.spawn("reader", move |ctx| {
+                loop {
+                    if ctx.read_u64(flag) == 1 {
+                        return Step::Done;
+                    }
+                    let pointer = ctx.read_addr(pointer_cell);
+                    ctx.sleep(Duration::from_micros(window / 2));
+                    let value = ctx.read_u64(pointer);
+                    std::hint::black_box(value);
+                    return Step::Yield;
+                }
+            });
+
+            ctx.join(writer);
+            ctx.join(reader);
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer::{Config, Runtime};
+
+    #[test]
+    fn crasher_usually_crashes_and_is_diagnosed() {
+        let config = Config::builder()
+            .arena_size(8 << 20)
+            .heap_block_size(128 << 10)
+            .max_replay_attempts(8)
+            .quiescence_timeout_ms(10_000)
+            .build()
+            .unwrap();
+        let crasher = Crasher::table2();
+        let mut crashes = 0;
+        for _ in 0..3 {
+            let runtime = Runtime::new(config.clone()).unwrap();
+            let report = runtime
+                .run(crasher.program(&WorkloadSpec::tiny()))
+                .unwrap();
+            if !report.outcome.is_success() {
+                crashes += 1;
+                // The diagnostic replay ran.
+                assert!(!report.replay_validations.is_empty());
+            }
+        }
+        // With a 300 µs null window the crash is overwhelmingly likely; at
+        // least one of three runs must observe it.
+        assert!(crashes >= 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Benchmark workloads for the iReplayer evaluation (paper §5.1).
+//!
+//! The paper evaluates nine PARSEC 2.1 applications and six real
+//! applications (`aget`, Apache httpd, memcached, pbzip2, pfscan, SQLite),
+//! plus the synthetic racy program Crasher.  The originals cannot run on the
+//! managed substrate, so this crate provides synthetic analogues that
+//! reproduce each application's *profile* -- the mix of synchronization,
+//! allocation, file/network IO, and computation that drives recording
+//! overhead -- while exercising the `ireplayer` public API end to end.
+//!
+//! Every workload implements [`Workload`]: it can stage its inputs
+//! (files, network peers) on a [`Runtime`] and build a [`Program`]
+//! parameterized by a [`WorkloadSpec`].  [`all_workloads`] returns the
+//! fifteen applications in the order used by the paper's tables.
+
+pub mod buggy;
+pub mod crasher;
+pub mod parsec;
+pub mod real;
+pub mod spec;
+pub mod util;
+
+pub use buggy::{all_known_bugs, known_bug_by_name, ExpectedBug, KnownBug};
+pub use crasher::Crasher;
+pub use spec::{Workload, WorkloadSize, WorkloadSpec};
+
+use ireplayer::{Program, Runtime};
+
+/// Returns the fifteen applications of Tables 1 and 3, in table order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(parsec::Blackscholes),
+        Box::new(parsec::Bodytrack),
+        Box::new(parsec::Canneal),
+        Box::new(parsec::Dedup),
+        Box::new(parsec::Ferret),
+        Box::new(parsec::Fluidanimate),
+        Box::new(parsec::Streamcluster),
+        Box::new(parsec::Swaptions),
+        Box::new(parsec::X264),
+        Box::new(real::Aget),
+        Box::new(real::Apache),
+        Box::new(real::Memcached),
+        Box::new(real::Pbzip2),
+        Box::new(real::Pfscan),
+        Box::new(real::Sqlite),
+    ]
+}
+
+/// Looks a workload up by its table name (e.g. `"fluidanimate"`).
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+/// Convenience: stages and builds a workload's program on a runtime.
+pub fn prepare(workload: &dyn Workload, runtime: &Runtime, spec: &WorkloadSpec) -> Program {
+    workload.stage(runtime, spec);
+    workload.program(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_the_paper_tables() {
+        let names: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "blackscholes",
+                "bodytrack",
+                "canneal",
+                "dedup",
+                "ferret",
+                "fluidanimate",
+                "streamcluster",
+                "swaptions",
+                "x264",
+                "aget",
+                "apache",
+                "memcached",
+                "pbzip2",
+                "pfscan",
+                "sqlite",
+            ]
+        );
+        assert!(workload_by_name("fluidanimate").is_some());
+        assert!(workload_by_name("doom").is_none());
+    }
+}

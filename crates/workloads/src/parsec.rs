@@ -1,0 +1,713 @@
+//! Synthetic analogues of the nine PARSEC 2.1 applications used in the
+//! paper's evaluation (§5.1).
+//!
+//! Each workload reproduces the synchronization/allocation/computation
+//! profile that drives its recording overhead in Table 3:
+//!
+//! | workload | profile |
+//! |---|---|
+//! | `blackscholes` | data-parallel compute, one barrier per round |
+//! | `bodytrack` | task queue with condition variables |
+//! | `canneal` | random element swaps under per-element locks |
+//! | `dedup` | pipeline with queues, hash table, many allocations |
+//! | `ferret` | four-stage pipeline |
+//! | `fluidanimate` | very high lock-acquisition rate on a grid of cells |
+//! | `streamcluster` | barrier-heavy iterations with temporary allocations |
+//! | `swaptions` | independent Monte-Carlo compute, almost no sharing |
+//! | `x264` | sliding-window frame dependencies via condition variables |
+
+use ireplayer::{Program, Step};
+
+use crate::spec::{implant_overflow, Workload, WorkloadSpec};
+use crate::util::{mix, BoundedQueue, StripedTable};
+
+/// Shared skeleton: spawn `threads` workers running `worker` (one call per
+/// step, `rounds` steps each), join them, then implant the optional
+/// overflow.
+fn fork_join_program(
+    name: &'static str,
+    spec: &WorkloadSpec,
+    rounds: u64,
+    worker: impl Fn(&mut ireplayer::ThreadCtx<'_>, u64, u64) + Send + Sync + Clone + 'static,
+) -> Program {
+    let spec = *spec;
+    let threads = u64::from(spec.threads);
+    Program::new(name, move |ctx| {
+        let worker = worker.clone();
+        // Per-worker round counters live in managed memory so that a
+        // rollback restores them (closure state does not survive replay).
+        let round_slots = ctx.global(&format!("{name}_rounds"), threads * 8);
+        let mut handles = Vec::new();
+        for worker_index in 0..threads {
+            let worker = worker.clone();
+            let round_slot = round_slots + worker_index * 8;
+            handles.push(ctx.spawn(format!("{name}-{worker_index}"), move |ctx| {
+                let round = ctx.read_u64(round_slot);
+                worker(ctx, worker_index, round);
+                ctx.write_u64(round_slot, round + 1);
+                if round + 1 >= rounds {
+                    Step::Done
+                } else {
+                    Step::Yield
+                }
+            }));
+        }
+        for handle in handles {
+            ctx.join(handle);
+        }
+        implant_overflow(ctx, &spec);
+        Step::Done
+    })
+}
+
+// ---------------------------------------------------------------------------
+// blackscholes: embarrassingly parallel option pricing, barrier per round.
+// ---------------------------------------------------------------------------
+
+/// The `blackscholes` analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Blackscholes;
+
+impl Workload for Blackscholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let threads = u64::from(spec.threads);
+        let rounds = spec.scaled(6);
+        let options_per_thread = 64u64;
+        Program::new("blackscholes", move |ctx| {
+            let barrier = ctx.barrier(spec.threads);
+            let results = ctx.global("bs_results", threads * 8);
+            // Per-worker round counters in managed memory (rollback-safe).
+            let round_slots = ctx.global("bs_rounds", threads * 8);
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let round_slot = round_slots + worker * 8;
+                handles.push(ctx.spawn("pricer", move |ctx| {
+                    // Price a slice of options: pure compute over a private
+                    // buffer, then one barrier.
+                    let round = ctx.read_u64(round_slot);
+                    let prices = ctx.alloc((options_per_thread * 8) as usize);
+                    let mut acc = 0u64;
+                    for option in 0..options_per_thread {
+                        let spot = mix(worker * 1000 + option + round) % 1000 + 1;
+                        let price = ctx.work(40) % spot + spot / 2;
+                        ctx.write_u64(prices + option * 8, price);
+                        acc = acc.wrapping_add(price);
+                    }
+                    let slot = results + worker * 8;
+                    let prev = ctx.read_u64(slot);
+                    ctx.write_u64(slot, prev.wrapping_add(acc));
+                    ctx.free(prices);
+                    ctx.barrier_wait(barrier);
+                    ctx.write_u64(round_slot, round + 1);
+                    if round + 1 >= rounds {
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bodytrack: task queue guarded by a mutex + condition variables.
+// ---------------------------------------------------------------------------
+
+/// The `bodytrack` analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bodytrack;
+
+impl Workload for Bodytrack {
+    fn name(&self) -> &'static str {
+        "bodytrack"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let threads = u64::from(spec.threads);
+        let frames = spec.scaled(40);
+        Program::new("bodytrack", move |ctx| {
+            let queue = BoundedQueue::new(ctx, 16);
+            let processed = ctx.global("bt_processed", 8);
+            let lock = ctx.mutex();
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                handles.push(ctx.spawn("tracker", move |ctx| {
+                    // One frame per step, popped from the shared queue.
+                    match queue.pop(ctx, u64::MAX) {
+                        None => Step::Done,
+                        Some(frame) => {
+                            let particles = ctx.alloc(512);
+                            let score = ctx.work(300) ^ mix(frame);
+                            ctx.write_u64(particles, score);
+                            ctx.free(particles);
+                            ctx.lock(lock);
+                            let done = ctx.read_u64(processed);
+                            ctx.write_u64(processed, done + 1);
+                            ctx.unlock(lock);
+                            Step::Yield
+                        }
+                    }
+                }));
+            }
+            for frame in 0..frames {
+                queue.push(ctx, frame);
+            }
+            queue.push(ctx, u64::MAX);
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let done = ctx.read_u64(processed);
+            ctx.assert_that(done == frames, "every frame was tracked");
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// canneal: random swaps of elements under per-element locks (the paper
+// replaces its atomics with mutexes, §5.2).
+// ---------------------------------------------------------------------------
+
+/// The `canneal` analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Canneal;
+
+impl Workload for Canneal {
+    fn name(&self) -> &'static str {
+        "canneal"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let elements = 64u64;
+        let swaps = spec.scaled(150);
+        let spec = *spec;
+        Program::new("canneal", move |ctx| {
+            let netlist = ctx.global("canneal_netlist", elements * 8);
+            for element in 0..elements {
+                ctx.write_u64(netlist + element * 8, mix(element));
+            }
+            // One lock per element, as in the mutex-converted canneal.
+            let locks: Vec<_> = (0..elements).map(|_| ctx.mutex()).collect();
+            let spec_inner = spec;
+            let threads = u64::from(spec_inner.threads);
+            // Per-worker swap counters in managed memory (rollback-safe).
+            let done_slots = ctx.global("canneal_done", threads * 8);
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let locks = locks.clone();
+                let done_slot = done_slots + worker * 8;
+                handles.push(ctx.spawn("annealer", move |ctx| {
+                    // One batch of swaps per step.
+                    for _ in 0..8 {
+                        let a = ctx.rand_below(elements);
+                        let b = ctx.rand_below(elements);
+                        if a == b {
+                            continue;
+                        }
+                        let (first, second) = if a < b { (a, b) } else { (b, a) };
+                        ctx.lock(locks[first as usize]);
+                        ctx.lock(locks[second as usize]);
+                        let va = ctx.read_u64(netlist + a * 8);
+                        let vb = ctx.read_u64(netlist + b * 8);
+                        let cost = ctx.work(25) ^ worker;
+                        ctx.write_u64(netlist + a * 8, vb ^ (cost & 1));
+                        ctx.write_u64(netlist + b * 8, va ^ (cost & 1));
+                        ctx.unlock(locks[second as usize]);
+                        ctx.unlock(locks[first as usize]);
+                    }
+                    let done = ctx.read_u64(done_slot) + 8;
+                    ctx.write_u64(done_slot, done);
+                    if done >= swaps {
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dedup: read file -> chunk -> hash/dedup via shared table -> write output.
+// ---------------------------------------------------------------------------
+
+/// The `dedup` analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dedup;
+
+impl Workload for Dedup {
+    fn name(&self) -> &'static str {
+        "dedup"
+    }
+
+    fn stage(&self, runtime: &ireplayer::Runtime, spec: &WorkloadSpec) {
+        let len = (spec.scaled(20) * 1024) as usize;
+        let data: Vec<u8> = (0..len).map(|i| (mix(i as u64 / 256) & 0xff) as u8).collect();
+        runtime.os().create_file("dedup-input.bin", data);
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let chunk = 1024u64;
+        Program::new("dedup", move |ctx| {
+            let queue = BoundedQueue::new(ctx, 32);
+            let table = StripedTable::new(ctx, 512, 8);
+            let unique = ctx.global("dedup_unique", 8);
+            let input = ctx.open("dedup-input.bin").expect("staged input");
+            let output = ctx.open_create("dedup-output.bin").expect("output file");
+            let out_lock = ctx.mutex();
+
+            let workers = u64::from(spec.threads);
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                let table = table.clone();
+                handles.push(ctx.spawn("chunker", move |ctx| {
+                    match queue.pop(ctx, u64::MAX) {
+                        None => Step::Done,
+                        Some(fingerprint) => {
+                            // Compress (model) and deduplicate the chunk.
+                            let scratch = ctx.alloc(chunk as usize);
+                            ctx.write_u64(scratch, fingerprint);
+                            let digest = mix(fingerprint) ^ ctx.work(150);
+                            ctx.free(scratch);
+                            let fresh = table.get(ctx, fingerprint | 1).is_none();
+                            if fresh {
+                                table.put(ctx, fingerprint | 1, digest);
+                                ctx.lock(out_lock);
+                                let count = ctx.read_u64(unique);
+                                ctx.write_u64(unique, count + 1);
+                                ctx.write(output, &digest.to_le_bytes());
+                                ctx.unlock(out_lock);
+                            }
+                            Step::Yield
+                        }
+                    }
+                }));
+            }
+
+            // Reader: push fingerprints of the file's chunks.
+            loop {
+                let bytes = ctx.read(input, chunk as usize);
+                if bytes.is_empty() {
+                    break;
+                }
+                let fingerprint = bytes
+                    .iter()
+                    .fold(0u64, |acc, b| mix(acc ^ u64::from(*b)));
+                queue.push(ctx, fingerprint);
+            }
+            queue.push(ctx, u64::MAX);
+            for handle in handles {
+                ctx.join(handle);
+            }
+            ctx.close(input);
+            ctx.close(output);
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ferret: four-stage similarity-search pipeline.
+// ---------------------------------------------------------------------------
+
+/// The `ferret` analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ferret;
+
+impl Workload for Ferret {
+    fn name(&self) -> &'static str {
+        "ferret"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let queries = spec.scaled(30);
+        Program::new("ferret", move |ctx| {
+            let segment = BoundedQueue::new(ctx, 8);
+            let extract = BoundedQueue::new(ctx, 8);
+            let rank = BoundedQueue::new(ctx, 8);
+            let results = ctx.global("ferret_results", 8);
+            let lock = ctx.mutex();
+
+            let seg_worker = ctx.spawn("segment", move |ctx| match segment.pop(ctx, u64::MAX) {
+                None => {
+                    extract.push(ctx, u64::MAX);
+                    Step::Done
+                }
+                Some(image) => {
+                    let features = mix(image) ^ ctx.work(120);
+                    extract.push(ctx, features);
+                    Step::Yield
+                }
+            });
+            let ext_worker = ctx.spawn("extract", move |ctx| match extract.pop(ctx, u64::MAX) {
+                None => {
+                    rank.push(ctx, u64::MAX);
+                    Step::Done
+                }
+                Some(features) => {
+                    let buffer = ctx.alloc(256);
+                    ctx.write_u64(buffer, features);
+                    let vector = mix(features) ^ ctx.work(180);
+                    ctx.free(buffer);
+                    rank.push(ctx, vector);
+                    Step::Yield
+                }
+            });
+            let rank_worker = ctx.spawn("rank", move |ctx| match rank.pop(ctx, u64::MAX) {
+                None => Step::Done,
+                Some(vector) => {
+                    let score = ctx.work(220) ^ vector;
+                    ctx.lock(lock);
+                    let total = ctx.read_u64(results);
+                    ctx.write_u64(results, total.wrapping_add(score | 1));
+                    ctx.unlock(lock);
+                    Step::Yield
+                }
+            });
+
+            for query in 0..queries {
+                segment.push(ctx, mix(query) | 1);
+            }
+            segment.push(ctx, u64::MAX);
+            ctx.join(seg_worker);
+            ctx.join(ext_worker);
+            ctx.join(rank_worker);
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fluidanimate: extremely lock-heavy grid updates.
+// ---------------------------------------------------------------------------
+
+/// The `fluidanimate` analogue: the lock-acquisition-rate stress test (the
+/// paper measures over 54 million acquisitions per second here, making it
+/// iReplayer's worst case).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fluidanimate;
+
+impl Workload for Fluidanimate {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let cells = 32u64;
+        let rounds = spec.scaled(12);
+        let particles_per_round = 160u64;
+        Program::new("fluidanimate", move |ctx| {
+            let grid = ctx.global("fluid_grid", cells * 8);
+            let cell_locks: Vec<_> = (0..cells).map(|_| ctx.mutex()).collect();
+            let barrier = ctx.barrier(spec.threads);
+            let threads = u64::from(spec.threads);
+            // Per-worker round counters in managed memory (rollback-safe).
+            let round_slots = ctx.global("fluid_rounds", threads * 8);
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let cell_locks = cell_locks.clone();
+                let round_slot = round_slots + worker * 8;
+                handles.push(ctx.spawn("solver", move |ctx| {
+                    // Each particle update acquires the lock of its cell and
+                    // of a neighbour: two acquisitions per tiny unit of
+                    // work, the worst case for recording overhead.
+                    let round = ctx.read_u64(round_slot);
+                    for particle in 0..particles_per_round {
+                        let cell = (mix(worker * 7919 + particle + round) % cells) as usize;
+                        let neighbour = (cell + 1) % cells as usize;
+                        let (first, second) = if cell < neighbour {
+                            (cell, neighbour)
+                        } else {
+                            (neighbour, cell)
+                        };
+                        ctx.lock(cell_locks[first]);
+                        ctx.lock(cell_locks[second]);
+                        let density = ctx.read_u64(grid + first as u64 * 8);
+                        ctx.write_u64(grid + first as u64 * 8, density.wrapping_add(1));
+                        let momentum = ctx.read_u64(grid + second as u64 * 8);
+                        ctx.write_u64(grid + second as u64 * 8, momentum.wrapping_add(2));
+                        ctx.unlock(cell_locks[second]);
+                        ctx.unlock(cell_locks[first]);
+                    }
+                    ctx.barrier_wait(barrier);
+                    ctx.write_u64(round_slot, round + 1);
+                    if round + 1 >= rounds {
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// streamcluster: barrier-heavy clustering with temporary allocations.
+// ---------------------------------------------------------------------------
+
+/// The `streamcluster` analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Streamcluster;
+
+impl Workload for Streamcluster {
+    fn name(&self) -> &'static str {
+        "streamcluster"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let rounds = spec.scaled(10);
+        let points = 96u64;
+        Program::new("streamcluster", move |ctx| {
+            let centers = ctx.global("sc_centers", 16 * 8);
+            let barrier = ctx.barrier(spec.threads);
+            let cost_lock = ctx.mutex();
+            let total_cost = ctx.global("sc_cost", 8);
+            let threads = u64::from(spec.threads);
+            // Per-worker round counters in managed memory (rollback-safe).
+            let round_slots = ctx.global("sc_rounds", threads * 8);
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let round_slot = round_slots + worker * 8;
+                handles.push(ctx.spawn("cluster", move |ctx| {
+                    // Allocate a scratch distance table every round (the
+                    // real program stresses the allocator the same way).
+                    let round = ctx.read_u64(round_slot);
+                    let scratch = ctx.alloc((points * 8) as usize);
+                    let mut local_cost = 0u64;
+                    for point in 0..points {
+                        let coordinate = mix(worker * 31 + point * 17 + round);
+                        let center = ctx.read_u64(centers + (point % 16) * 8);
+                        let distance = (coordinate ^ center) % 1000 + ctx.work(20) % 7;
+                        ctx.write_u64(scratch + point * 8, distance);
+                        local_cost = local_cost.wrapping_add(distance);
+                    }
+                    ctx.free(scratch);
+                    ctx.lock(cost_lock);
+                    let cost = ctx.read_u64(total_cost);
+                    ctx.write_u64(total_cost, cost.wrapping_add(local_cost));
+                    ctx.unlock(cost_lock);
+                    // Two barriers per round, like the original's phases.
+                    ctx.barrier_wait(barrier);
+                    let serial = ctx.barrier_wait(barrier);
+                    if serial {
+                        ctx.write_u64(centers + (round % 16) * 8, mix(round));
+                    }
+                    ctx.write_u64(round_slot, round + 1);
+                    if round + 1 >= rounds {
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// swaptions: independent Monte-Carlo pricing, nearly no synchronization.
+// ---------------------------------------------------------------------------
+
+/// The `swaptions` analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Swaptions;
+
+impl Workload for Swaptions {
+    fn name(&self) -> &'static str {
+        "swaptions"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let rounds = spec.scaled(8);
+        fork_join_program("swaptions", spec, rounds, |ctx, worker, round| {
+            let paths = ctx.alloc(1024);
+            let mut price = 0u64;
+            for path in 0..24u64 {
+                let sample = ctx.rand_u64() ^ mix(worker * 97 + round * 31 + path);
+                price = price.wrapping_add(ctx.work(60) ^ sample);
+                ctx.write_u64(paths + (path % 128) * 8, price);
+            }
+            ctx.free(paths);
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x264: sliding-window frame encoding with condvar-signalled dependencies.
+// ---------------------------------------------------------------------------
+
+/// The `x264` analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct X264;
+
+impl Workload for X264 {
+    fn name(&self) -> &'static str {
+        "x264"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let frames = spec.scaled(24);
+        Program::new("x264", move |ctx| {
+            // `encoded` counts fully encoded frames; a frame may start only
+            // when its reference frame (the previous one) is done.
+            let encoded = ctx.global("x264_encoded", 8);
+            let lock = ctx.mutex();
+            let frame_done = ctx.condvar();
+            let next_frame = ctx.global("x264_next", 8);
+            let threads = u64::from(spec.threads);
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                handles.push(ctx.spawn("encoder", move |ctx| {
+                    // Claim the next frame.
+                    ctx.lock(lock);
+                    let frame = ctx.read_u64(next_frame);
+                    if frame >= frames {
+                        ctx.unlock(lock);
+                        return Step::Done;
+                    }
+                    ctx.write_u64(next_frame, frame + 1);
+                    // Wait until the reference frame is encoded.
+                    while ctx.read_u64(encoded) < frame {
+                        ctx.wait(frame_done, lock);
+                    }
+                    ctx.unlock(lock);
+
+                    // Encode: motion estimation over a scratch buffer.
+                    let macroblocks = ctx.alloc(2048);
+                    let mut residual = 0u64;
+                    for block in 0..48u64 {
+                        residual = residual.wrapping_add(ctx.work(40) ^ mix(frame * 64 + block));
+                        ctx.write_u64(macroblocks + (block % 256) * 8, residual);
+                    }
+                    ctx.free(macroblocks);
+
+                    // Publish completion in frame order.
+                    ctx.lock(lock);
+                    while ctx.read_u64(encoded) != frame {
+                        ctx.wait(frame_done, lock);
+                    }
+                    ctx.write_u64(encoded, frame + 1);
+                    ctx.broadcast(frame_done);
+                    ctx.unlock(lock);
+                    Step::Yield
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let total = ctx.read_u64(encoded);
+            ctx.assert_that(total == frames, "all frames encoded");
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use ireplayer::{Config, Runtime};
+
+    fn run_tiny(workload: &dyn Workload) {
+        let config = Config::builder()
+            .arena_size(16 << 20)
+            .heap_block_size(256 << 10)
+            .quiescence_timeout_ms(20_000)
+            .build()
+            .unwrap();
+        let runtime = Runtime::new(config).unwrap();
+        let spec = WorkloadSpec::tiny();
+        workload.stage(&runtime, &spec);
+        let report = runtime.run(workload.program(&spec)).unwrap();
+        assert!(
+            report.outcome.is_success(),
+            "{} faulted: {:?}",
+            workload.name(),
+            report.faults
+        );
+        assert!(report.sync_events > 0, "{} recorded no events", workload.name());
+    }
+
+    #[test]
+    fn blackscholes_runs() {
+        run_tiny(&Blackscholes);
+    }
+
+    #[test]
+    fn bodytrack_runs() {
+        run_tiny(&Bodytrack);
+    }
+
+    #[test]
+    fn canneal_runs() {
+        run_tiny(&Canneal);
+    }
+
+    #[test]
+    fn dedup_runs() {
+        run_tiny(&Dedup);
+    }
+
+    #[test]
+    fn ferret_runs() {
+        run_tiny(&Ferret);
+    }
+
+    #[test]
+    fn fluidanimate_runs() {
+        run_tiny(&Fluidanimate);
+    }
+
+    #[test]
+    fn streamcluster_runs() {
+        run_tiny(&Streamcluster);
+    }
+
+    #[test]
+    fn swaptions_runs() {
+        run_tiny(&Swaptions);
+    }
+
+    #[test]
+    fn x264_runs() {
+        run_tiny(&X264);
+    }
+}

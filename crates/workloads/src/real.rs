@@ -1,0 +1,518 @@
+//! Synthetic analogues of the six real applications of the paper's
+//! evaluation (§5.1): `aget`, Apache httpd, memcached, pbzip2, pfscan, and
+//! SQLite.
+
+use ireplayer::{PeerScript, Program, Runtime, Step};
+
+use crate::spec::{implant_overflow, Workload, WorkloadSpec};
+use crate::util::{mix, BoundedQueue, StripedTable};
+
+// ---------------------------------------------------------------------------
+// aget: multi-connection download to a file (IO-bound).
+// ---------------------------------------------------------------------------
+
+/// The `aget` analogue: each worker downloads its share of a remote file
+/// over its own connection and writes it to a per-segment output file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aget;
+
+impl Workload for Aget {
+    fn name(&self) -> &'static str {
+        "aget"
+    }
+
+    fn stage(&self, runtime: &Runtime, spec: &WorkloadSpec) {
+        let total = spec.scaled(64) as usize * 1024;
+        runtime.os().register_peer(
+            "mirror:80",
+            PeerScript::Download {
+                seed: 0xa6e7,
+                total_bytes: total,
+            },
+        );
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        Program::new("aget", move |ctx| {
+            let downloaded = ctx.global("aget_bytes", 8);
+            let lock = ctx.mutex();
+            let threads = u64::from(spec.threads);
+            let mut handles = Vec::new();
+            for segment in 0..threads {
+                handles.push(ctx.spawn("downloader", move |ctx| {
+                    let socket = ctx
+                        .connect("mirror:80")
+                        .expect("download peer is registered");
+                    let output = ctx
+                        .open_create(&format!("aget-part-{segment}.bin"))
+                        .expect("create segment file");
+                    let mut received = 0u64;
+                    loop {
+                        let chunk = ctx.recv(socket, 8 * 1024);
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        received += chunk.len() as u64;
+                        ctx.write(output, &chunk);
+                        // Each connection only fetches its share.
+                        if received >= 16 * 1024 * (segment + 1) {
+                            break;
+                        }
+                    }
+                    ctx.close(output);
+                    ctx.close(socket);
+                    ctx.lock(lock);
+                    let total = ctx.read_u64(downloaded);
+                    ctx.write_u64(downloaded, total + received);
+                    ctx.unlock(lock);
+                    Step::Done
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let total = ctx.read_u64(downloaded);
+            ctx.assert_that(total > 0, "something was downloaded");
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// apache: a worker-pool HTTP-ish server driven by scripted clients.
+// ---------------------------------------------------------------------------
+
+/// The Apache httpd analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Apache;
+
+impl Apache {
+    fn requests(spec: &WorkloadSpec) -> usize {
+        spec.scaled(50) as usize
+    }
+}
+
+impl Workload for Apache {
+    fn name(&self) -> &'static str {
+        "apache"
+    }
+
+    fn stage(&self, runtime: &Runtime, spec: &WorkloadSpec) {
+        runtime.os().register_peer(
+            "httpd:80",
+            PeerScript::Client {
+                seed: 0x4711,
+                requests: 1,
+                request_len: 128,
+            },
+        );
+        runtime.os().enqueue_clients("httpd:80", Self::requests(spec));
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let requests = Self::requests(&spec) as u64;
+        Program::new("apache", move |ctx| {
+            let served = ctx.global("apache_served", 8);
+            let accept_lock = ctx.mutex();
+            let threads = u64::from(spec.threads);
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                handles.push(ctx.spawn("httpd-worker", move |ctx| {
+                    // Accept one connection per step (accepting is serialized
+                    // as in Apache's accept mutex).
+                    ctx.lock(accept_lock);
+                    let connection = ctx.accept("httpd:80");
+                    ctx.unlock(accept_lock);
+                    let Some(connection) = connection else {
+                        return Step::Done;
+                    };
+                    let request = ctx.recv(connection, 256);
+                    let digest = request.iter().fold(0u64, |acc, b| mix(acc ^ u64::from(*b)));
+                    let body = ctx.alloc(512);
+                    ctx.write_u64(body, digest);
+                    let response = format!("HTTP/1.1 200 OK\r\ncontent: {digest:016x}\r\n\r\n");
+                    ctx.send(connection, response.as_bytes());
+                    ctx.free(body);
+                    ctx.close(connection);
+                    ctx.lock(accept_lock);
+                    let count = ctx.read_u64(served);
+                    ctx.write_u64(served, count + 1);
+                    ctx.unlock(accept_lock);
+                    Step::Yield
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let count = ctx.read_u64(served);
+            ctx.assert_that(count == requests, "every request was served");
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// memcached: a key-value server with a striped hash table.
+// ---------------------------------------------------------------------------
+
+/// The memcached analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Memcached;
+
+impl Memcached {
+    fn connections(spec: &WorkloadSpec) -> usize {
+        (spec.threads as usize) * 2
+    }
+}
+
+impl Workload for Memcached {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn stage(&self, runtime: &Runtime, spec: &WorkloadSpec) {
+        runtime.os().register_peer(
+            "memcache:11211",
+            PeerScript::Client {
+                seed: 0x11211,
+                requests: spec.scaled(30) as usize,
+                request_len: 40,
+            },
+        );
+        runtime
+            .os()
+            .enqueue_clients("memcache:11211", Self::connections(spec));
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        Program::new("memcached", move |ctx| {
+            let table = StripedTable::new(ctx, 1024, 16);
+            let operations = ctx.global("memcached_ops", 8);
+            let stats_lock = ctx.mutex();
+            let accept_lock = ctx.mutex();
+            let threads = u64::from(spec.threads);
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let table = table.clone();
+                handles.push(ctx.spawn("mc-worker", move |ctx| {
+                    ctx.lock(accept_lock);
+                    let connection = ctx.accept("memcache:11211");
+                    ctx.unlock(accept_lock);
+                    let Some(connection) = connection else {
+                        return Step::Done;
+                    };
+                    // Serve the whole connection.
+                    let mut local_ops = 0u64;
+                    loop {
+                        let request = ctx.recv(connection, 64);
+                        if request.is_empty() {
+                            break;
+                        }
+                        let key = request.iter().fold(0u64, |acc, b| mix(acc ^ u64::from(*b))) | 1;
+                        if key % 3 == 0 {
+                            let value = table.get(ctx, key).unwrap_or(0);
+                            ctx.send(connection, &value.to_le_bytes());
+                        } else {
+                            let item = ctx.alloc(128);
+                            ctx.write_u64(item, key);
+                            table.put(ctx, key, item.offset());
+                            ctx.send(connection, b"STORED\r\n");
+                        }
+                        local_ops += 1;
+                    }
+                    ctx.close(connection);
+                    ctx.lock(stats_lock);
+                    let count = ctx.read_u64(operations);
+                    ctx.write_u64(operations, count + local_ops);
+                    ctx.unlock(stats_lock);
+                    Step::Yield
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let count = ctx.read_u64(operations);
+            ctx.assert_that(count > 0, "the cache served requests");
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pbzip2: parallel block compression of a file.
+// ---------------------------------------------------------------------------
+
+/// The pbzip2 analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pbzip2;
+
+impl Workload for Pbzip2 {
+    fn name(&self) -> &'static str {
+        "pbzip2"
+    }
+
+    fn stage(&self, runtime: &Runtime, spec: &WorkloadSpec) {
+        let len = (spec.scaled(48) * 1024) as usize;
+        let data: Vec<u8> = (0..len).map(|i| (mix(i as u64 / 64) & 0xff) as u8).collect();
+        runtime.os().create_file("pbzip2-input.bin", data);
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let block = 4 * 1024usize;
+        Program::new("pbzip2", move |ctx| {
+            let work = BoundedQueue::new(ctx, 16);
+            let compressed = ctx.global("pbzip2_blocks", 8);
+            let out_lock = ctx.mutex();
+            let input = ctx.open("pbzip2-input.bin").expect("staged input");
+            let output = ctx.open_create("pbzip2-output.bz2").expect("output");
+            let threads = u64::from(spec.threads);
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                handles.push(ctx.spawn("bzip-worker", move |ctx| {
+                    match work.pop(ctx, u64::MAX) {
+                        None => Step::Done,
+                        Some(seed) => {
+                            // "Compress" the block: CPU work plus a scratch
+                            // dictionary allocation, like libbz2's state.
+                            let dictionary = ctx.alloc(block);
+                            let mut digest = seed;
+                            for round in 0..16u64 {
+                                digest = mix(digest ^ round) ^ ctx.work(80);
+                                ctx.write_u64(dictionary + (round % 64) * 8, digest);
+                            }
+                            ctx.free(dictionary);
+                            ctx.lock(out_lock);
+                            ctx.write(output, &digest.to_le_bytes());
+                            let blocks = ctx.read_u64(compressed);
+                            ctx.write_u64(compressed, blocks + 1);
+                            ctx.unlock(out_lock);
+                            Step::Yield
+                        }
+                    }
+                }));
+            }
+            let mut blocks_read = 0u64;
+            loop {
+                let bytes = ctx.read(input, block);
+                if bytes.is_empty() {
+                    break;
+                }
+                let seed = bytes.iter().fold(0u64, |acc, b| mix(acc ^ u64::from(*b)));
+                work.push(ctx, seed | 1);
+                blocks_read += 1;
+            }
+            work.push(ctx, u64::MAX);
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let blocks = ctx.read_u64(compressed);
+            ctx.assert_that(blocks == blocks_read, "every block was compressed");
+            ctx.close(input);
+            ctx.close(output);
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pfscan: parallel scan of a file for a pattern.
+// ---------------------------------------------------------------------------
+
+/// The pfscan analogue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pfscan;
+
+impl Workload for Pfscan {
+    fn name(&self) -> &'static str {
+        "pfscan"
+    }
+
+    fn stage(&self, runtime: &Runtime, spec: &WorkloadSpec) {
+        let len = (spec.scaled(96) * 1024) as usize;
+        let data: Vec<u8> = (0..len)
+            .map(|i| if i % 509 == 0 { b'@' } else { (mix(i as u64) & 0x7f) as u8 })
+            .collect();
+        runtime.os().create_file("pfscan-input.log", data);
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let chunk = 8 * 1024usize;
+        Program::new("pfscan", move |ctx| {
+            let work = BoundedQueue::new(ctx, 16);
+            let matches = ctx.global("pfscan_matches", 8);
+            let lock = ctx.mutex();
+            let input = ctx.open("pfscan-input.log").expect("staged input");
+            let threads = u64::from(spec.threads);
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                handles.push(ctx.spawn("scanner", move |ctx| {
+                    match work.pop(ctx, u64::MAX) {
+                        None => Step::Done,
+                        Some(found_in_chunk) => {
+                            // The main thread already read the chunk; the
+                            // worker models the scan cost and merges counts.
+                            let cost = ctx.work(200);
+                            std::hint::black_box(cost);
+                            ctx.lock(lock);
+                            let count = ctx.read_u64(matches);
+                            ctx.write_u64(matches, count + found_in_chunk);
+                            ctx.unlock(lock);
+                            Step::Yield
+                        }
+                    }
+                }));
+            }
+            let mut expected = 0u64;
+            loop {
+                let bytes = ctx.read(input, chunk);
+                if bytes.is_empty() {
+                    break;
+                }
+                let found = bytes.iter().filter(|b| **b == b'@').count() as u64;
+                expected += found;
+                work.push(ctx, found);
+            }
+            work.push(ctx, u64::MAX);
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let total = ctx.read_u64(matches);
+            ctx.assert_that(total == expected, "all occurrences counted");
+            ctx.close(input);
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sqlite: concurrent inserts/queries against one database lock.
+// ---------------------------------------------------------------------------
+
+/// The SQLite analogue (`threadtest3`-style workload: many threads hammering
+/// one serialized database).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sqlite;
+
+impl Workload for Sqlite {
+    fn name(&self) -> &'static str {
+        "sqlite"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let transactions = spec.scaled(60);
+        Program::new("sqlite", move |ctx| {
+            // The "database": a table in managed memory plus a WAL file.
+            let table = StripedTable::new(ctx, 2048, 1);
+            let db_lock = ctx.mutex();
+            let committed = ctx.global("sqlite_committed", 8);
+            let wal = ctx.open_create("sqlite.wal").expect("wal file");
+            let threads = u64::from(spec.threads);
+            // Per-worker transaction counters in managed memory
+            // (rollback-safe).
+            let done_slots = ctx.global("sqlite_done", threads * 8);
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let table = table.clone();
+                let done_slot = done_slots + worker * 8;
+                handles.push(ctx.spawn("sql-thread", move |ctx| {
+                    // One transaction per step, fully serialized by the
+                    // database lock (SQLite's single-writer model).
+                    let done = ctx.read_u64(done_slot);
+                    ctx.lock(db_lock);
+                    let row = ctx.alloc(96);
+                    let key = mix(worker * 100_000 + done) | 1;
+                    ctx.write_u64(row, key);
+                    table.put(ctx, key, row.offset());
+                    let lookup = table.get(ctx, key);
+                    let checksum = ctx.work(120) ^ key;
+                    ctx.write(wal, &checksum.to_le_bytes());
+                    let count = ctx.read_u64(committed);
+                    ctx.write_u64(committed, count + 1);
+                    let ok = lookup.is_some();
+                    ctx.unlock(db_lock);
+                    ctx.assert_that(ok, "inserted row is visible");
+                    ctx.write_u64(done_slot, done + 1);
+                    if (done + 1) * threads >= transactions {
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let count = ctx.read_u64(committed);
+            ctx.assert_that(count > 0, "transactions committed");
+            ctx.close(wal);
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer::Config;
+
+    fn run_tiny(workload: &dyn Workload) {
+        let config = Config::builder()
+            .arena_size(16 << 20)
+            .heap_block_size(256 << 10)
+            .quiescence_timeout_ms(20_000)
+            .build()
+            .unwrap();
+        let runtime = Runtime::new(config).unwrap();
+        let spec = WorkloadSpec::tiny();
+        workload.stage(&runtime, &spec);
+        let report = runtime.run(workload.program(&spec)).unwrap();
+        assert!(
+            report.outcome.is_success(),
+            "{} faulted: {:?}",
+            workload.name(),
+            report.faults
+        );
+    }
+
+    #[test]
+    fn aget_runs() {
+        run_tiny(&Aget);
+    }
+
+    #[test]
+    fn apache_runs() {
+        run_tiny(&Apache);
+    }
+
+    #[test]
+    fn memcached_runs() {
+        run_tiny(&Memcached);
+    }
+
+    #[test]
+    fn pbzip2_runs() {
+        run_tiny(&Pbzip2);
+    }
+
+    #[test]
+    fn pfscan_runs() {
+        run_tiny(&Pfscan);
+    }
+
+    #[test]
+    fn sqlite_runs() {
+        run_tiny(&Sqlite);
+    }
+}

@@ -1,0 +1,126 @@
+//! Workload parameterization.
+
+use ireplayer::{Program, Runtime, ThreadCtx};
+
+/// How much work a workload performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSize {
+    /// A few milliseconds; used by unit and integration tests.
+    Tiny,
+    /// Tens of milliseconds; used by the Table 1 / Table 2 harnesses.
+    Small,
+    /// Hundreds of milliseconds; used by the Table 3 / Figure 5 overhead
+    /// measurements.
+    Bench,
+}
+
+impl WorkloadSize {
+    /// A multiplier applied to iteration counts.
+    pub fn scale(self) -> u64 {
+        match self {
+            WorkloadSize::Tiny => 1,
+            WorkloadSize::Small => 4,
+            WorkloadSize::Bench => 24,
+        }
+    }
+}
+
+/// Parameters shared by every workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Problem size.
+    pub size: WorkloadSize,
+    /// Number of worker threads (most workloads spawn this many in addition
+    /// to the main thread).
+    pub threads: u32,
+    /// Implant a one-byte heap overflow at the end of the main routine, as
+    /// the paper does for the §5.2 identical-replay validation and the
+    /// detector evaluation.
+    pub implant_overflow: bool,
+}
+
+impl WorkloadSpec {
+    /// A specification suitable for unit tests.
+    pub fn tiny() -> Self {
+        WorkloadSpec {
+            size: WorkloadSize::Tiny,
+            threads: 2,
+            implant_overflow: false,
+        }
+    }
+
+    /// The specification used by the Table 1 harness.
+    pub fn small() -> Self {
+        WorkloadSpec {
+            size: WorkloadSize::Small,
+            threads: 4,
+            implant_overflow: false,
+        }
+    }
+
+    /// The specification used by the Table 3 / Figure 5 harnesses.
+    pub fn bench() -> Self {
+        WorkloadSpec {
+            size: WorkloadSize::Bench,
+            threads: 4,
+            implant_overflow: false,
+        }
+    }
+
+    /// Returns a copy with the implanted overflow enabled.
+    pub fn with_overflow(mut self) -> Self {
+        self.implant_overflow = true;
+        self
+    }
+
+    /// Returns a copy with a different worker count.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Scaled iteration count helper.
+    pub fn scaled(&self, base: u64) -> u64 {
+        base * self.size.scale()
+    }
+}
+
+/// A benchmark application.
+pub trait Workload: Send + Sync {
+    /// The name used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Stages inputs (files, network peers) on the runtime's simulated OS.
+    /// The default stages nothing.
+    fn stage(&self, runtime: &Runtime, spec: &WorkloadSpec) {
+        let _ = (runtime, spec);
+    }
+
+    /// Builds the program for the given parameters.
+    fn program(&self, spec: &WorkloadSpec) -> Program;
+}
+
+/// Implants the paper's end-of-main buffer overflow: allocate a small object
+/// and write one byte past its requested size, corrupting the allocation
+/// canary when canaries are enabled (§5.2).
+pub fn implant_overflow(ctx: &mut ThreadCtx<'_>, spec: &WorkloadSpec) {
+    if spec.implant_overflow {
+        let object = ctx.alloc(24);
+        // One byte past the 24 requested bytes.
+        ctx.write_u8(object + 24, 0xbb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_scale_with_size() {
+        assert!(WorkloadSpec::bench().scaled(10) > WorkloadSpec::small().scaled(10));
+        assert!(WorkloadSpec::small().scaled(10) > WorkloadSpec::tiny().scaled(10));
+        let spec = WorkloadSpec::tiny().with_overflow().with_threads(0);
+        assert!(spec.implant_overflow);
+        assert_eq!(spec.threads, 1);
+    }
+}

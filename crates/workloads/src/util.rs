@@ -1,0 +1,246 @@
+//! Shared building blocks for the workloads: a bounded queue and a striped
+//! hash table living entirely in managed memory, plus small helpers.
+//!
+//! Keeping all state in managed memory (and all blocking on runtime
+//! primitives) is what makes the workloads recordable and identically
+//! replayable; these helpers are also a realistic exercise of the public
+//! API, since real applications build exactly these structures on top of
+//! `malloc` + `pthread`.
+
+use ireplayer::{CondvarHandle, MemAddr, MutexHandle, ThreadCtx};
+
+/// A bounded multi-producer multi-consumer queue of `u64` items stored in
+/// managed memory and synchronized with a managed mutex and two condition
+/// variables -- the classic `pthread` bounded buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedQueue {
+    base: MemAddr,
+    capacity: u64,
+    lock: MutexHandle,
+    not_empty: CondvarHandle,
+    not_full: CondvarHandle,
+}
+
+const QUEUE_HEADER: u64 = 24; // head, tail, count (8 bytes each)
+
+impl BoundedQueue {
+    /// Allocates a queue with room for `capacity` items.
+    pub fn new(ctx: &mut ThreadCtx<'_>, capacity: u64) -> Self {
+        let base = ctx.alloc((QUEUE_HEADER + capacity * 8) as usize);
+        ctx.write_u64(base, 0);
+        ctx.write_u64(base + 8, 0);
+        ctx.write_u64(base + 16, 0);
+        BoundedQueue {
+            base,
+            capacity,
+            lock: ctx.mutex(),
+            not_empty: ctx.condvar(),
+            not_full: ctx.condvar(),
+        }
+    }
+
+    fn count(&self, ctx: &mut ThreadCtx<'_>) -> u64 {
+        ctx.read_u64(self.base + 16)
+    }
+
+    /// Pushes an item, blocking while the queue is full.
+    pub fn push(&self, ctx: &mut ThreadCtx<'_>, item: u64) {
+        ctx.lock(self.lock);
+        while self.count(ctx) == self.capacity {
+            ctx.wait(self.not_full, self.lock);
+        }
+        let tail = ctx.read_u64(self.base + 8);
+        ctx.write_u64(self.base + QUEUE_HEADER + (tail % self.capacity) * 8, item);
+        ctx.write_u64(self.base + 8, tail + 1);
+        let count = self.count(ctx);
+        ctx.write_u64(self.base + 16, count + 1);
+        ctx.signal(self.not_empty);
+        ctx.unlock(self.lock);
+    }
+
+    /// Pops an item, blocking while the queue is empty.  Returns `None` if
+    /// `poison` has been observed and the queue is empty (shutdown).
+    pub fn pop(&self, ctx: &mut ThreadCtx<'_>, poison: u64) -> Option<u64> {
+        ctx.lock(self.lock);
+        loop {
+            let count = self.count(ctx);
+            if count > 0 {
+                break;
+            }
+            ctx.wait(self.not_empty, self.lock);
+        }
+        let head = ctx.read_u64(self.base);
+        let item = ctx.read_u64(self.base + QUEUE_HEADER + (head % self.capacity) * 8);
+        if item == poison {
+            // Leave the poison pill for the next consumer.
+            ctx.signal(self.not_empty);
+            ctx.unlock(self.lock);
+            return None;
+        }
+        ctx.write_u64(self.base, head + 1);
+        let count = self.count(ctx);
+        ctx.write_u64(self.base + 16, count - 1);
+        ctx.signal(self.not_full);
+        ctx.unlock(self.lock);
+        Some(item)
+    }
+}
+
+/// A fixed-size open-addressing hash table of `u64 -> u64` with striped
+/// locks, as used by the memcached and dedup workloads.
+#[derive(Debug, Clone)]
+pub struct StripedTable {
+    slots: MemAddr,
+    capacity: u64,
+    locks: Vec<MutexHandle>,
+}
+
+impl StripedTable {
+    /// Allocates a table with `capacity` slots (rounded up to a power of
+    /// two) and `stripes` locks.
+    pub fn new(ctx: &mut ThreadCtx<'_>, capacity: u64, stripes: usize) -> Self {
+        let capacity = capacity.next_power_of_two();
+        let slots = ctx.alloc((capacity * 16) as usize);
+        ctx.fill(slots, (capacity * 16) as usize, 0);
+        let locks = (0..stripes.max(1)).map(|_| ctx.mutex()).collect();
+        StripedTable {
+            slots,
+            capacity,
+            locks,
+        }
+    }
+
+    /// Slot value 0 means "empty", so the zero key is remapped to a sentinel.
+    fn encode(key: u64) -> u64 {
+        if key == 0 {
+            0xfeed_face_cafe_beef
+        } else {
+            key
+        }
+    }
+
+    fn stripe(&self, key: u64) -> MutexHandle {
+        self.locks[(key as usize) % self.locks.len()]
+    }
+
+    fn slot(&self, index: u64) -> MemAddr {
+        self.slots + (index % self.capacity) * 16
+    }
+
+    /// Inserts or updates a key.  Returns `false` if the table is full.
+    pub fn put(&self, ctx: &mut ThreadCtx<'_>, key: u64, value: u64) -> bool {
+        let key = Self::encode(key);
+        let lock = self.stripe(key);
+        ctx.lock(lock);
+        let mut inserted = false;
+        for probe in 0..self.capacity {
+            let slot = self.slot(key.wrapping_add(probe));
+            let existing = ctx.read_u64(slot);
+            if existing == 0 || existing == key {
+                ctx.write_u64(slot, key);
+                ctx.write_u64(slot + 8, value);
+                inserted = true;
+                break;
+            }
+        }
+        ctx.unlock(lock);
+        inserted
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, ctx: &mut ThreadCtx<'_>, key: u64) -> Option<u64> {
+        let key = Self::encode(key);
+        let lock = self.stripe(key);
+        ctx.lock(lock);
+        let mut result = None;
+        for probe in 0..self.capacity {
+            let slot = self.slot(key.wrapping_add(probe));
+            let existing = ctx.read_u64(slot);
+            if existing == key {
+                result = Some(ctx.read_u64(slot + 8));
+                break;
+            }
+            if existing == 0 {
+                break;
+            }
+        }
+        ctx.unlock(lock);
+        result
+    }
+}
+
+/// A simple deterministic mixing function used by workloads to model
+/// content-dependent computation (hashing, compression dictionaries).
+pub fn mix(value: u64) -> u64 {
+    let mut x = value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer::{Config, Program, Runtime, Step};
+
+    fn run(body: impl FnMut(&mut ThreadCtx<'_>) -> Step + Send + 'static) {
+        let config = Config::builder()
+            .arena_size(8 << 20)
+            .heap_block_size(128 << 10)
+            .build()
+            .unwrap();
+        let report = Runtime::new(config)
+            .unwrap()
+            .run(Program::new("util-test", body))
+            .unwrap();
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    }
+
+    #[test]
+    fn queue_is_fifo_across_threads() {
+        run(|ctx| {
+            let queue = BoundedQueue::new(ctx, 4);
+            let out = ctx.global("out", 8);
+            let consumer = ctx.spawn("consumer", move |ctx| {
+                let mut sum = 0u64;
+                while let Some(item) = queue.pop(ctx, u64::MAX) {
+                    sum += item;
+                }
+                ctx.write_u64(out, sum);
+                Step::Done
+            });
+            for i in 1..=10u64 {
+                queue.push(ctx, i);
+            }
+            queue.push(ctx, u64::MAX);
+            ctx.join(consumer);
+            let sum = ctx.read_u64(out);
+            ctx.assert_that(sum == 55, "consumer saw all items");
+            Step::Done
+        });
+    }
+
+    #[test]
+    fn table_put_get_round_trip() {
+        run(|ctx| {
+            let table = StripedTable::new(ctx, 64, 4);
+            for key in 1..=32u64 {
+                let inserted = table.put(ctx, key, key * 10);
+                ctx.assert_that(inserted, "insert fits");
+            }
+            for key in 1..=32u64 {
+                let value = table.get(ctx, key);
+                ctx.assert_that(value == Some(key * 10), "lookup returns stored value");
+            }
+            let missing = table.get(ctx, 999);
+            ctx.assert_that(missing.is_none(), "missing key is absent");
+            Step::Done
+        });
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        assert_eq!(mix(1), mix(1));
+        assert_ne!(mix(1), mix(2));
+    }
+}

@@ -1,0 +1,130 @@
+//! Interactive debugging of a key-value server crash (paper §4.3).
+//!
+//! A memcached-style server thread corrupts its own bookkeeping and hits an
+//! assertion.  The replay debugger intercepts the abnormal exit exactly as
+//! the GDB integration does: the debugging session inspects the faulting
+//! state, places a watchpoint on the corrupted counter, and issues a
+//! rollback; the re-execution stops (notifies) at the write that corrupted
+//! it, without restarting the server.
+//!
+//! Run with: `cargo run -p ireplayer --example kv_server_debugging`
+
+use std::sync::Arc;
+
+use ireplayer::{Config, MemAddr, PeerScript, Program, Runtime, RuntimeError, Span, Step};
+use ireplayer_detect::ReplayDebugger;
+use shared_cell::Cell;
+
+// A tiny shared cell between the program closure and the debugger callback
+// (std types only; no extra dependencies).
+mod shared_cell {
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    pub struct Cell(Mutex<Option<super::MemAddr>>);
+
+    impl Cell {
+        pub fn set(&self, value: super::MemAddr) {
+            *self.0.lock().unwrap() = Some(value);
+        }
+        pub fn get(&self) -> Option<super::MemAddr> {
+            *self.0.lock().unwrap()
+        }
+    }
+}
+
+fn main() -> Result<(), RuntimeError> {
+    let config = Config::builder()
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .build()?;
+    let runtime = Runtime::new(config)?;
+
+    // Scripted clients for the server to accept.
+    runtime.os().register_peer(
+        "kv:11211",
+        PeerScript::Client {
+            seed: 42,
+            requests: 6,
+            request_len: 32,
+        },
+    );
+    runtime.os().enqueue_clients("kv:11211", 2);
+
+    let debugger = ReplayDebugger::new();
+    runtime.add_hook(debugger.clone());
+
+    // The debugger session: inspect the fault, then watch the corrupted
+    // counter during the rollback (the `watch` + `rollback` commands of the
+    // GDB workflow).
+    let counter_cell = Arc::new(Cell::default());
+    let counter_for_session = Arc::clone(&counter_cell);
+    debugger.on_fault_session(move |session| {
+        println!("[debugger] fault intercepted: {}", session.fault());
+        if let Some(counter) = counter_for_session.get() {
+            println!(
+                "[debugger] stored_items counter holds {} -- watching it during rollback",
+                session.read_u64(counter)
+            );
+            session.watch(Span::new(counter, 8));
+        }
+    });
+
+    let counter_for_program = Arc::clone(&counter_cell);
+    let program = Program::new("kv-server", move |ctx| {
+        let stored_items = ctx.global("stored_items", 8);
+        counter_for_program.set(stored_items);
+        let lock = ctx.mutex();
+
+        let worker = ctx.spawn("kv-worker", move |ctx| {
+            let Some(connection) = ctx.accept("kv:11211") else {
+                return Step::Done;
+            };
+            loop {
+                let request = ctx.recv(connection, 64);
+                if request.is_empty() {
+                    break;
+                }
+                let item = ctx.alloc(64);
+                ctx.write_bytes(item, &request[..request.len().min(64)]);
+                ctx.lock(lock);
+                let count = ctx.read_u64(stored_items);
+                // BUG: the counter is bumped by the request length instead
+                // of by one, corrupting the server's bookkeeping.
+                ctx.write_u64(stored_items, count + request.len() as u64);
+                ctx.unlock(lock);
+                ctx.send(connection, b"STORED\r\n");
+            }
+            ctx.close(connection);
+            Step::Yield
+        });
+        ctx.join(worker);
+
+        let stored = ctx.read_u64(stored_items);
+        ctx.assert_that(
+            stored <= 12,
+            format!("bookkeeping says {stored} items but only 12 requests exist"),
+        );
+        Step::Done
+    });
+
+    let report = runtime.run(program)?;
+    println!("\nrun outcome: {:?}", report.outcome);
+    println!("debugging sessions: {}", debugger.sessions());
+    println!("watchpoint notifications during rollback: {}", debugger.hits().len());
+    for hit in debugger.hits().iter().take(3) {
+        println!(
+            "  thread {} wrote {} bytes at {}{}",
+            hit.thread.0,
+            hit.access.len,
+            hit.access.addr,
+            hit.site
+                .as_ref()
+                .map(|s| format!(" ({s})"))
+                .unwrap_or_default()
+        );
+    }
+    assert!(debugger.sessions() >= 1);
+    let _ = MemAddr::NULL;
+    Ok(())
+}

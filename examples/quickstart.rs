@@ -1,0 +1,93 @@
+//! Quick start: record a small multithreaded program, then force one
+//! rollback and verify that the re-execution is identical.
+//!
+//! Run with: `cargo run -p ireplayer --example quickstart`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ireplayer::{
+    Config, EpochDecision, EpochView, Program, ReplayRequest, Runtime, RuntimeError, Step,
+    ToolHook,
+};
+
+/// A tool hook that asks for exactly one validation replay at the end of the
+/// run -- the simplest possible use of the in-situ replay machinery.
+struct ValidateOnce {
+    requested: AtomicBool,
+}
+
+impl ToolHook for ValidateOnce {
+    fn name(&self) -> &str {
+        "validate-once"
+    }
+
+    fn at_epoch_end(&self, _view: &dyn EpochView) -> EpochDecision {
+        if self.requested.swap(true, Ordering::SeqCst) {
+            EpochDecision::Continue
+        } else {
+            EpochDecision::Replay(ReplayRequest::because("quickstart validation"))
+        }
+    }
+}
+
+fn main() -> Result<(), RuntimeError> {
+    let config = Config::builder()
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .build()?;
+    let runtime = Runtime::new(config)?;
+    runtime.add_hook(Arc::new(ValidateOnce {
+        requested: AtomicBool::new(false),
+    }));
+
+    // Four worker threads each append work into a shared accumulator under a
+    // lock; the main thread checks the total.  Everything the program does
+    // -- allocation, locking, the clock read -- is recorded.
+    let program = Program::new("quickstart", |ctx| {
+        let total = ctx.global("total", 8);
+        let lock = ctx.mutex();
+        let mut workers = Vec::new();
+        for worker in 0..4u64 {
+            workers.push(ctx.spawn("worker", move |ctx| {
+                let scratch = ctx.alloc(128);
+                let value = ctx.work(5_000) % 100 + worker;
+                ctx.write_u64(scratch, value);
+                let contribution = ctx.read_u64(scratch);
+                ctx.lock(lock);
+                let sum = ctx.read_u64(total);
+                ctx.write_u64(total, sum + contribution);
+                ctx.unlock(lock);
+                ctx.free(scratch);
+                Step::Done
+            }));
+        }
+        for worker in workers {
+            ctx.join(worker);
+        }
+        let when = ctx.now_ns();
+        let total_value = ctx.read_u64(total);
+        println!("[app] total = {total_value} at t={when}");
+        Step::Done
+    });
+
+    let report = runtime.run(program)?;
+    println!("outcome:           {:?}", report.outcome);
+    println!("threads:           {}", report.threads);
+    println!("sync events:       {}", report.sync_events);
+    println!("replay attempts:   {}", report.replay_attempts);
+    for validation in &report.replay_validations {
+        println!(
+            "replay of epoch {}: matched={} image-diff={}",
+            validation.epoch,
+            validation.matched,
+            validation
+                .image_diff
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "n/a".to_owned())
+        );
+    }
+    assert!(report.replays_identical());
+    println!("identical in-situ replay confirmed");
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Diagnosing a use-after-free and hardening the next deployment
+//! (paper §4.2 and the evidence-based prevention workflow of §1).
+//!
+//! A cache evicts an entry that a statistics path still updates.  The
+//! use-after-free detector finds the dangling write from the poisoned
+//! quarantine, replays the epoch with a watchpoint to name the faulting
+//! statement, and the prevention advisor turns the same evidence into a
+//! hardened configuration for the next run: a larger quarantine keeps
+//! objects freed at the implicated site poisoned for longer, so the bug
+//! keeps being caught instead of silently corrupting a reused allocation.
+//!
+//! Run with: `cargo run -p ireplayer --example uaf_prevention`
+
+use ireplayer::{Program, Runtime, RuntimeError, Step};
+use ireplayer_detect::{detection_config, PreventionAdvisor, UseAfterFreeDetector};
+
+fn buggy_cache_program() -> Program {
+    Program::new("cache", |ctx| {
+        // A small cache of four heap entries.
+        let entries: Vec<_> = (0..4u64)
+            .map(|index| {
+                let entry = ctx.alloc(64);
+                ctx.write_u64(entry, index);
+                entry
+            })
+            .collect();
+        let hottest = entries[2];
+
+        // Serve lookups from a worker thread.
+        let lock = ctx.mutex();
+        let hits = ctx.global("cache_hits", 8);
+        let served: Vec<_> = entries.clone();
+        let worker = ctx.spawn("lookups", move |ctx| {
+            for round in 0..32u64 {
+                let entry = served[(round % 4) as usize];
+                let value = ctx.read_u64(entry);
+                ctx.lock(lock);
+                let total = ctx.read_u64(hits);
+                ctx.write_u64(hits, total.wrapping_add(value));
+                ctx.unlock(lock);
+            }
+            Step::Done
+        });
+        ctx.join(worker);
+
+        // Eviction frees every entry...
+        for entry in &entries {
+            ctx.free(*entry);
+        }
+        // ...but the statistics path still holds a pointer to the hottest
+        // entry and bumps its per-entry counter: a use-after-free write.
+        ctx.write_u64(hottest + 16, 1);
+        Step::Done
+    })
+}
+
+fn main() -> Result<(), RuntimeError> {
+    // First deployment: detectors plus the prevention advisor.
+    let config = detection_config()
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .build()?;
+    let runtime = Runtime::new(config)?;
+    let detector = UseAfterFreeDetector::new();
+    let advisor = PreventionAdvisor::new();
+    runtime.add_hook(detector.clone());
+    runtime.add_hook(advisor.clone());
+
+    let report = runtime.run(buggy_cache_program())?;
+    println!("first run outcome: {:?}", report.outcome);
+
+    let bugs = detector.reports();
+    assert!(!bugs.is_empty(), "the use-after-free must be detected");
+    for bug in &bugs {
+        println!("\n{bug}");
+    }
+
+    // The advisor turns the evidence into a hardening plan.
+    let plan = advisor.plan();
+    println!("\nprevention plan:\n{plan}");
+    assert!(!plan.is_empty());
+
+    // Second deployment: the same program under the hardened configuration.
+    let hardened = plan.harden(
+        detection_config()
+            .arena_size(16 << 20)
+            .heap_block_size(256 << 10)
+            .build()?,
+    );
+    println!(
+        "hardened configuration: quarantine budget {} bytes",
+        hardened.quarantine_bytes
+    );
+    let second = Runtime::new(hardened)?;
+    let second_detector = UseAfterFreeDetector::new();
+    second.add_hook(second_detector.clone());
+    let second_report = second.run(buggy_cache_program())?;
+    println!("second run outcome: {:?}", second_report.outcome);
+    assert!(
+        !second_detector.reports().is_empty(),
+        "the hardened run keeps catching the dangling write"
+    );
+    println!("\nthe dangling write is still caught (and still harmless) under the hardened configuration");
+    Ok(())
+}

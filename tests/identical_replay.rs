@@ -1,0 +1,56 @@
+//! Cross-crate validation of the paper's central claim (§5.2): the in-situ
+//! re-execution of the last epoch is identical -- same synchronization
+//! order, same system-call results, and a byte-identical heap image.
+
+use ireplayer_bench::assert_identical_replay;
+use ireplayer_workloads::workload_by_name;
+
+fn check(name: &str) {
+    let workload = workload_by_name(name).expect("workload exists");
+    assert_identical_replay(workload.as_ref());
+}
+
+#[test]
+fn blackscholes_replays_identically() {
+    check("blackscholes");
+}
+
+#[test]
+fn fluidanimate_replays_identically() {
+    check("fluidanimate");
+}
+
+#[test]
+fn dedup_replays_identically() {
+    check("dedup");
+}
+
+#[test]
+fn ferret_replays_identically() {
+    check("ferret");
+}
+
+#[test]
+fn swaptions_replays_identically() {
+    check("swaptions");
+}
+
+#[test]
+fn aget_replays_identically() {
+    check("aget");
+}
+
+#[test]
+fn memcached_replays_identically() {
+    check("memcached");
+}
+
+#[test]
+fn sqlite_replays_identically() {
+    check("sqlite");
+}
+
+#[test]
+fn pfscan_replays_identically() {
+    check("pfscan");
+}

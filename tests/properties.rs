@@ -1,0 +1,212 @@
+//! Property-based tests of the core invariants: deterministic heap layout,
+//! identical replay of randomized programs, and uniqueness of Ball-Larus
+//! path identifiers.
+
+use proptest::prelude::*;
+
+use ireplayer::{AllocatorMode, Config, Program, Runtime, Step};
+use ireplayer_baselines::{BallLarus, Cfg};
+
+fn config(allocator: AllocatorMode) -> Config {
+    Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(128 << 10)
+        .allocator(allocator)
+        .build()
+        .unwrap()
+}
+
+/// Runs a single-threaded allocation/free script and returns the addresses
+/// handed out plus the final heap hash.
+fn run_alloc_script(script: Vec<(u16, bool)>) -> (Vec<u64>, u64) {
+    let runtime = Runtime::new(config(AllocatorMode::PerThread)).unwrap();
+    let addresses = std::sync::Arc::new(parking::Cell::default());
+    let addresses_for_run = addresses.clone();
+    let report = runtime
+        .run(Program::new("alloc-script", move |ctx| {
+            let mut live = Vec::new();
+            let mut seen = Vec::new();
+            for (size, do_free) in &script {
+                let addr = ctx.alloc(usize::from(*size) + 1);
+                seen.push(addr.offset());
+                if *do_free {
+                    if let Some(victim) = live.pop() {
+                        ctx.free(victim);
+                    }
+                }
+                live.push(addr);
+            }
+            addresses_for_run.set(seen);
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success());
+    (addresses.get(), report.final_heap_hash)
+}
+
+/// Tiny shared cell (std only) used to extract results from program bodies.
+mod parking {
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    pub struct Cell(Mutex<Vec<u64>>);
+
+    impl Cell {
+        pub fn set(&self, value: Vec<u64>) {
+            *self.0.lock().unwrap() = value;
+        }
+        pub fn get(&self) -> Vec<u64> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// §2.2.4: the deterministic heap hands out identical addresses for
+    /// identical allocation sequences, across independent executions.
+    #[test]
+    fn allocator_layout_is_a_pure_function_of_the_program(
+        script in proptest::collection::vec((1u16..2048, any::<bool>()), 1..40)
+    ) {
+        let (first_addresses, first_hash) = run_alloc_script(script.clone());
+        let (second_addresses, second_hash) = run_alloc_script(script);
+        prop_assert_eq!(first_addresses, second_addresses);
+        prop_assert_eq!(first_hash, second_hash);
+    }
+
+    /// Ball-Larus numbering assigns unique, dense identifiers on random
+    /// two-way branching DAGs.
+    #[test]
+    fn ball_larus_ids_are_unique_and_dense(branches in proptest::collection::vec(any::<bool>(), 1..8)) {
+        // Build a chain of diamonds: block 2i branches to 2i+1 / 2i+2 style.
+        let blocks = branches.len() * 2 + 1;
+        let mut cfg = Cfg::new(blocks);
+        for (i, _) in branches.iter().enumerate() {
+            let base = i * 2;
+            cfg.add_edge(base, base + 1);
+            cfg.add_edge(base, base + 2);
+            cfg.add_edge(base + 1, base + 2);
+        }
+        let numbering = BallLarus::number(&cfg);
+        prop_assert_eq!(numbering.num_paths(), 1u64 << branches.len());
+
+        // Enumerate every path and check identifiers are a permutation of
+        // 0..num_paths.
+        let mut ids = Vec::new();
+        for mask in 0..(1usize << branches.len()) {
+            let mut path = vec![0usize];
+            for (i, _) in branches.iter().enumerate() {
+                let base = i * 2;
+                if mask & (1 << i) != 0 {
+                    path.push(base + 1);
+                }
+                path.push(base + 2);
+            }
+            ids.push(numbering.path_id(&path));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, numbering.num_paths());
+    }
+
+    /// Memory accessors round-trip arbitrary values at arbitrary (valid)
+    /// offsets.
+    #[test]
+    fn managed_memory_round_trips(values in proptest::collection::vec(any::<u64>(), 1..32)) {
+        let runtime = Runtime::new(config(AllocatorMode::PerThread)).unwrap();
+        let report = runtime
+            .run(Program::new("roundtrip", move |ctx| {
+                let buffer = ctx.alloc(values.len() * 8);
+                for (i, value) in values.iter().enumerate() {
+                    ctx.write_u64(buffer + (i as u64) * 8, *value);
+                }
+                for (i, value) in values.iter().enumerate() {
+                    let read = ctx.read_u64(buffer + (i as u64) * 8);
+                    ctx.assert_that(read == *value, "round trip");
+                }
+                ctx.free(buffer);
+                Step::Done
+            }))
+            .unwrap();
+        prop_assert!(report.outcome.is_success());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties of the synchronization-variable lookup strategies (§3.2) and of
+// the evidence-based prevention plan (§1).
+// ---------------------------------------------------------------------------
+
+use ireplayer_detect::{PreventionAction, PreventionPlan};
+use ireplayer_log::{HashDirectory, ShadowDirectory, SyncAddr, SyncOp, SyncVarDirectory, ThreadId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The shadow-indirection directory and the global hash table are
+    /// observationally equivalent: for any registration count and any
+    /// sequence of operations over the registered variables, both assign the
+    /// same identifiers and record the same per-variable operation counts.
+    /// (They differ only in lookup cost, which the `ablation_lookup` bench
+    /// measures.)
+    #[test]
+    fn lookup_strategies_are_observationally_equivalent(
+        variables in 1u64..64,
+        operations in proptest::collection::vec((any::<u64>(), 0u32..4), 0..128),
+    ) {
+        let shadow = ShadowDirectory::new();
+        let hashed = HashDirectory::with_buckets(8);
+        for i in 0..variables {
+            prop_assert_eq!(shadow.register(SyncAddr(i)), hashed.register(SyncAddr(i)));
+        }
+        for (pick, thread) in &operations {
+            let addr = SyncAddr(pick % variables);
+            shadow.record(addr, ThreadId(*thread), SyncOp::MutexLock, 0);
+            hashed.record(addr, ThreadId(*thread), SyncOp::MutexLock, 0);
+        }
+        prop_assert_eq!(shadow.len(), hashed.len());
+        for i in 0..variables {
+            let a = shadow.slot(SyncAddr(i));
+            let b = hashed.slot(SyncAddr(i));
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.list.lock().len(), b.list.lock().len());
+        }
+    }
+
+    /// Hardening a configuration from a prevention plan never weakens it:
+    /// the quarantine budget never shrinks and canaries are never turned
+    /// off, for any combination of observed evidence.
+    #[test]
+    fn prevention_plans_never_weaken_a_configuration(
+        quarantines in proptest::collection::vec(0usize..(4 << 20), 0..8),
+        paddings in proptest::collection::vec(0usize..4096, 0..8),
+    ) {
+        let mut plan = PreventionPlan::default();
+        for bytes in &quarantines {
+            plan = PreventionPlan::from_actions(
+                plan.actions().iter().cloned().chain([PreventionAction::DelayFrees {
+                    free_site: None,
+                    quarantine_bytes: *bytes,
+                }]).collect(),
+            );
+        }
+        for pad in &paddings {
+            plan = PreventionPlan::from_actions(
+                plan.actions().iter().cloned().chain([PreventionAction::PadAllocations {
+                    alloc_site: None,
+                    pad_bytes: *pad,
+                }]).collect(),
+            );
+        }
+        let base = ireplayer_detect::detection_config().build().unwrap();
+        let hardened = plan.harden(base.clone());
+        prop_assert!(hardened.canaries);
+        prop_assert!(hardened.quarantine_bytes >= base.quarantine_bytes);
+        let expected = base
+            .quarantine_bytes
+            .max(plan.advised_quarantine_bytes().unwrap_or(0));
+        prop_assert_eq!(hardened.quarantine_bytes, expected);
+    }
+}

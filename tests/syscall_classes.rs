@@ -1,0 +1,134 @@
+//! End-to-end behaviour of the five system-call classes (paper §2.2.3),
+//! observed through the public API.
+
+use ireplayer::{Config, Program, Runtime, Step, SyscallClass, SyscallKind, Whence};
+
+fn config() -> Config {
+    Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(128 << 10)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn classification_table_matches_the_paper() {
+    use SyscallClass::*;
+    assert_eq!(SyscallKind::GetPid.classify(), Repeatable);
+    assert_eq!(SyscallKind::GetTime.classify(), Recordable);
+    assert_eq!(SyscallKind::FileRead.classify(), Revocable);
+    assert_eq!(SyscallKind::Close.classify(), Deferrable);
+    assert_eq!(SyscallKind::Munmap.classify(), Deferrable);
+    assert_eq!(SyscallKind::Fork.classify(), Irrevocable);
+    assert_eq!(SyscallKind::Lseek { repositions: true }.classify(), Irrevocable);
+    assert_eq!(SyscallKind::FcntlGet.classify(), Repeatable);
+    assert_eq!(SyscallKind::FcntlDupFd.classify(), Recordable);
+}
+
+#[test]
+fn repeatable_calls_are_not_recorded() {
+    let runtime = Runtime::new(config()).unwrap();
+    let report = runtime
+        .run(Program::new("getpid", |ctx| {
+            let a = ctx.getpid();
+            let b = ctx.getpid();
+            ctx.assert_that(a == b, "pid is stable");
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success());
+    assert_eq!(report.sync_events, 0, "repeatable calls add no events");
+    assert_eq!(report.syscalls, 2);
+}
+
+#[test]
+fn deferred_close_runs_at_the_next_epoch_boundary() {
+    let runtime = Runtime::new(config()).unwrap();
+    runtime.os().create_file("data", vec![0; 64]);
+    let report = runtime
+        .run(Program::new("close-then-epoch", {
+            let mut phase = 0u64;
+            move |ctx| {
+                match phase {
+                    0 => {
+                        let fd = ctx.open("data").unwrap();
+                        ctx.close(fd);
+                        // The descriptor stays open until the epoch ends.
+                        let second = ctx.open("data").unwrap();
+                        ctx.assert_that(second != fd, "close is deferred");
+                        ctx.end_epoch();
+                    }
+                    _ => {
+                        // After the boundary, the deferred close has been
+                        // issued and the lowest descriptor is available
+                        // again.
+                        let third = ctx.open("data").unwrap();
+                        ctx.assert_that(third == 3, "deferred close released fd 3");
+                        return Step::Done;
+                    }
+                }
+                phase += 1;
+                Step::Yield
+            }
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    assert!(report.epochs >= 2, "the explicit epoch boundary was honoured");
+}
+
+#[test]
+fn irrevocable_fork_closes_the_epoch() {
+    let runtime = Runtime::new(config()).unwrap();
+    let report = runtime
+        .run(Program::new("forker", {
+            let mut rounds = 0u64;
+            move |ctx| {
+                if rounds == 0 {
+                    let child = ctx.fork();
+                    ctx.assert_that(child > 0, "fork returns a child pid");
+                }
+                rounds += 1;
+                if rounds >= 3 {
+                    Step::Done
+                } else {
+                    Step::Yield
+                }
+            }
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success());
+    assert!(
+        report.epochs >= 2,
+        "an irrevocable call must start a new epoch (saw {})",
+        report.epochs
+    );
+}
+
+#[test]
+fn revocable_file_io_and_recordable_sockets_round_trip() {
+    let runtime = Runtime::new(config()).unwrap();
+    runtime.os().create_file("in.txt", b"0123456789abcdef".to_vec());
+    runtime.os().register_peer(
+        "peer:1",
+        ireplayer::PeerScript::Echo { response_len: 8 },
+    );
+    let report = runtime
+        .run(Program::new("io", |ctx| {
+            let fd = ctx.open("in.txt").unwrap();
+            let head = ctx.read(fd, 4);
+            ctx.assert_that(head == b"0123", "file read returns file data");
+            let pos = ctx.lseek(fd, 0, Whence::Cur);
+            ctx.assert_that(pos == 4, "position advanced");
+
+            let sock = ctx.connect("peer:1").unwrap();
+            ctx.send(sock, b"ping");
+            let reply = ctx.recv(sock, 16);
+            ctx.assert_that(reply.len() == 8, "echo peer replied");
+            ctx.close(sock);
+            ctx.close(fd);
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    assert!(report.syscalls >= 7);
+}
