@@ -73,10 +73,7 @@ impl BallLarus {
                 let mut total = 0u64;
                 for (i, w) in cfg.successors(v).iter().enumerate() {
                     // Val(e_i) = sum of numpaths of earlier successors.
-                    let increment = cfg.successors(v)[..i]
-                        .iter()
-                        .map(|earlier| num_paths[*earlier])
-                        .sum();
+                    let increment = cfg.successors(v)[..i].iter().map(|earlier| num_paths[*earlier]).sum();
                     increments.insert((v, *w), increment);
                     total += num_paths[*w];
                 }
@@ -101,9 +98,7 @@ impl BallLarus {
 
     /// Computes the path identifier of a concrete entry-to-exit path.
     pub fn path_id(&self, path: &[usize]) -> u64 {
-        path.windows(2)
-            .map(|pair| self.increment(pair[0], pair[1]))
-            .sum()
+        path.windows(2).map(|pair| self.increment(pair[0], pair[1])).sum()
     }
 }
 

@@ -89,69 +89,56 @@ impl BenchConfig {
     ///
     /// Returns [`RuntimeError::InvalidConfig`] if the sizing parameters are
     /// inconsistent.
-    pub fn assemble(
-        system: SystemUnderTest,
-        base: ConfigBuilder,
-    ) -> Result<BenchConfig, RuntimeError> {
-        let (config, instrument, attach_detectors): (Config, Option<Arc<dyn Instrument>>, bool) =
-            match system {
-                SystemUnderTest::Baseline => (
-                    base.mode(RunMode::Passthrough)
-                        .allocator(AllocatorMode::GlobalLock)
-                        .build()?,
-                    None,
-                    false,
-                ),
-                SystemUnderTest::IrAlloc => (
-                    base.mode(RunMode::Passthrough)
-                        .allocator(AllocatorMode::PerThread)
-                        .build()?,
-                    None,
-                    false,
-                ),
-                SystemUnderTest::IReplayer => (
-                    base.mode(RunMode::Record)
-                        .allocator(AllocatorMode::PerThread)
-                        .build()?,
-                    None,
-                    false,
-                ),
-                SystemUnderTest::IReplayerDetectors => (
-                    base.mode(RunMode::Record)
-                        .allocator(AllocatorMode::PerThread)
-                        .canaries(true)
-                        .quarantine_bytes(256 * 1024)
-                        .build()?,
-                    None,
-                    true,
-                ),
-                SystemUnderTest::Clap => {
-                    let config = base
-                        .mode(RunMode::Passthrough)
-                        .allocator(AllocatorMode::GlobalLock)
-                        .build()?;
-                    (config, Some(ClapRecorder::new() as Arc<dyn Instrument>), false)
-                }
-                SystemUnderTest::Rr => {
-                    let config = base
-                        .mode(RunMode::Record)
-                        .allocator(AllocatorMode::PerThread)
-                        .build()?;
-                    (config, Some(RrEmulator::new() as Arc<dyn Instrument>), false)
-                }
-                SystemUnderTest::AddressSanitizer => {
-                    let config = base
-                        .mode(RunMode::Passthrough)
-                        .allocator(AllocatorMode::GlobalLock)
-                        .build()?;
-                    let arena = config.arena_size;
-                    (
-                        config,
-                        Some(AsanChecker::new(arena) as Arc<dyn Instrument>),
-                        false,
-                    )
-                }
-            };
+    pub fn assemble(system: SystemUnderTest, base: ConfigBuilder) -> Result<BenchConfig, RuntimeError> {
+        let (config, instrument, attach_detectors): (Config, Option<Arc<dyn Instrument>>, bool) = match system {
+            SystemUnderTest::Baseline => (
+                base.mode(RunMode::Passthrough)
+                    .allocator(AllocatorMode::GlobalLock)
+                    .build()?,
+                None,
+                false,
+            ),
+            SystemUnderTest::IrAlloc => (
+                base.mode(RunMode::Passthrough)
+                    .allocator(AllocatorMode::PerThread)
+                    .build()?,
+                None,
+                false,
+            ),
+            SystemUnderTest::IReplayer => (
+                base.mode(RunMode::Record).allocator(AllocatorMode::PerThread).build()?,
+                None,
+                false,
+            ),
+            SystemUnderTest::IReplayerDetectors => (
+                base.mode(RunMode::Record)
+                    .allocator(AllocatorMode::PerThread)
+                    .canaries(true)
+                    .quarantine_bytes(256 * 1024)
+                    .build()?,
+                None,
+                true,
+            ),
+            SystemUnderTest::Clap => {
+                let config = base
+                    .mode(RunMode::Passthrough)
+                    .allocator(AllocatorMode::GlobalLock)
+                    .build()?;
+                (config, Some(ClapRecorder::new() as Arc<dyn Instrument>), false)
+            }
+            SystemUnderTest::Rr => {
+                let config = base.mode(RunMode::Record).allocator(AllocatorMode::PerThread).build()?;
+                (config, Some(RrEmulator::new() as Arc<dyn Instrument>), false)
+            }
+            SystemUnderTest::AddressSanitizer => {
+                let config = base
+                    .mode(RunMode::Passthrough)
+                    .allocator(AllocatorMode::GlobalLock)
+                    .build()?;
+                let arena = config.arena_size;
+                (config, Some(AsanChecker::new(arena) as Arc<dyn Instrument>), false)
+            }
+        };
         Ok(BenchConfig {
             system,
             config,
@@ -216,8 +203,7 @@ mod tests {
         let ir = BenchConfig::assemble(SystemUnderTest::IReplayer, base()).unwrap();
         assert_eq!(ir.config.mode, RunMode::Record);
         assert_eq!(ir.config.allocator, AllocatorMode::PerThread);
-        let detectors =
-            BenchConfig::assemble(SystemUnderTest::IReplayerDetectors, base()).unwrap();
+        let detectors = BenchConfig::assemble(SystemUnderTest::IReplayerDetectors, base()).unwrap();
         assert!(detectors.config.canaries);
         assert!(detectors.attach_detectors);
     }

@@ -13,9 +13,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ireplayer_log::{
-    HashDirectory, ShadowDirectory, SyncAddr, SyncOp, SyncVarDirectory, ThreadId,
-};
+use ireplayer_log::{HashDirectory, ShadowDirectory, SyncAddr, SyncOp, SyncVarDirectory, ThreadId};
 
 fn record_all(directory: &dyn SyncVarDirectory, variables: u64, operations: u64) {
     for round in 0..operations {

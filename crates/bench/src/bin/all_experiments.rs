@@ -3,10 +3,7 @@
 //!
 //! Usage: `cargo run --release -p ireplayer-bench --bin all_experiments`
 
-use ireplayer_bench::{
-    render_overhead, render_table1, render_table2, run_figure5, run_table1, run_table2,
-    run_table3,
-};
+use ireplayer_bench::{render_overhead, render_table1, render_table2, run_figure5, run_table1, run_table2, run_table3};
 use ireplayer_workloads::WorkloadSpec;
 
 fn main() {

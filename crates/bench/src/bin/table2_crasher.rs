@@ -7,10 +7,7 @@
 use ireplayer_bench::{render_table2, run_table2};
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|arg| arg.parse().ok())
-        .unwrap_or(200);
+    let trials = std::env::args().nth(1).and_then(|arg| arg.parse().ok()).unwrap_or(200);
     println!("Table 2: reproducing Crasher's race ({trials} trials)\n");
     let result = run_table2(trials);
     println!("{}", render_table2(&result));

@@ -1,13 +1,53 @@
 //! Reproduces Table 3 of the paper: recording-phase runtime of IR-Alloc,
 //! iReplayer, CLAP, and rr, normalized to the default library.
 //!
-//! Usage: `cargo run --release -p ireplayer-bench --bin table3_overhead [--bench-size]`
+//! Usage: `cargo run --release -p ireplayer-bench --bin table3_overhead [--bench-size | --quick]`
+//!
+//! `--quick` runs a CI smoke subset (tiny inputs, first three workloads) so
+//! the driver is exercised end to end on every pull request without paying
+//! for the full table.
 
-use ireplayer_bench::{render_overhead, run_table3};
-use ireplayer_workloads::WorkloadSpec;
+use ireplayer_baselines::SystemUnderTest;
+use ireplayer_bench::{render_overhead, run_overhead, run_table3};
+use ireplayer_workloads::{all_workloads, WorkloadSpec};
+
+const USAGE: &str = "usage: table3_overhead [--bench-size | --quick]";
 
 fn main() {
-    let bench = std::env::args().any(|a| a == "--bench-size");
+    let mut quick = false;
+    let mut bench = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--bench-size" => bench = true,
+            // An unrecognized flag must not silently fall through to the
+            // full (many-minute) run -- a typo'd `--quick` would hang CI.
+            other => {
+                eprintln!("table3_overhead: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if quick && bench {
+        eprintln!("table3_overhead: --quick and --bench-size are mutually exclusive\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    if quick {
+        let spec = WorkloadSpec::tiny();
+        let workloads = all_workloads();
+        let subset = &workloads[..3];
+        println!(
+            "Table 3 (quick smoke: tiny inputs, {} of {} workloads)\n",
+            subset.len(),
+            workloads.len()
+        );
+        let rows = run_overhead(&SystemUnderTest::table3(), &spec, subset);
+        println!("{}", render_overhead(&rows, true));
+        return;
+    }
+
     let spec = if bench {
         WorkloadSpec::bench()
     } else {

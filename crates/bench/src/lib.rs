@@ -19,9 +19,7 @@
 
 pub mod effectiveness;
 
-pub use effectiveness::{
-    render_effectiveness, run_detection_effectiveness, run_known_bug, EffectivenessRow,
-};
+pub use effectiveness::{render_effectiveness, run_detection_effectiveness, run_known_bug, EffectivenessRow};
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,11 +48,7 @@ pub fn base_config() -> ConfigBuilder {
 ///
 /// Panics if the configuration is invalid or the workload faults
 /// unexpectedly (faults are expected only when an overflow is implanted).
-pub fn run_once(
-    system: SystemUnderTest,
-    workload: &dyn Workload,
-    spec: &WorkloadSpec,
-) -> (Duration, RunReport) {
+pub fn run_once(system: SystemUnderTest, workload: &dyn Workload, spec: &WorkloadSpec) -> (Duration, RunReport) {
     let bench = BenchConfig::assemble(system, base_config()).expect("valid configuration");
     let runtime = bench.runtime().expect("runtime creation");
     if bench.attach_detectors {
@@ -340,7 +334,8 @@ pub fn assert_identical_replay(workload: &dyn Workload) {
     let spec = WorkloadSpec::tiny();
     let (percent, attempts) = memdiff_run(workload, true, &spec);
     assert_eq!(
-        percent, 0.0,
+        percent,
+        0.0,
         "{}: replay image differs from the original",
         workload.name()
     );

@@ -24,8 +24,7 @@ pub(crate) fn alloc(rt: &RtInner, vt: &VThread, size: usize, site: SiteId) -> Me
     };
     let allocation = match result {
         Ok(a) => a,
-        Err(MemError::AllocationTooLarge { requested, .. })
-        | Err(MemError::OutOfMemory { requested }) => {
+        Err(MemError::AllocationTooLarge { requested, .. }) | Err(MemError::OutOfMemory { requested }) => {
             rt.raise_fault(vt, FaultKind::OutOfMemory { requested }, Some(site))
         }
         Err(other) => rt.raise_fault(
@@ -61,10 +60,7 @@ fn alloc_per_thread(rt: &RtInner, vt: &VThread, size: usize) -> Result<Allocatio
         if !needs {
             break;
         }
-        let block = match superheap_fetch_ordered(rt, vt) {
-            Ok(block) => block,
-            Err(e) => return Err(e),
-        };
+        let block = superheap_fetch_ordered(rt, vt)?;
         vt.heap.lock().add_block(block);
     }
     vt.heap.lock().alloc(&rt.arena, &rt.super_heap, size)
@@ -92,8 +88,7 @@ pub(crate) fn free(rt: &RtInner, vt: &VThread, addr: MemAddr, site: SiteId) {
     if rt.config.canaries {
         if let Some(size) = allocation_size(rt, vt, addr) {
             let canary_addr = addr + size as u64;
-            if let Ok(Some(corrupted)) = rt.canaries.lock().check_and_remove(&rt.arena, canary_addr)
-            {
+            if let Ok(Some(corrupted)) = rt.canaries.lock().check_and_remove(&rt.arena, canary_addr) {
                 rt.pending_canary_evidence.lock().push(corrupted);
             }
         }
@@ -118,12 +113,8 @@ pub(crate) fn free(rt: &RtInner, vt: &VThread, addr: MemAddr, site: SiteId) {
 
     match result {
         Ok(()) => {}
-        Err(MemError::DoubleFree { addr }) => {
-            rt.raise_fault(vt, FaultKind::DoubleFree { addr }, Some(site))
-        }
-        Err(MemError::InvalidFree { addr }) => {
-            rt.raise_fault(vt, FaultKind::InvalidFree { addr }, Some(site))
-        }
+        Err(MemError::DoubleFree { addr }) => rt.raise_fault(vt, FaultKind::DoubleFree { addr }, Some(site)),
+        Err(MemError::InvalidFree { addr }) => rt.raise_fault(vt, FaultKind::InvalidFree { addr }, Some(site)),
         Err(other) => rt.raise_fault(
             vt,
             FaultKind::Panic {
@@ -134,12 +125,7 @@ pub(crate) fn free(rt: &RtInner, vt: &VThread, addr: MemAddr, site: SiteId) {
     }
 }
 
-fn free_to_quarantine(
-    rt: &RtInner,
-    vt: &VThread,
-    addr: MemAddr,
-    site: SiteId,
-) -> Result<(), MemError> {
+fn free_to_quarantine(rt: &RtInner, vt: &VThread, addr: MemAddr, site: SiteId) -> Result<(), MemError> {
     let (record, slot_start) = if rt.per_thread_alloc() {
         vt.heap.lock().retire(&rt.arena, addr)?
     } else {
@@ -171,10 +157,7 @@ fn free_to_quarantine(
 
 /// Finds the live allocation containing `addr`, searching every heap.  Used
 /// by tools to attribute a corrupted address to an allocation.
-pub(crate) fn containing_allocation(
-    rt: &RtInner,
-    addr: MemAddr,
-) -> Option<ireplayer_mem::AllocRecord> {
+pub(crate) fn containing_allocation(rt: &RtInner, addr: MemAddr) -> Option<ireplayer_mem::AllocRecord> {
     if let Some(record) = rt.global_heap.lock().containing_allocation(addr) {
         return Some(record);
     }

@@ -20,7 +20,9 @@
 
 use std::collections::HashMap;
 
-use ireplayer_mem::{CanaryMap, CorruptedCanary, Globals, MemAddr, MemSnapshot, Quarantine, SuperHeapState, ThreadHeapState, UafEvidence};
+use ireplayer_mem::{
+    CanaryMap, CorruptedCanary, Globals, MemAddr, MemSnapshot, Quarantine, SuperHeapState, ThreadHeapState, UafEvidence,
+};
 use ireplayer_sys::OsSnapshot;
 
 use crate::site::SiteId;
@@ -151,13 +153,15 @@ pub(crate) fn restore(rt: &RtInner, checkpoint: &Checkpoint) {
         } else {
             // Created during the epoch being replayed: reset to a pristine
             // state.
-            vt.heap.lock().restore(
-                ireplayer_mem::ThreadHeap::new(vt.id.0, rt.heap_config()).state(),
-            );
-            *vt.quarantine.lock() = Quarantine::new(rt.config.quarantine_bytes);
-            vt.rng
+            vt.heap
                 .lock()
-                .restore(crate::rng::DetRng::new(rt.config.seed).derive(u64::from(vt.id.0)).state());
+                .restore(ireplayer_mem::ThreadHeap::new(vt.id.0, rt.heap_config()).state());
+            *vt.quarantine.lock() = Quarantine::new(rt.config.quarantine_bytes);
+            vt.rng.lock().restore(
+                crate::rng::DetRng::new(rt.config.seed)
+                    .derive(u64::from(vt.id.0))
+                    .state(),
+            );
             let mut control = vt.control.lock();
             control.joined = false;
             control.held_locks.clear();
@@ -205,17 +209,12 @@ mod tests {
             .write_bytes(ireplayer_mem::MemAddr::new(32), b"after!")
             .unwrap();
         rt.os.file_read(fd, 4).unwrap();
-        rt.epoch
-            .lock()
-            .deferred
-            .push(crate::state::DeferredOp::Close(fd));
+        rt.epoch.lock().deferred.push(crate::state::DeferredOp::Close(fd));
 
         // ...are undone by the rollback.
         restore(&rt, &checkpoint);
         let mut buf = [0u8; 6];
-        rt.arena
-            .read_bytes(ireplayer_mem::MemAddr::new(32), &mut buf)
-            .unwrap();
+        rt.arena.read_bytes(ireplayer_mem::MemAddr::new(32), &mut buf).unwrap();
         assert_eq!(&buf, b"before");
         assert_eq!(rt.os.file_read(fd, 4).unwrap(), b"4567");
         assert!(rt.epoch.lock().deferred.is_empty());

@@ -134,9 +134,7 @@ impl Config {
             )));
         }
         if self.events_per_thread == 0 {
-            return Err(RuntimeError::InvalidConfig(
-                "events_per_thread must be non-zero".into(),
-            ));
+            return Err(RuntimeError::InvalidConfig("events_per_thread must be non-zero".into()));
         }
         if self.max_replay_attempts == 0 {
             return Err(RuntimeError::InvalidConfig(

@@ -24,9 +24,7 @@ use crate::fault::{unwind_with, FaultKind, UnwindSignal};
 use crate::hooks::Instrument;
 use crate::program::{BodyFn, Step};
 use crate::site::SiteId;
-use crate::state::{
-    Command, ExecPhase, RtInner, SyncVarKind, ThreadPhase, VThread, REGISTRATION_VAR,
-};
+use crate::state::{Command, ExecPhase, RtInner, SyncVarKind, ThreadPhase, VThread, REGISTRATION_VAR};
 use crate::stats::WatchHitReport;
 use crate::sync;
 use crate::syscall;
@@ -136,18 +134,12 @@ impl<'a> ThreadCtx<'a> {
         match &self.instrument {
             None => {
                 for i in 0..iterations {
-                    acc = acc
-                        .rotate_left(13)
-                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
-                        .wrapping_add(i);
+                    acc = acc.rotate_left(13).wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(i);
                 }
             }
             Some(instrument) => {
                 for i in 0..iterations {
-                    acc = acc
-                        .rotate_left(13)
-                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
-                        .wrapping_add(i);
+                    acc = acc.rotate_left(13).wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(i);
                     if i % 8 == 0 {
                         instrument.on_branch(self.vt.id, (acc & 0xffff) as u32);
                     }
@@ -166,8 +158,7 @@ impl<'a> ThreadCtx<'a> {
     /// Requests an epoch boundary at the next quiescent point (the paper's
     /// "user-defined criteria" for closing an epoch).
     pub fn end_epoch(&self) {
-        self.rt
-            .request_epoch_end(crate::state::EpochEndReason::Explicit);
+        self.rt.request_epoch_end(crate::state::EpochEndReason::Explicit);
     }
 
     /// Reports a branch (Ball-Larus edge) to the instrumentation baseline,
@@ -258,11 +249,8 @@ impl<'a> ThreadCtx<'a> {
     }
 
     fn fault_mem(&self, addr: MemAddr, len: usize, is_write: bool, site: SiteId) -> ! {
-        self.rt.raise_fault(
-            self.vt,
-            FaultKind::SegFault { addr, len, is_write },
-            Some(site),
-        )
+        self.rt
+            .raise_fault(self.vt, FaultKind::SegFault { addr, len, is_write }, Some(site))
     }
 
     fn observe_store(&mut self, addr: MemAddr, len: usize, site: SiteId) {
@@ -278,10 +266,7 @@ impl<'a> ThreadCtx<'a> {
                     access: Span::new(addr, len as u64),
                     thread: self.vt.id,
                     site: self.rt.sites.resolve(site),
-                    attempt: self
-                        .rt
-                        .replay_attempt
-                        .load(std::sync::atomic::Ordering::Acquire),
+                    attempt: self.rt.replay_attempt.load(std::sync::atomic::Ordering::Acquire),
                 };
                 for hook in self.rt.hooks.read().iter() {
                     hook.on_watch_hit(&report);
@@ -529,14 +514,12 @@ impl<'a> ThreadCtx<'a> {
         let join_var = self.rt.register_sync_var(SyncVarKind::Internal).id;
         let heap = ireplayer_mem::ThreadHeap::new(id.0, self.rt.heap_config());
         let rng = crate::rng::DetRng::new(self.rt.config.seed).derive(u64::from(id.0));
-        let created_epoch = self.rt.epoch.lock().number;
         let vt = Arc::new(VThread::new(
             id,
             name,
             heap,
             rng,
             join_var,
-            created_epoch,
             self.rt.config.events_per_thread,
             self.rt.config.quarantine_bytes,
         ));
@@ -576,14 +559,11 @@ impl<'a> ThreadCtx<'a> {
                     drop(control);
                     unwind_with(UnwindSignal::EpochAbort);
                 }
-                if self.rt.epoch_end_pending() && !self.rt.replaying() && !self.vt.step_is_dirty()
-                {
+                if self.rt.epoch_end_pending() && !self.rt.replaying() && !self.vt.step_is_dirty() {
                     drop(control);
                     unwind_with(UnwindSignal::ReparkCleanStep);
                 }
-                child
-                    .control_cv
-                    .wait_for(&mut control, Duration::from_millis(2));
+                child.control_cv.wait_for(&mut control, Duration::from_millis(2));
             }
         }
         if self.rt.replaying() {
@@ -612,17 +592,10 @@ impl<'a> ThreadCtx<'a> {
             ExecPhase::Passthrough => self.rt.os.gettime_ns(),
             ExecPhase::Recording => {
                 let now = self.rt.os.gettime_ns();
-                syscall::record_syscall(
-                    self.rt,
-                    self.vt,
-                    SyscallKind::GetTime,
-                    SyscallOutcome::ret(now as i64),
-                );
+                syscall::record_syscall(self.rt, self.vt, SyscallKind::GetTime, SyscallOutcome::ret(now as i64));
                 now
             }
-            ExecPhase::Replaying => {
-                syscall::replay_syscall(self.rt, self.vt, SyscallKind::GetTime).ret as u64
-            }
+            ExecPhase::Replaying => syscall::replay_syscall(self.rt, self.vt, SyscallKind::GetTime).ret as u64,
         }
     }
 
@@ -675,18 +648,14 @@ impl<'a> ThreadCtx<'a> {
     /// `connect(address)` -- recordable.
     pub fn connect(&mut self, address: &str) -> Option<i32> {
         let address = address.to_owned();
-        self.recordable_fd_call(SyscallKind::SocketConnect, move |rt| {
-            rt.os.socket_connect(&address)
-        })
+        self.recordable_fd_call(SyscallKind::SocketConnect, move |rt| rt.os.socket_connect(&address))
     }
 
     /// `accept(address)` on a listening endpoint -- recordable.  Returns
     /// `None` when no client is pending.
     pub fn accept(&mut self, address: &str) -> Option<i32> {
         let address = address.to_owned();
-        self.recordable_fd_call(SyscallKind::SocketAccept, move |rt| {
-            rt.os.socket_accept(&address)
-        })
+        self.recordable_fd_call(SyscallKind::SocketAccept, move |rt| rt.os.socket_accept(&address))
     }
 
     /// `read(fd, len)` on a regular file -- revocable: re-issued during
@@ -762,9 +731,7 @@ impl<'a> ThreadCtx<'a> {
                 }
                 Err(e) => self.sys_fault(e, site),
             },
-            ExecPhase::Replaying => {
-                syscall::replay_syscall(self.rt, self.vt, SyscallKind::SocketRead).data
-            }
+            ExecPhase::Replaying => syscall::replay_syscall(self.rt, self.vt, SyscallKind::SocketRead).data,
         }
     }
 
@@ -788,9 +755,7 @@ impl<'a> ThreadCtx<'a> {
                 }
                 Err(e) => self.sys_fault(e, site),
             },
-            ExecPhase::Replaying => {
-                syscall::replay_syscall(self.rt, self.vt, SyscallKind::SocketWrite).ret as usize
-            }
+            ExecPhase::Replaying => syscall::replay_syscall(self.rt, self.vt, SyscallKind::SocketWrite).ret as usize,
         }
     }
 
@@ -847,12 +812,7 @@ impl<'a> ThreadCtx<'a> {
             }
             ExecPhase::Recording => {
                 syscall::defer(self.rt, crate::state::DeferredOp::Close(fd));
-                syscall::record_syscall(
-                    self.rt,
-                    self.vt,
-                    SyscallKind::Close,
-                    SyscallOutcome::ret(0),
-                );
+                syscall::record_syscall(self.rt, self.vt, SyscallKind::Close, SyscallOutcome::ret(0));
             }
             ExecPhase::Replaying => {
                 // The original close was deferred; replay only checks the
@@ -873,19 +833,12 @@ impl<'a> ThreadCtx<'a> {
             ExecPhase::Passthrough => self.rt.os.mmap(len).unwrap_or(0),
             ExecPhase::Recording => match self.rt.os.mmap(len) {
                 Ok(addr) => {
-                    syscall::record_syscall(
-                        self.rt,
-                        self.vt,
-                        SyscallKind::Mmap,
-                        SyscallOutcome::ret(addr as i64),
-                    );
+                    syscall::record_syscall(self.rt, self.vt, SyscallKind::Mmap, SyscallOutcome::ret(addr as i64));
                     addr
                 }
                 Err(e) => self.sys_fault(e, site),
             },
-            ExecPhase::Replaying => {
-                syscall::replay_syscall(self.rt, self.vt, SyscallKind::Mmap).ret as u64
-            }
+            ExecPhase::Replaying => syscall::replay_syscall(self.rt, self.vt, SyscallKind::Mmap).ret as u64,
         }
     }
 
@@ -898,12 +851,7 @@ impl<'a> ThreadCtx<'a> {
             }
             ExecPhase::Recording => {
                 syscall::defer(self.rt, crate::state::DeferredOp::Munmap(addr));
-                syscall::record_syscall(
-                    self.rt,
-                    self.vt,
-                    SyscallKind::Munmap,
-                    SyscallOutcome::ret(0),
-                );
+                syscall::record_syscall(self.rt, self.vt, SyscallKind::Munmap, SyscallOutcome::ret(0));
             }
             ExecPhase::Replaying => {
                 let _ = syscall::replay_syscall(self.rt, self.vt, SyscallKind::Munmap);

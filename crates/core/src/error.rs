@@ -104,15 +104,11 @@ mod tests {
             RuntimeError::Sys(SysError::WouldBlock),
             RuntimeError::Faulted(FaultRecord {
                 thread: ThreadId(1),
-                kind: FaultKind::ExplicitCrash {
-                    message: "boom".into(),
-                },
+                kind: FaultKind::ExplicitCrash { message: "boom".into() },
                 site: None,
                 epoch: 0,
             }),
-            RuntimeError::QuiescenceTimeout {
-                stuck_threads: vec![2],
-            },
+            RuntimeError::QuiescenceTimeout { stuck_threads: vec![2] },
             RuntimeError::ReplayBudgetExhausted { attempts: 5 },
             RuntimeError::UnreplayableEpoch { syscall: "fork" },
             RuntimeError::RecordingDisabled,

@@ -155,12 +155,8 @@ mod tests {
                 len: 8,
                 is_write: true,
             },
-            FaultKind::InvalidFree {
-                addr: MemAddr::new(64),
-            },
-            FaultKind::DoubleFree {
-                addr: MemAddr::new(64),
-            },
+            FaultKind::InvalidFree { addr: MemAddr::new(64) },
+            FaultKind::DoubleFree { addr: MemAddr::new(64) },
             FaultKind::OutOfMemory { requested: 128 },
             FaultKind::ExplicitCrash {
                 message: "bad state".into(),
@@ -181,9 +177,7 @@ mod tests {
     fn records_mention_thread_epoch_and_site() {
         let record = FaultRecord {
             thread: ThreadId(2),
-            kind: FaultKind::ExplicitCrash {
-                message: "boom".into(),
-            },
+            kind: FaultKind::ExplicitCrash { message: "boom".into() },
             site: Some(Site {
                 file: "app.rs".into(),
                 line: 10,

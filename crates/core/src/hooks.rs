@@ -206,9 +206,7 @@ mod tests {
         assert_eq!(tool.at_epoch_end(&view), EpochDecision::Continue);
         let fault = FaultRecord {
             thread: ThreadId(0),
-            kind: crate::fault::FaultKind::ExplicitCrash {
-                message: "x".into(),
-            },
+            kind: crate::fault::FaultKind::ExplicitCrash { message: "x".into() },
             site: None,
             epoch: 0,
         };
@@ -231,10 +229,7 @@ mod tests {
             .watch(Span::new(MemAddr::new(200), 8));
         assert_eq!(request.watch.len(), 2);
         assert_eq!(request.reason, "canary corrupted");
-        assert_eq!(
-            EpochDecision::Replay(request.clone()),
-            EpochDecision::Replay(request)
-        );
+        assert_eq!(EpochDecision::Replay(request.clone()), EpochDecision::Replay(request));
     }
 
     #[test]

@@ -28,9 +28,7 @@ use crate::hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook
 use crate::program::Program;
 use crate::rng::DetRng;
 use crate::site::Site;
-use crate::state::{
-    Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, SyncVarKind, ThreadPhase, VThread,
-};
+use crate::state::{Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, SyncVarKind, ThreadPhase, VThread};
 use crate::stats::{Counters, ReplayValidation, RunOutcome, RunReport, WatchHitReport};
 
 /// How long the supervisor waits between scans of the world state.
@@ -121,7 +119,7 @@ impl Runtime {
         let rt = self.rt;
 
         // Create the main application thread (ThreadId 0).
-        let main_vt = create_thread(&rt, "main".to_owned(), 0);
+        let main_vt = create_thread(&rt, "main".to_owned());
         let rt_for_main = Arc::clone(&rt);
         let vt_for_main = Arc::clone(&main_vt);
         let handle = std::thread::Builder::new()
@@ -186,9 +184,7 @@ impl Runtime {
                 match wait_for_quiescence(&rt) {
                     Quiescence::Reached => {
                         if let Some(request) = collect_epoch_decision(&rt) {
-                            if rt.config.mode == RunMode::Record
-                                && rt.epoch.lock().tainted_by.is_none()
-                            {
+                            if rt.config.mode == RunMode::Record && rt.epoch.lock().tainted_by.is_none() {
                                 match run_replay_cycle(&rt, &checkpoint, request, None) {
                                     Ok(validation) => replay_validations.push(validation),
                                     Err(e) => {
@@ -207,9 +203,7 @@ impl Runtime {
                         cancel_epoch_end(&rt);
                     }
                     Quiescence::Failed(stuck) => {
-                        supervisor_error = Some(RuntimeError::QuiescenceTimeout {
-                            stuck_threads: stuck,
-                        });
+                        supervisor_error = Some(RuntimeError::QuiescenceTimeout { stuck_threads: stuck });
                         break;
                     }
                 }
@@ -268,7 +262,7 @@ impl std::fmt::Debug for Runtime {
 // construction for dynamically created threads).
 // ---------------------------------------------------------------------------
 
-fn create_thread(rt: &Arc<RtInner>, name: String, created_epoch: u64) -> Arc<VThread> {
+fn create_thread(rt: &Arc<RtInner>, name: String) -> Arc<VThread> {
     let id = ThreadId(rt.threads.read().len() as u32);
     let join_var = rt.register_sync_var(SyncVarKind::Internal).id;
     let heap = ThreadHeap::new(id.0, rt.heap_config());
@@ -279,7 +273,6 @@ fn create_thread(rt: &Arc<RtInner>, name: String, created_epoch: u64) -> Arc<VTh
         heap,
         rng,
         join_var,
-        created_epoch,
         rt.config.events_per_thread,
         rt.config.quarantine_bytes,
     ));
@@ -301,12 +294,10 @@ fn wait_world_tick(rt: &RtInner) {
 }
 
 fn all_threads_done(rt: &RtInner) -> bool {
-    rt.threads.read().iter().all(|vt| {
-        matches!(
-            vt.control.lock().phase,
-            ThreadPhase::Finished | ThreadPhase::Reclaimed
-        )
-    })
+    rt.threads
+        .read()
+        .iter()
+        .all(|vt| matches!(vt.control.lock().phase, ThreadPhase::Finished | ThreadPhase::Reclaimed))
 }
 
 /// Waits until every thread is settled (parked, finished, reclaimed, or
@@ -348,12 +339,7 @@ fn wait_for_quiescence(rt: &RtInner) -> Quiescence {
             .threads
             .read()
             .iter()
-            .filter(|vt| {
-                matches!(
-                    vt.control.lock().phase,
-                    ThreadPhase::Running | ThreadPhase::Idle
-                )
-            })
+            .filter(|vt| matches!(vt.control.lock().phase, ThreadPhase::Running | ThreadPhase::Idle))
             .map(|vt| vt.id.0)
             .collect();
         if running.is_empty() {
@@ -504,11 +490,7 @@ struct ReplayPlan {
     faulting: Option<ThreadId>,
 }
 
-fn build_replay_plan(
-    rt: &RtInner,
-    checkpoint: &Checkpoint,
-    faulting: Option<ThreadId>,
-) -> ReplayPlan {
+fn build_replay_plan(rt: &RtInner, checkpoint: &Checkpoint, faulting: Option<ThreadId>) -> ReplayPlan {
     let mut plan = ReplayPlan {
         targets: HashMap::new(),
         created_in_epoch: Vec::new(),
@@ -548,7 +530,7 @@ fn run_replay_cycle(
     }
 
     let plan = build_replay_plan(rt, checkpoint, faulting);
-    let epoch_number = rt.epoch.lock().number;
+    let epoch_number = checkpoint.epoch;
 
     // Image of the original epoch end, used for the identical-replay
     // validation of §5.2 / Table 1.
@@ -566,8 +548,7 @@ fn run_replay_cycle(
         for span in request.watch.iter().take(ireplayer_mem::MAX_WATCHPOINTS) {
             let _ = watch.install(*span);
         }
-        rt.watch_active
-            .store(watch.len() > 0, Ordering::Release);
+        rt.watch_active.store(!watch.is_empty(), Ordering::Release);
     }
 
     let mut matched = false;
@@ -711,12 +692,11 @@ fn wait_replay_settle(rt: &RtInner, plan: &ReplayPlan) -> bool {
                 continue;
             }
             let control = vt.control.lock();
-            match control.phase {
-                ThreadPhase::Running => unsettled += 1,
-                ThreadPhase::Idle if !control.awaiting_creation && control.command.is_some() => {
-                    unsettled += 1
-                }
-                _ => {}
+            // A pending command counts as unsettled regardless of the phase
+            // left over from the recorded segment (Finished/Parked): the
+            // worker may not have woken to pick the command up yet.
+            if control.phase == ThreadPhase::Running || (control.command.is_some() && !control.awaiting_creation) {
+                unsettled += 1;
             }
         }
         if unsettled == 0 {

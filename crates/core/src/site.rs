@@ -17,9 +17,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Interned identifier of a source location.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SiteId(pub u32);
 
 /// A resolved source location.
@@ -80,11 +78,13 @@ impl SiteRegistry {
     }
 
     /// Number of distinct interned sites.
+    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.inner.lock().sites.len()
     }
 
     /// Returns `true` if no sites have been interned.
+    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -10,16 +10,12 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use ireplayer_log::{Divergence, ThreadId, ThreadList, VarId, VarList};
-use ireplayer_mem::{
-    Arena, CanaryMap, Globals, HeapConfig, MemAddr, Quarantine, SuperHeap, ThreadHeap,
-    WatchRegistry,
-};
+use ireplayer_mem::{Arena, CanaryMap, Globals, HeapConfig, MemAddr, Quarantine, SuperHeap, ThreadHeap, WatchRegistry};
 use ireplayer_sys::SimOs;
 
 use crate::config::{AllocatorMode, Config, RunMode};
 use crate::fault::FaultRecord;
 use crate::hooks::{Instrument, ToolHook};
-use crate::program::BodyFn;
 use crate::rng::DetRng;
 use crate::site::{SiteId, SiteRegistry};
 use crate::stats::{Counters, WatchHitReport};
@@ -108,15 +104,13 @@ pub(crate) struct ThreadControl {
     pub awaiting_creation: bool,
     /// Whether the parent has joined this thread.
     pub joined: bool,
-    /// Epoch in which the thread was created.
-    pub created_epoch: u64,
     /// Locks currently held (discipline check: must be empty at step
     /// boundaries).
     pub held_locks: Vec<VarId>,
 }
 
 impl ThreadControl {
-    fn new(created_epoch: u64) -> Self {
+    fn new() -> Self {
         ThreadControl {
             phase: ThreadPhase::Idle,
             command: None,
@@ -124,7 +118,6 @@ impl ThreadControl {
             segment_steps: 0,
             awaiting_creation: false,
             joined: false,
-            created_epoch,
             held_locks: Vec::new(),
         }
     }
@@ -157,14 +150,13 @@ impl VThread {
         heap: ThreadHeap,
         rng: DetRng,
         join_var: VarId,
-        created_epoch: u64,
         events_capacity: usize,
         quarantine_budget: usize,
     ) -> Self {
         VThread {
             id,
             name,
-            control: Mutex::new(ThreadControl::new(created_epoch)),
+            control: Mutex::new(ThreadControl::new()),
             control_cv: Condvar::new(),
             heap: Mutex::new(heap),
             quarantine: Mutex::new(Quarantine::new(quarantine_budget)),
@@ -202,7 +194,9 @@ impl std::fmt::Debug for VThread {
 pub(crate) enum SyncVarKind {
     Mutex,
     Condvar,
-    Barrier { parties: u32 },
+    Barrier {
+        parties: u32,
+    },
     /// Runtime-internal lock (thread creation, super-heap fetch) or a
     /// per-thread join variable.
     Internal,
@@ -312,8 +306,6 @@ pub(crate) struct RtInner {
     pub creation_lock: Mutex<()>,
     /// OS thread handles, joined at the end of the run.
     pub os_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    /// Bodies handed from a spawning thread to the new OS thread.
-    pub pending_bodies: Mutex<HashMap<ThreadId, BodyFn>>,
 
     pub epoch: Mutex<EpochShared>,
     pub canaries: Mutex<CanaryMap>,
@@ -362,10 +354,7 @@ impl RtInner {
             canaries: config.canaries,
             canary_len: 8,
         };
-        let globals_region = ireplayer_mem::Span::new(
-            ireplayer_mem::MemAddr::new(16),
-            config.globals_size as u64,
-        );
+        let globals_region = ireplayer_mem::Span::new(ireplayer_mem::MemAddr::new(16), config.globals_size as u64);
         let heap_region = ireplayer_mem::Span::new(
             ireplayer_mem::MemAddr::new(16 + config.globals_size as u64),
             (config.arena_size - config.globals_size - 32) as u64,
@@ -402,7 +391,6 @@ impl RtInner {
             sync_table: RwLock::new(sync_table),
             creation_lock: Mutex::new(()),
             os_threads: Mutex::new(Vec::new()),
-            pending_bodies: Mutex::new(HashMap::new()),
             epoch: Mutex::new(EpochShared::default()),
             canaries: Mutex::new(CanaryMap::new()),
             pending_canary_evidence: Mutex::new(Vec::new()),
@@ -512,12 +500,7 @@ impl RtInner {
     /// unwinds the faulting step.  This is the analogue of a signal handler
     /// intercepting `SIGSEGV`/`SIGABRT` (§3.4): the coordinator decides
     /// whether to replay for diagnosis or terminate with a report.
-    pub fn raise_fault(
-        &self,
-        vt: &VThread,
-        kind: crate::fault::FaultKind,
-        site: Option<SiteId>,
-    ) -> ! {
+    pub fn raise_fault(&self, vt: &VThread, kind: crate::fault::FaultKind, site: Option<SiteId>) -> ! {
         let record = crate::fault::FaultRecord {
             thread: vt.id,
             kind,

@@ -99,9 +99,9 @@ impl RunReport {
     /// Returns `true` if every rollback found a matching schedule and every
     /// validated image was identical.
     pub fn replays_identical(&self) -> bool {
-        self.replay_validations.iter().all(|v| {
-            v.matched && v.image_diff.map(|d| d.is_identical()).unwrap_or(true)
-        })
+        self.replay_validations
+            .iter()
+            .all(|v| v.matched && v.image_diff.map(|d| d.is_identical()).unwrap_or(true))
     }
 }
 

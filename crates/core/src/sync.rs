@@ -111,13 +111,7 @@ pub(crate) fn replay_expect(rt: &RtInner, vt: &VThread, actual: &EventKind) -> i
             );
         }
         None => {
-            signal_divergence(
-                rt,
-                vt,
-                DivergenceKind::ExtraOperation {
-                    actual: actual.clone(),
-                },
-            );
+            signal_divergence(rt, vt, DivergenceKind::ExtraOperation { actual: actual.clone() });
         }
     }
 }

@@ -18,7 +18,7 @@ use ireplayer_sys::SyscallKind;
 
 use crate::state::{DeferredOp, EpochEndReason, RtInner, VThread};
 use crate::stats::Counters;
-use crate::sync::{mark_dirty, record_thread_event, replay_advance_thread, replay_expect, signal_divergence};
+use crate::sync::{mark_dirty, record_thread_event, replay_advance_thread, replay_expect};
 
 /// Records the outcome of a recordable call (or the marker of a revocable /
 /// deferrable call).
@@ -75,19 +75,4 @@ pub(crate) fn defer(rt: &RtInner, op: DeferredOp) {
 pub(crate) fn irrevocable(rt: &RtInner, name: &'static str) {
     rt.epoch.lock().tainted_by = Some(name);
     rt.request_epoch_end(EpochEndReason::Irrevocable);
-}
-
-/// During replay, a call that should never be re-issued (it was classified
-/// recordable but carries no logged event, which indicates a divergence).
-pub(crate) fn replay_unexpected(rt: &RtInner, vt: &VThread, kind: SyscallKind) -> ! {
-    signal_divergence(
-        rt,
-        vt,
-        ireplayer_log::DivergenceKind::ExtraOperation {
-            actual: EventKind::Syscall {
-                code: kind.code(),
-                outcome: SyscallOutcome::default(),
-            },
-        },
-    )
 }

@@ -5,9 +5,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use ireplayer::{
-    Config, EpochDecision, EpochView, Program, ReplayRequest, Runtime, Step, ToolHook,
-};
+use ireplayer::{Config, EpochDecision, EpochView, Program, ReplayRequest, Runtime, Step, ToolHook};
 
 fn config() -> Config {
     Config::builder()
@@ -159,7 +157,7 @@ fn fault_diagnosis_replay_runs_and_reports() {
         }))
         .unwrap();
     assert!(!report.outcome.is_success());
-    assert_eq!(report.faults.iter().filter(|f| f.thread.0 == 0).count() >= 1, true);
+    assert!(report.faults.iter().filter(|f| f.thread.0 == 0).count() >= 1);
     assert_eq!(report.replay_validations.len(), 1);
     assert!(report.replay_validations[0].matched);
 }

@@ -52,7 +52,11 @@ mod tests {
 
     #[test]
     fn detection_config_enables_canaries_and_quarantine() {
-        let config = detection_config().arena_size(1 << 20).heap_block_size(64 << 10).build().unwrap();
+        let config = detection_config()
+            .arena_size(1 << 20)
+            .heap_block_size(64 << 10)
+            .build()
+            .unwrap();
         assert!(config.canaries);
         assert!(config.quarantine_bytes > 0);
     }

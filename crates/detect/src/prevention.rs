@@ -80,9 +80,7 @@ impl PreventionPlan {
         self.actions
             .iter()
             .filter_map(|action| match action {
-                PreventionAction::DelayFrees {
-                    quarantine_bytes, ..
-                } => Some(*quarantine_bytes),
+                PreventionAction::DelayFrees { quarantine_bytes, .. } => Some(*quarantine_bytes),
                 PreventionAction::PadAllocations { .. } => None,
             })
             .max()
@@ -149,10 +147,7 @@ impl std::fmt::Display for PreventionPlan {
                     }
                     writeln!(f, ": keep >= {quarantine_bytes} bytes quarantined")?;
                 }
-                PreventionAction::PadAllocations {
-                    alloc_site,
-                    pad_bytes,
-                } => {
+                PreventionAction::PadAllocations { alloc_site, pad_bytes } => {
                     write!(f, "pad allocations")?;
                     if let Some(site) = alloc_site {
                         write!(f, " at {site}")?;
@@ -242,8 +237,7 @@ impl ToolHook for PreventionAdvisor {
         for evidence in view.use_after_free_evidence() {
             plan.actions.push(PreventionAction::DelayFrees {
                 free_site: view.free_site(evidence.entry.payload),
-                quarantine_bytes: ADVISED_QUARANTINE_BYTES
-                    .max(evidence.entry.requested.saturating_mul(8)),
+                quarantine_bytes: ADVISED_QUARANTINE_BYTES.max(evidence.entry.requested.saturating_mul(8)),
             });
         }
         // Diagnosis (and therefore the replay decision) is left to the

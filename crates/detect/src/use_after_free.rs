@@ -10,9 +10,7 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-use ireplayer::{
-    EpochDecision, EpochView, MemAddr, ReplayRequest, Span, ToolHook, WatchHitReport,
-};
+use ireplayer::{EpochDecision, EpochView, MemAddr, ReplayRequest, Span, ToolHook, WatchHitReport};
 
 use crate::report::{BugKind, BugReport, Culprit};
 

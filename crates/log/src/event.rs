@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// by a global lock, §3.2.1), so they are identical across the original
 /// execution and every re-execution -- one of the system states the paper's
 /// identical replay preserves.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct ThreadId(pub u32);
 
 impl ThreadId {
@@ -38,9 +36,7 @@ impl fmt::Display for ThreadId {
 /// pointer is stored in the first word of the application's synchronization
 /// object; here the handle the application holds *is* the indirection, and
 /// `VarId` indexes the runtime's shadow-object table.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct VarId(pub u32);
 
 impl VarId {
@@ -164,10 +160,7 @@ impl EventKind {
     /// then supplied from the log rather than compared.
     pub fn same_operation(&self, other: &EventKind) -> bool {
         match (self, other) {
-            (
-                EventKind::Sync { var: v1, op: o1, .. },
-                EventKind::Sync { var: v2, op: o2, .. },
-            ) => v1 == v2 && o1 == o2,
+            (EventKind::Sync { var: v1, op: o1, .. }, EventKind::Sync { var: v2, op: o2, .. }) => v1 == v2 && o1 == o2,
             (EventKind::Syscall { code: c1, .. }, EventKind::Syscall { code: c2, .. }) => c1 == c2,
             _ => false,
         }

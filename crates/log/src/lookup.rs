@@ -148,9 +148,13 @@ impl SyncVarDirectory for ShadowDirectory {
 /// lock -- the effect the paper measured at up to 4x on fluidanimate.
 #[derive(Debug)]
 pub struct HashDirectory {
-    buckets: Vec<Mutex<Vec<(SyncAddr, Arc<SyncSlot>)>>>,
+    buckets: Vec<Mutex<BucketChain>>,
     count: Mutex<u32>,
 }
+
+/// One hash chain: the registered variables whose address hashes to the
+/// bucket, walked under the bucket's lock.
+type BucketChain = Vec<(SyncAddr, Arc<SyncSlot>)>;
 
 impl HashDirectory {
     /// Creates a directory with `buckets` chains (rounded up to at least

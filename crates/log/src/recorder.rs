@@ -88,9 +88,7 @@ impl EpochLog {
         op: SyncOp,
         result: i64,
     ) -> Result<u32, ThreadListFull> {
-        let index = self
-            .thread_mut(thread)
-            .append(EventKind::Sync { var, op, result })?;
+        let index = self.thread_mut(thread).append(EventKind::Sync { var, op, result })?;
         self.var_mut(var).append(thread, op, index);
         Ok(index)
     }
@@ -103,12 +101,7 @@ impl EpochLog {
     ///
     /// Returns [`ThreadListFull`] when the thread's pre-allocated entries
     /// are exhausted.
-    pub fn record_trylock(
-        &mut self,
-        thread: ThreadId,
-        var: VarId,
-        acquired: bool,
-    ) -> Result<u32, ThreadListFull> {
+    pub fn record_trylock(&mut self, thread: ThreadId, var: VarId, acquired: bool) -> Result<u32, ThreadListFull> {
         let index = self.thread_mut(thread).append(EventKind::Sync {
             var,
             op: SyncOp::MutexTryLock,
@@ -132,8 +125,7 @@ impl EpochLog {
         code: u16,
         outcome: crate::event::SyscallOutcome,
     ) -> Result<u32, ThreadListFull> {
-        self.thread_mut(thread)
-            .append(EventKind::Syscall { code, outcome })
+        self.thread_mut(thread).append(EventKind::Syscall { code, outcome })
     }
 
     /// Resets every cursor to the start of the recorded epoch.

@@ -104,4 +104,62 @@ mod tests {
         assert_eq!(SyscallClass::Repeatable.to_string(), "repeatable");
         assert_eq!(SyscallClass::Irrevocable.to_string(), "irrevocable");
     }
+
+    /// Every class round-trips through the recorder: the event recorded for
+    /// a call of that class (a full outcome for recordable calls, a marker
+    /// for the others) is handed back unchanged by the replay cursor, and
+    /// the class recovered from the recorded code drives the same policy.
+    #[test]
+    fn every_class_round_trips_through_the_recorder() {
+        use crate::event::{EventKind, SyscallOutcome, ThreadId};
+        use crate::recorder::EpochLog;
+
+        const ALL: [SyscallClass; 5] = [
+            SyscallClass::Repeatable,
+            SyscallClass::Recordable,
+            SyscallClass::Revocable,
+            SyscallClass::Deferrable,
+            SyscallClass::Irrevocable,
+        ];
+        // The test's call table: one representative code per class.
+        let code_of = |class: SyscallClass| ALL.iter().position(|c| *c == class).unwrap() as u16;
+        let class_of = |code: u16| ALL[usize::from(code)];
+        let outcome_of = |class: SyscallClass| {
+            if class.needs_recording() {
+                // Recordable calls log their full result, data included.
+                SyscallOutcome::with_data(42, vec![0xAB, 0xCD])
+            } else {
+                // The other classes log only a marker for divergence checks.
+                SyscallOutcome::default()
+            }
+        };
+
+        let thread = ThreadId(0);
+        let mut log = EpochLog::new(16);
+        for class in ALL {
+            log.record_syscall(thread, code_of(class), outcome_of(class)).unwrap();
+        }
+
+        log.begin_replay();
+        let list = log.thread(thread).unwrap();
+        assert_eq!(list.len(), ALL.len());
+        for (event, expected) in list.events().iter().zip(ALL) {
+            let EventKind::Syscall { code, outcome } = &event.kind else {
+                panic!("recorded a non-syscall event for {expected}");
+            };
+            let recovered = class_of(*code);
+            assert_eq!(recovered, expected, "class survives the round trip");
+            assert_eq!(
+                *outcome,
+                outcome_of(expected),
+                "{expected} outcome survives the round trip"
+            );
+            // The recovered class drives the same record/replay policy.
+            assert_eq!(recovered.needs_recording(), expected.needs_recording());
+            assert_eq!(recovered.reissued_in_replay(), expected.reissued_in_replay());
+            assert_eq!(recovered.deferred(), expected.deferred());
+            assert_eq!(recovered.closes_epoch(), expected.closes_epoch());
+        }
+        assert!(!log.replay_complete());
+    }
 }

@@ -22,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.offset(), 64);
 /// assert_eq!((a + 8).offset(), 72);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct MemAddr(u64);
 
 impl MemAddr {
@@ -153,8 +151,7 @@ impl Span {
 
     /// Returns `true` if the two spans share at least one byte.
     pub const fn overlaps(&self, other: &Span) -> bool {
-        self.addr.offset() < other.addr.offset() + other.len
-            && other.addr.offset() < self.addr.offset() + self.len
+        self.addr.offset() < other.addr.offset() + other.len && other.addr.offset() < self.addr.offset() + self.len
     }
 
     /// Returns `true` if the span has zero length.
@@ -224,9 +221,6 @@ mod tests {
     #[test]
     fn display_formats_hex() {
         assert_eq!(MemAddr::new(255).to_string(), "0xff");
-        assert_eq!(
-            Span::new(MemAddr::new(16), 16).to_string(),
-            "[0x10, 0x20)"
-        );
+        assert_eq!(Span::new(MemAddr::new(16), 16).to_string(), "[0x10, 0x20)");
     }
 }

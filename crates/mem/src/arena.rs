@@ -187,10 +187,7 @@ impl Arena {
     /// Dumps the whole arena (including the reserved null byte) into a
     /// `Vec<u8>`.  Used by snapshots and by the memory-diff experiment.
     pub fn dump(&self) -> Vec<u8> {
-        self.bytes
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect()
+        self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
     /// Dumps only the first `len` bytes of the arena.
@@ -200,10 +197,7 @@ impl Arena {
     /// copying untouched pages.
     pub fn dump_prefix(&self, len: usize) -> Vec<u8> {
         let len = len.min(self.bytes.len());
-        self.bytes[..len]
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect()
+        self.bytes[..len].iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
     /// Overwrites the first `data.len()` bytes of the arena with `data`.

@@ -84,13 +84,7 @@ impl CanaryMap {
     /// # Errors
     ///
     /// Returns [`MemError::OutOfBounds`] if the region is outside the arena.
-    pub fn plant(
-        &mut self,
-        arena: &Arena,
-        addr: MemAddr,
-        len: usize,
-        guarded: MemAddr,
-    ) -> Result<(), MemError> {
+    pub fn plant(&mut self, arena: &Arena, addr: MemAddr, len: usize, guarded: MemAddr) -> Result<(), MemError> {
         arena.fill(addr, len, CANARY_BYTE)?;
         self.entries.insert(addr, CanaryEntry { len, guarded });
         Ok(())
@@ -109,11 +103,7 @@ impl CanaryMap {
     /// # Errors
     ///
     /// Returns [`MemError::OutOfBounds`] if the region is outside the arena.
-    pub fn check_and_remove(
-        &mut self,
-        arena: &Arena,
-        addr: MemAddr,
-    ) -> Result<Option<CorruptedCanary>, MemError> {
+    pub fn check_and_remove(&mut self, arena: &Arena, addr: MemAddr) -> Result<Option<CorruptedCanary>, MemError> {
         match self.entries.remove(&addr) {
             None => Ok(None),
             Some(entry) => Self::check_entry(arena, addr, &entry),
@@ -152,11 +142,7 @@ impl CanaryMap {
             .map(|(addr, entry)| (*addr, entry.len, entry.guarded))
     }
 
-    fn check_entry(
-        arena: &Arena,
-        addr: MemAddr,
-        entry: &CanaryEntry,
-    ) -> Result<Option<CorruptedCanary>, MemError> {
+    fn check_entry(arena: &Arena, addr: MemAddr, entry: &CanaryEntry) -> Result<Option<CorruptedCanary>, MemError> {
         let mut buf = vec![0u8; entry.len];
         arena.read_bytes(addr, &mut buf)?;
         for (i, byte) in buf.iter().enumerate() {
@@ -180,10 +166,8 @@ mod tests {
     fn intact_canaries_pass_the_scan() {
         let arena = Arena::new(512);
         let mut map = CanaryMap::new();
-        map.plant(&arena, MemAddr::new(100), 8, MemAddr::new(92))
-            .unwrap();
-        map.plant(&arena, MemAddr::new(200), 16, MemAddr::new(180))
-            .unwrap();
+        map.plant(&arena, MemAddr::new(100), 8, MemAddr::new(92)).unwrap();
+        map.plant(&arena, MemAddr::new(200), 16, MemAddr::new(180)).unwrap();
         assert_eq!(map.len(), 2);
         assert!(map.check(&arena).unwrap().is_empty());
     }
@@ -192,8 +176,7 @@ mod tests {
     fn corrupted_canary_reports_first_bad_byte_and_guarded_object() {
         let arena = Arena::new(512);
         let mut map = CanaryMap::new();
-        map.plant(&arena, MemAddr::new(100), 8, MemAddr::new(92))
-            .unwrap();
+        map.plant(&arena, MemAddr::new(100), 8, MemAddr::new(92)).unwrap();
         arena.write_u8(MemAddr::new(103), 0x00).unwrap();
         let bad = map.check(&arena).unwrap();
         assert_eq!(bad.len(), 1);
@@ -206,8 +189,7 @@ mod tests {
     fn check_and_remove_consumes_the_entry() {
         let arena = Arena::new(256);
         let mut map = CanaryMap::new();
-        map.plant(&arena, MemAddr::new(64), 8, MemAddr::new(32))
-            .unwrap();
+        map.plant(&arena, MemAddr::new(64), 8, MemAddr::new(32)).unwrap();
         arena.write_u8(MemAddr::new(64), 1).unwrap();
         let first = map.check_and_remove(&arena, MemAddr::new(64)).unwrap();
         assert!(first.is_some());
@@ -220,10 +202,8 @@ mod tests {
     fn remove_and_clear_forget_placements() {
         let arena = Arena::new(256);
         let mut map = CanaryMap::new();
-        map.plant(&arena, MemAddr::new(64), 8, MemAddr::new(32))
-            .unwrap();
-        map.plant(&arena, MemAddr::new(96), 8, MemAddr::new(80))
-            .unwrap();
+        map.plant(&arena, MemAddr::new(64), 8, MemAddr::new(32)).unwrap();
+        map.plant(&arena, MemAddr::new(96), 8, MemAddr::new(80)).unwrap();
         assert!(map.remove(MemAddr::new(64)));
         assert!(!map.remove(MemAddr::new(64)));
         assert_eq!(map.iter().count(), 1);

@@ -63,11 +63,7 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemError::OutOfBounds {
-                addr,
-                len,
-                arena_size,
-            } => write!(
+            MemError::OutOfBounds { addr, len, arena_size } => write!(
                 f,
                 "access of {len} bytes at {addr} is outside the {arena_size}-byte arena"
             ),
@@ -115,17 +111,10 @@ mod tests {
                 requested: 1 << 30,
                 max: 1 << 22,
             },
-            MemError::InvalidFree {
-                addr: MemAddr::new(12),
-            },
-            MemError::DoubleFree {
-                addr: MemAddr::new(12),
-            },
+            MemError::InvalidFree { addr: MemAddr::new(12) },
+            MemError::DoubleFree { addr: MemAddr::new(12) },
             MemError::NoWatchpointSlot,
-            MemError::SnapshotSizeMismatch {
-                snapshot: 8,
-                arena: 16,
-            },
+            MemError::SnapshotSizeMismatch { snapshot: 8, arena: 16 },
             MemError::GlobalsExhausted { requested: 128 },
         ];
         for v in variants {

@@ -294,8 +294,7 @@ impl ThreadHeap {
     /// largest size class.
     pub fn needs_block(&self, size: usize) -> Result<bool, MemError> {
         let class = self.slot_class(size)?;
-        Ok(self.free_lists[class.index()].is_empty()
-            && self.bump_remaining < class.size() as u64)
+        Ok(self.free_lists[class.index()].is_empty() && self.bump_remaining < class.size() as u64)
     }
 
     /// Hands a freshly fetched super-heap block to this heap's bump
@@ -320,12 +319,7 @@ impl ThreadHeap {
     /// * [`MemError::OutOfMemory`] if the super heap is exhausted.
     /// * [`MemError::OutOfBounds`] if header or canary writes fault, which
     ///   indicates arena mis-configuration.
-    pub fn alloc(
-        &mut self,
-        arena: &Arena,
-        super_heap: &SuperHeap,
-        size: usize,
-    ) -> Result<Allocation, MemError> {
+    pub fn alloc(&mut self, arena: &Arena, super_heap: &SuperHeap, size: usize) -> Result<Allocation, MemError> {
         let class = self.slot_class(size)?;
         let slot_size = class.size() as u64;
         let slot_start = if let Some(addr) = self.free_lists[class.index()].pop() {
@@ -410,11 +404,7 @@ impl ThreadHeap {
     /// # Errors
     ///
     /// Same as [`ThreadHeap::free`].
-    pub fn retire(
-        &mut self,
-        arena: &Arena,
-        payload: MemAddr,
-    ) -> Result<(AllocRecord, MemAddr), MemError> {
+    pub fn retire(&mut self, arena: &Arena, payload: MemAddr) -> Result<(AllocRecord, MemAddr), MemError> {
         if payload.offset() <= HEADER_SIZE {
             return Err(MemError::InvalidFree { addr: payload });
         }
@@ -429,15 +419,12 @@ impl ThreadHeap {
         if state != STATE_LIVE || usize::from(class_idx) >= NUM_CLASSES {
             return Err(MemError::InvalidFree { addr: payload });
         }
-        let record = self
-            .live
-            .remove(&payload)
-            .unwrap_or(AllocRecord {
-                payload,
-                requested: _requested as usize,
-                class: SizeClass(class_idx),
-                allocating_thread: u32::MAX,
-            });
+        let record = self.live.remove(&payload).unwrap_or(AllocRecord {
+            payload,
+            requested: _requested as usize,
+            class: SizeClass(class_idx),
+            allocating_thread: u32::MAX,
+        });
         self.mark_state(arena, slot_start, STATE_FREED)?;
         self.stats.frees += 1;
         Ok((record, slot_start))
@@ -461,8 +448,7 @@ impl ThreadHeap {
         self.live
             .values()
             .find(|rec| {
-                addr.offset() >= rec.payload.offset()
-                    && addr.offset() < rec.payload.offset() + rec.requested as u64
+                addr.offset() >= rec.payload.offset() && addr.offset() < rec.payload.offset() + rec.requested as u64
             })
             .copied()
     }
@@ -515,11 +501,7 @@ impl ThreadHeap {
         arena.write_u8(slot_start + 5, state)
     }
 
-    fn read_header(
-        &self,
-        arena: &Arena,
-        slot_start: MemAddr,
-    ) -> Result<(u32, u8, u8, u32), MemError> {
+    fn read_header(&self, arena: &Arena, slot_start: MemAddr) -> Result<(u32, u8, u8, u32), MemError> {
         if slot_start.is_null() || slot_start.offset() < HEADER_SIZE {
             return Err(MemError::InvalidFree {
                 addr: slot_start + HEADER_SIZE,
@@ -606,10 +588,7 @@ mod tests {
         let (arena, sh, mut heap) = setup(false);
         let a = heap.alloc(&arena, &sh, 32).unwrap();
         heap.free(&arena, a.payload).unwrap();
-        assert!(matches!(
-            heap.free(&arena, a.payload),
-            Err(MemError::DoubleFree { .. })
-        ));
+        assert!(matches!(heap.free(&arena, a.payload), Err(MemError::DoubleFree { .. })));
         assert!(matches!(
             heap.free(&arena, a.payload + 8),
             Err(MemError::InvalidFree { .. }) | Err(MemError::DoubleFree { .. })

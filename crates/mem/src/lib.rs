@@ -59,15 +59,14 @@ pub mod watchpoint;
 
 pub use addr::{MemAddr, Span};
 pub use arena::Arena;
+pub use canary::CorruptedCanary;
 pub use canary::{CanaryMap, CANARY_BYTE, CANARY_WORD};
 pub use diff::DiffStats;
 pub use error::MemError;
 pub use globals::Globals;
 pub use heap::{
-    AllocRecord, Allocation, HeapConfig, HeapStats, SuperHeap, SuperHeapState, ThreadHeap,
-    ThreadHeapState, HEADER_SIZE,
+    AllocRecord, Allocation, HeapConfig, HeapStats, SuperHeap, SuperHeapState, ThreadHeap, ThreadHeapState, HEADER_SIZE,
 };
-pub use canary::CorruptedCanary;
 pub use quarantine::{Quarantine, QuarantineEntry, UafEvidence, POISON_PREFIX};
 pub use size_class::{class_for, class_size, SizeClass, MAX_CLASS, MIN_ALLOC, NUM_CLASSES};
 pub use snapshot::MemSnapshot;

@@ -135,10 +135,7 @@ impl Quarantine {
     ///
     /// Returns [`MemError::OutOfBounds`] if a quarantined object lies
     /// outside the arena.
-    pub fn evict_to_budget(
-        &mut self,
-        arena: &Arena,
-    ) -> Result<(Vec<QuarantineEntry>, Vec<UafEvidence>), MemError> {
+    pub fn evict_to_budget(&mut self, arena: &Arena) -> Result<(Vec<QuarantineEntry>, Vec<UafEvidence>), MemError> {
         let mut evicted = Vec::new();
         let mut evidence = Vec::new();
         while self.total_bytes > self.budget {
@@ -183,10 +180,7 @@ impl Quarantine {
         self.entries.iter()
     }
 
-    fn check_entry(
-        arena: &Arena,
-        entry: &QuarantineEntry,
-    ) -> Result<Option<UafEvidence>, MemError> {
+    fn check_entry(arena: &Arena, entry: &QuarantineEntry) -> Result<Option<UafEvidence>, MemError> {
         let poison = entry.requested.min(POISON_PREFIX);
         let mut buf = vec![0u8; poison];
         arena.read_bytes(entry.payload, &mut buf)?;
@@ -219,12 +213,7 @@ mod tests {
         (arena, super_heap, heap)
     }
 
-    fn entry_for(
-        heap: &mut ThreadHeap,
-        arena: &Arena,
-        sh: &SuperHeap,
-        size: usize,
-    ) -> QuarantineEntry {
+    fn entry_for(heap: &mut ThreadHeap, arena: &Arena, sh: &SuperHeap, size: usize) -> QuarantineEntry {
         let alloc = heap.alloc(arena, sh, size).unwrap();
         let record = heap.free(arena, alloc.payload).unwrap();
         QuarantineEntry {
@@ -266,9 +255,7 @@ mod tests {
         let mut q = Quarantine::new(1 << 16);
         let entry = entry_for(&mut heap, &arena, &sh, 512);
         q.push(&arena, entry).unwrap();
-        arena
-            .write_u8(entry.payload + POISON_PREFIX as u64, 0xff)
-            .unwrap();
+        arena.write_u8(entry.payload + POISON_PREFIX as u64, 0xff).unwrap();
         assert!(q.check(&arena).unwrap().is_empty());
     }
 

@@ -76,10 +76,7 @@ impl WatchRegistry {
     pub fn install(&mut self, span: Span) -> Result<Watchpoint, MemError> {
         for (i, slot) in self.slots.iter_mut().enumerate() {
             if slot.is_none() {
-                let wp = Watchpoint {
-                    slot: i as u8,
-                    span,
-                };
+                let wp = Watchpoint { slot: i as u8, span };
                 *slot = Some(wp);
                 return Ok(wp);
             }

@@ -106,10 +106,7 @@ mod tests {
     #[test]
     fn capacity_and_argument_checks() {
         let mut table = MmapTable::new(10_000);
-        assert!(matches!(
-            table.mmap(0),
-            Err(SysError::InvalidArgument(_))
-        ));
+        assert!(matches!(table.mmap(0), Err(SysError::InvalidArgument(_))));
         table.mmap(8000).unwrap();
         assert!(matches!(
             table.mmap(4000),
@@ -121,7 +118,9 @@ mod tests {
     fn identical_mmap_sequences_return_identical_ids() {
         let run = || {
             let mut table = MmapTable::new(1 << 20);
-            (0..10).map(|i| table.mmap(4096 * (i + 1)).unwrap().id).collect::<Vec<_>>()
+            (0..10)
+                .map(|i| table.mmap(4096 * (i + 1)).unwrap().id)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::SysError;
 
 /// Identifier of an open simulated connection.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SocketId(pub u64);
 
 impl fmt::Display for SocketId {
@@ -293,11 +291,7 @@ impl NetSim {
                 request_len,
             } => {
                 if conn.requests_generated < requests {
-                    let bytes = pseudo_bytes(
-                        seed.wrapping_add(conn.requests_generated as u64),
-                        0,
-                        request_len,
-                    );
+                    let bytes = pseudo_bytes(seed.wrapping_add(conn.requests_generated as u64), 0, request_len);
                     conn.requests_generated += 1;
                     conn.inbox.extend_from_slice(&bytes);
                 }
@@ -405,10 +399,7 @@ mod tests {
     #[test]
     fn connect_to_unknown_peer_fails() {
         let mut net = NetSim::new();
-        assert!(matches!(
-            net.connect("nowhere:1"),
-            Err(SysError::NotFound(_))
-        ));
+        assert!(matches!(net.connect("nowhere:1"), Err(SysError::NotFound(_))));
         assert!(matches!(net.accept("nowhere:1"), Err(SysError::WouldBlock)));
     }
 
@@ -418,10 +409,7 @@ mod tests {
         net.register_peer("kv:11211", PeerScript::Echo { response_len: 8 });
         let sock = net.connect("kv:11211").unwrap();
         net.close(sock).unwrap();
-        assert!(matches!(
-            net.write(sock, b"x"),
-            Err(SysError::ConnectionClosed)
-        ));
+        assert!(matches!(net.write(sock, b"x"), Err(SysError::ConnectionClosed)));
         assert_eq!(net.open_connections(), 1);
         net.reclaim(sock);
         assert_eq!(net.open_connections(), 0);

@@ -151,9 +151,7 @@ impl SimOs {
         if !inner.vfs.exists(path) {
             return Err(SysError::NotFound(path.to_owned()));
         }
-        inner.fds.allocate(OpenFileKind::File {
-            name: path.to_owned(),
-        })
+        inner.fds.allocate(OpenFileKind::File { name: path.to_owned() })
     }
 
     /// Creates the file if missing, then opens it for writing.
@@ -167,9 +165,7 @@ impl SimOs {
         if !inner.vfs.exists(path) {
             inner.vfs.create_file(path, Vec::new());
         }
-        inner.fds.allocate(OpenFileKind::File {
-            name: path.to_owned(),
-        })
+        inner.fds.allocate(OpenFileKind::File { name: path.to_owned() })
     }
 
     /// `dup(fd)`.
@@ -303,9 +299,7 @@ impl SimOs {
         };
         let target = base + offset;
         if target < 0 {
-            return Err(SysError::InvalidArgument(format!(
-                "seek to negative offset {target}"
-            )));
+            return Err(SysError::InvalidArgument(format!("seek to negative offset {target}")));
         }
         inner.fds.get_mut(fd)?.pos = target as u64;
         Ok(target as u64)
@@ -368,10 +362,7 @@ impl SimOs {
 
     /// Restores a snapshot captured at the last epoch begin (rollback).
     pub fn restore(&self, snapshot: &OsSnapshot) {
-        self.inner
-            .lock()
-            .fds
-            .restore_positions(&snapshot.positions.0);
+        self.inner.lock().fds.restore_positions(&snapshot.positions.0);
     }
 
     fn socket_of(inner: &OsInner, fd: i32) -> Result<SocketId, SysError> {
@@ -499,10 +490,7 @@ mod tests {
         assert_eq!(os.pending_clients("httpd:80"), 1);
         let conn = os.socket_accept("httpd:80").unwrap();
         assert_eq!(os.socket_read(conn, 64).unwrap().len(), 32);
-        assert!(matches!(
-            os.socket_accept("httpd:80"),
-            Err(SysError::WouldBlock)
-        ));
+        assert!(matches!(os.socket_accept("httpd:80"), Err(SysError::WouldBlock)));
     }
 
     #[test]

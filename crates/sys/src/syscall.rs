@@ -86,10 +86,9 @@ impl SyscallKind {
             | SyscallKind::Mmap => Recordable,
             SyscallKind::FileRead | SyscallKind::FileWrite => Revocable,
             SyscallKind::Close | SyscallKind::Munmap => Deferrable,
-            SyscallKind::Lseek { repositions: true }
-            | SyscallKind::Fork
-            | SyscallKind::Exec
-            | SyscallKind::Exit => Irrevocable,
+            SyscallKind::Lseek { repositions: true } | SyscallKind::Fork | SyscallKind::Exec | SyscallKind::Exit => {
+                Irrevocable
+            }
         }
     }
 
@@ -200,14 +199,8 @@ mod tests {
         assert_eq!(SyscallKind::FcntlGet.classify(), Repeatable);
         assert_eq!(SyscallKind::FcntlDupFd.classify(), Recordable);
         // A repositioning lseek is irrevocable; a position query is not.
-        assert_eq!(
-            SyscallKind::Lseek { repositions: true }.classify(),
-            Irrevocable
-        );
-        assert_eq!(
-            SyscallKind::Lseek { repositions: false }.classify(),
-            Repeatable
-        );
+        assert_eq!(SyscallKind::Lseek { repositions: true }.classify(), Irrevocable);
+        assert_eq!(SyscallKind::Lseek { repositions: false }.classify(), Repeatable);
     }
 
     #[test]

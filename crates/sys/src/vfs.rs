@@ -20,9 +20,7 @@ use crate::error::SysError;
 use crate::net::SocketId;
 
 /// A file descriptor.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Fd(pub i32);
 
 impl fmt::Display for Fd {
@@ -361,9 +359,7 @@ mod tests {
     #[test]
     fn dup_copies_kind_and_position() {
         let mut table = FdTable::new(8);
-        let fd = table
-            .allocate(OpenFileKind::File { name: "x".into() })
-            .unwrap();
+        let fd = table.allocate(OpenFileKind::File { name: "x".into() }).unwrap();
         table.get_mut(fd).unwrap().pos = 42;
         let dup = table.dup(fd).unwrap();
         assert_ne!(dup, fd);
@@ -382,17 +378,9 @@ mod tests {
     #[test]
     fn positions_round_trip_through_checkpoint() {
         let mut table = FdTable::new(8);
-        let a = table
-            .allocate(OpenFileKind::File { name: "a".into() })
-            .unwrap();
-        let b = table
-            .allocate(OpenFileKind::File { name: "b".into() })
-            .unwrap();
-        let s = table
-            .allocate(OpenFileKind::Socket {
-                socket: SocketId(7),
-            })
-            .unwrap();
+        let a = table.allocate(OpenFileKind::File { name: "a".into() }).unwrap();
+        let b = table.allocate(OpenFileKind::File { name: "b".into() }).unwrap();
+        let s = table.allocate(OpenFileKind::Socket { socket: SocketId(7) }).unwrap();
         table.get_mut(a).unwrap().pos = 10;
         table.get_mut(b).unwrap().pos = 20;
 

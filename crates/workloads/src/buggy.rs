@@ -507,12 +507,8 @@ mod tests {
     fn the_suite_covers_both_bug_classes() {
         let bugs = all_known_bugs();
         assert!(bugs.len() >= 9);
-        assert!(bugs
-            .iter()
-            .any(|bug| bug.expected() == ExpectedBug::HeapOverflow));
-        assert!(bugs
-            .iter()
-            .any(|bug| bug.expected() == ExpectedBug::UseAfterFree));
+        assert!(bugs.iter().any(|bug| bug.expected() == ExpectedBug::HeapOverflow));
+        assert!(bugs.iter().any(|bug| bug.expected() == ExpectedBug::UseAfterFree));
     }
 
     #[test]

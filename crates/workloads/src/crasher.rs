@@ -47,11 +47,7 @@ impl Workload for Crasher {
         } else {
             self.null_window_us
         };
-        let rounds = if self.rounds == 0 {
-            spec.scaled(4)
-        } else {
-            self.rounds
-        };
+        let rounds = if self.rounds == 0 { spec.scaled(4) } else { self.rounds };
         let spec = *spec;
         Program::new("crasher", move |ctx| {
             // Shared cell holding a pointer to a heap object; 0 models NULL.
@@ -79,16 +75,14 @@ impl Workload for Crasher {
             // it observes the transient null, the dereference is the
             // SIGSEGV analogue that ends the run.
             let reader = ctx.spawn("reader", move |ctx| {
-                loop {
-                    if ctx.read_u64(flag) == 1 {
-                        return Step::Done;
-                    }
-                    let pointer = ctx.read_addr(pointer_cell);
-                    ctx.sleep(Duration::from_micros(window / 2));
-                    let value = ctx.read_u64(pointer);
-                    std::hint::black_box(value);
-                    return Step::Yield;
+                if ctx.read_u64(flag) == 1 {
+                    return Step::Done;
                 }
+                let pointer = ctx.read_addr(pointer_cell);
+                ctx.sleep(Duration::from_micros(window / 2));
+                let value = ctx.read_u64(pointer);
+                std::hint::black_box(value);
+                Step::Yield
             });
 
             ctx.join(writer);
@@ -117,9 +111,7 @@ mod tests {
         let mut crashes = 0;
         for _ in 0..3 {
             let runtime = Runtime::new(config.clone()).unwrap();
-            let report = runtime
-                .run(crasher.program(&WorkloadSpec::tiny()))
-                .unwrap();
+            let report = runtime.run(crasher.program(&WorkloadSpec::tiny())).unwrap();
             if !report.outcome.is_success() {
                 crashes += 1;
                 // The diagnostic replay ran.

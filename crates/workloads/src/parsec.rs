@@ -310,9 +310,7 @@ impl Workload for Dedup {
                 if bytes.is_empty() {
                     break;
                 }
-                let fingerprint = bytes
-                    .iter()
-                    .fold(0u64, |acc, b| mix(acc ^ u64::from(*b)));
+                let fingerprint = bytes.iter().fold(0u64, |acc, b| mix(acc ^ u64::from(*b)));
                 queue.push(ctx, fingerprint);
             }
             queue.push(ctx, u64::MAX);

@@ -41,9 +41,7 @@ impl Workload for Aget {
             let mut handles = Vec::new();
             for segment in 0..threads {
                 handles.push(ctx.spawn("downloader", move |ctx| {
-                    let socket = ctx
-                        .connect("mirror:80")
-                        .expect("download peer is registered");
+                    let socket = ctx.connect("mirror:80").expect("download peer is registered");
                     let output = ctx
                         .open_create(&format!("aget-part-{segment}.bin"))
                         .expect("create segment file");
@@ -183,9 +181,7 @@ impl Workload for Memcached {
                 request_len: 40,
             },
         );
-        runtime
-            .os()
-            .enqueue_clients("memcache:11211", Self::connections(spec));
+        runtime.os().enqueue_clients("memcache:11211", Self::connections(spec));
     }
 
     fn program(&self, spec: &WorkloadSpec) -> Program {
@@ -338,7 +334,13 @@ impl Workload for Pfscan {
     fn stage(&self, runtime: &Runtime, spec: &WorkloadSpec) {
         let len = (spec.scaled(96) * 1024) as usize;
         let data: Vec<u8> = (0..len)
-            .map(|i| if i % 509 == 0 { b'@' } else { (mix(i as u64) & 0x7f) as u8 })
+            .map(|i| {
+                if i % 509 == 0 {
+                    b'@'
+                } else {
+                    (mix(i as u64) & 0x7f) as u8
+                }
+            })
             .collect();
         runtime.os().create_file("pfscan-input.log", data);
     }

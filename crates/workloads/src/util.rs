@@ -103,11 +103,7 @@ impl StripedTable {
         let slots = ctx.alloc((capacity * 16) as usize);
         ctx.fill(slots, (capacity * 16) as usize, 0);
         let locks = (0..stripes.max(1)).map(|_| ctx.mutex()).collect();
-        StripedTable {
-            slots,
-            capacity,
-            locks,
-        }
+        StripedTable { slots, capacity, locks }
     }
 
     /// Slot value 0 means "empty", so the zero key is remapped to a sentinel.

@@ -9,27 +9,23 @@
 //!
 //! Run with: `cargo run -p ireplayer --example kv_server_debugging`
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use ireplayer::{Config, MemAddr, PeerScript, Program, Runtime, RuntimeError, Span, Step};
 use ireplayer_detect::ReplayDebugger;
-use shared_cell::Cell;
 
-// A tiny shared cell between the program closure and the debugger callback
-// (std types only; no extra dependencies).
-mod shared_cell {
-    use std::sync::Mutex;
+/// A tiny shared cell between the program closure and the debugger callback
+/// (std types only; no extra dependencies).
+#[derive(Default)]
+struct Cell(Mutex<Option<MemAddr>>);
 
-    #[derive(Default)]
-    pub struct Cell(Mutex<Option<super::MemAddr>>);
+impl Cell {
+    fn set(&self, value: MemAddr) {
+        *self.0.lock().unwrap() = Some(value);
+    }
 
-    impl Cell {
-        pub fn set(&self, value: super::MemAddr) {
-            *self.0.lock().unwrap() = Some(value);
-        }
-        pub fn get(&self) -> Option<super::MemAddr> {
-            *self.0.lock().unwrap()
-        }
+    fn get(&self) -> Option<MemAddr> {
+        *self.0.lock().unwrap()
     }
 }
 
@@ -118,10 +114,7 @@ fn main() -> Result<(), RuntimeError> {
             hit.thread.0,
             hit.access.len,
             hit.access.addr,
-            hit.site
-                .as_ref()
-                .map(|s| format!(" ({s})"))
-                .unwrap_or_default()
+            hit.site.as_ref().map(|s| format!(" ({s})")).unwrap_or_default()
         );
     }
     assert!(debugger.sessions() >= 1);

@@ -6,10 +6,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use ireplayer::{
-    Config, EpochDecision, EpochView, Program, ReplayRequest, Runtime, RuntimeError, Step,
-    ToolHook,
-};
+use ireplayer::{Config, EpochDecision, EpochView, Program, ReplayRequest, Runtime, RuntimeError, Step, ToolHook};
 
 /// A tool hook that asks for exactly one validation replay at the end of the
 /// run -- the simplest possible use of the in-situ replay machinery.

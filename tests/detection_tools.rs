@@ -91,10 +91,6 @@ fn implanted_overflows_in_workloads_are_detected() {
         workload.stage(&runtime, &spec);
         let report = runtime.run(workload.program(&spec)).unwrap();
         assert!(report.outcome.is_success());
-        assert_eq!(
-            overflow.reports().len(),
-            1,
-            "{name}: implanted overflow not detected"
-        );
+        assert_eq!(overflow.reports().len(), 1, "{name}: implanted overflow not detected");
     }
 }

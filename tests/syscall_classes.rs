@@ -108,10 +108,9 @@ fn irrevocable_fork_closes_the_epoch() {
 fn revocable_file_io_and_recordable_sockets_round_trip() {
     let runtime = Runtime::new(config()).unwrap();
     runtime.os().create_file("in.txt", b"0123456789abcdef".to_vec());
-    runtime.os().register_peer(
-        "peer:1",
-        ireplayer::PeerScript::Echo { response_len: 8 },
-    );
+    runtime
+        .os()
+        .register_peer("peer:1", ireplayer::PeerScript::Echo { response_len: 8 });
     let report = runtime
         .run(Program::new("io", |ctx| {
             let fd = ctx.open("in.txt").unwrap();

@@ -1,0 +1,18 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and the workspace only uses
+//! `serde` for `#[derive(Serialize, Deserialize)]` on plain-old-data types
+//! (IDs, spans, classifications) so they can be exported later.  This crate
+//! provides the two trait names as markers and re-exports no-op derives from
+//! the vendored `serde_derive`.  Swap in the real `serde` (same version
+//! requirement, `derive` feature) once the registry is reachable; no source
+//! changes will be needed.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (vendored stand-in).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (vendored stand-in).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, and nothing in
+//! this workspace actually serializes data yet -- the `Serialize` /
+//! `Deserialize` derives on ID newtypes exist so that logs and reports *can*
+//! be exported later.  These derives therefore expand to nothing; the traits
+//! in the vendored `serde` crate are markers.  Replace `vendor/serde*` with
+//! the real crates (and delete this directory) once the registry is
+//! reachable.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
