@@ -18,7 +18,9 @@ use ireplayer_log::{HashDirectory, ShadowDirectory, SyncAddr, SyncOp, SyncVarDir
 fn record_all(directory: &dyn SyncVarDirectory, variables: u64, operations: u64) {
     for round in 0..operations {
         let addr = SyncAddr(round % variables);
-        directory.record(addr, ThreadId((round % 4) as u32), SyncOp::MutexLock, round as u32);
+        directory
+            .record(addr, ThreadId((round % 4) as u32), SyncOp::MutexLock, round as u32)
+            .expect("bench variables are registered up front");
     }
 }
 

@@ -91,7 +91,7 @@ pub(crate) fn capture(rt: &RtInner) -> Checkpoint {
         })
         .collect();
     Checkpoint {
-        epoch: rt.epoch.lock().number,
+        epoch: rt.epoch_number(),
         memory: MemSnapshot::capture(&rt.arena, high_water),
         super_heap: rt.super_heap.state(),
         global_heap: rt.global_heap.lock().state(),

@@ -89,9 +89,9 @@ impl<'a> ThreadCtx<'a> {
         &self.vt.name
     }
 
-    /// Current epoch number.
+    /// Current epoch number (lock-free).
     pub fn epoch(&self) -> u64 {
-        self.rt.epoch.lock().number
+        self.rt.epoch_number()
     }
 
     /// Returns `true` while the runtime is re-executing the last epoch.
@@ -368,6 +368,32 @@ impl<'a> ThreadCtx<'a> {
     // Synchronization objects.
     // ------------------------------------------------------------------
 
+    /// Resolves a synchronization handle to its shadow object, surfacing a
+    /// handle that names no registered variable (for example one minted by
+    /// a different runtime) as a divergence-grade diagnostic instead of
+    /// unwinding an index panic through user code.
+    fn resolve_var(&mut self, id: VarId) -> Arc<crate::state::SyncVar> {
+        match self.rt.try_sync_var(id) {
+            Some(var) => var,
+            None => {
+                let err = ireplayer_log::UnknownSyncVar {
+                    addr: ireplayer_log::SyncAddr(u64::from(id.0)),
+                };
+                if self.rt.replaying() {
+                    sync::signal_divergence(self.rt, self.vt, err.into())
+                } else {
+                    self.rt.raise_fault(
+                        self.vt,
+                        FaultKind::Panic {
+                            message: err.to_string(),
+                        },
+                        None,
+                    )
+                }
+            }
+        }
+    }
+
     fn register_var(&mut self, kind: SyncVarKind) -> VarId {
         let reg = self.rt.sync_var(REGISTRATION_VAR);
         match self.rt.phase() {
@@ -377,7 +403,7 @@ impl<'a> ThreadCtx<'a> {
                 // record" so the recorded order equals the assignment order.
                 let _guard = reg.state.lock();
                 let var = self.rt.register_sync_var(kind);
-                sync::record_sync(self.rt, self.vt, &reg, SyncOp::VarRegister, i64::from(var.id.0));
+                crate::sink::RecordSink::new(self.rt, self.vt).sync(&reg, SyncOp::VarRegister, i64::from(var.id.0));
                 var.id
             }
             ExecPhase::Replaying => {
@@ -387,11 +413,14 @@ impl<'a> ThreadCtx<'a> {
                     result: 0,
                 };
                 let recorded = sync::replay_expect(self.rt, self.vt, &actual);
-                // Order registrations exactly as recorded, then reuse the
-                // variable created during the original execution.
+                // Order registrations exactly as recorded (the record side
+                // serialized them under the registration variable's lock),
+                // then reuse the variable created during the original
+                // execution.
+                sync::wait_for_turn(self.rt, self.vt, &reg);
                 let id = VarId(recorded as u32);
                 sync::replay_advance_thread(self.vt);
-                reg.var_list.lock().advance();
+                reg.var_list.advance();
                 reg.cv.notify_all();
                 id
             }
@@ -405,7 +434,7 @@ impl<'a> ThreadCtx<'a> {
 
     /// Acquires a managed mutex.
     pub fn lock(&mut self, handle: MutexHandle) {
-        let var = self.rt.sync_var(handle.0);
+        let var = self.resolve_var(handle.0);
         sync::mutex_lock(self.rt, self.vt, &var);
     }
 
@@ -413,13 +442,13 @@ impl<'a> ThreadCtx<'a> {
     /// the lock was obtained.  The result is recorded and reproduced during
     /// replay (§3.2.1).
     pub fn try_lock(&mut self, handle: MutexHandle) -> bool {
-        let var = self.rt.sync_var(handle.0);
+        let var = self.resolve_var(handle.0);
         sync::mutex_trylock(self.rt, self.vt, &var)
     }
 
     /// Releases a managed mutex.
     pub fn unlock(&mut self, handle: MutexHandle) {
-        let var = self.rt.sync_var(handle.0);
+        let var = self.resolve_var(handle.0);
         sync::mutex_unlock(self.rt, self.vt, &var);
     }
 
@@ -439,20 +468,20 @@ impl<'a> ThreadCtx<'a> {
     /// Waits on a condition variable, releasing and re-acquiring the mutex
     /// around the wait.
     pub fn wait(&mut self, condvar: CondvarHandle, mutex: MutexHandle) {
-        let cv_var = self.rt.sync_var(condvar.0);
-        let mutex_var = self.rt.sync_var(mutex.0);
+        let cv_var = self.resolve_var(condvar.0);
+        let mutex_var = self.resolve_var(mutex.0);
         sync::cond_wait(self.rt, self.vt, &cv_var, &mutex_var);
     }
 
     /// Wakes one waiter of the condition variable.
     pub fn signal(&mut self, condvar: CondvarHandle) {
-        let cv_var = self.rt.sync_var(condvar.0);
+        let cv_var = self.resolve_var(condvar.0);
         sync::cond_signal(self.rt, self.vt, &cv_var);
     }
 
     /// Wakes all waiters of the condition variable.
     pub fn broadcast(&mut self, condvar: CondvarHandle) {
-        let cv_var = self.rt.sync_var(condvar.0);
+        let cv_var = self.resolve_var(condvar.0);
         sync::cond_broadcast(self.rt, self.vt, &cv_var);
     }
 
@@ -473,7 +502,7 @@ impl<'a> ThreadCtx<'a> {
     /// per generation.  The return value is recorded and reproduced during
     /// replay.
     pub fn barrier_wait(&mut self, handle: BarrierHandle) -> bool {
-        let var = self.rt.sync_var(handle.var);
+        let var = self.resolve_var(handle.var);
         sync::barrier_wait(self.rt, self.vt, &var, handle.parties)
     }
 
@@ -550,6 +579,7 @@ impl<'a> ThreadCtx<'a> {
         // Wait until the child's body has returned `Done` (in replay it will
         // do so again after re-executing its recorded steps).
         {
+            let mut backoff = sync::Backoff::new();
             let mut control = child.control.lock();
             loop {
                 if matches!(control.phase, ThreadPhase::Finished | ThreadPhase::Reclaimed) {
@@ -563,7 +593,7 @@ impl<'a> ThreadCtx<'a> {
                     drop(control);
                     unwind_with(UnwindSignal::ReparkCleanStep);
                 }
-                child.control_cv.wait_for(&mut control, Duration::from_millis(2));
+                child.control_cv.wait_for(&mut control, backoff.slice());
             }
         }
         if self.rt.replaying() {

@@ -106,7 +106,7 @@ fn run_segment(
                     // If recorded events remain, they belong to a step that
                     // was interrupted mid-way in the original epoch; drain
                     // them by running further (bounded) steps.
-                    if vt.list.lock().replay_complete() || !rt.replaying() {
+                    if vt.list.replay_complete() || !rt.replaying() {
                         return SegmentEnd::TargetReached;
                     }
                 }
@@ -186,7 +186,7 @@ fn register_panic_fault(rt: &RtInner, vt: &VThread, message: String) {
         thread: vt.id,
         kind: FaultKind::Panic { message },
         site: None,
-        epoch: rt.epoch.lock().number,
+        epoch: rt.epoch_number(),
     };
     rt.epoch.lock().faults.push(record);
     rt.abort_requested.store(true, Ordering::Release);

@@ -76,6 +76,7 @@ mod hooks;
 mod program;
 mod rng;
 mod runtime;
+mod sink;
 mod site;
 mod state;
 mod stats;

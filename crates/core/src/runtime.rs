@@ -151,7 +151,7 @@ impl Runtime {
                 outcome = RunOutcome::Faulted(fault.clone());
                 if rt.config.fault_policy == FaultPolicy::DiagnoseAndReport
                     && rt.config.mode == RunMode::Record
-                    && rt.epoch.lock().tainted_by.is_none()
+                    && !rt.tainted()
                 {
                     let watch = fault_watchpoints(&rt, &fault);
                     let request = ReplayRequest {
@@ -170,7 +170,7 @@ impl Runtime {
                 // Final epoch end: let tools scan for evidence (implanted
                 // overflows are detected here) and possibly replay.
                 if let Some(request) = collect_epoch_decision(&rt) {
-                    if rt.config.mode == RunMode::Record && rt.epoch.lock().tainted_by.is_none() {
+                    if rt.config.mode == RunMode::Record && !rt.tainted() {
                         match run_replay_cycle(&rt, &checkpoint, request, None) {
                             Ok(validation) => replay_validations.push(validation),
                             Err(e) => supervisor_error = Some(e),
@@ -184,7 +184,7 @@ impl Runtime {
                 match wait_for_quiescence(&rt) {
                     Quiescence::Reached => {
                         if let Some(request) = collect_epoch_decision(&rt) {
-                            if rt.config.mode == RunMode::Record && rt.epoch.lock().tainted_by.is_none() {
+                            if rt.config.mode == RunMode::Record && !rt.tainted() {
                                 match run_replay_cycle(&rt, &checkpoint, request, None) {
                                     Ok(validation) => replay_validations.push(validation),
                                     Err(e) => {
@@ -387,11 +387,11 @@ fn cancel_epoch_end(rt: &RtInner) {
 fn begin_epoch(rt: &RtInner, first: bool) -> Checkpoint {
     // Housekeeping: issue deferred system calls, reclaim joined threads,
     // drop the previous epoch's logs.
+    if !first {
+        rt.bump_epoch_number();
+    }
     {
         let mut epoch = rt.epoch.lock();
-        if !first {
-            epoch.number += 1;
-        }
         for op in epoch.deferred.drain(..) {
             match op {
                 crate::state::DeferredOp::Close(fd) => {
@@ -407,9 +407,11 @@ fn begin_epoch(rt: &RtInner, first: bool) -> Checkpoint {
         epoch.divergences.clear();
         epoch.pending_reclaim.clear();
     }
+    rt.clear_taint();
     Counters::bump(&rt.counters.epochs);
     rt.replay_attempt.store(0, Ordering::Release);
     rt.delay_plan.lock().clear();
+    rt.delay_plan_active.store(false, Ordering::Release);
 
     for vt in rt.threads.read().iter() {
         // Reclaim finished-and-joined threads.
@@ -421,10 +423,17 @@ fn begin_epoch(rt: &RtInner, first: bool) -> Checkpoint {
         control.segment_steps = 0;
         control.last_segment_end = None;
         drop(control);
-        vt.list.lock().clear();
+        // SAFETY: epoch begin runs on the coordinator at step-boundary
+        // quiescence -- every application thread is parked (the park
+        // handshake through its control mutex happened-before this), so no
+        // append or read races the reset.
+        #[allow(unsafe_code)]
+        unsafe {
+            vt.list.clear();
+        }
     }
     for var in rt.sync_table.read().iter() {
-        var.var_list.lock().clear();
+        var.var_list.clear();
     }
     rt.epoch.lock().watch_hits.clear();
 
@@ -565,10 +574,10 @@ fn run_replay_cycle(
         rt.epoch_end_requested.store(false, Ordering::Release);
         checkpoint::restore(rt, checkpoint);
         for vt in rt.threads.read().iter() {
-            vt.list.lock().begin_replay();
+            vt.list.begin_replay();
         }
         for var in rt.sync_table.read().iter() {
-            var.var_list.lock().begin_replay();
+            var.var_list.begin_replay();
         }
         {
             let mut epoch = rt.epoch.lock();
@@ -632,10 +641,7 @@ fn run_replay_cycle(
 
         let diverged = rt.epoch.lock().divergences.len() > divergences_before;
         let fault_reproduced = rt.epoch.lock().faults.len() > faults_before;
-        let complete = plan
-            .targets
-            .keys()
-            .all(|tid| rt.thread(*tid).list.lock().replay_complete());
+        let complete = plan.targets.keys().all(|tid| rt.thread(*tid).list.replay_complete());
         let fault_ok = plan.faulting.is_none() || fault_reproduced;
 
         crate::state::rt_trace!(
@@ -663,7 +669,7 @@ fn run_replay_cycle(
         RunMode::Passthrough => ExecPhase::Passthrough,
     });
     for vt in rt.threads.read().iter() {
-        vt.list.lock().end_replay();
+        vt.list.end_replay();
     }
 
     let image_diff = original_end.map(|snapshot| snapshot.diff(&rt.arena));
@@ -730,11 +736,12 @@ fn augment_delay_plan(rt: &RtInner, divergences_before: usize) {
         for vt in rt.threads.read().iter() {
             plan.insert((vt.id, 0), rng.next_below(max_delay));
         }
-        return;
+    } else {
+        for (thread, at_index) in new_divergences {
+            plan.insert((thread, at_index as u32), rng.next_below(max_delay));
+        }
     }
-    for (thread, at_index) in new_divergences {
-        plan.insert((thread, at_index as u32), rng.next_below(max_delay));
-    }
+    rt.delay_plan_active.store(!plan.is_empty(), Ordering::Release);
 }
 
 // ---------------------------------------------------------------------------
@@ -747,7 +754,7 @@ struct RtEpochView {
 
 impl EpochView for RtEpochView {
     fn epoch(&self) -> u64 {
-        self.rt.epoch.lock().number
+        self.rt.epoch_number()
     }
 
     fn corrupted_canaries(&self) -> Vec<CorruptedCanary> {
@@ -884,6 +891,23 @@ mod tests {
         assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
         assert_eq!(report.threads, 4);
         assert!(report.sync_events > 0);
+    }
+
+    #[test]
+    fn invalid_sync_handle_faults_instead_of_panicking() {
+        // A handle minted by another runtime resolves to no shadow object;
+        // the runtime must surface that as a fault, not unwind an index
+        // panic through the application's frames.
+        let runtime = Runtime::new(small_config()).unwrap();
+        let report = runtime
+            .run(Program::new("forged-handle", |ctx| {
+                ctx.lock(crate::context::MutexHandle(ireplayer_log::VarId(9_999)));
+                Step::Done
+            }))
+            .unwrap();
+        assert!(!report.outcome.is_success());
+        let fault = report.faults.first().expect("fault recorded");
+        assert!(fault.to_string().contains("never registered") || format!("{fault:?}").contains("never registered"));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! The record-path seam: per-operation phase dispatch plus the lock-free
+//! event sink.
+//!
+//! Every interposed operation (synchronization primitive, system call)
+//! selects its behaviour **once** by loading the execution phase a single
+//! time ([`op_phase`]) and then commits to the passthrough, record, or
+//! replay arm -- instead of re-checking `recording()` / `replaying()`
+//! (each an atomic load) at several points, some of which used to happen
+//! under locks.
+//!
+//! [`RecordSink`] is the write side of that seam: the only way runtime code
+//! appends to the logging layer.  Its methods are lock-free on the
+//! uncontended fast path -- a per-thread list append is one slot write plus
+//! one release store, a per-variable append is one fetch-add plus one
+//! release store -- and the epoch-end scheduling that follows a full list is
+//! the only path that may take a lock (it runs at most once per epoch).
+
+use ireplayer_log::{EventKind, SyncOp, SyscallOutcome};
+use ireplayer_sys::SyscallKind;
+
+use crate::state::{EpochEndReason, ExecPhase, RtInner, SyncVar, VThread};
+use crate::stats::Counters;
+
+/// Loads the execution phase once for the current operation.  Callers match
+/// on the result and must not re-load the phase mid-operation: an epoch
+/// transition cannot happen while any thread is inside an operation (the
+/// coordinator waits for step-boundary quiescence first), so the snapshot
+/// stays valid for the whole operation.
+#[inline]
+pub(crate) fn op_phase(rt: &RtInner) -> ExecPhase {
+    rt.phase()
+}
+
+/// The write side of the logging layer: appends events on behalf of one
+/// thread.  Constructed per operation (it is two references; construction
+/// is free) so the borrow of the thread state stays explicit.
+#[derive(Clone, Copy)]
+pub(crate) struct RecordSink<'a> {
+    rt: &'a RtInner,
+    vt: &'a VThread,
+}
+
+impl<'a> RecordSink<'a> {
+    pub fn new(rt: &'a RtInner, vt: &'a VThread) -> Self {
+        RecordSink { rt, vt }
+    }
+
+    /// Appends an event to the thread's own list (owner-thread, lock-free)
+    /// and schedules an epoch end if the soft capacity is reached.  Returns
+    /// the index of the event within the thread list.
+    pub fn thread_event(&self, kind: EventKind) -> u32 {
+        Counters::bump(&self.rt.counters.sync_events);
+        if self.vt.list.is_full() {
+            // An epoch end is already scheduled, but the event must still
+            // be recorded so the epoch stays replayable (cold path, may
+            // allocate and lock).
+            //
+            // SAFETY: `self.vt` is the state of the thread executing this
+            // call (a RecordSink is only constructed for the current
+            // thread), so this is the owner-thread append the contract
+            // requires; clears happen only at quiescence, when no thread
+            // is inside an operation.
+            #[allow(unsafe_code)]
+            let index = unsafe { self.vt.list.append_past_capacity(kind) };
+            self.rt.request_epoch_end(EpochEndReason::LogFull);
+            return index;
+        }
+        // SAFETY: as above -- sole appender (the owning thread), no
+        // concurrent clear outside quiescence.
+        #[allow(unsafe_code)]
+        let index = unsafe { self.vt.list.append(kind) }
+            .expect("single-writer list cannot fill between the owner's check and append");
+        if self.vt.list.is_full() {
+            self.rt.request_epoch_end(EpochEndReason::LogFull);
+        }
+        index
+    }
+
+    /// Records an ordered synchronization event: thread list plus
+    /// per-variable list (Figure 4).  Both appends are lock-free.
+    pub fn sync(&self, var: &SyncVar, op: SyncOp, result: i64) {
+        let index = self.thread_event(EventKind::Sync {
+            var: var.id,
+            op,
+            result,
+        });
+        var.var_list.append(self.vt.id, op, index);
+    }
+
+    /// Records the outcome of a recordable system call (or the marker of a
+    /// revocable / deferrable call); per-thread list only.
+    pub fn syscall(&self, kind: SyscallKind, outcome: SyscallOutcome) {
+        self.thread_event(EventKind::Syscall {
+            code: kind.code(),
+            outcome,
+        });
+    }
+}

@@ -131,7 +131,11 @@ pub(crate) struct VThread {
     pub control_cv: Condvar,
     pub heap: Mutex<ThreadHeap>,
     pub quarantine: Mutex<Quarantine>,
-    pub list: Mutex<ThreadList>,
+    /// The thread's event list.  Single-writer lock-free: only this thread
+    /// appends (and only while recording); the coordinator resets it at
+    /// quiescence; anyone may read the published prefix.  See the
+    /// [`ThreadList`] docs for the full discipline.
+    pub list: ThreadList,
     pub rng: Mutex<DetRng>,
     /// Identifier of this thread's join variable in the sync table.
     pub join_var: VarId,
@@ -160,7 +164,7 @@ impl VThread {
             control_cv: Condvar::new(),
             heap: Mutex::new(heap),
             quarantine: Mutex::new(Quarantine::new(quarantine_budget)),
-            list: Mutex::new(ThreadList::new(id, events_capacity)),
+            list: ThreadList::new(id, events_capacity),
             rng: Mutex::new(rng),
             join_var,
             total_steps: AtomicU64::new(0),
@@ -233,7 +237,9 @@ pub(crate) struct SyncVar {
     pub kind: SyncVarKind,
     pub state: Mutex<SyncState>,
     pub cv: Condvar,
-    pub var_list: Mutex<VarList>,
+    /// The per-variable list.  Lock-free appends (reserve-then-publish);
+    /// read-only during replay.  See the [`VarList`] docs.
+    pub var_list: VarList,
 }
 
 impl SyncVar {
@@ -243,7 +249,7 @@ impl SyncVar {
             kind,
             state: Mutex::new(SyncState::default()),
             cv: Condvar::new(),
-            var_list: Mutex::new(VarList::new()),
+            var_list: VarList::new(),
         }
     }
 }
@@ -265,12 +271,18 @@ pub(crate) enum DeferredOp {
 }
 
 /// Coordinator-owned epoch bookkeeping.
+///
+/// Only coordinator-written, rarely-read state lives here; the fields every
+/// recorded event used to consult under this mutex (epoch number, taint
+/// flag, end-requested) are atomics on [`RtInner`] so the record fast path
+/// never touches a lock.
 #[derive(Debug, Default)]
 pub(crate) struct EpochShared {
-    pub number: u64,
     pub end_reason: Option<EpochEndReason>,
     /// Name of the irrevocable syscall that tainted the current epoch, if
-    /// any (such an epoch cannot be replayed).
+    /// any (such an epoch cannot be replayed).  The *fact* of the taint is
+    /// mirrored in [`RtInner::tainted`] for lock-free checks; this field
+    /// only supplies the name for reports.
     pub tainted_by: Option<&'static str>,
     pub deferred: Vec<DeferredOp>,
     pub faults: Vec<FaultRecord>,
@@ -293,6 +305,12 @@ pub(crate) struct RtInner {
     pub counters: Counters,
 
     phase: AtomicU8,
+    /// Current epoch number (0-based).  Written by the coordinator at epoch
+    /// begin, read lock-free everywhere.
+    epoch_number: AtomicU64,
+    /// Mirrors `EpochShared::tainted_by.is_some()` so per-event replayability
+    /// checks stay lock-free.
+    tainted: AtomicBool,
     pub epoch_end_requested: AtomicBool,
     pub abort_requested: AtomicBool,
     /// Incremented on every thread phase change; the supervisor waits on it.
@@ -326,6 +344,9 @@ pub(crate) struct RtInner {
     /// Extra delays (in microseconds) injected before specific recorded
     /// events on later replay attempts (§3.5.2).
     pub delay_plan: Mutex<HashMap<(ThreadId, u32), u64>>,
+    /// Whether `delay_plan` currently holds any entries, so the per-event
+    /// replay check skips the map lock on first attempts.
+    pub delay_plan_active: AtomicBool,
     pub replay_attempt: AtomicU32,
     pub replay_rng: Mutex<DetRng>,
 }
@@ -382,6 +403,8 @@ impl RtInner {
             sites: SiteRegistry::new(),
             counters: Counters::default(),
             phase: AtomicU8::new(phase as u8),
+            epoch_number: AtomicU64::new(0),
+            tainted: AtomicBool::new(false),
             epoch_end_requested: AtomicBool::new(false),
             abort_requested: AtomicBool::new(false),
             world_version: AtomicU64::new(0),
@@ -402,6 +425,7 @@ impl RtInner {
             hooks: RwLock::new(Vec::new()),
             instrument: RwLock::new(None),
             delay_plan: Mutex::new(HashMap::new()),
+            delay_plan_active: AtomicBool::new(false),
             replay_attempt: AtomicU32::new(0),
             replay_rng: Mutex::new(DetRng::new(seed ^ 0xdddd)),
             config,
@@ -437,6 +461,34 @@ impl RtInner {
         self.abort_requested.load(Ordering::Acquire)
     }
 
+    /// Current epoch number, lock-free.
+    pub fn epoch_number(&self) -> u64 {
+        self.epoch_number.load(Ordering::Acquire)
+    }
+
+    /// Advances to the next epoch (coordinator-only, at epoch begin).
+    pub fn bump_epoch_number(&self) {
+        self.epoch_number.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Returns `true` when the current epoch was tainted by an irrevocable
+    /// system call (lock-free; the syscall's name lives in the epoch mutex).
+    pub fn tainted(&self) -> bool {
+        self.tainted.load(Ordering::Acquire)
+    }
+
+    /// Marks the current epoch unreplayable because of `syscall`.
+    pub fn taint(&self, syscall: &'static str) {
+        self.epoch.lock().tainted_by = Some(syscall);
+        self.tainted.store(true, Ordering::Release);
+    }
+
+    /// Clears the taint at epoch begin (the epoch mutex is held by the
+    /// caller clearing `tainted_by`).
+    pub fn clear_taint(&self) {
+        self.tainted.store(false, Ordering::Release);
+    }
+
     /// Returns `true` when a continue-type epoch end is pending.
     pub fn epoch_end_pending(&self) -> bool {
         self.epoch_end_requested.load(Ordering::Acquire)
@@ -469,8 +521,20 @@ impl RtInner {
     }
 
     /// Looks up a sync variable by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unregistered id; runtime-internal callers only pass ids
+    /// they registered.  Application-supplied handles go through
+    /// [`RtInner::try_sync_var`].
     pub fn sync_var(&self, id: VarId) -> Arc<SyncVar> {
         self.sync_table.read()[id.index()].clone()
+    }
+
+    /// Looks up a sync variable by id, returning `None` for an id that was
+    /// never registered (an invalid application handle).
+    pub fn try_sync_var(&self, id: VarId) -> Option<Arc<SyncVar>> {
+        self.sync_table.read().get(id.index()).cloned()
     }
 
     /// Registers a new sync variable and returns it.
@@ -505,7 +569,7 @@ impl RtInner {
             thread: vt.id,
             kind,
             site: site.and_then(|s| self.sites.resolve(s)),
-            epoch: self.epoch.lock().number,
+            epoch: self.epoch_number(),
         };
         self.epoch.lock().faults.push(record);
         // During a diagnostic replay, the thread that faulted originally is

@@ -2,21 +2,24 @@
 //! condition variables, barriers, thread creation and joins (paper §3.2.1,
 //! §3.5.1).
 //!
-//! Every operation has three paths selected by the runtime phase:
+//! Every operation has three paths selected **once** per operation (the
+//! [`crate::sink::op_phase`] dispatch):
 //!
 //! * **passthrough** -- execute the primitive directly (baseline and
 //!   IR-Alloc configurations);
 //! * **recording** -- execute the primitive, then append the event to the
 //!   thread's per-thread list and (for ordered operations) to the
-//!   variable's per-variable list;
+//!   variable's per-variable list, both lock-free via
+//!   [`crate::sink::RecordSink`];
 //! * **replaying** -- verify that the operation matches the next recorded
 //!   event of the thread (divergence otherwise), wait until the variable's
 //!   per-variable list says it is this thread's turn, then perform the
 //!   primitive and return the recorded result.
 //!
-//! Blocking waits poll with a short timeout so that pending abort and
-//! epoch-end flags are observed promptly; the common, uncontended paths do
-//! not sleep.
+//! Blocking waits spin briefly, then yield, then fall back to short
+//! condition-variable waits with a growing slice ([`Backoff`]) so that
+//! uncontended waits resolve in nanoseconds while pending abort and
+//! epoch-end flags are still observed promptly.
 
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -24,57 +27,75 @@ use std::time::Duration;
 use ireplayer_log::{Divergence, DivergenceKind, EventKind, SyncOp, ThreadId};
 
 use crate::fault::{unwind_with, UnwindSignal};
-use crate::state::{RtInner, SyncVar, VThread};
+use crate::sink::RecordSink;
+use crate::state::{ExecPhase, RtInner, SyncVar, VThread};
 use crate::stats::Counters;
-
-/// Poll interval for blocking waits.  Short enough that aborts propagate
-/// quickly, long enough not to burn CPU.
-const WAIT_SLICE: Duration = Duration::from_millis(2);
 
 /// Result value recorded for the serial thread of a barrier wait.
 pub const BARRIER_SERIAL: i64 = 1;
 
 // ---------------------------------------------------------------------------
-// Recording helpers.
+// Spin-then-yield backoff for blocking waits.
 // ---------------------------------------------------------------------------
 
-/// Appends a synchronization event to the thread list (and schedules an
-/// epoch end if the soft capacity is reached).  Returns the index of the
-/// event within the thread list.
-pub(crate) fn record_thread_event(rt: &RtInner, vt: &VThread, kind: EventKind) -> u32 {
-    Counters::bump(&rt.counters.sync_events);
-    let mut list = vt.list.lock();
-    match list.append(kind.clone()) {
-        Ok(index) => {
-            if list.is_full() {
-                drop(list);
-                rt.request_epoch_end(crate::state::EpochEndReason::LogFull);
+/// Wait strategy for replay turns and blocked primitives: spin a few times
+/// (an uncontended wait usually resolves within nanoseconds), then yield the
+/// core, then sleep on the condition variable with a slice that grows from
+/// 50 microseconds to 1 millisecond -- instead of unconditionally parking
+/// for a whole 2 ms scheduler quantum as the old fixed `WAIT_SLICE` did.
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+    const MIN_SLICE_US: u64 = 50;
+    const MAX_SLICE_US: u64 = 1_000;
+
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Returns `true` once the busy (spin/yield) phase is over and the
+    /// caller should sleep on a condition variable via [`Backoff::slice`].
+    pub fn exhausted(&self) -> bool {
+        self.step >= Self::YIELD_LIMIT
+    }
+
+    /// Busy phase: spins (doubling the pause each round), then yields.
+    /// Returns `false` once the caller should fall back to sleeping on a
+    /// condition variable via [`Backoff::slice`].
+    pub fn snooze(&mut self) -> bool {
+        if self.step < Self::SPIN_LIMIT {
+            for _ in 0..(1 << self.step) {
+                std::hint::spin_loop();
             }
-            index
+            self.step += 1;
+            true
+        } else if self.step < Self::YIELD_LIMIT {
+            std::thread::yield_now();
+            self.step += 1;
+            true
+        } else {
+            false
         }
-        Err(_) => {
-            let index = list.append_past_capacity(kind);
-            drop(list);
-            rt.request_epoch_end(crate::state::EpochEndReason::LogFull);
-            index
-        }
+    }
+
+    /// Condvar wait slice for the current step: starts at 50 µs and doubles
+    /// up to 1 ms, so a missed notification never costs more than a
+    /// millisecond while late waiters stop burning CPU.
+    pub fn slice(&mut self) -> Duration {
+        let exp = self.step.saturating_sub(Self::YIELD_LIMIT).min(10);
+        self.step = self.step.saturating_add(1);
+        let us = (Self::MIN_SLICE_US << exp).min(Self::MAX_SLICE_US);
+        Duration::from_micros(us)
     }
 }
 
-/// Records an ordered synchronization event: thread list plus per-variable
-/// list (Figure 4).
-pub(crate) fn record_sync(rt: &RtInner, vt: &VThread, var: &SyncVar, op: SyncOp, result: i64) {
-    let index = record_thread_event(
-        rt,
-        vt,
-        EventKind::Sync {
-            var: var.id,
-            op,
-            result,
-        },
-    );
-    var.var_list.lock().append(vt.id, op, index);
-}
+// ---------------------------------------------------------------------------
+// Recording helpers.
+// ---------------------------------------------------------------------------
 
 /// Marks the current step as dirty: it has produced a side effect and can no
 /// longer be re-parked for a pending epoch end.
@@ -88,24 +109,19 @@ pub(crate) fn mark_dirty(vt: &VThread) {
 
 /// Verifies that the operation the thread is about to perform matches its
 /// next recorded event; signals a divergence (and aborts the re-execution)
-/// otherwise.  Returns the recorded result value.
-pub(crate) fn replay_expect(rt: &RtInner, vt: &VThread, actual: &EventKind) -> i64 {
+/// otherwise.  Returns the recorded event (one copy off the list -- callers
+/// that need the full outcome use this instead of peeking twice).  Reads
+/// the thread's own list lock-free.
+pub(crate) fn replay_expect_event(rt: &RtInner, vt: &VThread, actual: &EventKind) -> ireplayer_log::Event {
     apply_planned_delay(rt, vt);
-    let expected = {
-        let list = vt.list.lock();
-        list.peek().cloned()
-    };
-    match expected {
-        Some(event) if event.kind.same_operation(actual) => match &event.kind {
-            EventKind::Sync { result, .. } => *result,
-            EventKind::Syscall { outcome, .. } => outcome.ret,
-        },
+    match vt.list.peek() {
+        Some(event) if event.kind.same_operation(actual) => event,
         Some(event) => {
             signal_divergence(
                 rt,
                 vt,
                 DivergenceKind::WrongOperation {
-                    expected: event.kind.clone(),
+                    expected: event.kind,
                     actual: actual.clone(),
                 },
             );
@@ -113,6 +129,14 @@ pub(crate) fn replay_expect(rt: &RtInner, vt: &VThread, actual: &EventKind) -> i
         None => {
             signal_divergence(rt, vt, DivergenceKind::ExtraOperation { actual: actual.clone() });
         }
+    }
+}
+
+/// [`replay_expect_event`], reduced to the recorded result value.
+pub(crate) fn replay_expect(rt: &RtInner, vt: &VThread, actual: &EventKind) -> i64 {
+    match replay_expect_event(rt, vt, actual).kind {
+        EventKind::Sync { result, .. } => result,
+        EventKind::Syscall { outcome, .. } => outcome.ret,
     }
 }
 
@@ -133,11 +157,11 @@ pub(crate) fn signal_divergence(rt: &RtInner, vt: &VThread, kind: DivergenceKind
             })
             .unwrap_or(false);
         drop(control);
-        if past_target && vt.list.lock().replay_complete() {
+        if past_target && vt.list.replay_complete() {
             unwind_with(UnwindSignal::ReparkCleanStep);
         }
     }
-    let at_index = vt.list.lock().cursor();
+    let at_index = vt.list.cursor();
     let attempt = rt.replay_attempt.load(Ordering::Acquire);
     crate::state::rt_trace!("{:?} divergence at index {at_index}: {kind:?}", vt.id);
     Counters::bump(&rt.counters.divergences);
@@ -154,9 +178,13 @@ pub(crate) fn signal_divergence(rt: &RtInner, vt: &VThread, kind: DivergenceKind
 
 /// Applies any planned divergence delay for the event the thread is about to
 /// replay (§3.5.2: random sleeps at diverging points, without changing the
-/// recorded order).
+/// recorded order).  The common case -- no delays planned for this attempt
+/// -- is a single atomic load.
 fn apply_planned_delay(rt: &RtInner, vt: &VThread) {
-    let cursor = vt.list.lock().cursor() as u32;
+    if !rt.delay_plan_active.load(Ordering::Acquire) {
+        return;
+    }
+    let cursor = vt.list.cursor() as u32;
     let delay_us = rt.delay_plan.lock().get(&(vt.id, cursor)).copied();
     if let Some(us) = delay_us {
         if us > 0 {
@@ -166,26 +194,33 @@ fn apply_planned_delay(rt: &RtInner, vt: &VThread) {
 }
 
 /// Advances the thread-list cursor (after a successful replayed operation).
+/// The event was already inspected via `replay_expect*`, so no copy is made.
 pub(crate) fn replay_advance_thread(vt: &VThread) {
-    vt.list.lock().advance();
+    vt.list.skip();
 }
 
 /// Blocks until the per-variable list says it is this thread's turn for
-/// `var`, honouring aborts.
-fn wait_for_turn(rt: &RtInner, vt: &VThread, var: &SyncVar) {
+/// `var`, honouring aborts.  The turn check is lock-free, so the wait spins
+/// and yields before falling back to the condition variable.
+pub(crate) fn wait_for_turn(rt: &RtInner, vt: &VThread, var: &SyncVar) {
+    let mut backoff = Backoff::new();
     loop {
         if rt.abort_pending() {
             unwind_with(UnwindSignal::EpochAbort);
         }
-        if var.var_list.lock().is_turn(vt.id) {
+        if var.var_list.is_turn(vt.id) {
             return;
         }
+        if backoff.snooze() {
+            continue;
+        }
+        let slice = backoff.slice();
         let mut state = var.state.lock();
         // Re-check under the lock to avoid a missed notification.
-        if var.var_list.lock().is_turn(vt.id) {
+        if var.var_list.is_turn(vt.id) {
             return;
         }
-        var.cv.wait_for(&mut state, WAIT_SLICE);
+        var.cv.wait_for(&mut state, slice);
     }
 }
 
@@ -211,13 +246,28 @@ fn check_blocking_flags(rt: &RtInner, vt: &VThread) {
 
 /// Acquires the raw mutex state (no recording).
 fn raw_lock(rt: &RtInner, vt: &VThread, var: &SyncVar) {
-    let mut state = var.state.lock();
-    while state.locked {
-        check_blocking_flags(rt, vt);
-        var.cv.wait_for(&mut state, WAIT_SLICE);
+    let mut backoff = Backoff::new();
+    loop {
+        {
+            let mut state = var.state.lock();
+            if !state.locked {
+                state.locked = true;
+                state.owner = Some(vt.id);
+                return;
+            }
+            check_blocking_flags(rt, vt);
+            if backoff.exhausted() {
+                // Past the busy phase: sleep on the condition variable (the
+                // wait releases the state lock) with a growing slice.
+                let slice = backoff.slice();
+                var.cv.wait_for(&mut state, slice);
+                continue;
+            }
+        }
+        // Busy phase: spin or yield *without* holding the state lock, so
+        // the current holder can release unimpeded.
+        backoff.snooze();
     }
-    state.locked = true;
-    state.owner = Some(vt.id);
 }
 
 /// Releases the raw mutex state (no recording).
@@ -232,26 +282,29 @@ fn raw_unlock(var: &SyncVar) {
 
 /// Mutex acquisition.
 pub(crate) fn mutex_lock(rt: &RtInner, vt: &VThread, var: &SyncVar) {
-    if rt.replaying() {
-        let actual = EventKind::Sync {
-            var: var.id,
-            op: SyncOp::MutexLock,
-            result: 0,
-        };
-        replay_expect(rt, vt, &actual);
-        wait_for_turn(rt, vt, var);
-        raw_lock(rt, vt, var);
-        replay_advance_thread(vt);
-        var.var_list.lock().advance();
-        var.cv.notify_all();
-    } else {
-        // Waiting for the lock is side-effect free, so the dirty mark is set
-        // only once the acquisition succeeds; a pristine step blocked here
-        // can still be re-parked for a pending epoch end.
-        raw_lock(rt, vt, var);
-        mark_dirty(vt);
-        if rt.recording() {
-            record_sync(rt, vt, var, SyncOp::MutexLock, 0);
+    match crate::sink::op_phase(rt) {
+        ExecPhase::Replaying => {
+            let actual = EventKind::Sync {
+                var: var.id,
+                op: SyncOp::MutexLock,
+                result: 0,
+            };
+            replay_expect(rt, vt, &actual);
+            wait_for_turn(rt, vt, var);
+            raw_lock(rt, vt, var);
+            replay_advance_thread(vt);
+            var.var_list.advance();
+            var.cv.notify_all();
+        }
+        phase => {
+            // Waiting for the lock is side-effect free, so the dirty mark is
+            // set only once the acquisition succeeds; a pristine step blocked
+            // here can still be re-parked for a pending epoch end.
+            raw_lock(rt, vt, var);
+            mark_dirty(vt);
+            if phase == ExecPhase::Recording {
+                RecordSink::new(rt, vt).sync(var, SyncOp::MutexLock, 0);
+            }
         }
     }
     vt.control.lock().held_locks.push(var.id);
@@ -259,54 +312,54 @@ pub(crate) fn mutex_lock(rt: &RtInner, vt: &VThread, var: &SyncVar) {
 
 /// Mutex try-acquisition; returns whether the lock was obtained.
 pub(crate) fn mutex_trylock(rt: &RtInner, vt: &VThread, var: &SyncVar) -> bool {
-    if rt.replaying() {
-        let actual = EventKind::Sync {
-            var: var.id,
-            op: SyncOp::MutexTryLock,
-            result: 0,
-        };
-        let recorded = replay_expect(rt, vt, &actual) != 0;
-        if recorded {
-            wait_for_turn(rt, vt, var);
-            raw_lock(rt, vt, var);
-            var.var_list.lock().advance();
-            var.cv.notify_all();
-            vt.control.lock().held_locks.push(var.id);
-        }
-        replay_advance_thread(vt);
-        recorded
-    } else {
-        mark_dirty(vt);
-        let acquired = {
-            let mut state = var.state.lock();
-            if state.locked {
-                false
-            } else {
-                state.locked = true;
-                state.owner = Some(vt.id);
-                true
+    match crate::sink::op_phase(rt) {
+        ExecPhase::Replaying => {
+            let actual = EventKind::Sync {
+                var: var.id,
+                op: SyncOp::MutexTryLock,
+                result: 0,
+            };
+            let recorded = replay_expect(rt, vt, &actual) != 0;
+            if recorded {
+                wait_for_turn(rt, vt, var);
+                raw_lock(rt, vt, var);
+                var.var_list.advance();
+                var.cv.notify_all();
+                vt.control.lock().held_locks.push(var.id);
             }
-        };
-        if rt.recording() {
-            // The attempt always enters the thread list; only successful
-            // acquisitions enter the per-variable list (§3.2.1).
-            let index = record_thread_event(
-                rt,
-                vt,
-                EventKind::Sync {
+            replay_advance_thread(vt);
+            recorded
+        }
+        phase => {
+            mark_dirty(vt);
+            let acquired = {
+                let mut state = var.state.lock();
+                if state.locked {
+                    false
+                } else {
+                    state.locked = true;
+                    state.owner = Some(vt.id);
+                    true
+                }
+            };
+            if phase == ExecPhase::Recording {
+                // The attempt always enters the thread list; only successful
+                // acquisitions enter the per-variable list (§3.2.1).
+                let sink = RecordSink::new(rt, vt);
+                let index = sink.thread_event(EventKind::Sync {
                     var: var.id,
                     op: SyncOp::MutexTryLock,
                     result: i64::from(acquired),
-                },
-            );
-            if acquired {
-                var.var_list.lock().append(vt.id, SyncOp::MutexTryLock, index);
+                });
+                if acquired {
+                    var.var_list.append(vt.id, SyncOp::MutexTryLock, index);
+                }
             }
+            if acquired {
+                vt.control.lock().held_locks.push(var.id);
+            }
+            acquired
         }
-        if acquired {
-            vt.control.lock().held_locks.push(var.id);
-        }
-        acquired
     }
 }
 
@@ -329,57 +382,64 @@ pub(crate) fn mutex_unlock(_rt: &RtInner, vt: &VThread, var: &SyncVar) {
 /// event); the signal/broadcast themselves are not (§3.2.1).
 pub(crate) fn cond_wait(rt: &RtInner, vt: &VThread, cv_var: &SyncVar, mutex_var: &SyncVar) {
     mutex_unlock(rt, vt, mutex_var);
-    if rt.replaying() {
-        let actual = EventKind::Sync {
-            var: cv_var.id,
-            op: SyncOp::CondWake,
-            result: 0,
-        };
-        replay_expect(rt, vt, &actual);
-        // Wait for the recorded wake-up turn and for a signal to have been
-        // produced by the re-execution.
-        {
-            let mut state = cv_var.state.lock();
-            state.waiters += 1;
-            loop {
-                if rt.abort_pending() {
-                    state.waiters -= 1;
-                    drop(state);
-                    unwind_with(UnwindSignal::EpochAbort);
+    match crate::sink::op_phase(rt) {
+        ExecPhase::Replaying => {
+            let actual = EventKind::Sync {
+                var: cv_var.id,
+                op: SyncOp::CondWake,
+                result: 0,
+            };
+            replay_expect(rt, vt, &actual);
+            // Wait for the recorded wake-up turn and for a signal to have
+            // been produced by the re-execution.
+            {
+                let mut backoff = Backoff::new();
+                let mut state = cv_var.state.lock();
+                state.waiters += 1;
+                loop {
+                    if rt.abort_pending() {
+                        state.waiters -= 1;
+                        drop(state);
+                        unwind_with(UnwindSignal::EpochAbort);
+                    }
+                    let turn = cv_var.var_list.is_turn(vt.id);
+                    if turn && state.pending_signals > 0 {
+                        state.pending_signals -= 1;
+                        state.waiters -= 1;
+                        break;
+                    }
+                    let slice = backoff.slice();
+                    cv_var.cv.wait_for(&mut state, slice);
                 }
-                let turn = cv_var.var_list.lock().is_turn(vt.id);
-                if turn && state.pending_signals > 0 {
-                    state.pending_signals -= 1;
-                    state.waiters -= 1;
-                    break;
-                }
-                cv_var.cv.wait_for(&mut state, WAIT_SLICE);
             }
+            replay_advance_thread(vt);
+            cv_var.var_list.advance();
+            cv_var.cv.notify_all();
         }
-        replay_advance_thread(vt);
-        cv_var.var_list.lock().advance();
-        cv_var.cv.notify_all();
-    } else {
-        mark_dirty(vt);
-        {
-            let mut state = cv_var.state.lock();
-            state.waiters += 1;
-            loop {
-                if rt.abort_pending() {
-                    state.waiters -= 1;
-                    drop(state);
-                    unwind_with(UnwindSignal::EpochAbort);
+        phase => {
+            mark_dirty(vt);
+            {
+                let mut backoff = Backoff::new();
+                let mut state = cv_var.state.lock();
+                state.waiters += 1;
+                loop {
+                    if rt.abort_pending() {
+                        state.waiters -= 1;
+                        drop(state);
+                        unwind_with(UnwindSignal::EpochAbort);
+                    }
+                    if state.pending_signals > 0 {
+                        state.pending_signals -= 1;
+                        state.waiters -= 1;
+                        break;
+                    }
+                    let slice = backoff.slice();
+                    cv_var.cv.wait_for(&mut state, slice);
                 }
-                if state.pending_signals > 0 {
-                    state.pending_signals -= 1;
-                    state.waiters -= 1;
-                    break;
-                }
-                cv_var.cv.wait_for(&mut state, WAIT_SLICE);
             }
-        }
-        if rt.recording() {
-            record_sync(rt, vt, cv_var, SyncOp::CondWake, 0);
+            if phase == ExecPhase::Recording {
+                RecordSink::new(rt, vt).sync(cv_var, SyncOp::CondWake, 0);
+            }
         }
     }
     mutex_lock(rt, vt, mutex_var);
@@ -424,32 +484,32 @@ pub(crate) fn cond_broadcast(rt: &RtInner, _vt: &VThread, cv_var: &SyncVar) {
 /// "a thread waiting on a barrier will not change the state"); only the
 /// return value is.
 pub(crate) fn barrier_wait(rt: &RtInner, vt: &VThread, var: &SyncVar, parties: u32) -> bool {
-    if rt.replaying() {
-        let actual = EventKind::Sync {
-            var: var.id,
-            op: SyncOp::BarrierWait,
-            result: 0,
-        };
-        let recorded = replay_expect(rt, vt, &actual);
-        raw_barrier_wait(rt, vt, var, parties);
-        replay_advance_thread(vt);
-        return recorded == BARRIER_SERIAL;
-    }
-    mark_dirty(vt);
-    let serial = raw_barrier_wait(rt, vt, var, parties);
-    if rt.recording() {
-        let result = if serial { BARRIER_SERIAL } else { 0 };
-        record_thread_event(
-            rt,
-            vt,
-            EventKind::Sync {
+    match crate::sink::op_phase(rt) {
+        ExecPhase::Replaying => {
+            let actual = EventKind::Sync {
                 var: var.id,
                 op: SyncOp::BarrierWait,
-                result,
-            },
-        );
+                result: 0,
+            };
+            let recorded = replay_expect(rt, vt, &actual);
+            raw_barrier_wait(rt, vt, var, parties);
+            replay_advance_thread(vt);
+            recorded == BARRIER_SERIAL
+        }
+        phase => {
+            mark_dirty(vt);
+            let serial = raw_barrier_wait(rt, vt, var, parties);
+            if phase == ExecPhase::Recording {
+                let result = if serial { BARRIER_SERIAL } else { 0 };
+                RecordSink::new(rt, vt).thread_event(EventKind::Sync {
+                    var: var.id,
+                    op: SyncOp::BarrierWait,
+                    result,
+                });
+            }
+            serial
+        }
     }
-    serial
 }
 
 fn raw_barrier_wait(rt: &RtInner, vt: &VThread, var: &SyncVar, parties: u32) -> bool {
@@ -463,6 +523,7 @@ fn raw_barrier_wait(rt: &RtInner, vt: &VThread, var: &SyncVar, parties: u32) -> 
         var.cv.notify_all();
         true
     } else {
+        let mut backoff = Backoff::new();
         while state.barrier_generation == generation {
             if rt.abort_pending() {
                 // Leave the barrier consistent before unwinding: the whole
@@ -474,7 +535,8 @@ fn raw_barrier_wait(rt: &RtInner, vt: &VThread, var: &SyncVar, parties: u32) -> 
             // A pristine-step re-park is *not* safe here: other threads may
             // already count on this arrival, so only aborts interrupt a
             // barrier wait.
-            var.cv.wait_for(&mut state, WAIT_SLICE);
+            let slice = backoff.slice();
+            var.cv.wait_for(&mut state, slice);
         }
         let _ = vt;
         false
@@ -489,7 +551,7 @@ fn raw_barrier_wait(rt: &RtInner, vt: &VThread, var: &SyncVar, parties: u32) -> 
 /// Records a thread-creation event on the global creation variable.
 pub(crate) fn record_thread_create(rt: &RtInner, vt: &VThread, child: ThreadId) {
     let var = rt.sync_var(crate::state::CREATION_VAR);
-    record_sync(rt, vt, &var, SyncOp::ThreadCreate, i64::from(child.0));
+    RecordSink::new(rt, vt).sync(&var, SyncOp::ThreadCreate, i64::from(child.0));
 }
 
 /// During replay, verifies and orders the thread-creation event, returning
@@ -504,7 +566,7 @@ pub(crate) fn replay_thread_create(rt: &RtInner, vt: &VThread) -> ThreadId {
     let recorded = replay_expect(rt, vt, &actual);
     wait_for_turn(rt, vt, &var);
     replay_advance_thread(vt);
-    var.var_list.lock().advance();
+    var.var_list.advance();
     var.cv.notify_all();
     ThreadId(recorded as u32)
 }
@@ -512,7 +574,7 @@ pub(crate) fn replay_thread_create(rt: &RtInner, vt: &VThread) -> ThreadId {
 /// Records a join of `child` on that thread's join variable.
 pub(crate) fn record_thread_join(rt: &RtInner, vt: &VThread, child: &VThread) {
     let var = rt.sync_var(child.join_var);
-    record_sync(rt, vt, &var, SyncOp::ThreadJoin, i64::from(child.id.0));
+    RecordSink::new(rt, vt).sync(&var, SyncOp::ThreadJoin, i64::from(child.id.0));
 }
 
 /// During replay, verifies and orders a join event.
@@ -526,7 +588,7 @@ pub(crate) fn replay_thread_join(rt: &RtInner, vt: &VThread, child: &VThread) {
     replay_expect(rt, vt, &actual);
     wait_for_turn(rt, vt, &var);
     replay_advance_thread(vt);
-    var.var_list.lock().advance();
+    var.var_list.advance();
 }
 
 /// Fetches a block from the super heap under the global block-fetch lock
@@ -540,26 +602,54 @@ pub(crate) fn superheap_fetch_ordered(
     vt: &VThread,
 ) -> Result<ireplayer_mem::Span, ireplayer_mem::MemError> {
     let var = rt.sync_var(crate::state::SUPERHEAP_VAR);
-    if rt.replaying() {
-        let actual = EventKind::Sync {
-            var: var.id,
-            op: SyncOp::SuperHeapFetch,
-            result: 0,
-        };
-        replay_expect(rt, vt, &actual);
-        wait_for_turn(rt, vt, &var);
-        let block = rt.super_heap.fetch_block();
-        replay_advance_thread(vt);
-        var.var_list.lock().advance();
-        var.cv.notify_all();
-        block
-    } else if rt.recording() {
-        // Hold the variable's lock across "record + fetch" so the recorded
-        // order matches the fetch order.
-        let _guard = var.state.lock();
-        record_sync(rt, vt, &var, SyncOp::SuperHeapFetch, 0);
-        rt.super_heap.fetch_block()
-    } else {
-        rt.super_heap.fetch_block()
+    match crate::sink::op_phase(rt) {
+        ExecPhase::Replaying => {
+            let actual = EventKind::Sync {
+                var: var.id,
+                op: SyncOp::SuperHeapFetch,
+                result: 0,
+            };
+            replay_expect(rt, vt, &actual);
+            wait_for_turn(rt, vt, &var);
+            let block = rt.super_heap.fetch_block();
+            replay_advance_thread(vt);
+            var.var_list.advance();
+            var.cv.notify_all();
+            block
+        }
+        ExecPhase::Recording => {
+            // Hold the variable's lock across "record + fetch" so the
+            // recorded order matches the fetch order.
+            let _guard = var.state.lock();
+            RecordSink::new(rt, vt).sync(&var, SyncOp::SuperHeapFetch, 0);
+            rt.super_heap.fetch_block()
+        }
+        ExecPhase::Passthrough => rt.super_heap.fetch_block(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_spins_then_yields_then_sleeps_with_growing_slices() {
+        let mut backoff = Backoff::new();
+        let mut busy_rounds = 0;
+        while backoff.snooze() {
+            busy_rounds += 1;
+            assert!(busy_rounds <= Backoff::YIELD_LIMIT, "busy phase must terminate");
+        }
+        assert_eq!(busy_rounds, Backoff::YIELD_LIMIT);
+        let first = backoff.slice();
+        assert_eq!(first, Duration::from_micros(Backoff::MIN_SLICE_US));
+        let mut last = first;
+        for _ in 0..16 {
+            let next = backoff.slice();
+            assert!(next >= last);
+            assert!(next <= Duration::from_micros(Backoff::MAX_SLICE_US));
+            last = next;
+        }
+        assert_eq!(last, Duration::from_micros(Backoff::MAX_SLICE_US));
     }
 }

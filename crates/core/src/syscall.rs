@@ -12,25 +12,22 @@
 //!   marker event is logged.
 //! * **Irrevocable** calls execute, taint the current epoch (it can no
 //!   longer be replayed) and schedule an epoch end.
+//!
+//! Recording goes through the lock-free [`RecordSink`]; the phase is
+//! selected once per call by the callers in [`crate::context`].
 
 use ireplayer_log::{EventKind, SyscallOutcome};
 use ireplayer_sys::SyscallKind;
 
+use crate::sink::RecordSink;
 use crate::state::{DeferredOp, EpochEndReason, RtInner, VThread};
 use crate::stats::Counters;
-use crate::sync::{mark_dirty, record_thread_event, replay_advance_thread, replay_expect};
+use crate::sync::{mark_dirty, replay_advance_thread, replay_expect_event};
 
 /// Records the outcome of a recordable call (or the marker of a revocable /
-/// deferrable call).
+/// deferrable call).  Lock-free.
 pub(crate) fn record_syscall(rt: &RtInner, vt: &VThread, kind: SyscallKind, outcome: SyscallOutcome) {
-    record_thread_event(
-        rt,
-        vt,
-        EventKind::Syscall {
-            code: kind.code(),
-            outcome,
-        },
-    );
+    RecordSink::new(rt, vt).syscall(kind, outcome);
 }
 
 /// During replay, verifies that the next recorded event of the thread is
@@ -40,18 +37,12 @@ pub(crate) fn replay_syscall(rt: &RtInner, vt: &VThread, kind: SyscallKind) -> S
         code: kind.code(),
         outcome: SyscallOutcome::default(),
     };
-    // `replay_expect` validates the operation; the full outcome (which may
-    // carry data) is then cloned from the event under the cursor.
-    replay_expect(rt, vt, &actual);
-    let outcome = {
-        let list = vt.list.lock();
-        match list.peek() {
-            Some(event) => match &event.kind {
-                EventKind::Syscall { outcome, .. } => outcome.clone(),
-                _ => SyscallOutcome::default(),
-            },
-            None => SyscallOutcome::default(),
-        }
+    // `replay_expect_event` validates the operation and hands back the one
+    // copy of the event, whose outcome may carry data.
+    let event = replay_expect_event(rt, vt, &actual);
+    let outcome = match event.kind {
+        EventKind::Syscall { outcome, .. } => outcome,
+        _ => SyscallOutcome::default(),
     };
     replay_advance_thread(vt);
     outcome
@@ -73,6 +64,6 @@ pub(crate) fn defer(rt: &RtInner, op: DeferredOp) {
 /// so that a fresh, replayable epoch starts as soon as the world reaches
 /// quiescence.
 pub(crate) fn irrevocable(rt: &RtInner, name: &'static str) {
-    rt.epoch.lock().tainted_by = Some(name);
+    rt.taint(name);
     rt.request_epoch_end(EpochEndReason::Irrevocable);
 }

@@ -37,6 +37,20 @@ pub enum DivergenceKind {
         /// Number of recorded events that were never replayed.
         remaining: usize,
     },
+    /// An operation named a synchronization object that was never
+    /// registered (see [`crate::lookup::UnknownSyncVar`]): the analogue of
+    /// using an uninitialized `pthread_mutex_t`.  Surfaced as a divergence
+    /// so the runtime reports it instead of unwinding through user code.
+    UnknownVariable {
+        /// The unregistered address the operation presented.
+        addr: u64,
+    },
+}
+
+impl From<crate::lookup::UnknownSyncVar> for DivergenceKind {
+    fn from(err: crate::lookup::UnknownSyncVar) -> Self {
+        DivergenceKind::UnknownVariable { addr: err.addr.0 }
+    }
 }
 
 /// A divergence observed by one thread during a re-execution.
@@ -77,6 +91,11 @@ impl fmt::Display for Divergence {
             DivergenceKind::MissingOperations { remaining } => write!(
                 f,
                 "{} reached epoch end at event {} (attempt {}) with {remaining} recorded events unreplayed",
+                self.thread, self.at_index, self.attempt
+            ),
+            DivergenceKind::UnknownVariable { addr } => write!(
+                f,
+                "{} diverged at event {} (attempt {}): operation on unregistered synchronization object {addr:#x}",
                 self.thread, self.at_index, self.attempt
             ),
         }

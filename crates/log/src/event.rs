@@ -81,6 +81,38 @@ pub enum SyncOp {
     VarRegister,
 }
 
+impl SyncOp {
+    /// Stable numeric code, used by the lock-free per-variable list to pack
+    /// an entry into a single atomic word.
+    pub fn code(self) -> u8 {
+        match self {
+            SyncOp::MutexLock => 0,
+            SyncOp::MutexTryLock => 1,
+            SyncOp::CondWake => 2,
+            SyncOp::BarrierWait => 3,
+            SyncOp::ThreadCreate => 4,
+            SyncOp::ThreadJoin => 5,
+            SyncOp::SuperHeapFetch => 6,
+            SyncOp::VarRegister => 7,
+        }
+    }
+
+    /// Inverse of [`SyncOp::code`].
+    pub fn from_code(code: u8) -> Option<SyncOp> {
+        Some(match code {
+            0 => SyncOp::MutexLock,
+            1 => SyncOp::MutexTryLock,
+            2 => SyncOp::CondWake,
+            3 => SyncOp::BarrierWait,
+            4 => SyncOp::ThreadCreate,
+            5 => SyncOp::ThreadJoin,
+            6 => SyncOp::SuperHeapFetch,
+            7 => SyncOp::VarRegister,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for SyncOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {

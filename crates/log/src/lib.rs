@@ -19,11 +19,15 @@
 //! recorded order (caused only by unrecorded data races, §3.5.2), and the
 //! system-call classification of §2.2.3.
 //!
-//! The structures here are intentionally unsynchronized: a per-thread list
-//! is owned by its thread, and a per-variable list is owned by the runtime's
-//! shadow synchronization object and only touched while that variable's own
-//! lock is held, so recording introduces no additional lock contention --
-//! one of the main reasons the paper's recording overhead is ~3%.
+//! The structures here are **lock-free on the record path** -- one of the
+//! main reasons the paper's recording overhead is ~3%.  A per-thread list is
+//! a single-writer structure: only its owning thread appends, publishing
+//! each event through an atomic length, and readers (the coordinator, replay
+//! checks) observe a consistent prefix.  A per-variable list supports
+//! multi-writer appends (condition-variable wake-ups can be recorded
+//! concurrently) by reserving a slot with an atomic fetch-add and publishing
+//! a packed entry word.  The full write/read discipline -- who may touch
+//! which list, and when -- is documented on [`ThreadList`] and [`VarList`].
 
 pub mod divergence;
 pub mod event;
@@ -35,8 +39,8 @@ pub mod var_list;
 
 pub use divergence::{Divergence, DivergenceKind};
 pub use event::{Event, EventKind, SyncOp, SyscallOutcome, ThreadId, VarId};
-pub use lookup::{HashDirectory, ShadowDirectory, SyncAddr, SyncSlot, SyncVarDirectory};
+pub use lookup::{HashDirectory, ShadowDirectory, SyncAddr, SyncSlot, SyncVarDirectory, UnknownSyncVar};
 pub use recorder::EpochLog;
 pub use syscall_class::SyscallClass;
 pub use thread_list::{ThreadList, ThreadListFull};
-pub use var_list::VarList;
+pub use var_list::{VarEntry, VarList};

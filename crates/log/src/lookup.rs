@@ -16,6 +16,7 @@
 //! `ablation_lookup` Criterion bench in `ireplayer-bench` sweeps the number
 //! of variables and reproduces the crossover the paper describes.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -29,21 +30,41 @@ use crate::var_list::VarList;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SyncAddr(pub u64);
 
+/// Error returned when an operation names a synchronization object that was
+/// never registered -- the analogue of using an uninitialized
+/// `pthread_mutex_t`.  The runtime surfaces this as a divergence-grade
+/// diagnostic instead of unwinding through user code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownSyncVar {
+    /// The address the application presented.
+    pub addr: SyncAddr,
+}
+
+impl std::fmt::Display for UnknownSyncVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "synchronization object {:#x} was never registered", self.addr.0)
+    }
+}
+
+impl std::error::Error for UnknownSyncVar {}
+
 /// A registered synchronization variable: its identifier and its
-/// per-variable list.
+/// per-variable list.  The list appends lock-free (see
+/// [`VarList::append`]), so holding a slot gives a contention-free record
+/// path.
 #[derive(Debug)]
 pub struct SyncSlot {
     /// Identifier assigned at registration.
     pub id: VarId,
     /// The per-variable list of recorded operations.
-    pub list: Mutex<VarList>,
+    pub list: VarList,
 }
 
 impl SyncSlot {
     fn new(id: VarId) -> Arc<Self> {
         Arc::new(SyncSlot {
             id,
-            list: Mutex::new(VarList::new()),
+            list: VarList::new(),
         })
     }
 }
@@ -65,16 +86,22 @@ pub trait SyncVarDirectory: Send + Sync {
 
     /// Finds the slot for a previously registered object.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `addr` was never registered (the analogue of using an
-    /// uninitialized `pthread_mutex_t`).
-    fn slot(&self, addr: SyncAddr) -> Arc<SyncSlot>;
+    /// Returns [`UnknownSyncVar`] if `addr` was never registered; the
+    /// caller (the runtime) reports it as a divergence-grade fault rather
+    /// than panicking through application frames.
+    fn slot(&self, addr: SyncAddr) -> Result<Arc<SyncSlot>, UnknownSyncVar>;
 
     /// Convenience used by the bench: record one operation on `addr`.
-    fn record(&self, addr: SyncAddr, thread: ThreadId, op: SyncOp, thread_index: u32) {
-        let slot = self.slot(addr);
-        slot.list.lock().append(thread, op, thread_index);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSyncVar`] if `addr` was never registered.
+    fn record(&self, addr: SyncAddr, thread: ThreadId, op: SyncOp, thread_index: u32) -> Result<(), UnknownSyncVar> {
+        let slot = self.slot(addr)?;
+        slot.list.append(thread, op, thread_index);
+        Ok(())
     }
 
     /// Number of registered variables.
@@ -121,15 +148,12 @@ impl SyncVarDirectory for ShadowDirectory {
         id
     }
 
-    fn slot(&self, addr: SyncAddr) -> Arc<SyncSlot> {
+    fn slot(&self, addr: SyncAddr) -> Result<Arc<SyncSlot>, UnknownSyncVar> {
         // The address token *is* the shadow index for registered objects:
         // the application stored it in the object's first word at
         // registration time.
         let slots = self.slots.lock();
-        slots
-            .get(addr.0 as usize)
-            .cloned()
-            .expect("synchronization object was never registered")
+        slots.get(addr.0 as usize).cloned().ok_or(UnknownSyncVar { addr })
     }
 
     fn len(&self) -> usize {
@@ -149,7 +173,11 @@ impl SyncVarDirectory for ShadowDirectory {
 #[derive(Debug)]
 pub struct HashDirectory {
     buckets: Vec<Mutex<BucketChain>>,
-    count: Mutex<u32>,
+    /// Identifier source.  An atomic (not a mutex) so that an id can never
+    /// be observed out of order with respect to its bucket insertion: the
+    /// fetch-add hands out the id and the bucket lock alone publishes the
+    /// slot.
+    count: AtomicU32,
 }
 
 /// One hash chain: the registered variables whose address hashes to the
@@ -164,7 +192,7 @@ impl HashDirectory {
         let buckets = buckets.max(1);
         HashDirectory {
             buckets: (0..buckets).map(|_| Mutex::new(Vec::new())).collect(),
-            count: Mutex::new(0),
+            count: AtomicU32::new(0),
         }
     }
 
@@ -194,26 +222,24 @@ impl SyncVarDirectory for HashDirectory {
     }
 
     fn register(&self, addr: SyncAddr) -> VarId {
-        let mut count = self.count.lock();
-        let id = VarId(*count);
-        *count += 1;
+        let id = VarId(self.count.fetch_add(1, Ordering::AcqRel));
         let bucket = self.bucket_for(addr);
         self.buckets[bucket].lock().push((addr, SyncSlot::new(id)));
         id
     }
 
-    fn slot(&self, addr: SyncAddr) -> Arc<SyncSlot> {
+    fn slot(&self, addr: SyncAddr) -> Result<Arc<SyncSlot>, UnknownSyncVar> {
         let bucket = self.bucket_for(addr);
         let chain = self.buckets[bucket].lock();
         chain
             .iter()
             .find(|(key, _)| *key == addr)
             .map(|(_, slot)| Arc::clone(slot))
-            .expect("synchronization object was never registered")
+            .ok_or(UnknownSyncVar { addr })
     }
 
     fn len(&self) -> usize {
-        *self.count.lock() as usize
+        self.count.load(Ordering::Acquire) as usize
     }
 }
 
@@ -236,12 +262,14 @@ mod tests {
             .collect();
         assert_eq!(directory.len(), variables as usize);
         for (round, addr) in addrs.iter().enumerate() {
-            directory.record(*addr, ThreadId(0), SyncOp::MutexLock, round as u32);
+            directory
+                .record(*addr, ThreadId(0), SyncOp::MutexLock, round as u32)
+                .unwrap();
         }
         for (index, addr) in addrs.iter().enumerate() {
-            let slot = directory.slot(*addr);
+            let slot = directory.slot(*addr).unwrap();
             assert_eq!(slot.id, VarId(index as u32));
-            assert_eq!(slot.list.lock().len(), 1);
+            assert_eq!(slot.list.len(), 1);
         }
     }
 
@@ -258,10 +286,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "never registered")]
-    fn unregistered_variables_are_a_programming_error() {
+    fn unregistered_variables_are_a_typed_error() {
         let directory = ShadowDirectory::new();
-        let _ = directory.slot(SyncAddr(3));
+        let err = directory.slot(SyncAddr(3)).unwrap_err();
+        assert_eq!(err.addr, SyncAddr(3));
+        assert!(err.to_string().contains("never registered"));
+        let hash = HashDirectory::default();
+        assert_eq!(
+            hash.record(SyncAddr(9), ThreadId(0), SyncOp::MutexLock, 0),
+            Err(UnknownSyncVar { addr: SyncAddr(9) })
+        );
+    }
+
+    #[test]
+    fn concurrent_registration_hands_out_unique_ids() {
+        let directory = std::sync::Arc::new(HashDirectory::with_buckets(8));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let directory = std::sync::Arc::clone(&directory);
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|i| directory.register(SyncAddr(t * 1000 + i)).0)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut ids: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 256, "registration ids must be unique");
+        assert_eq!(directory.len(), 256);
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl EpochLog {
         op: SyncOp,
         result: i64,
     ) -> Result<u32, ThreadListFull> {
-        let index = self.thread_mut(thread).append(EventKind::Sync { var, op, result })?;
+        let index = self
+            .thread_mut(thread)
+            .append_mut(EventKind::Sync { var, op, result })?;
         self.var_mut(var).append(thread, op, index);
         Ok(index)
     }
@@ -102,7 +104,7 @@ impl EpochLog {
     /// Returns [`ThreadListFull`] when the thread's pre-allocated entries
     /// are exhausted.
     pub fn record_trylock(&mut self, thread: ThreadId, var: VarId, acquired: bool) -> Result<u32, ThreadListFull> {
-        let index = self.thread_mut(thread).append(EventKind::Sync {
+        let index = self.thread_mut(thread).append_mut(EventKind::Sync {
             var,
             op: SyncOp::MutexTryLock,
             result: i64::from(acquired),
@@ -125,7 +127,7 @@ impl EpochLog {
         code: u16,
         outcome: crate::event::SyscallOutcome,
     ) -> Result<u32, ThreadListFull> {
-        self.thread_mut(thread).append(EventKind::Syscall { code, outcome })
+        self.thread_mut(thread).append_mut(EventKind::Syscall { code, outcome })
     }
 
     /// Resets every cursor to the start of the recorded epoch.
@@ -141,7 +143,7 @@ impl EpochLog {
     /// Clears every list (epoch housekeeping).
     pub fn clear(&mut self) {
         for list in self.threads.values_mut() {
-            list.clear();
+            list.clear_mut();
         }
         for list in self.vars.values_mut() {
             list.clear();
@@ -168,8 +170,9 @@ impl EpochLog {
     /// Advances both cursors after `thread` replays its next operation on
     /// `var`, returning the recorded event.
     pub fn advance(&mut self, thread: ThreadId, var: VarId) -> Option<Event> {
-        let event = self.threads.get_mut(&thread)?.advance()?.clone();
-        self.vars.get_mut(&var)?.advance();
+        let var_list = self.vars.get(&var)?;
+        let event = self.threads.get(&thread)?.advance()?;
+        var_list.advance();
         Some(event)
     }
 
@@ -236,7 +239,7 @@ mod tests {
         let log = figure4_log();
         let t2 = log.thread(ThreadId(2)).unwrap();
         assert_eq!(t2.len(), 4);
-        assert!(matches!(t2.events()[1].kind, EventKind::Syscall { code: 1, .. }));
+        assert!(matches!(t2.snapshot()[1].kind, EventKind::Syscall { code: 1, .. }));
         // No per-variable list exists for syscalls.
         assert_eq!(log.vars_iter().count(), 3);
     }
@@ -269,7 +272,7 @@ mod tests {
         log.record_trylock(ThreadId(1), VarId(0), false).unwrap();
         assert_eq!(log.var(VarId(0)).unwrap().len(), 1);
         assert_eq!(log.thread(ThreadId(1)).unwrap().len(), 1);
-        match &log.thread(ThreadId(1)).unwrap().events()[0].kind {
+        match &log.thread(ThreadId(1)).unwrap().snapshot()[0].kind {
             EventKind::Sync { result, .. } => assert_eq!(*result, 0),
             other => panic!("unexpected event {other:?}"),
         }

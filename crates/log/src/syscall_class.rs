@@ -143,14 +143,14 @@ mod tests {
         log.begin_replay();
         let list = log.thread(thread).unwrap();
         assert_eq!(list.len(), ALL.len());
-        for (event, expected) in list.events().iter().zip(ALL) {
-            let EventKind::Syscall { code, outcome } = &event.kind else {
+        for (event, expected) in list.snapshot().into_iter().zip(ALL) {
+            let EventKind::Syscall { code, outcome } = event.kind else {
                 panic!("recorded a non-syscall event for {expected}");
             };
-            let recovered = class_of(*code);
+            let recovered = class_of(code);
             assert_eq!(recovered, expected, "class survives the round trip");
             assert_eq!(
-                *outcome,
+                outcome,
                 outcome_of(expected),
                 "{expected} outcome survives the round trip"
             );

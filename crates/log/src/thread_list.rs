@@ -5,8 +5,37 @@
 //! memory allocation; when the list is full, the runtime closes the current
 //! epoch ("when all entries are exhausted, it is time to stop the current
 //! epoch and start a new epoch").
+//!
+//! # Single-writer discipline
+//!
+//! The list is a **single-writer** structure: the paper's ~3% record
+//! overhead rests on each thread appending only to its own list, so the
+//! append path must not acquire any lock.  The rules, enforced by the
+//! runtime and documented here because the type's safety rests on them:
+//!
+//! * **Owner appends.**  Only the owning thread calls [`ThreadList::append`]
+//!   / [`ThreadList::append_past_capacity`], and only during recording.  An
+//!   append writes the slot at the unpublished index `len`, then publishes
+//!   it with a release store of `len + 1`.
+//! * **Anyone reads the published prefix.**  Readers (the coordinator
+//!   checking `replay_complete`, divergence reporting, snapshots) load `len`
+//!   with acquire ordering and may then read any slot below it; published
+//!   slots are immutable until the next [`ThreadList::clear`].
+//! * **The coordinator resets at quiescence.**  [`ThreadList::clear`],
+//!   [`ThreadList::begin_replay`] and [`ThreadList::end_replay`] are called
+//!   only by the coordinator while every application thread is parked at a
+//!   step boundary (§3.3); the park/release handshake goes through each
+//!   thread's control mutex, which provides the happens-before edges that
+//!   make the reset visible to the owner.
+//! * **The owner replays its own cursor.**  During replay only the owning
+//!   thread calls [`ThreadList::peek`] / [`ThreadList::advance`]; other
+//!   threads may read [`ThreadList::cursor`] and
+//!   [`ThreadList::replay_complete`] concurrently.
 
-use serde::{Deserialize, Serialize};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::event::{Event, EventKind, ThreadId};
 
@@ -32,12 +61,39 @@ impl std::fmt::Display for ThreadListFull {
 
 impl std::error::Error for ThreadListFull {}
 
+/// One pre-allocated entry of the list.
+///
+/// The cell starts as `None`; the owning thread writes `Some(event)` into
+/// the slot at the unpublished index before publishing it through the
+/// atomic length, after which the slot is immutable until the coordinator
+/// clears the list at quiescence.
+struct Slot(UnsafeCell<Option<Event>>);
+
+impl Slot {
+    fn empty() -> Self {
+        Slot(UnsafeCell::new(None))
+    }
+}
+
+// SAFETY: slots are only written at indices >= the published length (by the
+// sole owner thread, or by the coordinator during the quiescent reset) and
+// only read at indices below the published length, which is maintained with
+// release/acquire ordering; see the module-level discipline notes.
+#[allow(unsafe_code)]
+unsafe impl Sync for Slot {}
+
+// SAFETY: a Slot is plain owned data (`Option<Event>`); sending it between
+// threads moves the cell contents like any other value.
+#[allow(unsafe_code)]
+unsafe impl Send for Slot {}
+
 /// The per-thread event list with its replay cursor.
 ///
-/// During recording, events are appended.  During replay, the cursor walks
-/// the list: a thread may perform its next operation only if it matches the
-/// event under the cursor (divergence otherwise), and recorded results are
-/// returned from the event under the cursor.
+/// During recording, the owning thread appends events lock-free.  During
+/// replay, the cursor walks the list: a thread may perform its next
+/// operation only if it matches the event under the cursor (divergence
+/// otherwise), and recorded results are returned from the event under the
+/// cursor.
 ///
 /// # Example
 ///
@@ -45,19 +101,26 @@ impl std::error::Error for ThreadListFull {}
 /// use ireplayer_log::{EventKind, SyncOp, ThreadId, ThreadList, VarId};
 ///
 /// let mut list = ThreadList::new(ThreadId(1), 16);
-/// list.append(EventKind::Sync { var: VarId(0), op: SyncOp::MutexLock, result: 0 }).unwrap();
+/// list.append_mut(EventKind::Sync { var: VarId(0), op: SyncOp::MutexLock, result: 0 }).unwrap();
 /// list.begin_replay();
 /// assert!(list.peek().is_some());
 /// list.advance();
 /// assert!(list.peek().is_none());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThreadList {
     thread: ThreadId,
     capacity: usize,
-    events: Vec<Event>,
-    cursor: usize,
-    replaying: bool,
+    slots: Box<[Slot]>,
+    /// Number of published (fully initialized) slots.
+    len: AtomicUsize,
+    /// Spill storage for events recorded after the pre-allocated entries
+    /// were exhausted (an epoch end is already scheduled at that point, so
+    /// this path is cold and may allocate and lock).
+    overflow: Mutex<Vec<Event>>,
+    /// Published length of `overflow`, so `len()` stays lock-free.
+    spilled: AtomicUsize,
+    cursor: AtomicUsize,
+    replaying: AtomicBool,
 }
 
 impl ThreadList {
@@ -71,9 +134,12 @@ impl ThreadList {
         ThreadList {
             thread,
             capacity,
-            events: Vec::with_capacity(capacity),
-            cursor: 0,
-            replaying: false,
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            len: AtomicUsize::new(0),
+            overflow: Mutex::new(Vec::new()),
+            spilled: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            replaying: AtomicBool::new(false),
         }
     }
 
@@ -82,46 +148,64 @@ impl ThreadList {
         self.thread
     }
 
-    /// Number of recorded events.
+    /// Number of recorded events (published prefix plus spilled entries).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.len.load(Ordering::Acquire) + self.spilled.load(Ordering::Acquire)
     }
 
     /// Returns `true` if no events have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
     /// Remaining capacity before the epoch must end.
     pub fn remaining(&self) -> usize {
-        self.capacity.saturating_sub(self.events.len())
+        self.capacity.saturating_sub(self.len())
     }
 
     /// Returns `true` if the list cannot accept further events.
     pub fn is_full(&self) -> bool {
-        self.events.len() >= self.capacity
+        self.len() >= self.capacity
     }
 
     /// Appends an event during the recording phase and returns its index
-    /// within this list.
+    /// within this list.  The uncontended fast path performs one relaxed
+    /// load, one slot write, and one release store -- no locks.
     ///
-    /// # Errors
+    /// # Safety
     ///
-    /// Returns [`ThreadListFull`] when the pre-allocated entries are
-    /// exhausted; the caller must close the epoch.
-    pub fn append(&mut self, kind: EventKind) -> Result<u32, ThreadListFull> {
-        if self.is_full() {
+    /// The caller must be the list's sole appender (the owning thread, or
+    /// a context that otherwise excludes concurrent appends), and no
+    /// [`ThreadList::clear`] may run concurrently.  Violating this races
+    /// the non-atomic slot write -- the single-writer discipline in the
+    /// module notes is the soundness contract, not just a convention.
+    /// Callers with `&mut` access can use the safe
+    /// [`ThreadList::append_mut`] instead.
+    #[allow(unsafe_code)]
+    pub unsafe fn append(&self, kind: EventKind) -> Result<u32, ThreadListFull> {
+        // Relaxed is enough: this thread is the only writer of `len`
+        // outside the quiescent resets, which are ordered by the runtime's
+        // park/release handshake.
+        let len = self.len.load(Ordering::Relaxed);
+        if len >= self.capacity {
             return Err(ThreadListFull {
                 thread: self.thread,
                 capacity: self.capacity,
             });
         }
-        let index = self.events.len() as u32;
-        self.events.push(Event {
-            thread: self.thread,
-            index,
-            kind,
-        });
+        let index = len as u32;
+        // SAFETY: `len` is unpublished (readers only access indices below
+        // the published length) and this thread is the sole appender, so no
+        // other thread can be reading or writing this slot.
+        #[allow(unsafe_code)]
+        unsafe {
+            *self.slots[len].0.get() = Some(Event {
+                thread: self.thread,
+                index,
+                kind,
+            });
+        }
+        self.len.store(len + 1, Ordering::Release);
         Ok(index)
     }
 
@@ -130,73 +214,201 @@ impl ThreadList {
     /// The runtime uses this after [`ThreadList::append`] reported the list
     /// full and an epoch end has already been scheduled: the event that
     /// tripped the limit must still be recorded so that the epoch remains
-    /// replayable, at the cost of one allocation past the reserved capacity.
-    pub fn append_past_capacity(&mut self, kind: EventKind) -> u32 {
-        let index = self.events.len() as u32;
-        self.events.push(Event {
+    /// replayable, at the cost of one allocation (and one lock -- the path
+    /// is cold by construction) past the reserved capacity.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`ThreadList::append`]: sole appender, no
+    /// concurrent [`ThreadList::clear`].  (The spill vector itself is
+    /// mutex-guarded; the contract keeps the published index arithmetic
+    /// race-free with respect to appends and clears.)
+    #[allow(unsafe_code)]
+    pub unsafe fn append_past_capacity(&self, kind: EventKind) -> u32 {
+        let mut overflow = self.overflow.lock();
+        let index = (self.capacity + overflow.len()) as u32;
+        overflow.push(Event {
             thread: self.thread,
             index,
             kind,
         });
+        self.spilled.store(overflow.len(), Ordering::Release);
         index
+    }
+
+    /// Returns a copy of the event at `index`, if it has been published.
+    pub fn get(&self, index: usize) -> Option<Event> {
+        let len = self.len.load(Ordering::Acquire);
+        if index < len {
+            // SAFETY: the slot is below the published length, so it was
+            // fully written before the release store that published it (we
+            // read `len` with acquire) and is immutable until the next
+            // quiescent clear.
+            #[allow(unsafe_code)]
+            let event = unsafe { (*self.slots[index].0.get()).clone() };
+            return event;
+        }
+        if index >= self.capacity {
+            return self.overflow.lock().get(index - self.capacity).cloned();
+        }
+        None
+    }
+
+    /// Copies all recorded events, in program order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let len = self.len.load(Ordering::Acquire);
+        let mut events: Vec<Event> = (0..len).filter_map(|i| self.get(i)).collect();
+        events.extend(self.overflow.lock().iter().cloned());
+        events
+    }
+
+    /// Safe owner-side append: `&mut` proves exclusive access, which is a
+    /// superset of the single-writer contract.  Single-owner users
+    /// ([`crate::EpochLog`], tests) use this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadListFull`] when the pre-allocated entries are
+    /// exhausted.
+    pub fn append_mut(&mut self, kind: EventKind) -> Result<u32, ThreadListFull> {
+        // SAFETY: `&mut self` excludes every other reader and writer.
+        #[allow(unsafe_code)]
+        unsafe {
+            self.append(kind)
+        }
+    }
+
+    /// Safe owner-side variant of [`ThreadList::append_past_capacity`].
+    pub fn append_past_capacity_mut(&mut self, kind: EventKind) -> u32 {
+        // SAFETY: `&mut self` excludes every other reader and writer.
+        #[allow(unsafe_code)]
+        unsafe {
+            self.append_past_capacity(kind)
+        }
     }
 
     /// Clears all recorded events and leaves recording mode.  Called by
     /// epoch housekeeping at every epoch begin (§3.1).
-    pub fn clear(&mut self) {
-        self.events.clear();
-        self.cursor = 0;
-        self.replaying = false;
+    ///
+    /// # Safety
+    ///
+    /// No append, read, or replay access may run concurrently: the runtime
+    /// calls this only from the coordinator at step-boundary quiescence,
+    /// after the park handshake ordered every owner thread's accesses
+    /// before it.  Callers with `&mut` access can use the safe
+    /// [`ThreadList::clear_mut`] instead.
+    #[allow(unsafe_code)]
+    pub unsafe fn clear(&self) {
+        let len = self.len.load(Ordering::Acquire);
+        for slot in self.slots.iter().take(len) {
+            // SAFETY: coordinator-only at quiescence -- the owner thread is
+            // parked (the park handshake happened-before this call) and no
+            // reader runs concurrently, so the cells can be reset in place.
+            #[allow(unsafe_code)]
+            unsafe {
+                *slot.0.get() = None;
+            }
+        }
+        self.len.store(0, Ordering::Release);
+        self.overflow.lock().clear();
+        self.spilled.store(0, Ordering::Release);
+        self.cursor.store(0, Ordering::Release);
+        self.replaying.store(false, Ordering::Release);
+    }
+
+    /// Safe owner-side variant of [`ThreadList::clear`].
+    pub fn clear_mut(&mut self) {
+        // SAFETY: `&mut self` excludes every other reader and writer.
+        #[allow(unsafe_code)]
+        unsafe {
+            self.clear()
+        }
     }
 
     /// Resets the replay cursor to the first recorded event (rollback,
-    /// §3.4) and enters replay mode.
-    pub fn begin_replay(&mut self) {
-        self.cursor = 0;
-        self.replaying = true;
+    /// §3.4) and enters replay mode.  Coordinator-only at quiescence (only
+    /// atomics are touched, so this is safe; calling it while the owner is
+    /// mid-replay is a logic error, not a data race).
+    pub fn begin_replay(&self) {
+        self.cursor.store(0, Ordering::Release);
+        self.replaying.store(true, Ordering::Release);
     }
 
     /// Leaves replay mode (the re-execution reached the epoch end).
-    pub fn end_replay(&mut self) {
-        self.replaying = false;
+    /// Coordinator-only at quiescence.
+    pub fn end_replay(&self) {
+        self.replaying.store(false, Ordering::Release);
     }
 
     /// Returns `true` while the list is driving a replay.
     pub fn is_replaying(&self) -> bool {
-        self.replaying
+        self.replaying.load(Ordering::Acquire)
     }
 
-    /// The event the cursor points at, or `None` when the recorded events
-    /// are exhausted (the thread has replayed its whole epoch).
-    pub fn peek(&self) -> Option<&Event> {
-        self.events.get(self.cursor)
+    /// Returns a copy of the event the cursor points at, or `None` when the
+    /// recorded events are exhausted (the thread has replayed its whole
+    /// epoch).
+    pub fn peek(&self) -> Option<Event> {
+        self.get(self.cursor.load(Ordering::Acquire))
     }
 
-    /// Advances the cursor past the current event and returns it, or `None`
-    /// if every recorded event has already been replayed.
-    pub fn advance(&mut self) -> Option<&Event> {
-        if self.cursor < self.events.len() {
-            let index = self.cursor;
-            self.cursor += 1;
-            self.events.get(index)
-        } else {
-            None
+    /// Advances the cursor past the current event and returns a copy of it,
+    /// or `None` if every recorded event has already been replayed.
+    /// Owner-thread only during replay.
+    pub fn advance(&self) -> Option<Event> {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let event = self.get(cursor)?;
+        self.cursor.store(cursor + 1, Ordering::Release);
+        Some(event)
+    }
+
+    /// Advances the cursor without copying the event out, returning `false`
+    /// if every recorded event has already been replayed.  The replay path
+    /// uses this after it has already inspected the event via
+    /// [`ThreadList::peek`], so the advance costs no clone.
+    pub fn skip(&self) -> bool {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        if cursor >= self.len() {
+            return false;
         }
+        self.cursor.store(cursor + 1, Ordering::Release);
+        true
     }
 
     /// Index of the next event to be replayed.
     pub fn cursor(&self) -> usize {
-        self.cursor
+        self.cursor.load(Ordering::Acquire)
     }
 
     /// Returns `true` when every recorded event has been replayed.
     pub fn replay_complete(&self) -> bool {
-        self.cursor >= self.events.len()
+        self.cursor() >= self.len()
     }
+}
 
-    /// All recorded events, in program order.
-    pub fn events(&self) -> &[Event] {
-        &self.events
+impl Clone for ThreadList {
+    fn clone(&self) -> Self {
+        let mut copy = ThreadList::new(self.thread, self.capacity);
+        for event in self.snapshot() {
+            if copy.append_mut(event.kind.clone()).is_err() {
+                copy.append_past_capacity_mut(event.kind);
+            }
+        }
+        copy.cursor.store(self.cursor(), Ordering::Release);
+        copy.replaying.store(self.is_replaying(), Ordering::Release);
+        copy
+    }
+}
+
+impl std::fmt::Debug for ThreadList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadList")
+            .field("thread", &self.thread)
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("cursor", &self.cursor())
+            .field("replaying", &self.is_replaying())
+            .finish_non_exhaustive()
     }
 }
 
@@ -204,6 +416,7 @@ impl ThreadList {
 mod tests {
     use super::*;
     use crate::event::{SyncOp, SyscallOutcome, VarId};
+    use std::sync::Arc;
 
     fn lock_event(var: u32) -> EventKind {
         EventKind::Sync {
@@ -216,44 +429,47 @@ mod tests {
     #[test]
     fn append_preserves_program_order_and_indices() {
         let mut list = ThreadList::new(ThreadId(2), 8);
-        assert_eq!(list.append(lock_event(1)).unwrap(), 0);
+        assert_eq!(list.append_mut(lock_event(1)).unwrap(), 0);
         assert_eq!(
-            list.append(EventKind::Syscall {
+            list.append_mut(EventKind::Syscall {
                 code: 4,
                 outcome: SyscallOutcome::ret(10),
             })
             .unwrap(),
             1
         );
-        assert_eq!(list.append(lock_event(2)).unwrap(), 2);
+        assert_eq!(list.append_mut(lock_event(2)).unwrap(), 2);
         assert_eq!(list.len(), 3);
         assert_eq!(list.remaining(), 5);
-        assert_eq!(list.events()[1].index, 1);
-        assert_eq!(list.events()[1].thread, ThreadId(2));
+        let events = list.snapshot();
+        assert_eq!(events[1].index, 1);
+        assert_eq!(events[1].thread, ThreadId(2));
     }
 
     #[test]
     fn exhausting_capacity_reports_full() {
         let mut list = ThreadList::new(ThreadId(0), 2);
-        list.append(lock_event(1)).unwrap();
-        list.append(lock_event(1)).unwrap();
+        list.append_mut(lock_event(1)).unwrap();
+        list.append_mut(lock_event(1)).unwrap();
         assert!(list.is_full());
-        let err = list.append(lock_event(1)).unwrap_err();
+        let err = list.append_mut(lock_event(1)).unwrap_err();
         assert_eq!(err.capacity, 2);
         assert_eq!(err.thread, ThreadId(0));
         assert!(!err.to_string().is_empty());
         // The runtime can still force the event in once an epoch end has
         // been scheduled.
-        let index = list.append_past_capacity(lock_event(1));
+        let index = list.append_past_capacity_mut(lock_event(1));
         assert_eq!(index, 2);
         assert_eq!(list.len(), 3);
+        assert_eq!(list.get(2).unwrap().kind, lock_event(1));
+        assert_eq!(list.snapshot().len(), 3);
     }
 
     #[test]
     fn replay_cursor_walks_the_recorded_events() {
         let mut list = ThreadList::new(ThreadId(0), 8);
-        list.append(lock_event(1)).unwrap();
-        list.append(lock_event(2)).unwrap();
+        list.append_mut(lock_event(1)).unwrap();
+        list.append_mut(lock_event(2)).unwrap();
         assert!(!list.is_replaying());
 
         list.begin_replay();
@@ -274,10 +490,10 @@ mod tests {
     #[test]
     fn clear_discards_events_and_cursor() {
         let mut list = ThreadList::new(ThreadId(0), 4);
-        list.append(lock_event(1)).unwrap();
+        list.append_mut(lock_event(1)).unwrap();
         list.begin_replay();
         list.advance();
-        list.clear();
+        list.clear_mut();
         assert!(list.is_empty());
         assert_eq!(list.cursor(), 0);
         assert!(!list.is_replaying());
@@ -288,5 +504,66 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_is_rejected() {
         let _ = ThreadList::new(ThreadId(0), 0);
+    }
+
+    #[test]
+    fn clone_copies_events_and_cursor() {
+        let mut list = ThreadList::new(ThreadId(3), 4);
+        list.append_mut(lock_event(1)).unwrap();
+        list.append_mut(lock_event(2)).unwrap();
+        list.begin_replay();
+        list.advance();
+        let copy = list.clone();
+        assert_eq!(copy.len(), 2);
+        assert_eq!(copy.cursor(), 1);
+        assert!(copy.is_replaying());
+        assert_eq!(copy.peek().unwrap().kind, lock_event(2));
+    }
+
+    /// A reader never observes a torn or unpublished event: whatever length
+    /// it loads, every event below it is fully initialized and carries the
+    /// expected payload.
+    #[test]
+    fn concurrent_reader_sees_a_consistent_prefix() {
+        let list = Arc::new(ThreadList::new(ThreadId(7), 4096));
+        let writer = {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                for i in 0..4096u32 {
+                    // SAFETY: this spawned thread is the sole appender and
+                    // nothing clears the list while it runs.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        list.append(EventKind::Sync {
+                            var: VarId(i),
+                            op: SyncOp::MutexLock,
+                            result: i64::from(i),
+                        })
+                        .unwrap();
+                    }
+                }
+            })
+        };
+        // Concurrent snapshots: every published event must be the one the
+        // writer wrote at that index.
+        loop {
+            let events = list.snapshot();
+            for (i, event) in events.iter().enumerate() {
+                assert_eq!(event.index as usize, i);
+                assert_eq!(event.thread, ThreadId(7));
+                match &event.kind {
+                    EventKind::Sync { var, result, .. } => {
+                        assert_eq!(var.0 as usize, i);
+                        assert_eq!(*result, i as i64);
+                    }
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+            if events.len() == 4096 {
+                break;
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(list.len(), 4096);
     }
 }

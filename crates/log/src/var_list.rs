@@ -5,14 +5,34 @@
 //! per-thread lists this removes the need for a global order: during replay,
 //! a thread may perform an operation on a variable only when its entry is at
 //! the head of that variable's list.
+//!
+//! # Lock-free append
+//!
+//! Appending must not lock: for mutexes the appender already holds the
+//! variable (the operation being recorded *is* an acquisition of it), but
+//! condition-variable wake-ups can be recorded concurrently by several
+//! woken threads, so the list supports multi-writer appends.  An appender
+//! reserves a slot with an atomic fetch-add on the tail, then publishes the
+//! entry with a release store of the packed word; a slot still holding the
+//! `EMPTY` sentinel is simply "not yet published".  Storage grows in
+//! doubling chunks so no capacity has to be guessed per variable and chunks
+//! are reused across epochs (appends never allocate after the first epoch
+//! touches a chunk).
+//!
+//! Replay never appends, and recording never reads, so readers always
+//! observe fully published entries: the epoch-end quiescence barrier
+//! (every thread parks through its control mutex before the coordinator
+//! flips the phase) orders all record-time stores before any replay-time
+//! load.
 
-use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::event::{SyncOp, ThreadId};
 
 /// One entry of a per-variable list: which thread performed which operation,
 /// and where that event sits in the thread's own list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VarEntry {
     /// The thread that performed the operation.
     pub thread: ThreadId,
@@ -20,6 +40,44 @@ pub struct VarEntry {
     pub op: SyncOp,
     /// Index of the corresponding event in the thread's per-thread list.
     pub thread_index: u32,
+}
+
+/// Sentinel for a reserved-but-unpublished slot.  A real entry never packs
+/// to this value: its op byte would have to be `0xff`, and [`SyncOp::code`]
+/// only produces small codes.
+const EMPTY: u64 = u64::MAX;
+
+/// Packs an entry into one atomic word: thread id (24 bits) | op code
+/// (8 bits) | thread index (32 bits).
+fn pack(thread: ThreadId, op: SyncOp, thread_index: u32) -> u64 {
+    // A hard assert: a silently truncated id would attribute entries to the
+    // wrong thread and corrupt the replay order (one predictable branch on
+    // the append path is cheap).
+    assert!(thread.0 < (1 << 24), "thread id exceeds the 24-bit pack limit");
+    (u64::from(thread.0) << 40) | (u64::from(op.code()) << 32) | u64::from(thread_index)
+}
+
+fn unpack(word: u64) -> Option<VarEntry> {
+    if word == EMPTY {
+        return None;
+    }
+    Some(VarEntry {
+        thread: ThreadId((word >> 40) as u32),
+        op: SyncOp::from_code((word >> 32) as u8)?,
+        thread_index: word as u32,
+    })
+}
+
+/// Size of the first chunk; chunk `c` holds `CHUNK0 << c` entries.
+const CHUNK0: usize = 64;
+/// Number of chunks; total capacity is `CHUNK0 * (2^CHUNKS - 1)` entries.
+const CHUNKS: usize = 26;
+
+/// Chunk and offset of entry `index`.
+fn locate(index: usize) -> (usize, usize) {
+    let chunk = (index / CHUNK0 + 1).ilog2() as usize;
+    let offset = index - CHUNK0 * ((1 << chunk) - 1);
+    (chunk, offset)
 }
 
 /// The ordered list of operations on one synchronization variable, with its
@@ -30,7 +88,7 @@ pub struct VarEntry {
 /// ```
 /// use ireplayer_log::{SyncOp, ThreadId, VarList};
 ///
-/// let mut list = VarList::new();
+/// let list = VarList::new();
 /// list.append(ThreadId(0), SyncOp::MutexLock, 0);
 /// list.append(ThreadId(1), SyncOp::MutexLock, 0);
 /// list.begin_replay();
@@ -39,10 +97,13 @@ pub struct VarEntry {
 /// list.advance();
 /// assert!(list.is_turn(ThreadId(1)));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Default)]
 pub struct VarList {
-    entries: Vec<VarEntry>,
-    cursor: usize,
+    chunks: [OnceLock<Box<[AtomicU64]>>; CHUNKS],
+    /// Number of reserved slots (every slot below it is published once the
+    /// appender's store lands; see the module notes on ordering).
+    tail: AtomicUsize,
+    cursor: AtomicUsize,
 }
 
 impl VarList {
@@ -51,43 +112,65 @@ impl VarList {
         VarList::default()
     }
 
+    fn chunk(&self, chunk: usize) -> &[AtomicU64] {
+        self.chunks[chunk].get_or_init(|| (0..CHUNK0 << chunk).map(|_| AtomicU64::new(EMPTY)).collect())
+    }
+
     /// Number of recorded operations on this variable.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.tail.load(Ordering::Acquire)
     }
 
     /// Returns `true` if no operations were recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Appends an operation during recording.
-    ///
-    /// The caller holds the variable's own lock (the operation being
-    /// recorded *is* an acquisition of it), so no extra synchronization is
-    /// introduced.
-    pub fn append(&mut self, thread: ThreadId, op: SyncOp, thread_index: u32) {
-        self.entries.push(VarEntry {
-            thread,
-            op,
-            thread_index,
-        });
+    /// Appends an operation during recording: reserves the next slot with a
+    /// fetch-add, then publishes the packed entry with a release store.  No
+    /// locks; the only blocking is the once-per-chunk allocation.
+    pub fn append(&self, thread: ThreadId, op: SyncOp, thread_index: u32) {
+        let index = self.tail.fetch_add(1, Ordering::AcqRel);
+        let (chunk, offset) = locate(index);
+        assert!(chunk < CHUNKS, "per-variable list exceeded its maximum size");
+        self.chunk(chunk)[offset].store(pack(thread, op, thread_index), Ordering::Release);
     }
 
-    /// Clears the list at epoch begin.
-    pub fn clear(&mut self) {
-        self.entries.clear();
-        self.cursor = 0;
+    /// Copy of the entry at `index`, if published.
+    pub fn get(&self, index: usize) -> Option<VarEntry> {
+        if index >= self.len() {
+            return None;
+        }
+        let (chunk, offset) = locate(index);
+        let slot = self.chunks[chunk].get()?;
+        unpack(slot[offset].load(Ordering::Acquire))
+    }
+
+    /// Clears the list at epoch begin.  Coordinator-only at quiescence (the
+    /// chunks stay allocated for reuse by the next epoch).
+    pub fn clear(&self) {
+        let len = self.len();
+        let mut index = 0;
+        while index < len {
+            let (chunk, offset) = locate(index);
+            if let Some(slot) = self.chunks[chunk].get() {
+                slot[offset].store(EMPTY, Ordering::Release);
+            }
+            index += 1;
+        }
+        self.tail.store(0, Ordering::Release);
+        self.cursor.store(0, Ordering::Release);
     }
 
     /// Resets the replay cursor to the first recorded operation (§3.4).
-    pub fn begin_replay(&mut self) {
-        self.cursor = 0;
+    /// Coordinator-only at quiescence.
+    pub fn begin_replay(&self) {
+        self.cursor.store(0, Ordering::Release);
     }
 
     /// The entry at the head of the list, if any operations remain.
-    pub fn peek(&self) -> Option<&VarEntry> {
-        self.entries.get(self.cursor)
+    pub fn peek(&self) -> Option<VarEntry> {
+        self.get(self.cursor.load(Ordering::Acquire))
     }
 
     /// Returns `true` if the next recorded operation on this variable
@@ -98,51 +181,86 @@ impl VarList {
         self.peek().is_some_and(|e| e.thread == thread)
     }
 
-    /// Advances the cursor past the head entry and returns it.
-    pub fn advance(&mut self) -> Option<VarEntry> {
-        let entry = self.entries.get(self.cursor).copied();
-        if entry.is_some() {
-            self.cursor += 1;
+    /// Advances the cursor past the head entry and returns it.  Normally
+    /// called by the thread whose turn it is (the turn discipline
+    /// serializes calls), but the compare-exchange keeps the cursor exact
+    /// even if two replaying threads race here: no advance can be lost.
+    pub fn advance(&self) -> Option<VarEntry> {
+        loop {
+            let cursor = self.cursor.load(Ordering::Acquire);
+            let entry = self.get(cursor)?;
+            if self
+                .cursor
+                .compare_exchange(cursor, cursor + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(entry);
+            }
         }
-        entry
     }
 
     /// Index of the next entry to be replayed.
     pub fn cursor(&self) -> usize {
-        self.cursor
+        self.cursor.load(Ordering::Acquire)
     }
 
     /// Returns `true` when every recorded operation has been replayed.
     pub fn replay_complete(&self) -> bool {
-        self.cursor >= self.entries.len()
+        self.cursor() >= self.len()
     }
 
-    /// All recorded entries in acquisition order.
-    pub fn entries(&self) -> &[VarEntry] {
-        &self.entries
+    /// Copies the published **prefix** in acquisition order: iteration
+    /// stops at the first reserved-but-unpublished slot, so a snapshot
+    /// taken while appenders are racing never shifts later entries into a
+    /// gap.  (The runtime only snapshots at quiescence, where the prefix is
+    /// the whole list.)
+    pub fn entries(&self) -> Vec<VarEntry> {
+        (0..self.len()).map_while(|i| self.get(i)).collect()
+    }
+}
+
+impl Clone for VarList {
+    fn clone(&self) -> Self {
+        let copy = VarList::new();
+        for entry in self.entries() {
+            copy.append(entry.thread, entry.op, entry.thread_index);
+        }
+        copy.cursor.store(self.cursor(), Ordering::Release);
+        copy
+    }
+}
+
+impl std::fmt::Debug for VarList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VarList")
+            .field("len", &self.len())
+            .field("cursor", &self.cursor())
+            .finish_non_exhaustive()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn records_cross_thread_acquisition_order() {
         // Figure 3/4 of the paper: lock1 is acquired first by Thread1, then
         // by Thread2.
-        let mut lock1 = VarList::new();
+        let lock1 = VarList::new();
         lock1.append(ThreadId(1), SyncOp::MutexLock, 0);
         lock1.append(ThreadId(2), SyncOp::MutexLock, 2);
         assert_eq!(lock1.len(), 2);
-        assert_eq!(lock1.entries()[0].thread, ThreadId(1));
-        assert_eq!(lock1.entries()[1].thread, ThreadId(2));
-        assert_eq!(lock1.entries()[1].thread_index, 2);
+        let entries = lock1.entries();
+        assert_eq!(entries[0].thread, ThreadId(1));
+        assert_eq!(entries[1].thread, ThreadId(2));
+        assert_eq!(entries[1].thread_index, 2);
     }
 
     #[test]
     fn replay_turn_follows_recorded_order() {
-        let mut list = VarList::new();
+        let list = VarList::new();
         list.append(ThreadId(0), SyncOp::MutexLock, 0);
         list.append(ThreadId(1), SyncOp::MutexLock, 0);
         list.append(ThreadId(0), SyncOp::MutexLock, 1);
@@ -164,7 +282,7 @@ mod tests {
 
     #[test]
     fn clear_resets_entries_and_cursor() {
-        let mut list = VarList::new();
+        let list = VarList::new();
         list.append(ThreadId(0), SyncOp::BarrierWait, 0);
         list.begin_replay();
         list.advance();
@@ -176,7 +294,7 @@ mod tests {
 
     #[test]
     fn begin_replay_rewinds_after_partial_replay() {
-        let mut list = VarList::new();
+        let list = VarList::new();
         list.append(ThreadId(0), SyncOp::MutexLock, 0);
         list.append(ThreadId(1), SyncOp::MutexLock, 0);
         list.begin_replay();
@@ -186,5 +304,78 @@ mod tests {
         list.begin_replay();
         assert_eq!(list.cursor(), 0);
         assert!(list.is_turn(ThreadId(0)));
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_packed_word() {
+        let list = VarList::new();
+        list.append(ThreadId(0xabcd), SyncOp::CondWake, u32::MAX);
+        let entry = list.get(0).unwrap();
+        assert_eq!(entry.thread, ThreadId(0xabcd));
+        assert_eq!(entry.op, SyncOp::CondWake);
+        assert_eq!(entry.thread_index, u32::MAX);
+    }
+
+    #[test]
+    fn growth_crosses_chunk_boundaries_and_survives_clear() {
+        let list = VarList::new();
+        let n = CHUNK0 * 7 + 13; // spans three chunks
+        for i in 0..n {
+            list.append(ThreadId((i % 5) as u32), SyncOp::MutexLock, i as u32);
+        }
+        assert_eq!(list.len(), n);
+        for i in 0..n {
+            let e = list.get(i).unwrap();
+            assert_eq!(e.thread_index, i as u32);
+            assert_eq!(e.thread, ThreadId((i % 5) as u32));
+        }
+        list.clear();
+        assert!(list.is_empty());
+        // Chunks are reused: appends after a clear land at index zero again.
+        list.append(ThreadId(9), SyncOp::MutexLock, 42);
+        assert_eq!(list.get(0).unwrap().thread_index, 42);
+        assert_eq!(list.len(), 1);
+    }
+
+    /// Multi-writer appends: every reserved slot ends up published exactly
+    /// once, with no entry lost or duplicated.
+    #[test]
+    fn concurrent_appends_publish_every_entry() {
+        let list = Arc::new(VarList::new());
+        let threads = 8;
+        let per_thread = 1000u32;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        list.append(ThreadId(t), SyncOp::CondWake, i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let entries = list.entries();
+        assert_eq!(entries.len(), threads as usize * per_thread as usize);
+        // Per-thread order is preserved and nothing is lost.
+        for t in 0..threads {
+            let indices: Vec<u32> = entries
+                .iter()
+                .filter(|e| e.thread == ThreadId(t))
+                .map(|e| e.thread_index)
+                .collect();
+            assert_eq!(indices, (0..per_thread).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn locate_maps_indices_into_doubling_chunks() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(CHUNK0 - 1), (0, CHUNK0 - 1));
+        assert_eq!(locate(CHUNK0), (1, 0));
+        assert_eq!(locate(CHUNK0 * 3 - 1), (1, CHUNK0 * 2 - 1));
+        assert_eq!(locate(CHUNK0 * 3), (2, 0));
     }
 }

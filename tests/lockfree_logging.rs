@@ -1,0 +1,174 @@
+//! Stress coverage for the lock-free logging layer: the single-writer
+//! per-thread lists and the reserve-then-publish per-variable lists must
+//! yield identical replays under sustained multi-thread recording.
+//!
+//! Eight threads (the main thread plus seven workers) hammer one contended
+//! mutex and many uncontended ones across 40+ epochs, and a hook forces a
+//! rollback-and-replay of *every* epoch, so each recorded schedule is
+//! re-executed and byte-compared against the original.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ireplayer::{
+    Config, EpochDecision, EpochView, JoinHandle, MutexHandle, Program, ReplayRequest, Runtime, Step, ToolHook,
+};
+
+const WORKERS: u64 = 7;
+const EPOCHS: u64 = 48;
+
+fn config() -> Config {
+    Config::builder()
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .max_replay_attempts(32)
+        .quiescence_timeout_ms(30_000)
+        .build()
+        .unwrap()
+}
+
+/// Forces a rollback and replay at the end of every epoch.
+struct ReplayEveryEpoch {
+    replays: AtomicU64,
+}
+
+impl ToolHook for ReplayEveryEpoch {
+    fn name(&self) -> &str {
+        "replay-every-epoch"
+    }
+
+    fn at_epoch_end(&self, _view: &dyn EpochView) -> EpochDecision {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        EpochDecision::Replay(ReplayRequest::because("lock-free logging stress"))
+    }
+}
+
+/// 8 threads, one contended + many uncontended mutexes, an epoch boundary
+/// (and forced replay) every main-thread step, 40+ times.
+#[test]
+fn eight_thread_stress_replays_identically_across_40_epochs() {
+    let runtime = Runtime::new(config()).unwrap();
+    let hook = Arc::new(ReplayEveryEpoch {
+        replays: AtomicU64::new(0),
+    });
+    runtime.add_hook(hook.clone());
+
+    // Captured across steps; rebuilt whenever the rollback-safe `spawned`
+    // flag in managed memory reads zero (so an epoch-0 replay re-creates
+    // the same handles through the recorded creation events).
+    let mut setup: Option<(MutexHandle, Vec<JoinHandle>)> = None;
+
+    let report = runtime
+        .run(Program::new("lockfree-stress", move |ctx| {
+            let spawned_flag = ctx.global("spawned", 8);
+            let epoch_cell = ctx.global("epochs", 8);
+            let shared_cell = ctx.global("shared", 8);
+            if ctx.read_u64(spawned_flag) == 0 {
+                ctx.write_u64(spawned_flag, 1);
+                let shared_mutex = ctx.mutex();
+                let mut workers = Vec::new();
+                for w in 0..WORKERS {
+                    // Each worker gets its own (uncontended) mutexes + cell.
+                    let own_mutexes = [ctx.mutex(), ctx.mutex(), ctx.mutex()];
+                    let own_cell = ctx.global(&format!("worker-{w}"), 8);
+                    workers.push(ctx.spawn(format!("worker-{w}"), move |ctx| {
+                        // Uncontended section: cycle the private mutexes.
+                        for (round, own) in own_mutexes.iter().enumerate() {
+                            ctx.lock(*own);
+                            let value = ctx.read_u64(own_cell);
+                            ctx.write_u64(own_cell, value + round as u64 + 1);
+                            ctx.unlock(*own);
+                        }
+                        // Contended section: all eight threads take this.
+                        ctx.lock(shared_mutex);
+                        let value = ctx.read_u64(shared_cell);
+                        ctx.write_u64(shared_cell, value + 1);
+                        ctx.unlock(shared_mutex);
+                        if ctx.read_u64(own_cell) >= (1 + 2 + 3) * EPOCHS {
+                            Step::Done
+                        } else {
+                            Step::Yield
+                        }
+                    }));
+                }
+                setup = Some((shared_mutex, workers));
+            }
+            let (shared_mutex, workers) = setup.as_ref().expect("setup ran on the first step");
+
+            // The main thread participates in the contention and closes an
+            // epoch per step until the quota is reached.
+            let done = ctx.read_u64(epoch_cell) + 1;
+            ctx.write_u64(epoch_cell, done);
+            ctx.lock(*shared_mutex);
+            let value = ctx.read_u64(shared_cell);
+            ctx.write_u64(shared_cell, value + 1);
+            ctx.unlock(*shared_mutex);
+            if done >= EPOCHS {
+                for worker in workers.clone() {
+                    ctx.join(worker);
+                }
+                let total = ctx.read_u64(shared_cell);
+                ctx.assert_that(total >= EPOCHS + WORKERS, "every thread reached the contended mutex");
+                Step::Done
+            } else {
+                ctx.end_epoch();
+                Step::Yield
+            }
+        }))
+        .unwrap();
+
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    assert_eq!(report.threads as u64, 1 + WORKERS);
+    assert!(
+        report.replay_validations.len() as u64 >= 40,
+        "expected >= 40 record/replay iterations, got {}",
+        report.replay_validations.len()
+    );
+    assert!(hook.replays.load(Ordering::Relaxed) >= 40);
+    assert!(
+        report.replays_identical(),
+        "a replay diverged or produced a different image: {:?}",
+        report
+            .replay_validations
+            .iter()
+            .filter(|v| !v.matched || v.image_diff.map(|d| !d.is_identical()).unwrap_or(false))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.sync_events > 0);
+}
+
+/// The workers-only variant keeps every mutex uncontended, exercising the
+/// pure fast path end to end (record + replay) for many epochs.
+#[test]
+fn uncontended_workers_replay_identically() {
+    let runtime = Runtime::new(config()).unwrap();
+    let report = runtime
+        .run(Program::new("lockfree-uncontended", |ctx| {
+            let mut workers = Vec::new();
+            for w in 0..4u64 {
+                let own_mutex = ctx.mutex();
+                let own_cell = ctx.global(&format!("cell-{w}"), 8);
+                workers.push(ctx.spawn(format!("worker-{w}"), move |ctx| {
+                    for _ in 0..8 {
+                        ctx.lock(own_mutex);
+                        let value = ctx.read_u64(own_cell);
+                        ctx.write_u64(own_cell, value + 1);
+                        ctx.unlock(own_mutex);
+                    }
+                    if ctx.read_u64(own_cell) >= 80 {
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }));
+            }
+            for worker in workers {
+                ctx.join(worker);
+            }
+            ctx.end_epoch();
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    assert!(report.replays_identical());
+}

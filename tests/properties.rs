@@ -163,15 +163,15 @@ proptest! {
         }
         for (pick, thread) in &operations {
             let addr = SyncAddr(pick % variables);
-            shadow.record(addr, ThreadId(*thread), SyncOp::MutexLock, 0);
-            hashed.record(addr, ThreadId(*thread), SyncOp::MutexLock, 0);
+            shadow.record(addr, ThreadId(*thread), SyncOp::MutexLock, 0).unwrap();
+            hashed.record(addr, ThreadId(*thread), SyncOp::MutexLock, 0).unwrap();
         }
         prop_assert_eq!(shadow.len(), hashed.len());
         for i in 0..variables {
-            let a = shadow.slot(SyncAddr(i));
-            let b = hashed.slot(SyncAddr(i));
+            let a = shadow.slot(SyncAddr(i)).unwrap();
+            let b = hashed.slot(SyncAddr(i)).unwrap();
             prop_assert_eq!(a.id, b.id);
-            prop_assert_eq!(a.list.lock().len(), b.list.lock().len());
+            prop_assert_eq!(a.list.len(), b.list.len());
         }
     }
 

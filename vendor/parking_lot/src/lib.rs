@@ -10,8 +10,36 @@
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+#[cfg(feature = "lock-count")]
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::PoisonError;
 use std::time::Duration;
+
+/// Process-wide count of successful mutex acquisitions (stand-in
+/// extension, not part of the real parking_lot API).  The `record_path`
+/// bench uses it to verify that the runtime's uncontended record fast path
+/// performs zero mutex acquisitions.  Gated behind the `lock-count`
+/// feature so that ordinary builds pay nothing -- a shared counter would
+/// bounce a cache line across every core on every lock.
+#[cfg(feature = "lock-count")]
+static MUTEX_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the number of mutex acquisitions performed by this process so
+/// far (stand-in extension; see [`MUTEX_ACQUISITIONS`]).  Only available
+/// with the `lock-count` feature, so callers cannot silently read a
+/// counter that is not being maintained.
+#[cfg(feature = "lock-count")]
+pub fn mutex_acquisitions() -> u64 {
+    MUTEX_ACQUISITIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(feature = "lock-count")]
+fn count_acquisition() {
+    MUTEX_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(not(feature = "lock-count"))]
+fn count_acquisition() {}
 
 /// A mutual-exclusion primitive; `lock()` returns the guard directly.
 #[derive(Default)]
@@ -33,13 +61,18 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        count_acquisition();
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        self.inner.try_lock().ok().map(|g| MutexGuard { inner: Some(g) })
+        let guard = self.inner.try_lock().ok().map(|g| MutexGuard { inner: Some(g) });
+        if guard.is_some() {
+            count_acquisition();
+        }
+        guard
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -215,6 +248,16 @@ mod tests {
         drop(started);
         handle.join().unwrap();
         assert!(*lock.lock());
+    }
+
+    #[cfg(feature = "lock-count")]
+    #[test]
+    fn lock_acquisitions_are_counted() {
+        let before = mutex_acquisitions();
+        let m = Mutex::new(0u32);
+        *m.lock() += 1;
+        assert!(m.try_lock().is_some());
+        assert!(mutex_acquisitions() >= before + 2);
     }
 
     #[test]
