@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use ireplayer::{AllocatorMode, Config, ConfigBuilder, Instrument, RunMode, Runtime, RuntimeError};
+use ireplayer::{AllocatorMode, Config, ConfigBuilder, Error, Instrument, RunMode, Runtime};
 
 use crate::asan::AsanChecker;
 use crate::clap::ClapRecorder;
@@ -87,9 +87,9 @@ impl BenchConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::InvalidConfig`] if the sizing parameters are
+    /// Returns an [`ireplayer::ErrorKind::InvalidConfig`] error if the sizing parameters are
     /// inconsistent.
-    pub fn assemble(system: SystemUnderTest, base: ConfigBuilder) -> Result<BenchConfig, RuntimeError> {
+    pub fn assemble(system: SystemUnderTest, base: ConfigBuilder) -> Result<BenchConfig, Error> {
         let (config, instrument, attach_detectors): (Config, Option<Arc<dyn Instrument>>, bool) = match system {
             SystemUnderTest::Baseline => (
                 base.mode(RunMode::Passthrough)
@@ -154,7 +154,7 @@ impl BenchConfig {
     /// # Errors
     ///
     /// Returns the runtime-creation error, if any.
-    pub fn runtime(&self) -> Result<Runtime, RuntimeError> {
+    pub fn runtime(&self) -> Result<Runtime, Error> {
         let runtime = Runtime::new(self.config.clone())?;
         if let Some(instrument) = &self.instrument {
             runtime.set_instrument(Arc::clone(instrument));

@@ -15,7 +15,7 @@
 //!
 //! The original comparators interpose on real binaries and cannot run on
 //! the managed substrate, so this crate re-creates their *recording
-//! mechanisms* as [`Instrument`] implementations that the benchmark harness
+//! mechanisms* as [`ireplayer::Instrument`] implementations that the benchmark harness
 //! attaches to the same workloads (see DESIGN.md for the substitution
 //! argument).  The CLAP offline phase (path-based schedule reconstruction)
 //! is implemented in [`clap`] as well, with a real Ball-Larus numbering.

@@ -249,5 +249,70 @@ fn verify_speedup(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_record_path, verify_lock_free_fast_path, verify_speedup);
+/// Supervisor wake-ups (`world_version` pokes) are batched at step and
+/// epoch boundaries.  A thread recording past its list capacity used to
+/// re-request the epoch end -- an epoch-mutex acquisition plus a world poke
+/// -- on *every* event until its step boundary; now only the first request
+/// per epoch pays for the wake-up.  This drives the real runtime with a
+/// tiny per-thread log and steps that record far past capacity, then
+/// asserts the poke count stays a small fraction of the event count (the
+/// per-event scheme poked on the majority of events in this shape).
+fn verify_poke_batching(_c: &mut Criterion) {
+    use ireplayer::{Config, MutexHandle, Program, Runtime, Step};
+
+    const STEPS: u64 = 40;
+    const LOCKS_PER_STEP: u64 = 256;
+    // The log holds well under one step's events, so most of each step
+    // records past capacity -- the worst case for per-event poking.
+    const EVENTS_PER_THREAD: usize = 64;
+
+    let config = Config::builder()
+        .arena_size(4 << 20)
+        .heap_block_size(128 << 10)
+        .events_per_thread(EVENTS_PER_THREAD)
+        .build()
+        .expect("bench config");
+    let runtime = Runtime::new(config).expect("bench runtime");
+    let report = runtime
+        .run(Program::new("poke-batching", {
+            let mut lock: Option<MutexHandle> = None;
+            let mut steps = 0u64;
+            move |ctx| {
+                let lock = *lock.get_or_insert_with(|| ctx.mutex());
+                for _ in 0..LOCKS_PER_STEP {
+                    ctx.lock(lock);
+                    ctx.unlock(lock);
+                }
+                steps += 1;
+                if steps >= STEPS {
+                    Step::Done
+                } else {
+                    Step::Yield
+                }
+            }
+        }))
+        .expect("poke-batching run");
+    assert!(report.outcome.is_success());
+    let pokes = runtime.diagnostics().world_pokes;
+    let events = report.sync_events;
+    println!(
+        "record_path/poke-batching: {pokes} world pokes across {events} recorded events \
+         ({} epochs); per-event poking would have paid on most past-capacity events",
+        report.epochs
+    );
+    assert!(events >= STEPS * LOCKS_PER_STEP, "the workload must record its locks");
+    assert!(
+        pokes * 4 <= events,
+        "world pokes must stay a small fraction of recorded events \
+         (measured {pokes} pokes for {events} events)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_record_path,
+    verify_lock_free_fast_path,
+    verify_speedup,
+    verify_poke_batching
+);
 criterion_main!(benches);

@@ -147,9 +147,14 @@ pub(crate) fn restore(rt: &RtInner, checkpoint: &Checkpoint) {
             vt.heap.lock().restore(saved.heap.clone());
             *vt.quarantine.lock() = saved.quarantine.clone();
             vt.rng.lock().restore(saved.rng_state);
-            let mut control = vt.control.lock();
-            control.joined = saved.joined;
-            control.held_locks.clear();
+            vt.control.lock().joined = saved.joined;
+            // SAFETY: rollback runs on the coordinator at step-boundary
+            // quiescence; the owner thread is parked, so the clear cannot
+            // race its single-writer updates.
+            #[allow(unsafe_code)]
+            unsafe {
+                vt.held_locks.clear();
+            }
         } else {
             // Created during the epoch being replayed: reset to a pristine
             // state.
@@ -162,9 +167,12 @@ pub(crate) fn restore(rt: &RtInner, checkpoint: &Checkpoint) {
                     .derive(u64::from(vt.id.0))
                     .state(),
             );
-            let mut control = vt.control.lock();
-            control.joined = false;
-            control.held_locks.clear();
+            vt.control.lock().joined = false;
+            // SAFETY: as above -- coordinator-only at quiescence.
+            #[allow(unsafe_code)]
+            unsafe {
+                vt.held_locks.clear();
+            }
         }
     }
 

@@ -2,10 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::error::RuntimeError;
+use crate::error::Error;
 
 /// How the runtime treats the execution.
+///
+/// Marked `#[non_exhaustive]`: further modes (e.g. always-on replay
+/// validation) may be added; downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum RunMode {
     /// No recording at all: synchronization and system calls execute
     /// directly.  Replay is unavailable.  This is the "IR-Alloc"
@@ -32,7 +36,11 @@ pub enum AllocatorMode {
 }
 
 /// What the runtime does when an application fault is detected.
+///
+/// Marked `#[non_exhaustive]`: further policies (e.g. replay-and-continue)
+/// may be added; downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum FaultPolicy {
     /// Roll back and replay the last epoch so that tools (watchpoints,
     /// detectors, the interactive debugger) can diagnose the fault, then
@@ -118,27 +126,50 @@ impl Config {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::InvalidConfig`] if sizes are inconsistent
-    /// (for example a globals region larger than the arena).
-    pub fn validate(&self) -> Result<(), RuntimeError> {
+    /// Returns an [`ErrorKind::InvalidConfig`](crate::ErrorKind) error
+    /// naming the offending field and the rejected value if sizes are
+    /// inconsistent (for example a globals region larger than the arena).
+    pub fn validate(&self) -> Result<(), Error> {
         if self.arena_size < (1 << 16) {
-            return Err(RuntimeError::InvalidConfig(format!(
-                "arena of {} bytes is too small (minimum 64 KiB)",
-                self.arena_size
-            )));
+            return Err(Error::invalid_config(
+                "arena_size",
+                self.arena_size,
+                "the arena must be at least 65536 bytes (64 KiB)",
+            ));
+        }
+        if self.globals_size >= self.arena_size {
+            return Err(Error::invalid_config(
+                "globals_size",
+                self.globals_size,
+                "the globals region must fit inside arena_size",
+            ));
         }
         if self.globals_size + (self.heap_block_size as usize) > self.arena_size {
-            return Err(RuntimeError::InvalidConfig(format!(
-                "globals region ({}) plus one heap block ({}) exceed the arena ({})",
-                self.globals_size, self.heap_block_size, self.arena_size
-            )));
+            return Err(Error::invalid_config(
+                "heap_block_size",
+                self.heap_block_size,
+                "globals_size plus one heap block must fit inside arena_size",
+            ));
         }
         if self.events_per_thread == 0 {
-            return Err(RuntimeError::InvalidConfig("events_per_thread must be non-zero".into()));
+            return Err(Error::invalid_config(
+                "events_per_thread",
+                self.events_per_thread,
+                "at least one recorded event per thread per epoch is required",
+            ));
         }
         if self.max_replay_attempts == 0 {
-            return Err(RuntimeError::InvalidConfig(
-                "max_replay_attempts must be non-zero".into(),
+            return Err(Error::invalid_config(
+                "max_replay_attempts",
+                self.max_replay_attempts,
+                "at least one replay attempt is required",
+            ));
+        }
+        if self.quiescence_timeout_ms == 0 {
+            return Err(Error::invalid_config(
+                "quiescence_timeout_ms",
+                self.quiescence_timeout_ms,
+                "a zero timeout would report every run as a bounded-step violation",
             ));
         }
         Ok(())
@@ -214,9 +245,9 @@ impl ConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::InvalidConfig`] if the configuration is
-    /// inconsistent.
-    pub fn build(self) -> Result<Config, RuntimeError> {
+    /// Returns an [`ErrorKind::InvalidConfig`](crate::ErrorKind) error
+    /// naming the offending field if the configuration is inconsistent.
+    pub fn build(self) -> Result<Config, Error> {
         self.config.validate()?;
         Ok(self.config)
     }
@@ -253,14 +284,53 @@ mod tests {
     }
 
     #[test]
-    fn invalid_configurations_are_rejected() {
-        assert!(Config::builder().arena_size(1024).build().is_err());
-        assert!(Config::builder()
-            .arena_size(1 << 20)
-            .heap_block_size(4 << 20)
-            .build()
-            .is_err());
-        assert!(Config::builder().events_per_thread(0).build().is_err());
-        assert!(Config::builder().max_replay_attempts(0).build().is_err());
+    fn invalid_configurations_are_rejected_naming_the_field() {
+        let cases: Vec<(crate::error::Error, &str, String)> = vec![
+            (
+                Config::builder().arena_size(1024).build().unwrap_err(),
+                "arena_size",
+                "1024".to_string(),
+            ),
+            (
+                Config::builder()
+                    .arena_size(1 << 20)
+                    .heap_block_size(4 << 20)
+                    .build()
+                    .unwrap_err(),
+                "heap_block_size",
+                (4u64 << 20).to_string(),
+            ),
+            (
+                Config::builder()
+                    .arena_size(1 << 20)
+                    .globals_size(2 << 20)
+                    .build()
+                    .unwrap_err(),
+                "globals_size",
+                (2u64 << 20).to_string(),
+            ),
+            (
+                Config::builder().events_per_thread(0).build().unwrap_err(),
+                "events_per_thread",
+                "0".to_string(),
+            ),
+            (
+                Config::builder().max_replay_attempts(0).build().unwrap_err(),
+                "max_replay_attempts",
+                "0".to_string(),
+            ),
+            (
+                Config::builder().quiescence_timeout_ms(0).build().unwrap_err(),
+                "quiescence_timeout_ms",
+                "0".to_string(),
+            ),
+        ];
+        for (error, field, value) in cases {
+            assert_eq!(error.kind(), crate::ErrorKind::InvalidConfig);
+            assert_eq!(error.config_field(), Some(field));
+            let message = error.to_string();
+            assert!(message.contains(field), "{message} must name {field}");
+            assert!(message.contains(&value), "{message} must show the value {value}");
+        }
     }
 }

@@ -539,36 +539,42 @@ impl<'a> ThreadCtx<'a> {
 
         sync::mark_dirty(self.vt);
         let _guard = self.rt.creation_lock.lock();
-        let id = ThreadId(self.rt.threads.read().len() as u32);
-        let join_var = self.rt.register_sync_var(SyncVarKind::Internal).id;
-        let heap = ireplayer_mem::ThreadHeap::new(id.0, self.rt.heap_config());
-        let rng = crate::rng::DetRng::new(self.rt.config.seed).derive(u64::from(id.0));
-        let vt = Arc::new(VThread::new(
-            id,
+        let vt = self.rt.build_vthread(
             name,
-            heap,
-            rng,
-            join_var,
-            self.rt.config.events_per_thread,
-            self.rt.config.quarantine_bytes,
-        ));
-        {
-            let mut control = vt.control.lock();
-            control.command = Some(Command::Run {
+            Some(Command::Run {
                 target: None,
                 expect_fault: false,
-            });
-        }
-        self.rt.threads.write().push(vt.clone());
+            }),
+        );
+        let id = vt.id;
+        let rt2 = Arc::clone(self.rt);
+        let vt2 = Arc::clone(&vt);
+        let spawned = std::thread::Builder::new()
+            .name(format!("ireplayer-{}", id.0))
+            .spawn(move || crate::exec::thread_main(rt2, vt2, body));
+        let handle = match spawned {
+            Ok(handle) => handle,
+            Err(error) => {
+                // Roll the registration back before surfacing the failure
+                // as a fault: the creation lock is still held (no
+                // concurrent registration), the child never ran, and the
+                // creation event has not been recorded yet, so the log
+                // stays consistent with reality.
+                drop(vt);
+                self.rt.threads.write().pop();
+                self.rt.raise_fault(
+                    self.vt,
+                    FaultKind::Panic {
+                        message: format!("the OS refused to spawn an application thread: {error}"),
+                    },
+                    None,
+                )
+            }
+        };
+        // Record the creation only once the child demonstrably exists.
         if self.rt.recording() {
             sync::record_thread_create(self.rt, self.vt, id);
         }
-        let rt2 = Arc::clone(self.rt);
-        let vt2 = Arc::clone(&vt);
-        let handle = std::thread::Builder::new()
-            .name(format!("ireplayer-{}", id.0))
-            .spawn(move || crate::exec::thread_main(rt2, vt2, body))
-            .expect("failed to spawn an OS thread for an application thread");
         self.rt.os_threads.lock().push(handle);
         JoinHandle(id)
     }

@@ -1,4 +1,14 @@
-//! Error type of the runtime.
+//! The unified error taxonomy of the `ireplayer` facade.
+//!
+//! Every fallible operation on the public surface -- configuration
+//! validation, [`crate::Runtime::launch`], [`crate::Session`] control, and
+//! the conversions from the substrate crates' errors
+//! ([`ireplayer_mem::MemError`], [`ireplayer_sys::SysError`]) -- returns
+//! one [`Error`] type.  Callers that only need to branch inspect the
+//! [`ErrorKind`] (a `#[non_exhaustive]` enum, stable across releases);
+//! callers that need details use the structured accessors or the `Display`
+//! rendering, and [`std::error::Error::source`] exposes the substrate
+//! error a conversion wrapped.
 
 use std::fmt;
 
@@ -7,86 +17,274 @@ use ireplayer_sys::SysError;
 
 use crate::fault::FaultRecord;
 
-/// Errors returned by [`crate::Runtime`] operations.
-#[derive(Debug, Clone)]
-pub enum RuntimeError {
-    /// The runtime configuration is invalid.
-    InvalidConfig(String),
+/// Coarse classification of an [`Error`].
+///
+/// Marked `#[non_exhaustive]`: new kinds may be added as the runtime grows,
+/// and downstream matches must keep a wildcard arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The runtime configuration is invalid; the error names the offending
+    /// field and the rejected value.
+    InvalidConfig,
     /// A managed-memory operation failed in a context where it cannot be
     /// turned into an application fault (e.g. while checkpointing).
-    Memory(MemError),
+    Memory,
     /// A simulated system call failed in a context where the failure cannot
     /// be surfaced to the application.
-    Sys(SysError),
-    /// The program faulted (memory error, explicit crash, panic, assertion)
-    /// and the run was terminated after diagnosis.
-    Faulted(FaultRecord),
+    Sys,
+    /// The program faulted (memory error, explicit crash, panic, assertion).
+    Faulted,
     /// The coordinator could not bring all threads to a step-boundary
-    /// quiescent state within the configured timeout.  This indicates the
-    /// program violates the bounded-step discipline described in the crate
-    /// documentation (for example, a thread blocks forever on a wait that no
-    /// concurrently running step will satisfy).
-    QuiescenceTimeout {
-        /// Threads that never reached a step boundary.
-        stuck_threads: Vec<u32>,
-    },
+    /// quiescent state within the configured timeout (bounded-step
+    /// discipline violation).
+    QuiescenceTimeout,
     /// The recorded epoch could not be reproduced within the configured
     /// maximum number of replay attempts.
-    ReplayBudgetExhausted {
-        /// Number of attempts performed.
-        attempts: u32,
-    },
+    ReplayBudgetExhausted,
     /// A replay was requested for an epoch containing an irrevocable system
     /// call, which cannot be rolled back.
-    UnreplayableEpoch {
-        /// Name of the irrevocable call.
-        syscall: &'static str,
-    },
-    /// The program requested a replay but the runtime is in passthrough
-    /// mode, where nothing is recorded.
+    UnreplayableEpoch,
+    /// A replay was requested but the runtime is in passthrough mode, where
+    /// nothing is recorded.
     RecordingDisabled,
     /// An application thread panicked with a payload the runtime does not
     /// understand (a genuine application panic, not a runtime signal).
-    ApplicationPanic(String),
+    ApplicationPanic,
+    /// [`crate::Runtime::launch`] was called while a previous
+    /// [`crate::Session`] on the same runtime was still running.
+    SessionActive,
+    /// A previous run left threads the runtime could not reclaim; the
+    /// runtime refuses further launches because its warm state can no
+    /// longer be trusted.
+    Poisoned,
+    /// The operating system refused to spawn a thread the runtime needs.
+    ThreadSpawn,
 }
 
-impl fmt::Display for RuntimeError {
+impl fmt::Display for ErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RuntimeError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
-            RuntimeError::Memory(e) => write!(f, "managed memory error: {e}"),
-            RuntimeError::Sys(e) => write!(f, "simulated OS error: {e}"),
-            RuntimeError::Faulted(fault) => write!(f, "program faulted: {fault}"),
-            RuntimeError::QuiescenceTimeout { stuck_threads } => write!(
+        let name = match self {
+            ErrorKind::InvalidConfig => "invalid configuration",
+            ErrorKind::Memory => "managed memory error",
+            ErrorKind::Sys => "simulated OS error",
+            ErrorKind::Faulted => "program faulted",
+            ErrorKind::QuiescenceTimeout => "quiescence timeout",
+            ErrorKind::ReplayBudgetExhausted => "replay budget exhausted",
+            ErrorKind::UnreplayableEpoch => "unreplayable epoch",
+            ErrorKind::RecordingDisabled => "recording disabled",
+            ErrorKind::ApplicationPanic => "application panic",
+            ErrorKind::SessionActive => "session already active",
+            ErrorKind::Poisoned => "runtime poisoned",
+            ErrorKind::ThreadSpawn => "thread spawn failure",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The detailed payload behind an [`Error`]; one variant per [`ErrorKind`].
+#[derive(Debug, Clone)]
+enum Repr {
+    InvalidConfig {
+        field: &'static str,
+        value: String,
+        reason: &'static str,
+    },
+    Memory(MemError),
+    Sys(SysError),
+    Faulted(FaultRecord),
+    QuiescenceTimeout {
+        stuck_threads: Vec<u32>,
+    },
+    ReplayBudgetExhausted {
+        attempts: u32,
+    },
+    UnreplayableEpoch {
+        syscall: &'static str,
+    },
+    RecordingDisabled,
+    ApplicationPanic(String),
+    SessionActive,
+    Poisoned {
+        stuck_threads: Vec<u32>,
+    },
+    ThreadSpawn(String),
+}
+
+/// Error returned by every fallible operation of the `ireplayer` facade.
+///
+/// # Example
+///
+/// ```
+/// use ireplayer::{Config, ErrorKind};
+///
+/// let error = Config::builder().arena_size(1024).build().unwrap_err();
+/// assert_eq!(error.kind(), ErrorKind::InvalidConfig);
+/// // The message names the offending field and the rejected value.
+/// let message = error.to_string();
+/// assert!(message.contains("arena_size"));
+/// assert!(message.contains("1024"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Error {
+    repr: Box<Repr>,
+}
+
+impl Error {
+    fn new(repr: Repr) -> Self {
+        Error { repr: Box::new(repr) }
+    }
+
+    /// The kind of this error, for coarse-grained handling.
+    pub fn kind(&self) -> ErrorKind {
+        match &*self.repr {
+            Repr::InvalidConfig { .. } => ErrorKind::InvalidConfig,
+            Repr::Memory(_) => ErrorKind::Memory,
+            Repr::Sys(_) => ErrorKind::Sys,
+            Repr::Faulted(_) => ErrorKind::Faulted,
+            Repr::QuiescenceTimeout { .. } => ErrorKind::QuiescenceTimeout,
+            Repr::ReplayBudgetExhausted { .. } => ErrorKind::ReplayBudgetExhausted,
+            Repr::UnreplayableEpoch { .. } => ErrorKind::UnreplayableEpoch,
+            Repr::RecordingDisabled => ErrorKind::RecordingDisabled,
+            Repr::ApplicationPanic(_) => ErrorKind::ApplicationPanic,
+            Repr::SessionActive => ErrorKind::SessionActive,
+            Repr::Poisoned { .. } => ErrorKind::Poisoned,
+            Repr::ThreadSpawn(_) => ErrorKind::ThreadSpawn,
+        }
+    }
+
+    /// The fault record, when [`ErrorKind::Faulted`].
+    pub fn fault(&self) -> Option<&FaultRecord> {
+        match &*self.repr {
+            Repr::Faulted(record) => Some(record),
+            _ => None,
+        }
+    }
+
+    /// The threads that never reached a step boundary, when
+    /// [`ErrorKind::QuiescenceTimeout`] or [`ErrorKind::Poisoned`].
+    pub fn stuck_threads(&self) -> Option<&[u32]> {
+        match &*self.repr {
+            Repr::QuiescenceTimeout { stuck_threads } | Repr::Poisoned { stuck_threads } => Some(stuck_threads),
+            _ => None,
+        }
+    }
+
+    /// The configuration field an [`ErrorKind::InvalidConfig`] error is
+    /// about.
+    pub fn config_field(&self) -> Option<&'static str> {
+        match &*self.repr {
+            Repr::InvalidConfig { field, .. } => Some(field),
+            _ => None,
+        }
+    }
+
+    // -- crate-internal constructors ------------------------------------
+
+    pub(crate) fn invalid_config(field: &'static str, value: impl fmt::Display, reason: &'static str) -> Self {
+        Error::new(Repr::InvalidConfig {
+            field,
+            value: value.to_string(),
+            reason,
+        })
+    }
+
+    pub(crate) fn faulted(record: FaultRecord) -> Self {
+        Error::new(Repr::Faulted(record))
+    }
+
+    pub(crate) fn quiescence_timeout(stuck_threads: Vec<u32>) -> Self {
+        Error::new(Repr::QuiescenceTimeout { stuck_threads })
+    }
+
+    #[allow(dead_code)] // Part of the taxonomy; produced by future budget checks.
+    pub(crate) fn replay_budget_exhausted(attempts: u32) -> Self {
+        Error::new(Repr::ReplayBudgetExhausted { attempts })
+    }
+
+    pub(crate) fn unreplayable_epoch(syscall: &'static str) -> Self {
+        Error::new(Repr::UnreplayableEpoch { syscall })
+    }
+
+    pub(crate) fn recording_disabled() -> Self {
+        Error::new(Repr::RecordingDisabled)
+    }
+
+    pub(crate) fn application_panic(message: impl Into<String>) -> Self {
+        Error::new(Repr::ApplicationPanic(message.into()))
+    }
+
+    pub(crate) fn session_active() -> Self {
+        Error::new(Repr::SessionActive)
+    }
+
+    pub(crate) fn poisoned(stuck_threads: Vec<u32>) -> Self {
+        Error::new(Repr::Poisoned { stuck_threads })
+    }
+
+    pub(crate) fn thread_spawn(inner: impl fmt::Display) -> Self {
+        Error::new(Repr::ThreadSpawn(inner.to_string()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.repr {
+            Repr::InvalidConfig { field, value, reason } => {
+                write!(f, "invalid configuration: {field} = {value}: {reason}")
+            }
+            Repr::Memory(e) => write!(f, "managed memory error: {e}"),
+            Repr::Sys(e) => write!(f, "simulated OS error: {e}"),
+            Repr::Faulted(fault) => write!(f, "program faulted: {fault}"),
+            Repr::QuiescenceTimeout { stuck_threads } => write!(
                 f,
                 "threads {stuck_threads:?} never reached a step boundary (bounded-step discipline violated)"
             ),
-            RuntimeError::ReplayBudgetExhausted { attempts } => {
+            Repr::ReplayBudgetExhausted { attempts } => {
                 write!(f, "no matching schedule found after {attempts} replay attempts")
             }
-            RuntimeError::UnreplayableEpoch { syscall } => write!(
+            Repr::UnreplayableEpoch { syscall } => write!(
                 f,
                 "the current epoch contains the irrevocable system call {syscall} and cannot be replayed"
             ),
-            RuntimeError::RecordingDisabled => {
+            Repr::RecordingDisabled => {
                 write!(f, "replay requested but recording is disabled (passthrough mode)")
             }
-            RuntimeError::ApplicationPanic(msg) => write!(f, "application panicked: {msg}"),
+            Repr::ApplicationPanic(msg) => write!(f, "application panicked: {msg}"),
+            Repr::SessionActive => {
+                write!(
+                    f,
+                    "a session is already running on this runtime; wait for it before launching again"
+                )
+            }
+            Repr::Poisoned { stuck_threads } => write!(
+                f,
+                "a previous run left threads {stuck_threads:?} unreclaimed; the runtime refuses further launches"
+            ),
+            Repr::ThreadSpawn(inner) => write!(f, "the OS refused to spawn a runtime thread: {inner}"),
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
-
-impl From<MemError> for RuntimeError {
-    fn from(e: MemError) -> Self {
-        RuntimeError::Memory(e)
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &*self.repr {
+            Repr::Memory(e) => Some(e),
+            Repr::Sys(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
-impl From<SysError> for RuntimeError {
+impl From<MemError> for Error {
+    fn from(e: MemError) -> Self {
+        Error::new(Repr::Memory(e))
+    }
+}
+
+impl From<SysError> for Error {
     fn from(e: SysError) -> Self {
-        RuntimeError::Sys(e)
+        Error::new(Repr::Sys(e))
     }
 }
 
@@ -96,40 +294,71 @@ mod tests {
     use crate::fault::{FaultKind, FaultRecord};
     use ireplayer_log::ThreadId;
 
-    #[test]
-    fn display_is_nonempty_for_every_variant() {
-        let variants: Vec<RuntimeError> = vec![
-            RuntimeError::InvalidConfig("x".into()),
-            RuntimeError::Memory(MemError::NoWatchpointSlot),
-            RuntimeError::Sys(SysError::WouldBlock),
-            RuntimeError::Faulted(FaultRecord {
-                thread: ThreadId(1),
-                kind: FaultKind::ExplicitCrash { message: "boom".into() },
-                site: None,
-                epoch: 0,
-            }),
-            RuntimeError::QuiescenceTimeout { stuck_threads: vec![2] },
-            RuntimeError::ReplayBudgetExhausted { attempts: 5 },
-            RuntimeError::UnreplayableEpoch { syscall: "fork" },
-            RuntimeError::RecordingDisabled,
-            RuntimeError::ApplicationPanic("oops".into()),
-        ];
-        for v in variants {
-            assert!(!v.to_string().is_empty());
+    fn sample_fault() -> FaultRecord {
+        FaultRecord {
+            thread: ThreadId(1),
+            kind: FaultKind::ExplicitCrash { message: "boom".into() },
+            site: None,
+            epoch: 0,
         }
     }
 
     #[test]
-    fn conversions_from_substrate_errors() {
-        let mem: RuntimeError = MemError::NoWatchpointSlot.into();
-        assert!(matches!(mem, RuntimeError::Memory(_)));
-        let sys: RuntimeError = SysError::WouldBlock.into();
-        assert!(matches!(sys, RuntimeError::Sys(_)));
+    fn display_and_kind_agree_for_every_variant() {
+        let variants: Vec<(Error, ErrorKind)> = vec![
+            (
+                Error::invalid_config("arena_size", 1024, "too small"),
+                ErrorKind::InvalidConfig,
+            ),
+            (Error::from(MemError::NoWatchpointSlot), ErrorKind::Memory),
+            (Error::from(SysError::WouldBlock), ErrorKind::Sys),
+            (Error::faulted(sample_fault()), ErrorKind::Faulted),
+            (Error::quiescence_timeout(vec![2]), ErrorKind::QuiescenceTimeout),
+            (Error::replay_budget_exhausted(5), ErrorKind::ReplayBudgetExhausted),
+            (Error::unreplayable_epoch("fork"), ErrorKind::UnreplayableEpoch),
+            (Error::recording_disabled(), ErrorKind::RecordingDisabled),
+            (Error::application_panic("oops"), ErrorKind::ApplicationPanic),
+            (Error::session_active(), ErrorKind::SessionActive),
+            (Error::poisoned(vec![3]), ErrorKind::Poisoned),
+            (Error::thread_spawn("EAGAIN"), ErrorKind::ThreadSpawn),
+        ];
+        for (error, kind) in variants {
+            assert_eq!(error.kind(), kind);
+            assert!(!error.to_string().is_empty());
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_config_names_field_and_value() {
+        let error = Error::invalid_config("heap_block_size", 4 << 20, "exceeds the arena");
+        assert_eq!(error.config_field(), Some("heap_block_size"));
+        let message = error.to_string();
+        assert!(message.contains("heap_block_size"));
+        assert!(message.contains(&(4 << 20).to_string()));
+    }
+
+    #[test]
+    fn substrate_sources_are_chained() {
+        let error = Error::from(MemError::NoWatchpointSlot);
+        assert!(std::error::Error::source(&error).is_some());
+        let error = Error::from(SysError::WouldBlock);
+        assert!(std::error::Error::source(&error).is_some());
+        assert!(std::error::Error::source(&Error::recording_disabled()).is_none());
+    }
+
+    #[test]
+    fn structured_accessors_expose_payloads() {
+        assert!(Error::faulted(sample_fault()).fault().is_some());
+        assert_eq!(Error::quiescence_timeout(vec![7, 9]).stuck_threads(), Some(&[7, 9][..]));
+        assert_eq!(Error::poisoned(vec![1]).stuck_threads(), Some(&[1][..]));
+        assert!(Error::session_active().fault().is_none());
     }
 
     #[test]
     fn error_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<RuntimeError>();
+        assert_send_sync::<Error>();
+        assert_send_sync::<ErrorKind>();
     }
 }

@@ -1,0 +1,298 @@
+//! The session observer API: filtered, bounded event streams.
+//!
+//! A [`crate::Session`] (or the [`crate::Runtime`] itself) can hand out any
+//! number of [`EventStream`]s.  Each stream is a bounded channel: the
+//! runtime *never blocks* on a slow consumer -- when a stream's buffer is
+//! full the event is dropped for that stream (and that stream only), so
+//! observation can never stall the record fast path.  When no stream is
+//! subscribed the entire machinery costs one atomic load per emission
+//! point.
+//!
+//! This is the passive complement to the active [`crate::ToolHook`] SPI:
+//! hooks run *on* the coordinator and return decisions (continue/replay),
+//! while event streams watch from outside -- dashboards, tests, and live
+//! debuggers that steer the run through
+//! [`crate::Session::request_replay`].
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::time::Duration;
+
+use ireplayer_log::Divergence;
+
+use crate::fault::FaultRecord;
+use crate::stats::{RunOutcome, WatchHitReport};
+
+/// Capacity of one subscriber's buffer; events past it are dropped for
+/// that subscriber rather than blocking the runtime.
+pub(crate) const EVENT_BUFFER: usize = 1024;
+
+/// A moment in the life of a run, delivered through an [`EventStream`].
+///
+/// Marked `#[non_exhaustive]`: new event classes may be added; downstream
+/// matches must keep a wildcard arm.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SessionEvent {
+    /// A new epoch began (checkpoint taken, threads released).
+    EpochBegan {
+        /// The 0-based epoch number.
+        epoch: u64,
+    },
+    /// The world reached quiescence and the epoch closed.
+    EpochEnded {
+        /// The epoch that ended.
+        epoch: u64,
+    },
+    /// A rollback happened and a re-execution attempt is starting.
+    ReplayStarted {
+        /// The epoch being re-executed.
+        epoch: u64,
+        /// The 1-based attempt number.
+        attempt: u32,
+    },
+    /// A replay cycle finished (matched or exhausted its attempts).
+    ReplayFinished {
+        /// The epoch that was re-executed.
+        epoch: u64,
+        /// Total attempts performed.
+        attempts: u32,
+        /// Whether a matching schedule was found.
+        matched: bool,
+    },
+    /// A re-execution departed from the recorded schedule.
+    Diverged {
+        /// The divergence record.
+        divergence: Divergence,
+    },
+    /// The application faulted.
+    Faulted {
+        /// The fault record.
+        fault: FaultRecord,
+    },
+    /// A watched address range was written during a diagnostic replay.
+    WatchHit {
+        /// The watchpoint hit.
+        hit: WatchHitReport,
+    },
+    /// The run finished; [`crate::Session::wait`] will return.  Exactly one
+    /// is emitted per launch, even when the run terminates with a
+    /// supervisor error (in which case `outcome` carries the program's
+    /// last observed outcome and the error surfaces through
+    /// [`crate::Session::wait`]).
+    Finished {
+        /// How the run ended.
+        outcome: RunOutcome,
+    },
+}
+
+const EPOCHS: u8 = 1 << 0;
+const REPLAYS: u8 = 1 << 1;
+const DIVERGENCES: u8 = 1 << 2;
+const FAULTS: u8 = 1 << 3;
+const WATCH_HITS: u8 = 1 << 4;
+const LIFECYCLE: u8 = 1 << 5;
+
+impl SessionEvent {
+    fn category(&self) -> u8 {
+        match self {
+            SessionEvent::EpochBegan { .. } | SessionEvent::EpochEnded { .. } => EPOCHS,
+            SessionEvent::ReplayStarted { .. } | SessionEvent::ReplayFinished { .. } => REPLAYS,
+            SessionEvent::Diverged { .. } => DIVERGENCES,
+            SessionEvent::Faulted { .. } => FAULTS,
+            SessionEvent::WatchHit { .. } => WATCH_HITS,
+            SessionEvent::Finished { .. } => LIFECYCLE,
+        }
+    }
+}
+
+/// Selects which [`SessionEvent`] classes a subscription receives.
+///
+/// Start from [`EventFilter::none`] and add classes, or take
+/// [`EventFilter::all`]:
+///
+/// ```
+/// use ireplayer::EventFilter;
+///
+/// let filter = EventFilter::none().faults().divergences();
+/// let everything = EventFilter::all();
+/// # let _ = (filter, everything);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventFilter {
+    mask: u8,
+}
+
+impl EventFilter {
+    /// Subscribes to every event class, including ones added in the future.
+    pub fn all() -> Self {
+        EventFilter { mask: u8::MAX }
+    }
+
+    /// Subscribes to nothing; combine with the class methods below.
+    pub fn none() -> Self {
+        EventFilter { mask: 0 }
+    }
+
+    /// Adds epoch begin/end events.
+    pub fn epochs(mut self) -> Self {
+        self.mask |= EPOCHS;
+        self
+    }
+
+    /// Adds replay start/finish events.
+    pub fn replays(mut self) -> Self {
+        self.mask |= REPLAYS;
+        self
+    }
+
+    /// Adds divergence events.
+    pub fn divergences(mut self) -> Self {
+        self.mask |= DIVERGENCES;
+        self
+    }
+
+    /// Adds fault events.
+    pub fn faults(mut self) -> Self {
+        self.mask |= FAULTS;
+        self
+    }
+
+    /// Adds watchpoint-hit events.
+    pub fn watch_hits(mut self) -> Self {
+        self.mask |= WATCH_HITS;
+        self
+    }
+
+    /// Adds run-lifecycle events ([`SessionEvent::Finished`]).
+    pub fn lifecycle(mut self) -> Self {
+        self.mask |= LIFECYCLE;
+        self
+    }
+
+    fn accepts(&self, event: &SessionEvent) -> bool {
+        self.mask & event.category() != 0
+    }
+}
+
+impl Default for EventFilter {
+    fn default() -> Self {
+        EventFilter::all()
+    }
+}
+
+/// One subscriber's registration inside the runtime.
+pub(crate) struct ObserverSlot {
+    filter: EventFilter,
+    tx: SyncSender<SessionEvent>,
+}
+
+impl ObserverSlot {
+    /// Offers `event` to this subscriber.  Returns `false` when the
+    /// subscriber is gone (its [`EventStream`] was dropped) and the slot
+    /// should be pruned; a full buffer drops the event but keeps the slot.
+    pub(crate) fn offer(&self, event: &SessionEvent) -> bool {
+        if !self.filter.accepts(event) {
+            return true;
+        }
+        match self.tx.try_send(event.clone()) {
+            Ok(()) | Err(TrySendError::Full(_)) => true,
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverSlot").field("filter", &self.filter).finish()
+    }
+}
+
+/// Creates a subscription: the slot goes into the runtime's registry, the
+/// stream goes to the caller.
+pub(crate) fn subscription(filter: EventFilter) -> (ObserverSlot, EventStream) {
+    let (tx, rx) = sync_channel(EVENT_BUFFER);
+    (ObserverSlot { filter, tx }, EventStream { rx })
+}
+
+/// A bounded stream of [`SessionEvent`]s from one runtime.
+///
+/// Obtained from [`crate::Session::subscribe`] (or
+/// [`crate::Runtime::subscribe`], where it survives across runs).  Dropping
+/// the stream unsubscribes.  Each stream buffers up to a fixed number of
+/// events; if the consumer falls behind, excess events are silently dropped
+/// for this stream -- the runtime never blocks on observers.
+#[derive(Debug)]
+pub struct EventStream {
+    rx: Receiver<SessionEvent>,
+}
+
+impl EventStream {
+    /// Returns the next buffered event without blocking, or `None` when the
+    /// buffer is empty (or the runtime is gone).
+    pub fn try_next(&self) -> Option<SessionEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Waits up to `timeout` for the next event.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<SessionEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains every currently buffered event.
+    pub fn drain(&self) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        while let Some(event) = self.try_next() {
+            events.push(event);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch_event() -> SessionEvent {
+        SessionEvent::EpochBegan { epoch: 3 }
+    }
+
+    #[test]
+    fn filters_select_categories() {
+        assert!(EventFilter::all().accepts(&epoch_event()));
+        assert!(!EventFilter::none().accepts(&epoch_event()));
+        assert!(EventFilter::none().epochs().accepts(&epoch_event()));
+        assert!(!EventFilter::none().faults().accepts(&epoch_event()));
+        assert!(EventFilter::none().lifecycle().accepts(&SessionEvent::Finished {
+            outcome: crate::stats::RunOutcome::Completed,
+        }));
+        assert_eq!(EventFilter::default(), EventFilter::all());
+    }
+
+    #[test]
+    fn streams_deliver_and_bound() {
+        let (slot, stream) = subscription(EventFilter::none().epochs());
+        assert!(slot.offer(&epoch_event()));
+        // Filtered-out events are not delivered but keep the slot alive.
+        assert!(slot.offer(&SessionEvent::Finished {
+            outcome: crate::stats::RunOutcome::Completed,
+        }));
+        assert!(matches!(stream.try_next(), Some(SessionEvent::EpochBegan { epoch: 3 })));
+        assert!(stream.try_next().is_none());
+        // Overflow drops events instead of blocking.
+        for _ in 0..(EVENT_BUFFER + 10) {
+            assert!(slot.offer(&epoch_event()));
+        }
+        assert_eq!(stream.drain().len(), EVENT_BUFFER);
+        // A dropped stream prunes the slot.
+        drop(stream);
+        assert!(!slot.offer(&epoch_event()));
+    }
+
+    #[test]
+    fn next_timeout_returns_buffered_events() {
+        let (slot, stream) = subscription(EventFilter::all());
+        assert!(slot.offer(&epoch_event()));
+        assert!(stream.next_timeout(Duration::from_millis(10)).is_some());
+        assert!(stream.next_timeout(Duration::from_millis(1)).is_none());
+    }
+}

@@ -92,14 +92,12 @@ fn run_segment(
     loop {
         // Step-boundary checks.
         {
-            let control = vt.control.lock();
             debug_assert!(
-                control.held_locks.is_empty(),
+                vt.held_locks.is_empty(),
                 "locks must not be held across step boundaries (thread {:?})",
                 vt.id
             );
-            let steps = control.segment_steps;
-            drop(control);
+            let steps = vt.control.lock().segment_steps;
             if let Some(target) = target {
                 if steps >= target {
                     // Replay: the recorded number of steps has been re-run.

@@ -11,7 +11,11 @@ use crate::site::Site;
 use crate::stats::WatchHitReport;
 
 /// What a tool asks the runtime to do at an epoch boundary.
+///
+/// Marked `#[non_exhaustive]`: further decisions (e.g. checkpoint-only) may
+/// be added; downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EpochDecision {
     /// Proceed to the next epoch.
     Continue,

@@ -28,54 +28,79 @@
 //!   re-invokes the step closures after a rollback, the safe-Rust analogue
 //!   of the original system's stack checkpointing.
 //!
-//! ## Quick start
+//! ## Quick start: sessions on a reusable runtime
+//!
+//! A [`Runtime`] is a long-lived host.  [`Runtime::launch`] starts a
+//! [`Program`] and returns a [`Session`] -- a live handle with a lock-free
+//! [`Session::status`], a bounded observer stream
+//! ([`Session::subscribe`]), live replay control
+//! ([`Session::request_replay`]), and [`Session::wait`] for the final
+//! [`RunReport`].  Between launches the runtime resets to quiescence while
+//! keeping its warm state, so back-to-back runs reuse the arena, the log
+//! storage, and the simulated OS:
 //!
 //! ```
-//! use ireplayer::{Config, Program, Runtime, Step};
+//! use ireplayer::{Config, EventFilter, Program, Runtime, SessionEvent, Step};
 //!
-//! # fn main() -> Result<(), ireplayer::RuntimeError> {
+//! # fn main() -> Result<(), ireplayer::Error> {
 //! let config = Config::builder()
 //!     .arena_size(8 << 20)
 //!     .heap_block_size(256 << 10)
 //!     .build()?;
 //! let runtime = Runtime::new(config)?;
 //!
-//! let program = Program::new("sum", |ctx| {
-//!     let total = ctx.global("total", 8);
-//!     let lock = ctx.mutex();
-//!     let mut workers = Vec::new();
-//!     for _ in 0..4 {
-//!         workers.push(ctx.spawn("adder", move |ctx| {
-//!             ctx.lock(lock);
-//!             let value = ctx.read_u64(total);
-//!             ctx.write_u64(total, value + 1);
-//!             ctx.unlock(lock);
-//!             Step::Done
-//!         }));
-//!     }
-//!     for worker in workers {
-//!         ctx.join(worker);
-//!     }
-//!     Step::Done
-//! });
+//! // One warm runtime serves many programs back to back.
+//! for round in 0..2u64 {
+//!     let program = Program::new("sum", move |ctx| {
+//!         let total = ctx.global("total", 8);
+//!         let lock = ctx.mutex();
+//!         let mut workers = Vec::new();
+//!         for _ in 0..4 {
+//!             workers.push(ctx.spawn("adder", move |ctx| {
+//!                 ctx.lock(lock);
+//!                 let value = ctx.read_u64(total);
+//!                 ctx.write_u64(total, value + 1);
+//!                 ctx.unlock(lock);
+//!                 Step::Done
+//!             }));
+//!         }
+//!         for worker in workers {
+//!             ctx.join(worker);
+//!         }
+//!         let _ = round;
+//!         Step::Done
+//!     });
 //!
-//! let report = runtime.run(program)?;
-//! assert!(report.outcome.is_success());
+//!     // Subscribe before launching: the first epoch can begin within
+//!     // microseconds of the launch.
+//!     let events = runtime.subscribe(EventFilter::none().epochs());
+//!     let session = runtime.launch(program)?;
+//!     let report = session.wait()?;
+//!     assert!(report.outcome.is_success());
+//!     assert!(matches!(events.try_next(), Some(SessionEvent::EpochBegan { .. })));
+//! }
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Every fallible call returns the crate-wide [`Error`], classified by a
+//! stable, `#[non_exhaustive]` [`ErrorKind`].
+
+#![deny(missing_docs)]
 
 mod alloc;
 mod checkpoint;
 mod config;
 mod context;
 mod error;
+mod events;
 mod exec;
 mod fault;
 mod hooks;
 mod program;
 mod rng;
 mod runtime;
+mod session;
 mod sink;
 mod site;
 mod state;
@@ -85,17 +110,21 @@ mod syscall;
 
 pub use config::{AllocatorMode, Config, ConfigBuilder, FaultPolicy, RunMode};
 pub use context::{BarrierHandle, CondvarHandle, JoinHandle, MutexHandle, ThreadCtx};
-pub use error::RuntimeError;
+pub use error::{Error, ErrorKind};
+pub use events::{EventFilter, EventStream, SessionEvent};
 pub use fault::{FaultKind, FaultRecord};
 pub use hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
 pub use program::{BodyFn, Program, Step};
 pub use rng::DetRng;
-pub use runtime::Runtime;
+pub use runtime::{Runtime, RuntimeDiagnostics};
+pub use session::{RunPhase, Session, SessionStatus};
 pub use site::{Site, SiteId};
 pub use stats::{ReplayValidation, RunOutcome, RunReport, WatchHitReport};
 
 // Re-export the substrate types that appear in the public API so downstream
-// users only need this crate.
+// users only need this crate.  `MemError` and `SysError` are the substrate
+// errors [`Error`] wraps (kinds [`ErrorKind::Memory`] / [`ErrorKind::Sys`]);
+// they are re-exported so `source()` downcasts need no extra dependency.
 pub use ireplayer_log::{Divergence, DivergenceKind, SyncOp, SyscallClass, ThreadId, VarId};
-pub use ireplayer_mem::{DiffStats, MemAddr, Span};
-pub use ireplayer_sys::{PeerScript, SimOs, SyscallKind, Whence};
+pub use ireplayer_mem::{DiffStats, MemAddr, MemError, Span};
+pub use ireplayer_sys::{PeerScript, SimOs, SysError, SyscallKind, Whence};

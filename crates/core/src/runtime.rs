@@ -3,12 +3,20 @@
 //! The original iReplayer promotes the thread that triggers an epoch end to
 //! "coordinator" (§3.3).  In this reproduction the coordination duties --
 //! waiting for quiescence, housekeeping, checkpointing, deciding between
-//! continue and rollback, and orchestrating replay attempts -- run on the
-//! thread that called [`Runtime::run`], which supervises the application
-//! threads.  The protocol it implements is the paper's: epochs begin with a
-//! checkpoint (§3.1), end at a safe stop of all threads (§3.3), and can be
-//! rolled back (§3.4) and re-executed under the recorded order with
-//! divergence detection and randomized retry (§3.5).
+//! continue and rollback, and orchestrating replay attempts -- run on a
+//! dedicated supervisor thread spawned by [`Runtime::launch`], which
+//! supervises the application threads while the caller holds a live
+//! [`crate::Session`] handle.  The protocol it implements is the paper's:
+//! epochs begin with a checkpoint (§3.1), end at a safe stop of all threads
+//! (§3.3), and can be rolled back (§3.4) and re-executed under the recorded
+//! order with divergence detection and randomized retry (§3.5).
+//!
+//! A `Runtime` is **reusable**: the end-of-run teardown is a
+//! *reset-to-quiescence* path ([`RtInner::reset_to_quiescence`]) that wipes
+//! run-scoped state while keeping warm storage -- the arena's backing
+//! memory, retired per-thread and per-variable event lists, and the
+//! simulated-OS object -- so back-to-back launches pay no construction
+//! cost and produce reports identical to fresh-runtime runs.
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -16,19 +24,19 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ireplayer_log::ThreadId;
-use ireplayer_mem::{CorruptedCanary, MemAddr, MemSnapshot, Span, ThreadHeap, UafEvidence};
+use ireplayer_mem::{CorruptedCanary, MemAddr, MemSnapshot, Span, UafEvidence};
 use ireplayer_sys::SimOs;
 
 use crate::checkpoint::{self, Checkpoint};
 use crate::config::{Config, FaultPolicy, RunMode};
-use crate::error::RuntimeError;
+use crate::error::Error;
+use crate::events::{EventFilter, EventStream, SessionEvent};
 use crate::exec;
 use crate::fault::{FaultRecord, UnwindSignal};
 use crate::hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
-use crate::program::Program;
-use crate::rng::DetRng;
-use crate::site::Site;
-use crate::state::{Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, SyncVarKind, ThreadPhase, VThread};
+use crate::program::{BodyFn, Program};
+use crate::session::{Session, SessionShared};
+use crate::state::{Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, ThreadPhase, VThread};
 use crate::stats::{Counters, ReplayValidation, RunOutcome, RunReport, WatchHitReport};
 
 /// How long the supervisor waits between scans of the world state.
@@ -36,37 +44,45 @@ const SUPERVISOR_SLICE: Duration = Duration::from_millis(5);
 
 /// The in-situ record-and-replay runtime.
 ///
-/// A `Runtime` executes one [`Program`]; create a fresh runtime per run.
+/// A `Runtime` is a long-lived, reusable host: construct it once, then
+/// [`launch`](Runtime::launch) any number of [`Program`]s against it
+/// sequentially.  Each launch returns a [`Session`] handle exposing the
+/// live epoch lifecycle; between launches the runtime resets to quiescence
+/// while keeping its warm state (arena memory, log storage, the simulated
+/// OS), so serving many workloads from one hot process costs no repeated
+/// construction.
 ///
 /// # Example
 ///
 /// ```
 /// use ireplayer::{Config, Program, Runtime, Step};
 ///
-/// # fn main() -> Result<(), ireplayer::RuntimeError> {
+/// # fn main() -> Result<(), ireplayer::Error> {
 /// let config = Config::builder()
 ///     .arena_size(8 << 20)
 ///     .heap_block_size(256 << 10)
 ///     .build()?;
 /// let runtime = Runtime::new(config)?;
-/// let program = Program::new("counter", |ctx| {
-///     let cell = ctx.global("counter", 8);
-///     let value = ctx.read_u64(cell);
-///     ctx.write_u64(cell, value + 1);
-///     if value + 1 == 10 {
-///         ireplayer::Step::Done
-///     } else {
-///         ireplayer::Step::Yield
-///     }
-/// });
-/// # let _ = Step::Yield;
-/// let report = runtime.run(program)?;
-/// assert!(report.outcome.is_success());
+/// // The runtime is reusable: launch several programs back to back.
+/// for _ in 0..2 {
+///     let session = runtime.launch(Program::new("counter", |ctx| {
+///         let cell = ctx.global("counter", 8);
+///         let value = ctx.read_u64(cell);
+///         ctx.write_u64(cell, value + 1);
+///         if value + 1 == 10 {
+///             ireplayer::Step::Done
+///         } else {
+///             ireplayer::Step::Yield
+///         }
+///     }))?;
+///     let report = session.wait()?;
+///     assert!(report.outcome.is_success());
+/// }
 /// # Ok(())
 /// # }
 /// ```
 pub struct Runtime {
-    rt: Arc<RtInner>,
+    pub(crate) rt: Arc<RtInner>,
 }
 
 impl Runtime {
@@ -74,14 +90,14 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::InvalidConfig`] if the configuration is
-    /// inconsistent.
-    pub fn new(config: Config) -> Result<Self, RuntimeError> {
+    /// Returns an [`ErrorKind::InvalidConfig`](crate::ErrorKind) error if
+    /// the configuration is inconsistent.
+    pub fn new(config: Config) -> Result<Self, Error> {
         config.validate()?;
         install_panic_hook();
-        Ok(Runtime {
-            rt: Arc::new(RtInner::new(config)),
-        })
+        let rt = Arc::new(RtInner::new(config));
+        Counters::bump(&rt.diag.arena_allocations);
+        Ok(Runtime { rt })
     }
 
     /// The configuration this runtime was created with.
@@ -90,12 +106,15 @@ impl Runtime {
     }
 
     /// The simulated operating system, used to stage files and network peers
-    /// before running a program and to inspect them afterwards.
+    /// before launching a program and to inspect them afterwards.  The
+    /// reset between launches reboots it, so each run stages its own
+    /// inputs.
     pub fn os(&self) -> &SimOs {
         &self.rt.os
     }
 
-    /// Registers a tool hook (detector, debugger).
+    /// Registers a tool hook (detector, debugger).  Hooks persist across
+    /// launches.
     pub fn add_hook(&self, hook: Arc<dyn ToolHook>) {
         self.rt.hooks.write().push(hook);
     }
@@ -105,134 +124,277 @@ impl Runtime {
         *self.rt.instrument.write() = Some(instrument);
     }
 
-    /// Runs the program to completion (or to its first unrecoverable fault)
-    /// and returns the run report.
+    /// Subscribes an event stream that persists across launches (unlike
+    /// [`Session::subscribe`], whose ergonomics tie it to one run, the
+    /// registration is the same under the hood -- streams live until
+    /// dropped).
+    pub fn subscribe(&self, filter: EventFilter) -> EventStream {
+        self.rt.subscribe_events(filter)
+    }
+
+    /// Starts `program` on this runtime and returns the live [`Session`]
+    /// handle.  The run proceeds on background threads; use
+    /// [`Session::status`], [`Session::subscribe`], and
+    /// [`Session::request_replay`] to observe and steer it, and
+    /// [`Session::wait`] to collect the report.
     ///
     /// # Errors
     ///
-    /// Returns an error if the configuration proves unusable at runtime, or
-    /// if the program violates the bounded-step discipline
-    /// ([`RuntimeError::QuiescenceTimeout`]).
-    pub fn run(self, program: Program) -> Result<RunReport, RuntimeError> {
-        let started = Instant::now();
-        let (program_name, main_body) = program.into_parts();
-        let rt = self.rt;
+    /// Returns [`ErrorKind::SessionActive`](crate::ErrorKind) while a
+    /// previous session is still running,
+    /// [`ErrorKind::Poisoned`](crate::ErrorKind) if an earlier run left
+    /// unreclaimable threads, and
+    /// [`ErrorKind::ThreadSpawn`](crate::ErrorKind) if the OS refuses the
+    /// supervisor thread.
+    pub fn launch(&self, program: Program) -> Result<Session<'_>, Error> {
+        Session::start(self, program)
+    }
 
-        // Create the main application thread (ThreadId 0).
-        let main_vt = create_thread(&rt, "main".to_owned());
+    /// Runs `program` to completion and returns its report: shorthand for
+    /// [`Runtime::launch`] followed by [`Session::wait`].  The runtime
+    /// stays reusable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Runtime::launch`] and [`Session::wait`] can return.
+    pub fn run(&self, program: Program) -> Result<RunReport, Error> {
+        self.launch(program)?.wait()
+    }
+
+    /// Allocation and wake-up diagnostics, for asserting the warm-relaunch
+    /// guarantees (zero re-allocation of backing storage across launches)
+    /// and the step-boundary batching of supervisor wake-ups.
+    pub fn diagnostics(&self) -> RuntimeDiagnostics {
+        let rt = &self.rt;
+        let var_chunks_allocated = {
+            let table = rt.sync_table.read();
+            let pool = rt.var_pool.lock();
+            table
+                .iter()
+                .map(|var| var.var_list.allocated_chunks() as u64)
+                .chain(pool.iter().map(|list| list.allocated_chunks() as u64))
+                .sum()
+        };
+        RuntimeDiagnostics {
+            world_pokes: Counters::get(&rt.diag.world_pokes),
+            arena_allocations: Counters::get(&rt.diag.arena_allocations),
+            thread_lists_created: Counters::get(&rt.diag.thread_lists_created),
+            thread_lists_reused: Counters::get(&rt.diag.thread_lists_reused),
+            var_lists_created: Counters::get(&rt.diag.var_lists_created),
+            var_lists_reused: Counters::get(&rt.diag.var_lists_reused),
+            var_chunks_allocated,
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime").field("rt", &self.rt).finish()
+    }
+}
+
+/// Cumulative allocation and wake-up counters of one [`Runtime`].
+///
+/// The interesting property is what *stays flat*: after a first launch has
+/// warmed the pools, further launches of same-shaped programs leave
+/// `arena_allocations`, `thread_lists_created`, `var_lists_created`, and
+/// `var_chunks_allocated` unchanged -- the reset-to-quiescence path reuses
+/// every backing chunk.  Marked `#[non_exhaustive]`: more counters may be
+/// added.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct RuntimeDiagnostics {
+    /// Supervisor wake-ups (world condition-variable broadcasts) performed.
+    pub world_pokes: u64,
+    /// Arena backing allocations performed (exactly one at construction;
+    /// never grows across launches).
+    pub arena_allocations: u64,
+    /// Per-thread event lists allocated from scratch.
+    pub thread_lists_created: u64,
+    /// Per-thread event lists recycled from the warm pool.
+    pub thread_lists_reused: u64,
+    /// Per-variable event lists allocated from scratch.
+    pub var_lists_created: u64,
+    /// Per-variable event lists recycled from the warm pool.
+    pub var_lists_reused: u64,
+    /// Backing chunks currently allocated across all per-variable lists
+    /// (live and pooled); flat across warm relaunches.
+    pub var_chunks_allocated: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The supervisor: one run from launch to report.
+// ---------------------------------------------------------------------------
+
+/// Drives one program to completion on the supervisor thread: spawns the
+/// main application thread, runs the epoch protocol, tears the world down
+/// to quiescence, builds the report, and resets the runtime for the next
+/// launch.
+pub(crate) fn supervise(
+    rt: Arc<RtInner>,
+    shared: Arc<SessionShared>,
+    program_name: String,
+    main_body: BodyFn,
+) -> Result<RunReport, Error> {
+    let started = Instant::now();
+
+    // Create the main application thread (ThreadId 0).  The local Arc is
+    // dropped immediately: the end-of-run reset harvests each thread's
+    // list storage via `Arc::try_unwrap`, so nothing may outlive the
+    // `threads` table's reference.
+    {
+        let main_vt = rt.build_vthread("main".to_owned(), None);
         let rt_for_main = Arc::clone(&rt);
-        let vt_for_main = Arc::clone(&main_vt);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("ireplayer-0".to_owned())
-            .spawn(move || exec::thread_main(rt_for_main, vt_for_main, main_body))
-            .expect("failed to spawn the main application thread");
-        rt.os_threads.lock().push(handle);
+            .spawn(move || exec::thread_main(rt_for_main, main_vt, main_body));
+        match spawned {
+            Ok(handle) => rt.os_threads.lock().push(handle),
+            Err(io) => {
+                // Nothing ran: reset the registered-but-never-started
+                // thread away so the runtime stays launchable, seal the
+                // (empty) run for the session handle, and keep the
+                // one-`Finished`-per-launch lifecycle invariant for
+                // observers.
+                crate::session::seal_final_status(&rt, &shared);
+                rt.reset_to_quiescence();
+                rt.emit_event(|| SessionEvent::Finished {
+                    outcome: RunOutcome::Completed,
+                });
+                return Err(Error::thread_spawn(io));
+            }
+        }
+    }
 
-        let mut checkpoint = begin_epoch(&rt, true);
-        let mut replay_validations: Vec<ReplayValidation> = Vec::new();
-        let mut outcome = RunOutcome::Completed;
-        let mut supervisor_error: Option<RuntimeError> = None;
+    let mut checkpoint = begin_epoch(&rt, true);
+    let mut replay_validations: Vec<ReplayValidation> = Vec::new();
+    let mut outcome = RunOutcome::Completed;
+    let mut supervisor_error: Option<Error> = None;
 
-        loop {
-            wait_world_tick(&rt);
+    loop {
+        wait_world_tick(&rt);
 
-            if rt.abort_pending() && !rt.replaying() {
-                // A fault occurred during recording (or passthrough).
-                if let Err(e) = wait_for_settle(&rt) {
-                    supervisor_error = Some(e);
-                    break;
-                }
-                let fault = rt.epoch.lock().faults.first().cloned();
-                let Some(fault) = fault else {
-                    // Spurious abort without a fault record; clear and go on.
-                    rt.abort_requested.store(false, Ordering::Release);
-                    continue;
+        if rt.abort_pending() && !rt.replaying() {
+            // A fault occurred during recording (or passthrough).
+            if let Err(e) = wait_for_settle(&rt) {
+                supervisor_error = Some(e);
+                break;
+            }
+            let fault = rt.epoch.lock().faults.first().cloned();
+            let Some(fault) = fault else {
+                // Spurious abort without a fault record; clear and go on.
+                rt.abort_requested.store(false, Ordering::Release);
+                continue;
+            };
+            outcome = RunOutcome::Faulted(fault.clone());
+            if rt.config.fault_policy == FaultPolicy::DiagnoseAndReport
+                && rt.config.mode == RunMode::Record
+                && !rt.tainted()
+            {
+                let watch = fault_watchpoints(&rt, &fault);
+                let request = ReplayRequest {
+                    watch,
+                    reason: format!("diagnose fault: {}", fault.kind),
                 };
-                outcome = RunOutcome::Faulted(fault.clone());
-                if rt.config.fault_policy == FaultPolicy::DiagnoseAndReport
-                    && rt.config.mode == RunMode::Record
-                    && !rt.tainted()
-                {
-                    let watch = fault_watchpoints(&rt, &fault);
-                    let request = ReplayRequest {
-                        watch,
-                        reason: format!("diagnose fault: {}", fault.kind),
-                    };
-                    match run_replay_cycle(&rt, &checkpoint, request, Some(fault.thread)) {
+                match run_replay_cycle(&rt, &checkpoint, request, Some(fault.thread)) {
+                    Ok(validation) => replay_validations.push(validation),
+                    Err(e) => supervisor_error = Some(e),
+                }
+            }
+            break;
+        }
+
+        if all_threads_done(&rt) {
+            // Final epoch end: let tools scan for evidence (implanted
+            // overflows are detected here) and possibly replay.
+            rt.emit_event(|| SessionEvent::EpochEnded {
+                epoch: rt.epoch_number(),
+            });
+            let can_replay = rt.config.mode == RunMode::Record && !rt.tainted();
+            if let Some(request) = collect_epoch_decision(&rt, can_replay) {
+                if can_replay {
+                    match run_replay_cycle(&rt, &checkpoint, request, None) {
                         Ok(validation) => replay_validations.push(validation),
                         Err(e) => supervisor_error = Some(e),
                     }
                 }
-                break;
             }
+            break;
+        }
 
-            if all_threads_done(&rt) {
-                // Final epoch end: let tools scan for evidence (implanted
-                // overflows are detected here) and possibly replay.
-                if let Some(request) = collect_epoch_decision(&rt) {
-                    if rt.config.mode == RunMode::Record && !rt.tainted() {
-                        match run_replay_cycle(&rt, &checkpoint, request, None) {
-                            Ok(validation) => replay_validations.push(validation),
-                            Err(e) => supervisor_error = Some(e),
-                        }
-                    }
-                }
-                break;
-            }
-
-            if rt.epoch_end_pending() && !rt.replaying() {
-                match wait_for_quiescence(&rt) {
-                    Quiescence::Reached => {
-                        if let Some(request) = collect_epoch_decision(&rt) {
-                            if rt.config.mode == RunMode::Record && !rt.tainted() {
-                                match run_replay_cycle(&rt, &checkpoint, request, None) {
-                                    Ok(validation) => replay_validations.push(validation),
-                                    Err(e) => {
-                                        supervisor_error = Some(e);
-                                        break;
-                                    }
+        if rt.epoch_end_pending() && !rt.replaying() {
+            match wait_for_quiescence(&rt) {
+                Quiescence::Reached => {
+                    rt.emit_event(|| SessionEvent::EpochEnded {
+                        epoch: rt.epoch_number(),
+                    });
+                    let can_replay = rt.config.mode == RunMode::Record && !rt.tainted();
+                    if let Some(request) = collect_epoch_decision(&rt, can_replay) {
+                        if can_replay {
+                            match run_replay_cycle(&rt, &checkpoint, request, None) {
+                                Ok(validation) => replay_validations.push(validation),
+                                Err(e) => {
+                                    supervisor_error = Some(e);
+                                    break;
                                 }
                             }
                         }
-                        checkpoint = begin_epoch(&rt, false);
                     }
-                    Quiescence::Stalled => {
-                        // Some thread is blocked mid-step on a wait its
-                        // peers have already parked past; cancel the stop and
-                        // retry at the next trigger.
-                        cancel_epoch_end(&rt);
-                    }
-                    Quiescence::Failed(stuck) => {
-                        supervisor_error = Some(RuntimeError::QuiescenceTimeout { stuck_threads: stuck });
-                        break;
-                    }
+                    checkpoint = begin_epoch(&rt, false);
+                }
+                Quiescence::Stalled => {
+                    // Some thread is blocked mid-step on a wait its
+                    // peers have already parked past; cancel the stop and
+                    // retry at the next trigger.
+                    cancel_epoch_end(&rt);
+                }
+                Quiescence::Failed(stuck) => {
+                    supervisor_error = Some(Error::quiescence_timeout(stuck));
+                    break;
                 }
             }
         }
+    }
 
-        // Teardown: tell every OS thread to exit and join them.
-        rt.abort_requested.store(false, Ordering::Release);
-        for vt in rt.threads.read().iter() {
-            let mut control = vt.control.lock();
-            control.command = Some(Command::Exit);
-            control.awaiting_creation = false;
-            vt.notify();
-        }
-        let handles: Vec<_> = rt.os_threads.lock().drain(..).collect();
-        for handle in handles {
-            let _ = handle.join();
-        }
+    // Teardown: bring every thread to rest (threads blocked in waits honour
+    // the abort flag), command them to exit, and join.
+    rt.abort_requested.store(true, Ordering::Release);
+    rt.poke_world();
+    let settle = wait_for_settle(&rt);
+    rt.abort_requested.store(false, Ordering::Release);
+    if let Err(error) = settle {
+        // Threads that never settle cannot be joined; refuse to reuse the
+        // runtime (its warm state can no longer be trusted) and leave the
+        // stragglers detached.
+        let stuck = error.stuck_threads().map(<[u32]>::to_vec).unwrap_or_default();
+        rt.poison(stuck.clone());
+        rt.os_threads.lock().clear();
+        crate::session::seal_final_status(&rt, &shared);
+        rt.emit_event(|| SessionEvent::Finished {
+            outcome: outcome.clone(),
+        });
+        return Err(Error::poisoned(stuck));
+    }
+    for vt in rt.threads.read().iter() {
+        let mut control = vt.control.lock();
+        control.command = Some(Command::Exit);
+        control.awaiting_creation = false;
+        vt.notify();
+    }
+    let handles: Vec<_> = rt.os_threads.lock().drain(..).collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
 
-        if let Some(error) = supervisor_error {
-            return Err(error);
-        }
-
+    let result = if let Some(error) = supervisor_error {
+        Err(error)
+    } else {
         let final_high_water = rt.super_heap.high_water().as_usize();
         let epoch_guard = rt.epoch.lock();
-        let report = RunReport {
+        Ok(RunReport {
             program: program_name,
             wall_time: started.elapsed(),
-            outcome,
+            outcome: outcome.clone(),
             epochs: Counters::get(&rt.counters.epochs),
             threads: rt.threads.read().len() as u32,
             sync_events: Counters::get(&rt.counters.sync_events),
@@ -246,38 +408,31 @@ impl Runtime {
             replay_validations,
             watch_hits: epoch_guard.watch_hits.clone(),
             faults: epoch_guard.faults.clone(),
-        };
-        Ok(report)
+        })
+    };
+
+    // A live replay request the run never found a replayable boundary for
+    // (every remaining epoch was tainted, or the run ended first) is
+    // announced as a zero-attempt replay so observers are not left
+    // waiting for it.
+    if rt.pending_replay.lock().take().is_some() {
+        rt.emit_event(|| SessionEvent::ReplayFinished {
+            epoch: rt.epoch_number(),
+            attempts: 0,
+            matched: false,
+        });
     }
-}
 
-impl std::fmt::Debug for Runtime {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Runtime").field("rt", &self.rt).finish()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Thread creation (shared with `ThreadCtx::spawn`, which performs the same
-// construction for dynamically created threads).
-// ---------------------------------------------------------------------------
-
-fn create_thread(rt: &Arc<RtInner>, name: String) -> Arc<VThread> {
-    let id = ThreadId(rt.threads.read().len() as u32);
-    let join_var = rt.register_sync_var(SyncVarKind::Internal).id;
-    let heap = ThreadHeap::new(id.0, rt.heap_config());
-    let rng = DetRng::new(rt.config.seed).derive(u64::from(id.0));
-    let vt = Arc::new(VThread::new(
-        id,
-        name,
-        heap,
-        rng,
-        join_var,
-        rt.config.events_per_thread,
-        rt.config.quarantine_bytes,
-    ));
-    rt.threads.write().push(vt.clone());
-    vt
+    // End-of-run teardown is a reset to quiescence: the next launch starts
+    // from a pristine-but-warm runtime.  The final status is sealed first,
+    // so `Session::status` keeps describing this run after the live
+    // counters restart from zero.
+    crate::session::seal_final_status(&rt, &shared);
+    rt.reset_to_quiescence();
+    rt.emit_event(|| SessionEvent::Finished {
+        outcome: outcome.clone(),
+    });
+    result
 }
 
 // ---------------------------------------------------------------------------
@@ -301,8 +456,8 @@ fn all_threads_done(rt: &RtInner) -> bool {
 }
 
 /// Waits until every thread is settled (parked, finished, reclaimed, or
-/// idle), used after an abort.
-fn wait_for_settle(rt: &RtInner) -> Result<(), RuntimeError> {
+/// idle), used after an abort and by the end-of-run teardown.
+fn wait_for_settle(rt: &RtInner) -> Result<(), Error> {
     let deadline = Instant::now() + Duration::from_millis(rt.config.quiescence_timeout_ms);
     loop {
         let stuck: Vec<u32> = rt
@@ -316,7 +471,7 @@ fn wait_for_settle(rt: &RtInner) -> Result<(), RuntimeError> {
             return Ok(());
         }
         if Instant::now() > deadline {
-            return Err(RuntimeError::QuiescenceTimeout { stuck_threads: stuck });
+            return Err(Error::quiescence_timeout(stuck));
         }
         wait_world_tick(rt);
     }
@@ -384,7 +539,7 @@ fn cancel_epoch_end(rt: &RtInner) {
 
 /// Housekeeping plus checkpoint plus release: the epoch-begin protocol of
 /// §3.1.  Returns the new checkpoint.
-fn begin_epoch(rt: &RtInner, first: bool) -> Checkpoint {
+fn begin_epoch(rt: &Arc<RtInner>, first: bool) -> Checkpoint {
     // Housekeeping: issue deferred system calls, reclaim joined threads,
     // drop the previous epoch's logs.
     if !first {
@@ -438,6 +593,9 @@ fn begin_epoch(rt: &RtInner, first: bool) -> Checkpoint {
     rt.epoch.lock().watch_hits.clear();
 
     let checkpoint = checkpoint::capture(rt);
+    rt.emit_event(|| SessionEvent::EpochBegan {
+        epoch: rt.epoch_number(),
+    });
 
     // Release: clear the stop flag, then command every runnable thread.
     rt.epoch_end_requested.store(false, Ordering::Release);
@@ -455,10 +613,19 @@ fn begin_epoch(rt: &RtInner, first: bool) -> Checkpoint {
     checkpoint
 }
 
-/// Runs every hook's epoch-end inspection and merges the replay requests.
-fn collect_epoch_decision(rt: &Arc<RtInner>) -> Option<ReplayRequest> {
+/// Runs every hook's epoch-end inspection and merges the replay requests,
+/// including any request queued live through
+/// [`crate::Session::request_replay`].  The live request is only consumed
+/// when this boundary can actually replay (`can_replay`); otherwise it
+/// stays queued for the next replayable epoch end, instead of silently
+/// vanishing into a tainted epoch.
+fn collect_epoch_decision(rt: &Arc<RtInner>, can_replay: bool) -> Option<ReplayRequest> {
     let view = RtEpochView { rt: Arc::clone(rt) };
-    let mut merged: Option<ReplayRequest> = None;
+    let mut merged: Option<ReplayRequest> = if can_replay {
+        rt.pending_replay.lock().take()
+    } else {
+        None
+    };
     for hook in rt.hooks.read().iter() {
         match hook.at_epoch_end(&view) {
             EpochDecision::Continue => {}
@@ -471,6 +638,10 @@ fn collect_epoch_decision(rt: &Arc<RtInner>) -> Option<ReplayRequest> {
                     }
                 }
             },
+            // Future decisions default to continuing; the enum is
+            // non-exhaustive for downstream crates.
+            #[allow(unreachable_patterns)]
+            _ => {}
         }
     }
     merged
@@ -530,12 +701,12 @@ fn run_replay_cycle(
     checkpoint: &Checkpoint,
     request: ReplayRequest,
     faulting: Option<ThreadId>,
-) -> Result<ReplayValidation, RuntimeError> {
+) -> Result<ReplayValidation, Error> {
     if rt.config.mode != RunMode::Record {
-        return Err(RuntimeError::RecordingDisabled);
+        return Err(Error::recording_disabled());
     }
     if let Some(syscall) = rt.epoch.lock().tainted_by {
-        return Err(RuntimeError::UnreplayableEpoch { syscall });
+        return Err(Error::unreplayable_epoch(syscall));
     }
 
     let plan = build_replay_plan(rt, checkpoint, faulting);
@@ -568,6 +739,10 @@ fn run_replay_cycle(
         attempts = attempt;
         Counters::bump(&rt.counters.replay_attempts);
         rt.replay_attempt.store(attempt, Ordering::Release);
+        rt.emit_event(|| SessionEvent::ReplayStarted {
+            epoch: epoch_number,
+            attempt,
+        });
 
         // Rollback (§3.4).
         rt.abort_requested.store(false, Ordering::Release);
@@ -600,6 +775,16 @@ fn run_replay_cycle(
             control.segment_steps = 0;
             control.last_segment_end = None;
             control.awaiting_creation = awaiting;
+            // Reset the life-cycle phase left over from the recorded
+            // segment: a thread that had already *finished* its recorded
+            // segment would otherwise satisfy a replaying `join` before it
+            // re-ran a single step, letting the joiner race ahead of the
+            // re-execution.
+            control.phase = if awaiting {
+                ThreadPhase::Idle
+            } else {
+                ThreadPhase::Parked
+            };
             control.command = Some(Command::Run {
                 // The faulting thread re-runs its final (interrupted) step.
                 target: Some(if expect_fault { target + 1 } else { target }),
@@ -666,7 +851,7 @@ fn run_replay_cycle(
     rt.abort_requested.store(false, Ordering::Release);
     rt.set_phase(match rt.config.mode {
         RunMode::Record => ExecPhase::Recording,
-        RunMode::Passthrough => ExecPhase::Passthrough,
+        _ => ExecPhase::Passthrough,
     });
     for vt in rt.threads.read().iter() {
         vt.list.end_replay();
@@ -678,6 +863,11 @@ fn run_replay_cycle(
     for hook in rt.hooks.read().iter() {
         hook.after_replay(&view, matched, attempts);
     }
+    rt.emit_event(|| SessionEvent::ReplayFinished {
+        epoch: epoch_number,
+        attempts,
+        matched,
+    });
 
     Ok(ReplayValidation {
         epoch: epoch_number,
@@ -781,7 +971,7 @@ impl EpochView for RtEpochView {
         buf
     }
 
-    fn alloc_site(&self, addr: MemAddr) -> Option<Site> {
+    fn alloc_site(&self, addr: MemAddr) -> Option<crate::site::Site> {
         let payload = if self.rt.alloc_sites.lock().contains_key(&addr) {
             addr
         } else {
@@ -791,7 +981,7 @@ impl EpochView for RtEpochView {
         self.rt.sites.resolve(site)
     }
 
-    fn free_site(&self, payload: MemAddr) -> Option<Site> {
+    fn free_site(&self, payload: MemAddr) -> Option<crate::site::Site> {
         let site = self.rt.free_sites.lock().get(&payload).copied()?;
         self.rt.sites.resolve(site)
     }
@@ -922,5 +1112,26 @@ mod tests {
             .unwrap();
         assert!(!report.outcome.is_success());
         assert!(!report.faults.is_empty());
+    }
+
+    #[test]
+    fn a_runtime_is_reusable_after_a_fault() {
+        let runtime = Runtime::new(small_config()).unwrap();
+        let crashed = runtime
+            .run(Program::new("crasher", |ctx| ctx.crash("intentional")))
+            .unwrap();
+        assert!(!crashed.outcome.is_success());
+        let clean = runtime
+            .run(Program::new("clean", |ctx| {
+                let cell = ctx.alloc(16);
+                ctx.write_u64(cell, 7);
+                let value = ctx.read_u64(cell);
+                ctx.assert_that(value == 7, "clean run works");
+                Step::Done
+            }))
+            .unwrap();
+        assert!(clean.outcome.is_success(), "faults: {:?}", clean.faults);
+        // The fault from the first run must not leak into the second report.
+        assert!(clean.faults.is_empty());
     }
 }

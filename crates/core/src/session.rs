@@ -1,0 +1,361 @@
+//! [`Session`]: the live handle to one running program.
+//!
+//! [`crate::Runtime::launch`] hands back a `Session` while the program runs
+//! on background threads.  The handle is the *in-situ* control surface the
+//! paper's long-lived deployment model implies: the caller can watch the
+//! epoch lifecycle ([`Session::status`], [`Session::subscribe`]), steer it
+//! ([`Session::request_replay`] queues a rollback/re-execution for the next
+//! epoch boundary), and finally collect the report ([`Session::wait`]).
+//!
+//! A runtime drives at most one session at a time -- the arena, logs, and
+//! simulated OS are per-process state, exactly as in the original system --
+//! so [`crate::Runtime::launch`] fails with
+//! [`ErrorKind::SessionActive`](crate::ErrorKind) while a previous session
+//! is still running.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::config::RunMode;
+use crate::error::Error;
+use crate::events::{EventFilter, EventStream};
+use crate::hooks::ReplayRequest;
+use crate::program::Program;
+use crate::runtime::{supervise, Runtime};
+use crate::state::{ExecPhase, RtInner};
+use crate::stats::{Counters, RunReport};
+
+/// What the runtime is doing right now, as seen by [`Session::status`].
+///
+/// Marked `#[non_exhaustive]`: new phases may be added; downstream matches
+/// must keep a wildcard arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunPhase {
+    /// Executing directly with no recording ([`RunMode::Passthrough`]).
+    Passthrough,
+    /// Recording the original execution.
+    Recording,
+    /// Rolled back and re-executing the last epoch.
+    Replaying,
+    /// The run is over; [`Session::wait`] will not block.
+    Finished,
+}
+
+/// A point-in-time snapshot of a session, assembled entirely from the
+/// runtime's lock-free atomics -- polling it never contends with the
+/// record fast path or the coordinator.
+///
+/// Marked `#[non_exhaustive]`: new fields may be added.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct SessionStatus {
+    /// Current epoch number (0-based).
+    pub epoch: u64,
+    /// What the runtime is doing right now.
+    pub phase: RunPhase,
+    /// The 1-based number of the replay attempt in flight (0 outside
+    /// replays).
+    pub replay_attempt: u32,
+    /// Total replay attempts performed so far in this run.
+    pub replay_attempts: u64,
+    /// Divergences observed so far in this run.
+    pub divergences: u64,
+    /// Faults recorded so far in this run.
+    pub faults: u64,
+    /// Synchronization events recorded so far in this run.
+    pub sync_events: u64,
+    /// System calls issued so far in this run.
+    pub syscalls: u64,
+}
+
+/// The live handle to one launched program (see the module docs).
+///
+/// The lifetime ties the session to its [`Runtime`], typestate-style: the
+/// runtime cannot be dropped while a session handle is alive.  Dropping the
+/// session *detaches* it -- the run continues on its background threads and
+/// the runtime becomes launchable again once it finishes.
+pub struct Session<'rt> {
+    rt: Arc<RtInner>,
+    shared: Arc<SessionShared>,
+    supervisor: Option<JoinHandle<Result<RunReport, Error>>>,
+    _runtime: PhantomData<&'rt Runtime>,
+}
+
+/// Per-launch state shared between a [`Session`] handle and its supervisor
+/// thread.  It belongs to *this* run only, so a finished session keeps
+/// reporting its own run even after the runtime has moved on to the next
+/// launch.
+pub(crate) struct SessionShared {
+    /// Set once the run is over (after the final status is sealed).
+    pub finished: AtomicBool,
+    /// The status snapshot sealed at the moment of completion, before the
+    /// end-of-run reset zeroes the live counters.
+    pub final_status: Mutex<Option<SessionStatus>>,
+}
+
+impl<'rt> Session<'rt> {
+    pub(crate) fn start(runtime: &'rt Runtime, program: Program) -> Result<Self, Error> {
+        let rt = Arc::clone(&runtime.rt);
+        if rt.poisoned.load(Ordering::Acquire) {
+            return Err(Error::poisoned(rt.poisoned_threads.lock().clone()));
+        }
+        if rt
+            .session_active
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(Error::session_active());
+        }
+        let shared = Arc::new(SessionShared {
+            finished: AtomicBool::new(false),
+            final_status: Mutex::new(None),
+        });
+        let (program_name, main_body) = program.into_parts();
+        let rt_for_supervisor = Arc::clone(&rt);
+        let shared_for_supervisor = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("ireplayer-supervisor".to_owned())
+            .spawn(move || {
+                // The unwind guard keeps the runtime honest even if the
+                // supervisor itself panics: the session flags are always
+                // released (so the process is not bricked into
+                // `SessionActive` forever) and the runtime is poisoned
+                // (its state can no longer be trusted mid-run).
+                let rt = rt_for_supervisor;
+                let shared = shared_for_supervisor;
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
+                    let rt = Arc::clone(&rt);
+                    let shared = Arc::clone(&shared);
+                    move || supervise(rt, shared, program_name, main_body)
+                }));
+                let result = match result {
+                    Ok(result) => result,
+                    Err(_) => {
+                        rt.poison(Vec::new());
+                        // Keep the lifecycle invariants even on this path:
+                        // seal whatever status the runtime shows and send
+                        // the one `Finished` event observers expect per
+                        // launch.
+                        seal_final_status(&rt, &shared);
+                        rt.emit_event(|| crate::events::SessionEvent::Finished {
+                            outcome: crate::stats::RunOutcome::Completed,
+                        });
+                        Err(Error::application_panic(
+                            "the supervisor thread panicked; the runtime is poisoned",
+                        ))
+                    }
+                };
+                shared.finished.store(true, Ordering::Release);
+                rt.session_active.store(false, Ordering::Release);
+                result
+            });
+        match spawned {
+            Ok(handle) => Ok(Session {
+                rt,
+                shared,
+                supervisor: Some(handle),
+                _runtime: PhantomData,
+            }),
+            Err(io) => {
+                rt.session_active.store(false, Ordering::Release);
+                Err(Error::thread_spawn(io))
+            }
+        }
+    }
+
+    /// A lock-free snapshot of the run: epoch number, phase, and the
+    /// divergence/retry/fault counters, streamed from the runtime's
+    /// atomics.  Once the run has finished, the snapshot captured at the
+    /// moment of completion is returned (the live counters are zeroed by
+    /// the end-of-run reset; the status keeps describing *this* run).
+    pub fn status(&self) -> SessionStatus {
+        if self.shared.finished.load(Ordering::Acquire) {
+            if let Some(final_status) = *self.shared.final_status.lock() {
+                return final_status;
+            }
+            // The supervisor panicked before sealing; report what the
+            // runtime shows, with the phase pinned to Finished.
+            let mut status = live_status(&self.rt);
+            status.phase = RunPhase::Finished;
+            return status;
+        }
+        live_status(&self.rt)
+    }
+
+    /// Returns `true` once the run is over and [`Session::wait`] will not
+    /// block for long.
+    ///
+    /// This flips as soon as the run's final status is sealed, an instant
+    /// before the supervisor finishes its teardown -- so a new
+    /// [`crate::Runtime::launch`] issued immediately afterwards may still
+    /// be refused with [`ErrorKind::SessionActive`](crate::ErrorKind) for
+    /// a moment.  [`Session::wait`] is the hard synchronization point.
+    pub fn is_finished(&self) -> bool {
+        self.shared.finished.load(Ordering::Acquire)
+    }
+
+    /// Queues a rollback-and-replay of the current epoch, merged with any
+    /// tool-hook request at the next epoch boundary.  This is the live
+    /// counterpart of a hook returning
+    /// [`EpochDecision::Replay`](crate::EpochDecision): a debugger attached
+    /// to a running process asking "show me that epoch again, watching
+    /// these addresses".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::RecordingDisabled`](crate::ErrorKind) in
+    /// passthrough mode, where there is no recording to replay.
+    pub fn request_replay(&self, request: ReplayRequest) -> Result<(), Error> {
+        if self.rt.config.mode != RunMode::Record {
+            return Err(Error::recording_disabled());
+        }
+        let mut pending = self.rt.pending_replay.lock();
+        match &mut *pending {
+            None => *pending = Some(request),
+            Some(existing) => {
+                existing.watch.extend(request.watch);
+                if existing.reason.is_empty() {
+                    existing.reason = request.reason;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Subscribes a bounded event stream (see [`EventStream`]) filtered to
+    /// the given classes.  The stream outlives the session -- it keeps
+    /// delivering events for later launches on the same runtime until
+    /// dropped.
+    pub fn subscribe(&self, filter: EventFilter) -> EventStream {
+        self.rt.subscribe_events(filter)
+    }
+
+    /// Blocks until the run finishes and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the supervisor's error: quiescence timeouts, poisoning,
+    /// and replay-machinery failures.  A program *fault* is not an error --
+    /// it is reported through [`RunReport::outcome`] (use
+    /// [`RunReport::into_result`] to convert).
+    pub fn wait(mut self) -> Result<RunReport, Error> {
+        let handle = self
+            .supervisor
+            .take()
+            .expect("the supervisor handle is consumed only by wait");
+        match handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(Error::application_panic("the supervisor thread panicked")),
+        }
+    }
+}
+
+/// Assembles a status snapshot from the runtime's live atomics.
+fn live_status(rt: &RtInner) -> SessionStatus {
+    let phase = match rt.phase() {
+        ExecPhase::Passthrough => RunPhase::Passthrough,
+        ExecPhase::Recording => RunPhase::Recording,
+        ExecPhase::Replaying => RunPhase::Replaying,
+    };
+    SessionStatus {
+        epoch: rt.epoch_number(),
+        phase,
+        replay_attempt: rt.replay_attempt.load(Ordering::Acquire),
+        replay_attempts: Counters::get(&rt.counters.replay_attempts),
+        divergences: Counters::get(&rt.counters.divergences),
+        faults: Counters::get(&rt.counters.faults),
+        sync_events: Counters::get(&rt.counters.sync_events),
+        syscalls: Counters::get(&rt.counters.syscalls),
+    }
+}
+
+/// Captures the final status of a run (called by the supervisor right
+/// before the reset zeroes the live counters) and flips the session's
+/// finished flag, so no status reader ever observes the zeroed
+/// in-between state -- and a finished session keeps describing its own
+/// run after later launches reuse the runtime.
+pub(crate) fn seal_final_status(rt: &RtInner, shared: &SessionShared) {
+    let mut sealed = live_status(rt);
+    sealed.phase = RunPhase::Finished;
+    *shared.final_status.lock() = Some(sealed);
+    shared.finished.store(true, Ordering::Release);
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("status", &self.status())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::program::Step;
+
+    fn small_config() -> Config {
+        Config::builder()
+            .arena_size(4 << 20)
+            .heap_block_size(128 << 10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn status_reports_finished_after_wait() {
+        let runtime = Runtime::new(small_config()).unwrap();
+        let session = runtime
+            .launch(Program::new("status", |ctx| {
+                let cell = ctx.alloc(8);
+                ctx.write_u64(cell, 1);
+                Step::Done
+            }))
+            .unwrap();
+        let status = session.status();
+        assert!(matches!(
+            status.phase,
+            RunPhase::Recording | RunPhase::Replaying | RunPhase::Finished
+        ));
+        let report = session.wait().unwrap();
+        assert!(report.outcome.is_success());
+    }
+
+    #[test]
+    fn overlapping_launches_are_rejected() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let runtime = Runtime::new(small_config()).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_for_body = Arc::clone(&stop);
+        let session = runtime
+            .launch(Program::new("looper", move |ctx| {
+                ctx.work(1_000);
+                if stop_for_body.load(Ordering::Acquire) {
+                    Step::Done
+                } else {
+                    Step::Yield
+                }
+            }))
+            .unwrap();
+        // While `looper` runs, a second launch must be refused.
+        let second = runtime.launch(Program::new("second", |_| Step::Done));
+        match second {
+            Err(error) => assert_eq!(error.kind(), crate::ErrorKind::SessionActive),
+            Ok(_) => panic!("a second session must not start while the first is running"),
+        }
+        // Release the looper and collect its report; afterwards the
+        // runtime accepts launches again.
+        stop.store(true, Ordering::Release);
+        let report = session.wait().unwrap();
+        assert!(report.outcome.is_success());
+        let report = runtime.run(Program::new("after", |_| Step::Done)).unwrap();
+        assert!(report.outcome.is_success());
+    }
+}

@@ -53,7 +53,10 @@ impl<'a> RecordSink<'a> {
         if self.vt.list.is_full() {
             // An epoch end is already scheduled, but the event must still
             // be recorded so the epoch stays replayable (cold path, may
-            // allocate and lock).
+            // allocate and lock).  `request_epoch_end` is batched: only the
+            // first request per epoch locks and pokes the world, so a step
+            // that records far past capacity costs one wake-up, not one per
+            // event.
             //
             // SAFETY: `self.vt` is the state of the thread executing this
             // call (a RecordSink is only constructed for the current

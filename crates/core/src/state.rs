@@ -3,19 +3,24 @@
 //! These types are crate-private; the public surface is
 //! [`crate::Runtime`] and [`crate::ThreadCtx`].
 
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use ireplayer_log::{Divergence, ThreadId, ThreadList, VarId, VarList};
-use ireplayer_mem::{Arena, CanaryMap, Globals, HeapConfig, MemAddr, Quarantine, SuperHeap, ThreadHeap, WatchRegistry};
+use ireplayer_mem::{
+    Arena, CanaryMap, Globals, HeapConfig, MemAddr, Quarantine, Span, SuperHeap, SuperHeapState, ThreadHeap,
+    WatchRegistry,
+};
 use ireplayer_sys::SimOs;
 
 use crate::config::{AllocatorMode, Config, RunMode};
+use crate::events::{subscription, EventFilter, EventStream, ObserverSlot, SessionEvent};
 use crate::fault::FaultRecord;
-use crate::hooks::{Instrument, ToolHook};
+use crate::hooks::{Instrument, ReplayRequest, ToolHook};
 use crate::rng::DetRng;
 use crate::site::{SiteId, SiteRegistry};
 use crate::stats::{Counters, WatchHitReport};
@@ -104,9 +109,6 @@ pub(crate) struct ThreadControl {
     pub awaiting_creation: bool,
     /// Whether the parent has joined this thread.
     pub joined: bool,
-    /// Locks currently held (discipline check: must be empty at step
-    /// boundaries).
-    pub held_locks: Vec<VarId>,
 }
 
 impl ThreadControl {
@@ -118,8 +120,99 @@ impl ThreadControl {
             segment_steps: 0,
             awaiting_creation: false,
             joined: false,
-            held_locks: Vec::new(),
         }
+    }
+}
+
+/// The set of locks a thread currently holds (discipline check: must be
+/// empty at step boundaries).
+///
+/// This used to live inside [`ThreadControl`], which put a control-mutex
+/// acquisition on every `lock`/`unlock` fast path.  It is now a
+/// **single-writer** structure with the same discipline as [`ThreadList`]:
+/// only the owning thread pushes and releases (during its own operations),
+/// the coordinator clears at step-boundary quiescence (rollback, reset),
+/// and anyone may read the published count lock-free.
+pub(crate) struct HeldLocks {
+    locks: UnsafeCell<Vec<VarId>>,
+    /// Published length of `locks`, so `is_empty` checks stay lock-free.
+    count: AtomicUsize,
+}
+
+// SAFETY: the vector is only mutated by the owning thread during its own
+// operations, or by the coordinator at step-boundary quiescence; the
+// park/release handshake through the thread's control mutex orders those
+// accesses.  Concurrent readers only load the atomic count.
+#[allow(unsafe_code)]
+unsafe impl Sync for HeldLocks {}
+
+impl HeldLocks {
+    fn new() -> Self {
+        HeldLocks {
+            locks: UnsafeCell::new(Vec::new()),
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns `true` when no locks are held (lock-free; safe from any
+    /// thread).
+    pub fn is_empty(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+
+    /// Records an acquisition of `var`.
+    ///
+    /// # Safety
+    ///
+    /// Only the owning thread may call this, and no [`HeldLocks::clear`]
+    /// may run concurrently (the coordinator clears only at quiescence).
+    #[allow(unsafe_code)]
+    pub unsafe fn push(&self, var: VarId) {
+        // SAFETY: sole mutator per the function contract.
+        #[allow(unsafe_code)]
+        let locks = unsafe { &mut *self.locks.get() };
+        locks.push(var);
+        self.count.store(locks.len(), Ordering::Release);
+    }
+
+    /// Removes the most recent acquisition of `var`, if any.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`HeldLocks::push`]: owning thread only, no
+    /// concurrent clear.
+    #[allow(unsafe_code)]
+    pub unsafe fn release(&self, var: VarId) {
+        // SAFETY: sole mutator per the function contract.
+        #[allow(unsafe_code)]
+        let locks = unsafe { &mut *self.locks.get() };
+        if let Some(position) = locks.iter().rposition(|held| *held == var) {
+            locks.remove(position);
+        }
+        self.count.store(locks.len(), Ordering::Release);
+    }
+
+    /// Drops every recorded acquisition.
+    ///
+    /// # Safety
+    ///
+    /// Coordinator-only at step-boundary quiescence: the owning thread must
+    /// be parked (the park handshake happened-before this call).
+    #[allow(unsafe_code)]
+    pub unsafe fn clear(&self) {
+        // SAFETY: exclusive access per the function contract.
+        #[allow(unsafe_code)]
+        let locks = unsafe { &mut *self.locks.get() };
+        locks.clear();
+        self.count.store(0, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for HeldLocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeldLocks")
+            .field("count", &self.count.load(Ordering::Acquire))
+            .finish()
     }
 }
 
@@ -145,6 +238,9 @@ pub(crate) struct VThread {
     /// The current step performed a side effect (event, write, allocation,
     /// system call); a blocked pristine step may be re-parked safely.
     pub step_dirty: AtomicBool,
+    /// Locks currently held by this thread (single-writer; see
+    /// [`HeldLocks`]).
+    pub held_locks: HeldLocks,
 }
 
 impl VThread {
@@ -154,7 +250,7 @@ impl VThread {
         heap: ThreadHeap,
         rng: DetRng,
         join_var: VarId,
-        events_capacity: usize,
+        list: ThreadList,
         quarantine_budget: usize,
     ) -> Self {
         VThread {
@@ -164,11 +260,12 @@ impl VThread {
             control_cv: Condvar::new(),
             heap: Mutex::new(heap),
             quarantine: Mutex::new(Quarantine::new(quarantine_budget)),
-            list: ThreadList::new(id, events_capacity),
+            list,
             rng: Mutex::new(rng),
             join_var,
             total_steps: AtomicU64::new(0),
             step_dirty: AtomicBool::new(false),
+            held_locks: HeldLocks::new(),
         }
     }
 
@@ -244,12 +341,18 @@ pub(crate) struct SyncVar {
 
 impl SyncVar {
     pub fn new(id: VarId, kind: SyncVarKind) -> Self {
+        SyncVar::with_list(id, kind, VarList::new())
+    }
+
+    /// Builds a sync variable around a recycled [`VarList`], reusing its
+    /// already-allocated chunks (the warm-relaunch pool).
+    pub fn with_list(id: VarId, kind: SyncVarKind, var_list: VarList) -> Self {
         SyncVar {
             id,
             kind,
             state: Mutex::new(SyncState::default()),
             cv: Condvar::new(),
-            var_list: VarList::new(),
+            var_list,
         }
     }
 }
@@ -349,6 +452,53 @@ pub(crate) struct RtInner {
     pub delay_plan_active: AtomicBool,
     pub replay_attempt: AtomicU32,
     pub replay_rng: Mutex<DetRng>,
+
+    // -- session / multi-run state --------------------------------------
+    /// Whether a [`crate::Session`] is currently driving this runtime.
+    pub session_active: AtomicBool,
+    /// Threads a failed teardown could not reclaim; non-empty means the
+    /// runtime refuses further launches.
+    pub poisoned_threads: Mutex<Vec<u32>>,
+    pub poisoned: AtomicBool,
+    /// A replay request queued by [`crate::Session::request_replay`],
+    /// consumed by the coordinator at the next epoch boundary.
+    pub pending_replay: Mutex<Option<ReplayRequest>>,
+    /// Event-stream subscribers; `observers_active` mirrors non-emptiness
+    /// so emission points cost one atomic load when nobody listens.
+    pub observers: Mutex<Vec<ObserverSlot>>,
+    pub observers_active: AtomicBool,
+
+    // -- warm-relaunch pools and reset anchors --------------------------
+    /// Super-heap cursor at construction, restored by the reset path.
+    super_heap_initial: SuperHeapState,
+    /// The managed-globals region, re-anchored by the reset path.
+    globals_region: Span,
+    /// Retired per-thread lists, reused (storage and all) by the next run.
+    pub list_pool: Mutex<Vec<ThreadList>>,
+    /// Retired per-variable lists, reused (chunks and all) by the next run.
+    pub var_pool: Mutex<Vec<VarList>>,
+    /// Reuse/allocation diagnostics (see [`crate::RuntimeDiagnostics`]).
+    pub diag: DiagCounters,
+}
+
+/// Allocation and wake-up diagnostics, exposed through
+/// [`crate::Runtime::diagnostics`] so tests and benches can assert the
+/// warm-relaunch and poke-batching guarantees.
+#[derive(Debug, Default)]
+pub(crate) struct DiagCounters {
+    /// Times the world condition variable was poked (one lock + broadcast).
+    pub world_pokes: AtomicU64,
+    /// Arena backing allocations (bumped once per arena construction;
+    /// growing it would bump again, which the warm-relaunch tests forbid).
+    pub arena_allocations: AtomicU64,
+    /// Per-thread event lists allocated from scratch.
+    pub thread_lists_created: AtomicU64,
+    /// Per-thread event lists recycled from the warm pool.
+    pub thread_lists_reused: AtomicU64,
+    /// Per-variable event lists allocated from scratch.
+    pub var_lists_created: AtomicU64,
+    /// Per-variable event lists recycled from the warm pool.
+    pub var_lists_reused: AtomicU64,
 }
 
 /// Prints a diagnostic line when the `IREPLAYER_TRACE` environment variable
@@ -366,6 +516,10 @@ pub(crate) use rt_trace;
 pub(crate) const CREATION_VAR: VarId = VarId(0);
 pub(crate) const SUPERHEAP_VAR: VarId = VarId(1);
 pub(crate) const REGISTRATION_VAR: VarId = VarId(2);
+/// Number of pre-registered internal sync variables, kept across resets.
+pub(crate) const INTERNAL_SYNC_VARS: usize = 3;
+/// Open-file limit the runtime raises the simulated OS to (§2.2.3).
+pub(crate) const RUNTIME_FD_LIMIT: usize = 1 << 16;
 
 impl RtInner {
     pub fn new(config: Config) -> Self {
@@ -392,8 +546,9 @@ impl RtInner {
             Arc::new(SyncVar::new(REGISTRATION_VAR, SyncVarKind::Internal)),
         ];
         let os = SimOs::new(1000);
-        os.raise_fd_limit(1 << 16);
+        os.raise_fd_limit(RUNTIME_FD_LIMIT);
         let seed = config.seed;
+        let super_heap_initial = super_heap.state();
         RtInner {
             arena,
             super_heap,
@@ -428,6 +583,17 @@ impl RtInner {
             delay_plan_active: AtomicBool::new(false),
             replay_attempt: AtomicU32::new(0),
             replay_rng: Mutex::new(DetRng::new(seed ^ 0xdddd)),
+            session_active: AtomicBool::new(false),
+            poisoned_threads: Mutex::new(Vec::new()),
+            poisoned: AtomicBool::new(false),
+            pending_replay: Mutex::new(None),
+            observers: Mutex::new(Vec::new()),
+            observers_active: AtomicBool::new(false),
+            super_heap_initial,
+            globals_region,
+            list_pool: Mutex::new(Vec::new()),
+            var_pool: Mutex::new(Vec::new()),
+            diag: DiagCounters::default(),
             config,
         }
     }
@@ -496,20 +662,29 @@ impl RtInner {
 
     /// Requests a continue-type epoch end (log full, irrevocable syscall,
     /// explicit request).
+    ///
+    /// Batched: once a stop is pending, further requests return after one
+    /// atomic swap -- no epoch-mutex acquisition and no world poke.  A
+    /// thread recording past its list capacity used to re-request (and
+    /// re-poke) on *every* event until it reached its step boundary; now
+    /// only the first request pays for the wake-up.
     pub fn request_epoch_end(&self, reason: EpochEndReason) {
+        if self.epoch_end_requested.swap(true, Ordering::AcqRel) {
+            return;
+        }
         {
             let mut epoch = self.epoch.lock();
             if epoch.end_reason.is_none() {
                 epoch.end_reason = Some(reason);
             }
         }
-        self.epoch_end_requested.store(true, Ordering::Release);
         self.poke_world();
     }
 
     /// Wakes the supervisor and any thread parked on a sync variable so
     /// that pending flags are observed promptly.
     pub fn poke_world(&self) {
+        Counters::bump(&self.diag.world_pokes);
         self.world_version.fetch_add(1, Ordering::AcqRel);
         let _guard = self.world_lock.lock();
         self.world_cv.notify_all();
@@ -537,13 +712,61 @@ impl RtInner {
         self.sync_table.read().get(id.index()).cloned()
     }
 
-    /// Registers a new sync variable and returns it.
+    /// Registers a new sync variable and returns it, recycling a pooled
+    /// [`VarList`] (chunks and all) when the warm pool has one.
     pub fn register_sync_var(&self, kind: SyncVarKind) -> Arc<SyncVar> {
+        let recycled = self.var_pool.lock().pop();
         let mut table = self.sync_table.write();
         let id = VarId(table.len() as u32);
-        let var = Arc::new(SyncVar::new(id, kind));
+        let var = match recycled {
+            Some(list) => {
+                Counters::bump(&self.diag.var_lists_reused);
+                Arc::new(SyncVar::with_list(id, kind, list))
+            }
+            None => {
+                Counters::bump(&self.diag.var_lists_created);
+                Arc::new(SyncVar::new(id, kind))
+            }
+        };
         table.push(var.clone());
         var
+    }
+
+    /// Builds and registers a new application thread, recycling a pooled
+    /// [`ThreadList`] when the warm pool has one.  The caller spawns the
+    /// backing OS thread; `initial_command` seeds the control block before
+    /// the thread becomes visible (dynamic spawns start running
+    /// immediately, the main thread waits for the first epoch release).
+    pub fn build_vthread(&self, name: String, initial_command: Option<Command>) -> Arc<VThread> {
+        let id = ThreadId(self.threads.read().len() as u32);
+        let join_var = self.register_sync_var(SyncVarKind::Internal).id;
+        let heap = ThreadHeap::new(id.0, self.heap_config());
+        let rng = DetRng::new(self.config.seed).derive(u64::from(id.0));
+        let list = match self.list_pool.lock().pop() {
+            Some(mut list) if list.capacity() == self.config.events_per_thread => {
+                Counters::bump(&self.diag.thread_lists_reused);
+                list.reset_for(id);
+                list
+            }
+            _ => {
+                Counters::bump(&self.diag.thread_lists_created);
+                ThreadList::new(id, self.config.events_per_thread)
+            }
+        };
+        let vt = Arc::new(VThread::new(
+            id,
+            name,
+            heap,
+            rng,
+            join_var,
+            list,
+            self.config.quarantine_bytes,
+        ));
+        if let Some(command) = initial_command {
+            vt.control.lock().command = Some(command);
+        }
+        self.threads.write().push(vt.clone());
+        vt
     }
 
     /// Heap configuration derived from the runtime configuration.
@@ -560,6 +783,132 @@ impl RtInner {
         self.config.allocator == AllocatorMode::PerThread
     }
 
+    /// Subscribes an event stream with the given filter.  Subscriptions
+    /// live on the runtime, so a stream obtained between runs keeps
+    /// delivering events for subsequent launches until it is dropped.
+    pub fn subscribe_events(&self, filter: EventFilter) -> EventStream {
+        let (slot, stream) = subscription(filter);
+        self.observers.lock().push(slot);
+        self.observers_active.store(true, Ordering::Release);
+        stream
+    }
+
+    /// Offers an event to every subscriber.  When nobody is subscribed the
+    /// cost is a single atomic load; the closure builds the event only if
+    /// at least one subscriber exists.
+    pub fn emit_event(&self, make: impl FnOnce() -> SessionEvent) {
+        if !self.observers_active.load(Ordering::Acquire) {
+            return;
+        }
+        let mut observers = self.observers.lock();
+        if observers.is_empty() {
+            self.observers_active.store(false, Ordering::Release);
+            return;
+        }
+        let event = make();
+        observers.retain(|slot| slot.offer(&event));
+        if observers.is_empty() {
+            self.observers_active.store(false, Ordering::Release);
+        }
+    }
+
+    /// Marks the runtime unusable because `stuck_threads` never settled.
+    pub fn poison(&self, stuck_threads: Vec<u32>) {
+        *self.poisoned_threads.lock() = stuck_threads;
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Resets every run-scoped structure back to the state a freshly
+    /// constructed runtime would have, *without* re-allocating warm
+    /// storage: the arena keeps its backing memory (its used prefix is
+    /// wiped), retired [`ThreadList`]s and [`VarList`]s go into pools the
+    /// next run draws from, and the simulated OS keeps its object but
+    /// reboots its tables.
+    ///
+    /// Coordinator-only, after every application OS thread has been joined
+    /// -- the same quiescence contract as the epoch-begin reset, extended
+    /// to the whole run (the end-of-run teardown *is* a reset to
+    /// quiescence).
+    pub fn reset_to_quiescence(&self) {
+        // Harvest per-thread lists into the warm pool.  After the join
+        // barrier the `threads` vector holds the only reference to each
+        // VThread, so the unwrap normally succeeds; a straggling reference
+        // just forfeits that list's storage.
+        let threads: Vec<Arc<VThread>> = std::mem::take(&mut *self.threads.write());
+        {
+            let mut pool = self.list_pool.lock();
+            for vt in threads {
+                if let Ok(vt) = Arc::try_unwrap(vt) {
+                    pool.push(vt.list);
+                }
+            }
+        }
+
+        // Keep the pre-registered internal sync variables (reset in place),
+        // harvest the rest's var-lists into the warm pool.
+        let retired: Vec<Arc<SyncVar>> = {
+            let mut table = self.sync_table.write();
+            let retired = table.split_off(INTERNAL_SYNC_VARS);
+            for var in table.iter() {
+                var.state.lock().reset();
+                var.var_list.clear();
+            }
+            retired
+        };
+        {
+            let mut pool = self.var_pool.lock();
+            for var in retired {
+                if let Ok(var) = Arc::try_unwrap(var) {
+                    var.var_list.clear();
+                    pool.push(var.var_list);
+                }
+            }
+        }
+
+        // Managed memory: wipe the prefix the finished run touched and
+        // rewind the allocators.  No backing storage is re-allocated.
+        let globals_end = self.globals_region.addr.as_usize() + self.globals_region.len as usize;
+        let upto = self.super_heap.high_water().as_usize().max(globals_end);
+        self.arena.wipe(upto);
+        self.super_heap.restore(self.super_heap_initial);
+        *self.global_heap.lock() = ThreadHeap::new(u32::MAX, self.heap_config());
+        *self.globals.lock() = Globals::new(self.globals_region);
+
+        // Simulated OS: reboot the kernel tables, keep the object.
+        self.os.reset();
+        self.os.raise_fd_limit(RUNTIME_FD_LIMIT);
+
+        // Detector and diagnosis state.
+        *self.canaries.lock() = CanaryMap::new();
+        self.alloc_sites.lock().clear();
+        self.free_sites.lock().clear();
+        self.pending_canary_evidence.lock().clear();
+        self.pending_uaf_evidence.lock().clear();
+        self.watch.lock().clear();
+        self.watch_active.store(false, Ordering::Release);
+
+        // Epoch and replay machinery.
+        *self.epoch.lock() = EpochShared::default();
+        self.epoch_number.store(0, Ordering::Release);
+        self.tainted.store(false, Ordering::Release);
+        self.epoch_end_requested.store(false, Ordering::Release);
+        self.abort_requested.store(false, Ordering::Release);
+        self.replay_attempt.store(0, Ordering::Release);
+        self.delay_plan.lock().clear();
+        self.delay_plan_active.store(false, Ordering::Release);
+        *self.pending_replay.lock() = None;
+        *self.replay_rng.lock() = DetRng::new(self.config.seed ^ 0xdddd);
+
+        // Per-run statistics restart from zero so every launch reports the
+        // same numbers a fresh runtime would.
+        self.counters.reset();
+
+        self.set_phase(match self.config.mode {
+            RunMode::Passthrough => ExecPhase::Passthrough,
+            RunMode::Record => ExecPhase::Recording,
+        });
+    }
+
     /// Registers a fault, requests an abort of the current execution, and
     /// unwinds the faulting step.  This is the analogue of a signal handler
     /// intercepting `SIGSEGV`/`SIGABRT` (§3.4): the coordinator decides
@@ -571,7 +920,6 @@ impl RtInner {
             site: site.and_then(|s| self.sites.resolve(s)),
             epoch: self.epoch_number(),
         };
-        self.epoch.lock().faults.push(record);
         // During a diagnostic replay, the thread that faulted originally is
         // *expected* to fault again; its fault ends its own segment without
         // aborting the other threads, which still need to finish replaying
@@ -583,6 +931,14 @@ impl RtInner {
                 .command
                 .map(|c| matches!(c, Command::Run { expect_fault: true, .. }))
                 .unwrap_or(false);
+        // The expected re-occurrence is the *same* logical fault, not a new
+        // one: it still enters the epoch record (the replay-success check
+        // counts it), but the status counter and observers see one fault.
+        if !expected {
+            Counters::bump(&self.counters.faults);
+            self.emit_event(|| SessionEvent::Faulted { fault: record.clone() });
+        }
+        self.epoch.lock().faults.push(record);
         if !expected {
             self.abort_requested.store(true, Ordering::Release);
         }

@@ -103,6 +103,43 @@ impl RunReport {
             .iter()
             .all(|v| v.matched && v.image_diff.map(|d| d.is_identical()).unwrap_or(true))
     }
+
+    /// A digest over every *deterministic* field of the report -- all of
+    /// them except `wall_time`.  Two runs of the same program under the
+    /// same configuration and seed produce the same fingerprint, whether
+    /// they ran on a fresh runtime or back-to-back on a reused one; tests
+    /// use this to assert that warm relaunches are observationally
+    /// identical to cold runs.
+    pub fn fingerprint(&self) -> u64 {
+        let deterministic = (
+            (&self.program, &self.outcome, self.epochs, self.threads),
+            (
+                self.sync_events,
+                self.syscalls,
+                self.allocations,
+                self.frees,
+                self.bytes_allocated,
+            ),
+            (self.replay_attempts, self.divergences, self.final_heap_hash),
+            (&self.replay_validations, &self.watch_hits, &self.faults),
+        );
+        let rendered = format!("{deterministic:?}");
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in rendered.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Converts a faulted outcome into an [`crate::Error`] of kind
+    /// [`crate::ErrorKind::Faulted`], passing completed runs through.
+    pub fn into_result(self) -> Result<RunReport, crate::error::Error> {
+        match &self.outcome {
+            RunOutcome::Completed => Ok(self),
+            RunOutcome::Faulted(fault) => Err(crate::error::Error::faulted(fault.clone())),
+        }
+    }
 }
 
 /// Internal atomic counters, aggregated into a [`RunReport`] at the end of a
@@ -117,6 +154,7 @@ pub(crate) struct Counters {
     pub replay_attempts: AtomicU64,
     pub divergences: AtomicU64,
     pub epochs: AtomicU64,
+    pub faults: AtomicU64,
 }
 
 impl Counters {
@@ -130,6 +168,24 @@ impl Counters {
 
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+
+    /// Restarts every per-run statistic (the warm-relaunch reset, run at
+    /// end-of-run quiescence).
+    pub fn reset(&self) {
+        for counter in [
+            &self.sync_events,
+            &self.syscalls,
+            &self.allocations,
+            &self.frees,
+            &self.bytes_allocated,
+            &self.replay_attempts,
+            &self.divergences,
+            &self.epochs,
+            &self.faults,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
     }
 }
 

@@ -165,12 +165,16 @@ pub(crate) fn signal_divergence(rt: &RtInner, vt: &VThread, kind: DivergenceKind
     let attempt = rt.replay_attempt.load(Ordering::Acquire);
     crate::state::rt_trace!("{:?} divergence at index {at_index}: {kind:?}", vt.id);
     Counters::bump(&rt.counters.divergences);
-    rt.epoch.lock().divergences.push(Divergence {
+    let record = Divergence {
         thread: vt.id,
         at_index,
         attempt,
         kind,
+    };
+    rt.emit_event(|| crate::events::SessionEvent::Diverged {
+        divergence: record.clone(),
     });
+    rt.epoch.lock().divergences.push(record);
     rt.abort_requested.store(true, Ordering::Release);
     rt.poke_world();
     unwind_with(UnwindSignal::EpochAbort)
@@ -307,7 +311,13 @@ pub(crate) fn mutex_lock(rt: &RtInner, vt: &VThread, var: &SyncVar) {
             }
         }
     }
-    vt.control.lock().held_locks.push(var.id);
+    // SAFETY: `vt` is the state of the thread executing this operation, the
+    // sole writer of its own held-locks set; coordinator clears happen only
+    // at quiescence, when no thread is inside an operation.
+    #[allow(unsafe_code)]
+    unsafe {
+        vt.held_locks.push(var.id);
+    }
 }
 
 /// Mutex try-acquisition; returns whether the lock was obtained.
@@ -325,7 +335,12 @@ pub(crate) fn mutex_trylock(rt: &RtInner, vt: &VThread, var: &SyncVar) -> bool {
                 raw_lock(rt, vt, var);
                 var.var_list.advance();
                 var.cv.notify_all();
-                vt.control.lock().held_locks.push(var.id);
+                // SAFETY: owner-thread append to its own held-locks set; no
+                // concurrent clear outside quiescence.
+                #[allow(unsafe_code)]
+                unsafe {
+                    vt.held_locks.push(var.id);
+                }
             }
             replay_advance_thread(vt);
             recorded
@@ -356,7 +371,12 @@ pub(crate) fn mutex_trylock(rt: &RtInner, vt: &VThread, var: &SyncVar) -> bool {
                 }
             }
             if acquired {
-                vt.control.lock().held_locks.push(var.id);
+                // SAFETY: owner-thread append to its own held-locks set; no
+                // concurrent clear outside quiescence.
+                #[allow(unsafe_code)]
+                unsafe {
+                    vt.held_locks.push(var.id);
+                }
             }
             acquired
         }
@@ -367,9 +387,11 @@ pub(crate) fn mutex_trylock(rt: &RtInner, vt: &VThread, var: &SyncVar) -> bool {
 /// program order, and across threads the next acquisition is what matters.
 pub(crate) fn mutex_unlock(_rt: &RtInner, vt: &VThread, var: &SyncVar) {
     raw_unlock(var);
-    let mut control = vt.control.lock();
-    if let Some(pos) = control.held_locks.iter().rposition(|v| *v == var.id) {
-        control.held_locks.remove(pos);
+    // SAFETY: owner-thread removal from its own held-locks set; no
+    // concurrent clear outside quiescence.
+    #[allow(unsafe_code)]
+    unsafe {
+        vt.held_locks.release(var.id);
     }
 }
 

@@ -19,7 +19,7 @@
 //! the same evidence into a [`PreventionPlan`] that hardens the next
 //! deployment's configuration (delayed frees, padded allocations).
 //!
-//! All of these are [`ToolHook`]s; attach them to a [`ireplayer::Runtime`]
+//! All of these are [`ireplayer::ToolHook`]s; attach them to a [`ireplayer::Runtime`]
 //! with [`ireplayer::Runtime::add_hook`].  The overflow detector requires
 //! canaries to be enabled in the runtime configuration, and the
 //! use-after-free detector requires a non-zero quarantine budget;

@@ -24,7 +24,7 @@ use crate::report::{BugKind, BugReport, Culprit};
 /// use ireplayer::{Program, Runtime, Step};
 /// use ireplayer_detect::{detection_config, OverflowDetector};
 ///
-/// # fn main() -> Result<(), ireplayer::RuntimeError> {
+/// # fn main() -> Result<(), ireplayer::Error> {
 /// let config = detection_config()
 ///     .arena_size(8 << 20)
 ///     .heap_block_size(128 << 10)

@@ -171,7 +171,7 @@ impl std::fmt::Display for PreventionPlan {
 /// use ireplayer::{Program, Runtime, Step};
 /// use ireplayer_detect::{detection_config, PreventionAdvisor};
 ///
-/// # fn main() -> Result<(), ireplayer::RuntimeError> {
+/// # fn main() -> Result<(), ireplayer::Error> {
 /// let config = detection_config()
 ///     .arena_size(8 << 20)
 ///     .heap_block_size(128 << 10)

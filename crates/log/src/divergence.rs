@@ -15,7 +15,12 @@ use serde::{Deserialize, Serialize};
 use crate::event::{EventKind, ThreadId};
 
 /// The ways a re-execution can depart from the recorded schedule.
+///
+/// Marked `#[non_exhaustive]`: new divergence classes may be added as the
+/// runtime learns to detect more unrecorded effects, and downstream matches
+/// must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum DivergenceKind {
     /// The thread attempted an operation that differs from the next recorded
     /// event (different variable, operation, or syscall).

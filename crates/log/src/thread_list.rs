@@ -148,6 +148,21 @@ impl ThreadList {
         self.thread
     }
 
+    /// The number of pre-allocated entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears the list and re-binds it to `thread`, reusing the backing
+    /// slot storage.  The runtime's warm-relaunch path recycles retired
+    /// lists through this method so that back-to-back runs perform no
+    /// per-thread log allocation (`&mut` proves exclusive access, so no
+    /// single-writer contract is involved).
+    pub fn reset_for(&mut self, thread: ThreadId) {
+        self.clear_mut();
+        self.thread = thread;
+    }
+
     /// Number of recorded events (published prefix plus spilled entries).
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Acquire) + self.spilled.load(Ordering::Acquire)

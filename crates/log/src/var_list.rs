@@ -121,6 +121,15 @@ impl VarList {
         self.tail.load(Ordering::Acquire)
     }
 
+    /// Number of backing chunks this list has allocated so far.  Chunks are
+    /// never freed while the list lives -- [`VarList::clear`] keeps them for
+    /// the next epoch, and the runtime's warm-relaunch pool keeps them for
+    /// the next run -- so a stable count across runs proves the record path
+    /// performed no storage allocation.
+    pub fn allocated_chunks(&self) -> usize {
+        self.chunks.iter().filter(|chunk| chunk.get().is_some()).count()
+    }
+
     /// Returns `true` if no operations were recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

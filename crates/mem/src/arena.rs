@@ -155,6 +155,19 @@ impl Arena {
         Ok(())
     }
 
+    /// Zeroes the first `upto` bytes of the arena (clamped to its size).
+    ///
+    /// This is the warm-relaunch reset: the runtime wipes the prefix a
+    /// finished run touched so the next run observes the same zero-filled
+    /// memory a freshly constructed arena would provide, without
+    /// re-allocating the backing storage.  The caller guarantees no
+    /// application thread runs concurrently.
+    pub fn wipe(&self, upto: usize) {
+        for slot in self.bytes.iter().take(upto) {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Copies `len` bytes from `src` to `dst` within the arena.
     ///
     /// The copy is not atomic; concurrent writers may interleave, as with a

@@ -42,6 +42,15 @@ impl VirtualClock {
     pub fn readings(&self) -> u64 {
         self.ticks.load(Ordering::Relaxed)
     }
+
+    /// Resets the reading counter to zero (runtime warm-relaunch path).
+    ///
+    /// The real-time component keeps advancing -- wall time cannot be
+    /// rolled back -- so readings remain monotonically increasing across
+    /// the reset; only the per-run tick count starts over.
+    pub fn reset(&self) {
+        self.ticks.store(0, Ordering::Relaxed);
+    }
 }
 
 impl Default for VirtualClock {

@@ -69,6 +69,34 @@ impl SimOs {
         }
     }
 
+    /// Resets the simulated kernel to its boot state, keeping the current
+    /// open-file limit.
+    ///
+    /// The runtime's warm-relaunch path calls this between runs so that a
+    /// reused [`SimOs`] hands out the same file descriptors, socket ids,
+    /// mapping addresses, and child pids as a freshly constructed one.
+    /// Staged files and registered network peers are dropped -- each run
+    /// stages its own inputs.  The virtual clock's tick counter restarts,
+    /// though its real-time component keeps advancing (wall time cannot be
+    /// rolled back).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        let limit = inner.fds.limit();
+        let pid = inner.pid;
+        let mut fds = FdTable::new(DEFAULT_FD_LIMIT);
+        fds.raise_limit(limit);
+        *inner = OsInner {
+            vfs: Vfs::new(),
+            fds,
+            net: NetSim::new(),
+            mmap: MmapTable::new(1 << 40),
+            pid,
+            next_child_pid: pid + 1,
+        };
+        drop(inner);
+        self.clock.reset();
+    }
+
     // ------------------------------------------------------------------
     // Workload staging helpers (not system calls).
     // ------------------------------------------------------------------

@@ -11,7 +11,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use ireplayer::{Config, MemAddr, PeerScript, Program, Runtime, RuntimeError, Span, Step};
+use ireplayer::{Config, Error, MemAddr, PeerScript, Program, Runtime, Span, Step};
 use ireplayer_detect::ReplayDebugger;
 
 /// A tiny shared cell between the program closure and the debugger callback
@@ -29,7 +29,7 @@ impl Cell {
     }
 }
 
-fn main() -> Result<(), RuntimeError> {
+fn main() -> Result<(), Error> {
     let config = Config::builder()
         .arena_size(16 << 20)
         .heap_block_size(256 << 10)

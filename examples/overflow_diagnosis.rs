@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run -p ireplayer --example overflow_diagnosis`
 
-use ireplayer::{Program, Runtime, RuntimeError, Step};
+use ireplayer::{Error, Program, Runtime, Step};
 use ireplayer_detect::{detection_config, OverflowDetector};
 
-fn main() -> Result<(), RuntimeError> {
+fn main() -> Result<(), Error> {
     let config = detection_config()
         .arena_size(16 << 20)
         .heap_block_size(256 << 10)

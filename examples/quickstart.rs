@@ -1,47 +1,16 @@
-//! Quick start: record a small multithreaded program, then force one
-//! rollback and verify that the re-execution is identical.
+//! Quick start: record a small multithreaded program on a reusable
+//! runtime, watch its epoch lifecycle live through a session, force one
+//! rollback, and verify that the re-execution is identical.
 //!
 //! Run with: `cargo run -p ireplayer --example quickstart`
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use ireplayer::{Config, Error, EventFilter, Program, ReplayRequest, Runtime, SessionEvent, Step};
 
-use ireplayer::{Config, EpochDecision, EpochView, Program, ReplayRequest, Runtime, RuntimeError, Step, ToolHook};
-
-/// A tool hook that asks for exactly one validation replay at the end of the
-/// run -- the simplest possible use of the in-situ replay machinery.
-struct ValidateOnce {
-    requested: AtomicBool,
-}
-
-impl ToolHook for ValidateOnce {
-    fn name(&self) -> &str {
-        "validate-once"
-    }
-
-    fn at_epoch_end(&self, _view: &dyn EpochView) -> EpochDecision {
-        if self.requested.swap(true, Ordering::SeqCst) {
-            EpochDecision::Continue
-        } else {
-            EpochDecision::Replay(ReplayRequest::because("quickstart validation"))
-        }
-    }
-}
-
-fn main() -> Result<(), RuntimeError> {
-    let config = Config::builder()
-        .arena_size(16 << 20)
-        .heap_block_size(256 << 10)
-        .build()?;
-    let runtime = Runtime::new(config)?;
-    runtime.add_hook(Arc::new(ValidateOnce {
-        requested: AtomicBool::new(false),
-    }));
-
+fn sum_program(round: u64) -> Program {
     // Four worker threads each append work into a shared accumulator under a
     // lock; the main thread checks the total.  Everything the program does
     // -- allocation, locking, the clock read -- is recorded.
-    let program = Program::new("quickstart", |ctx| {
+    Program::new("quickstart", move |ctx| {
         let total = ctx.global("total", 8);
         let lock = ctx.mutex();
         let mut workers = Vec::new();
@@ -64,27 +33,75 @@ fn main() -> Result<(), RuntimeError> {
         }
         let when = ctx.now_ns();
         let total_value = ctx.read_u64(total);
-        println!("[app] total = {total_value} at t={when}");
+        println!("[app] round {round}: total = {total_value} at t={when}");
         Step::Done
-    });
+    })
+}
 
-    let report = runtime.run(program)?;
-    println!("outcome:           {:?}", report.outcome);
-    println!("threads:           {}", report.threads);
-    println!("sync events:       {}", report.sync_events);
-    println!("replay attempts:   {}", report.replay_attempts);
-    for validation in &report.replay_validations {
-        println!(
-            "replay of epoch {}: matched={} image-diff={}",
-            validation.epoch,
-            validation.matched,
-            validation
-                .image_diff
-                .map(|d| d.to_string())
-                .unwrap_or_else(|| "n/a".to_owned())
-        );
+fn main() -> Result<(), Error> {
+    let config = Config::builder()
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .build()?;
+    // One warm runtime serves every round; nothing is reconstructed
+    // between launches.
+    let runtime = Runtime::new(config)?;
+
+    for round in 0..2u64 {
+        let session = runtime.launch(sum_program(round))?;
+
+        // Observe the run live: a bounded event stream plus a lock-free
+        // status snapshot.
+        let events = session.subscribe(EventFilter::none().epochs().replays());
+        let status = session.status();
+        println!("[session] round {round} launched in phase {:?}", status.phase);
+
+        // Steer the run live: ask for one validation replay at the next
+        // epoch boundary -- the simplest possible use of the in-situ
+        // replay machinery (no tool hook required).
+        session.request_replay(ReplayRequest::because("quickstart validation"))?;
+
+        let report = session.wait()?;
+        for event in events.drain() {
+            match event {
+                SessionEvent::EpochBegan { epoch } => println!("[events] epoch {epoch} began"),
+                SessionEvent::EpochEnded { epoch } => println!("[events] epoch {epoch} ended"),
+                SessionEvent::ReplayStarted { epoch, attempt } => {
+                    println!("[events] replaying epoch {epoch}, attempt {attempt}")
+                }
+                SessionEvent::ReplayFinished {
+                    epoch,
+                    attempts,
+                    matched,
+                } => {
+                    println!("[events] replay of epoch {epoch} finished: attempts={attempts} matched={matched}")
+                }
+                other => println!("[events] {other:?}"),
+            }
+        }
+        println!("outcome:           {:?}", report.outcome);
+        println!("threads:           {}", report.threads);
+        println!("sync events:       {}", report.sync_events);
+        println!("replay attempts:   {}", report.replay_attempts);
+        for validation in &report.replay_validations {
+            println!(
+                "replay of epoch {}: matched={} image-diff={}",
+                validation.epoch,
+                validation.matched,
+                validation
+                    .image_diff
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "n/a".to_owned())
+            );
+        }
+        assert!(report.replays_identical());
+        println!("identical in-situ replay confirmed\n");
     }
-    assert!(report.replays_identical());
-    println!("identical in-situ replay confirmed");
+
+    let diag = runtime.diagnostics();
+    println!(
+        "warm reuse: arena allocated {} time(s), thread lists created {} / reused {}",
+        diag.arena_allocations, diag.thread_lists_created, diag.thread_lists_reused
+    );
     Ok(())
 }

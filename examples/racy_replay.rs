@@ -8,23 +8,27 @@
 //!
 //! Run with: `cargo run -p ireplayer --example racy_replay`
 
-use ireplayer::{Config, Runtime, RuntimeError};
+use ireplayer::{Config, Error, Runtime};
 use ireplayer_workloads::{Crasher, Workload, WorkloadSpec};
 
-fn main() -> Result<(), RuntimeError> {
+fn main() -> Result<(), Error> {
     let crasher = Crasher::table2();
     let spec = WorkloadSpec::tiny();
+
+    // One warm runtime hosts every execution: each run resets to
+    // quiescence and reuses the arena and log storage of the previous one,
+    // which is exactly the long-lived in-situ deployment the paper targets.
+    let config = Config::builder()
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .max_replay_attempts(16)
+        .build()?;
+    let runtime = Runtime::new(config)?;
 
     let mut crashes = 0u32;
     let mut reproduced_first_try = 0u32;
     let runs = 10;
     for run in 0..runs {
-        let config = Config::builder()
-            .arena_size(16 << 20)
-            .heap_block_size(256 << 10)
-            .max_replay_attempts(16)
-            .build()?;
-        let runtime = Runtime::new(config)?;
         crasher.stage(&runtime, &spec);
         let report = runtime.run(crasher.program(&spec))?;
 

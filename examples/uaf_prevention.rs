@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run -p ireplayer --example uaf_prevention`
 
-use ireplayer::{Program, Runtime, RuntimeError, Step};
+use ireplayer::{Error, Program, Runtime, Step};
 use ireplayer_detect::{detection_config, PreventionAdvisor, UseAfterFreeDetector};
 
 fn buggy_cache_program() -> Program {
@@ -54,7 +54,7 @@ fn buggy_cache_program() -> Program {
     })
 }
 
-fn main() -> Result<(), RuntimeError> {
+fn main() -> Result<(), Error> {
     // First deployment: detectors plus the prevention advisor.
     let config = detection_config()
         .arena_size(16 << 20)

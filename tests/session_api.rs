@@ -1,0 +1,460 @@
+//! The session-based public API: reusable runtimes, live replay control,
+//! warm-relaunch storage reuse, and the unified error taxonomy.
+//!
+//! Acceptance properties exercised here:
+//!
+//! * one `Runtime` runs several programs back-to-back via `Session`
+//!   handles, with reports identical (modulo wall time) to fresh-runtime
+//!   runs -- including a forced-replay scenario;
+//! * a warm relaunch performs **zero** re-allocation of backing storage:
+//!   no new arena, no new per-thread lists, no new per-variable chunks;
+//! * each layer's failure surfaces as `ireplayer::Error` with the right
+//!   `ErrorKind`, and no panic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ireplayer::{
+    Config, EpochDecision, EpochView, Error, ErrorKind, EventFilter, MemError, Program, ReplayRequest, RunPhase,
+    Runtime, RuntimeDiagnostics, SessionEvent, Step, SysError, ToolHook,
+};
+
+fn small_config() -> Config {
+    Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(256 << 10)
+        .build()
+        .unwrap()
+}
+
+/// A deterministic multithreaded program: workers bump a locked counter,
+/// the main thread allocates, does file I/O on a staged input, and checks
+/// the total.  Every run of it (fresh or warm) records the same event
+/// counts and produces the same heap image.
+fn deterministic_program() -> Program {
+    Program::new("session-determinism", |ctx| {
+        let total = ctx.global("total", 8);
+        let lock = ctx.mutex();
+        let scratch = ctx.alloc(512);
+        ctx.fill(scratch, 512, 0xa5);
+
+        let fd = ctx.open("input.bin").expect("staged file");
+        let data = ctx.read(fd, 16);
+        ctx.write_u64(scratch, data.len() as u64);
+        ctx.close(fd);
+
+        let mut workers = Vec::new();
+        for _ in 0..3u64 {
+            workers.push(ctx.spawn("worker", move |ctx| {
+                ctx.lock(lock);
+                let value = ctx.read_u64(total);
+                ctx.write_u64(total, value + 1);
+                ctx.unlock(lock);
+                Step::Done
+            }));
+        }
+        for worker in workers {
+            ctx.join(worker);
+        }
+        let value = ctx.read_u64(total);
+        ctx.assert_that(value == 3, "all workers incremented");
+        ctx.free(scratch);
+        Step::Done
+    })
+}
+
+fn stage(runtime: &Runtime) {
+    runtime.os().create_file("input.bin", vec![7u8; 64]);
+}
+
+/// Requests one validation replay at every epoch end: the forced-replay
+/// scenario of the reuse acceptance test.  Stateless, so it behaves
+/// identically on every run it is attached to.
+struct ValidateAlways;
+
+impl ToolHook for ValidateAlways {
+    fn name(&self) -> &str {
+        "validate-always"
+    }
+
+    fn at_epoch_end(&self, _view: &dyn EpochView) -> EpochDecision {
+        EpochDecision::Replay(ReplayRequest::because("session-api validation"))
+    }
+}
+
+fn fresh_run(with_replay_hook: bool) -> ireplayer::RunReport {
+    let runtime = Runtime::new(small_config()).unwrap();
+    if with_replay_hook {
+        runtime.add_hook(Arc::new(ValidateAlways));
+    }
+    stage(&runtime);
+    runtime.run(deterministic_program()).unwrap()
+}
+
+#[test]
+fn one_runtime_runs_three_programs_with_reports_identical_to_fresh_runs() {
+    // Scenarios: two plain runs and one forced-replay run, all on one
+    // runtime -- compared against fresh-runtime baselines.
+    let baseline_plain = fresh_run(false);
+    let baseline_replay = fresh_run(true);
+    assert!(baseline_plain.outcome.is_success());
+    assert!(baseline_replay.outcome.is_success());
+    assert!(
+        !baseline_replay.replay_validations.is_empty(),
+        "the hook must force at least one replay"
+    );
+    assert!(baseline_replay.replays_identical());
+
+    let runtime = Runtime::new(small_config()).unwrap();
+    let mut warm_reports = Vec::new();
+    for _ in 0..3 {
+        stage(&runtime);
+        let session = runtime.launch(deterministic_program()).unwrap();
+        warm_reports.push(session.wait().unwrap());
+    }
+
+    for warm in &warm_reports {
+        assert!(warm.outcome.is_success(), "faults: {:?}", warm.faults);
+        // Byte-identical modulo wall time: equalize the one nondeterministic
+        // field, then compare whole structs, and cross-check with the
+        // deterministic fingerprint.
+        let mut normalized = warm.clone();
+        normalized.wall_time = baseline_plain.wall_time;
+        assert_eq!(normalized, baseline_plain);
+        assert_eq!(warm.fingerprint(), baseline_plain.fingerprint());
+    }
+
+    // Forced-replay scenario on the same (already twice-used) runtime.
+    runtime.add_hook(Arc::new(ValidateAlways));
+    stage(&runtime);
+    let warm_replay = runtime.launch(deterministic_program()).unwrap().wait().unwrap();
+    let mut normalized = warm_replay.clone();
+    normalized.wall_time = baseline_replay.wall_time;
+    assert_eq!(normalized, baseline_replay);
+    assert_eq!(warm_replay.fingerprint(), baseline_replay.fingerprint());
+}
+
+#[test]
+fn warm_relaunch_reallocates_no_backing_storage() {
+    let runtime = Runtime::new(small_config()).unwrap();
+
+    // Warm the pools: the first launch allocates the lists; the second may
+    // still fault in one lazily-allocated chunk where the pool rotation
+    // hands a never-touched var list to a variable that records (chunk
+    // placement reaches steady state here).
+    for _ in 0..2 {
+        stage(&runtime);
+        runtime.run(deterministic_program()).unwrap();
+    }
+    let warm: RuntimeDiagnostics = runtime.diagnostics();
+    assert_eq!(warm.arena_allocations, 1);
+    assert!(warm.thread_lists_created >= 4, "main + 3 workers allocate lists");
+    assert!(warm.thread_lists_reused >= 4, "the first relaunch draws from the pool");
+
+    // Two more warm relaunches: zero new arena allocations, zero new
+    // per-thread lists, zero new per-variable lists or chunks --
+    // everything is served from the pools.
+    for _ in 0..2 {
+        stage(&runtime);
+        runtime.run(deterministic_program()).unwrap();
+    }
+    let after: RuntimeDiagnostics = runtime.diagnostics();
+    assert_eq!(
+        after.arena_allocations, warm.arena_allocations,
+        "no arena re-allocation"
+    );
+    assert_eq!(
+        after.thread_lists_created, warm.thread_lists_created,
+        "no new per-thread list storage on warm relaunch"
+    );
+    assert_eq!(
+        after.var_lists_created, warm.var_lists_created,
+        "no new per-variable list storage on warm relaunch"
+    );
+    assert_eq!(
+        after.var_chunks_allocated, warm.var_chunks_allocated,
+        "no new per-variable chunks on warm relaunch"
+    );
+    assert!(
+        after.thread_lists_reused >= warm.thread_lists_reused + 8,
+        "relaunches must draw lists from the warm pool"
+    );
+    assert!(
+        after.var_lists_reused > warm.var_lists_reused,
+        "relaunches must draw var lists from the warm pool"
+    );
+}
+
+#[test]
+fn sessions_expose_status_events_and_live_replay_control() {
+    let runtime = Runtime::new(small_config()).unwrap();
+    // Subscribe before launching so even the first epoch (which can begin
+    // within microseconds of the launch) is captured.
+    let events = runtime.subscribe(EventFilter::none().epochs().replays().lifecycle());
+
+    // The program does its recorded work, then idles on a gate: the test
+    // provably queues its replay request before the final epoch closes.
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_for_body = Arc::clone(&gate);
+    let session = runtime
+        .launch(Program::new("live-control", move |ctx| {
+            // The "already worked" flag lives in managed memory so a
+            // rollback rewinds it and the replay re-records the same
+            // events (closure-captured state would not be rolled back).
+            let worked = ctx.global("worked", 8);
+            if ctx.read_u64(worked) == 0 {
+                ctx.write_u64(worked, 1);
+                let cell = ctx.global("cell", 8);
+                let lock = ctx.mutex();
+                ctx.lock(lock);
+                let value = ctx.read_u64(cell);
+                ctx.write_u64(cell, value + 1);
+                ctx.unlock(lock);
+            }
+            if gate_for_body.load(Ordering::Acquire) {
+                Step::Done
+            } else {
+                Step::Yield
+            }
+        }))
+        .unwrap();
+
+    // Live status streams from the runtime's atomics.
+    let status = session.status();
+    assert!(matches!(
+        status.phase,
+        RunPhase::Recording | RunPhase::Replaying | RunPhase::Finished
+    ));
+
+    // Live replay control: ask the running session for a diagnostic
+    // replay; the coordinator honours it at the next epoch boundary.
+    session
+        .request_replay(ReplayRequest::because("live validation"))
+        .unwrap();
+    gate.store(true, Ordering::Release);
+
+    let report = session.wait().unwrap();
+    assert!(report.outcome.is_success());
+    assert!(
+        !report.replay_validations.is_empty(),
+        "the live replay request must force a replay cycle"
+    );
+    assert!(report.replays_identical());
+
+    let drained = events.drain();
+    assert!(
+        drained.iter().any(|e| matches!(e, SessionEvent::EpochBegan { .. })),
+        "epoch events must be delivered: {drained:?}"
+    );
+    assert!(
+        drained
+            .iter()
+            .any(|e| matches!(e, SessionEvent::ReplayFinished { matched: true, .. })),
+        "the live-requested replay must be announced: {drained:?}"
+    );
+    assert!(
+        drained.iter().any(|e| matches!(e, SessionEvent::Finished { .. })),
+        "the lifecycle event must close the stream's run: {drained:?}"
+    );
+}
+
+#[test]
+fn status_can_be_polled_while_the_program_runs() {
+    let runtime = Runtime::new(small_config()).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_for_body = Arc::clone(&stop);
+    let session = runtime
+        .launch(Program::new("poll-me", move |ctx| {
+            ctx.work(10_000);
+            if stop_for_body.load(Ordering::Acquire) {
+                Step::Done
+            } else {
+                Step::Yield
+            }
+        }))
+        .unwrap();
+    // Poll the lock-free status a few times mid-run, then release.
+    for _ in 0..10 {
+        let status = session.status();
+        let _ = (status.epoch, status.sync_events, status.faults);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Release);
+    assert!(session.wait().unwrap().outcome.is_success());
+}
+
+#[test]
+fn finished_sessions_keep_their_final_status() {
+    let runtime = Runtime::new(small_config()).unwrap();
+    let session = runtime
+        .launch(Program::new("final-status", |ctx| {
+            let lock = ctx.mutex();
+            ctx.lock(lock);
+            ctx.unlock(lock);
+            Step::Done
+        }))
+        .unwrap();
+    while !session.is_finished() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // The end-of-run reset zeroes the live counters, but the session's
+    // status must keep describing the run it belongs to.
+    let status = session.status();
+    assert_eq!(status.phase, RunPhase::Finished);
+    assert!(status.sync_events > 0, "the final status keeps this run's counters");
+
+    // Even after the runtime moves on to another launch, the old handle
+    // keeps describing its own (finished) run.  `is_finished` can turn
+    // true a moment before the runtime is launchable again (wait() is the
+    // hard synchronization point), so retry a briefly-refused launch.
+    let second = loop {
+        match runtime.launch(Program::new("second", |_| Step::Done)) {
+            Ok(session) => break session.wait().unwrap(),
+            Err(error) if error.kind() == ErrorKind::SessionActive => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(error) => panic!("unexpected launch error: {error}"),
+        }
+    };
+    assert!(second.outcome.is_success());
+    let status_again = session.status();
+    assert_eq!(status_again.phase, RunPhase::Finished);
+    assert_eq!(status_again.sync_events, status.sync_events);
+    session.wait().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// The unified error taxonomy: each layer's failure surfaces with the right
+// kind, and nothing panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn config_errors_name_the_field_and_value() {
+    let error = Config::builder().arena_size(1024).build().unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::InvalidConfig);
+    assert_eq!(error.config_field(), Some("arena_size"));
+    let message = error.to_string();
+    assert!(message.contains("arena_size") && message.contains("1024"), "{message}");
+}
+
+#[test]
+fn substrate_errors_carry_their_kind_and_source() {
+    let mem: Error = MemError::NoWatchpointSlot.into();
+    assert_eq!(mem.kind(), ErrorKind::Memory);
+    assert!(std::error::Error::source(&mem).is_some());
+
+    let sys: Error = SysError::WouldBlock.into();
+    assert_eq!(sys.kind(), ErrorKind::Sys);
+    assert!(std::error::Error::source(&sys).is_some());
+}
+
+#[test]
+fn faults_surface_as_reports_and_convert_to_faulted_errors() {
+    let runtime = Runtime::new(small_config()).unwrap();
+    let report = runtime
+        .run(Program::new("crasher", |ctx| ctx.crash("intentional crash")))
+        .unwrap();
+    assert!(!report.outcome.is_success());
+    let error = report.into_result().unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::Faulted);
+    assert!(error.fault().is_some());
+    assert!(error.to_string().contains("intentional crash"));
+}
+
+#[test]
+fn overlapping_sessions_are_rejected_with_session_active() {
+    let runtime = Runtime::new(small_config()).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_for_body = Arc::clone(&stop);
+    let session = runtime
+        .launch(Program::new("long-runner", move |ctx| {
+            ctx.work(1_000);
+            if stop_for_body.load(Ordering::Acquire) {
+                Step::Done
+            } else {
+                Step::Yield
+            }
+        }))
+        .unwrap();
+    let error = runtime.launch(Program::new("rejected", |_| Step::Done)).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::SessionActive);
+    stop.store(true, Ordering::Release);
+    session.wait().unwrap();
+}
+
+#[test]
+fn live_replay_requests_in_passthrough_mode_are_recording_disabled() {
+    let config = Config::builder()
+        .mode(ireplayer::RunMode::Passthrough)
+        .arena_size(8 << 20)
+        .heap_block_size(256 << 10)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(config).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_for_body = Arc::clone(&stop);
+    let session = runtime
+        .launch(Program::new("passthrough", move |ctx| {
+            ctx.work(1_000);
+            if stop_for_body.load(Ordering::Acquire) {
+                Step::Done
+            } else {
+                Step::Yield
+            }
+        }))
+        .unwrap();
+    let error = session.request_replay(ReplayRequest::because("nope")).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::RecordingDisabled);
+    stop.store(true, Ordering::Release);
+    session.wait().unwrap();
+}
+
+#[test]
+fn bounded_step_violations_surface_as_quiescence_timeout_and_the_runtime_recovers() {
+    let config = Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(256 << 10)
+        .quiescence_timeout_ms(400)
+        .fault_policy(ireplayer::FaultPolicy::ReportOnly)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(config).unwrap();
+    let error = runtime
+        .run(Program::new("discipline-violation", |ctx| {
+            // The worker's step outlives the quiescence budget (600 ms >
+            // 400 ms) but is finite, so the teardown can still reclaim it.
+            ctx.spawn("slow", |ctx| {
+                ctx.sleep(Duration::from_millis(600));
+                Step::Done
+            });
+            // Faulting while the worker is mid-step forces the coordinator
+            // to wait for settlement, which times out.
+            ctx.sleep(Duration::from_millis(50));
+            ctx.crash("fault while a peer is stuck mid-step")
+        }))
+        .unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::QuiescenceTimeout);
+    assert!(error.stuck_threads().is_some_and(|stuck| !stuck.is_empty()));
+
+    // The teardown settled once the slow step finished, so the runtime
+    // stays usable -- errors do not poison a recoverable world.
+    let report = runtime.run(Program::new("recovered", |_| Step::Done)).unwrap();
+    assert!(report.outcome.is_success());
+}
+
+#[test]
+fn event_streams_survive_across_launches_on_the_same_runtime() {
+    let runtime = Runtime::new(small_config()).unwrap();
+    let events = runtime.subscribe(EventFilter::none().lifecycle());
+    for _ in 0..2 {
+        stage(&runtime);
+        runtime.run(deterministic_program()).unwrap();
+    }
+    let finished = events
+        .drain()
+        .into_iter()
+        .filter(|e| matches!(e, SessionEvent::Finished { .. }))
+        .count();
+    assert_eq!(finished, 2, "one lifecycle event per launch");
+}
