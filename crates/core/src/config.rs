@@ -58,7 +58,14 @@ pub struct Config {
     pub mode: RunMode,
     /// Allocator used for application allocations.
     pub allocator: AllocatorMode,
-    /// Size of the managed arena in bytes.
+    /// Number of arena partitions, i.e. the number of **simultaneous**
+    /// sessions one [`crate::Runtime`] can drive.  Each partition gets its
+    /// own `arena_size` bytes of the shared backing allocation, its own
+    /// simulated-OS namespace, its own sync table, and its own warm pools,
+    /// so tenants never share mutable state.  The default of 1 is the
+    /// classic single-tenant runtime.
+    pub partitions: usize,
+    /// Size of the managed arena in bytes, **per partition**.
     pub arena_size: usize,
     /// Bytes reserved at the start of the arena for managed globals.
     pub globals_size: usize,
@@ -91,6 +98,15 @@ pub struct Config {
     /// Validate the final heap image of a matching replay against the image
     /// recorded at the end of the original epoch (the §5.2 validation).
     pub validate_replay_image: bool,
+    /// When `true`, a diagnostic replay that can never match -- the fault
+    /// happened in an epoch tainted by an irrevocable system call, or every
+    /// attempt within `max_replay_attempts` diverged -- surfaces
+    /// [`ErrorKind::ReplayBudgetExhausted`](crate::ErrorKind) from
+    /// [`crate::Session::wait`] instead of silently reporting an unmatched
+    /// validation.  Off by default: racy programs legitimately exhaust
+    /// their budget sometimes, and the report alone is the right surface
+    /// for exploratory runs.
+    pub strict_replay_budget: bool,
 }
 
 impl Default for Config {
@@ -98,6 +114,7 @@ impl Default for Config {
         Config {
             mode: RunMode::Record,
             allocator: AllocatorMode::PerThread,
+            partitions: 1,
             arena_size: 64 << 20,
             globals_size: 64 << 10,
             heap_block_size: 1 << 20,
@@ -110,6 +127,7 @@ impl Default for Config {
             seed: 0x5eed_2018,
             quiescence_timeout_ms: 30_000,
             validate_replay_image: true,
+            strict_replay_budget: false,
         }
     }
 }
@@ -130,6 +148,27 @@ impl Config {
     /// naming the offending field and the rejected value if sizes are
     /// inconsistent (for example a globals region larger than the arena).
     pub fn validate(&self) -> Result<(), Error> {
+        if self.partitions == 0 {
+            return Err(Error::invalid_config(
+                "partitions",
+                self.partitions,
+                "at least one arena partition is required",
+            ));
+        }
+        if self.partitions > 256 {
+            return Err(Error::invalid_config(
+                "partitions",
+                self.partitions,
+                "more than 256 partitions is almost certainly a misconfiguration",
+            ));
+        }
+        if self.arena_size.checked_mul(self.partitions).is_none() {
+            return Err(Error::invalid_config(
+                "partitions",
+                self.partitions,
+                "arena_size * partitions overflows the address space",
+            ));
+        }
         if self.arena_size < (1 << 16) {
             return Err(Error::invalid_config(
                 "arena_size",
@@ -215,7 +254,9 @@ impl ConfigBuilder {
         mode: RunMode,
         /// Sets the allocator.
         allocator: AllocatorMode,
-        /// Sets the arena size in bytes.
+        /// Sets the number of arena partitions (simultaneous sessions).
+        partitions: usize,
+        /// Sets the arena size in bytes (per partition).
         arena_size: usize,
         /// Sets the managed-globals region size in bytes.
         globals_size: usize,
@@ -239,6 +280,8 @@ impl ConfigBuilder {
         quiescence_timeout_ms: u64,
         /// Enables or disables final-image validation of matching replays.
         validate_replay_image: bool,
+        /// Makes an exhausted diagnostic-replay budget a hard error.
+        strict_replay_budget: bool,
     }
 
     /// Finishes the builder.
@@ -262,6 +305,21 @@ mod tests {
         assert!(Config::default().validate().is_ok());
         let built = Config::builder().build().unwrap();
         assert_eq!(built, Config::default());
+        assert_eq!(built.partitions, 1, "single-tenant by default");
+        assert!(!built.strict_replay_budget);
+    }
+
+    #[test]
+    fn multi_partition_configurations_validate() {
+        let config = Config::builder()
+            .partitions(4)
+            .arena_size(1 << 20)
+            .heap_block_size(64 << 10)
+            .strict_replay_budget(true)
+            .build()
+            .unwrap();
+        assert_eq!(config.partitions, 4);
+        assert!(config.strict_replay_budget);
     }
 
     #[test]
@@ -323,6 +381,16 @@ mod tests {
                 Config::builder().quiescence_timeout_ms(0).build().unwrap_err(),
                 "quiescence_timeout_ms",
                 "0".to_string(),
+            ),
+            (
+                Config::builder().partitions(0).build().unwrap_err(),
+                "partitions",
+                "0".to_string(),
+            ),
+            (
+                Config::builder().partitions(1000).build().unwrap_err(),
+                "partitions",
+                "1000".to_string(),
             ),
         ];
         for (error, field, value) in cases {

@@ -170,6 +170,17 @@ impl Error {
         }
     }
 
+    /// The replay attempts spent before giving up, when
+    /// [`ErrorKind::ReplayBudgetExhausted`] (0 when the diagnostic replay
+    /// could not even start, e.g. the faulting epoch was tainted by an
+    /// irrevocable system call).
+    pub fn replay_attempts(&self) -> Option<u32> {
+        match &*self.repr {
+            Repr::ReplayBudgetExhausted { attempts } => Some(*attempts),
+            _ => None,
+        }
+    }
+
     /// The configuration field an [`ErrorKind::InvalidConfig`] error is
     /// about.
     pub fn config_field(&self) -> Option<&'static str> {
@@ -197,7 +208,6 @@ impl Error {
         Error::new(Repr::QuiescenceTimeout { stuck_threads })
     }
 
-    #[allow(dead_code)] // Part of the taxonomy; produced by future budget checks.
     pub(crate) fn replay_budget_exhausted(attempts: u32) -> Self {
         Error::new(Repr::ReplayBudgetExhausted { attempts })
     }

@@ -43,6 +43,20 @@ pub enum SessionEvent {
         /// The epoch that ended.
         epoch: u64,
     },
+    /// The epoch's bookkeeping is complete: quiescence was reached *and*
+    /// any replay cycle decided at the boundary has finished.  Emitted
+    /// after [`SessionEvent::EpochEnded`] (and after the corresponding
+    /// [`SessionEvent::ReplayFinished`], when one ran), carrying the
+    /// epoch's own counters.
+    EpochClosed {
+        /// The epoch that closed.
+        epoch: u64,
+        /// Events recorded in the per-thread logs during this epoch.
+        events_recorded: u64,
+        /// Replay attempts performed at this epoch's boundary (0 when the
+        /// epoch simply continued).
+        replays_attempted: u64,
+    },
     /// A rollback happened and a re-execution attempt is starting.
     ReplayStarted {
         /// The epoch being re-executed.
@@ -95,7 +109,9 @@ const LIFECYCLE: u8 = 1 << 5;
 impl SessionEvent {
     fn category(&self) -> u8 {
         match self {
-            SessionEvent::EpochBegan { .. } | SessionEvent::EpochEnded { .. } => EPOCHS,
+            SessionEvent::EpochBegan { .. } | SessionEvent::EpochEnded { .. } | SessionEvent::EpochClosed { .. } => {
+                EPOCHS
+            }
             SessionEvent::ReplayStarted { .. } | SessionEvent::ReplayFinished { .. } => REPLAYS,
             SessionEvent::Diverged { .. } => DIVERGENCES,
             SessionEvent::Faulted { .. } => FAULTS,
@@ -210,8 +226,21 @@ impl std::fmt::Debug for ObserverSlot {
 /// Creates a subscription: the slot goes into the runtime's registry, the
 /// stream goes to the caller.
 pub(crate) fn subscription(filter: EventFilter) -> (ObserverSlot, EventStream) {
-    let (tx, rx) = sync_channel(EVENT_BUFFER);
-    (ObserverSlot { filter, tx }, EventStream { rx })
+    let (mut slots, stream) = subscription_many(filter, 1);
+    (slots.pop().expect("one slot was requested"), stream)
+}
+
+/// Creates one stream fed by `count` slots -- one per arena partition, so a
+/// runtime-wide subscription observes every concurrent session's events
+/// interleaved into a single channel (each partition's own events stay in
+/// order; cross-partition order is arrival order).
+pub(crate) fn subscription_many(filter: EventFilter, count: usize) -> (Vec<ObserverSlot>, EventStream) {
+    // Scale the buffer with the partition count so a runtime-wide stream
+    // keeps the same per-partition headroom a single-partition stream has
+    // (offers into a full buffer drop the event for this stream).
+    let (tx, rx) = sync_channel(EVENT_BUFFER * count.max(1));
+    let slots = (0..count).map(|_| ObserverSlot { filter, tx: tx.clone() }).collect();
+    (slots, EventStream { rx })
 }
 
 /// A bounded stream of [`SessionEvent`]s from one runtime.
@@ -286,6 +315,33 @@ mod tests {
         // A dropped stream prunes the slot.
         drop(stream);
         assert!(!slot.offer(&epoch_event()));
+    }
+
+    #[test]
+    fn epoch_closed_is_an_epoch_class_event() {
+        let closed = SessionEvent::EpochClosed {
+            epoch: 2,
+            events_recorded: 10,
+            replays_attempted: 1,
+        };
+        assert!(EventFilter::none().epochs().accepts(&closed));
+        assert!(!EventFilter::none().replays().accepts(&closed));
+    }
+
+    #[test]
+    fn multi_slot_subscriptions_feed_one_stream() {
+        let (slots, stream) = subscription_many(EventFilter::none().epochs(), 3);
+        assert_eq!(slots.len(), 3);
+        for (i, slot) in slots.iter().enumerate() {
+            assert!(slot.offer(&SessionEvent::EpochBegan { epoch: i as u64 }));
+        }
+        let drained = stream.drain();
+        assert_eq!(drained.len(), 3, "every partition's slot reaches the stream");
+        // A dropped stream prunes every slot independently.
+        drop(stream);
+        for slot in &slots {
+            assert!(!slot.offer(&epoch_event()));
+        }
     }
 
     #[test]

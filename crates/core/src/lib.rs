@@ -83,6 +83,17 @@
 //! # }
 //! ```
 //!
+//! ## Multi-tenant sessions
+//!
+//! With [`Config::partitions`] set above 1 a runtime hosts that many
+//! **simultaneous** sessions, one per arena partition.  Each partition is a
+//! complete, isolated world -- its own slice of the shared arena backing
+//! (partition-relative addresses, independent wipe), its own simulated-OS
+//! namespace, its own sync table and epoch machinery -- so a session's
+//! [`RunReport::fingerprint`] is byte-identical to the same program run
+//! solo on a fresh runtime.  [`Runtime::launch`] claims the lowest free
+//! partition; [`Runtime::diagnostics`] reports per-partition occupancy.
+//!
 //! Every fallible call returns the crate-wide [`Error`], classified by a
 //! stable, `#[non_exhaustive]` [`ErrorKind`].
 
@@ -97,6 +108,7 @@ mod events;
 mod exec;
 mod fault;
 mod hooks;
+mod pool;
 mod program;
 mod rng;
 mod runtime;
@@ -116,7 +128,7 @@ pub use fault::{FaultKind, FaultRecord};
 pub use hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
 pub use program::{BodyFn, Program, Step};
 pub use rng::DetRng;
-pub use runtime::{Runtime, RuntimeDiagnostics};
+pub use runtime::{PartitionDiagnostics, Runtime, RuntimeDiagnostics};
 pub use session::{RunPhase, Session, SessionStatus};
 pub use site::{Site, SiteId};
 pub use stats::{ReplayValidation, RunOutcome, RunReport, WatchHitReport};

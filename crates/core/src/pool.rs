@@ -1,0 +1,228 @@
+//! The shared supervisor pool: per-session coordinator actors over a small
+//! set of reusable OS threads.
+//!
+//! Before multi-tenancy every [`crate::Runtime::launch`] spawned (and later
+//! discarded) a dedicated supervisor thread.  With several concurrent
+//! sessions that becomes one thread-create/destroy pair per launch *per
+//! tenant*; the pool amortizes them: workers are spawned lazily up to one
+//! per arena partition, park between runs, and each picks up whole
+//! supervision jobs -- so a supervisor is still an exclusive actor for its
+//! session from launch to report, just hosted on a recycled thread.
+//!
+//! The pool never blocks a launch on a busy worker beyond the transient
+//! window where a finishing supervisor has already released its partition
+//! but not yet returned from its job: at most one job per partition can be
+//! live, and the worker count equals the partition count.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::Error;
+
+/// One queued supervision job: the whole life of a session, from spawning
+/// the main application thread to delivering the final report.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    /// Queued jobs, tagged with an id so a failed worker spawn can
+    /// withdraw exactly the job it was meant to serve.
+    queue: VecDeque<(u64, Job)>,
+    next_job: u64,
+    /// Workers alive (parked or running a job).
+    workers: usize,
+    /// Workers parked waiting for a job.
+    idle: usize,
+    /// Set by [`SupervisorPool::shutdown`]; parked workers exit, active
+    /// workers finish their current job first.
+    shutdown: bool,
+}
+
+/// A lazily-grown, bounded pool of supervisor threads shared by every
+/// session of one [`crate::Runtime`].
+pub(crate) struct SupervisorPool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    /// Upper bound on workers; the runtime passes its partition count.
+    max_workers: usize,
+}
+
+impl SupervisorPool {
+    /// Creates an empty pool that will grow up to `max_workers` threads.
+    pub fn new(max_workers: usize) -> Arc<Self> {
+        Arc::new(SupervisorPool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                next_job: 0,
+                workers: 0,
+                idle: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            max_workers: max_workers.max(1),
+        })
+    }
+
+    /// Submits a job, growing the pool when the queue outnumbers the idle
+    /// workers and the bound allows.  The grow decision is taken under the
+    /// same lock as the enqueue, so "an idle worker exists" can never refer
+    /// to a worker already owed to an earlier submission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::ThreadSpawn`](crate::ErrorKind) when the OS
+    /// refuses a worker thread and no live worker exists to serve the job
+    /// (the job is withdrawn first, so nothing is stranded).
+    pub fn execute(self: &Arc<Self>, job: Job) -> Result<(), Error> {
+        let (id, needs_worker) = {
+            let mut state = self.state.lock();
+            let id = state.next_job;
+            state.next_job += 1;
+            state.queue.push_back((id, job));
+            let needs = state.queue.len() > state.idle && state.workers < self.max_workers;
+            if needs {
+                // Reserve the worker slot under the lock; spawn outside it.
+                state.workers += 1;
+            }
+            (id, needs)
+        };
+        self.cv.notify_one();
+        if !needs_worker {
+            return Ok(());
+        }
+        let pool = Arc::clone(self);
+        let spawned = std::thread::Builder::new()
+            .name("ireplayer-supervisor".to_owned())
+            .spawn(move || pool.worker_loop());
+        if let Err(io) = spawned {
+            let mut state = self.state.lock();
+            state.workers -= 1;
+            if let Some(position) = state.queue.iter().position(|(queued, _)| *queued == id) {
+                // The job is still queued.  It is guaranteed prompt service
+                // only when the idle workers outnumber the jobs ahead of it;
+                // a merely *alive* worker may be driving an arbitrarily
+                // long session, which would strand the caller's wait()
+                // behind it.  Withdraw the job and fail the launch instead.
+                if state.idle <= position {
+                    state.queue.remove(position);
+                    return Err(Error::thread_spawn(io));
+                }
+            }
+            // Otherwise a worker already picked the job up (or enough idle
+            // workers are parked to reach it); the launch proceeds.
+        }
+        Ok(())
+    }
+
+    /// Tells every parked worker to exit; active workers exit after their
+    /// current job.  Called from the runtime's `Drop`: detached sessions
+    /// keep running to completion (their worker holds everything it needs
+    /// by `Arc`), but no thread outlives the last job.
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock();
+                loop {
+                    if let Some((_, job)) = state.queue.pop_front() {
+                        break job;
+                    }
+                    if state.shutdown {
+                        state.workers -= 1;
+                        return;
+                    }
+                    state.idle += 1;
+                    self.cv.wait(&mut state);
+                    state.idle -= 1;
+                }
+            };
+            job();
+        }
+    }
+}
+
+impl std::fmt::Debug for SupervisorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("SupervisorPool")
+            .field("workers", &state.workers)
+            .field("idle", &state.idle)
+            .field("queued", &state.queue.len())
+            .field("max_workers", &self.max_workers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_workers_are_reused() {
+        let pool = SupervisorPool::new(2);
+        let (tx, rx) = mpsc::channel::<std::thread::ThreadId>();
+        for _ in 0..6 {
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                tx.send(std::thread::current().id()).unwrap();
+            }))
+            .unwrap();
+            // Sequential submissions reuse the parked worker.
+            let _ = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let workers = pool.state.lock().workers;
+        assert!(workers <= 2, "sequential jobs must not grow the pool: {workers}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_jobs_get_concurrent_workers() {
+        let pool = SupervisorPool::new(3);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<()>();
+        for _ in 0..3 {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(50));
+                live.fetch_sub(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }))
+            .unwrap();
+        }
+        for _ in 0..3 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 3, "three jobs must overlap");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_retires_parked_workers() {
+        let pool = SupervisorPool::new(1);
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.execute(Box::new(move || tx.send(()).unwrap())).unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        pool.shutdown();
+        // The worker exits once it observes the flag; poll briefly.
+        for _ in 0..200 {
+            if pool.state.lock().workers == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("parked worker did not exit after shutdown");
+    }
+}

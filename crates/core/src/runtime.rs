@@ -27,6 +27,8 @@ use ireplayer_log::ThreadId;
 use ireplayer_mem::{CorruptedCanary, MemAddr, MemSnapshot, Span, UafEvidence};
 use ireplayer_sys::SimOs;
 
+use ireplayer_mem::Arena;
+
 use crate::checkpoint::{self, Checkpoint};
 use crate::config::{Config, FaultPolicy, RunMode};
 use crate::error::Error;
@@ -34,9 +36,10 @@ use crate::events::{EventFilter, EventStream, SessionEvent};
 use crate::exec;
 use crate::fault::{FaultRecord, UnwindSignal};
 use crate::hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
+use crate::pool::SupervisorPool;
 use crate::program::{BodyFn, Program};
 use crate::session::{Session, SessionShared};
-use crate::state::{Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, ThreadPhase, VThread};
+use crate::state::{Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, ThreadPhase, VThread, INTERNAL_SYNC_VARS};
 use crate::stats::{Counters, ReplayValidation, RunOutcome, RunReport, WatchHitReport};
 
 /// How long the supervisor waits between scans of the world state.
@@ -45,12 +48,19 @@ const SUPERVISOR_SLICE: Duration = Duration::from_millis(5);
 /// The in-situ record-and-replay runtime.
 ///
 /// A `Runtime` is a long-lived, reusable host: construct it once, then
-/// [`launch`](Runtime::launch) any number of [`Program`]s against it
-/// sequentially.  Each launch returns a [`Session`] handle exposing the
-/// live epoch lifecycle; between launches the runtime resets to quiescence
-/// while keeping its warm state (arena memory, log storage, the simulated
-/// OS), so serving many workloads from one hot process costs no repeated
+/// [`launch`](Runtime::launch) any number of [`Program`]s against it.  Each
+/// launch returns a [`Session`] handle exposing the live epoch lifecycle;
+/// when a session ends its partition resets to quiescence while keeping
+/// its warm state (arena memory, log storage, the simulated OS), so
+/// serving many workloads from one hot process costs no repeated
 /// construction.
+///
+/// With [`Config::partitions`] greater than 1 the runtime is
+/// **multi-tenant**: up to that many sessions run *simultaneously*, each on
+/// its own arena partition with its own simulated-OS namespace, sync
+/// table, and epoch machinery.  A session's behaviour -- including its
+/// [`RunReport::fingerprint`] -- is byte-identical to running the same
+/// program alone on a fresh runtime; neighbours cannot perturb it.
 ///
 /// # Example
 ///
@@ -82,11 +92,18 @@ const SUPERVISOR_SLICE: Duration = Duration::from_millis(5);
 /// # }
 /// ```
 pub struct Runtime {
-    pub(crate) rt: Arc<RtInner>,
+    /// One self-contained runtime core per arena partition; partition 0 is
+    /// the whole runtime in the default single-tenant configuration.
+    pub(crate) partitions: Vec<Arc<RtInner>>,
+    /// Shared supervisor actors (at most one worker per partition).
+    pub(crate) pool: Arc<SupervisorPool>,
 }
 
 impl Runtime {
-    /// Creates a runtime from a configuration.
+    /// Creates a runtime from a configuration.  With
+    /// [`Config::partitions`] greater than 1, one backing arena allocation
+    /// is sliced into that many independent partitions, each able to host
+    /// one live [`Session`] concurrently with the others.
     ///
     /// # Errors
     ///
@@ -95,55 +112,98 @@ impl Runtime {
     pub fn new(config: Config) -> Result<Self, Error> {
         config.validate()?;
         install_panic_hook();
-        let rt = Arc::new(RtInner::new(config));
-        Counters::bump(&rt.diag.arena_allocations);
-        Ok(Runtime { rt })
+        let arenas = Arena::partitioned(config.arena_size, config.partitions);
+        let pool = SupervisorPool::new(config.partitions);
+        let partitions: Vec<Arc<RtInner>> = arenas
+            .into_iter()
+            .enumerate()
+            .map(|(index, arena)| {
+                let rt = Arc::new(RtInner::with_arena(index as u32, arena, config.clone()));
+                // Each partition's share of the single backing allocation.
+                Counters::bump(&rt.diag.arena_allocations);
+                rt
+            })
+            .collect();
+        Ok(Runtime { partitions, pool })
     }
 
     /// The configuration this runtime was created with.
     pub fn config(&self) -> &Config {
-        &self.rt.config
+        &self.partitions[0].config
     }
 
-    /// The simulated operating system, used to stage files and network peers
-    /// before launching a program and to inspect them afterwards.  The
-    /// reset between launches reboots it, so each run stages its own
-    /// inputs.
+    /// The number of arena partitions, i.e. the number of sessions this
+    /// runtime can drive simultaneously.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The simulated operating system of **partition 0**, used to stage
+    /// files and network peers before launching a program and to inspect
+    /// them afterwards.  The reset between launches reboots it, so each
+    /// run stages its own inputs.  Launches claim the lowest free
+    /// partition, so a single-session caller always lands here; to stage a
+    /// specific tenant's namespace on a multi-partition runtime, use
+    /// [`Runtime::partition_os`].
     pub fn os(&self) -> &SimOs {
-        &self.rt.os
+        &self.partitions[0].os
     }
 
-    /// Registers a tool hook (detector, debugger).  Hooks persist across
-    /// launches.
+    /// The simulated operating system of one partition (each partition is
+    /// its own OS namespace: files, sockets, mappings, and clock are
+    /// per-session state), or `None` for an out-of-range index.
+    pub fn partition_os(&self, partition: usize) -> Option<&SimOs> {
+        self.partitions.get(partition).map(|rt| &rt.os)
+    }
+
+    /// Registers a tool hook (detector, debugger) on every partition.
+    /// Hooks persist across launches; on a multi-partition runtime the same
+    /// hook observes every tenant, so stateful hooks must be internally
+    /// synchronized (they already must be `Send + Sync`).
     pub fn add_hook(&self, hook: Arc<dyn ToolHook>) {
-        self.rt.hooks.write().push(hook);
+        for rt in &self.partitions {
+            rt.hooks.write().push(Arc::clone(&hook));
+        }
     }
 
-    /// Installs an execution instrument (used by the comparison baselines).
+    /// Installs an execution instrument (used by the comparison baselines)
+    /// on every partition.
     pub fn set_instrument(&self, instrument: Arc<dyn Instrument>) {
-        *self.rt.instrument.write() = Some(instrument);
+        for rt in &self.partitions {
+            *rt.instrument.write() = Some(Arc::clone(&instrument));
+        }
     }
 
     /// Subscribes an event stream that persists across launches (unlike
     /// [`Session::subscribe`], whose ergonomics tie it to one run, the
     /// registration is the same under the hood -- streams live until
-    /// dropped).
+    /// dropped).  On a multi-partition runtime the stream observes every
+    /// partition: each session's events arrive in order; events of
+    /// concurrent sessions interleave in arrival order.
     pub fn subscribe(&self, filter: EventFilter) -> EventStream {
-        self.rt.subscribe_events(filter)
+        let (slots, stream) = crate::events::subscription_many(filter, self.partitions.len());
+        for (rt, slot) in self.partitions.iter().zip(slots) {
+            rt.register_observer(slot);
+        }
+        stream
     }
 
     /// Starts `program` on this runtime and returns the live [`Session`]
-    /// handle.  The run proceeds on background threads; use
-    /// [`Session::status`], [`Session::subscribe`], and
-    /// [`Session::request_replay`] to observe and steer it, and
-    /// [`Session::wait`] to collect the report.
+    /// handle, claiming the **lowest-indexed free partition**.  The run
+    /// proceeds on background threads; use [`Session::status`],
+    /// [`Session::subscribe`], and [`Session::request_replay`] to observe
+    /// and steer it, and [`Session::wait`] to collect the report.  On a
+    /// multi-partition runtime, several launches can be live at once (one
+    /// per partition).
     ///
     /// # Errors
     ///
-    /// Returns [`ErrorKind::SessionActive`](crate::ErrorKind) while a
-    /// previous session is still running,
-    /// [`ErrorKind::Poisoned`](crate::ErrorKind) if an earlier run left
-    /// unreclaimable threads, and
+    /// Returns [`ErrorKind::SessionActive`](crate::ErrorKind) while no
+    /// healthy partition is free (occupied partitions can free up, so this
+    /// is transient as long as any healthy session is running),
+    /// [`ErrorKind::Poisoned`](crate::ErrorKind) once **every** partition
+    /// has been poisoned by unreclaimable threads (no launch can ever
+    /// succeed again), and
     /// [`ErrorKind::ThreadSpawn`](crate::ErrorKind) if the OS refuses the
     /// supervisor thread.
     pub fn launch(&self, program: Program) -> Result<Session<'_>, Error> {
@@ -162,52 +222,95 @@ impl Runtime {
     }
 
     /// Allocation and wake-up diagnostics, for asserting the warm-relaunch
-    /// guarantees (zero re-allocation of backing storage across launches)
-    /// and the step-boundary batching of supervisor wake-ups.
+    /// guarantees (zero re-allocation of backing storage across launches),
+    /// the step-boundary batching of supervisor wake-ups, and -- per
+    /// partition -- occupancy and cross-tenant isolation (idle partitions
+    /// show zero live threads, zero live sync variables, and an arena
+    /// high-water mark back at its construction baseline, no matter what
+    /// their neighbours did).
     pub fn diagnostics(&self) -> RuntimeDiagnostics {
-        let rt = &self.rt;
-        let var_chunks_allocated = {
-            let table = rt.sync_table.read();
-            let pool = rt.var_pool.lock();
-            table
-                .iter()
-                .map(|var| var.var_list.allocated_chunks() as u64)
-                .chain(pool.iter().map(|list| list.allocated_chunks() as u64))
-                .sum()
-        };
+        let partitions: Vec<PartitionDiagnostics> =
+            self.partitions.iter().map(|rt| partition_diagnostics(rt)).collect();
+        let sum = |field: fn(&PartitionDiagnostics) -> u64| partitions.iter().map(field).sum();
         RuntimeDiagnostics {
-            world_pokes: Counters::get(&rt.diag.world_pokes),
-            arena_allocations: Counters::get(&rt.diag.arena_allocations),
-            thread_lists_created: Counters::get(&rt.diag.thread_lists_created),
-            thread_lists_reused: Counters::get(&rt.diag.thread_lists_reused),
-            var_lists_created: Counters::get(&rt.diag.var_lists_created),
-            var_lists_reused: Counters::get(&rt.diag.var_lists_reused),
-            var_chunks_allocated,
+            world_pokes: sum(|p| p.world_pokes),
+            arena_allocations: sum(|p| p.arena_allocations),
+            thread_lists_created: sum(|p| p.thread_lists_created),
+            thread_lists_reused: sum(|p| p.thread_lists_reused),
+            var_lists_created: sum(|p| p.var_lists_created),
+            var_lists_reused: sum(|p| p.var_lists_reused),
+            var_chunks_allocated: sum(|p| p.var_chunks_allocated),
+            partitions,
         }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Parked supervisors exit; a worker still driving a detached
+        // session finishes its run first (it owns everything by Arc).
+        self.pool.shutdown();
     }
 }
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Runtime").field("rt", &self.rt).finish()
+        f.debug_struct("Runtime")
+            .field("partitions", &self.partitions)
+            .field("pool", &self.pool)
+            .finish()
     }
 }
 
-/// Cumulative allocation and wake-up counters of one [`Runtime`].
+fn partition_diagnostics(rt: &RtInner) -> PartitionDiagnostics {
+    let var_chunks_allocated = {
+        let table = rt.sync_table.read();
+        let pool = rt.var_pool.lock();
+        table
+            .iter()
+            .map(|var| var.var_list.allocated_chunks() as u64)
+            .chain(pool.iter().map(|list| list.allocated_chunks() as u64))
+            .sum()
+    };
+    PartitionDiagnostics {
+        partition: rt.partition,
+        session_active: rt.session_active.load(Ordering::Acquire),
+        poisoned: rt.poisoned.load(Ordering::Acquire),
+        arena_base: rt.arena.partition_base() as u64,
+        arena_size: rt.arena.size() as u64,
+        arena_in_use: rt.super_heap.high_water().as_usize() as u64,
+        live_threads: rt.threads.read().len() as u64,
+        live_sync_vars: (rt.sync_table.read().len() - INTERNAL_SYNC_VARS) as u64,
+        pooled_thread_lists: rt.list_pool.lock().len() as u64,
+        pooled_var_lists: rt.var_pool.lock().len() as u64,
+        world_pokes: Counters::get(&rt.diag.world_pokes),
+        arena_allocations: Counters::get(&rt.diag.arena_allocations),
+        thread_lists_created: Counters::get(&rt.diag.thread_lists_created),
+        thread_lists_reused: Counters::get(&rt.diag.thread_lists_reused),
+        var_lists_created: Counters::get(&rt.diag.var_lists_created),
+        var_lists_reused: Counters::get(&rt.diag.var_lists_reused),
+        var_chunks_allocated,
+    }
+}
+
+/// Cumulative allocation and wake-up counters of one [`Runtime`], plus the
+/// per-partition breakdown.
 ///
 /// The interesting property is what *stays flat*: after a first launch has
 /// warmed the pools, further launches of same-shaped programs leave
 /// `arena_allocations`, `thread_lists_created`, `var_lists_created`, and
 /// `var_chunks_allocated` unchanged -- the reset-to-quiescence path reuses
-/// every backing chunk.  Marked `#[non_exhaustive]`: more counters may be
-/// added.
-#[derive(Debug, Clone, Copy)]
+/// every backing chunk.  On a multi-partition runtime the top-level fields
+/// aggregate across partitions and [`RuntimeDiagnostics::partitions`]
+/// carries each tenant's own view, including occupancy.  Marked
+/// `#[non_exhaustive]`: more counters may be added.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct RuntimeDiagnostics {
     /// Supervisor wake-ups (world condition-variable broadcasts) performed.
     pub world_pokes: u64,
-    /// Arena backing allocations performed (exactly one at construction;
-    /// never grows across launches).
+    /// Arena backing allocations performed (exactly one *share* per
+    /// partition at construction; never grows across launches).
     pub arena_allocations: u64,
     /// Per-thread event lists allocated from scratch.
     pub thread_lists_created: u64,
@@ -219,6 +322,59 @@ pub struct RuntimeDiagnostics {
     pub var_lists_reused: u64,
     /// Backing chunks currently allocated across all per-variable lists
     /// (live and pooled); flat across warm relaunches.
+    pub var_chunks_allocated: u64,
+    /// Per-partition occupancy and counters, in partition order.
+    pub partitions: Vec<PartitionDiagnostics>,
+}
+
+/// One arena partition's occupancy and counters (see
+/// [`RuntimeDiagnostics`]).
+///
+/// The isolation contract is directly checkable here: while a neighbour
+/// partition runs, an idle partition's `live_threads` and `live_sync_vars`
+/// stay 0, its `arena_in_use` stays at the construction baseline, and its
+/// allocation counters stay flat.  Marked `#[non_exhaustive]`: more fields
+/// may be added.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct PartitionDiagnostics {
+    /// Partition index within the runtime.
+    pub partition: u32,
+    /// Whether a session currently occupies this partition.
+    pub session_active: bool,
+    /// Whether a failed teardown poisoned this partition.
+    pub poisoned: bool,
+    /// Byte offset of this partition within the shared arena backing.
+    pub arena_base: u64,
+    /// Size of this partition's arena view in bytes.
+    pub arena_size: u64,
+    /// Partition-relative super-heap high-water mark: how much of the
+    /// partition's arena is (or was, until the next reset) in use.
+    pub arena_in_use: u64,
+    /// Application threads currently registered in this partition.
+    pub live_threads: u64,
+    /// Application-visible sync variables currently registered (beyond the
+    /// partition's pre-registered internal ones).
+    pub live_sync_vars: u64,
+    /// Retired per-thread lists parked in this partition's warm pool.
+    pub pooled_thread_lists: u64,
+    /// Retired per-variable lists parked in this partition's warm pool.
+    pub pooled_var_lists: u64,
+    /// Supervisor wake-ups performed by this partition.
+    pub world_pokes: u64,
+    /// This partition's share of the backing allocation (1 at
+    /// construction; never grows).
+    pub arena_allocations: u64,
+    /// Per-thread event lists this partition allocated from scratch.
+    pub thread_lists_created: u64,
+    /// Per-thread event lists this partition recycled from its pool.
+    pub thread_lists_reused: u64,
+    /// Per-variable event lists this partition allocated from scratch.
+    pub var_lists_created: u64,
+    /// Per-variable event lists this partition recycled from its pool.
+    pub var_lists_reused: u64,
+    /// Backing chunks currently allocated across this partition's
+    /// per-variable lists (live and pooled).
     pub var_chunks_allocated: u64,
 }
 
@@ -287,19 +443,28 @@ pub(crate) fn supervise(
                 continue;
             };
             outcome = RunOutcome::Faulted(fault.clone());
-            if rt.config.fault_policy == FaultPolicy::DiagnoseAndReport
-                && rt.config.mode == RunMode::Record
-                && !rt.tainted()
-            {
+            let diagnose =
+                rt.config.fault_policy == FaultPolicy::DiagnoseAndReport && rt.config.mode == RunMode::Record;
+            if diagnose && !rt.tainted() {
                 let watch = fault_watchpoints(&rt, &fault);
                 let request = ReplayRequest {
                     watch,
                     reason: format!("diagnose fault: {}", fault.kind),
                 };
                 match run_replay_cycle(&rt, &checkpoint, request, Some(fault.thread)) {
-                    Ok(validation) => replay_validations.push(validation),
+                    Ok(validation) => {
+                        if let Some(error) = strict_budget_error(&rt, &validation) {
+                            supervisor_error = Some(error);
+                        }
+                        replay_validations.push(validation);
+                    }
                     Err(e) => supervisor_error = Some(e),
                 }
+            } else if diagnose && rt.config.strict_replay_budget {
+                // The fault sits in an epoch tainted by an irrevocable
+                // system call: the diagnostic replay can never even start,
+                // let alone match -- a zero-attempt budget exhaustion.
+                supervisor_error = Some(Error::replay_budget_exhausted(0));
             }
             break;
         }
@@ -311,14 +476,22 @@ pub(crate) fn supervise(
                 epoch: rt.epoch_number(),
             });
             let can_replay = rt.config.mode == RunMode::Record && !rt.tainted();
+            let mut epoch_replays = 0u64;
             if let Some(request) = collect_epoch_decision(&rt, can_replay) {
                 if can_replay {
                     match run_replay_cycle(&rt, &checkpoint, request, None) {
-                        Ok(validation) => replay_validations.push(validation),
+                        Ok(validation) => {
+                            epoch_replays = u64::from(validation.attempts);
+                            if let Some(error) = strict_budget_error(&rt, &validation) {
+                                supervisor_error = Some(error);
+                            }
+                            replay_validations.push(validation);
+                        }
                         Err(e) => supervisor_error = Some(e),
                     }
                 }
             }
+            emit_epoch_closed(&rt, epoch_replays);
             break;
         }
 
@@ -329,17 +502,29 @@ pub(crate) fn supervise(
                         epoch: rt.epoch_number(),
                     });
                     let can_replay = rt.config.mode == RunMode::Record && !rt.tainted();
+                    let mut epoch_replays = 0u64;
                     if let Some(request) = collect_epoch_decision(&rt, can_replay) {
                         if can_replay {
                             match run_replay_cycle(&rt, &checkpoint, request, None) {
-                                Ok(validation) => replay_validations.push(validation),
+                                Ok(validation) => {
+                                    epoch_replays = u64::from(validation.attempts);
+                                    let strict_error = strict_budget_error(&rt, &validation);
+                                    replay_validations.push(validation);
+                                    if let Some(error) = strict_error {
+                                        supervisor_error = Some(error);
+                                        emit_epoch_closed(&rt, epoch_replays);
+                                        break;
+                                    }
+                                }
                                 Err(e) => {
                                     supervisor_error = Some(e);
+                                    emit_epoch_closed(&rt, epoch_replays);
                                     break;
                                 }
                             }
                         }
                     }
+                    emit_epoch_closed(&rt, epoch_replays);
                     checkpoint = begin_epoch(&rt, false);
                 }
                 Quiescence::Stalled => {
@@ -438,6 +623,25 @@ pub(crate) fn supervise(
 // ---------------------------------------------------------------------------
 // Supervisor helpers.
 // ---------------------------------------------------------------------------
+
+/// Announces the completion of an epoch's bookkeeping with the epoch's own
+/// counters: how many events its per-thread logs recorded and how many
+/// replay attempts its boundary performed.  Called before the next
+/// [`begin_epoch`] clears the logs.
+fn emit_epoch_closed(rt: &RtInner, replays_attempted: u64) {
+    rt.emit_event(|| SessionEvent::EpochClosed {
+        epoch: rt.epoch_number(),
+        events_recorded: rt.threads.read().iter().map(|vt| vt.list.len() as u64).sum(),
+        replays_attempted,
+    });
+}
+
+/// Under [`Config::strict_replay_budget`], an unmatched replay cycle
+/// becomes an [`ErrorKind::ReplayBudgetExhausted`](crate::ErrorKind) error
+/// carrying the attempts spent.
+fn strict_budget_error(rt: &RtInner, validation: &ReplayValidation) -> Option<Error> {
+    (rt.config.strict_replay_budget && !validation.matched).then(|| Error::replay_budget_exhausted(validation.attempts))
+}
 
 fn wait_world_tick(rt: &RtInner) {
     let version = rt.world_version.load(Ordering::Acquire);

@@ -7,18 +7,20 @@
 //! ([`Session::request_replay`] queues a rollback/re-execution for the next
 //! epoch boundary), and finally collect the report ([`Session::wait`]).
 //!
-//! A runtime drives at most one session at a time -- the arena, logs, and
-//! simulated OS are per-process state, exactly as in the original system --
-//! so [`crate::Runtime::launch`] fails with
-//! [`ErrorKind::SessionActive`](crate::ErrorKind) while a previous session
-//! is still running.
+//! A runtime drives one session **per arena partition** at a time: each
+//! session exclusively owns its partition's arena slice, logs, and
+//! simulated-OS namespace for the duration of the run, and the partition is
+//! reset (alone) when the run ends.  [`crate::Runtime::launch`] claims the
+//! lowest-indexed free partition and fails with
+//! [`ErrorKind::SessionActive`](crate::ErrorKind) only when every partition
+//! is occupied.  The supervisor driving a session is an actor on the
+//! runtime's shared worker pool, not a freshly spawned thread per launch.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::config::RunMode;
 use crate::error::Error;
@@ -82,12 +84,12 @@ pub struct SessionStatus {
 pub struct Session<'rt> {
     rt: Arc<RtInner>,
     shared: Arc<SessionShared>,
-    supervisor: Option<JoinHandle<Result<RunReport, Error>>>,
+    partition: usize,
     _runtime: PhantomData<&'rt Runtime>,
 }
 
 /// Per-launch state shared between a [`Session`] handle and its supervisor
-/// thread.  It belongs to *this* run only, so a finished session keeps
+/// actor.  It belongs to *this* run only, so a finished session keeps
 /// reporting its own run even after the runtime has moved on to the next
 /// launch.
 pub(crate) struct SessionShared {
@@ -96,76 +98,125 @@ pub(crate) struct SessionShared {
     /// The status snapshot sealed at the moment of completion, before the
     /// end-of-run reset zeroes the live counters.
     pub final_status: Mutex<Option<SessionStatus>>,
+    /// One-shot delivery of the run's result from the supervisor actor to
+    /// [`Session::wait`].  Delivered strictly after the partition's
+    /// `session_active` flag is released, so a woken waiter can relaunch
+    /// immediately.
+    result: Mutex<Option<Result<RunReport, Error>>>,
+    result_cv: Condvar,
+}
+
+impl SessionShared {
+    fn new() -> Arc<Self> {
+        Arc::new(SessionShared {
+            finished: AtomicBool::new(false),
+            final_status: Mutex::new(None),
+            result: Mutex::new(None),
+            result_cv: Condvar::new(),
+        })
+    }
+
+    fn deliver(&self, result: Result<RunReport, Error>) {
+        *self.result.lock() = Some(result);
+        self.result_cv.notify_all();
+    }
 }
 
 impl<'rt> Session<'rt> {
     pub(crate) fn start(runtime: &'rt Runtime, program: Program) -> Result<Self, Error> {
-        let rt = Arc::clone(&runtime.rt);
-        if rt.poisoned.load(Ordering::Acquire) {
-            return Err(Error::poisoned(rt.poisoned_threads.lock().clone()));
+        // Claim the lowest-indexed partition that is neither poisoned nor
+        // occupied.  The deterministic order keeps the single-tenant
+        // behaviour (everything on partition 0) and makes multi-tenant
+        // placement predictable for tests and staging.
+        let mut saw_healthy = false;
+        let mut claimed: Option<(usize, Arc<RtInner>)> = None;
+        for (index, rt) in runtime.partitions.iter().enumerate() {
+            if rt.poisoned.load(Ordering::Acquire) {
+                continue;
+            }
+            saw_healthy = true;
+            if rt
+                .session_active
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                claimed = Some((index, Arc::clone(rt)));
+                break;
+            }
         }
-        if rt
-            .session_active
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
-            return Err(Error::session_active());
-        }
-        let shared = Arc::new(SessionShared {
-            finished: AtomicBool::new(false),
-            final_status: Mutex::new(None),
-        });
+        let Some((partition, rt)) = claimed else {
+            if saw_healthy {
+                return Err(Error::session_active());
+            }
+            // Every partition is poisoned; report the union of the stuck
+            // threads that got them there.
+            let stuck: Vec<u32> = runtime
+                .partitions
+                .iter()
+                .flat_map(|rt| rt.poisoned_threads.lock().clone())
+                .collect();
+            return Err(Error::poisoned(stuck));
+        };
+        let shared = SessionShared::new();
         let (program_name, main_body) = program.into_parts();
         let rt_for_supervisor = Arc::clone(&rt);
         let shared_for_supervisor = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
-            .name("ireplayer-supervisor".to_owned())
-            .spawn(move || {
-                // The unwind guard keeps the runtime honest even if the
-                // supervisor itself panics: the session flags are always
-                // released (so the process is not bricked into
-                // `SessionActive` forever) and the runtime is poisoned
-                // (its state can no longer be trusted mid-run).
-                let rt = rt_for_supervisor;
-                let shared = shared_for_supervisor;
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
-                    let rt = Arc::clone(&rt);
-                    let shared = Arc::clone(&shared);
-                    move || supervise(rt, shared, program_name, main_body)
-                }));
-                let result = match result {
-                    Ok(result) => result,
-                    Err(_) => {
-                        rt.poison(Vec::new());
-                        // Keep the lifecycle invariants even on this path:
-                        // seal whatever status the runtime shows and send
-                        // the one `Finished` event observers expect per
-                        // launch.
-                        seal_final_status(&rt, &shared);
-                        rt.emit_event(|| crate::events::SessionEvent::Finished {
-                            outcome: crate::stats::RunOutcome::Completed,
-                        });
-                        Err(Error::application_panic(
-                            "the supervisor thread panicked; the runtime is poisoned",
-                        ))
-                    }
-                };
-                shared.finished.store(true, Ordering::Release);
-                rt.session_active.store(false, Ordering::Release);
-                result
-            });
-        match spawned {
-            Ok(handle) => Ok(Session {
+        let submitted = runtime.pool.execute(Box::new(move || {
+            // The unwind guard keeps the runtime honest even if the
+            // supervisor itself panics: the session flags are always
+            // released (so the partition is not bricked into
+            // `SessionActive` forever) and the partition is poisoned (its
+            // state can no longer be trusted mid-run).
+            let rt = rt_for_supervisor;
+            let shared = shared_for_supervisor;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
+                let rt = Arc::clone(&rt);
+                let shared = Arc::clone(&shared);
+                move || supervise(rt, shared, program_name, main_body)
+            }));
+            let result = match result {
+                Ok(result) => result,
+                Err(_) => {
+                    rt.poison(Vec::new());
+                    // Keep the lifecycle invariants even on this path:
+                    // seal whatever status the runtime shows and send
+                    // the one `Finished` event observers expect per
+                    // launch.
+                    seal_final_status(&rt, &shared);
+                    rt.emit_event(|| crate::events::SessionEvent::Finished {
+                        outcome: crate::stats::RunOutcome::Completed,
+                    });
+                    Err(Error::application_panic(
+                        "the supervisor panicked; the partition is poisoned",
+                    ))
+                }
+            };
+            shared.finished.store(true, Ordering::Release);
+            // Release the partition before delivering: `wait()` is the
+            // hard synchronization point, so a caller woken by the
+            // delivery must be able to relaunch without a spurious
+            // `SessionActive`.
+            rt.session_active.store(false, Ordering::Release);
+            shared.deliver(result);
+        }));
+        match submitted {
+            Ok(()) => Ok(Session {
                 rt,
                 shared,
-                supervisor: Some(handle),
+                partition,
                 _runtime: PhantomData,
             }),
-            Err(io) => {
+            Err(error) => {
                 rt.session_active.store(false, Ordering::Release);
-                Err(Error::thread_spawn(io))
+                Err(error)
             }
         }
+    }
+
+    /// The arena partition this session exclusively occupies for the
+    /// duration of its run (always 0 on a single-partition runtime).
+    pub fn partition(&self) -> usize {
+        self.partition
     }
 
     /// A lock-free snapshot of the run: epoch number, phase, and the
@@ -243,15 +294,12 @@ impl<'rt> Session<'rt> {
     /// and replay-machinery failures.  A program *fault* is not an error --
     /// it is reported through [`RunReport::outcome`] (use
     /// [`RunReport::into_result`] to convert).
-    pub fn wait(mut self) -> Result<RunReport, Error> {
-        let handle = self
-            .supervisor
-            .take()
-            .expect("the supervisor handle is consumed only by wait");
-        match handle.join() {
-            Ok(result) => result,
-            Err(_) => Err(Error::application_panic("the supervisor thread panicked")),
+    pub fn wait(self) -> Result<RunReport, Error> {
+        let mut result = self.shared.result.lock();
+        while result.is_none() {
+            self.shared.result_cv.wait(&mut result);
         }
+        result.take().expect("the loop exits only once a result is delivered")
     }
 }
 

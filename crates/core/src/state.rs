@@ -396,8 +396,19 @@ pub(crate) struct EpochShared {
 }
 
 /// The inner, shared runtime object.
+///
+/// Since the multi-tenancy refactor this is the complete state of **one
+/// arena partition**: a [`crate::Runtime`] owns one `RtInner` per
+/// configured partition, each with its own arena view, simulated-OS
+/// namespace, sync table (the per-partition shard of what used to be one
+/// global `RwLock`), epoch/taint atomics, and warm pools.  Concurrent
+/// sessions therefore share *no* mutable state -- neither locks nor
+/// lock-free structures -- and a partition's reset releases only its own
+/// slice of the world.
 pub(crate) struct RtInner {
     pub config: Config,
+    /// Index of this partition within its runtime (0 for single-tenant).
+    pub partition: u32,
     pub arena: Arena,
     pub super_heap: SuperHeap,
     pub globals: Mutex<Globals>,
@@ -522,8 +533,22 @@ pub(crate) const INTERNAL_SYNC_VARS: usize = 3;
 pub(crate) const RUNTIME_FD_LIMIT: usize = 1 << 16;
 
 impl RtInner {
+    /// Builds a single-tenant runtime core with its own arena backing
+    /// (production code goes through [`RtInner::with_arena`] so partitions
+    /// share one backing allocation; tests build standalone cores).
+    #[cfg(test)]
     pub fn new(config: Config) -> Self {
         let arena = Arena::new(config.arena_size);
+        RtInner::with_arena(0, arena, config)
+    }
+
+    /// Builds the runtime core of partition `partition` over the given
+    /// arena view (one slice of a [`Arena::partitioned`] family, or a whole
+    /// arena for partition 0 of a single-tenant runtime).  Everything else
+    /// -- the simulated OS, sync table, pools, atomics -- is constructed
+    /// fresh and owned exclusively by this partition.
+    pub fn with_arena(partition: u32, arena: Arena, config: Config) -> Self {
+        debug_assert_eq!(arena.size(), config.arena_size);
         let heap_config = HeapConfig {
             block_size: config.heap_block_size,
             canaries: config.canaries,
@@ -545,11 +570,16 @@ impl RtInner {
             Arc::new(SyncVar::new(SUPERHEAP_VAR, SyncVarKind::Internal)),
             Arc::new(SyncVar::new(REGISTRATION_VAR, SyncVarKind::Internal)),
         ];
-        let os = SimOs::new(1000);
+        // Every partition's kernel reports the same pid: the namespace tag
+        // keeps the instances distinguishable without letting the partition
+        // index leak into simulated results (solo and multi-tenant runs of
+        // one program must stay byte-identical).
+        let os = SimOs::with_namespace(1000, partition);
         os.raise_fd_limit(RUNTIME_FD_LIMIT);
         let seed = config.seed;
         let super_heap_initial = super_heap.state();
         RtInner {
+            partition,
             arena,
             super_heap,
             globals: Mutex::new(Globals::new(globals_region)),
@@ -788,9 +818,15 @@ impl RtInner {
     /// delivering events for subsequent launches until it is dropped.
     pub fn subscribe_events(&self, filter: EventFilter) -> EventStream {
         let (slot, stream) = subscription(filter);
+        self.register_observer(slot);
+        stream
+    }
+
+    /// Registers an already-built observer slot (used by the runtime-wide
+    /// subscription, which feeds one stream from every partition).
+    pub fn register_observer(&self, slot: ObserverSlot) {
         self.observers.lock().push(slot);
         self.observers_active.store(true, Ordering::Release);
-        stream
     }
 
     /// Offers an event to every subscriber.  When nobody is subscribed the

@@ -2,9 +2,15 @@
 //! of the process heap and globals in the original system.
 
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 use crate::addr::{MemAddr, Span};
 use crate::error::MemError;
+
+/// The shared backing store behind one or more [`Arena`] views.
+struct Backing {
+    bytes: Box<[AtomicU8]>,
+}
 
 /// A contiguous, shared, byte-addressable memory region.
 ///
@@ -19,6 +25,21 @@ use crate::error::MemError;
 /// the original execution are *not* recorded, and the replay machinery
 /// detects the divergence they cause and searches for a matching schedule
 /// (paper §2.2.2, §3.5.2).
+///
+/// # Partitions
+///
+/// An `Arena` is a *view* over reference-counted backing storage.
+/// [`Arena::new`] allocates backing for a single view;
+/// [`Arena::partitioned`] allocates one backing region and slices it into
+/// several disjoint, equally-sized views -- the multi-tenant configuration,
+/// where each concurrent session owns exactly one partition.  Every view is
+/// self-contained: addresses are partition-relative (each partition has its
+/// own reserved null byte at local offset 0), bounds checks confine
+/// accesses to the view's range, and [`Arena::wipe`] clears only the view's
+/// own bytes.  A program therefore observes byte-identical addresses
+/// whether it runs on a whole arena or inside any partition of a shared
+/// one, and no access through one partition can read or write a
+/// neighbour's bytes.
 ///
 /// Addresses start at 1: offset 0 is reserved so that [`MemAddr::NULL`]
 /// always faults, mirroring a null-pointer dereference.
@@ -36,47 +57,99 @@ use crate::error::MemError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct Arena {
-    bytes: Box<[AtomicU8]>,
+    backing: Arc<Backing>,
+    /// Offset of this view's byte 0 within the backing store.
+    base: usize,
+    /// Length of this view in bytes.
+    len: usize,
 }
 
 impl Arena {
-    /// Creates a zero-filled arena of `size` bytes.
+    /// Creates a zero-filled arena of `size` bytes backed by its own
+    /// storage (a single-partition view).
     ///
     /// # Panics
     ///
     /// Panics if `size` is zero.
     pub fn new(size: usize) -> Self {
-        assert!(size > 0, "arena size must be non-zero");
-        let mut bytes = Vec::with_capacity(size);
-        bytes.resize_with(size, || AtomicU8::new(0));
-        Arena {
-            bytes: bytes.into_boxed_slice(),
-        }
+        Arena::partitioned(size, 1)
+            .pop()
+            .expect("partitioned(_, 1) yields exactly one view")
     }
 
-    /// Returns the size of the arena in bytes.
+    /// Allocates one backing region of `partition_size * partitions` bytes
+    /// and returns `partitions` disjoint views of `partition_size` bytes
+    /// each, in base-offset order.
+    ///
+    /// Each view behaves exactly like an independent
+    /// [`Arena::new`]`(partition_size)`: partition-relative addresses, its
+    /// own null byte, independent [`Arena::wipe`]/[`Arena::hash_prefix`].
+    /// The single shared allocation is what makes a multi-tenant runtime's
+    /// memory footprint one block instead of one per tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition_size` is zero, `partitions` is zero, or the
+    /// total size overflows `usize`.
+    pub fn partitioned(partition_size: usize, partitions: usize) -> Vec<Arena> {
+        assert!(partition_size > 0, "arena size must be non-zero");
+        assert!(partitions > 0, "at least one partition is required");
+        let total = partition_size
+            .checked_mul(partitions)
+            .expect("total arena size must not overflow");
+        let mut bytes = Vec::with_capacity(total);
+        bytes.resize_with(total, || AtomicU8::new(0));
+        let backing = Arc::new(Backing {
+            bytes: bytes.into_boxed_slice(),
+        });
+        (0..partitions)
+            .map(|index| Arena {
+                backing: Arc::clone(&backing),
+                base: index * partition_size,
+                len: partition_size,
+            })
+            .collect()
+    }
+
+    /// Returns the size of this view in bytes.
     pub fn size(&self) -> usize {
-        self.bytes.len()
+        self.len
+    }
+
+    /// Offset of this view's byte 0 within the shared backing store (the
+    /// partition's base; 0 for a single-partition arena).
+    pub fn partition_base(&self) -> usize {
+        self.base
+    }
+
+    /// Returns `true` when both views slice the same backing allocation
+    /// (i.e. they are partitions of one [`Arena::partitioned`] family).
+    pub fn shares_backing_with(&self, other: &Arena) -> bool {
+        Arc::ptr_eq(&self.backing, &other.backing)
     }
 
     /// Returns the span of usable addresses: `[1, size)`.
     ///
     /// Offset 0 is reserved for the null address.
     pub fn span(&self) -> Span {
-        Span::new(MemAddr::new(1), self.bytes.len() as u64 - 1)
+        Span::new(MemAddr::new(1), self.len as u64 - 1)
+    }
+
+    #[inline]
+    fn slot(&self, index: usize) -> &AtomicU8 {
+        &self.backing.bytes[self.base + index]
     }
 
     fn check(&self, addr: MemAddr, len: usize) -> Result<usize, MemError> {
         let start = addr.as_usize();
         let end = start.checked_add(len);
         match end {
-            Some(end) if start >= 1 && end <= self.bytes.len() && len > 0 => Ok(start),
+            Some(end) if start >= 1 && end <= self.len && len > 0 => Ok(start),
             _ => Err(MemError::OutOfBounds {
                 addr,
                 len,
-                arena_size: self.bytes.len(),
+                arena_size: self.len,
             }),
         }
     }
@@ -89,7 +162,7 @@ impl Arena {
     /// the arena.
     pub fn read_u8(&self, addr: MemAddr) -> Result<u8, MemError> {
         let start = self.check(addr, 1)?;
-        Ok(self.bytes[start].load(Ordering::Relaxed))
+        Ok(self.slot(start).load(Ordering::Relaxed))
     }
 
     /// Writes a single byte.
@@ -100,7 +173,7 @@ impl Arena {
     /// the arena.
     pub fn write_u8(&self, addr: MemAddr, value: u8) -> Result<(), MemError> {
         let start = self.check(addr, 1)?;
-        self.bytes[start].store(value, Ordering::Relaxed);
+        self.slot(start).store(value, Ordering::Relaxed);
         Ok(())
     }
 
@@ -116,7 +189,7 @@ impl Arena {
         }
         let start = self.check(addr, buf.len())?;
         for (i, slot) in buf.iter_mut().enumerate() {
-            *slot = self.bytes[start + i].load(Ordering::Relaxed);
+            *slot = self.slot(start + i).load(Ordering::Relaxed);
         }
         Ok(())
     }
@@ -133,7 +206,7 @@ impl Arena {
         }
         let start = self.check(addr, data.len())?;
         for (i, byte) in data.iter().enumerate() {
-            self.bytes[start + i].store(*byte, Ordering::Relaxed);
+            self.slot(start + i).store(*byte, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -150,21 +223,24 @@ impl Arena {
         }
         let start = self.check(addr, len)?;
         for i in 0..len {
-            self.bytes[start + i].store(value, Ordering::Relaxed);
+            self.slot(start + i).store(value, Ordering::Relaxed);
         }
         Ok(())
     }
 
-    /// Zeroes the first `upto` bytes of the arena (clamped to its size).
+    /// Zeroes the first `upto` bytes of this view (clamped to its size).
     ///
     /// This is the warm-relaunch reset: the runtime wipes the prefix a
     /// finished run touched so the next run observes the same zero-filled
     /// memory a freshly constructed arena would provide, without
-    /// re-allocating the backing storage.  The caller guarantees no
-    /// application thread runs concurrently.
+    /// re-allocating the backing storage.  On a partitioned arena the wipe
+    /// is strictly partition-local -- releasing one tenant never disturbs a
+    /// neighbour's bytes.  The caller guarantees no application thread runs
+    /// concurrently *within this partition*.
     pub fn wipe(&self, upto: usize) {
-        for slot in self.bytes.iter().take(upto) {
-            slot.store(0, Ordering::Relaxed);
+        let upto = upto.min(self.len);
+        for index in 0..upto {
+            self.slot(index).store(0, Ordering::Relaxed);
         }
     }
 
@@ -185,67 +261,79 @@ impl Arena {
         let d = self.check(dst, len)?;
         if d <= s {
             for i in 0..len {
-                let b = self.bytes[s + i].load(Ordering::Relaxed);
-                self.bytes[d + i].store(b, Ordering::Relaxed);
+                let b = self.slot(s + i).load(Ordering::Relaxed);
+                self.slot(d + i).store(b, Ordering::Relaxed);
             }
         } else {
             for i in (0..len).rev() {
-                let b = self.bytes[s + i].load(Ordering::Relaxed);
-                self.bytes[d + i].store(b, Ordering::Relaxed);
+                let b = self.slot(s + i).load(Ordering::Relaxed);
+                self.slot(d + i).store(b, Ordering::Relaxed);
             }
         }
         Ok(())
     }
 
-    /// Dumps the whole arena (including the reserved null byte) into a
+    /// Dumps the whole view (including the reserved null byte) into a
     /// `Vec<u8>`.  Used by snapshots and by the memory-diff experiment.
     pub fn dump(&self) -> Vec<u8> {
-        self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+        self.dump_prefix(self.len)
     }
 
-    /// Dumps only the first `len` bytes of the arena.
+    /// Dumps only the first `len` bytes of the view.
     ///
     /// Snapshots use this to avoid copying memory past the heap high-water
     /// mark, mirroring the paper's "copy all writable memory" step without
     /// copying untouched pages.
     pub fn dump_prefix(&self, len: usize) -> Vec<u8> {
-        let len = len.min(self.bytes.len());
-        self.bytes[..len].iter().map(|b| b.load(Ordering::Relaxed)).collect()
+        let len = len.min(self.len);
+        (0..len).map(|i| self.slot(i).load(Ordering::Relaxed)).collect()
     }
 
-    /// Overwrites the first `data.len()` bytes of the arena with `data`.
+    /// Overwrites the first `data.len()` bytes of the view with `data`.
     ///
     /// # Errors
     ///
     /// Returns [`MemError::SnapshotSizeMismatch`] if `data` is larger than
-    /// the arena.
+    /// the view.
     pub fn restore_prefix(&self, data: &[u8]) -> Result<(), MemError> {
-        if data.len() > self.bytes.len() {
+        if data.len() > self.len {
             return Err(MemError::SnapshotSizeMismatch {
                 snapshot: data.len(),
-                arena: self.bytes.len(),
+                arena: self.len,
             });
         }
         for (i, byte) in data.iter().enumerate() {
-            self.bytes[i].store(*byte, Ordering::Relaxed);
+            self.slot(i).store(*byte, Ordering::Relaxed);
         }
         Ok(())
     }
 
-    /// A 64-bit FNV-1a hash of the first `len` bytes of the arena.
+    /// A 64-bit FNV-1a hash of the first `len` bytes of the view.
     ///
     /// The identical-replay validation (§5.2) compares heap images before and
     /// after a replay; hashing gives a cheap equality check and the full
     /// [`crate::snapshot::MemSnapshot::diff`] gives the byte-level
-    /// percentage reported in Table 1.
+    /// percentage reported in Table 1.  Because the hash walks
+    /// partition-relative bytes, a program's final image hashes identically
+    /// whether it ran on a whole arena or inside a partition.
     pub fn hash_prefix(&self, len: usize) -> u64 {
-        let len = len.min(self.bytes.len());
+        let len = len.min(self.len);
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in &self.bytes[..len] {
-            hash ^= u64::from(b.load(Ordering::Relaxed));
+        for i in 0..len {
+            hash ^= u64::from(self.slot(i).load(Ordering::Relaxed));
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
         hash
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("base", &self.base)
+            .field("len", &self.len)
+            .field("backing_len", &self.backing.bytes.len())
+            .finish()
     }
 }
 
@@ -432,5 +520,84 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_sized_arena_panics() {
         let _ = Arena::new(0);
+    }
+
+    // -- partitioned views ----------------------------------------------
+
+    #[test]
+    fn partitions_share_one_backing_allocation() {
+        let parts = Arena::partitioned(256, 3);
+        assert_eq!(parts.len(), 3);
+        for (i, part) in parts.iter().enumerate() {
+            assert_eq!(part.size(), 256);
+            assert_eq!(part.partition_base(), i * 256);
+            assert!(part.shares_backing_with(&parts[0]));
+        }
+        let other = Arena::new(256);
+        assert!(!other.shares_backing_with(&parts[0]));
+    }
+
+    #[test]
+    fn partitions_are_isolated_and_partition_relative() {
+        let parts = Arena::partitioned(128, 2);
+        let a = MemAddr::new(10);
+        // The same partition-relative address holds independent bytes.
+        parts[0].write_bytes(a, b"tenant-zero").unwrap();
+        parts[1].write_bytes(a, b"tenant-one!").unwrap();
+        let mut buf = [0u8; 11];
+        parts[0].read_bytes(a, &mut buf).unwrap();
+        assert_eq!(&buf, b"tenant-zero");
+        parts[1].read_bytes(a, &mut buf).unwrap();
+        assert_eq!(&buf, b"tenant-one!");
+        // Every untouched byte of a partition stays zero despite the
+        // neighbour's writes.
+        let p0 = parts[0].dump();
+        let p1 = parts[1].dump();
+        assert_eq!(&p0[10..21], b"tenant-zero");
+        assert!(p0[21..].iter().all(|b| *b == 0));
+        assert_eq!(&p1[10..21], b"tenant-one!");
+        assert!(p1[21..].iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn partition_bounds_do_not_reach_the_neighbour() {
+        let parts = Arena::partitioned(64, 2);
+        // The last valid byte is partition-local offset 63; one past it is
+        // the neighbour's null byte and must fault, not wrap into it.
+        assert!(parts[0].write_u8(MemAddr::new(63), 1).is_ok());
+        assert!(parts[0].write_u8(MemAddr::new(64), 1).is_err());
+        assert!(parts[0].write_u64(MemAddr::new(60), 0).is_err());
+        assert!(parts[1].read_u8(MemAddr::NULL).is_err());
+        // The neighbour saw none of partition 0's probing.
+        assert!(parts[1].dump().iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn wipe_is_partition_local() {
+        let parts = Arena::partitioned(128, 2);
+        parts[0].write_bytes(MemAddr::new(1), b"gone soon").unwrap();
+        parts[1].write_bytes(MemAddr::new(1), b"survives").unwrap();
+        parts[0].wipe(128);
+        assert!(parts[0].dump().iter().all(|b| *b == 0), "partition 0 wiped");
+        let mut buf = [0u8; 8];
+        parts[1].read_bytes(MemAddr::new(1), &mut buf).unwrap();
+        assert_eq!(&buf, b"survives");
+    }
+
+    #[test]
+    fn partition_hashes_match_a_solo_arena() {
+        // The same writes at the same partition-relative addresses hash
+        // identically on a solo arena and on any partition of a shared one:
+        // the fingerprint-identity property the runtime builds on.
+        let solo = Arena::new(256);
+        let parts = Arena::partitioned(256, 3);
+        for arena in std::iter::once(&solo).chain(parts.iter()) {
+            arena.write_bytes(MemAddr::new(5), b"identical image").unwrap();
+        }
+        let expected = solo.hash_prefix(256);
+        for part in &parts {
+            assert_eq!(part.hash_prefix(256), expected);
+            assert_eq!(part.dump(), solo.dump());
+        }
     }
 }

@@ -12,6 +12,11 @@ use crate::diff::DiffStats;
 use crate::error::MemError;
 
 /// A copy of the arena's contents up to a high-water mark.
+///
+/// Snapshots operate on one [`Arena`] *view*: on a partitioned arena a
+/// capture reads only the owning partition's bytes and a restore writes
+/// only them, so per-session rollback never disturbs a neighbouring
+/// tenant's memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemSnapshot {
     data: Vec<u8>,
@@ -128,5 +133,28 @@ mod tests {
         arena.write_u8(MemAddr::new(1), 0xaa).unwrap();
         let snap = MemSnapshot::capture(&arena, 8);
         assert_eq!(snap.bytes()[1], 0xaa);
+    }
+
+    #[test]
+    fn rollback_of_one_partition_leaves_the_neighbour_intact() {
+        let parts = Arena::partitioned(128, 2);
+        parts[0].write_bytes(MemAddr::new(1), b"epoch begin").unwrap();
+        parts[1].write_bytes(MemAddr::new(1), b"neighbour").unwrap();
+        let snap = MemSnapshot::capture(&parts[0], 64);
+
+        // Partition 0 mutates, partition 1 keeps working concurrently.
+        parts[0].write_bytes(MemAddr::new(1), b"mutated  ! ").unwrap();
+        parts[1].write_bytes(MemAddr::new(20), b"more work").unwrap();
+
+        // Rolling partition 0 back restores only its own bytes.
+        snap.restore(&parts[0]).unwrap();
+        let mut buf = [0u8; 11];
+        parts[0].read_bytes(MemAddr::new(1), &mut buf).unwrap();
+        assert_eq!(&buf, b"epoch begin");
+        let mut kept = [0u8; 9];
+        parts[1].read_bytes(MemAddr::new(1), &mut kept).unwrap();
+        assert_eq!(&kept, b"neighbour");
+        parts[1].read_bytes(MemAddr::new(20), &mut kept).unwrap();
+        assert_eq!(&kept, b"more work");
     }
 }

@@ -46,6 +46,13 @@ struct OsInner {
 pub struct SimOs {
     inner: Mutex<OsInner>,
     clock: VirtualClock,
+    /// Namespace tag of this kernel instance.  A multi-tenant runtime
+    /// creates one `SimOs` per arena partition and tags it with the
+    /// partition index, so fd/net/mmap/clock tables are per-session by
+    /// construction; the tag makes that ownership inspectable.  It is
+    /// invisible to the simulated program (pids, fds, and clock values do
+    /// not depend on it), keeping solo and multi-tenant runs byte-identical.
+    namespace: u32,
 }
 
 /// Default open-file limit, deliberately modest so that tests can exercise
@@ -54,8 +61,15 @@ pub struct SimOs {
 pub const DEFAULT_FD_LIMIT: usize = 256;
 
 impl SimOs {
-    /// Creates a simulated OS for a process with id `pid`.
+    /// Creates a simulated OS for a process with id `pid`, in namespace 0.
     pub fn new(pid: u32) -> Self {
+        SimOs::with_namespace(pid, 0)
+    }
+
+    /// Creates a simulated OS for a process with id `pid`, tagged with a
+    /// session `namespace` (see [`SimOs`] docs; the tag never leaks into
+    /// simulated results).
+    pub fn with_namespace(pid: u32, namespace: u32) -> Self {
         SimOs {
             inner: Mutex::new(OsInner {
                 vfs: Vfs::new(),
@@ -66,7 +80,14 @@ impl SimOs {
                 next_child_pid: pid + 1,
             }),
             clock: VirtualClock::default(),
+            namespace,
         }
+    }
+
+    /// The namespace tag this kernel instance was created with.  Survives
+    /// [`SimOs::reset`]: the reboot recycles the tables, not the identity.
+    pub fn namespace(&self) -> u32 {
+        self.namespace
     }
 
     /// Resets the simulated kernel to its boot state, keeping the current
@@ -433,6 +454,24 @@ mod tests {
         let c1 = os.fork();
         let c2 = os.fork();
         assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn namespaces_tag_kernels_without_changing_results() {
+        let default_ns = SimOs::new(1000);
+        let tenant = SimOs::with_namespace(1000, 3);
+        assert_eq!(default_ns.namespace(), 0);
+        assert_eq!(tenant.namespace(), 3);
+        // The tag never leaks into simulated results: same pid, same fork
+        // sequence, independent file tables.
+        assert_eq!(default_ns.getpid(), tenant.getpid());
+        assert_eq!(default_ns.fork(), tenant.fork());
+        tenant.create_file("tenant-only.txt", vec![1, 2, 3]);
+        assert!(default_ns.open("tenant-only.txt").is_err());
+        // The namespace survives the reboot-to-quiescence reset.
+        tenant.reset();
+        assert_eq!(tenant.namespace(), 3);
+        assert!(tenant.open("tenant-only.txt").is_err(), "reset drops staged files");
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Multi-tenant sessions over partitioned arenas: the cross-session
+//! identity suite.
+//!
+//! Acceptance properties exercised here:
+//!
+//! * N sessions launched **concurrently** on one multi-partition `Runtime`
+//!   (a mix of plain-record and forced-replay workloads) each produce a
+//!   `RunReport` whose fingerprint is byte-identical to the same program
+//!   run solo on a fresh single-partition runtime -- neighbours cannot
+//!   perturb a tenant;
+//! * `Runtime::diagnostics()` shows zero cross-partition allocation
+//!   leakage through a **staggered** teardown: as each session ends, its
+//!   partition (and only its partition) returns to the idle baseline while
+//!   the others keep running;
+//! * when every partition is occupied, `launch` fails with
+//!   `ErrorKind::SessionActive`; freeing any partition makes the runtime
+//!   launchable again;
+//! * each partition is its own simulated-OS namespace: files staged for
+//!   one tenant are invisible to the others.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ireplayer::{Config, ErrorKind, Program, ReplayRequest, RunReport, Runtime, Step};
+
+fn config(partitions: usize) -> Config {
+    Config::builder()
+        .partitions(partitions)
+        .arena_size(4 << 20)
+        .heap_block_size(128 << 10)
+        .build()
+        .unwrap()
+}
+
+/// A gated deterministic program: the recorded work happens once (guarded
+/// by a flag in *managed* memory, so rollbacks rewind it), then the main
+/// thread yields until the external gate opens.  The gate lives outside
+/// managed memory on purpose -- it controls wall-clock overlap between
+/// sessions without ever entering the recording, so a gated run's report
+/// is identical whether the gate opened immediately (solo baseline) or
+/// after every tenant was launched (concurrency proof).
+fn gated_counter(name: &str, workers: u64, gate: Arc<AtomicBool>) -> Program {
+    Program::new(name, move |ctx| {
+        let worked = ctx.global("worked", 8);
+        if ctx.read_u64(worked) == 0 {
+            ctx.write_u64(worked, 1);
+            let total = ctx.global("total", 8);
+            let lock = ctx.mutex();
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                handles.push(ctx.spawn("worker", move |ctx| {
+                    ctx.lock(lock);
+                    let value = ctx.read_u64(total);
+                    ctx.write_u64(total, value + 1);
+                    ctx.unlock(lock);
+                    Step::Done
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+            let value = ctx.read_u64(total);
+            ctx.assert_that(value == workers, "all workers incremented");
+        }
+        if gate.load(Ordering::Acquire) {
+            Step::Done
+        } else {
+            Step::Yield
+        }
+    })
+}
+
+/// A gated allocation-heavy program: a different workload shape (heap
+/// churn, byte patterns, frees) for the mixed-tenant scenario.
+fn gated_allocator(name: &str, gate: Arc<AtomicBool>) -> Program {
+    Program::new(name, move |ctx| {
+        let worked = ctx.global("worked", 8);
+        if ctx.read_u64(worked) == 0 {
+            ctx.write_u64(worked, 1);
+            let mut live = Vec::new();
+            for round in 0..6u64 {
+                let block = ctx.alloc(256 + (round as usize) * 64);
+                ctx.fill(block, 64, 0xb0 + round as u8);
+                ctx.write_u64(block, round * 7);
+                if round % 2 == 1 {
+                    if let Some(victim) = live.pop() {
+                        ctx.free(victim);
+                    }
+                }
+                live.push(block);
+            }
+            let sum = ctx.global("sum", 8);
+            let mut total = 0u64;
+            for block in &live {
+                total += ctx.read_u64(*block);
+            }
+            ctx.write_u64(sum, total);
+            for block in live {
+                ctx.free(block);
+            }
+        }
+        if gate.load(Ordering::Acquire) {
+            Step::Done
+        } else {
+            Step::Yield
+        }
+    })
+}
+
+/// Runs one gated program solo on a fresh single-partition runtime:
+/// the identity baseline.  `with_replay` queues a live replay request
+/// before opening the gate, exactly as the concurrent scenario does.
+fn solo_baseline(program: Program, gate: Arc<AtomicBool>, with_replay: bool) -> RunReport {
+    let runtime = Runtime::new(config(1)).unwrap();
+    let session = runtime.launch(program).unwrap();
+    assert_eq!(session.partition(), 0);
+    if with_replay {
+        session
+            .request_replay(ReplayRequest::because("multi-tenancy identity baseline"))
+            .unwrap();
+    }
+    gate.store(true, Ordering::Release);
+    session.wait().unwrap()
+}
+
+#[test]
+fn concurrent_sessions_fingerprint_identically_to_solo_runs() {
+    // Solo baselines on fresh runtimes: two plain-record workload shapes
+    // and one forced-replay workload.
+    let gate = Arc::new(AtomicBool::new(false));
+    let counter_solo = solo_baseline(gated_counter("tenant-counter", 3, Arc::clone(&gate)), gate, false);
+    let gate = Arc::new(AtomicBool::new(false));
+    let alloc_solo = solo_baseline(gated_allocator("tenant-alloc", Arc::clone(&gate)), gate, false);
+    let gate = Arc::new(AtomicBool::new(false));
+    let replay_solo = solo_baseline(gated_counter("tenant-replay", 2, Arc::clone(&gate)), gate, true);
+    assert!(counter_solo.outcome.is_success());
+    assert!(alloc_solo.outcome.is_success());
+    assert!(replay_solo.outcome.is_success());
+    assert!(
+        !replay_solo.replay_validations.is_empty(),
+        "the live request must force a replay"
+    );
+    assert!(replay_solo.replays_identical());
+
+    // The same three programs, launched concurrently on one runtime.  All
+    // three sessions are provably live at once: every gate stays shut
+    // until every session has launched.
+    let runtime = Runtime::new(config(3)).unwrap();
+    let gates: Vec<Arc<AtomicBool>> = (0..3).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let session_counter = runtime
+        .launch(gated_counter("tenant-counter", 3, Arc::clone(&gates[0])))
+        .unwrap();
+    let session_alloc = runtime
+        .launch(gated_allocator("tenant-alloc", Arc::clone(&gates[1])))
+        .unwrap();
+    let session_replay = runtime
+        .launch(gated_counter("tenant-replay", 2, Arc::clone(&gates[2])))
+        .unwrap();
+    assert_eq!(
+        session_counter.partition(),
+        0,
+        "launch claims the lowest free partition"
+    );
+    assert_eq!(session_alloc.partition(), 1);
+    assert_eq!(session_replay.partition(), 2);
+    session_replay
+        .request_replay(ReplayRequest::because("multi-tenancy identity baseline"))
+        .unwrap();
+    for gate in &gates {
+        gate.store(true, Ordering::Release);
+    }
+    let counter_multi = session_counter.wait().unwrap();
+    let alloc_multi = session_alloc.wait().unwrap();
+    let replay_multi = session_replay.wait().unwrap();
+
+    // Byte-identical reports modulo wall time: equalize the one
+    // nondeterministic field, compare whole structs, and cross-check with
+    // the deterministic fingerprint.
+    for (multi, solo) in [
+        (&counter_multi, &counter_solo),
+        (&alloc_multi, &alloc_solo),
+        (&replay_multi, &replay_solo),
+    ] {
+        assert!(multi.outcome.is_success(), "faults: {:?}", multi.faults);
+        let mut normalized = multi.clone();
+        normalized.wall_time = solo.wall_time;
+        assert_eq!(&normalized, solo, "a neighbour perturbed {}", solo.program);
+        assert_eq!(multi.fingerprint(), solo.fingerprint());
+    }
+    assert!(replay_multi.replays_identical());
+}
+
+/// Polls a condition for up to ~2 seconds (launch registers the main
+/// thread asynchronously on the supervisor actor).
+fn wait_until(what: &str, mut condition: impl FnMut() -> bool) {
+    for _ in 0..2000 {
+        if condition() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn staggered_teardown_releases_only_the_finishing_partition() {
+    let runtime = Runtime::new(config(3)).unwrap();
+
+    // Idle baseline per partition, before anything ran.
+    let baseline = runtime.diagnostics();
+    assert_eq!(baseline.partitions.len(), 3);
+    for (i, p) in baseline.partitions.iter().enumerate() {
+        assert_eq!(p.partition, i as u32);
+        assert_eq!(p.arena_base, (i as u64) * (4 << 20), "partition bases tile the backing");
+        assert_eq!(p.arena_size, 4 << 20);
+        assert_eq!(p.arena_allocations, 1, "one backing share per partition");
+        assert!(!p.session_active);
+        assert_eq!(p.live_threads, 0);
+        assert_eq!(p.live_sync_vars, 0);
+    }
+    let idle_high_water: Vec<u64> = baseline.partitions.iter().map(|p| p.arena_in_use).collect();
+
+    // Launch three gated tenants, then tear them down one at a time.
+    let gates: Vec<Arc<AtomicBool>> = (0..3).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let mut sessions = Vec::new();
+    for (i, gate) in gates.iter().enumerate() {
+        sessions.push(
+            runtime
+                .launch(gated_counter(&format!("tenant-{i}"), 3, Arc::clone(gate)))
+                .unwrap(),
+        );
+    }
+    for (expected, session) in sessions.iter().enumerate() {
+        assert_eq!(session.partition(), expected);
+    }
+    // Every tenant is provably live before the first teardown begins.
+    wait_until("all three tenants registered their main thread", || {
+        runtime
+            .diagnostics()
+            .partitions
+            .iter()
+            .all(|p| p.session_active && p.live_threads >= 1)
+    });
+
+    for (index, session) in sessions.into_iter().enumerate() {
+        // Before this tenant's gate opens, its partition (and every
+        // not-yet-finished one) is occupied.
+        let during = runtime.diagnostics();
+        assert!(during.partitions[index].session_active);
+        assert!(during.partitions[index].live_threads >= 1);
+
+        gates[index].store(true, Ordering::Release);
+        let report = session.wait().unwrap();
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+
+        // The finished partition is back at its idle baseline...
+        let after = runtime.diagnostics();
+        let mine = &after.partitions[index];
+        assert!(!mine.session_active, "partition {index} must be free again");
+        assert_eq!(mine.live_threads, 0, "partition {index} leaks threads");
+        assert_eq!(mine.live_sync_vars, 0, "partition {index} leaks sync vars");
+        assert_eq!(
+            mine.arena_in_use, idle_high_water[index],
+            "partition {index}'s arena high-water must rewind to its baseline"
+        );
+        assert!(mine.pooled_thread_lists >= 4, "teardown pools the tenant's lists");
+        // ...while every still-running neighbour is untouched by the
+        // teardown: still occupied, still holding its own threads.
+        for later in index + 1..3 {
+            let neighbour = &after.partitions[later];
+            assert!(neighbour.session_active, "teardown of {index} must not free {later}");
+            assert!(neighbour.live_threads >= 1);
+        }
+        // And no partition ever allocated into another's share.
+        for p in &after.partitions {
+            assert_eq!(p.arena_allocations, 1, "no partition re-allocates backing");
+        }
+    }
+
+    // A warm relaunch on partition 0 draws from partition 0's own pools
+    // and leaves the neighbours' allocation counters exactly as they were.
+    let settled = runtime.diagnostics();
+    let gate = Arc::new(AtomicBool::new(true));
+    runtime
+        .launch(gated_counter("tenant-0-again", 3, gate))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let relaunched = runtime.diagnostics();
+    assert_eq!(
+        relaunched.partitions[0].thread_lists_created, settled.partitions[0].thread_lists_created,
+        "the relaunch must reuse partition 0's warm pool"
+    );
+    assert!(relaunched.partitions[0].thread_lists_reused > settled.partitions[0].thread_lists_reused);
+    for i in 1..3 {
+        assert_eq!(
+            relaunched.partitions[i].thread_lists_created, settled.partitions[i].thread_lists_created,
+            "partition {i} must not serve a neighbour's launch"
+        );
+        assert_eq!(
+            relaunched.partitions[i].thread_lists_reused, settled.partitions[i].thread_lists_reused,
+            "partition {i} must not serve a neighbour's launch"
+        );
+        assert_eq!(
+            relaunched.partitions[i].var_lists_created,
+            settled.partitions[i].var_lists_created
+        );
+    }
+}
+
+#[test]
+fn a_full_runtime_rejects_launches_until_a_partition_frees() {
+    let runtime = Runtime::new(config(2)).unwrap();
+    let gates: Vec<Arc<AtomicBool>> = (0..2).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let first = runtime
+        .launch(gated_counter("hold-0", 1, Arc::clone(&gates[0])))
+        .unwrap();
+    let second = runtime
+        .launch(gated_counter("hold-1", 1, Arc::clone(&gates[1])))
+        .unwrap();
+    assert_eq!((first.partition(), second.partition()), (0, 1));
+
+    let error = runtime.launch(Program::new("rejected", |_| Step::Done)).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::SessionActive);
+
+    // Freeing partition 0 (while partition 1 keeps running) makes the
+    // runtime launchable again, and the new session lands on partition 0.
+    gates[0].store(true, Ordering::Release);
+    first.wait().unwrap();
+    let third = runtime.launch(Program::new("accepted", |_| Step::Done)).unwrap();
+    assert_eq!(third.partition(), 0);
+    third.wait().unwrap();
+    gates[1].store(true, Ordering::Release);
+    second.wait().unwrap();
+}
+
+#[test]
+fn partitions_are_independent_simulated_os_namespaces() {
+    let runtime = Runtime::new(config(2)).unwrap();
+    assert_eq!(runtime.partition_count(), 2);
+
+    // Stage a file in partition 1's namespace only.
+    runtime
+        .partition_os(1)
+        .unwrap()
+        .create_file("tenant1.bin", vec![42u8; 32]);
+    assert!(
+        runtime.partition_os(0).unwrap().file_contents("tenant1.bin").is_err(),
+        "partition 0 must not see partition 1's files"
+    );
+    assert!(runtime.partition_os(2).is_none(), "out-of-range partitions are None");
+    // `Runtime::os()` is partition 0's namespace.
+    assert!(runtime.os().file_contents("tenant1.bin").is_err());
+
+    // Occupy partition 0, so the next launch lands on partition 1 and can
+    // open the staged file there.
+    let gate = Arc::new(AtomicBool::new(false));
+    let holder = runtime.launch(gated_counter("hold-0", 1, Arc::clone(&gate))).unwrap();
+    assert_eq!(holder.partition(), 0);
+    let reader = runtime
+        .launch(Program::new("tenant-1-reader", |ctx| {
+            let fd = ctx.open("tenant1.bin").expect("staged in this tenant's namespace");
+            let data = ctx.read(fd, 32);
+            let len = data.len() as u64;
+            ctx.assert_that(len == 32, "the staged bytes are readable");
+            ctx.close(fd);
+            Step::Done
+        }))
+        .unwrap();
+    assert_eq!(reader.partition(), 1);
+    let report = reader.wait().unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    gate.store(true, Ordering::Release);
+    holder.wait().unwrap();
+}

@@ -210,3 +210,119 @@ proptest! {
         prop_assert_eq!(hardened.quarantine_bytes, expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-tenancy properties: for random (workload shape, partition count,
+// epoch length) tuples, a tenant's report fingerprint is invariant under
+// concurrency -- running the same program on every partition of one runtime
+// yields the solo fingerprint for each -- and replay never blames a
+// neighbour's sync handles (no `DivergenceKind::UnknownVariable`).
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use ireplayer::{DivergenceKind, EpochDecision, EpochView, EventFilter, ReplayRequest, SessionEvent, ToolHook};
+
+/// Forces a validation replay at every epoch end, so the property also
+/// exercises rollback/re-execution under tenancy (where a cross-partition
+/// leak of sync state would surface as an `UnknownVariable` divergence).
+struct ReplayEveryEpoch;
+
+impl ToolHook for ReplayEveryEpoch {
+    fn name(&self) -> &str {
+        "replay-every-epoch"
+    }
+
+    fn at_epoch_end(&self, _view: &dyn EpochView) -> EpochDecision {
+        EpochDecision::Replay(ReplayRequest::because("tenancy property validation"))
+    }
+}
+
+fn tenant_config(partitions: usize, events_per_thread: usize) -> Config {
+    Config::builder()
+        .partitions(partitions)
+        .arena_size(4 << 20)
+        .heap_block_size(128 << 10)
+        .events_per_thread(events_per_thread)
+        .build()
+        .unwrap()
+}
+
+fn tenant_program(workers: u64, increments: u64) -> Program {
+    Program::new("tenant", move |ctx| {
+        let total = ctx.global("total", 8);
+        let lock = ctx.mutex();
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            handles.push(ctx.spawn("worker", move |ctx| {
+                for _ in 0..increments {
+                    ctx.lock(lock);
+                    let value = ctx.read_u64(total);
+                    ctx.write_u64(total, value + 1);
+                    ctx.unlock(lock);
+                }
+                Step::Done
+            }));
+        }
+        for handle in handles {
+            ctx.join(handle);
+        }
+        let value = ctx.read_u64(total);
+        ctx.assert_that(value == workers * increments, "every increment landed");
+        Step::Done
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Solo-vs-concurrent fingerprint invariance over random program /
+    /// partition-count / epoch-length tuples, with forced replays; no
+    /// replay ever yields `UnknownVariable` from a neighbour's handles.
+    #[test]
+    fn tenants_fingerprint_identically_solo_and_concurrent(
+        partitions in 2usize..4,
+        workers in 1u64..4,
+        increments in 1u64..5,
+        events_per_thread in 48usize..256,
+    ) {
+        // The identity baseline: solo run on a fresh single-partition
+        // runtime with the same epoch length and the same forced replays.
+        let solo_runtime = Runtime::new(tenant_config(1, events_per_thread)).unwrap();
+        solo_runtime.add_hook(Arc::new(ReplayEveryEpoch));
+        let solo = solo_runtime.run(tenant_program(workers, increments)).unwrap();
+        prop_assert!(solo.outcome.is_success(), "faults: {:?}", solo.faults);
+        prop_assert!(!solo.replay_validations.is_empty(), "the hook must force replays");
+        prop_assert!(solo.replays_identical());
+
+        // The same program on every partition of one runtime, all sessions
+        // live at once.
+        let multi = Runtime::new(tenant_config(partitions, events_per_thread)).unwrap();
+        multi.add_hook(Arc::new(ReplayEveryEpoch));
+        let events = multi.subscribe(EventFilter::none().divergences());
+        let sessions: Vec<_> = (0..partitions)
+            .map(|_| multi.launch(tenant_program(workers, increments)).unwrap())
+            .collect();
+        for (expected, session) in sessions.iter().enumerate() {
+            prop_assert_eq!(session.partition(), expected);
+        }
+        for session in sessions {
+            let report = session.wait().unwrap();
+            prop_assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+            prop_assert!(report.replays_identical());
+            prop_assert_eq!(
+                report.fingerprint(),
+                solo.fingerprint(),
+                "a concurrent tenant diverged from its solo baseline"
+            );
+        }
+        for event in events.drain() {
+            if let SessionEvent::Diverged { divergence } = event {
+                prop_assert!(
+                    !matches!(divergence.kind, DivergenceKind::UnknownVariable { .. }),
+                    "a neighbour's sync handle leaked across partitions: {divergence:?}"
+                );
+            }
+        }
+    }
+}

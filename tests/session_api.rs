@@ -260,6 +260,114 @@ fn sessions_expose_status_events_and_live_replay_control() {
 }
 
 #[test]
+fn epoch_closed_events_carry_per_epoch_counters() {
+    // A plain run: every closed epoch reports its recorded events and zero
+    // replay attempts.
+    let runtime = Runtime::new(small_config()).unwrap();
+    let events = runtime.subscribe(EventFilter::none().epochs());
+    stage(&runtime);
+    runtime.run(deterministic_program()).unwrap();
+    let closed: Vec<(u64, u64, u64)> = events
+        .drain()
+        .into_iter()
+        .filter_map(|e| match e {
+            SessionEvent::EpochClosed {
+                epoch,
+                events_recorded,
+                replays_attempted,
+            } => Some((epoch, events_recorded, replays_attempted)),
+            _ => None,
+        })
+        .collect();
+    assert!(!closed.is_empty(), "every run closes at least one epoch");
+    assert!(
+        closed.iter().any(|(_, events_recorded, _)| *events_recorded > 0),
+        "the deterministic program records sync events: {closed:?}"
+    );
+    assert!(
+        closed.iter().all(|(_, _, replays)| *replays == 0),
+        "a plain run attempts no replays: {closed:?}"
+    );
+
+    // A forced-replay run: the closed epoch accounts for its replay cycle.
+    let runtime = Runtime::new(small_config()).unwrap();
+    runtime.add_hook(Arc::new(ValidateAlways));
+    let events = runtime.subscribe(EventFilter::none().epochs().replays());
+    stage(&runtime);
+    let report = runtime.run(deterministic_program()).unwrap();
+    assert!(!report.replay_validations.is_empty());
+    let drained = events.drain();
+    let replayed_epochs: Vec<u64> = drained
+        .iter()
+        .filter_map(|e| match e {
+            SessionEvent::ReplayFinished { epoch, .. } => Some(*epoch),
+            _ => None,
+        })
+        .collect();
+    assert!(!replayed_epochs.is_empty());
+    for e in &drained {
+        if let SessionEvent::EpochClosed {
+            epoch,
+            events_recorded,
+            replays_attempted,
+        } = e
+        {
+            if replayed_epochs.contains(epoch) {
+                assert!(
+                    *replays_attempted >= 1,
+                    "epoch {epoch} replayed but its close reports none"
+                );
+                assert!(*events_recorded > 0, "a replayed epoch has recorded events");
+            }
+        }
+    }
+}
+
+#[test]
+fn strict_replay_budget_surfaces_replay_budget_exhausted() {
+    // A taint-every-epoch workload: each step issues `fork` (irrevocable,
+    // taints the epoch and forces an epoch end), and the final step faults
+    // while its freshly tainted epoch can never be replayed for diagnosis.
+    let taint_every_epoch_crasher = || {
+        Program::new("tainted-crasher", |ctx| {
+            let step = ctx.global("step", 8);
+            let n = ctx.read_u64(step) + 1;
+            ctx.write_u64(step, n);
+            ctx.fork();
+            if n == 3 {
+                ctx.crash("fault inside a tainted epoch")
+            }
+            Step::Yield
+        })
+    };
+
+    // Default (lenient) budget: the run completes with a faulted report
+    // and simply no replay validation -- the pre-existing behaviour.
+    let runtime = Runtime::new(small_config()).unwrap();
+    let report = runtime.run(taint_every_epoch_crasher()).unwrap();
+    assert!(!report.outcome.is_success());
+    assert!(report.replay_validations.is_empty(), "tainted epochs cannot replay");
+
+    // Strict budget: the impossible diagnosis surfaces as
+    // ReplayBudgetExhausted with zero attempts.
+    let config = Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(256 << 10)
+        .strict_replay_budget(true)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(config).unwrap();
+    let error = runtime.run(taint_every_epoch_crasher()).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::ReplayBudgetExhausted);
+    assert_eq!(error.replay_attempts(), Some(0), "the diagnosis never even started");
+    assert!(error.to_string().contains("0 replay attempts"), "{error}");
+
+    // The teardown was orderly, so the runtime stays launchable.
+    let report = runtime.run(Program::new("recovered", |_| Step::Done)).unwrap();
+    assert!(report.outcome.is_success());
+}
+
+#[test]
 fn status_can_be_polled_while_the_program_runs() {
     let runtime = Runtime::new(small_config()).unwrap();
     let stop = Arc::new(AtomicBool::new(false));
