@@ -1,0 +1,157 @@
+//! `scheduler`: admission throughput of the overcommit scheduler.
+//!
+//! The admission queue turns "launch refused, caller retries" into "launch
+//! queued, freed partition picks it up".  This bench times the end-to-end
+//! cost of that path -- 4N short sessions pushed through an N-partition
+//! runtime in one burst -- against the same total work submitted one
+//! session at a time (the no-contention floor), at 1, 2 and 4 partitions.
+//!
+//! Besides the criterion timings, the bench *verifies* two properties and
+//! panics if they regress:
+//!
+//! * **no refusal under overcommit**: a burst of 4N launches on N
+//!   partitions is fully admitted through the default queue -- zero
+//!   `SessionActive` errors, every session completes, and the queue
+//!   drains back to depth 0;
+//! * **solo-identical reports**: every overcommitted session's
+//!   fingerprint equals the fingerprint of the same program run alone on
+//!   a fresh runtime (queued admission perturbs nothing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ireplayer::{Config, Program, Runtime, Step};
+
+/// Sessions pushed through the runtime per measured round, per partition.
+const OVERCOMMIT_FACTOR: usize = 4;
+
+/// A small deterministic session: enough recorded work (locked counter,
+/// one allocation) that admission cost does not dominate the measurement
+/// into noise, small enough that a round stays in the milliseconds.
+fn short_program(name: &str) -> Program {
+    Program::new(name, |ctx| {
+        let total = ctx.global("total", 8);
+        let lock = ctx.mutex();
+        let scratch = ctx.alloc(128);
+        ctx.write_u64(scratch, 41);
+        let contribution = ctx.read_u64(scratch);
+        ctx.lock(lock);
+        let value = ctx.read_u64(total);
+        ctx.write_u64(total, value + contribution + 1);
+        ctx.unlock(lock);
+        ctx.free(scratch);
+        Step::Done
+    })
+}
+
+fn runtime(partitions: usize) -> Runtime {
+    let config = Config::builder()
+        .partitions(partitions)
+        .arena_size(2 << 20)
+        .heap_block_size(64 << 10)
+        .admission_queue_depth(256)
+        .build()
+        .expect("bench configuration");
+    Runtime::new(config).expect("bench runtime")
+}
+
+/// One overcommit round: burst-launch every session, then wait for all.
+fn overcommit_round(runtime: &Runtime, sessions: usize) {
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            runtime
+                .launch(short_program(&format!("burst-{i}")))
+                .expect("overcommitted launches must queue, not fail")
+        })
+        .collect();
+    for handle in handles {
+        let report = handle.wait().expect("queued session completes");
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    }
+}
+
+/// The no-contention floor: the same number of sessions, one at a time.
+fn sequential_round(runtime: &Runtime, sessions: usize) {
+    for i in 0..sessions {
+        let report = runtime
+            .run(short_program(&format!("burst-{i}")))
+            .expect("sequential session completes");
+        assert!(report.outcome.is_success());
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for partitions in [1usize, 2, 4] {
+        let sessions = partitions * OVERCOMMIT_FACTOR;
+        let rt = runtime(partitions);
+        group.bench_function(BenchmarkId::new("overcommit-burst", partitions), |b| {
+            b.iter(|| overcommit_round(&rt, sessions));
+        });
+        let rt = runtime(partitions);
+        group.bench_function(BenchmarkId::new("sequential-floor", partitions), |b| {
+            b.iter(|| sequential_round(&rt, sessions));
+        });
+    }
+    group.finish();
+}
+
+/// A 4N-on-N burst is admitted without a single refusal and the queue
+/// drains to zero.
+fn verify_overcommit_admission(_c: &mut Criterion) {
+    let partitions = 2;
+    let sessions = partitions * OVERCOMMIT_FACTOR;
+    let rt = runtime(partitions);
+    overcommit_round(&rt, sessions);
+    let diagnostics = rt.diagnostics();
+    println!(
+        "scheduler/overcommit: {sessions} launches on {partitions} partitions, \
+         {} queued along the way, queue depth now {}",
+        diagnostics.launches_queued, diagnostics.admission_queue_depth
+    );
+    assert_eq!(
+        diagnostics.launches_admitted, sessions as u64,
+        "every overcommitted launch must be admitted"
+    );
+    assert_eq!(diagnostics.admission_queue_depth, 0, "the queue must drain");
+    // On a loaded runner an early session can finish mid-burst and hand a
+    // later launch a free partition directly, so only *some* launches are
+    // guaranteed to queue -- not all `sessions - partitions` of them.
+    assert!(
+        diagnostics.launches_queued >= 1,
+        "the burst must exercise the queue at least once \
+         (queued {} of {sessions} launches)",
+        diagnostics.launches_queued
+    );
+}
+
+/// Queued admission perturbs nothing: every overcommitted session's
+/// report fingerprint equals a solo run's.
+fn verify_overcommit_identity(_c: &mut Criterion) {
+    let solo = runtime(1).run(short_program("identity")).expect("solo baseline");
+    assert!(solo.outcome.is_success());
+
+    let rt = runtime(2);
+    let handles: Vec<_> = (0..2 * OVERCOMMIT_FACTOR)
+        .map(|_| rt.launch(short_program("identity")).expect("launch queues"))
+        .collect();
+    for handle in handles {
+        let report = handle.wait().expect("queued session completes");
+        assert_eq!(
+            report.fingerprint(),
+            solo.fingerprint(),
+            "queued admission must not perturb a session"
+        );
+    }
+    println!(
+        "scheduler/identity: {} overcommitted sessions matched the solo fingerprint",
+        2 * OVERCOMMIT_FACTOR
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    verify_overcommit_admission,
+    verify_overcommit_identity
+);
+criterion_main!(benches);

@@ -107,6 +107,96 @@ pub struct Config {
     /// their budget sometimes, and the report alone is the right surface
     /// for exploratory runs.
     pub strict_replay_budget: bool,
+    /// Per-tenant quota: the maximum number of **epochs** one session may
+    /// execute (0 = unlimited, the default).  Enforced at each epoch close:
+    /// a session whose program still wants to run after consuming its last
+    /// budgeted epoch ends with
+    /// [`ErrorKind::QuotaExhausted`](crate::ErrorKind) from
+    /// [`crate::Session::wait`]; a
+    /// [`SessionEvent::QuotaWarning`](crate::SessionEvent) is emitted once
+    /// the session has consumed three quarters of the quota.  A session
+    /// that *finishes* during its final budgeted epoch completes normally.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ireplayer::{Config, ErrorKind, Program, Runtime, Step};
+    ///
+    /// # fn main() -> Result<(), ireplayer::Error> {
+    /// let config = Config::builder()
+    ///     .arena_size(4 << 20)
+    ///     .heap_block_size(128 << 10)
+    ///     .max_epochs(3)
+    ///     .build()?;
+    /// let runtime = Runtime::new(config)?;
+    /// // A greedy tenant that asks for a new epoch on every step runs its
+    /// // three budgeted epochs, then is cut off at the next epoch close.
+    /// let error = runtime
+    ///     .run(Program::new("greedy", |ctx| {
+    ///         ctx.end_epoch();
+    ///         Step::Yield
+    ///     }))
+    ///     .unwrap_err();
+    /// assert_eq!(error.kind(), ErrorKind::QuotaExhausted);
+    /// assert_eq!(error.quota_usage(), Some(("epochs", 3, 3)));
+    /// // The teardown was orderly: the runtime stays launchable.
+    /// let report = runtime.run(Program::new("frugal", |_| Step::Done))?;
+    /// assert!(report.outcome.is_success());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub max_epochs: u64,
+    /// Per-tenant quota: the maximum number of **recorded events** (summed
+    /// over every thread's per-thread log, accumulated across epochs) one
+    /// session may produce (0 = unlimited, the default).  Like
+    /// [`Config::max_epochs`] it is enforced at each epoch close with
+    /// [`ErrorKind::QuotaExhausted`](crate::ErrorKind), after a
+    /// [`SessionEvent::QuotaWarning`](crate::SessionEvent) at three
+    /// quarters of the quota.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ireplayer::{Config, ErrorKind, Program, Runtime, Step};
+    ///
+    /// # fn main() -> Result<(), ireplayer::Error> {
+    /// let config = Config::builder()
+    ///     .arena_size(4 << 20)
+    ///     .heap_block_size(128 << 10)
+    ///     .max_events(64)
+    ///     .build()?;
+    /// let runtime = Runtime::new(config)?;
+    /// // An event-heavy tenant (every lock/unlock is a recorded event)
+    /// // exhausts a 64-event budget long before it finishes.
+    /// let error = runtime
+    ///     .run(Program::new("chatty", |ctx| {
+    ///         let lock = ctx.mutex();
+    ///         for _ in 0..16 {
+    ///             ctx.lock(lock);
+    ///             ctx.unlock(lock);
+    ///         }
+    ///         ctx.end_epoch();
+    ///         Step::Yield
+    ///     }))
+    ///     .unwrap_err();
+    /// assert_eq!(error.kind(), ErrorKind::QuotaExhausted);
+    /// let (resource, used, limit) = error.quota_usage().unwrap();
+    /// assert_eq!((resource, limit), ("events", 64));
+    /// assert!(used >= 64);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub max_events: u64,
+    /// Bound on the **admission queue**: how many launches may wait for a
+    /// partition when every partition is busy.  While the queue has room,
+    /// [`crate::Runtime::launch`] on a fully occupied runtime *queues* the
+    /// program (FIFO) instead of failing; once `admission_queue_depth`
+    /// launches are already waiting, further launches are refused with
+    /// [`ErrorKind::SessionActive`](crate::ErrorKind).  Set to 0 to restore
+    /// the pre-scheduler behaviour where a full runtime refuses launches
+    /// immediately.  [`crate::Runtime::try_launch`] never queues regardless
+    /// of this setting.
+    pub admission_queue_depth: usize,
 }
 
 impl Default for Config {
@@ -128,6 +218,9 @@ impl Default for Config {
             quiescence_timeout_ms: 30_000,
             validate_replay_image: true,
             strict_replay_budget: false,
+            max_epochs: 0,
+            max_events: 0,
+            admission_queue_depth: 64,
         }
     }
 }
@@ -211,6 +304,13 @@ impl Config {
                 "a zero timeout would report every run as a bounded-step violation",
             ));
         }
+        if self.admission_queue_depth > 65_536 {
+            return Err(Error::invalid_config(
+                "admission_queue_depth",
+                self.admission_queue_depth,
+                "more than 65536 queued launches is almost certainly a misconfiguration",
+            ));
+        }
         Ok(())
     }
 }
@@ -282,6 +382,12 @@ impl ConfigBuilder {
         validate_replay_image: bool,
         /// Makes an exhausted diagnostic-replay budget a hard error.
         strict_replay_budget: bool,
+        /// Sets the per-tenant epoch quota (0 = unlimited).
+        max_epochs: u64,
+        /// Sets the per-tenant recorded-event quota (0 = unlimited).
+        max_events: u64,
+        /// Sets the admission-queue bound (0 = refuse when full).
+        admission_queue_depth: usize,
     }
 
     /// Finishes the builder.
@@ -307,6 +413,24 @@ mod tests {
         assert_eq!(built, Config::default());
         assert_eq!(built.partitions, 1, "single-tenant by default");
         assert!(!built.strict_replay_budget);
+        assert_eq!(built.max_epochs, 0, "unlimited epochs by default");
+        assert_eq!(built.max_events, 0, "unlimited events by default");
+        assert_eq!(built.admission_queue_depth, 64, "launches queue by default");
+    }
+
+    #[test]
+    fn quota_and_queue_configurations_validate() {
+        let config = Config::builder()
+            .arena_size(1 << 20)
+            .heap_block_size(64 << 10)
+            .max_epochs(8)
+            .max_events(1 << 20)
+            .admission_queue_depth(0)
+            .build()
+            .unwrap();
+        assert_eq!(config.max_epochs, 8);
+        assert_eq!(config.max_events, 1 << 20);
+        assert_eq!(config.admission_queue_depth, 0, "0 restores refuse-when-full");
     }
 
     #[test]
@@ -391,6 +515,11 @@ mod tests {
                 Config::builder().partitions(1000).build().unwrap_err(),
                 "partitions",
                 "1000".to_string(),
+            ),
+            (
+                Config::builder().admission_queue_depth(100_000).build().unwrap_err(),
+                "admission_queue_depth",
+                "100000".to_string(),
             ),
         ];
         for (error, field, value) in cases {

@@ -51,9 +51,17 @@ pub enum ErrorKind {
     /// An application thread panicked with a payload the runtime does not
     /// understand (a genuine application panic, not a runtime signal).
     ApplicationPanic,
-    /// [`crate::Runtime::launch`] was called while a previous
-    /// [`crate::Session`] on the same runtime was still running.
+    /// No partition was free and the launch could not be queued: either
+    /// every partition was busy and the admission queue was full (or
+    /// [`Config::admission_queue_depth`](crate::Config) is 0), or
+    /// [`crate::Runtime::try_launch`] was called while no partition was
+    /// free (it never queues).
     SessionActive,
+    /// The session consumed its per-tenant quota
+    /// ([`Config::max_epochs`](crate::Config) or
+    /// [`Config::max_events`](crate::Config)) and its program still wanted
+    /// to run; see [`Error::quota_usage`].
+    QuotaExhausted,
     /// A previous run left threads the runtime could not reclaim; the
     /// runtime refuses further launches because its warm state can no
     /// longer be trusted.
@@ -75,6 +83,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::RecordingDisabled => "recording disabled",
             ErrorKind::ApplicationPanic => "application panic",
             ErrorKind::SessionActive => "session already active",
+            ErrorKind::QuotaExhausted => "tenant quota exhausted",
             ErrorKind::Poisoned => "runtime poisoned",
             ErrorKind::ThreadSpawn => "thread spawn failure",
         };
@@ -105,6 +114,11 @@ enum Repr {
     RecordingDisabled,
     ApplicationPanic(String),
     SessionActive,
+    QuotaExhausted {
+        resource: &'static str,
+        used: u64,
+        limit: u64,
+    },
     Poisoned {
         stuck_threads: Vec<u32>,
     },
@@ -148,6 +162,7 @@ impl Error {
             Repr::RecordingDisabled => ErrorKind::RecordingDisabled,
             Repr::ApplicationPanic(_) => ErrorKind::ApplicationPanic,
             Repr::SessionActive => ErrorKind::SessionActive,
+            Repr::QuotaExhausted { .. } => ErrorKind::QuotaExhausted,
             Repr::Poisoned { .. } => ErrorKind::Poisoned,
             Repr::ThreadSpawn(_) => ErrorKind::ThreadSpawn,
         }
@@ -177,6 +192,16 @@ impl Error {
     pub fn replay_attempts(&self) -> Option<u32> {
         match &*self.repr {
             Repr::ReplayBudgetExhausted { attempts } => Some(*attempts),
+            _ => None,
+        }
+    }
+
+    /// The exhausted resource (`"epochs"` or `"events"`), the usage the
+    /// session reached, and the configured limit, when
+    /// [`ErrorKind::QuotaExhausted`].
+    pub fn quota_usage(&self) -> Option<(&'static str, u64, u64)> {
+        match &*self.repr {
+            Repr::QuotaExhausted { resource, used, limit } => Some((resource, *used, *limit)),
             _ => None,
         }
     }
@@ -228,6 +253,10 @@ impl Error {
         Error::new(Repr::SessionActive)
     }
 
+    pub(crate) fn quota_exhausted(resource: &'static str, used: u64, limit: u64) -> Self {
+        Error::new(Repr::QuotaExhausted { resource, used, limit })
+    }
+
     pub(crate) fn poisoned(stuck_threads: Vec<u32>) -> Self {
         Error::new(Repr::Poisoned { stuck_threads })
     }
@@ -264,9 +293,13 @@ impl fmt::Display for Error {
             Repr::SessionActive => {
                 write!(
                     f,
-                    "a session is already running on this runtime; wait for it before launching again"
+                    "every partition is busy and the admission queue is full; wait for a session to finish before launching again"
                 )
             }
+            Repr::QuotaExhausted { resource, used, limit } => write!(
+                f,
+                "the session exhausted its {resource} quota ({used} of {limit} used) and was cut off at the epoch boundary"
+            ),
             Repr::Poisoned { stuck_threads } => write!(
                 f,
                 "a previous run left threads {stuck_threads:?} unreclaimed; the runtime refuses further launches"
@@ -329,6 +362,7 @@ mod tests {
             (Error::recording_disabled(), ErrorKind::RecordingDisabled),
             (Error::application_panic("oops"), ErrorKind::ApplicationPanic),
             (Error::session_active(), ErrorKind::SessionActive),
+            (Error::quota_exhausted("epochs", 8, 8), ErrorKind::QuotaExhausted),
             (Error::poisoned(vec![3]), ErrorKind::Poisoned),
             (Error::thread_spawn("EAGAIN"), ErrorKind::ThreadSpawn),
         ];
@@ -363,6 +397,10 @@ mod tests {
         assert_eq!(Error::quiescence_timeout(vec![7, 9]).stuck_threads(), Some(&[7, 9][..]));
         assert_eq!(Error::poisoned(vec![1]).stuck_threads(), Some(&[1][..]));
         assert!(Error::session_active().fault().is_none());
+        let quota = Error::quota_exhausted("events", 130, 128);
+        assert_eq!(quota.quota_usage(), Some(("events", 130, 128)));
+        assert!(quota.to_string().contains("events") && quota.to_string().contains("128"));
+        assert!(Error::session_active().quota_usage().is_none());
     }
 
     #[test]

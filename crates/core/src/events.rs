@@ -88,11 +88,28 @@ pub enum SessionEvent {
         /// The watchpoint hit.
         hit: WatchHitReport,
     },
+    /// The session has consumed at least three quarters of one of its
+    /// per-tenant quotas ([`Config::max_epochs`](crate::Config) or
+    /// [`Config::max_events`](crate::Config)).  Emitted at most once per
+    /// resource per session, at the epoch close where the threshold was
+    /// crossed; if the session keeps going until the quota is exhausted it
+    /// ends with [`ErrorKind::QuotaExhausted`](crate::ErrorKind).
+    QuotaWarning {
+        /// The epoch at whose close the warning fired.
+        epoch: u64,
+        /// Which quota is running out: `"epochs"` or `"events"`.
+        resource: &'static str,
+        /// Usage the session has accumulated so far.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
     /// The run finished; [`crate::Session::wait`] will return.  Exactly one
     /// is emitted per launch, even when the run terminates with a
-    /// supervisor error (in which case `outcome` carries the program's
-    /// last observed outcome and the error surfaces through
-    /// [`crate::Session::wait`]).
+    /// supervisor error -- or never ran at all (a failed dispatch or a
+    /// poisoned-out queued launch) -- in which case `outcome` carries the
+    /// program's last observed outcome and the error surfaces through
+    /// [`crate::Session::wait`].
     Finished {
         /// How the run ended.
         outcome: RunOutcome,
@@ -105,6 +122,7 @@ const DIVERGENCES: u8 = 1 << 2;
 const FAULTS: u8 = 1 << 3;
 const WATCH_HITS: u8 = 1 << 4;
 const LIFECYCLE: u8 = 1 << 5;
+const QUOTAS: u8 = 1 << 6;
 
 impl SessionEvent {
     fn category(&self) -> u8 {
@@ -116,6 +134,7 @@ impl SessionEvent {
             SessionEvent::Diverged { .. } => DIVERGENCES,
             SessionEvent::Faulted { .. } => FAULTS,
             SessionEvent::WatchHit { .. } => WATCH_HITS,
+            SessionEvent::QuotaWarning { .. } => QUOTAS,
             SessionEvent::Finished { .. } => LIFECYCLE,
         }
     }
@@ -182,6 +201,12 @@ impl EventFilter {
     /// Adds run-lifecycle events ([`SessionEvent::Finished`]).
     pub fn lifecycle(mut self) -> Self {
         self.mask |= LIFECYCLE;
+        self
+    }
+
+    /// Adds per-tenant quota events ([`SessionEvent::QuotaWarning`]).
+    pub fn quotas(mut self) -> Self {
+        self.mask |= QUOTAS;
         self
     }
 
@@ -326,6 +351,19 @@ mod tests {
         };
         assert!(EventFilter::none().epochs().accepts(&closed));
         assert!(!EventFilter::none().replays().accepts(&closed));
+    }
+
+    #[test]
+    fn quota_warnings_are_their_own_event_class() {
+        let warning = SessionEvent::QuotaWarning {
+            epoch: 5,
+            resource: "epochs",
+            used: 6,
+            limit: 8,
+        };
+        assert!(EventFilter::none().quotas().accepts(&warning));
+        assert!(!EventFilter::none().epochs().accepts(&warning));
+        assert!(EventFilter::all().accepts(&warning));
     }
 
     #[test]

@@ -94,6 +94,24 @@
 //! solo on a fresh runtime.  [`Runtime::launch`] claims the lowest free
 //! partition; [`Runtime::diagnostics`] reports per-partition occupancy.
 //!
+//! ## Scheduling and per-tenant quotas
+//!
+//! The runtime admits *arbitrary* load, not just one launch per
+//! partition: when every partition is busy, [`Runtime::launch`] queues
+//! the program on a bounded FIFO **admission queue**
+//! ([`Config::admission_queue_depth`]) and a freed partition immediately
+//! claims the oldest queued launch -- launches complete in launch order,
+//! with reports identical to uncontended runs.  [`Runtime::try_launch`]
+//! is the load-shedding variant that never waits.  [`Session::wait_async`]
+//! turns a session into an executor-agnostic future, so thousands of
+//! pending tenants can be awaited from a single polling thread.  Per-tenant
+//! quotas ([`Config::max_epochs`], [`Config::max_events`]) bound what one
+//! greedy session may consume: a [`SessionEvent::QuotaWarning`] fires at
+//! three quarters of a quota and
+//! [`ErrorKind::QuotaExhausted`](ErrorKind) cuts the session off at the
+//! epoch boundary where the quota runs out -- its neighbours are
+//! untouched.  See `docs/ARCHITECTURE.md` for the scheduler lifecycle.
+//!
 //! Every fallible call returns the crate-wide [`Error`], classified by a
 //! stable, `#[non_exhaustive]` [`ErrorKind`].
 
@@ -112,6 +130,7 @@ mod pool;
 mod program;
 mod rng;
 mod runtime;
+mod scheduler;
 mod session;
 mod sink;
 mod site;
@@ -129,7 +148,7 @@ pub use hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
 pub use program::{BodyFn, Program, Step};
 pub use rng::DetRng;
 pub use runtime::{PartitionDiagnostics, Runtime, RuntimeDiagnostics};
-pub use session::{RunPhase, Session, SessionStatus};
+pub use session::{RunPhase, Session, SessionFuture, SessionStatus};
 pub use site::{Site, SiteId};
 pub use stats::{ReplayValidation, RunOutcome, RunReport, WatchHitReport};
 

@@ -38,6 +38,7 @@ use crate::fault::{FaultRecord, UnwindSignal};
 use crate::hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
 use crate::pool::SupervisorPool;
 use crate::program::{BodyFn, Program};
+use crate::scheduler::{AdmitMode, Scheduler};
 use crate::session::{Session, SessionShared};
 use crate::state::{Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, ThreadPhase, VThread, INTERNAL_SYNC_VARS};
 use crate::stats::{Counters, ReplayValidation, RunOutcome, RunReport, WatchHitReport};
@@ -97,6 +98,9 @@ pub struct Runtime {
     pub(crate) partitions: Vec<Arc<RtInner>>,
     /// Shared supervisor actors (at most one worker per partition).
     pub(crate) pool: Arc<SupervisorPool>,
+    /// Cross-partition admission scheduler: FIFO queue of launches waiting
+    /// for a partition, pumped by every partition release.
+    pub(crate) scheduler: Arc<Scheduler>,
 }
 
 impl Runtime {
@@ -124,7 +128,12 @@ impl Runtime {
                 rt
             })
             .collect();
-        Ok(Runtime { partitions, pool })
+        let scheduler = Scheduler::new(partitions.clone(), Arc::clone(&pool), config.admission_queue_depth);
+        Ok(Runtime {
+            partitions,
+            pool,
+            scheduler,
+        })
     }
 
     /// The configuration this runtime was created with.
@@ -189,25 +198,116 @@ impl Runtime {
     }
 
     /// Starts `program` on this runtime and returns the live [`Session`]
-    /// handle, claiming the **lowest-indexed free partition**.  The run
-    /// proceeds on background threads; use [`Session::status`],
-    /// [`Session::subscribe`], and [`Session::request_replay`] to observe
-    /// and steer it, and [`Session::wait`] to collect the report.  On a
-    /// multi-partition runtime, several launches can be live at once (one
-    /// per partition).
+    /// handle, claiming the **lowest-indexed free partition** -- or, when
+    /// every partition is busy, **queueing** the launch on the runtime's
+    /// bounded FIFO admission queue (see
+    /// [`Config::admission_queue_depth`]): a partition freed by a
+    /// finishing session immediately claims the oldest queued launch, in
+    /// launch order.  The run proceeds on background threads; use
+    /// [`Session::status`], [`Session::subscribe`], and
+    /// [`Session::request_replay`] to observe and steer it (all three work
+    /// on a still-queued session too), and [`Session::wait`] or
+    /// [`Session::wait_async`] to collect the report.
     ///
     /// # Errors
     ///
-    /// Returns [`ErrorKind::SessionActive`](crate::ErrorKind) while no
-    /// healthy partition is free (occupied partitions can free up, so this
-    /// is transient as long as any healthy session is running),
-    /// [`ErrorKind::Poisoned`](crate::ErrorKind) once **every** partition
-    /// has been poisoned by unreclaimable threads (no launch can ever
-    /// succeed again), and
+    /// Returns [`ErrorKind::SessionActive`](crate::ErrorKind) only when no
+    /// partition is free **and** the admission queue is full (with the
+    /// default depth of 64 that takes 64 launches already waiting; with
+    /// depth 0 any overcommitted launch is refused, the pre-scheduler
+    /// behaviour), [`ErrorKind::Poisoned`](crate::ErrorKind) once
+    /// **every** partition has been poisoned by unreclaimable threads (no
+    /// launch can ever succeed again), and
     /// [`ErrorKind::ThreadSpawn`](crate::ErrorKind) if the OS refuses the
-    /// supervisor thread.
+    /// supervisor thread for a directly admitted launch.  A launch that
+    /// *queued* reports a later admission failure through
+    /// [`Session::wait`] / [`Session::wait_async`] instead (the `launch`
+    /// call has long returned by then).
+    ///
+    /// # Example
+    ///
+    /// Overcommitting a single-partition runtime: the second launch queues
+    /// instead of failing and runs as soon as the first finishes.
+    ///
+    /// ```
+    /// use ireplayer::{Config, Program, Runtime, RunPhase, Step};
+    ///
+    /// # fn main() -> Result<(), ireplayer::Error> {
+    /// let config = Config::builder()
+    ///     .arena_size(4 << 20)
+    ///     .heap_block_size(128 << 10)
+    ///     .build()?;
+    /// let runtime = Runtime::new(config)?;
+    /// let first = runtime.launch(Program::new("first", |ctx| {
+    ///     ctx.work(1_000);
+    ///     Step::Done
+    /// }))?;
+    /// // The only partition is (very likely still) busy: this launch is
+    /// // admitted later, from the queue, rather than refused.
+    /// let second = runtime.launch(Program::new("second", |_| Step::Done))?;
+    /// if second.partition().is_none() {
+    ///     assert_eq!(second.status().phase, RunPhase::Queued);
+    /// }
+    /// assert!(first.wait()?.outcome.is_success());
+    /// assert!(second.wait()?.outcome.is_success());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn launch(&self, program: Program) -> Result<Session<'_>, Error> {
-        Session::start(self, program)
+        Session::start(self, program, AdmitMode::QueueWhenFull)
+    }
+
+    /// The non-queueing variant of [`Runtime::launch`]: starts `program`
+    /// only if a partition is free **right now**, and otherwise fails
+    /// immediately with [`ErrorKind::SessionActive`](crate::ErrorKind)
+    /// without consuming admission-queue room.  Use it for callers that
+    /// would rather shed load (or try another runtime) than wait behind
+    /// the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::SessionActive`](crate::ErrorKind) when no healthy
+    /// partition is free or other launches are already queued (admitting
+    /// this one would overtake them);
+    /// [`ErrorKind::Poisoned`](crate::ErrorKind) and
+    /// [`ErrorKind::ThreadSpawn`](crate::ErrorKind) as for
+    /// [`Runtime::launch`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ireplayer::{Config, ErrorKind, Program, Runtime, Step};
+    /// use std::sync::atomic::{AtomicBool, Ordering};
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), ireplayer::Error> {
+    /// let config = Config::builder()
+    ///     .arena_size(4 << 20)
+    ///     .heap_block_size(128 << 10)
+    ///     .build()?;
+    /// let runtime = Runtime::new(config)?;
+    /// // A free runtime admits immediately...
+    /// let gate = Arc::new(AtomicBool::new(false));
+    /// let gate_for_body = Arc::clone(&gate);
+    /// let session = runtime.try_launch(Program::new("now", move |ctx| {
+    ///     ctx.work(100);
+    ///     if gate_for_body.load(Ordering::Acquire) {
+    ///         Step::Done
+    ///     } else {
+    ///         Step::Yield
+    ///     }
+    /// }))?;
+    /// // ...but while it runs, try_launch sheds the overload instead of
+    /// // queueing it.
+    /// let refused = runtime.try_launch(Program::new("later", |_| Step::Done));
+    /// assert_eq!(refused.unwrap_err().kind(), ErrorKind::SessionActive);
+    /// gate.store(true, Ordering::Release);
+    /// assert!(session.wait()?.outcome.is_success());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn try_launch(&self, program: Program) -> Result<Session<'_>, Error> {
+        Session::start(self, program, AdmitMode::Immediate)
     }
 
     /// Runs `program` to completion and returns its report: shorthand for
@@ -221,17 +321,20 @@ impl Runtime {
         self.launch(program)?.wait()
     }
 
-    /// Allocation and wake-up diagnostics, for asserting the warm-relaunch
-    /// guarantees (zero re-allocation of backing storage across launches),
-    /// the step-boundary batching of supervisor wake-ups, and -- per
-    /// partition -- occupancy and cross-tenant isolation (idle partitions
-    /// show zero live threads, zero live sync variables, and an arena
-    /// high-water mark back at its construction baseline, no matter what
-    /// their neighbours did).
+    /// Allocation, wake-up, and **scheduling** diagnostics, for asserting
+    /// the warm-relaunch guarantees (zero re-allocation of backing storage
+    /// across launches), the step-boundary batching of supervisor
+    /// wake-ups, the admission queue's behaviour (current depth plus
+    /// cumulative queued/admitted launch counts), and -- per partition --
+    /// occupancy, per-tenant quota usage, and cross-tenant isolation (idle
+    /// partitions show zero live threads, zero live sync variables, and an
+    /// arena high-water mark back at its construction baseline, no matter
+    /// what their neighbours did).
     pub fn diagnostics(&self) -> RuntimeDiagnostics {
         let partitions: Vec<PartitionDiagnostics> =
             self.partitions.iter().map(|rt| partition_diagnostics(rt)).collect();
         let sum = |field: fn(&PartitionDiagnostics) -> u64| partitions.iter().map(field).sum();
+        let (launches_queued, launches_admitted) = self.scheduler.admission_counts();
         RuntimeDiagnostics {
             world_pokes: sum(|p| p.world_pokes),
             arena_allocations: sum(|p| p.arena_allocations),
@@ -240,6 +343,9 @@ impl Runtime {
             var_lists_created: sum(|p| p.var_lists_created),
             var_lists_reused: sum(|p| p.var_lists_reused),
             var_chunks_allocated: sum(|p| p.var_chunks_allocated),
+            admission_queue_depth: self.scheduler.queue_len() as u64,
+            launches_queued,
+            launches_admitted,
             partitions,
         }
     }
@@ -247,6 +353,10 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        // Stop admitting first: queued launches can only still exist here
+        // if their handles were dropped (the session lifetime ties live
+        // handles to the runtime), so abandoning them is unobservable.
+        self.scheduler.shutdown();
         // Parked supervisors exit; a worker still driving a detached
         // session finishes its run first (it owns everything by Arc).
         self.pool.shutdown();
@@ -258,6 +368,7 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("partitions", &self.partitions)
             .field("pool", &self.pool)
+            .field("scheduler", &self.scheduler)
             .finish()
     }
 }
@@ -290,6 +401,10 @@ fn partition_diagnostics(rt: &RtInner) -> PartitionDiagnostics {
         var_lists_created: Counters::get(&rt.diag.var_lists_created),
         var_lists_reused: Counters::get(&rt.diag.var_lists_reused),
         var_chunks_allocated,
+        quota_epochs_used: Counters::get(&rt.counters.epochs),
+        quota_events_used: Counters::get(&rt.counters.events_recorded),
+        quota_max_epochs: rt.config.max_epochs,
+        quota_max_events: rt.config.max_events,
     }
 }
 
@@ -323,6 +438,14 @@ pub struct RuntimeDiagnostics {
     /// Backing chunks currently allocated across all per-variable lists
     /// (live and pooled); flat across warm relaunches.
     pub var_chunks_allocated: u64,
+    /// Launches currently waiting on the admission queue for a partition
+    /// to free up.
+    pub admission_queue_depth: u64,
+    /// Launches that had to wait on the admission queue (cumulative; a
+    /// launch admitted straight onto a free partition does not count).
+    pub launches_queued: u64,
+    /// Launches admitted onto a partition (cumulative, queued or direct).
+    pub launches_admitted: u64,
     /// Per-partition occupancy and counters, in partition order.
     pub partitions: Vec<PartitionDiagnostics>,
 }
@@ -376,6 +499,19 @@ pub struct PartitionDiagnostics {
     /// Backing chunks currently allocated across this partition's
     /// per-variable lists (live and pooled).
     pub var_chunks_allocated: u64,
+    /// Epochs the session currently occupying this partition has executed
+    /// (the usage [`Config::max_epochs`] is enforced against; 0 on an idle
+    /// partition, whose end-of-run reset restarts the counters).
+    pub quota_epochs_used: u64,
+    /// Recorded events (summed over every thread's log at each epoch
+    /// close) of the session currently occupying this partition (the usage
+    /// [`Config::max_events`] is enforced against; mid-epoch events appear
+    /// at the next close).
+    pub quota_events_used: u64,
+    /// The configured [`Config::max_epochs`] quota (0 = unlimited).
+    pub quota_max_epochs: u64,
+    /// The configured [`Config::max_events`] quota (0 = unlimited).
+    pub quota_max_events: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -491,7 +627,7 @@ pub(crate) fn supervise(
                     }
                 }
             }
-            emit_epoch_closed(&rt, epoch_replays);
+            close_epoch(&rt, epoch_replays);
             break;
         }
 
@@ -512,19 +648,27 @@ pub(crate) fn supervise(
                                     replay_validations.push(validation);
                                     if let Some(error) = strict_error {
                                         supervisor_error = Some(error);
-                                        emit_epoch_closed(&rt, epoch_replays);
+                                        close_epoch(&rt, epoch_replays);
                                         break;
                                     }
                                 }
                                 Err(e) => {
                                     supervisor_error = Some(e);
-                                    emit_epoch_closed(&rt, epoch_replays);
+                                    close_epoch(&rt, epoch_replays);
                                     break;
                                 }
                             }
                         }
                     }
-                    emit_epoch_closed(&rt, epoch_replays);
+                    close_epoch(&rt, epoch_replays);
+                    // A continue-type epoch end means the program wants
+                    // more epochs: the per-tenant quotas are enforced
+                    // here, cutting the session off at the boundary
+                    // instead of mid-epoch.
+                    if let Some(error) = enforce_quotas(&rt) {
+                        supervisor_error = Some(error);
+                        break;
+                    }
                     checkpoint = begin_epoch(&rt, false);
                 }
                 Quiescence::Stalled => {
@@ -624,16 +768,62 @@ pub(crate) fn supervise(
 // Supervisor helpers.
 // ---------------------------------------------------------------------------
 
-/// Announces the completion of an epoch's bookkeeping with the epoch's own
-/// counters: how many events its per-thread logs recorded and how many
-/// replay attempts its boundary performed.  Called before the next
-/// [`begin_epoch`] clears the logs.
-fn emit_epoch_closed(rt: &RtInner, replays_attempted: u64) {
+/// Completes an epoch's bookkeeping: accumulates the epoch's per-thread
+/// log events into the session-wide total (the figure the `max_events`
+/// quota and `PartitionDiagnostics::quota_events_used` are built on) and
+/// announces [`SessionEvent::EpochClosed`] with the epoch's own counters.
+/// Called before the next [`begin_epoch`] clears the logs.
+fn close_epoch(rt: &RtInner, replays_attempted: u64) {
+    let events_recorded: u64 = rt.threads.read().iter().map(|vt| vt.list.len() as u64).sum();
+    Counters::add(&rt.counters.events_recorded, events_recorded);
     rt.emit_event(|| SessionEvent::EpochClosed {
         epoch: rt.epoch_number(),
-        events_recorded: rt.threads.read().iter().map(|vt| vt.list.len() as u64).sum(),
+        events_recorded,
         replays_attempted,
     });
+}
+
+/// Per-tenant quota bookkeeping at an epoch close whose program still
+/// wants to continue: returns the [`ErrorKind::QuotaExhausted`]
+/// (crate::ErrorKind) error once a configured quota is used up, and emits
+/// one [`SessionEvent::QuotaWarning`] per resource when usage first
+/// reaches three quarters of its quota.  A session that *finishes* inside
+/// its budget is never cut (the final-epoch close does not come here).
+fn enforce_quotas(rt: &RtInner) -> Option<Error> {
+    const EPOCHS_WARNED: u8 = 1 << 0;
+    const EVENTS_WARNED: u8 = 1 << 1;
+    let quotas = [
+        (
+            "epochs",
+            EPOCHS_WARNED,
+            Counters::get(&rt.counters.epochs),
+            rt.config.max_epochs,
+        ),
+        (
+            "events",
+            EVENTS_WARNED,
+            Counters::get(&rt.counters.events_recorded),
+            rt.config.max_events,
+        ),
+    ];
+    for (resource, warned_bit, used, limit) in quotas {
+        if limit == 0 {
+            continue;
+        }
+        if used >= limit {
+            return Some(Error::quota_exhausted(resource, used, limit));
+        }
+        let warn_threshold_reached = used.saturating_mul(4) >= limit.saturating_mul(3);
+        if warn_threshold_reached && rt.quota_warned.fetch_or(warned_bit, Ordering::AcqRel) & warned_bit == 0 {
+            rt.emit_event(|| SessionEvent::QuotaWarning {
+                epoch: rt.epoch_number(),
+                resource,
+                used,
+                limit,
+            });
+        }
+    }
+    None
 }
 
 /// Under [`Config::strict_replay_budget`], an unmatched replay cycle

@@ -1,0 +1,354 @@
+//! The cross-partition admission scheduler: queued launches over a
+//! bounded FIFO.
+//!
+//! Before this module, an overcommitted [`crate::Runtime`] -- more
+//! launches than arena partitions -- refused the excess with
+//! [`ErrorKind::SessionActive`](crate::ErrorKind) and pushed the retry
+//! loop onto every caller.  The scheduler turns that refusal into
+//! *admission control*: [`crate::Runtime::launch`] on a fully occupied
+//! runtime enqueues the program on a bounded FIFO (the **admission
+//! queue**, bounded by [`Config::admission_queue_depth`](crate::Config)),
+//! and a partition freed by a finishing session immediately claims the
+//! oldest queued launch -- on the same supervisor-pool worker that just
+//! went idle, so admission costs no thread churn.
+//!
+//! Invariants:
+//!
+//! * **FIFO admission.**  Every partition claim happens under the
+//!   scheduler lock, and a direct claim is only attempted when the queue
+//!   is empty -- a launch can never overtake one that queued before it.
+//! * **Release-then-pump.**  A finishing supervisor releases its
+//!   partition and drains the queue head under one lock acquisition
+//!   ([`Scheduler::release_and_pump`]), so no interloper can slip between
+//!   the release and the hand-off, and the result is delivered to
+//!   [`crate::Session::wait`] only *after* the partition has been passed
+//!   on (the same "release before deliver" ordering the single-tenant
+//!   runtime had).
+//! * **Nothing queues forever.**  A queued launch is admitted by the next
+//!   free partition, failed with
+//!   [`ErrorKind::Poisoned`](crate::ErrorKind) once every partition is
+//!   poisoned, or dropped (detached) when the runtime itself is dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Error;
+use crate::events::SessionEvent;
+use crate::pool::SupervisorPool;
+use crate::program::{BodyFn, Program};
+use crate::session::SessionShared;
+use crate::state::RtInner;
+use crate::stats::RunOutcome;
+
+/// One launch waiting for a partition.
+struct Pending {
+    shared: Arc<SessionShared>,
+    program_name: String,
+    main_body: BodyFn,
+}
+
+/// One admission decided by the pump: this pending launch now owns this
+/// partition (its `session_active` flag is already set).
+struct Admission {
+    pending: Pending,
+    rt: Arc<RtInner>,
+    partition: usize,
+}
+
+#[derive(Default)]
+struct SchedState {
+    queue: VecDeque<Pending>,
+    /// Launches that went through the queue (cumulative).
+    queued_total: u64,
+    /// Launches admitted onto a partition (cumulative; queued or direct).
+    admitted_total: u64,
+    /// Set by [`Scheduler::shutdown`]: no further admissions.
+    shutdown: bool,
+}
+
+/// How a launch behaves when no partition is free right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitMode {
+    /// Queue on the admission queue while it has room
+    /// ([`crate::Runtime::launch`]).
+    QueueWhenFull,
+    /// Fail with [`ErrorKind::SessionActive`](crate::ErrorKind)
+    /// immediately ([`crate::Runtime::try_launch`]).
+    Immediate,
+}
+
+/// The admission scheduler shared by every partition of one
+/// [`crate::Runtime`].
+pub(crate) struct Scheduler {
+    partitions: Vec<Arc<RtInner>>,
+    pool: Arc<SupervisorPool>,
+    state: Mutex<SchedState>,
+    queue_depth: usize,
+}
+
+impl Scheduler {
+    pub fn new(partitions: Vec<Arc<RtInner>>, pool: Arc<SupervisorPool>, queue_depth: usize) -> Arc<Self> {
+        Arc::new(Scheduler {
+            partitions,
+            pool,
+            state: Mutex::new(SchedState::default()),
+            queue_depth,
+        })
+    }
+
+    /// Launches `program`: admits it onto a free partition, or queues it
+    /// per `mode`.  Returns the per-launch shared state the
+    /// [`crate::Session`] handle wraps.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::SessionActive`](crate::ErrorKind) when nothing is free
+    /// and the launch may not wait (queue full, depth 0, or
+    /// [`AdmitMode::Immediate`]); [`ErrorKind::Poisoned`](crate::ErrorKind)
+    /// once every partition is poisoned;
+    /// [`ErrorKind::ThreadSpawn`](crate::ErrorKind) when the supervisor
+    /// pool cannot serve the job.
+    pub fn submit(self: &Arc<Self>, program: Program, mode: AdmitMode) -> Result<Arc<SessionShared>, Error> {
+        let (program_name, main_body) = program.into_parts();
+        let shared = SessionShared::new(self.partitions[0].config.mode);
+        let pending = Pending {
+            shared: Arc::clone(&shared),
+            program_name,
+            main_body,
+        };
+        let admissions = {
+            let mut state = self.state.lock();
+            if self.partitions.iter().all(|rt| rt.poisoned.load(Ordering::Acquire)) {
+                let stuck: Vec<u32> = self
+                    .partitions
+                    .iter()
+                    .flat_map(|rt| rt.poisoned_threads.lock().clone())
+                    .collect();
+                return Err(Error::poisoned(stuck));
+            }
+            // Enqueue behind everything already waiting, then pump: the
+            // pump admits strictly from the front, so FIFO admission falls
+            // out by construction even on the (transient) states where a
+            // partition freed while the queue was non-empty.
+            state.queue.push_back(pending);
+            let admissions = self.pump_locked(&mut state);
+            let still_queued = state
+                .queue
+                .back()
+                .is_some_and(|pending| Arc::ptr_eq(&pending.shared, &shared));
+            if still_queued {
+                let may_wait = mode == AdmitMode::QueueWhenFull && state.queue.len() <= self.queue_depth;
+                if !may_wait {
+                    state.queue.pop_back();
+                    return Err(Error::session_active());
+                }
+                state.queued_total += 1;
+            }
+            admissions
+        };
+        // An error dispatching an *earlier* queued launch must not fail
+        // this submission: its session observes it through its own wait().
+        self.dispatch(admissions);
+        // But a failure serving *this* launch's own admission fails the
+        // launch call itself, as it did before the scheduler existed.
+        if let Some(error) = shared.take_startup_failure() {
+            return Err(error);
+        }
+        Ok(shared)
+    }
+
+    /// Returns `partition` to the free pool and immediately admits the
+    /// oldest queued launch onto it (and onto any other partition that is
+    /// free, self-healing after dispatch failures).  Called by a finishing
+    /// supervisor right before it delivers its own result.
+    pub fn release_and_pump(self: &Arc<Self>, rt: &RtInner) {
+        let mut poisoned_out: Vec<Pending> = Vec::new();
+        let admissions = {
+            let mut state = self.state.lock();
+            rt.session_active.store(false, Ordering::Release);
+            if rt.poisoned.load(Ordering::Acquire) && self.partitions.iter().all(|p| p.poisoned.load(Ordering::Acquire))
+            {
+                // No partition will ever free again: fail the whole queue
+                // rather than stranding its waiters.  Collected here,
+                // failed below -- delivery runs arbitrary waker code and
+                // must not happen under the scheduler lock.
+                poisoned_out = state.queue.drain(..).collect();
+                Vec::new()
+            } else {
+                self.pump_locked(&mut state)
+            }
+        };
+        if !poisoned_out.is_empty() {
+            let stuck: Vec<u32> = self
+                .partitions
+                .iter()
+                .flat_map(|p| p.poisoned_threads.lock().clone())
+                .collect();
+            for pending in poisoned_out {
+                pending
+                    .shared
+                    .finish_without_running(Err(Error::poisoned(stuck.clone())));
+            }
+            return;
+        }
+        self.dispatch(admissions);
+    }
+
+    /// Admits queued launches onto free healthy partitions, oldest first,
+    /// until one side runs out.  Caller holds the scheduler lock.
+    fn pump_locked(self: &Arc<Self>, state: &mut SchedState) -> Vec<Admission> {
+        let mut admissions = Vec::new();
+        if state.shutdown {
+            return admissions;
+        }
+        while !state.queue.is_empty() {
+            let Some((partition, rt)) = self.claim_free_partition() else {
+                break;
+            };
+            let pending = state.queue.pop_front().expect("checked non-empty");
+            state.admitted_total += 1;
+            admissions.push(Admission { pending, rt, partition });
+        }
+        admissions
+    }
+
+    /// Claims the lowest-indexed partition that is neither poisoned nor
+    /// occupied.  Only called under the scheduler lock, so the claim order
+    /// is deterministic and FIFO-safe.
+    fn claim_free_partition(&self) -> Option<(usize, Arc<RtInner>)> {
+        for (index, rt) in self.partitions.iter().enumerate() {
+            if rt.poisoned.load(Ordering::Acquire) {
+                continue;
+            }
+            if rt
+                .session_active
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((index, Arc::clone(rt)));
+            }
+        }
+        None
+    }
+
+    /// Binds each admission's session to its partition and hands the
+    /// supervision job to the pool, oldest first (so FIFO holds for pool
+    /// service order too).  A job the pool cannot serve fails its own
+    /// session, releases the partition, and lets the queue pump again --
+    /// later admissions are unaffected, and re-pumped ones are served
+    /// after the batch's remaining (older) admissions.
+    fn dispatch(self: &Arc<Self>, admissions: Vec<Admission>) {
+        let mut admissions: VecDeque<Admission> = admissions.into();
+        while let Some(Admission { pending, rt, partition }) = admissions.pop_front() {
+            pending.shared.attach(&rt, partition);
+            let job = supervision_job(
+                Arc::clone(self),
+                Arc::clone(&rt),
+                Arc::clone(&pending.shared),
+                pending.program_name,
+                pending.main_body,
+            );
+            if let Err(error) = self.pool.execute(job) {
+                // Release the partition (and re-pump) *before* delivering
+                // the failure: a caller woken by the delivery must be able
+                // to relaunch without a spurious `SessionActive`.
+                let more = {
+                    let mut state = self.state.lock();
+                    rt.session_active.store(false, Ordering::Release);
+                    self.pump_locked(&mut state)
+                };
+                pending.shared.finish_without_running(Err(error));
+                admissions.extend(more);
+            }
+        }
+    }
+
+    /// Launches currently waiting on the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Cumulative (queued, admitted) launch counts.
+    pub fn admission_counts(&self) -> (u64, u64) {
+        let state = self.state.lock();
+        (state.queued_total, state.admitted_total)
+    }
+
+    /// Stops admitting and abandons the queue.  Called from
+    /// [`crate::Runtime`]'s `Drop`: a queued launch can only still exist
+    /// there if its `Session` handle was dropped (detached), so the
+    /// delivered error is unobservable -- but stashed event subscriptions
+    /// can outlive the handle, and failing each entry keeps the
+    /// one-`Finished`-per-launch contract for them.
+    pub fn shutdown(&self) {
+        let abandoned: Vec<Pending> = {
+            let mut state = self.state.lock();
+            state.shutdown = true;
+            state.queue.drain(..).collect()
+        };
+        for pending in abandoned {
+            pending.shared.finish_without_running(Err(Error::session_active()));
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("Scheduler")
+            .field("queued", &state.queue.len())
+            .field("queued_total", &state.queued_total)
+            .field("admitted_total", &state.admitted_total)
+            .field("queue_depth", &self.queue_depth)
+            .finish()
+    }
+}
+
+/// Builds the whole-session supervision job: run the supervisor, then
+/// release the partition (handing it straight to the queue head, if any),
+/// then deliver the result to `wait()`/`wait_async()`.
+fn supervision_job(
+    scheduler: Arc<Scheduler>,
+    rt: Arc<RtInner>,
+    shared: Arc<SessionShared>,
+    program_name: String,
+    main_body: BodyFn,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    Box::new(move || {
+        // The unwind guard keeps the runtime honest even if the supervisor
+        // itself panics: the partition is released (so it is not bricked
+        // into occupancy forever) and poisoned (its state can no longer be
+        // trusted mid-run).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
+            let rt = Arc::clone(&rt);
+            let shared = Arc::clone(&shared);
+            move || crate::runtime::supervise(rt, shared, program_name, main_body)
+        }));
+        let result = match result {
+            Ok(result) => result,
+            Err(_) => {
+                rt.poison(Vec::new());
+                // Keep the lifecycle invariants even on this path: seal
+                // whatever status the runtime shows and send the one
+                // `Finished` event observers expect per launch.
+                crate::session::seal_final_status(&rt, &shared);
+                rt.emit_event(|| SessionEvent::Finished {
+                    outcome: RunOutcome::Completed,
+                });
+                Err(Error::application_panic(
+                    "the supervisor panicked; the partition is poisoned",
+                ))
+            }
+        };
+        shared.finished.store(true, Ordering::Release);
+        // Release (or hand off) the partition before delivering: `wait()`
+        // is the hard synchronization point, so a caller woken by the
+        // delivery must be able to relaunch -- or find its queued launch
+        // already admitted -- without a spurious `SessionActive`.
+        scheduler.release_and_pump(&rt);
+        shared.deliver(result);
+    })
+}

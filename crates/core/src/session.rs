@@ -1,35 +1,43 @@
-//! [`Session`]: the live handle to one running program.
+//! [`Session`]: the live handle to one launched (running *or queued*)
+//! program.
 //!
 //! [`crate::Runtime::launch`] hands back a `Session` while the program runs
 //! on background threads.  The handle is the *in-situ* control surface the
 //! paper's long-lived deployment model implies: the caller can watch the
 //! epoch lifecycle ([`Session::status`], [`Session::subscribe`]), steer it
 //! ([`Session::request_replay`] queues a rollback/re-execution for the next
-//! epoch boundary), and finally collect the report ([`Session::wait`]).
+//! epoch boundary), and finally collect the report ([`Session::wait`], or
+//! the executor-agnostic [`Session::wait_async`]).
 //!
 //! A runtime drives one session **per arena partition** at a time: each
 //! session exclusively owns its partition's arena slice, logs, and
 //! simulated-OS namespace for the duration of the run, and the partition is
-//! reset (alone) when the run ends.  [`crate::Runtime::launch`] claims the
-//! lowest-indexed free partition and fails with
-//! [`ErrorKind::SessionActive`](crate::ErrorKind) only when every partition
-//! is occupied.  The supervisor driving a session is an actor on the
+//! reset (alone) when the run ends.  When every partition is busy a launch
+//! *queues* on the runtime's admission scheduler (see
+//! [`crate::Runtime::launch`]); a queued session's handle works before
+//! admission -- [`Session::status`] reports [`RunPhase::Queued`],
+//! subscriptions and replay requests are held until the session reaches a
+//! partition.  The supervisor driving a session is an actor on the
 //! runtime's shared worker pool, not a freshly spawned thread per launch.
 
+use std::future::Future;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::RunMode;
 use crate::error::Error;
-use crate::events::{EventFilter, EventStream};
+use crate::events::{subscription, EventFilter, EventStream, ObserverSlot, SessionEvent};
 use crate::hooks::ReplayRequest;
 use crate::program::Program;
-use crate::runtime::{supervise, Runtime};
+use crate::runtime::Runtime;
+use crate::scheduler::AdmitMode;
 use crate::state::{ExecPhase, RtInner};
-use crate::stats::{Counters, RunReport};
+use crate::stats::{Counters, RunOutcome, RunReport};
 
 /// What the runtime is doing right now, as seen by [`Session::status`].
 ///
@@ -38,6 +46,9 @@ use crate::stats::{Counters, RunReport};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RunPhase {
+    /// Waiting on the admission queue for a partition to free up; the
+    /// program has not started.
+    Queued,
     /// Executing directly with no recording ([`RunMode::Passthrough`]).
     Passthrough,
     /// Recording the original execution.
@@ -75,167 +86,215 @@ pub struct SessionStatus {
     pub syscalls: u64,
 }
 
-/// The live handle to one launched program (see the module docs).
-///
-/// The lifetime ties the session to its [`Runtime`], typestate-style: the
-/// runtime cannot be dropped while a session handle is alive.  Dropping the
-/// session *detaches* it -- the run continues on its background threads and
-/// the runtime becomes launchable again once it finishes.
-pub struct Session<'rt> {
-    rt: Arc<RtInner>,
-    shared: Arc<SessionShared>,
-    partition: usize,
-    _runtime: PhantomData<&'rt Runtime>,
-}
+/// Sentinel for "not yet admitted onto a partition".
+const UNASSIGNED: usize = usize::MAX;
 
-/// Per-launch state shared between a [`Session`] handle and its supervisor
-/// actor.  It belongs to *this* run only, so a finished session keeps
-/// reporting its own run even after the runtime has moved on to the next
-/// launch.
+/// Per-launch state shared between a [`Session`] handle, the admission
+/// scheduler, and the supervisor actor.  It belongs to *this* launch only,
+/// so a finished session keeps reporting its own run even after the
+/// runtime has moved on to the next one -- and a *queued* launch has a
+/// fully functional handle before any partition knows about it.
 pub(crate) struct SessionShared {
     /// Set once the run is over (after the final status is sealed).
     pub finished: AtomicBool,
     /// The status snapshot sealed at the moment of completion, before the
     /// end-of-run reset zeroes the live counters.
     pub final_status: Mutex<Option<SessionStatus>>,
+    /// The partition this session was admitted onto ([`UNASSIGNED`] while
+    /// queued).
+    partition: AtomicUsize,
+    /// The partition core this session was admitted onto, set exactly once
+    /// at admission; unset while queued.  `get()` is lock-free, so status
+    /// polling never contends with anything.  The stash mutexes below (not
+    /// this cell) order admission against `subscribe`/`request_replay`:
+    /// stash writers re-check this cell *under their stash lock*, and
+    /// [`SessionShared::attach`] drains the stashes after setting it.
+    rt: std::sync::OnceLock<Arc<RtInner>>,
+    /// Recording mode of the runtime, copied at launch so a queued handle
+    /// can validate [`Session::request_replay`] without a partition.
+    mode: RunMode,
+    /// Observer slots subscribed while queued, registered at admission.
+    pending_observers: Mutex<Vec<ObserverSlot>>,
+    /// A replay request queued while waiting for admission, merged into
+    /// the partition's pending request at admission.
+    pending_replay: Mutex<Option<ReplayRequest>>,
+    /// Set when the launch failed before its program ever ran (a pool
+    /// dispatch failure, or a poisoned-out queue entry); the delivered
+    /// result is then always an error.
+    never_ran: AtomicBool,
     /// One-shot delivery of the run's result from the supervisor actor to
-    /// [`Session::wait`].  Delivered strictly after the partition's
-    /// `session_active` flag is released, so a woken waiter can relaunch
-    /// immediately.
+    /// [`Session::wait`] / [`Session::wait_async`].  Delivered strictly
+    /// after the partition has been released (or handed to the next queued
+    /// launch), so a woken waiter can relaunch immediately.
     result: Mutex<Option<Result<RunReport, Error>>>,
     result_cv: Condvar,
+    /// The latest waker of a pending [`SessionFuture`], woken at delivery.
+    waker: Mutex<Option<Waker>>,
 }
 
 impl SessionShared {
-    fn new() -> Arc<Self> {
+    pub(crate) fn new(mode: RunMode) -> Arc<Self> {
         Arc::new(SessionShared {
             finished: AtomicBool::new(false),
             final_status: Mutex::new(None),
+            partition: AtomicUsize::new(UNASSIGNED),
+            rt: std::sync::OnceLock::new(),
+            mode,
+            pending_observers: Mutex::new(Vec::new()),
+            pending_replay: Mutex::new(None),
+            never_ran: AtomicBool::new(false),
             result: Mutex::new(None),
             result_cv: Condvar::new(),
+            waker: Mutex::new(None),
         })
     }
 
-    fn deliver(&self, result: Result<RunReport, Error>) {
+    /// Binds this launch to the partition it was admitted onto and flushes
+    /// everything the handle stashed while queued.  Called by the
+    /// scheduler, exactly once per launch.  The cell is published *first*;
+    /// stash writers that then take a stash lock re-check it and route to
+    /// the partition directly, so nothing can land in a stash after its
+    /// drain here.
+    pub(crate) fn attach(&self, rt: &Arc<RtInner>, partition: usize) {
+        self.partition.store(partition, Ordering::Release);
+        self.rt
+            .set(Arc::clone(rt))
+            .unwrap_or_else(|_| unreachable!("the scheduler admits each launch exactly once"));
+        for slot in self.pending_observers.lock().drain(..) {
+            rt.register_observer(slot);
+        }
+        if let Some(request) = self.pending_replay.lock().take() {
+            merge_replay_request(&mut rt.pending_replay.lock(), request);
+        }
+    }
+
+    /// Delivers the run's result, waking both blocking and async waiters.
+    pub(crate) fn deliver(&self, result: Result<RunReport, Error>) {
         *self.result.lock() = Some(result);
         self.result_cv.notify_all();
+        if let Some(waker) = self.waker.lock().take() {
+            waker.wake();
+        }
+    }
+
+    /// Fails a launch whose program never ran (a pool dispatch failure, or
+    /// a poisoned-out queue entry): marks it finished, keeps the
+    /// one-[`SessionEvent::Finished`]-per-launch contract for observers --
+    /// stashed subscriptions included -- and delivers `result`.
+    pub(crate) fn finish_without_running(&self, result: Result<RunReport, Error>) {
+        let finished = SessionEvent::Finished {
+            outcome: RunOutcome::Completed,
+        };
+        for slot in self.pending_observers.lock().drain(..) {
+            let _ = slot.offer(&finished);
+        }
+        if let Some(rt) = self.rt.get() {
+            rt.emit_event(|| finished.clone());
+        }
+        // Seal a terminal status: nothing of this launch ever ran, so the
+        // zeroed snapshot is the truth -- and without a seal, a handle
+        // attached to a partition would fall through to `live_status` and
+        // leak whatever tenant occupies that partition next.
+        let mut sealed = queued_status();
+        sealed.phase = RunPhase::Finished;
+        *self.final_status.lock() = Some(sealed);
+        self.never_ran.store(true, Ordering::Release);
+        self.finished.store(true, Ordering::Release);
+        self.deliver(result);
+    }
+
+    /// Takes the error a [`SessionShared::finish_without_running`] on this
+    /// launch delivered, if any.  [`crate::scheduler::Scheduler::submit`]
+    /// calls this after dispatching, so a launch whose own admission could
+    /// not be served fails the `launch` call itself (the pre-scheduler
+    /// contract) instead of parking the error behind `wait()`.
+    pub(crate) fn take_startup_failure(&self) -> Option<Error> {
+        if !self.never_ran.load(Ordering::Acquire) {
+            return None;
+        }
+        match self.result.lock().take() {
+            Some(Err(error)) => Some(error),
+            // `finish_without_running` only ever delivers errors; a taken
+            // (or unexpectedly successful) result means someone else owns
+            // the outcome already.
+            _ => None,
+        }
     }
 }
 
-impl<'rt> Session<'rt> {
-    pub(crate) fn start(runtime: &'rt Runtime, program: Program) -> Result<Self, Error> {
-        // Claim the lowest-indexed partition that is neither poisoned nor
-        // occupied.  The deterministic order keeps the single-tenant
-        // behaviour (everything on partition 0) and makes multi-tenant
-        // placement predictable for tests and staging.
-        let mut saw_healthy = false;
-        let mut claimed: Option<(usize, Arc<RtInner>)> = None;
-        for (index, rt) in runtime.partitions.iter().enumerate() {
-            if rt.poisoned.load(Ordering::Acquire) {
-                continue;
-            }
-            saw_healthy = true;
-            if rt
-                .session_active
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                claimed = Some((index, Arc::clone(rt)));
-                break;
-            }
-        }
-        let Some((partition, rt)) = claimed else {
-            if saw_healthy {
-                return Err(Error::session_active());
-            }
-            // Every partition is poisoned; report the union of the stuck
-            // threads that got them there.
-            let stuck: Vec<u32> = runtime
-                .partitions
-                .iter()
-                .flat_map(|rt| rt.poisoned_threads.lock().clone())
-                .collect();
-            return Err(Error::poisoned(stuck));
-        };
-        let shared = SessionShared::new();
-        let (program_name, main_body) = program.into_parts();
-        let rt_for_supervisor = Arc::clone(&rt);
-        let shared_for_supervisor = Arc::clone(&shared);
-        let submitted = runtime.pool.execute(Box::new(move || {
-            // The unwind guard keeps the runtime honest even if the
-            // supervisor itself panics: the session flags are always
-            // released (so the partition is not bricked into
-            // `SessionActive` forever) and the partition is poisoned (its
-            // state can no longer be trusted mid-run).
-            let rt = rt_for_supervisor;
-            let shared = shared_for_supervisor;
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
-                let rt = Arc::clone(&rt);
-                let shared = Arc::clone(&shared);
-                move || supervise(rt, shared, program_name, main_body)
-            }));
-            let result = match result {
-                Ok(result) => result,
-                Err(_) => {
-                    rt.poison(Vec::new());
-                    // Keep the lifecycle invariants even on this path:
-                    // seal whatever status the runtime shows and send
-                    // the one `Finished` event observers expect per
-                    // launch.
-                    seal_final_status(&rt, &shared);
-                    rt.emit_event(|| crate::events::SessionEvent::Finished {
-                        outcome: crate::stats::RunOutcome::Completed,
-                    });
-                    Err(Error::application_panic(
-                        "the supervisor panicked; the partition is poisoned",
-                    ))
-                }
-            };
-            shared.finished.store(true, Ordering::Release);
-            // Release the partition before delivering: `wait()` is the
-            // hard synchronization point, so a caller woken by the
-            // delivery must be able to relaunch without a spurious
-            // `SessionActive`.
-            rt.session_active.store(false, Ordering::Release);
-            shared.deliver(result);
-        }));
-        match submitted {
-            Ok(()) => Ok(Session {
-                rt,
-                shared,
-                partition,
-                _runtime: PhantomData,
-            }),
-            Err(error) => {
-                rt.session_active.store(false, Ordering::Release);
-                Err(error)
+/// Merges `request` into `existing` the way the coordinator does at epoch
+/// boundaries: union the watchpoints, keep the first non-empty reason.
+fn merge_replay_request(existing: &mut Option<ReplayRequest>, request: ReplayRequest) {
+    match existing {
+        None => *existing = Some(request),
+        Some(existing) => {
+            existing.watch.extend(request.watch);
+            if existing.reason.is_empty() {
+                existing.reason = request.reason;
             }
         }
     }
+}
 
-    /// The arena partition this session exclusively occupies for the
-    /// duration of its run (always 0 on a single-partition runtime).
-    pub fn partition(&self) -> usize {
-        self.partition
+/// The live handle to one launched program (see the module docs).
+///
+/// The lifetime ties the session to its [`Runtime`], typestate-style: the
+/// runtime cannot be dropped while a session handle is alive.  Dropping the
+/// session *detaches* it -- a running session continues on its background
+/// threads (and its partition frees normally when it finishes), while a
+/// still-queued session is admitted whenever its turn comes and runs
+/// unobserved.
+pub struct Session<'rt> {
+    shared: Arc<SessionShared>,
+    _runtime: PhantomData<&'rt Runtime>,
+}
+
+impl<'rt> Session<'rt> {
+    pub(crate) fn start(runtime: &'rt Runtime, program: Program, mode: AdmitMode) -> Result<Self, Error> {
+        let shared = runtime.scheduler.submit(program, mode)?;
+        Ok(Session {
+            shared,
+            _runtime: PhantomData,
+        })
+    }
+
+    /// The arena partition this session occupies for the duration of its
+    /// run (always `Some(0)` on a single-partition runtime), or `None`
+    /// while the launch is still waiting on the admission queue.  Once a
+    /// session has been admitted the partition never changes.
+    pub fn partition(&self) -> Option<usize> {
+        match self.shared.partition.load(Ordering::Acquire) {
+            UNASSIGNED => None,
+            partition => Some(partition),
+        }
     }
 
     /// A lock-free snapshot of the run: epoch number, phase, and the
     /// divergence/retry/fault counters, streamed from the runtime's
-    /// atomics.  Once the run has finished, the snapshot captured at the
-    /// moment of completion is returned (the live counters are zeroed by
-    /// the end-of-run reset; the status keeps describing *this* run).
+    /// atomics.  A still-queued session reports [`RunPhase::Queued`] with
+    /// zeroed counters.  Once the run has finished, the snapshot captured
+    /// at the moment of completion is returned (the live counters are
+    /// zeroed by the end-of-run reset; the status keeps describing *this*
+    /// run).
     pub fn status(&self) -> SessionStatus {
         if self.shared.finished.load(Ordering::Acquire) {
             if let Some(final_status) = *self.shared.final_status.lock() {
                 return final_status;
             }
-            // The supervisor panicked before sealing; report what the
-            // runtime shows, with the phase pinned to Finished.
-            let mut status = live_status(&self.rt);
+            // The supervisor panicked before sealing (or the launch failed
+            // before running); report what the runtime shows, with the
+            // phase pinned to Finished.
+            let mut status = match self.shared.rt.get() {
+                Some(rt) => live_status(rt),
+                None => queued_status(),
+            };
             status.phase = RunPhase::Finished;
             return status;
         }
-        live_status(&self.rt)
+        match self.shared.rt.get() {
+            Some(rt) => live_status(rt),
+            None => queued_status(),
+        }
     }
 
     /// Returns `true` once the run is over and [`Session::wait`] will not
@@ -244,8 +303,9 @@ impl<'rt> Session<'rt> {
     /// This flips as soon as the run's final status is sealed, an instant
     /// before the supervisor finishes its teardown -- so a new
     /// [`crate::Runtime::launch`] issued immediately afterwards may still
-    /// be refused with [`ErrorKind::SessionActive`](crate::ErrorKind) for
-    /// a moment.  [`Session::wait`] is the hard synchronization point.
+    /// queue (or, with a zero-depth admission queue, be refused with
+    /// [`ErrorKind::SessionActive`](crate::ErrorKind)) for a moment.
+    /// [`Session::wait`] is the hard synchronization point.
     pub fn is_finished(&self) -> bool {
         self.shared.finished.load(Ordering::Acquire)
     }
@@ -255,23 +315,27 @@ impl<'rt> Session<'rt> {
     /// counterpart of a hook returning
     /// [`EpochDecision::Replay`](crate::EpochDecision): a debugger attached
     /// to a running process asking "show me that epoch again, watching
-    /// these addresses".
+    /// these addresses".  On a still-queued session the request is held
+    /// and installed the moment the session is admitted.
     ///
     /// # Errors
     ///
     /// Returns [`ErrorKind::RecordingDisabled`](crate::ErrorKind) in
     /// passthrough mode, where there is no recording to replay.
     pub fn request_replay(&self, request: ReplayRequest) -> Result<(), Error> {
-        if self.rt.config.mode != RunMode::Record {
+        if self.shared.mode != RunMode::Record {
             return Err(Error::recording_disabled());
         }
-        let mut pending = self.rt.pending_replay.lock();
-        match &mut *pending {
-            None => *pending = Some(request),
-            Some(existing) => {
-                existing.watch.extend(request.watch);
-                if existing.reason.is_empty() {
-                    existing.reason = request.reason;
+        match self.shared.rt.get() {
+            Some(rt) => merge_replay_request(&mut rt.pending_replay.lock(), request),
+            None => {
+                let mut stash = self.shared.pending_replay.lock();
+                // Re-check under the stash lock: attach publishes the cell
+                // before draining, so either we see it here (and route to
+                // the partition), or attach drains our stash entry later.
+                match self.shared.rt.get() {
+                    Some(rt) => merge_replay_request(&mut rt.pending_replay.lock(), request),
+                    None => merge_replay_request(&mut stash, request),
                 }
             }
         }
@@ -280,26 +344,156 @@ impl<'rt> Session<'rt> {
 
     /// Subscribes a bounded event stream (see [`EventStream`]) filtered to
     /// the given classes.  The stream outlives the session -- it keeps
-    /// delivering events for later launches on the same runtime until
-    /// dropped.
+    /// delivering events for later launches on the same partition until
+    /// dropped.  Subscribing to a still-queued session works: the stream
+    /// starts delivering from the session's first event once it is
+    /// admitted (nothing is lost -- a queued program has not run).
     pub fn subscribe(&self, filter: EventFilter) -> EventStream {
-        self.rt.subscribe_events(filter)
+        match self.shared.rt.get() {
+            Some(rt) => rt.subscribe_events(filter),
+            None => {
+                let mut stash = self.shared.pending_observers.lock();
+                let (slot, stream) = subscription(filter);
+                // Re-check under the stash lock (see `request_replay`): a
+                // concurrent admission must not strand the slot.
+                match self.shared.rt.get() {
+                    Some(rt) => rt.register_observer(slot),
+                    None => stash.push(slot),
+                }
+                stream
+            }
+        }
     }
 
-    /// Blocks until the run finishes and returns its report.
+    /// Blocks until the run finishes and returns its report.  A queued
+    /// session waits through its admission: the call returns once the
+    /// program has been scheduled, run, and torn down.
     ///
     /// # Errors
     ///
     /// Propagates the supervisor's error: quiescence timeouts, poisoning,
-    /// and replay-machinery failures.  A program *fault* is not an error --
-    /// it is reported through [`RunReport::outcome`] (use
-    /// [`RunReport::into_result`] to convert).
+    /// exhausted per-tenant quotas, and replay-machinery failures.  A
+    /// program *fault* is not an error -- it is reported through
+    /// [`RunReport::outcome`] (use [`RunReport::into_result`] to convert).
     pub fn wait(self) -> Result<RunReport, Error> {
         let mut result = self.shared.result.lock();
         while result.is_none() {
             self.shared.result_cv.wait(&mut result);
         }
         result.take().expect("the loop exits only once a result is delivered")
+    }
+
+    /// The asynchronous twin of [`Session::wait`]: converts the session
+    /// into a [`SessionFuture`] that resolves to the same report without
+    /// blocking a thread while the run (or its time on the admission
+    /// queue) is in progress.  The future is executor-agnostic -- it is
+    /// plain poll/waker `std` machinery with no runtime dependency, so
+    /// thousands of pending tenants can be driven from a single polling
+    /// thread.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ireplayer::{Config, Program, Runtime, Step};
+    /// # use std::future::Future;
+    /// # use std::pin::pin;
+    /// # use std::sync::Arc;
+    /// # use std::task::{Context, Poll, Wake, Waker};
+    /// #
+    /// # /// A minimal single-threaded executor: park until woken, re-poll.
+    /// # struct Unpark(std::thread::Thread);
+    /// # impl Wake for Unpark {
+    /// #     fn wake(self: Arc<Self>) {
+    /// #         self.0.unpark();
+    /// #     }
+    /// # }
+    /// # fn block_on<F: Future>(future: F) -> F::Output {
+    /// #     let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+    /// #     let mut context = Context::from_waker(&waker);
+    /// #     let mut future = pin!(future);
+    /// #     loop {
+    /// #         match future.as_mut().poll(&mut context) {
+    /// #             Poll::Ready(output) => return output,
+    /// #             Poll::Pending => std::thread::park(),
+    /// #         }
+    /// #     }
+    /// # }
+    ///
+    /// # fn main() -> Result<(), ireplayer::Error> {
+    /// let config = Config::builder()
+    ///     .arena_size(4 << 20)
+    ///     .heap_block_size(128 << 10)
+    ///     .build()?;
+    /// let runtime = Runtime::new(config)?;
+    /// let session = runtime.launch(Program::new("async-wait", |ctx| {
+    ///     let cell = ctx.alloc(8);
+    ///     ctx.write_u64(cell, 7);
+    ///     Step::Done
+    /// }))?;
+    /// // Any executor can drive the future; this example uses a 15-line
+    /// // park/unpark `block_on` (hidden above) to stay dependency-free.
+    /// let report = block_on(session.wait_async())?;
+    /// assert!(report.outcome.is_success());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn wait_async(self) -> SessionFuture<'rt> {
+        SessionFuture {
+            shared: self.shared,
+            _runtime: PhantomData,
+        }
+    }
+}
+
+/// Future returned by [`Session::wait_async`]; resolves to the same
+/// `Result<RunReport, Error>` as [`Session::wait`].
+///
+/// Like the session it came from, the future borrows the [`Runtime`]: the
+/// runtime must stay alive until the future resolves (a queued launch is
+/// only ever admitted by its runtime's scheduler).  Dropping the future
+/// detaches the session, exactly like dropping the [`Session`] itself.
+pub struct SessionFuture<'rt> {
+    shared: Arc<SessionShared>,
+    _runtime: PhantomData<&'rt Runtime>,
+}
+
+impl Future for SessionFuture<'_> {
+    type Output = Result<RunReport, Error>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(result) = self.shared.result.lock().take() {
+            return Poll::Ready(result);
+        }
+        *self.shared.waker.lock() = Some(cx.waker().clone());
+        // Re-check after publishing the waker: a delivery racing with this
+        // poll either sees the waker (and wakes us) or already put the
+        // result where the next line finds it -- no lost wake-up window.
+        if let Some(result) = self.shared.result.lock().take() {
+            return Poll::Ready(result);
+        }
+        Poll::Pending
+    }
+}
+
+impl std::fmt::Debug for SessionFuture<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionFuture")
+            .field("finished", &self.shared.finished.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The status of a launch still waiting on the admission queue.
+fn queued_status() -> SessionStatus {
+    SessionStatus {
+        epoch: 0,
+        phase: RunPhase::Queued,
+        replay_attempt: 0,
+        replay_attempts: 0,
+        divergences: 0,
+        faults: 0,
+        sync_events: 0,
+        syscalls: 0,
     }
 }
 
@@ -338,6 +532,7 @@ impl std::fmt::Debug for Session<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("status", &self.status())
+            .field("partition", &self.partition())
             .finish_non_exhaustive()
     }
 }
@@ -366,6 +561,7 @@ mod tests {
                 Step::Done
             }))
             .unwrap();
+        assert_eq!(session.partition(), Some(0), "a free runtime admits immediately");
         let status = session.status();
         assert!(matches!(
             status.phase,
@@ -376,10 +572,16 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_launches_are_rejected() {
+    fn overlapping_launches_queue_by_default_and_reject_at_depth_zero() {
         use std::sync::atomic::{AtomicBool, Ordering};
 
-        let runtime = Runtime::new(small_config()).unwrap();
+        let strict = Config::builder()
+            .arena_size(4 << 20)
+            .heap_block_size(128 << 10)
+            .admission_queue_depth(0)
+            .build()
+            .unwrap();
+        let runtime = Runtime::new(strict).unwrap();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_for_body = Arc::clone(&stop);
         let session = runtime
@@ -392,12 +594,15 @@ mod tests {
                 }
             }))
             .unwrap();
-        // While `looper` runs, a second launch must be refused.
+        // With a zero-depth queue, a second launch is refused outright --
+        // the pre-scheduler contract.
         let second = runtime.launch(Program::new("second", |_| Step::Done));
         match second {
             Err(error) => assert_eq!(error.kind(), crate::ErrorKind::SessionActive),
-            Ok(_) => panic!("a second session must not start while the first is running"),
+            Ok(_) => panic!("a zero-depth queue must refuse overcommitted launches"),
         }
+        // `try_launch` refuses regardless of queue depth.
+        assert!(runtime.try_launch(Program::new("immediate", |_| Step::Done)).is_err());
         // Release the looper and collect its report; afterwards the
         // runtime accepts launches again.
         stop.store(true, Ordering::Release);
@@ -405,5 +610,28 @@ mod tests {
         assert!(report.outcome.is_success());
         let report = runtime.run(Program::new("after", |_| Step::Done)).unwrap();
         assert!(report.outcome.is_success());
+
+        // With the default queue, the same overcommit pattern queues: the
+        // excess launch reports Queued, then completes once the partition
+        // frees.
+        let runtime = Runtime::new(small_config()).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_for_body = Arc::clone(&stop);
+        let first = runtime
+            .launch(Program::new("holder", move |ctx| {
+                ctx.work(1_000);
+                if stop_for_body.load(Ordering::Acquire) {
+                    Step::Done
+                } else {
+                    Step::Yield
+                }
+            }))
+            .unwrap();
+        let queued = runtime.launch(Program::new("queued", |_| Step::Done)).unwrap();
+        assert_eq!(queued.partition(), None, "no partition while queued");
+        assert_eq!(queued.status().phase, RunPhase::Queued);
+        stop.store(true, Ordering::Release);
+        assert!(first.wait().unwrap().outcome.is_success());
+        assert!(queued.wait().unwrap().outcome.is_success());
     }
 }

@@ -474,6 +474,11 @@ pub(crate) struct RtInner {
     /// A replay request queued by [`crate::Session::request_replay`],
     /// consumed by the coordinator at the next epoch boundary.
     pub pending_replay: Mutex<Option<ReplayRequest>>,
+    /// Bitmask of per-tenant quotas the current session has already been
+    /// warned about (bit 0: epochs, bit 1: events), so each
+    /// [`SessionEvent::QuotaWarning`] fires at most once per resource per
+    /// session.
+    pub quota_warned: AtomicU8,
     /// Event-stream subscribers; `observers_active` mirrors non-emptiness
     /// so emission points cost one atomic load when nobody listens.
     pub observers: Mutex<Vec<ObserverSlot>>,
@@ -617,6 +622,7 @@ impl RtInner {
             poisoned_threads: Mutex::new(Vec::new()),
             poisoned: AtomicBool::new(false),
             pending_replay: Mutex::new(None),
+            quota_warned: AtomicU8::new(0),
             observers: Mutex::new(Vec::new()),
             observers_active: AtomicBool::new(false),
             super_heap_initial,
@@ -933,6 +939,7 @@ impl RtInner {
         self.delay_plan.lock().clear();
         self.delay_plan_active.store(false, Ordering::Release);
         *self.pending_replay.lock() = None;
+        self.quota_warned.store(0, Ordering::Release);
         *self.replay_rng.lock() = DetRng::new(self.config.seed ^ 0xdddd);
 
         // Per-run statistics restart from zero so every launch reports the

@@ -155,6 +155,10 @@ pub(crate) struct Counters {
     pub divergences: AtomicU64,
     pub epochs: AtomicU64,
     pub faults: AtomicU64,
+    /// Per-thread log events accumulated at each epoch close (the figure
+    /// the `max_events` quota is enforced against, and the one
+    /// `PartitionDiagnostics::quota_events_used` reports).
+    pub events_recorded: AtomicU64,
 }
 
 impl Counters {
@@ -183,6 +187,7 @@ impl Counters {
             &self.divergences,
             &self.epochs,
             &self.faults,
+            &self.events_recorded,
         ] {
             counter.store(0, Ordering::Relaxed);
         }

@@ -67,11 +67,8 @@ fn main() -> Result<(), Error> {
         .map(|tenant| runtime.launch(tenant_program(tenant)))
         .collect::<Result<_, _>>()?;
     for session in &sessions {
-        println!(
-            "  tenant on partition {} -> {:?}",
-            session.partition(),
-            session.status().phase
-        );
+        let partition = session.partition().expect("a free runtime admits immediately");
+        println!("  tenant on partition {partition} -> {:?}", session.status().phase);
     }
     for (tenant, session) in sessions.into_iter().enumerate() {
         let report = session.wait()?;
@@ -94,5 +91,33 @@ fn main() -> Result<(), Error> {
         assert!(!p.session_active && p.live_threads == 0);
     }
     println!("multi-tenant identity confirmed: every tenant matched its solo fingerprint");
+
+    // Overcommit: twice as many launches as partitions.  The excess
+    // launches queue on the admission scheduler (none is refused) and a
+    // freed partition immediately picks up the oldest queued tenant --
+    // every report still matches its solo fingerprint.
+    let sessions: Vec<_> = (0..2 * TENANTS)
+        .map(|launch| runtime.launch(tenant_program(launch % TENANTS)))
+        .collect::<Result<_, _>>()?;
+    let queued = sessions.iter().filter(|s| s.partition().is_none()).count();
+    println!(
+        "overcommit: {} launches on {} partitions, {queued} queued (queue depth now {})",
+        sessions.len(),
+        runtime.partition_count(),
+        runtime.diagnostics().admission_queue_depth
+    );
+    for (launch, session) in sessions.into_iter().enumerate() {
+        let report = session.wait()?;
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+        assert_eq!(
+            report.fingerprint(),
+            solo_fingerprints[launch % TENANTS],
+            "queued admission perturbed launch {launch}"
+        );
+    }
+    println!(
+        "overcommit confirmed: all {} launches completed solo-identical",
+        2 * TENANTS
+    );
     Ok(())
 }

@@ -12,9 +12,17 @@
 //!   leakage through a **staggered** teardown: as each session ends, its
 //!   partition (and only its partition) returns to the idle baseline while
 //!   the others keep running;
-//! * when every partition is occupied, `launch` fails with
-//!   `ErrorKind::SessionActive`; freeing any partition makes the runtime
-//!   launchable again;
+//! * when every partition is occupied, `launch` **queues** on the bounded
+//!   FIFO admission queue: 2N launches on N partitions all complete, in
+//!   FIFO admission order under staggered frees, with fingerprints
+//!   byte-identical to solo runs; `wait_async` resolves an overcommitted
+//!   fleet from a single polling thread;
+//! * `admission_queue_depth = 0` restores the pre-scheduler contract
+//!   (refuse with `ErrorKind::SessionActive` while full), and `try_launch`
+//!   never queues;
+//! * per-tenant quotas: a tenant exceeding `max_epochs` ends with
+//!   `ErrorKind::QuotaExhausted` (after one `QuotaWarning` at three
+//!   quarters of the quota) while its neighbours finish clean;
 //! * each partition is its own simulated-OS namespace: files staged for
 //!   one tenant are invisible to the others.
 
@@ -113,7 +121,7 @@ fn gated_allocator(name: &str, gate: Arc<AtomicBool>) -> Program {
 fn solo_baseline(program: Program, gate: Arc<AtomicBool>, with_replay: bool) -> RunReport {
     let runtime = Runtime::new(config(1)).unwrap();
     let session = runtime.launch(program).unwrap();
-    assert_eq!(session.partition(), 0);
+    assert_eq!(session.partition(), Some(0));
     if with_replay {
         session
             .request_replay(ReplayRequest::because("multi-tenancy identity baseline"))
@@ -158,11 +166,11 @@ fn concurrent_sessions_fingerprint_identically_to_solo_runs() {
         .unwrap();
     assert_eq!(
         session_counter.partition(),
-        0,
+        Some(0),
         "launch claims the lowest free partition"
     );
-    assert_eq!(session_alloc.partition(), 1);
-    assert_eq!(session_replay.partition(), 2);
+    assert_eq!(session_alloc.partition(), Some(1));
+    assert_eq!(session_replay.partition(), Some(2));
     session_replay
         .request_replay(ReplayRequest::because("multi-tenancy identity baseline"))
         .unwrap();
@@ -231,7 +239,7 @@ fn staggered_teardown_releases_only_the_finishing_partition() {
         );
     }
     for (expected, session) in sessions.iter().enumerate() {
-        assert_eq!(session.partition(), expected);
+        assert_eq!(session.partition(), Some(expected));
     }
     // Every tenant is provably live before the first teardown begins.
     wait_until("all three tenants registered their main thread", || {
@@ -309,8 +317,18 @@ fn staggered_teardown_releases_only_the_finishing_partition() {
 }
 
 #[test]
-fn a_full_runtime_rejects_launches_until_a_partition_frees() {
-    let runtime = Runtime::new(config(2)).unwrap();
+fn a_zero_depth_queue_restores_reject_when_full_and_try_launch_never_queues() {
+    // `admission_queue_depth = 0` is the migration escape hatch: a full
+    // runtime refuses launches immediately, exactly as before the
+    // admission scheduler existed.
+    let strict = Config::builder()
+        .partitions(2)
+        .arena_size(4 << 20)
+        .heap_block_size(128 << 10)
+        .admission_queue_depth(0)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(strict).unwrap();
     let gates: Vec<Arc<AtomicBool>> = (0..2).map(|_| Arc::new(AtomicBool::new(false))).collect();
     let first = runtime
         .launch(gated_counter("hold-0", 1, Arc::clone(&gates[0])))
@@ -318,9 +336,12 @@ fn a_full_runtime_rejects_launches_until_a_partition_frees() {
     let second = runtime
         .launch(gated_counter("hold-1", 1, Arc::clone(&gates[1])))
         .unwrap();
-    assert_eq!((first.partition(), second.partition()), (0, 1));
+    assert_eq!((first.partition(), second.partition()), (Some(0), Some(1)));
 
     let error = runtime.launch(Program::new("rejected", |_| Step::Done)).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::SessionActive);
+    // `try_launch` sheds load on a full runtime regardless of queue depth.
+    let error = runtime.try_launch(Program::new("shed", |_| Step::Done)).unwrap_err();
     assert_eq!(error.kind(), ErrorKind::SessionActive);
 
     // Freeing partition 0 (while partition 1 keeps running) makes the
@@ -328,10 +349,194 @@ fn a_full_runtime_rejects_launches_until_a_partition_frees() {
     gates[0].store(true, Ordering::Release);
     first.wait().unwrap();
     let third = runtime.launch(Program::new("accepted", |_| Step::Done)).unwrap();
-    assert_eq!(third.partition(), 0);
+    assert_eq!(third.partition(), Some(0));
     third.wait().unwrap();
     gates[1].store(true, Ordering::Release);
     second.wait().unwrap();
+}
+
+#[test]
+fn overcommitted_launches_complete_in_fifo_admission_order_with_solo_identical_reports() {
+    // The overcommit fairness suite: 2N launches on N = 2 partitions.
+    // Solo baseline first (fresh single-partition runtime, gate open).
+    let gate = Arc::new(AtomicBool::new(false));
+    let solo = solo_baseline(gated_counter("tenant", 2, Arc::clone(&gate)), gate, false);
+    assert!(solo.outcome.is_success());
+
+    let runtime = Runtime::new(config(2)).unwrap();
+    let gates: Vec<Arc<AtomicBool>> = (0..4).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let sessions: Vec<_> = gates
+        .iter()
+        .map(|gate| runtime.launch(gated_counter("tenant", 2, Arc::clone(gate))).unwrap())
+        .collect();
+
+    // Launches 0 and 1 are admitted directly; 2 and 3 queue, none fails.
+    assert_eq!(sessions[0].partition(), Some(0));
+    assert_eq!(sessions[1].partition(), Some(1));
+    assert_eq!(sessions[2].partition(), None, "the third launch must queue");
+    assert_eq!(sessions[3].partition(), None, "the fourth launch must queue");
+    assert_eq!(sessions[2].status().phase, ireplayer::RunPhase::Queued);
+    let diagnostics = runtime.diagnostics();
+    assert_eq!(diagnostics.admission_queue_depth, 2, "two launches are waiting");
+    assert_eq!(diagnostics.launches_queued, 2);
+    assert_eq!(diagnostics.launches_admitted, 2);
+
+    // Staggered frees, out of launch order: partition 1 frees first.  The
+    // freed partition must claim the *oldest* queued launch (number 2),
+    // while launch 3 stays queued -- FIFO admission.
+    gates[1].store(true, Ordering::Release);
+    wait_until("session 1 finishes", || sessions[1].is_finished());
+    wait_until("launch 2 is admitted onto the freed partition", || {
+        sessions[2].partition() == Some(1)
+    });
+    assert_eq!(
+        sessions[3].partition(),
+        None,
+        "FIFO: launch 3 must not overtake launch 2"
+    );
+
+    // Partition 0 frees next: launch 3 is admitted there.
+    gates[0].store(true, Ordering::Release);
+    wait_until("launch 3 is admitted onto partition 0", || {
+        sessions[3].partition() == Some(0)
+    });
+
+    // Open the remaining gates and collect everything.
+    gates[2].store(true, Ordering::Release);
+    gates[3].store(true, Ordering::Release);
+    for (index, session) in sessions.into_iter().enumerate() {
+        let report = session.wait().unwrap();
+        assert!(
+            report.outcome.is_success(),
+            "launch {index} faults: {:?}",
+            report.faults
+        );
+        assert_eq!(
+            report.fingerprint(),
+            solo.fingerprint(),
+            "queued admission perturbed launch {index}"
+        );
+    }
+
+    // The queue drained and every launch was admitted.
+    let drained = runtime.diagnostics();
+    assert_eq!(drained.admission_queue_depth, 0);
+    assert_eq!(drained.launches_admitted, 4);
+    assert_eq!(drained.launches_queued, 2, "only the overcommitted launches queued");
+}
+
+#[test]
+fn a_greedy_tenant_hits_its_quota_while_neighbours_finish_clean() {
+    // Two tenants share a runtime; `max_epochs = 4` bounds each of them.
+    // The greedy one requests a fresh epoch on every step and is cut off
+    // with `QuotaExhausted`; the frugal neighbour finishes untouched.
+    let quota_config = Config::builder()
+        .partitions(2)
+        .arena_size(4 << 20)
+        .heap_block_size(128 << 10)
+        .max_epochs(4)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(quota_config).unwrap();
+    let warnings = runtime.subscribe(ireplayer::EventFilter::none().quotas());
+
+    let greedy = runtime
+        .launch(Program::new("greedy", |ctx| {
+            ctx.end_epoch();
+            Step::Yield
+        }))
+        .unwrap();
+    let gate = Arc::new(AtomicBool::new(false));
+    let frugal = runtime.launch(gated_counter("frugal", 2, Arc::clone(&gate))).unwrap();
+    gate.store(true, Ordering::Release);
+
+    let error = greedy.wait().unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::QuotaExhausted);
+    assert_eq!(
+        error.quota_usage(),
+        Some(("epochs", 4, 4)),
+        "the error names the exhausted resource and the usage"
+    );
+    let report = frugal.wait().unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+
+    // The warning fired once, before the cut, at >= 3/4 of the quota.
+    let warned: Vec<_> = warnings
+        .drain()
+        .into_iter()
+        .filter_map(|event| match event {
+            ireplayer::SessionEvent::QuotaWarning {
+                resource, used, limit, ..
+            } => Some((resource, used, limit)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(warned, vec![("epochs", 3, 4)], "one warning at three quarters");
+
+    // The greedy tenant's teardown was orderly: its partition is free and
+    // the runtime keeps serving launches.
+    let after = runtime.run(Program::new("after-quota", |_| Step::Done)).unwrap();
+    assert!(after.outcome.is_success());
+}
+
+/// A minimal single-threaded executor for [`ireplayer::SessionFuture`]s:
+/// parks the polling thread between wake-ups.  This is the satellite
+/// acceptance check that `wait_async` costs no thread per pending tenant
+/// -- one polling thread drives every launch of an overcommitted runtime
+/// to completion.
+#[test]
+fn wait_async_resolves_an_overcommitted_fleet_from_one_polling_thread() {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll, Wake, Waker};
+
+    struct Unpark(std::thread::Thread);
+    impl Wake for Unpark {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    let runtime = Runtime::new(config(2)).unwrap();
+    // 8 launches on 2 partitions: 6 of them queue.
+    let mut futures: Vec<Pin<Box<ireplayer::SessionFuture<'_>>>> = (0..8)
+        .map(|i| {
+            let session = runtime
+                .launch(Program::new(format!("async-{i}"), |ctx| {
+                    let cell = ctx.alloc(16);
+                    ctx.write_u64(cell, 3);
+                    Step::Done
+                }))
+                .unwrap();
+            Box::pin(session.wait_async())
+        })
+        .collect();
+
+    let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+    let mut context = Context::from_waker(&waker);
+    let mut reports = Vec::new();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !futures.is_empty() {
+        assert!(std::time::Instant::now() < deadline, "async waits must resolve");
+        let before = futures.len();
+        futures.retain_mut(|future| match future.as_mut().poll(&mut context) {
+            Poll::Ready(result) => {
+                reports.push(result.unwrap());
+                false
+            }
+            Poll::Pending => true,
+        });
+        if futures.len() == before {
+            // Nothing resolved this round: sleep until a delivery wakes us
+            // (bounded, so one missed unpark cannot hang the test).
+            std::thread::park_timeout(std::time::Duration::from_millis(50));
+        }
+    }
+    assert_eq!(reports.len(), 8, "every queued tenant resolves");
+    for report in &reports {
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    }
+    assert_eq!(runtime.diagnostics().admission_queue_depth, 0);
 }
 
 #[test]
@@ -356,7 +561,7 @@ fn partitions_are_independent_simulated_os_namespaces() {
     // open the staged file there.
     let gate = Arc::new(AtomicBool::new(false));
     let holder = runtime.launch(gated_counter("hold-0", 1, Arc::clone(&gate))).unwrap();
-    assert_eq!(holder.partition(), 0);
+    assert_eq!(holder.partition(), Some(0));
     let reader = runtime
         .launch(Program::new("tenant-1-reader", |ctx| {
             let fd = ctx.open("tenant1.bin").expect("staged in this tenant's namespace");
@@ -367,7 +572,7 @@ fn partitions_are_independent_simulated_os_namespaces() {
             Step::Done
         }))
         .unwrap();
-    assert_eq!(reader.partition(), 1);
+    assert_eq!(reader.partition(), Some(1));
     let report = reader.wait().unwrap();
     assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
     gate.store(true, Ordering::Release);

@@ -304,7 +304,7 @@ proptest! {
             .map(|_| multi.launch(tenant_program(workers, increments)).unwrap())
             .collect();
         for (expected, session) in sessions.iter().enumerate() {
-            prop_assert_eq!(session.partition(), expected);
+            prop_assert_eq!(session.partition(), Some(expected));
         }
         for session in sessions {
             let report = session.wait().unwrap();

@@ -471,8 +471,16 @@ fn faults_surface_as_reports_and_convert_to_faulted_errors() {
 }
 
 #[test]
-fn overlapping_sessions_are_rejected_with_session_active() {
-    let runtime = Runtime::new(small_config()).unwrap();
+fn overlapping_sessions_are_rejected_with_session_active_at_depth_zero() {
+    // The pre-scheduler contract, now opt-in: with a zero-depth admission
+    // queue an overcommitted launch is refused instead of queued.
+    let config = Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(256 << 10)
+        .admission_queue_depth(0)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(config).unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let stop_for_body = Arc::clone(&stop);
     let session = runtime
@@ -487,8 +495,92 @@ fn overlapping_sessions_are_rejected_with_session_active() {
         .unwrap();
     let error = runtime.launch(Program::new("rejected", |_| Step::Done)).unwrap_err();
     assert_eq!(error.kind(), ErrorKind::SessionActive);
+    // `try_launch` behaves the same on every configuration: no queueing.
+    let error = runtime.try_launch(Program::new("shed", |_| Step::Done)).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::SessionActive);
     stop.store(true, Ordering::Release);
     session.wait().unwrap();
+}
+
+#[test]
+fn diagnostics_report_admission_queue_depth_and_per_partition_quota_counters() {
+    let config = Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(256 << 10)
+        .max_epochs(1_000)
+        .max_events(1 << 20)
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(config).unwrap();
+
+    // Idle baseline: the configured quotas are visible, nothing is used,
+    // nothing is queued.
+    let idle = runtime.diagnostics();
+    assert_eq!(idle.admission_queue_depth, 0);
+    assert_eq!(idle.launches_queued, 0);
+    assert_eq!(idle.launches_admitted, 0);
+    assert_eq!(idle.partitions[0].quota_max_epochs, 1_000);
+    assert_eq!(idle.partitions[0].quota_max_events, 1 << 20);
+    assert_eq!(idle.partitions[0].quota_epochs_used, 0);
+    assert_eq!(idle.partitions[0].quota_events_used, 0);
+
+    // A metered tenant closes one epoch carrying recorded sync events,
+    // then idles on the gate: its quota usage (2 epochs begun, the first
+    // epoch's events accumulated) is observable mid-run and stays stable.
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_for_body = Arc::clone(&gate);
+    let session = runtime
+        .launch(Program::new("metered", move |ctx| {
+            let worked = ctx.global("worked", 8);
+            if ctx.read_u64(worked) == 0 {
+                ctx.write_u64(worked, 1);
+                let lock = ctx.mutex();
+                ctx.lock(lock);
+                ctx.unlock(lock);
+                ctx.end_epoch();
+            }
+            if gate_for_body.load(Ordering::Acquire) {
+                Step::Done
+            } else {
+                Step::Yield
+            }
+        }))
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let live = runtime.diagnostics();
+        if live.partitions[0].quota_epochs_used >= 2 && live.partitions[0].quota_events_used >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "quota usage must become visible mid-run: {live:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // An overcommitted launch shows up as admission-queue depth.
+    let queued = runtime.launch(Program::new("waiting", |_| Step::Done)).unwrap();
+    let mid = runtime.diagnostics();
+    assert_eq!(mid.admission_queue_depth, 1, "the second launch waits in the queue");
+    assert_eq!(mid.launches_queued, 1);
+    assert_eq!(mid.launches_admitted, 1);
+
+    gate.store(true, Ordering::Release);
+    assert!(session.wait().unwrap().outcome.is_success());
+    assert!(queued.wait().unwrap().outcome.is_success());
+
+    // Drained: both launches were admitted, the queue is empty, and the
+    // end-of-run reset returned the partition's quota counters to the
+    // idle baseline.
+    let drained = runtime.diagnostics();
+    assert_eq!(drained.admission_queue_depth, 0);
+    assert_eq!(drained.launches_admitted, 2);
+    assert_eq!(
+        drained.partitions[0].quota_epochs_used, 0,
+        "reset restarts the counters"
+    );
+    assert_eq!(drained.partitions[0].quota_events_used, 0);
 }
 
 #[test]
