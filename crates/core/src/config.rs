@@ -1,8 +1,12 @@
 //! Runtime configuration.
 
+use std::path::PathBuf;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::Error;
+use crate::fingerprint::Fingerprint;
+use crate::trace::TraceFormat;
 
 /// How the runtime treats the execution.
 ///
@@ -197,6 +201,18 @@ pub struct Config {
     /// immediately.  [`crate::Runtime::try_launch`] never queues regardless
     /// of this setting.
     pub admission_queue_depth: usize,
+    /// Durable recording sink: when set, every launch streams its epochs to
+    /// this trace file as they close, so the recording survives the process
+    /// (see [`crate::Trace`]).  The file is rewritten atomically at each
+    /// epoch close; a run that crashes mid-epoch leaves the trace of every
+    /// *closed* epoch on disk.  Requires [`RunMode::Record`] and a
+    /// single-partition runtime (concurrent sessions would race on the one
+    /// sink path).  `None` (the default) keeps recordings in-memory only.
+    pub record_to: Option<PathBuf>,
+    /// On-disk encoding used by [`Config::record_to`]: compact binary by
+    /// default, or JSON for human inspection.  Ignored when `record_to` is
+    /// `None`.
+    pub trace_format: TraceFormat,
 }
 
 impl Default for Config {
@@ -221,6 +237,8 @@ impl Default for Config {
             max_epochs: 0,
             max_events: 0,
             admission_queue_depth: 64,
+            record_to: None,
+            trace_format: TraceFormat::Binary,
         }
     }
 }
@@ -311,7 +329,75 @@ impl Config {
                 "more than 65536 queued launches is almost certainly a misconfiguration",
             ));
         }
+        if let Some(path) = &self.record_to {
+            if self.mode != RunMode::Record {
+                return Err(Error::invalid_config(
+                    "record_to",
+                    path.display(),
+                    "durable recording requires RunMode::Record",
+                ));
+            }
+            if self.partitions != 1 {
+                return Err(Error::invalid_config(
+                    "record_to",
+                    path.display(),
+                    "durable recording requires a single-partition runtime (concurrent sessions would race on one sink path)",
+                ));
+            }
+            if path.as_os_str().is_empty() {
+                return Err(Error::invalid_config(
+                    "record_to",
+                    path.display(),
+                    "the trace path must not be empty",
+                ));
+            }
+            let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+            if let Some(parent) = parent {
+                if !parent.is_dir() {
+                    return Err(Error::invalid_config(
+                        "record_to",
+                        path.display(),
+                        "the trace path's parent directory does not exist",
+                    ));
+                }
+            }
+            if path.is_dir() {
+                return Err(Error::invalid_config(
+                    "record_to",
+                    path.display(),
+                    "the trace path names a directory, not a file",
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// A digest over the configuration fields that determine execution:
+    /// mode, allocator, sizes, quotas, and the seed -- everything except
+    /// deployment knobs (partition count, queue depth, timeouts, the trace
+    /// sink itself).  A trace stores this fingerprint so
+    /// [`crate::Trace::open`] and [`crate::Runtime::replay_trace`] can
+    /// refuse to replay a recording against a runtime whose configuration
+    /// would execute the program differently.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let deterministic = (
+            (&self.mode, &self.allocator, &self.fault_policy),
+            (
+                self.arena_size,
+                self.globals_size,
+                self.heap_block_size,
+                self.events_per_thread,
+            ),
+            (self.canaries, self.quarantine_bytes, self.seed),
+            (
+                self.max_replay_attempts,
+                self.max_divergence_delay_us,
+                self.validate_replay_image,
+                self.max_epochs,
+                self.max_events,
+            ),
+        );
+        Fingerprint::of_debug(&deterministic)
     }
 }
 
@@ -388,6 +474,15 @@ impl ConfigBuilder {
         max_events: u64,
         /// Sets the admission-queue bound (0 = refuse when full).
         admission_queue_depth: usize,
+        /// Sets the on-disk encoding used by the durable recording sink.
+        trace_format: TraceFormat,
+    }
+
+    /// Streams every launch's epochs durably to `path` as they close (see
+    /// [`Config::record_to`]).
+    pub fn record_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.record_to = Some(path.into());
+        self
     }
 
     /// Finishes the builder.
@@ -416,6 +511,40 @@ mod tests {
         assert_eq!(built.max_epochs, 0, "unlimited epochs by default");
         assert_eq!(built.max_events, 0, "unlimited events by default");
         assert_eq!(built.admission_queue_depth, 64, "launches queue by default");
+        assert_eq!(built.record_to, None, "recordings stay in memory by default");
+        assert_eq!(built.trace_format, TraceFormat::Binary);
+    }
+
+    #[test]
+    fn trace_sink_configurations_validate() {
+        let config = Config::builder()
+            .arena_size(1 << 20)
+            .heap_block_size(64 << 10)
+            .record_to("run.trace")
+            .trace_format(TraceFormat::Json)
+            .build()
+            .unwrap();
+        assert_eq!(config.record_to.as_deref(), Some(std::path::Path::new("run.trace")));
+        assert_eq!(config.trace_format, TraceFormat::Json);
+    }
+
+    #[test]
+    fn config_fingerprint_covers_execution_knobs_only() {
+        let base = Config::default();
+        // Deployment knobs do not change the fingerprint...
+        let mut deployment = base.clone();
+        deployment.partitions = 4;
+        deployment.admission_queue_depth = 0;
+        deployment.quiescence_timeout_ms = 1;
+        deployment.record_to = Some("elsewhere.trace".into());
+        assert_eq!(base.fingerprint(), deployment.fingerprint());
+        // ...but execution knobs do.
+        let mut reseeded = base.clone();
+        reseeded.seed = 1;
+        assert_ne!(base.fingerprint(), reseeded.fingerprint());
+        let mut resized = base;
+        resized.arena_size = 32 << 20;
+        assert_ne!(resized.fingerprint(), reseeded.fingerprint());
     }
 
     #[test]
@@ -520,6 +649,37 @@ mod tests {
                 Config::builder().admission_queue_depth(100_000).build().unwrap_err(),
                 "admission_queue_depth",
                 "100000".to_string(),
+            ),
+            (
+                Config::builder()
+                    .mode(RunMode::Passthrough)
+                    .record_to("run.trace")
+                    .build()
+                    .unwrap_err(),
+                "record_to",
+                "run.trace".to_string(),
+            ),
+            (
+                Config::builder()
+                    .partitions(2)
+                    .record_to("run.trace")
+                    .build()
+                    .unwrap_err(),
+                "record_to",
+                "run.trace".to_string(),
+            ),
+            (
+                Config::builder()
+                    .record_to("no-such-dir/deep/run.trace")
+                    .build()
+                    .unwrap_err(),
+                "record_to",
+                "no-such-dir/deep/run.trace".to_string(),
+            ),
+            (
+                Config::builder().record_to("").build().unwrap_err(),
+                "record_to",
+                "the trace path must not be empty".to_string(),
             ),
         ];
         for (error, field, value) in cases {

@@ -68,6 +68,16 @@ pub enum ErrorKind {
     Poisoned,
     /// The operating system refused to spawn a thread the runtime needs.
     ThreadSpawn,
+    /// Reading or writing a durable trace file failed at the i/o or
+    /// decoding layer (missing file, truncated or corrupted contents).
+    TraceIo,
+    /// A trace file's header names a format or version this build does not
+    /// understand, or the file is not a trace at all.
+    TraceVersion,
+    /// A trace is incompatible with the replay request -- wrong program,
+    /// wrong configuration fingerprint, or the re-execution diverged from
+    /// the recorded order; see [`Error::trace_divergence`].
+    TraceMismatch,
 }
 
 impl fmt::Display for ErrorKind {
@@ -86,6 +96,9 @@ impl fmt::Display for ErrorKind {
             ErrorKind::QuotaExhausted => "tenant quota exhausted",
             ErrorKind::Poisoned => "runtime poisoned",
             ErrorKind::ThreadSpawn => "thread spawn failure",
+            ErrorKind::TraceIo => "trace i/o failure",
+            ErrorKind::TraceVersion => "unsupported trace version",
+            ErrorKind::TraceMismatch => "trace mismatch",
         };
         f.write_str(name)
     }
@@ -123,6 +136,19 @@ enum Repr {
         stuck_threads: Vec<u32>,
     },
     ThreadSpawn(String),
+    TraceIo {
+        action: &'static str,
+        path: String,
+        detail: String,
+    },
+    TraceVersion {
+        found: String,
+        supported: u32,
+    },
+    TraceMismatch {
+        what: &'static str,
+        detail: String,
+    },
 }
 
 /// Error returned by every fallible operation of the `ireplayer` facade.
@@ -165,6 +191,9 @@ impl Error {
             Repr::QuotaExhausted { .. } => ErrorKind::QuotaExhausted,
             Repr::Poisoned { .. } => ErrorKind::Poisoned,
             Repr::ThreadSpawn(_) => ErrorKind::ThreadSpawn,
+            Repr::TraceIo { .. } => ErrorKind::TraceIo,
+            Repr::TraceVersion { .. } => ErrorKind::TraceVersion,
+            Repr::TraceMismatch { .. } => ErrorKind::TraceMismatch,
         }
     }
 
@@ -211,6 +240,25 @@ impl Error {
     pub fn config_field(&self) -> Option<&'static str> {
         match &*self.repr {
             Repr::InvalidConfig { field, .. } => Some(field),
+            _ => None,
+        }
+    }
+
+    /// The trace file an [`ErrorKind::TraceIo`] error is about.
+    pub fn trace_path(&self) -> Option<&str> {
+        match &*self.repr {
+            Repr::TraceIo { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+
+    /// What diverged and how, when [`ErrorKind::TraceMismatch`]: a short
+    /// category (`"program"`, `"config"`, `"epoch count"`, `"order log"`,
+    /// `"fingerprint"`, ...) and a human-readable detail naming the failing
+    /// epoch, thread, and sequence index where applicable.
+    pub fn trace_divergence(&self) -> Option<(&'static str, &str)> {
+        match &*self.repr {
+            Repr::TraceMismatch { what, detail } => Some((what, detail)),
             _ => None,
         }
     }
@@ -264,6 +312,28 @@ impl Error {
     pub(crate) fn thread_spawn(inner: impl fmt::Display) -> Self {
         Error::new(Repr::ThreadSpawn(inner.to_string()))
     }
+
+    pub(crate) fn trace_io(action: &'static str, path: impl fmt::Display, detail: impl fmt::Display) -> Self {
+        Error::new(Repr::TraceIo {
+            action,
+            path: path.to_string(),
+            detail: detail.to_string(),
+        })
+    }
+
+    pub(crate) fn trace_version(found: impl Into<String>, supported: u32) -> Self {
+        Error::new(Repr::TraceVersion {
+            found: found.into(),
+            supported,
+        })
+    }
+
+    pub(crate) fn trace_mismatch(what: &'static str, detail: impl Into<String>) -> Self {
+        Error::new(Repr::TraceMismatch {
+            what,
+            detail: detail.into(),
+        })
+    }
 }
 
 impl fmt::Display for Error {
@@ -305,6 +375,15 @@ impl fmt::Display for Error {
                 "a previous run left threads {stuck_threads:?} unreclaimed; the runtime refuses further launches"
             ),
             Repr::ThreadSpawn(inner) => write!(f, "the OS refused to spawn a runtime thread: {inner}"),
+            Repr::TraceIo { action, path, detail } => {
+                write!(f, "trace i/o failure: could not {action} {path}: {detail}")
+            }
+            Repr::TraceVersion { found, supported } => {
+                write!(f, "unsupported trace version: {found} (this build reads version {supported})")
+            }
+            Repr::TraceMismatch { what, detail } => {
+                write!(f, "trace does not match this run: {what}: {detail}")
+            }
         }
     }
 }
@@ -365,6 +444,15 @@ mod tests {
             (Error::quota_exhausted("epochs", 8, 8), ErrorKind::QuotaExhausted),
             (Error::poisoned(vec![3]), ErrorKind::Poisoned),
             (Error::thread_spawn("EAGAIN"), ErrorKind::ThreadSpawn),
+            (
+                Error::trace_io("read", "run.trace", "unexpected end of file"),
+                ErrorKind::TraceIo,
+            ),
+            (Error::trace_version("version 9", 1), ErrorKind::TraceVersion),
+            (
+                Error::trace_mismatch("order log", "epoch 2, thread T1, index 5"),
+                ErrorKind::TraceMismatch,
+            ),
         ];
         for (error, kind) in variants {
             assert_eq!(error.kind(), kind);
@@ -401,6 +489,26 @@ mod tests {
         assert_eq!(quota.quota_usage(), Some(("events", 130, 128)));
         assert!(quota.to_string().contains("events") && quota.to_string().contains("128"));
         assert!(Error::session_active().quota_usage().is_none());
+    }
+
+    #[test]
+    fn trace_accessors_expose_payloads() {
+        let io = Error::trace_io("open", "corpus/run.trace", "no such file");
+        assert_eq!(io.trace_path(), Some("corpus/run.trace"));
+        assert!(io.to_string().contains("corpus/run.trace"));
+        assert!(io.trace_divergence().is_none());
+
+        let version = Error::trace_version("magic \"IRTX\"", 1);
+        assert!(version.to_string().contains("IRTX"));
+        assert!(version.to_string().contains('1'));
+
+        let mismatch = Error::trace_mismatch("order log", "epoch 2, thread T1, index 5");
+        assert_eq!(
+            mismatch.trace_divergence(),
+            Some(("order log", "epoch 2, thread T1, index 5"))
+        );
+        assert!(mismatch.to_string().contains("epoch 2"));
+        assert!(mismatch.trace_path().is_none());
     }
 
     #[test]

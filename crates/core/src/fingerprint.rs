@@ -1,0 +1,107 @@
+//! Typed run and configuration fingerprints.
+//!
+//! A [`Fingerprint`] is a 64-bit FNV-1a digest with a stable rendering:
+//! `Display` prints the sixteen-digit lower-case hex form, which is also the
+//! encoding used inside JSON traces, and the binary trace format stores the
+//! raw little-endian value.  Replacing the former bare `u64` with a newtype
+//! keeps report digests, trace headers, and config identities from being
+//! compared across kinds by accident.
+
+use std::fmt;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A stable 64-bit digest identifying a deterministic execution (or the
+/// deterministic portion of a [`crate::Config`]).
+///
+/// Two runs of the same program under the same configuration and seed
+/// produce equal fingerprints; a trace records the fingerprint of the run
+/// that produced it, and [`crate::Runtime::replay_trace`] proves
+/// byte-identical reproduction by recomputing it from a fresh execution.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Wraps a raw digest value (e.g. one decoded from a trace file).
+    pub fn from_raw(value: u64) -> Self {
+        Fingerprint(value)
+    }
+
+    /// The raw 64-bit digest.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Digest of the `Debug` rendering of `value`.  The rendering of the
+    /// hashed types is part of the trace format's compatibility surface.
+    pub(crate) fn of_debug<T: fmt::Debug>(value: &T) -> Self {
+        Fingerprint(fnv1a(format!("{value:?}").as_bytes()))
+    }
+
+    /// Parses the sixteen-digit hex form produced by `Display`.
+    pub(crate) fn parse_hex(text: &str) -> Option<Self> {
+        if text.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(text, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    /// Prints the hex form so assertion failures are readable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_sixteen_hex_digits() {
+        let fp = Fingerprint::from_raw(0x1a2b);
+        assert_eq!(fp.to_string(), "0000000000001a2b");
+        assert_eq!(Fingerprint::parse_hex(&fp.to_string()), Some(fp));
+        assert_eq!(format!("{fp:?}"), "Fingerprint(0000000000001a2b)");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        assert_eq!(Fingerprint::parse_hex("xyz"), None);
+        assert_eq!(Fingerprint::parse_hex("1a2b"), None);
+        assert_eq!(Fingerprint::parse_hex("zzzzzzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") from the reference implementation.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn of_debug_is_stable_per_value() {
+        assert_eq!(Fingerprint::of_debug(&(1, "x")), Fingerprint::of_debug(&(1, "x")));
+        assert_ne!(Fingerprint::of_debug(&(1, "x")), Fingerprint::of_debug(&(2, "x")));
+    }
+}

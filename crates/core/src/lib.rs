@@ -125,6 +125,7 @@ mod error;
 mod events;
 mod exec;
 mod fault;
+mod fingerprint;
 mod hooks;
 mod pool;
 mod program;
@@ -138,19 +139,24 @@ mod state;
 mod stats;
 mod sync;
 mod syscall;
+mod trace;
 
 pub use config::{AllocatorMode, Config, ConfigBuilder, FaultPolicy, RunMode};
 pub use context::{BarrierHandle, CondvarHandle, JoinHandle, MutexHandle, ThreadCtx};
 pub use error::{Error, ErrorKind};
 pub use events::{EventFilter, EventStream, SessionEvent};
 pub use fault::{FaultKind, FaultRecord};
+pub use fingerprint::Fingerprint;
 pub use hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
 pub use program::{BodyFn, Program, Step};
 pub use rng::DetRng;
-pub use runtime::{PartitionDiagnostics, Runtime, RuntimeDiagnostics};
+#[allow(deprecated)]
+pub use runtime::RuntimeDiagnostics;
+pub use runtime::{DiagnosticsSnapshot, PartitionDiagnostics, Runtime};
 pub use session::{RunPhase, Session, SessionFuture, SessionStatus};
 pub use site::{Site, SiteId};
 pub use stats::{ReplayValidation, RunOutcome, RunReport, WatchHitReport};
+pub use trace::{Trace, TraceFormat};
 
 // Re-export the substrate types that appear in the public API so downstream
 // users only need this crate.  `MemError` and `SysError` are the substrate

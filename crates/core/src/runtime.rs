@@ -42,6 +42,7 @@ use crate::scheduler::{AdmitMode, Scheduler};
 use crate::session::{Session, SessionShared};
 use crate::state::{Command, EpochEndReason, ExecPhase, RtInner, SegmentEnd, ThreadPhase, VThread, INTERNAL_SYNC_VARS};
 use crate::stats::{Counters, ReplayValidation, RunOutcome, RunReport, WatchHitReport};
+use crate::trace::{json, Trace, TraceJob, TraceVerifier};
 
 /// How long the supervisor waits between scans of the world state.
 const SUPERVISOR_SLICE: Duration = Duration::from_millis(5);
@@ -254,7 +255,12 @@ impl Runtime {
     /// # }
     /// ```
     pub fn launch(&self, program: Program) -> Result<Session<'_>, Error> {
-        Session::start(self, program, AdmitMode::QueueWhenFull)
+        Session::start(
+            self,
+            program,
+            AdmitMode::QueueWhenFull,
+            TraceJob::recorder_for(self.config()),
+        )
     }
 
     /// The non-queueing variant of [`Runtime::launch`]: starts `program`
@@ -307,7 +313,12 @@ impl Runtime {
     /// # }
     /// ```
     pub fn try_launch(&self, program: Program) -> Result<Session<'_>, Error> {
-        Session::start(self, program, AdmitMode::Immediate)
+        Session::start(
+            self,
+            program,
+            AdmitMode::Immediate,
+            TraceJob::recorder_for(self.config()),
+        )
     }
 
     /// Runs `program` to completion and returns its report: shorthand for
@@ -321,6 +332,90 @@ impl Runtime {
         self.launch(program)?.wait()
     }
 
+    /// Reproduces a recorded run from a durable [`Trace`] -- in this
+    /// process or, the point of the format, in a **fresh process** that
+    /// never saw the original run.  The runtime is deterministic, so
+    /// re-executing `program` under the trace's recorded simulated-OS
+    /// inputs yields the recorded run again; the trace is the oracle that
+    /// *proves* it: the staged kernel inputs are restored from the trace
+    /// before the program starts, and when the run finishes its
+    /// [`RunReport::fingerprint`] is checked against the recorded one,
+    /// failing with [`ErrorKind::TraceMismatch`](crate::ErrorKind) on any
+    /// difference.
+    ///
+    /// `program` must be the same workload that was recorded (same name,
+    /// same body), and this runtime's [`Config::fingerprint`] must equal
+    /// the trace's -- execution-relevant knobs changed between record and
+    /// replay are refused up front rather than surfacing as a confusing
+    /// divergence later.  Tool hooks installed during recording must be
+    /// installed again for replay, for the same reason.  The launch claims
+    /// a partition like any other; a [`Config::record_to`] sink configured
+    /// on this runtime is suspended for this launch (the verification
+    /// replaces it).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::TraceMismatch`](crate::ErrorKind) when the program
+    /// name, the config fingerprint, or the reproduced run's fingerprint
+    /// differs from the trace;
+    /// [`ErrorKind::RecordingDisabled`](crate::ErrorKind) in passthrough
+    /// mode; plus everything [`Runtime::run`] can return.
+    pub fn replay_trace(&self, program: Program, trace: &Trace) -> Result<RunReport, Error> {
+        self.replay_from_trace(program, trace, false)
+    }
+
+    /// The strict variant of [`Runtime::replay_trace`]: additionally
+    /// compares every epoch's order logs (per-thread event logs,
+    /// per-variable cross-thread orders, and the end-of-epoch heap image
+    /// hash) against the trace *as each epoch closes*, stopping the run at
+    /// the **first divergence** with a
+    /// [`ErrorKind::TraceMismatch`](crate::ErrorKind) error naming the
+    /// epoch, thread, and event.  `gettimeofday` outcomes are the one
+    /// sanctioned nondeterminism (the virtual clock incorporates real
+    /// elapsed time) and are exempt from the comparison.
+    ///
+    /// Strict mode asserts that the *schedule* reproduced, not just the
+    /// outcome -- a racy program whose threads legitimately interleave
+    /// differently run to run will (correctly) report a divergence here
+    /// even though its non-strict fingerprint may still match.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Runtime::replay_trace`], with divergence surfacing at the
+    /// epoch boundary where it happened instead of at the end of the run.
+    pub fn replay_trace_strict(&self, program: Program, trace: &Trace) -> Result<RunReport, Error> {
+        self.replay_from_trace(program, trace, true)
+    }
+
+    fn replay_from_trace(&self, program: Program, trace: &Trace, strict: bool) -> Result<RunReport, Error> {
+        let config = self.config();
+        if config.mode != RunMode::Record {
+            return Err(Error::recording_disabled());
+        }
+        if trace.program() != program.name() {
+            return Err(Error::trace_mismatch(
+                "program name",
+                format!(
+                    "trace records {:?} but {:?} was launched",
+                    trace.program(),
+                    program.name()
+                ),
+            ));
+        }
+        let ours = config.fingerprint();
+        if trace.config_fingerprint() != ours {
+            return Err(Error::trace_mismatch(
+                "config fingerprint",
+                format!(
+                    "trace was recorded under config {} but this runtime is {ours}",
+                    trace.config_fingerprint()
+                ),
+            ));
+        }
+        let verifier = TraceJob::Verify(TraceVerifier::new(trace.data().clone(), strict));
+        Session::start(self, program, AdmitMode::QueueWhenFull, Some(verifier))?.wait()
+    }
+
     /// Allocation, wake-up, and **scheduling** diagnostics, for asserting
     /// the warm-relaunch guarantees (zero re-allocation of backing storage
     /// across launches), the step-boundary batching of supervisor
@@ -330,12 +425,17 @@ impl Runtime {
     /// partitions show zero live threads, zero live sync variables, and an
     /// arena high-water mark back at its construction baseline, no matter
     /// what their neighbours did).
-    pub fn diagnostics(&self) -> RuntimeDiagnostics {
+    ///
+    /// The returned [`DiagnosticsSnapshot`] is plain data: every field is a
+    /// counter or a nested plain-data struct, and
+    /// [`DiagnosticsSnapshot::to_json`] serializes it through the same JSON
+    /// encoder the durable trace format uses.
+    pub fn diagnostics(&self) -> DiagnosticsSnapshot {
         let partitions: Vec<PartitionDiagnostics> =
             self.partitions.iter().map(|rt| partition_diagnostics(rt)).collect();
         let sum = |field: fn(&PartitionDiagnostics) -> u64| partitions.iter().map(field).sum();
         let (launches_queued, launches_admitted) = self.scheduler.admission_counts();
-        RuntimeDiagnostics {
+        DiagnosticsSnapshot {
             world_pokes: sum(|p| p.world_pokes),
             arena_allocations: sum(|p| p.arena_allocations),
             thread_lists_created: sum(|p| p.thread_lists_created),
@@ -416,12 +516,12 @@ fn partition_diagnostics(rt: &RtInner) -> PartitionDiagnostics {
 /// `arena_allocations`, `thread_lists_created`, `var_lists_created`, and
 /// `var_chunks_allocated` unchanged -- the reset-to-quiescence path reuses
 /// every backing chunk.  On a multi-partition runtime the top-level fields
-/// aggregate across partitions and [`RuntimeDiagnostics::partitions`]
+/// aggregate across partitions and [`DiagnosticsSnapshot::partitions`]
 /// carries each tenant's own view, including occupancy.  Marked
 /// `#[non_exhaustive]`: more counters may be added.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
-pub struct RuntimeDiagnostics {
+pub struct DiagnosticsSnapshot {
     /// Supervisor wake-ups (world condition-variable broadcasts) performed.
     pub world_pokes: u64,
     /// Arena backing allocations performed (exactly one *share* per
@@ -514,6 +614,80 @@ pub struct PartitionDiagnostics {
     pub quota_max_events: u64,
 }
 
+/// Former name of [`DiagnosticsSnapshot`], kept as a shim for one release.
+#[deprecated(note = "renamed to `DiagnosticsSnapshot`; the shape is unchanged")]
+pub type RuntimeDiagnostics = DiagnosticsSnapshot;
+
+impl DiagnosticsSnapshot {
+    /// Serializes the snapshot as pretty-printed JSON, through the same
+    /// encoder the durable trace format's JSON sibling uses -- suitable
+    /// for shipping to external dashboards or diffing across runs.
+    pub fn to_json(&self) -> String {
+        json::obj(vec![
+            ("world_pokes", json::Value::Int(self.world_pokes.into())),
+            ("arena_allocations", json::Value::Int(self.arena_allocations.into())),
+            (
+                "thread_lists_created",
+                json::Value::Int(self.thread_lists_created.into()),
+            ),
+            ("thread_lists_reused", json::Value::Int(self.thread_lists_reused.into())),
+            ("var_lists_created", json::Value::Int(self.var_lists_created.into())),
+            ("var_lists_reused", json::Value::Int(self.var_lists_reused.into())),
+            (
+                "var_chunks_allocated",
+                json::Value::Int(self.var_chunks_allocated.into()),
+            ),
+            (
+                "admission_queue_depth",
+                json::Value::Int(self.admission_queue_depth.into()),
+            ),
+            ("launches_queued", json::Value::Int(self.launches_queued.into())),
+            ("launches_admitted", json::Value::Int(self.launches_admitted.into())),
+            (
+                "partitions",
+                json::Value::Arr(self.partitions.iter().map(PartitionDiagnostics::to_value).collect()),
+            ),
+        ])
+        .to_pretty_string()
+    }
+}
+
+impl PartitionDiagnostics {
+    /// This partition's view as a JSON value (one element of
+    /// [`DiagnosticsSnapshot::to_json`]'s `partitions` array).
+    fn to_value(&self) -> json::Value {
+        json::obj(vec![
+            ("partition", json::Value::Int(self.partition.into())),
+            ("session_active", json::Value::Bool(self.session_active)),
+            ("poisoned", json::Value::Bool(self.poisoned)),
+            ("arena_base", json::Value::Int(self.arena_base.into())),
+            ("arena_size", json::Value::Int(self.arena_size.into())),
+            ("arena_in_use", json::Value::Int(self.arena_in_use.into())),
+            ("live_threads", json::Value::Int(self.live_threads.into())),
+            ("live_sync_vars", json::Value::Int(self.live_sync_vars.into())),
+            ("pooled_thread_lists", json::Value::Int(self.pooled_thread_lists.into())),
+            ("pooled_var_lists", json::Value::Int(self.pooled_var_lists.into())),
+            ("world_pokes", json::Value::Int(self.world_pokes.into())),
+            ("arena_allocations", json::Value::Int(self.arena_allocations.into())),
+            (
+                "thread_lists_created",
+                json::Value::Int(self.thread_lists_created.into()),
+            ),
+            ("thread_lists_reused", json::Value::Int(self.thread_lists_reused.into())),
+            ("var_lists_created", json::Value::Int(self.var_lists_created.into())),
+            ("var_lists_reused", json::Value::Int(self.var_lists_reused.into())),
+            (
+                "var_chunks_allocated",
+                json::Value::Int(self.var_chunks_allocated.into()),
+            ),
+            ("quota_epochs_used", json::Value::Int(self.quota_epochs_used.into())),
+            ("quota_events_used", json::Value::Int(self.quota_events_used.into())),
+            ("quota_max_epochs", json::Value::Int(self.quota_max_epochs.into())),
+            ("quota_max_events", json::Value::Int(self.quota_max_events.into())),
+        ])
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The supervisor: one run from launch to report.
 // ---------------------------------------------------------------------------
@@ -527,8 +701,24 @@ pub(crate) fn supervise(
     shared: Arc<SessionShared>,
     program_name: String,
     main_body: BodyFn,
+    mut trace_job: Option<TraceJob>,
 ) -> Result<RunReport, Error> {
     let started = Instant::now();
+
+    // Durable-trace work rides with the launch and starts before anything
+    // runs: a recorder snapshots the staged kernel inputs and writes the
+    // (epoch-less) trace header, a verifier restores the recorded inputs
+    // into this partition's kernel.  A failure here means nothing ran.
+    if let Some(job) = trace_job.as_mut() {
+        if let Err(error) = job.begin(&rt, &program_name) {
+            crate::session::seal_final_status(&rt, &shared);
+            rt.reset_to_quiescence();
+            rt.emit_event(|| SessionEvent::Finished {
+                outcome: RunOutcome::Completed,
+            });
+            return Err(error);
+        }
+    }
 
     // Create the main application thread (ThreadId 0).  The local Arc is
     // dropped immediately: the end-of-run reset harvests each thread's
@@ -579,6 +769,13 @@ pub(crate) fn supervise(
                 continue;
             };
             outcome = RunOutcome::Faulted(fault.clone());
+            // Record (or verify) the faulting partial epoch now, before a
+            // diagnostic replay rolls the world back over these logs.
+            if let Some(job) = trace_job.as_mut() {
+                if let Err(error) = job.on_epoch_close(&rt) {
+                    supervisor_error = Some(error);
+                }
+            }
             let diagnose =
                 rt.config.fault_policy == FaultPolicy::DiagnoseAndReport && rt.config.mode == RunMode::Record;
             if diagnose && !rt.tainted() {
@@ -627,7 +824,7 @@ pub(crate) fn supervise(
                     }
                 }
             }
-            close_epoch(&rt, epoch_replays);
+            close_epoch(&rt, epoch_replays, &mut trace_job, &mut supervisor_error);
             break;
         }
 
@@ -648,19 +845,24 @@ pub(crate) fn supervise(
                                     replay_validations.push(validation);
                                     if let Some(error) = strict_error {
                                         supervisor_error = Some(error);
-                                        close_epoch(&rt, epoch_replays);
+                                        close_epoch(&rt, epoch_replays, &mut trace_job, &mut supervisor_error);
                                         break;
                                     }
                                 }
                                 Err(e) => {
                                     supervisor_error = Some(e);
-                                    close_epoch(&rt, epoch_replays);
+                                    close_epoch(&rt, epoch_replays, &mut trace_job, &mut supervisor_error);
                                     break;
                                 }
                             }
                         }
                     }
-                    close_epoch(&rt, epoch_replays);
+                    close_epoch(&rt, epoch_replays, &mut trace_job, &mut supervisor_error);
+                    // A strict trace verification that diverged at this
+                    // close stops the run here, at the first divergence.
+                    if supervisor_error.is_some() {
+                        break;
+                    }
                     // A continue-type epoch end means the program wants
                     // more epochs: the per-tenant quotas are enforced
                     // here, cutting the session off at the boundary
@@ -740,6 +942,15 @@ pub(crate) fn supervise(
         })
     };
 
+    // Seal or verify the durable trace against the finished run: a
+    // recorder writes the summary (fingerprint, outcome), a verifier
+    // checks that the re-execution produced every recorded epoch and the
+    // recorded fingerprint.  An earlier supervisor error keeps precedence.
+    let result = match (result, trace_job.as_mut()) {
+        (Ok(report), Some(job)) => job.finish(&report).map(|()| report),
+        (result, _) => result,
+    };
+
     // A live replay request the run never found a replayable boundary for
     // (every remaining epoch was tainted, or the run ended first) is
     // announced as a zero-attempt replay so observers are not left
@@ -772,8 +983,17 @@ pub(crate) fn supervise(
 /// log events into the session-wide total (the figure the `max_events`
 /// quota and `PartitionDiagnostics::quota_events_used` are built on) and
 /// announces [`SessionEvent::EpochClosed`] with the epoch's own counters.
-/// Called before the next [`begin_epoch`] clears the logs.
-fn close_epoch(rt: &RtInner, replays_attempted: u64) {
+/// Called before the next [`begin_epoch`] clears the logs.  The epoch's
+/// order logs are still live here, so this is also where the launch's
+/// [`TraceJob`] streams the epoch durably (or checks it against a loaded
+/// trace); a trace failure is parked in `supervisor_error` without
+/// displacing an earlier error.
+fn close_epoch(
+    rt: &RtInner,
+    replays_attempted: u64,
+    trace_job: &mut Option<TraceJob>,
+    supervisor_error: &mut Option<Error>,
+) {
     let events_recorded: u64 = rt.threads.read().iter().map(|vt| vt.list.len() as u64).sum();
     Counters::add(&rt.counters.events_recorded, events_recorded);
     rt.emit_event(|| SessionEvent::EpochClosed {
@@ -781,6 +1001,13 @@ fn close_epoch(rt: &RtInner, replays_attempted: u64) {
         events_recorded,
         replays_attempted,
     });
+    if let Some(job) = trace_job.as_mut() {
+        if let Err(error) = job.on_epoch_close(rt) {
+            if supervisor_error.is_none() {
+                *supervisor_error = Some(error);
+            }
+        }
+    }
 }
 
 /// Per-tenant quota bookkeeping at an epoch close whose program still

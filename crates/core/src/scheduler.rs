@@ -42,12 +42,16 @@ use crate::program::{BodyFn, Program};
 use crate::session::SessionShared;
 use crate::state::RtInner;
 use crate::stats::RunOutcome;
+use crate::trace::TraceJob;
 
 /// One launch waiting for a partition.
 struct Pending {
     shared: Arc<SessionShared>,
     program_name: String,
     main_body: BodyFn,
+    /// Durable-trace work travelling with this launch (recording sink or
+    /// trace verification), driven by the supervisor.
+    trace: Option<TraceJob>,
 }
 
 /// One admission decided by the pump: this pending launch now owns this
@@ -111,13 +115,19 @@ impl Scheduler {
     /// once every partition is poisoned;
     /// [`ErrorKind::ThreadSpawn`](crate::ErrorKind) when the supervisor
     /// pool cannot serve the job.
-    pub fn submit(self: &Arc<Self>, program: Program, mode: AdmitMode) -> Result<Arc<SessionShared>, Error> {
+    pub fn submit(
+        self: &Arc<Self>,
+        program: Program,
+        mode: AdmitMode,
+        trace: Option<TraceJob>,
+    ) -> Result<Arc<SessionShared>, Error> {
         let (program_name, main_body) = program.into_parts();
         let shared = SessionShared::new(self.partitions[0].config.mode);
         let pending = Pending {
             shared: Arc::clone(&shared),
             program_name,
             main_body,
+            trace,
         };
         let admissions = {
             let mut state = self.state.lock();
@@ -250,6 +260,7 @@ impl Scheduler {
                 Arc::clone(&pending.shared),
                 pending.program_name,
                 pending.main_body,
+                pending.trace,
             );
             if let Err(error) = self.pool.execute(job) {
                 // Release the partition (and re-pump) *before* delivering
@@ -316,6 +327,7 @@ fn supervision_job(
     shared: Arc<SessionShared>,
     program_name: String,
     main_body: BodyFn,
+    trace: Option<TraceJob>,
 ) -> Box<dyn FnOnce() + Send + 'static> {
     Box::new(move || {
         // The unwind guard keeps the runtime honest even if the supervisor
@@ -325,7 +337,7 @@ fn supervision_job(
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
             let rt = Arc::clone(&rt);
             let shared = Arc::clone(&shared);
-            move || crate::runtime::supervise(rt, shared, program_name, main_body)
+            move || crate::runtime::supervise(rt, shared, program_name, main_body, trace)
         }));
         let result = match result {
             Ok(result) => result,

@@ -38,6 +38,7 @@ use crate::runtime::Runtime;
 use crate::scheduler::AdmitMode;
 use crate::state::{ExecPhase, RtInner};
 use crate::stats::{Counters, RunOutcome, RunReport};
+use crate::trace::TraceJob;
 
 /// What the runtime is doing right now, as seen by [`Session::status`].
 ///
@@ -250,8 +251,13 @@ pub struct Session<'rt> {
 }
 
 impl<'rt> Session<'rt> {
-    pub(crate) fn start(runtime: &'rt Runtime, program: Program, mode: AdmitMode) -> Result<Self, Error> {
-        let shared = runtime.scheduler.submit(program, mode)?;
+    pub(crate) fn start(
+        runtime: &'rt Runtime,
+        program: Program,
+        mode: AdmitMode,
+        trace: Option<TraceJob>,
+    ) -> Result<Self, Error> {
+        let shared = runtime.scheduler.submit(program, mode, trace)?;
         Ok(Session {
             shared,
             _runtime: PhantomData,

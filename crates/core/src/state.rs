@@ -493,7 +493,7 @@ pub(crate) struct RtInner {
     pub list_pool: Mutex<Vec<ThreadList>>,
     /// Retired per-variable lists, reused (chunks and all) by the next run.
     pub var_pool: Mutex<Vec<VarList>>,
-    /// Reuse/allocation diagnostics (see [`crate::RuntimeDiagnostics`]).
+    /// Reuse/allocation diagnostics (see [`crate::DiagnosticsSnapshot`]).
     pub diag: DiagCounters,
 }
 

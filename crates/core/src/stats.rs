@@ -9,6 +9,7 @@ use ireplayer_log::ThreadId;
 use ireplayer_mem::{DiffStats, Span};
 
 use crate::fault::FaultRecord;
+use crate::fingerprint::Fingerprint;
 use crate::site::Site;
 
 /// Validation record of one rollback/replay cycle (the §5.2 experiment).
@@ -109,8 +110,10 @@ impl RunReport {
     /// same configuration and seed produce the same fingerprint, whether
     /// they ran on a fresh runtime or back-to-back on a reused one; tests
     /// use this to assert that warm relaunches are observationally
-    /// identical to cold runs.
-    pub fn fingerprint(&self) -> u64 {
+    /// identical to cold runs, and durable traces store it so
+    /// [`crate::Runtime::replay_trace`] can prove byte-identical
+    /// reproduction in another process.
+    pub fn fingerprint(&self) -> Fingerprint {
         let deterministic = (
             (&self.program, &self.outcome, self.epochs, self.threads),
             (
@@ -123,13 +126,7 @@ impl RunReport {
             (self.replay_attempts, self.divergences, self.final_heap_hash),
             (&self.replay_validations, &self.watch_hits, &self.faults),
         );
-        let rendered = format!("{deterministic:?}");
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in rendered.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        Fingerprint::of_debug(&deterministic)
     }
 
     /// Converts a faulted outcome into an [`crate::Error`] of kind

@@ -1,0 +1,340 @@
+//! Compact binary trace encoding.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    b"IRTR"
+//! version  u32
+//! checksum u64            FNV-1a over the payload bytes below
+//! payload:
+//!   program            string            (u32 length + UTF-8 bytes)
+//!   config_fingerprint u64
+//!   seed               u64
+//!   inputs:
+//!     files    u32 count, then per file: name string, contents blob
+//!     peers    u32 count, then per peer: address string, script tag u8
+//!              (0=Download seed u64 + total u64; 1=Echo len u64;
+//!               2=Client seed u64 + requests u64 + len u64)
+//!     backlog  u32 count, then per entry: address string, clients u64
+//!     fd_limit u64
+//!   epochs   u32 count, then per epoch:
+//!     number        u64
+//!     end_heap_hash u64
+//!     threads  u32 count, then per thread: id u32, name string,
+//!              event u32 count, events (ireplayer_log::wire::put_event)
+//!     vars     u32 count, then per var: id u32, kind u8, parties u32,
+//!              entry u32 count, entries (wire::put_var_entry)
+//!   summary  u8 present flag, then if present: fingerprint u64,
+//!            epochs u64, threads u32, final_heap_hash u64, completed u8
+//! ```
+//!
+//! The checksum makes bit corruption anywhere in the payload a typed
+//! [`ErrorKind::TraceIo`](crate::ErrorKind) failure instead of a silently
+//! different replay.
+
+use ireplayer_log::wire::{self, Reader, WireError};
+use ireplayer_sys::{OsInputs, PeerScript};
+
+use crate::error::Error;
+use crate::fingerprint::{fnv1a, Fingerprint};
+use crate::trace::{TraceData, TraceEpoch, TraceSummary, TraceThreadLog, TraceVarLog, MAGIC, VERSION};
+
+const SCRIPT_DOWNLOAD: u8 = 0;
+const SCRIPT_ECHO: u8 = 1;
+const SCRIPT_CLIENT: u8 = 2;
+
+/// Serializes `data` into the binary trace format.
+pub(crate) fn encode(data: &TraceData) -> Vec<u8> {
+    let mut payload = Vec::new();
+    wire::put_string(&mut payload, &data.program);
+    wire::put_u64(&mut payload, data.config_fingerprint.as_u64());
+    wire::put_u64(&mut payload, data.seed);
+    put_inputs(&mut payload, &data.inputs);
+    wire::put_u32(&mut payload, data.epochs.len() as u32);
+    for epoch in &data.epochs {
+        put_epoch(&mut payload, epoch);
+    }
+    match &data.summary {
+        None => payload.push(0),
+        Some(summary) => {
+            payload.push(1);
+            wire::put_u64(&mut payload, summary.fingerprint.as_u64());
+            wire::put_u64(&mut payload, summary.epochs);
+            wire::put_u32(&mut payload, summary.threads);
+            wire::put_u64(&mut payload, summary.final_heap_hash);
+            payload.push(u8::from(summary.completed));
+        }
+    }
+
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(&MAGIC);
+    wire::put_u32(&mut out, data.version);
+    wire::put_u64(&mut out, fnv1a(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn put_inputs(buf: &mut Vec<u8>, inputs: &OsInputs) {
+    wire::put_u32(buf, inputs.files.len() as u32);
+    for (name, contents) in &inputs.files {
+        wire::put_string(buf, name);
+        wire::put_blob(buf, contents);
+    }
+    wire::put_u32(buf, inputs.peers.len() as u32);
+    for (address, script) in &inputs.peers {
+        wire::put_string(buf, address);
+        match script {
+            PeerScript::Download { seed, total_bytes } => {
+                buf.push(SCRIPT_DOWNLOAD);
+                wire::put_u64(buf, *seed);
+                wire::put_u64(buf, *total_bytes as u64);
+            }
+            PeerScript::Echo { response_len } => {
+                buf.push(SCRIPT_ECHO);
+                wire::put_u64(buf, *response_len as u64);
+            }
+            PeerScript::Client {
+                seed,
+                requests,
+                request_len,
+            } => {
+                buf.push(SCRIPT_CLIENT);
+                wire::put_u64(buf, *seed);
+                wire::put_u64(buf, *requests as u64);
+                wire::put_u64(buf, *request_len as u64);
+            }
+        }
+    }
+    wire::put_u32(buf, inputs.backlog.len() as u32);
+    for (address, clients) in &inputs.backlog {
+        wire::put_string(buf, address);
+        wire::put_u64(buf, *clients as u64);
+    }
+    wire::put_u64(buf, inputs.fd_limit as u64);
+}
+
+fn put_epoch(buf: &mut Vec<u8>, epoch: &TraceEpoch) {
+    wire::put_u64(buf, epoch.number);
+    wire::put_u64(buf, epoch.end_heap_hash);
+    wire::put_u32(buf, epoch.threads.len() as u32);
+    for thread in &epoch.threads {
+        wire::put_u32(buf, thread.thread);
+        wire::put_string(buf, &thread.name);
+        wire::put_u32(buf, thread.events.len() as u32);
+        for event in &thread.events {
+            wire::put_event(buf, event);
+        }
+    }
+    wire::put_u32(buf, epoch.vars.len() as u32);
+    for var in &epoch.vars {
+        wire::put_u32(buf, var.var);
+        buf.push(var.kind);
+        wire::put_u32(buf, var.parties);
+        wire::put_u32(buf, var.entries.len() as u32);
+        for entry in &var.entries {
+            wire::put_var_entry(buf, entry);
+        }
+    }
+}
+
+/// Decodes a binary trace file; `origin` names the source in errors.
+///
+/// # Errors
+///
+/// [`ErrorKind::TraceVersion`](crate::ErrorKind) for a foreign version,
+/// [`ErrorKind::TraceIo`](crate::ErrorKind) for truncation or corruption
+/// (including checksum mismatches).
+pub(crate) fn decode(bytes: &[u8], origin: &str) -> Result<TraceData, Error> {
+    let corrupt = |error: WireError| Error::trace_io("decode", origin, error);
+    let mut reader = Reader::new(bytes);
+    let magic = reader.bytes(4, "trace magic").map_err(corrupt)?;
+    debug_assert_eq!(magic, MAGIC, "caller dispatches on the magic");
+    let version = reader.u32("trace version").map_err(corrupt)?;
+    if version != VERSION {
+        return Err(Error::trace_version(
+            format!("binary version {version} in {origin}"),
+            VERSION,
+        ));
+    }
+    let checksum = reader.u64("trace checksum").map_err(corrupt)?;
+    let payload = &bytes[16..];
+    if fnv1a(payload) != checksum {
+        return Err(Error::trace_io(
+            "decode",
+            origin,
+            "payload checksum mismatch (file is corrupted or truncated)",
+        ));
+    }
+
+    let mut reader = Reader::new(payload);
+    let program = reader.string("program name").map_err(corrupt)?;
+    let config_fingerprint = Fingerprint::from_raw(reader.u64("config fingerprint").map_err(corrupt)?);
+    let seed = reader.u64("seed").map_err(corrupt)?;
+    let inputs = read_inputs(&mut reader).map_err(corrupt)?;
+
+    let epoch_count = reader.u32("epoch count").map_err(corrupt)?;
+    let mut epochs = Vec::new();
+    for _ in 0..epoch_count {
+        epochs.push(read_epoch(&mut reader).map_err(corrupt)?);
+    }
+
+    let summary = match reader.u8("summary flag").map_err(corrupt)? {
+        0 => None,
+        1 => Some(TraceSummary {
+            fingerprint: Fingerprint::from_raw(reader.u64("summary fingerprint").map_err(corrupt)?),
+            epochs: reader.u64("summary epochs").map_err(corrupt)?,
+            threads: reader.u32("summary threads").map_err(corrupt)?,
+            final_heap_hash: reader.u64("summary heap hash").map_err(corrupt)?,
+            completed: reader.u8("summary completed flag").map_err(corrupt)? != 0,
+        }),
+        _ => {
+            return Err(corrupt(WireError {
+                context: "summary flag",
+            }))
+        }
+    };
+    if reader.remaining() != 0 {
+        return Err(corrupt(WireError {
+            context: "trailing bytes after trace payload",
+        }));
+    }
+
+    Ok(TraceData {
+        version,
+        program,
+        config_fingerprint,
+        seed,
+        inputs,
+        epochs,
+        summary,
+    })
+}
+
+fn read_inputs(reader: &mut Reader<'_>) -> Result<OsInputs, WireError> {
+    let mut inputs = OsInputs::default();
+    for _ in 0..reader.u32("file count")? {
+        let name = reader.string("file name")?;
+        let contents = reader.blob("file contents")?;
+        inputs.files.push((name, contents));
+    }
+    for _ in 0..reader.u32("peer count")? {
+        let address = reader.string("peer address")?;
+        let script = match reader.u8("peer script tag")? {
+            SCRIPT_DOWNLOAD => PeerScript::Download {
+                seed: reader.u64("download seed")?,
+                total_bytes: reader.u64("download size")? as usize,
+            },
+            SCRIPT_ECHO => PeerScript::Echo {
+                response_len: reader.u64("echo response length")? as usize,
+            },
+            SCRIPT_CLIENT => PeerScript::Client {
+                seed: reader.u64("client seed")?,
+                requests: reader.u64("client request count")? as usize,
+                request_len: reader.u64("client request length")? as usize,
+            },
+            _ => {
+                return Err(WireError {
+                    context: "peer script tag",
+                })
+            }
+        };
+        inputs.peers.push((address, script));
+    }
+    for _ in 0..reader.u32("backlog count")? {
+        let address = reader.string("backlog address")?;
+        let clients = reader.u64("backlog clients")? as usize;
+        inputs.backlog.push((address, clients));
+    }
+    inputs.fd_limit = reader.u64("fd limit")? as usize;
+    Ok(inputs)
+}
+
+fn read_epoch(reader: &mut Reader<'_>) -> Result<TraceEpoch, WireError> {
+    let number = reader.u64("epoch number")?;
+    let end_heap_hash = reader.u64("epoch heap hash")?;
+    let mut threads = Vec::new();
+    for _ in 0..reader.u32("thread log count")? {
+        let thread = reader.u32("thread id")?;
+        let name = reader.string("thread name")?;
+        let mut events = Vec::new();
+        for _ in 0..reader.u32("event count")? {
+            events.push(wire::read_event(reader)?);
+        }
+        threads.push(TraceThreadLog { thread, name, events });
+    }
+    let mut vars = Vec::new();
+    for _ in 0..reader.u32("var log count")? {
+        let var = reader.u32("var id")?;
+        let kind = reader.u8("var kind")?;
+        let parties = reader.u32("barrier parties")?;
+        let mut entries = Vec::new();
+        for _ in 0..reader.u32("var entry count")? {
+            entries.push(wire::read_var_entry(reader)?);
+        }
+        vars.push(TraceVarLog {
+            var,
+            kind,
+            parties,
+            entries,
+        });
+    }
+    Ok(TraceEpoch {
+        number,
+        end_heap_hash,
+        threads,
+        vars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::tests::sample_data;
+    use crate::ErrorKind;
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error() {
+        let bytes = encode(&sample_data());
+        for cut in 0..bytes.len() {
+            if bytes[..cut].starts_with(&MAGIC) {
+                let error = decode(&bytes[..cut], "test").unwrap_err();
+                assert!(
+                    matches!(error.kind(), ErrorKind::TraceIo | ErrorKind::TraceVersion),
+                    "cut at {cut}: {error}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_corruption_fails_the_checksum() {
+        let mut bytes = encode(&sample_data());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let error = decode(&bytes, "test").unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceIo);
+        assert!(error.to_string().contains("checksum"), "{error}");
+    }
+
+    #[test]
+    fn foreign_versions_are_refused() {
+        let mut bytes = encode(&sample_data());
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let error = decode(&bytes, "test").unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceVersion);
+        assert!(error.to_string().contains("version 99"), "{error}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut data = sample_data();
+        data.summary = None;
+        let mut bytes = encode(&data);
+        bytes.push(0);
+        // Re-stamp the checksum so only the framing is at fault.
+        let checksum = fnv1a(&bytes[16..]);
+        bytes[8..16].copy_from_slice(&checksum.to_le_bytes());
+        let error = decode(&bytes, "test").unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceIo);
+    }
+}

@@ -1,0 +1,427 @@
+//! The per-launch trace job: durable recording and trace verification.
+//!
+//! A [`TraceJob`] travels with one launched program through the scheduler
+//! into the supervisor, which drives it at three points:
+//!
+//! * [`TraceJob::begin`] -- before the main thread starts.  A recorder
+//!   snapshots the staged simulated-OS inputs and writes the (still
+//!   epoch-less) trace file, so even a run that crashes in its first epoch
+//!   leaves a valid header behind.  A verifier does the inverse: it resets
+//!   the kernel and restores the recorded inputs, which is what makes
+//!   replay work in a fresh process that never staged anything.
+//! * [`TraceJob::on_epoch_close`] -- at every epoch close (including the
+//!   partial epoch of a faulting run).  A recorder appends the epoch's
+//!   order logs and atomically rewrites the file; a verifier in strict
+//!   mode compares the observed epoch against the recorded one and stops
+//!   the run at the first divergence.
+//! * [`TraceJob::finish`] -- after the run report is built.  A recorder
+//!   seals the trace with a summary (fingerprint, outcome); a verifier
+//!   checks that the re-execution produced every recorded epoch and the
+//!   recorded fingerprint.
+//!
+//! Time is the one sanctioned nondeterminism: `gettimeofday` outcomes
+//! incorporate real elapsed nanoseconds, so strict comparison matches
+//! `GetTime` events by position and code but exempts their outcome.  All
+//! other recorded outcomes are deterministic and must match exactly.
+
+use std::path::PathBuf;
+
+use ireplayer_log::{Event, EventKind};
+use ireplayer_sys::SyscallKind;
+
+use crate::config::Config;
+use crate::error::Error;
+use crate::state::{RtInner, SyncVarKind};
+use crate::stats::RunReport;
+use crate::trace::{
+    binary, json, write_atomically, TraceData, TraceEpoch, TraceFormat, TraceSummary, TraceThreadLog, TraceVarLog,
+};
+
+/// Stable wire codes for [`SyncVarKind`], stored per variable log.
+const KIND_MUTEX: u8 = 0;
+const KIND_CONDVAR: u8 = 1;
+const KIND_BARRIER: u8 = 2;
+const KIND_INTERNAL: u8 = 3;
+
+fn kind_code(kind: SyncVarKind) -> (u8, u32) {
+    match kind {
+        SyncVarKind::Mutex => (KIND_MUTEX, 0),
+        SyncVarKind::Condvar => (KIND_CONDVAR, 0),
+        SyncVarKind::Barrier { parties } => (KIND_BARRIER, parties),
+        SyncVarKind::Internal => (KIND_INTERNAL, 0),
+    }
+}
+
+/// Captures the closing epoch's order logs from runtime state.
+fn capture_epoch(rt: &RtInner) -> TraceEpoch {
+    let threads = rt
+        .threads
+        .read()
+        .iter()
+        .map(|vt| TraceThreadLog {
+            thread: vt.id.0,
+            name: vt.name.clone(),
+            events: vt.list.snapshot(),
+        })
+        .collect();
+    let vars = rt
+        .sync_table
+        .read()
+        .iter()
+        .map(|sv| {
+            let (kind, parties) = kind_code(sv.kind);
+            TraceVarLog {
+                var: sv.id.0,
+                kind,
+                parties,
+                entries: sv.var_list.entries(),
+            }
+        })
+        .collect();
+    TraceEpoch {
+        number: rt.epoch_number(),
+        end_heap_hash: rt.arena.hash_prefix(rt.super_heap.high_water().as_usize()),
+        threads,
+        vars,
+    }
+}
+
+/// The trace work attached to one launch.
+#[derive(Debug)]
+pub(crate) enum TraceJob {
+    /// Stream the run durably to a trace file.
+    Record(TraceRecorder),
+    /// Verify the run against a loaded trace.
+    Verify(TraceVerifier),
+}
+
+impl TraceJob {
+    /// The recording job implied by `config`, if any.
+    pub(crate) fn recorder_for(config: &Config) -> Option<TraceJob> {
+        config.record_to.as_ref().map(|path| {
+            TraceJob::Record(TraceRecorder {
+                path: path.clone(),
+                format: config.trace_format,
+                data: None,
+            })
+        })
+    }
+
+    /// Runs before the program's main thread starts.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorKind::TraceIo`] if the trace file cannot be written.
+    pub(crate) fn begin(&mut self, rt: &RtInner, program: &str) -> Result<(), Error> {
+        match self {
+            TraceJob::Record(recorder) => {
+                recorder.data = Some(TraceData::new(
+                    program.to_owned(),
+                    rt.config.fingerprint(),
+                    rt.config.seed,
+                    rt.os.staged_inputs(),
+                ));
+                recorder.rewrite()
+            }
+            TraceJob::Verify(verifier) => {
+                rt.os.restore_inputs(&verifier.data.inputs);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs at each epoch close (and once for the partial epoch of a
+    /// faulting run), while the closing epoch's logs are still live.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorKind::TraceIo`] if the recorder cannot rewrite the
+    /// file; [`crate::ErrorKind::TraceMismatch`] if a strict verifier
+    /// observes a divergence from the recorded epoch.
+    pub(crate) fn on_epoch_close(&mut self, rt: &RtInner) -> Result<(), Error> {
+        let observed = capture_epoch(rt);
+        match self {
+            TraceJob::Record(recorder) => {
+                if let Some(data) = recorder.data.as_mut() {
+                    data.epochs.push(observed);
+                }
+                recorder.rewrite()
+            }
+            TraceJob::Verify(verifier) => verifier.check_epoch(observed),
+        }
+    }
+
+    /// Runs after the supervisor built the run report.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorKind::TraceIo`] if the sealed trace cannot be
+    /// written; [`crate::ErrorKind::TraceMismatch`] if the verified run
+    /// fell short of the recorded epochs or produced a different
+    /// fingerprint.
+    pub(crate) fn finish(&mut self, report: &RunReport) -> Result<(), Error> {
+        match self {
+            TraceJob::Record(recorder) => {
+                if let Some(data) = recorder.data.as_mut() {
+                    data.summary = Some(TraceSummary {
+                        fingerprint: report.fingerprint(),
+                        epochs: report.epochs,
+                        threads: report.threads,
+                        final_heap_hash: report.final_heap_hash,
+                        completed: report.outcome.is_success(),
+                    });
+                }
+                recorder.rewrite()
+            }
+            TraceJob::Verify(verifier) => verifier.finish(report),
+        }
+    }
+}
+
+/// Streams a run to a trace file, rewriting it atomically at every epoch
+/// close so the file on disk is always a valid (possibly partial) trace.
+#[derive(Debug)]
+pub(crate) struct TraceRecorder {
+    path: PathBuf,
+    format: TraceFormat,
+    /// Populated at [`TraceJob::begin`]; `None` only before the run starts.
+    data: Option<TraceData>,
+}
+
+impl TraceRecorder {
+    fn rewrite(&self) -> Result<(), Error> {
+        let Some(data) = self.data.as_ref() else {
+            return Ok(());
+        };
+        let bytes = match self.format {
+            TraceFormat::Binary => binary::encode(data),
+            TraceFormat::Json => json::encode(data),
+        };
+        write_atomically(&self.path, &bytes)
+    }
+}
+
+/// Replays a loaded trace against a fresh execution, epoch by epoch.
+#[derive(Debug)]
+pub(crate) struct TraceVerifier {
+    data: TraceData,
+    strict: bool,
+    seen_epochs: usize,
+}
+
+impl TraceVerifier {
+    /// A verifier for `data`; `strict` compares every epoch's order logs
+    /// and stops at the first divergence, non-strict only checks the final
+    /// fingerprint.
+    pub(crate) fn new(data: TraceData, strict: bool) -> TraceVerifier {
+        TraceVerifier {
+            data,
+            strict,
+            seen_epochs: 0,
+        }
+    }
+
+    fn check_epoch(&mut self, observed: TraceEpoch) -> Result<(), Error> {
+        let index = self.seen_epochs;
+        self.seen_epochs += 1;
+        if !self.strict {
+            return Ok(());
+        }
+        let Some(expected) = self.data.epochs.get(index) else {
+            return Err(Error::trace_mismatch(
+                "epoch count",
+                format!(
+                    "re-execution produced epoch {} but the trace records only {}",
+                    observed.number,
+                    self.data.epochs.len()
+                ),
+            ));
+        };
+        compare_epochs(expected, &observed)
+    }
+
+    fn finish(&mut self, report: &RunReport) -> Result<(), Error> {
+        if self.seen_epochs != self.data.epochs.len() {
+            return Err(Error::trace_mismatch(
+                "epoch count",
+                format!(
+                    "trace records {} epochs but the re-execution closed {}",
+                    self.data.epochs.len(),
+                    self.seen_epochs
+                ),
+            ));
+        }
+        if let Some(summary) = &self.data.summary {
+            let observed = report.fingerprint();
+            if observed != summary.fingerprint {
+                return Err(Error::trace_mismatch(
+                    "run fingerprint",
+                    format!(
+                        "recorded {} but the re-execution produced {observed}",
+                        summary.fingerprint
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `true` when the recorded and observed events agree, allowing the
+/// sanctioned time nondeterminism: `GetTime` outcomes differ run to run,
+/// so those events match on position/thread/code alone.
+fn events_agree(expected: &Event, observed: &Event) -> bool {
+    if expected.thread != observed.thread || expected.index != observed.index {
+        return false;
+    }
+    match (&expected.kind, &observed.kind) {
+        (EventKind::Syscall { code: a, .. }, EventKind::Syscall { code: b, .. })
+            if *a == SyscallKind::GetTime.code() =>
+        {
+            a == b
+        }
+        (a, b) => a == b,
+    }
+}
+
+fn compare_epochs(expected: &TraceEpoch, observed: &TraceEpoch) -> Result<(), Error> {
+    let diverged = |detail: String| {
+        Err(Error::trace_mismatch(
+            "epoch order log",
+            format!("epoch {}: {detail}", expected.number),
+        ))
+    };
+    if expected.number != observed.number {
+        return diverged(format!("re-execution closed epoch {}", observed.number));
+    }
+    if expected.threads.len() != observed.threads.len() {
+        return diverged(format!(
+            "recorded {} thread logs, observed {}",
+            expected.threads.len(),
+            observed.threads.len()
+        ));
+    }
+    for (exp, obs) in expected.threads.iter().zip(&observed.threads) {
+        if exp.thread != obs.thread || exp.name != obs.name {
+            return diverged(format!(
+                "thread log {} ({:?}) became {} ({:?})",
+                exp.thread, exp.name, obs.thread, obs.name
+            ));
+        }
+        if exp.events.len() != obs.events.len() {
+            return diverged(format!(
+                "thread {} recorded {} events, observed {}",
+                exp.thread,
+                exp.events.len(),
+                obs.events.len()
+            ));
+        }
+        for (i, (e, o)) in exp.events.iter().zip(&obs.events).enumerate() {
+            if !events_agree(e, o) {
+                return diverged(format!(
+                    "thread {} event {i}: recorded {e:?}, observed {o:?}",
+                    exp.thread
+                ));
+            }
+        }
+    }
+    if expected.vars.len() != observed.vars.len() {
+        return diverged(format!(
+            "recorded {} variable logs, observed {}",
+            expected.vars.len(),
+            observed.vars.len()
+        ));
+    }
+    for (exp, obs) in expected.vars.iter().zip(&observed.vars) {
+        if exp.var != obs.var || exp.kind != obs.kind || exp.parties != obs.parties {
+            return diverged(format!("variable {} changed identity or kind", exp.var));
+        }
+        if exp.entries != obs.entries {
+            return diverged(format!("variable {} recorded a different cross-thread order", exp.var));
+        }
+    }
+    if expected.end_heap_hash != observed.end_heap_hash {
+        return diverged(format!(
+            "heap image hash diverged ({:#x} recorded, {:#x} observed)",
+            expected.end_heap_hash, observed.end_heap_hash
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer_log::{SyncOp, SyscallOutcome, ThreadId, VarId};
+
+    fn sync_event(index: u32, result: i64) -> Event {
+        Event {
+            thread: ThreadId(0),
+            index,
+            kind: EventKind::Sync {
+                var: VarId(1),
+                op: SyncOp::MutexLock,
+                result,
+            },
+        }
+    }
+
+    fn time_event(index: u32, now: i64) -> Event {
+        Event {
+            thread: ThreadId(0),
+            index,
+            kind: EventKind::Syscall {
+                code: SyscallKind::GetTime.code(),
+                outcome: SyscallOutcome::ret(now),
+            },
+        }
+    }
+
+    fn epoch_with(events: Vec<Event>) -> TraceEpoch {
+        TraceEpoch {
+            number: 0,
+            end_heap_hash: 7,
+            threads: vec![TraceThreadLog {
+                thread: 0,
+                name: "main".into(),
+                events,
+            }],
+            vars: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn gettime_outcomes_are_exempt_from_strict_comparison() {
+        let recorded = epoch_with(vec![sync_event(0, 1), time_event(1, 111)]);
+        let observed = epoch_with(vec![sync_event(0, 1), time_event(1, 999)]);
+        compare_epochs(&recorded, &observed).unwrap();
+    }
+
+    #[test]
+    fn other_divergences_are_reported_with_context() {
+        let recorded = epoch_with(vec![sync_event(0, 1)]);
+        let observed = epoch_with(vec![sync_event(0, 2)]);
+        let error = compare_epochs(&recorded, &observed).unwrap_err();
+        assert_eq!(error.kind(), crate::ErrorKind::TraceMismatch);
+        assert!(error.to_string().contains("thread 0 event 0"), "{error}");
+
+        let observed = epoch_with(vec![sync_event(0, 1), sync_event(1, 1)]);
+        let error = compare_epochs(&recorded, &observed).unwrap_err();
+        assert!(error.to_string().contains("recorded 1 events, observed 2"), "{error}");
+
+        let mut observed = epoch_with(vec![sync_event(0, 1)]);
+        observed.end_heap_hash = 8;
+        let error = compare_epochs(&recorded, &observed).unwrap_err();
+        assert!(error.to_string().contains("heap image hash"), "{error}");
+    }
+
+    #[test]
+    fn verifier_tracks_epoch_counts() {
+        let mut data = TraceData::new("p".into(), crate::Fingerprint::from_raw(0), 0, Default::default());
+        data.epochs.push(epoch_with(vec![]));
+        let mut verifier = TraceVerifier::new(data, true);
+        verifier.check_epoch(epoch_with(vec![])).unwrap();
+        let error = verifier.check_epoch(epoch_with(vec![])).unwrap_err();
+        assert_eq!(error.kind(), crate::ErrorKind::TraceMismatch);
+    }
+}

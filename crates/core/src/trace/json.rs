@@ -1,0 +1,915 @@
+//! JSON trace encoding and the minimal JSON engine behind it.
+//!
+//! The workspace vendors a dependency-free `serde` facade, so this module
+//! carries its own small JSON [`Value`] model, pretty writer, and
+//! recursive-descent parser.  The dialect is deliberately narrow: integers
+//! only (no floats -- every recorded quantity is integral, and floats
+//! would make the binary/JSON roundtrip lossy), objects keep their key
+//! order, and byte payloads are lower-case hex strings (`contents_hex`,
+//! `data_hex`).  Fingerprints render as their sixteen-digit hex `Display`
+//! form.
+//!
+//! The same [`Value`] model backs
+//! [`crate::DiagnosticsSnapshot::to_json`], so diagnostics and traces
+//! share one serialization surface.
+
+use std::fmt::Write as _;
+
+use ireplayer_log::{Event, EventKind, SyncOp, SyscallOutcome, ThreadId, VarEntry, VarId};
+use ireplayer_sys::{OsInputs, PeerScript};
+
+use crate::error::Error;
+use crate::fingerprint::Fingerprint;
+use crate::trace::{TraceData, TraceEpoch, TraceSummary, TraceThreadLog, TraceVarLog, VERSION};
+
+/// The `format` marker naming trace JSON documents.
+const FORMAT_MARKER: &str = "ireplayer-trace";
+
+/// A JSON value in the narrow dialect traces use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer; `i128` so the full `u64` and `i64` ranges both fit.
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, preserving insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object.
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required object member, by key.
+    fn field(&self, key: &'static str) -> Result<&Value, String> {
+        self.get(key).ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    fn as_int(&self, what: &str) -> Result<i128, String> {
+        match self {
+            Value::Int(value) => Ok(*value),
+            other => Err(format!("{what}: expected an integer, got {}", other.kind_name())),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        u64::try_from(self.as_int(what)?).map_err(|_| format!("{what}: out of range for u64"))
+    }
+
+    fn as_u32(&self, what: &str) -> Result<u32, String> {
+        u32::try_from(self.as_int(what)?).map_err(|_| format!("{what}: out of range for u32"))
+    }
+
+    fn as_i64(&self, what: &str) -> Result<i64, String> {
+        i64::try_from(self.as_int(what)?).map_err(|_| format!("{what}: out of range for i64"))
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(value) => Ok(value),
+            other => Err(format!("{what}: expected a string, got {}", other.kind_name())),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(value) => Ok(*value),
+            other => Err(format!("{what}: expected a boolean, got {}", other.kind_name())),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(format!("{what}: expected an array, got {}", other.kind_name())),
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) => "an integer",
+            Value::Str(_) => "a string",
+            Value::Arr(_) => "an array",
+            Value::Obj(_) => "an object",
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent).
+    pub(crate) fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// Shorthand for building object values in declaration order.
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn int(value: impl Into<i128>) -> Value {
+    Value::Int(value.into())
+}
+
+fn usize_int(value: usize) -> Value {
+    Value::Int(value as i128)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) if items.is_empty() => out.push_str("[]"),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, text: &str) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Parser { bytes, pos: 0 }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() != Some(byte) {
+            return Err(self.error(&format!("expected {:?}", byte as char)));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(&format!("unexpected character {:?}", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, String> {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {keyword:?}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err(self.error("floating-point numbers are not part of the trace dialect"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<i128>()
+            .map(Value::Int)
+            .map_err(|_| self.error("integer out of range"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.error("unterminated string"))?;
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let escape = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is validated as
+                    // UTF-8 before parsing begins).
+                    let text = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let ch = text.chars().next().expect("non-empty by peek");
+                    if (ch as u32) < 0x20 {
+                        return Err(self.error("unescaped control character in string"));
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, String> {
+        let first = self.parse_hex4()?;
+        let code = if (0xd800..0xdc00).contains(&first) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.bytes.get(self.pos) != Some(&b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                return Err(self.error("unpaired surrogate escape"));
+            }
+            self.pos += 2;
+            let second = self.parse_hex4()?;
+            if !(0xdc00..0xe000).contains(&second) {
+                return Err(self.error("invalid low surrogate"));
+            }
+            0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00)
+        } else {
+            first
+        };
+        char::from_u32(code).ok_or_else(|| self.error("escape is not a scalar value"))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let text = std::str::from_utf8(digits).map_err(|_| self.error("invalid \\u escape"))?;
+        let value = u32::from_str_radix(text, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(value)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub(crate) fn parse(bytes: &[u8]) -> Result<Value, String> {
+    std::str::from_utf8(bytes).map_err(|_| "trace JSON is not valid UTF-8".to_owned())?;
+    let mut parser = Parser::new(bytes);
+    let value = parser.parse_value()?;
+    if parser.peek().is_some() {
+        return Err(parser.error("trailing data after JSON document"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Hex payloads
+// ---------------------------------------------------------------------------
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        let _ = write!(out, "{byte:02x}");
+    }
+    out
+}
+
+fn hex_decode(text: &str, what: &str) -> Result<Vec<u8>, String> {
+    if text.len() % 2 != 0 {
+        return Err(format!("{what}: odd-length hex string"));
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| format!("{what}: invalid hex digit")))
+        .collect()
+}
+
+fn fingerprint_value(fp: Fingerprint) -> Value {
+    Value::Str(fp.to_string())
+}
+
+fn fingerprint_from(value: &Value, what: &str) -> Result<Fingerprint, String> {
+    Fingerprint::parse_hex(value.as_str(what)?).ok_or_else(|| format!("{what}: expected sixteen hex digits"))
+}
+
+// ---------------------------------------------------------------------------
+// Trace <-> Value
+// ---------------------------------------------------------------------------
+
+/// Serializes `data` as pretty-printed trace JSON.
+pub(crate) fn encode(data: &TraceData) -> Vec<u8> {
+    trace_to_value(data).to_pretty_string().into_bytes()
+}
+
+fn trace_to_value(data: &TraceData) -> Value {
+    obj(vec![
+        ("format", Value::Str(FORMAT_MARKER.to_owned())),
+        ("version", int(data.version)),
+        ("program", Value::Str(data.program.clone())),
+        ("config_fingerprint", fingerprint_value(data.config_fingerprint)),
+        ("seed", int(data.seed)),
+        ("inputs", inputs_to_value(&data.inputs)),
+        ("epochs", Value::Arr(data.epochs.iter().map(epoch_to_value).collect())),
+        (
+            "summary",
+            match &data.summary {
+                None => Value::Null,
+                Some(summary) => summary_to_value(summary),
+            },
+        ),
+    ])
+}
+
+fn inputs_to_value(inputs: &OsInputs) -> Value {
+    obj(vec![
+        (
+            "files",
+            Value::Arr(
+                inputs
+                    .files
+                    .iter()
+                    .map(|(name, contents)| {
+                        obj(vec![
+                            ("name", Value::Str(name.clone())),
+                            ("contents_hex", Value::Str(hex_encode(contents))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "peers",
+            Value::Arr(
+                inputs
+                    .peers
+                    .iter()
+                    .map(|(address, script)| {
+                        obj(vec![
+                            ("address", Value::Str(address.clone())),
+                            ("script", script_to_value(script)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "backlog",
+            Value::Arr(
+                inputs
+                    .backlog
+                    .iter()
+                    .map(|(address, clients)| {
+                        obj(vec![
+                            ("address", Value::Str(address.clone())),
+                            ("clients", usize_int(*clients)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("fd_limit", usize_int(inputs.fd_limit)),
+    ])
+}
+
+fn script_to_value(script: &PeerScript) -> Value {
+    match script {
+        PeerScript::Download { seed, total_bytes } => obj(vec![
+            ("kind", Value::Str("download".to_owned())),
+            ("seed", int(*seed)),
+            ("total_bytes", usize_int(*total_bytes)),
+        ]),
+        PeerScript::Echo { response_len } => obj(vec![
+            ("kind", Value::Str("echo".to_owned())),
+            ("response_len", usize_int(*response_len)),
+        ]),
+        PeerScript::Client {
+            seed,
+            requests,
+            request_len,
+        } => obj(vec![
+            ("kind", Value::Str("client".to_owned())),
+            ("seed", int(*seed)),
+            ("requests", usize_int(*requests)),
+            ("request_len", usize_int(*request_len)),
+        ]),
+    }
+}
+
+fn epoch_to_value(epoch: &TraceEpoch) -> Value {
+    obj(vec![
+        ("number", int(epoch.number)),
+        ("end_heap_hash", int(epoch.end_heap_hash)),
+        (
+            "threads",
+            Value::Arr(
+                epoch
+                    .threads
+                    .iter()
+                    .map(|log| {
+                        obj(vec![
+                            ("thread", int(log.thread)),
+                            ("name", Value::Str(log.name.clone())),
+                            ("events", Value::Arr(log.events.iter().map(event_to_value).collect())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "vars",
+            Value::Arr(
+                epoch
+                    .vars
+                    .iter()
+                    .map(|log| {
+                        obj(vec![
+                            ("var", int(log.var)),
+                            ("kind", int(log.kind)),
+                            ("parties", int(log.parties)),
+                            (
+                                "entries",
+                                Value::Arr(log.entries.iter().map(var_entry_to_value).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn event_to_value(event: &Event) -> Value {
+    let mut fields = vec![("thread", int(event.thread.0)), ("index", int(event.index))];
+    match &event.kind {
+        EventKind::Sync { var, op, result } => fields.push((
+            "sync",
+            obj(vec![
+                ("var", int(var.0)),
+                ("op", int(op.code())),
+                ("result", int(*result)),
+            ]),
+        )),
+        EventKind::Syscall { code, outcome } => fields.push((
+            "syscall",
+            obj(vec![
+                ("code", int(*code)),
+                ("ret", int(outcome.ret)),
+                ("data_hex", Value::Str(hex_encode(&outcome.data))),
+            ]),
+        )),
+    }
+    obj(fields)
+}
+
+fn var_entry_to_value(entry: &VarEntry) -> Value {
+    obj(vec![
+        ("thread", int(entry.thread.0)),
+        ("op", int(entry.op.code())),
+        ("thread_index", int(entry.thread_index)),
+    ])
+}
+
+fn summary_to_value(summary: &TraceSummary) -> Value {
+    obj(vec![
+        ("fingerprint", fingerprint_value(summary.fingerprint)),
+        ("epochs", int(summary.epochs)),
+        ("threads", int(summary.threads)),
+        ("final_heap_hash", int(summary.final_heap_hash)),
+        ("completed", Value::Bool(summary.completed)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Value -> Trace
+// ---------------------------------------------------------------------------
+
+/// Decodes a JSON trace document; `origin` names the source in errors.
+///
+/// # Errors
+///
+/// [`ErrorKind::TraceVersion`](crate::ErrorKind) for a foreign version or
+/// format marker, [`ErrorKind::TraceIo`](crate::ErrorKind) for malformed
+/// JSON or schema violations.
+pub(crate) fn decode(bytes: &[u8], origin: &str) -> Result<TraceData, Error> {
+    let corrupt = |detail: String| Error::trace_io("decode", origin, detail);
+    let root = parse(bytes).map_err(corrupt)?;
+
+    // A well-formed JSON document without the marker is some other JSON
+    // file, not a corrupted trace: report it as a format problem.
+    let format = match root.field("format").and_then(|v| v.as_str("format").map(str::to_owned)) {
+        Ok(format) => format,
+        Err(_) => {
+            return Err(Error::trace_version(
+                format!("JSON without a \"format\" marker in {origin}"),
+                VERSION,
+            ))
+        }
+    };
+    if format != FORMAT_MARKER {
+        return Err(Error::trace_version(
+            format!("JSON format {format:?} in {origin}"),
+            VERSION,
+        ));
+    }
+    let version = root
+        .field("version")
+        .and_then(|v| v.as_u32("version"))
+        .map_err(corrupt)?;
+    if version != VERSION {
+        return Err(Error::trace_version(
+            format!("JSON version {version} in {origin}"),
+            VERSION,
+        ));
+    }
+
+    trace_from_value(&root, version).map_err(corrupt)
+}
+
+fn trace_from_value(root: &Value, version: u32) -> Result<TraceData, String> {
+    let program = root.field("program")?.as_str("program")?.to_owned();
+    let config_fingerprint = fingerprint_from(root.field("config_fingerprint")?, "config_fingerprint")?;
+    let seed = root.field("seed")?.as_u64("seed")?;
+    let inputs = inputs_from_value(root.field("inputs")?)?;
+    let epochs = root
+        .field("epochs")?
+        .as_arr("epochs")?
+        .iter()
+        .map(epoch_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let summary = match root.field("summary")? {
+        Value::Null => None,
+        value => Some(summary_from_value(value)?),
+    };
+    Ok(TraceData {
+        version,
+        program,
+        config_fingerprint,
+        seed,
+        epochs,
+        inputs,
+        summary,
+    })
+}
+
+fn inputs_from_value(value: &Value) -> Result<OsInputs, String> {
+    let mut inputs = OsInputs::default();
+    for file in value.field("files")?.as_arr("files")? {
+        let name = file.field("name")?.as_str("file name")?.to_owned();
+        let contents = hex_decode(file.field("contents_hex")?.as_str("contents_hex")?, "contents_hex")?;
+        inputs.files.push((name, contents));
+    }
+    for peer in value.field("peers")?.as_arr("peers")? {
+        let address = peer.field("address")?.as_str("peer address")?.to_owned();
+        inputs.peers.push((address, script_from_value(peer.field("script")?)?));
+    }
+    for entry in value.field("backlog")?.as_arr("backlog")? {
+        let address = entry.field("address")?.as_str("backlog address")?.to_owned();
+        let clients = entry.field("clients")?.as_u64("backlog clients")? as usize;
+        inputs.backlog.push((address, clients));
+    }
+    inputs.fd_limit = value.field("fd_limit")?.as_u64("fd_limit")? as usize;
+    Ok(inputs)
+}
+
+fn script_from_value(value: &Value) -> Result<PeerScript, String> {
+    match value.field("kind")?.as_str("script kind")? {
+        "download" => Ok(PeerScript::Download {
+            seed: value.field("seed")?.as_u64("download seed")?,
+            total_bytes: value.field("total_bytes")?.as_u64("total_bytes")? as usize,
+        }),
+        "echo" => Ok(PeerScript::Echo {
+            response_len: value.field("response_len")?.as_u64("response_len")? as usize,
+        }),
+        "client" => Ok(PeerScript::Client {
+            seed: value.field("seed")?.as_u64("client seed")?,
+            requests: value.field("requests")?.as_u64("requests")? as usize,
+            request_len: value.field("request_len")?.as_u64("request_len")? as usize,
+        }),
+        other => Err(format!("unknown peer script kind {other:?}")),
+    }
+}
+
+fn epoch_from_value(value: &Value) -> Result<TraceEpoch, String> {
+    let number = value.field("number")?.as_u64("epoch number")?;
+    let end_heap_hash = value.field("end_heap_hash")?.as_u64("end_heap_hash")?;
+    let threads = value
+        .field("threads")?
+        .as_arr("threads")?
+        .iter()
+        .map(thread_log_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let vars = value
+        .field("vars")?
+        .as_arr("vars")?
+        .iter()
+        .map(var_log_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TraceEpoch {
+        number,
+        end_heap_hash,
+        threads,
+        vars,
+    })
+}
+
+fn thread_log_from_value(value: &Value) -> Result<TraceThreadLog, String> {
+    let thread = value.field("thread")?.as_u32("thread id")?;
+    let name = value.field("name")?.as_str("thread name")?.to_owned();
+    let events = value
+        .field("events")?
+        .as_arr("events")?
+        .iter()
+        .map(event_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TraceThreadLog { thread, name, events })
+}
+
+fn event_from_value(value: &Value) -> Result<Event, String> {
+    let thread = ThreadId(value.field("thread")?.as_u32("event thread")?);
+    let index = value.field("index")?.as_u32("event index")?;
+    let kind = if let Some(sync) = value.get("sync") {
+        let var = VarId(sync.field("var")?.as_u32("sync var")?);
+        let code =
+            u8::try_from(sync.field("op")?.as_int("sync op")?).map_err(|_| "sync op: out of range".to_owned())?;
+        let op = SyncOp::from_code(code).ok_or_else(|| format!("unknown sync op code {code}"))?;
+        let result = sync.field("result")?.as_i64("sync result")?;
+        EventKind::Sync { var, op, result }
+    } else if let Some(syscall) = value.get("syscall") {
+        let code = u16::try_from(syscall.field("code")?.as_int("syscall code")?)
+            .map_err(|_| "syscall code: out of range".to_owned())?;
+        let ret = syscall.field("ret")?.as_i64("syscall ret")?;
+        let data = hex_decode(syscall.field("data_hex")?.as_str("data_hex")?, "data_hex")?;
+        EventKind::Syscall {
+            code,
+            outcome: SyscallOutcome { ret, data },
+        }
+    } else {
+        return Err("event has neither \"sync\" nor \"syscall\"".to_owned());
+    };
+    Ok(Event { thread, index, kind })
+}
+
+fn var_log_from_value(value: &Value) -> Result<TraceVarLog, String> {
+    let var = value.field("var")?.as_u32("var id")?;
+    let kind =
+        u8::try_from(value.field("kind")?.as_int("var kind")?).map_err(|_| "var kind: out of range".to_owned())?;
+    let parties = value.field("parties")?.as_u32("barrier parties")?;
+    let entries = value
+        .field("entries")?
+        .as_arr("entries")?
+        .iter()
+        .map(var_entry_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TraceVarLog {
+        var,
+        kind,
+        parties,
+        entries,
+    })
+}
+
+fn var_entry_from_value(value: &Value) -> Result<VarEntry, String> {
+    let thread = ThreadId(value.field("thread")?.as_u32("entry thread")?);
+    let code = u8::try_from(value.field("op")?.as_int("entry op")?).map_err(|_| "entry op: out of range".to_owned())?;
+    let op = SyncOp::from_code(code).ok_or_else(|| format!("unknown sync op code {code}"))?;
+    let thread_index = value.field("thread_index")?.as_u32("entry thread index")?;
+    Ok(VarEntry {
+        thread,
+        op,
+        thread_index,
+    })
+}
+
+fn summary_from_value(value: &Value) -> Result<TraceSummary, String> {
+    Ok(TraceSummary {
+        fingerprint: fingerprint_from(value.field("fingerprint")?, "summary fingerprint")?,
+        epochs: value.field("epochs")?.as_u64("summary epochs")?,
+        threads: value.field("threads")?.as_u32("summary threads")?,
+        final_heap_hash: value.field("final_heap_hash")?.as_u64("final_heap_hash")?,
+        completed: value.field("completed")?.as_bool("completed")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::tests::sample_data;
+    use crate::ErrorKind;
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let value = parse(br#"{"a": [1, -2, "x\u00e9\n\"\\", true, null], "b": {}}"#).unwrap();
+        let items = value.field("a").unwrap().as_arr("a").unwrap();
+        assert_eq!(items[0], Value::Int(1));
+        assert_eq!(items[1], Value::Int(-2));
+        assert_eq!(items[2], Value::Str("xé\n\"\\".to_owned()));
+        assert_eq!(items[3], Value::Bool(true));
+        assert_eq!(items[4], Value::Null);
+        assert_eq!(value.field("b").unwrap(), &Value::Obj(Vec::new()));
+    }
+
+    #[test]
+    fn parser_handles_surrogate_pairs() {
+        let value = parse(br#""\ud83e\udd80""#).unwrap();
+        assert_eq!(value, Value::Str("🦀".to_owned()));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            &b"{"[..],
+            b"[1, 2",
+            b"1.5",
+            b"1e3",
+            b"\"unterminated",
+            b"{\"a\": }",
+            b"[1] trailing",
+            b"\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "{:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn writer_output_reparses_identically() {
+        let data = sample_data();
+        let value = trace_to_value(&data);
+        let text = value.to_pretty_string();
+        assert_eq!(parse(text.as_bytes()).unwrap(), value);
+    }
+
+    #[test]
+    fn schema_violations_are_typed_errors() {
+        let error = decode(b"{\"format\": \"ireplayer-trace\"}", "test").unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceIo);
+        assert!(error.to_string().contains("version"), "{error}");
+
+        let error = decode(b"{\"format\": \"something-else\", \"version\": 1}", "test").unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceVersion);
+
+        let error = decode(b"{\"format\": \"ireplayer-trace\", \"version\": 2}", "test").unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceVersion);
+        assert!(error.to_string().contains("version 2"), "{error}");
+    }
+
+    #[test]
+    fn hex_payloads_roundtrip() {
+        assert_eq!(hex_encode(&[0, 15, 255]), "000fff");
+        assert_eq!(hex_decode("000fff", "t").unwrap(), vec![0, 15, 255]);
+        assert!(hex_decode("0g", "t").is_err());
+        assert!(hex_decode("abc", "t").is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! Durable, versioned on-disk traces (the out-of-process replay layer).
+//!
+//! An in-situ recording normally dies with its [`crate::Runtime`].  This
+//! module gives it a life after the process: a launch configured with
+//! [`crate::Config::record_to`] streams every epoch's order logs, the
+//! simulated-OS inputs staged before the run, and the configuration
+//! fingerprint to a trace file *as each epoch closes*, so even a run that
+//! crashes mid-epoch leaves every closed epoch on disk.  [`Trace::open`]
+//! validates the header and checksum into a typed handle, and
+//! [`crate::Runtime::replay_trace`] reproduces the run byte-identically --
+//! proven by recomputing the [`crate::Fingerprint`] from a fresh execution
+//! in a process that never saw the original.
+//!
+//! # Formats
+//!
+//! Two encodings of the same data, convertible losslessly in both
+//! directions ([`Trace::save`]):
+//!
+//! * [`TraceFormat::Binary`] -- compact little-endian framing behind a
+//!   `IRTR` magic + version header and an FNV-1a payload checksum; the
+//!   event encoding itself lives in [`ireplayer_log::wire`].
+//! * [`TraceFormat::Json`] -- a pretty-printed JSON sibling for human
+//!   inspection and for checked-in regression fixtures
+//!   ([`Trace::emit_test`]).
+//!
+//! [`Trace::open`] auto-detects the format: files beginning with the
+//! binary magic parse as binary, files beginning with `{` parse as JSON,
+//! anything else is rejected with
+//! [`ErrorKind::TraceVersion`](crate::ErrorKind).  Malformed input of
+//! either format surfaces as typed [`crate::Error`]s, never a panic.
+
+mod binary;
+mod job;
+pub(crate) mod json;
+
+pub(crate) use job::TraceJob;
+pub(crate) use job::TraceVerifier;
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use ireplayer_log::{Event, VarEntry};
+use ireplayer_sys::OsInputs;
+
+use crate::error::Error;
+use crate::fingerprint::Fingerprint;
+
+/// Magic bytes opening every binary trace file.
+pub(crate) const MAGIC: [u8; 4] = *b"IRTR";
+/// The trace format version this build reads and writes.
+pub(crate) const VERSION: u32 = 1;
+
+/// On-disk encoding of a durable trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceFormat {
+    /// Compact little-endian binary framing (magic `IRTR`).
+    Binary,
+    /// Pretty-printed JSON for human inspection and fixtures.
+    Json,
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Binary => "binary",
+            TraceFormat::Json => "json",
+        })
+    }
+}
+
+/// One thread's per-epoch order log, as serialized into a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TraceThreadLog {
+    /// Thread id (creation order; identical across re-executions).
+    pub thread: u32,
+    /// Thread name, for human-readable divergence reports.
+    pub name: String,
+    /// The thread's events, in program order.
+    pub events: Vec<Event>,
+}
+
+/// One synchronization variable's per-epoch order log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TraceVarLog {
+    /// Variable id.
+    pub var: u32,
+    /// Stable code of the variable's kind (mutex/condvar/barrier/internal).
+    pub kind: u8,
+    /// Barrier parties (0 for non-barriers).
+    pub parties: u32,
+    /// Cross-thread operation order on this variable.
+    pub entries: Vec<VarEntry>,
+}
+
+/// One closed epoch as serialized into a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TraceEpoch {
+    /// Epoch number (0-based, as reported by session events).
+    pub number: u64,
+    /// FNV hash of the in-use arena prefix at the epoch close.
+    pub end_heap_hash: u64,
+    /// Per-thread order logs, in thread-id order.
+    pub threads: Vec<TraceThreadLog>,
+    /// Per-variable order logs, in variable-id order.
+    pub vars: Vec<TraceVarLog>,
+}
+
+/// The recorded run's final outcome, appended when the run completes.  A
+/// trace without a summary is a *partial* recording -- the process died
+/// before the run finished -- and still replays epoch by epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TraceSummary {
+    /// The recording run's [`crate::RunReport::fingerprint`].
+    pub fingerprint: Fingerprint,
+    /// Epochs the run executed.
+    pub epochs: u64,
+    /// Application threads the run created.
+    pub threads: u32,
+    /// Final heap hash of the run.
+    pub final_heap_hash: u64,
+    /// Whether the program completed without faulting.
+    pub completed: bool,
+}
+
+/// Everything a trace file stores, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TraceData {
+    /// Format version the file was written with.
+    pub version: u32,
+    /// Name of the recorded program.
+    pub program: String,
+    /// [`crate::Config::fingerprint`] of the recording runtime.
+    pub config_fingerprint: Fingerprint,
+    /// The recording configuration's seed (informational; the seed is
+    /// already covered by `config_fingerprint`).
+    pub seed: u64,
+    /// Simulated-OS inputs staged before the recorded run.
+    pub inputs: OsInputs,
+    /// Every epoch closed before the recording ended.
+    pub epochs: Vec<TraceEpoch>,
+    /// Final outcome, absent if the recording process died mid-run.
+    pub summary: Option<TraceSummary>,
+}
+
+impl TraceData {
+    /// An empty recording shell, filled in by the recorder at run begin.
+    pub(crate) fn new(program: String, config_fingerprint: Fingerprint, seed: u64, inputs: OsInputs) -> Self {
+        TraceData {
+            version: VERSION,
+            program,
+            config_fingerprint,
+            seed,
+            inputs,
+            epochs: Vec::new(),
+            summary: None,
+        }
+    }
+}
+
+/// A validated, typed handle to a durable trace.
+///
+/// Obtained from [`Trace::open`]; consumed by
+/// [`crate::Runtime::replay_trace`] to reproduce the recorded run in a
+/// fresh process, by [`Trace::save`] to convert between formats, and by
+/// [`Trace::emit_test`] to promote a recording into a checked-in
+/// regression fixture.
+///
+/// # Example
+///
+/// ```no_run
+/// use ireplayer::{Config, Program, Runtime, Step, Trace};
+///
+/// # fn main() -> Result<(), ireplayer::Error> {
+/// // Record durably...
+/// let config = Config::builder().record_to("run.trace").build()?;
+/// let runtime = Runtime::new(config.clone())?;
+/// let program = || Program::new("workload", |_| Step::Done);
+/// let recorded = runtime.run(program())?;
+/// // ...then (possibly in another process entirely) replay from disk.
+/// let trace = Trace::open("run.trace")?;
+/// let fresh = Runtime::new(Config { record_to: None, ..config })?;
+/// let replayed = fresh.replay_trace(program(), &trace)?;
+/// assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    data: TraceData,
+    format: TraceFormat,
+}
+
+impl PartialEq for Trace {
+    /// Two traces are equal when they describe the same recording,
+    /// regardless of the format they were loaded from.
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Trace {
+    /// Opens and validates a trace file, auto-detecting the format.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::TraceIo`](crate::ErrorKind) if the file cannot be read
+    /// or its contents are truncated/corrupted;
+    /// [`ErrorKind::TraceVersion`](crate::ErrorKind) if the file is not a
+    /// trace or was written by an unsupported format version.
+    pub fn open(path: impl AsRef<Path>) -> Result<Trace, Error> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|error| Error::trace_io("read", path.display(), error))?;
+        Trace::from_bytes(&bytes, &path.display().to_string())
+    }
+
+    /// Decodes trace bytes, auto-detecting the format; `origin` names the
+    /// source in error messages.
+    pub(crate) fn from_bytes(bytes: &[u8], origin: &str) -> Result<Trace, Error> {
+        if bytes.starts_with(&MAGIC) {
+            let data = binary::decode(bytes, origin)?;
+            return Ok(Trace {
+                data,
+                format: TraceFormat::Binary,
+            });
+        }
+        let first = bytes.iter().copied().find(|b| !b.is_ascii_whitespace());
+        if first == Some(b'{') {
+            let data = json::decode(bytes, origin)?;
+            return Ok(Trace {
+                data,
+                format: TraceFormat::Json,
+            });
+        }
+        let found = match first {
+            Some(_) if bytes.len() >= 4 => format!("magic {:?}", String::from_utf8_lossy(&bytes[..4.min(bytes.len())])),
+            Some(byte) => format!("leading byte 0x{byte:02x}"),
+            None => "an empty file".to_owned(),
+        };
+        Err(Error::trace_version(format!("{found} in {origin}"), VERSION))
+    }
+
+    /// Serializes the trace in the given format.
+    pub(crate) fn to_bytes(&self, format: TraceFormat) -> Vec<u8> {
+        match format {
+            TraceFormat::Binary => binary::encode(&self.data),
+            TraceFormat::Json => json::encode(&self.data),
+        }
+    }
+
+    /// Writes the trace to `path` in `format` (atomically: the file is
+    /// staged next to the target and renamed into place).  Converting a
+    /// trace between the two formats is lossless: saving and re-opening
+    /// yields an equal `Trace`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::TraceIo`](crate::ErrorKind) if the file cannot be
+    /// written.
+    pub fn save(&self, path: impl AsRef<Path>, format: TraceFormat) -> Result<(), Error> {
+        write_atomically(path.as_ref(), &self.to_bytes(format))
+    }
+
+    /// Promotes this trace into a regression fixture: writes the JSON form
+    /// (the reviewable one) to `path`, conventionally under
+    /// `tests/fixtures/`.  The fixture replays with
+    /// [`crate::Runtime::replay_trace`] like any other trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::TraceIo`](crate::ErrorKind) if the file cannot be
+    /// written.
+    pub fn emit_test(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        self.save(path, TraceFormat::Json)
+    }
+
+    /// The format this trace was loaded from (or recorded in).
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// The trace format version of the file.
+    pub fn version(&self) -> u32 {
+        self.data.version
+    }
+
+    /// Name of the recorded program.
+    pub fn program(&self) -> &str {
+        &self.data.program
+    }
+
+    /// The recording runtime's configuration fingerprint; replay refuses
+    /// runtimes whose [`crate::Config::fingerprint`] differs.
+    pub fn config_fingerprint(&self) -> Fingerprint {
+        self.data.config_fingerprint
+    }
+
+    /// The recorded run's report fingerprint, or `None` for a partial
+    /// trace whose recording process died before the run finished.
+    pub fn fingerprint(&self) -> Option<Fingerprint> {
+        self.data.summary.as_ref().map(|s| s.fingerprint)
+    }
+
+    /// Number of epochs the trace holds.
+    pub fn epoch_count(&self) -> usize {
+        self.data.epochs.len()
+    }
+
+    /// Total recorded events across all epochs and threads.
+    pub fn event_count(&self) -> usize {
+        self.data
+            .epochs
+            .iter()
+            .flat_map(|e| e.threads.iter())
+            .map(|t| t.events.len())
+            .sum()
+    }
+
+    /// `true` if the recorded run finished and completed without faulting.
+    pub fn completed(&self) -> bool {
+        self.data.summary.as_ref().map(|s| s.completed).unwrap_or(false)
+    }
+
+    pub(crate) fn data(&self) -> &TraceData {
+        &self.data
+    }
+
+    #[cfg(test)]
+    pub(crate) fn from_data(data: TraceData, format: TraceFormat) -> Trace {
+        Trace { data, format }
+    }
+}
+
+/// Writes `bytes` to `path` via a staged sibling + rename, so readers (and
+/// crashes) never observe a half-written trace.
+pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), Error> {
+    let mut staged: PathBuf = path.to_path_buf();
+    let mut name = staged.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    staged.set_file_name(name);
+    std::fs::write(&staged, bytes).map_err(|error| Error::trace_io("write", staged.display(), error))?;
+    std::fs::rename(&staged, path).map_err(|error| Error::trace_io("rename into place", path.display(), error))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer_log::{EventKind, SyncOp, SyscallOutcome, ThreadId, VarId};
+    use ireplayer_sys::PeerScript;
+
+    pub(super) fn sample_data() -> TraceData {
+        let inputs = OsInputs {
+            files: vec![("data.txt".into(), b"abc\x00\xff".to_vec())],
+            peers: vec![(
+                "mirror:80".into(),
+                PeerScript::Download {
+                    seed: 7,
+                    total_bytes: 1000,
+                },
+            )],
+            backlog: vec![("httpd:80".into(), 2)],
+            fd_limit: 65536,
+        };
+        let mut data = TraceData::new(
+            "sample \"program\"\n".into(),
+            Fingerprint::from_raw(0xdead_beef_0123_4567),
+            0x5eed_2018,
+            inputs,
+        );
+        data.epochs.push(TraceEpoch {
+            number: 0,
+            end_heap_hash: u64::MAX,
+            threads: vec![TraceThreadLog {
+                thread: 0,
+                name: "main".into(),
+                events: vec![
+                    Event {
+                        thread: ThreadId(0),
+                        index: 0,
+                        kind: EventKind::Sync {
+                            var: VarId(3),
+                            op: SyncOp::MutexLock,
+                            result: -1,
+                        },
+                    },
+                    Event {
+                        thread: ThreadId(0),
+                        index: 1,
+                        kind: EventKind::Syscall {
+                            code: 14,
+                            outcome: SyscallOutcome::with_data(5, vec![0, 1, 255]),
+                        },
+                    },
+                ],
+            }],
+            vars: vec![TraceVarLog {
+                var: 3,
+                kind: 0,
+                parties: 0,
+                entries: vec![VarEntry {
+                    thread: ThreadId(0),
+                    op: SyncOp::MutexLock,
+                    thread_index: 0,
+                }],
+            }],
+        });
+        data.summary = Some(TraceSummary {
+            fingerprint: Fingerprint::from_raw(42),
+            epochs: 1,
+            threads: 1,
+            final_heap_hash: 9,
+            completed: true,
+        });
+        data
+    }
+
+    #[test]
+    fn binary_and_json_roundtrip_losslessly() {
+        let data = sample_data();
+        let trace = Trace::from_data(data.clone(), TraceFormat::Binary);
+
+        let binary = trace.to_bytes(TraceFormat::Binary);
+        let reopened = Trace::from_bytes(&binary, "test").unwrap();
+        assert_eq!(reopened.format(), TraceFormat::Binary);
+        assert_eq!(reopened.data, data);
+
+        let json = trace.to_bytes(TraceFormat::Json);
+        let reopened = Trace::from_bytes(&json, "test").unwrap();
+        assert_eq!(reopened.format(), TraceFormat::Json);
+        assert_eq!(reopened.data, data, "json roundtrip is lossless");
+    }
+
+    #[test]
+    fn partial_traces_roundtrip_without_a_summary() {
+        let mut data = sample_data();
+        data.summary = None;
+        let trace = Trace::from_data(data.clone(), TraceFormat::Binary);
+        for format in [TraceFormat::Binary, TraceFormat::Json] {
+            let reopened = Trace::from_bytes(&trace.to_bytes(format), "test").unwrap();
+            assert_eq!(reopened.data, data);
+            assert!(reopened.fingerprint().is_none());
+            assert!(!reopened.completed());
+        }
+    }
+
+    #[test]
+    fn unknown_bytes_are_rejected_with_a_version_error() {
+        for bytes in [&b"GIF89a"[..], b"x", b""] {
+            let error = Trace::from_bytes(bytes, "test").unwrap_err();
+            assert_eq!(error.kind(), crate::ErrorKind::TraceVersion);
+        }
+    }
+
+    #[test]
+    fn accessors_expose_the_header() {
+        let trace = Trace::from_data(sample_data(), TraceFormat::Json);
+        assert_eq!(trace.program(), "sample \"program\"\n");
+        assert_eq!(trace.version(), VERSION);
+        assert_eq!(trace.epoch_count(), 1);
+        assert_eq!(trace.event_count(), 2);
+        assert!(trace.completed());
+        assert_eq!(trace.fingerprint(), Some(Fingerprint::from_raw(42)));
+        assert_eq!(trace.config_fingerprint(), Fingerprint::from_raw(0xdead_beef_0123_4567));
+    }
+}

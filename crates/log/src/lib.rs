@@ -36,6 +36,7 @@ pub mod recorder;
 pub mod syscall_class;
 pub mod thread_list;
 pub mod var_list;
+pub mod wire;
 
 pub use divergence::{Divergence, DivergenceKind};
 pub use event::{Event, EventKind, SyncOp, SyscallOutcome, ThreadId, VarId};

@@ -1,0 +1,320 @@
+//! Wire encoding of recorded events, used by the durable trace format.
+//!
+//! [`crate::ThreadList`] and [`crate::VarList`] hold an epoch's order log in
+//! memory; this module defines the stable little-endian byte encoding of
+//! their contents ([`Event`] and [`VarEntry`]) so the runtime crate can
+//! frame whole epochs on disk.  The encoding is versioned by the container
+//! (the trace header), not per event: every change to these functions is a
+//! trace-format version bump.
+//!
+//! All decoders are total: malformed or truncated input yields
+//! [`WireError`], never a panic, so corrupted trace files surface as typed
+//! errors.
+
+use crate::event::{Event, EventKind, SyncOp, SyscallOutcome, ThreadId, VarId};
+use crate::var_list::VarEntry;
+
+/// A malformed or truncated wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What the decoder was reading when the buffer ran out or made no
+    /// sense.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed wire data while decoding {}", self.context)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked read cursor over a wire buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] at end of buffer.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.bytes(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the buffer is too short.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        let b = self.bytes(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the buffer is too short.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let b = self.bytes(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the buffer is too short.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let b = self.bytes(8, context)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the buffer is too short.
+    pub fn i64(&mut self, context: &'static str) -> Result<i64, WireError> {
+        Ok(self.u64(context)? as i64)
+    }
+
+    /// Reads a length-prefixed byte vector (`u32` length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the buffer is too short for the prefix or
+    /// the payload.
+    pub fn blob(&mut self, context: &'static str) -> Result<Vec<u8>, WireError> {
+        let len = self.u32(context)? as usize;
+        Ok(self.bytes(len, context)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or invalid UTF-8.
+    pub fn string(&mut self, context: &'static str) -> Result<String, WireError> {
+        String::from_utf8(self.blob(context)?).map_err(|_| WireError { context })
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a length-prefixed byte slice (`u32` length).
+pub fn put_blob(buf: &mut Vec<u8>, value: &[u8]) {
+    put_u32(buf, value.len() as u32);
+    buf.extend_from_slice(value);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut Vec<u8>, value: &str) {
+    put_blob(buf, value.as_bytes());
+}
+
+/// Tag byte distinguishing the two event kinds on the wire.
+const TAG_SYNC: u8 = 1;
+const TAG_SYSCALL: u8 = 2;
+
+/// Appends one [`Event`] from a per-thread order log.
+pub fn put_event(buf: &mut Vec<u8>, event: &Event) {
+    put_u32(buf, event.thread.0);
+    put_u32(buf, event.index);
+    match &event.kind {
+        EventKind::Sync { var, op, result } => {
+            buf.push(TAG_SYNC);
+            put_u32(buf, var.0);
+            buf.push(op.code());
+            put_u64(buf, *result as u64);
+        }
+        EventKind::Syscall { code, outcome } => {
+            buf.push(TAG_SYSCALL);
+            buf.extend_from_slice(&code.to_le_bytes());
+            put_u64(buf, outcome.ret as u64);
+            put_blob(buf, &outcome.data);
+        }
+    }
+}
+
+/// Decodes one [`Event`] written by [`put_event`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, an unknown kind tag, or an unknown
+/// synchronization-operation code.
+pub fn read_event(reader: &mut Reader<'_>) -> Result<Event, WireError> {
+    let thread = ThreadId(reader.u32("event thread id")?);
+    let index = reader.u32("event index")?;
+    let kind = match reader.u8("event kind tag")? {
+        TAG_SYNC => {
+            let var = VarId(reader.u32("sync var id")?);
+            let code = reader.u8("sync op code")?;
+            let op = SyncOp::from_code(code).ok_or(WireError {
+                context: "sync op code",
+            })?;
+            let result = reader.u64("sync result")? as i64;
+            EventKind::Sync { var, op, result }
+        }
+        TAG_SYSCALL => {
+            let code = reader.u16("syscall code")?;
+            let ret = reader.u64("syscall return value")? as i64;
+            let data = reader.blob("syscall data")?;
+            EventKind::Syscall {
+                code,
+                outcome: SyscallOutcome { ret, data },
+            }
+        }
+        _ => {
+            return Err(WireError {
+                context: "event kind tag",
+            })
+        }
+    };
+    Ok(Event { thread, index, kind })
+}
+
+/// Appends one [`VarEntry`] from a per-variable order log.
+pub fn put_var_entry(buf: &mut Vec<u8>, entry: &VarEntry) {
+    put_u32(buf, entry.thread.0);
+    buf.push(entry.op.code());
+    put_u32(buf, entry.thread_index);
+}
+
+/// Decodes one [`VarEntry`] written by [`put_var_entry`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation or an unknown operation code.
+pub fn read_var_entry(reader: &mut Reader<'_>) -> Result<VarEntry, WireError> {
+    let thread = ThreadId(reader.u32("var entry thread")?);
+    let code = reader.u8("var entry op code")?;
+    let op = SyncOp::from_code(code).ok_or(WireError {
+        context: "var entry op code",
+    })?;
+    let thread_index = reader.u32("var entry thread index")?;
+    Ok(VarEntry {
+        thread,
+        op,
+        thread_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                thread: ThreadId(0),
+                index: 0,
+                kind: EventKind::Sync {
+                    var: VarId(3),
+                    op: SyncOp::MutexLock,
+                    result: -1,
+                },
+            },
+            Event {
+                thread: ThreadId(7),
+                index: 42,
+                kind: EventKind::Syscall {
+                    code: 14,
+                    outcome: SyscallOutcome {
+                        ret: 1024,
+                        data: vec![1, 2, 3, 255],
+                    },
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let mut buf = Vec::new();
+        let events = sample_events();
+        for event in &events {
+            put_event(&mut buf, event);
+        }
+        let mut reader = Reader::new(&buf);
+        for event in &events {
+            assert_eq!(&read_event(&mut reader).unwrap(), event);
+        }
+        assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    fn var_entries_roundtrip() {
+        let entry = VarEntry {
+            thread: ThreadId(5),
+            op: SyncOp::BarrierWait,
+            thread_index: 99,
+        };
+        let mut buf = Vec::new();
+        put_var_entry(&mut buf, &entry);
+        let mut reader = Reader::new(&buf);
+        assert_eq!(read_var_entry(&mut reader).unwrap(), entry);
+    }
+
+    #[test]
+    fn truncated_and_corrupted_buffers_error_without_panicking() {
+        let mut buf = Vec::new();
+        for event in &sample_events() {
+            put_event(&mut buf, event);
+        }
+        // Every prefix either decodes cleanly or errors; none may panic.
+        for cut in 0..buf.len() {
+            let mut reader = Reader::new(&buf[..cut]);
+            while reader.remaining() > 0 {
+                if read_event(&mut reader).is_err() {
+                    break;
+                }
+            }
+        }
+        // An unknown kind tag is rejected.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 0);
+        put_u32(&mut bad, 0);
+        bad.push(99);
+        assert!(read_event(&mut Reader::new(&bad)).is_err());
+    }
+}

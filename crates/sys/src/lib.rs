@@ -37,6 +37,6 @@ pub use clock::VirtualClock;
 pub use error::SysError;
 pub use mmap::{MmapRegion, MmapTable};
 pub use net::{NetSim, PeerScript, SocketId};
-pub use os::{FilePositions, OsSnapshot, SimOs};
+pub use os::{FilePositions, OsInputs, OsSnapshot, SimOs};
 pub use syscall::{SyscallKind, SyscallRequest};
 pub use vfs::{Fd, FdTable, OpenFileKind, Vfs, Whence};

@@ -162,6 +162,28 @@ impl NetSim {
         self.backlog.get(address).copied().unwrap_or(0)
     }
 
+    /// Registered peers, sorted by address so trace capture is
+    /// deterministic.
+    pub fn peers(&self) -> Vec<(String, PeerScript)> {
+        let mut out: Vec<_> = self.endpoints.iter().map(|(a, s)| (a.clone(), s.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Pending backlog counts, sorted by address so trace capture is
+    /// deterministic.  Addresses whose backlog has drained to zero are
+    /// omitted.
+    pub fn backlog_counts(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<_> = self
+            .backlog
+            .iter()
+            .filter(|(_, count)| **count > 0)
+            .map(|(a, c)| (a.clone(), *c))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     fn open(&mut self, script: PeerScript) -> SocketId {
         self.next_socket += 1;
         let id = SocketId(self.next_socket);

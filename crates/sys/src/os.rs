@@ -26,6 +26,27 @@ pub struct OsSnapshot {
     pub positions: FilePositions,
 }
 
+/// The staged workload inputs of a simulated kernel: everything a harness
+/// set up *before* the program ran, captured so a durable trace can restore
+/// the same world in a fresh process.
+///
+/// This is deliberately the staging-time view (file contents, peer scripts,
+/// backlog counts), not the runtime view (descriptors, connections,
+/// positions): it is captured before the first instruction of the recorded
+/// program executes, so restoring it and re-running the program reproduces
+/// every later kernel state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct OsInputs {
+    /// Staged files, as `(name, contents)`, sorted by name.
+    pub files: Vec<(String, Vec<u8>)>,
+    /// Registered network peers, as `(address, script)`, sorted by address.
+    pub peers: Vec<(String, PeerScript)>,
+    /// Pending client backlog, as `(address, count)`, sorted by address.
+    pub backlog: Vec<(String, usize)>,
+    /// Open-file limit in force when the inputs were captured.
+    pub fd_limit: usize,
+}
+
 #[derive(Debug)]
 struct OsInner {
     vfs: Vfs,
@@ -155,6 +176,49 @@ impl SimOs {
     /// §2.2.3).
     pub fn raise_fd_limit(&self, limit: usize) {
         self.inner.lock().fds.raise_limit(limit);
+    }
+
+    /// Captures the staged workload inputs (files, peers, backlog) so a
+    /// durable trace can rebuild the same kernel world in another process.
+    ///
+    /// Meaningful only before the recorded program starts running: once
+    /// reads and writes mutate the world, this returns the *current* file
+    /// contents, not the staged ones.
+    pub fn staged_inputs(&self) -> OsInputs {
+        let inner = self.inner.lock();
+        let mut files: Vec<(String, Vec<u8>)> = inner
+            .vfs
+            .file_names()
+            .into_iter()
+            .map(|name| {
+                let contents = inner.vfs.contents(&name).unwrap_or_default();
+                (name, contents)
+            })
+            .collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        OsInputs {
+            files,
+            peers: inner.net.peers(),
+            backlog: inner.net.backlog_counts(),
+            fd_limit: inner.fds.limit(),
+        }
+    }
+
+    /// Rebuilds the kernel to its boot state and stages `inputs`, exactly
+    /// as a harness would before a recorded run.  Used by trace replay to
+    /// recreate the recorded world in a fresh process.
+    pub fn restore_inputs(&self, inputs: &OsInputs) {
+        self.reset();
+        self.raise_fd_limit(inputs.fd_limit);
+        for (name, contents) in &inputs.files {
+            self.create_file(name, contents.clone());
+        }
+        for (address, script) in &inputs.peers {
+            self.register_peer(address, script.clone());
+        }
+        for (address, count) in &inputs.backlog {
+            self.enqueue_clients(address, *count);
+        }
     }
 
     /// Number of currently open descriptors.
@@ -589,6 +653,38 @@ mod tests {
         let a = os.gettime_ns();
         let b = os.gettime_ns();
         assert!(b > a);
+    }
+
+    #[test]
+    fn staged_inputs_roundtrip_into_a_fresh_kernel() {
+        let os = SimOs::new(100);
+        os.raise_fd_limit(512);
+        os.create_file("b.txt", b"bravo".to_vec());
+        os.create_file("a.txt", b"alpha".to_vec());
+        os.register_peer("kv:11211", PeerScript::Echo { response_len: 8 });
+        os.register_peer(
+            "httpd:80",
+            PeerScript::Client {
+                seed: 1,
+                requests: 2,
+                request_len: 16,
+            },
+        );
+        os.enqueue_clients("httpd:80", 2);
+
+        let inputs = os.staged_inputs();
+        assert_eq!(inputs.files[0].0, "a.txt", "files are sorted");
+        assert_eq!(inputs.fd_limit, 512);
+
+        let twin = SimOs::new(100);
+        twin.restore_inputs(&inputs);
+        assert_eq!(twin.staged_inputs(), inputs);
+        assert_eq!(twin.file_contents("b.txt").unwrap(), b"bravo");
+        assert_eq!(twin.pending_clients("httpd:80"), 2);
+        // The restored kernel behaves identically to the original.
+        let a = os.socket_connect("kv:11211").unwrap();
+        let b = twin.socket_connect("kv:11211").unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ireplayer::{
-    Config, EpochDecision, EpochView, Error, ErrorKind, EventFilter, MemError, Program, ReplayRequest, RunPhase,
-    Runtime, RuntimeDiagnostics, SessionEvent, Step, SysError, ToolHook,
+    Config, DiagnosticsSnapshot, EpochDecision, EpochView, Error, ErrorKind, EventFilter, MemError, Program,
+    ReplayRequest, RunPhase, Runtime, SessionEvent, Step, SysError, ToolHook,
 };
 
 fn small_config() -> Config {
@@ -147,7 +147,7 @@ fn warm_relaunch_reallocates_no_backing_storage() {
         stage(&runtime);
         runtime.run(deterministic_program()).unwrap();
     }
-    let warm: RuntimeDiagnostics = runtime.diagnostics();
+    let warm: DiagnosticsSnapshot = runtime.diagnostics();
     assert_eq!(warm.arena_allocations, 1);
     assert!(warm.thread_lists_created >= 4, "main + 3 workers allocate lists");
     assert!(warm.thread_lists_reused >= 4, "the first relaunch draws from the pool");
@@ -159,7 +159,7 @@ fn warm_relaunch_reallocates_no_backing_storage() {
         stage(&runtime);
         runtime.run(deterministic_program()).unwrap();
     }
-    let after: RuntimeDiagnostics = runtime.diagnostics();
+    let after: DiagnosticsSnapshot = runtime.diagnostics();
     assert_eq!(
         after.arena_allocations, warm.arena_allocations,
         "no arena re-allocation"

@@ -1,0 +1,419 @@
+//! The durable trace format and the out-of-process replay loop.
+//!
+//! Acceptance properties exercised here:
+//!
+//! * a workload recorded with `Config::record_to` replays **byte-identically**
+//!   (equal `RunReport::fingerprint`) from the trace file alone, on a fresh
+//!   runtime that never saw the original run -- for BOTH the binary and the
+//!   JSON encoding, for a plain run and for a forced-replay run;
+//! * binary <-> JSON conversion is lossless in both directions;
+//! * truncated, corrupted, version-stamped, and non-trace files surface as
+//!   typed `ErrorKind::TraceIo` / `ErrorKind::TraceVersion` errors, never a
+//!   panic; replaying the wrong program or config is refused up front;
+//! * strict replay stops at the first divergence with an error naming it;
+//! * a checked-in `Trace::emit_test` fixture opens and replays green.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ireplayer::{
+    Config, EpochDecision, EpochView, ErrorKind, Program, ReplayRequest, RunReport, Runtime, Step, ToolHook, Trace,
+    TraceFormat,
+};
+
+/// A scratch path in the system temp dir, unique per test and process so
+/// parallel test binaries never collide.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ireplayer-{name}-{}.trace", std::process::id()))
+}
+
+fn recording_config(path: &Path, format: TraceFormat) -> Config {
+    Config::builder()
+        .arena_size(4 << 20)
+        .heap_block_size(128 << 10)
+        .record_to(path)
+        .trace_format(format)
+        .build()
+        .unwrap()
+}
+
+/// The replay side deliberately drops `record_to`: the config fingerprint
+/// covers only execution-relevant knobs, so a runtime without a trace sink
+/// still matches the recording's fingerprint.
+fn replay_config() -> Config {
+    Config::builder()
+        .arena_size(4 << 20)
+        .heap_block_size(128 << 10)
+        .build()
+        .unwrap()
+}
+
+/// A two-epoch workload touching every recorded input class: staged file
+/// I/O, spawned workers contending on a mutex, heap traffic, and a
+/// `gettimeofday` (whose outcome is the one sanctioned nondeterminism).
+/// The step counter lives in simulated memory, not in the closure, so a
+/// rollback rewinds it along with everything else.
+fn recorded_workload() -> Program {
+    Program::new("durable-workload", |ctx| {
+        let step_cell = ctx.global("step", 8);
+        let step = ctx.read_u64(step_cell);
+        ctx.write_u64(step_cell, step + 1);
+        if step == 0 {
+            let total = ctx.global("total", 8);
+            let lock = ctx.mutex();
+            let scratch = ctx.alloc(256);
+            ctx.fill(scratch, 256, 0x17);
+
+            let fd = ctx.open("input.bin").expect("staged file");
+            let data = ctx.read(fd, 32);
+            ctx.write_u64(scratch, data.len() as u64);
+            ctx.close(fd);
+            let _ = ctx.now_ns();
+
+            let mut workers = Vec::new();
+            for _ in 0..2u64 {
+                workers.push(ctx.spawn("worker", move |ctx| {
+                    ctx.lock(lock);
+                    let value = ctx.read_u64(total);
+                    ctx.write_u64(total, value + 1);
+                    ctx.unlock(lock);
+                    Step::Done
+                }));
+            }
+            for worker in workers {
+                ctx.join(worker);
+            }
+            ctx.free(scratch);
+            ctx.end_epoch();
+            return Step::Yield;
+        }
+        let total = ctx.global("total", 8);
+        let value = ctx.read_u64(total);
+        ctx.assert_that(value == 2, "both workers incremented");
+        Step::Done
+    })
+}
+
+fn stage(runtime: &Runtime) {
+    runtime.os().create_file("input.bin", vec![0xabu8; 48]);
+}
+
+/// Records `recorded_workload` durably, drops the recording runtime, and
+/// returns the report plus the trace re-opened from disk.
+fn record(path: &Path, format: TraceFormat) -> (RunReport, Trace) {
+    let runtime = Runtime::new(recording_config(path, format)).unwrap();
+    stage(&runtime);
+    let report = runtime.run(recorded_workload()).unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    drop(runtime);
+    let trace = Trace::open(path).unwrap();
+    (report, trace)
+}
+
+fn record_then_replay(format: TraceFormat) {
+    let path = scratch(&format!("roundtrip-{format}"));
+    let (recorded, trace) = record(&path, format);
+
+    assert_eq!(trace.format(), format);
+    assert_eq!(trace.program(), "durable-workload");
+    assert!(trace.completed(), "the summary marks a finished run");
+    assert_eq!(trace.fingerprint(), Some(recorded.fingerprint()));
+    assert_eq!(trace.epoch_count() as u64, recorded.epochs);
+    assert!(trace.epoch_count() >= 2, "the explicit boundary split the run");
+    assert!(trace.event_count() > 0, "order logs were captured");
+
+    // A fresh runtime: nothing staged, nothing shared with the recorder.
+    // The trace alone restores the simulated-OS inputs and proves the
+    // reproduction by fingerprint.
+    let fresh = Runtime::new(replay_config()).unwrap();
+    let replayed = fresh.replay_trace(recorded_workload(), &trace).unwrap();
+    assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+
+    // Strict mode additionally matches every epoch's order logs in situ;
+    // the workload is deterministic, so it passes too -- including the
+    // gettimeofday whose outcome is exempt from the comparison.
+    let strict = Runtime::new(replay_config()).unwrap();
+    let replayed = strict.replay_trace_strict(recorded_workload(), &trace).unwrap();
+    assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn recorded_binary_trace_replays_byte_identically_on_a_fresh_runtime() {
+    record_then_replay(TraceFormat::Binary);
+}
+
+#[test]
+fn recorded_json_trace_replays_byte_identically_on_a_fresh_runtime() {
+    record_then_replay(TraceFormat::Json);
+}
+
+/// Requests one validation replay at every epoch end, forcing the
+/// checkpoint-rollback-replay machinery into the recording.
+struct ValidateAlways;
+
+impl ToolHook for ValidateAlways {
+    fn name(&self) -> &str {
+        "validate-always"
+    }
+
+    fn at_epoch_end(&self, _view: &dyn EpochView) -> EpochDecision {
+        EpochDecision::Replay(ReplayRequest::because("trace-roundtrip validation"))
+    }
+}
+
+/// A two-epoch workload for validation replays, with its step counter in
+/// simulated memory so a rollback re-executes the recorded branch.
+fn hook_friendly_workload() -> Program {
+    Program::new("forced-replay-workload", |ctx| {
+        let step_cell = ctx.global("step", 8);
+        let step = ctx.read_u64(step_cell);
+        ctx.write_u64(step_cell, step + 1);
+        if step == 0 {
+            let lock = ctx.mutex();
+            ctx.lock(lock);
+            ctx.unlock(lock);
+            let _ = ctx.now_ns();
+            ctx.end_epoch();
+            return Step::Yield;
+        }
+        let buffer = ctx.alloc(128);
+        ctx.fill(buffer, 128, 0x2a);
+        let fd = ctx.open("input.bin").expect("staged file");
+        let data = ctx.read(fd, 16);
+        ctx.assert_that(data.len() == 16, "the staged file holds 16+ bytes");
+        ctx.close(fd);
+        ctx.free(buffer);
+        Step::Done
+    })
+}
+
+#[test]
+fn forced_replay_recordings_roundtrip_with_the_hook_reinstalled() {
+    for format in [TraceFormat::Binary, TraceFormat::Json] {
+        let path = scratch(&format!("forced-{format}"));
+        let runtime = Runtime::new(recording_config(&path, format)).unwrap();
+        runtime.add_hook(Arc::new(ValidateAlways));
+        stage(&runtime);
+        let recorded = runtime.run(hook_friendly_workload()).unwrap();
+        assert!(
+            !recorded.replay_validations.is_empty(),
+            "the hook must force at least one replay"
+        );
+        assert!(recorded.replays_identical());
+        drop(runtime);
+
+        // Hooks are part of the workload: the recording ran under
+        // ValidateAlways, so the replay must install it again.
+        let trace = Trace::open(&path).unwrap();
+        let fresh = Runtime::new(replay_config()).unwrap();
+        fresh.add_hook(Arc::new(ValidateAlways));
+        let replayed = fresh.replay_trace(hook_friendly_workload(), &trace).unwrap();
+        assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+        assert!(!replayed.replay_validations.is_empty());
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn binary_and_json_conversions_are_lossless() {
+    let original = scratch("convert-src");
+    let (_, binary) = record(&original, TraceFormat::Binary);
+
+    // binary -> JSON -> binary: every hop compares equal (Trace equality
+    // is over the recorded data, not the container format).
+    let as_json = scratch("convert-json");
+    binary.save(&as_json, TraceFormat::Json).unwrap();
+    let json = Trace::open(&as_json).unwrap();
+    assert_eq!(json.format(), TraceFormat::Json);
+    assert_eq!(json, binary);
+
+    let back = scratch("convert-back");
+    json.save(&back, TraceFormat::Binary).unwrap();
+    let reopened = Trace::open(&back).unwrap();
+    assert_eq!(reopened.format(), TraceFormat::Binary);
+    assert_eq!(reopened, binary);
+
+    // The round-tripped binary is byte-identical to the recorder's own
+    // output, not merely structurally equal.
+    assert_eq!(std::fs::read(&back).unwrap(), std::fs::read(&original).unwrap());
+
+    // And a converted trace still drives a replay.
+    let fresh = Runtime::new(replay_config()).unwrap();
+    let replayed = fresh.replay_trace(recorded_workload(), &json).unwrap();
+    assert_eq!(Some(replayed.fingerprint()), json.fingerprint());
+
+    for path in [original, as_json, back] {
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn malformed_trace_files_surface_typed_errors() {
+    let source = scratch("malformed-src");
+    let (_, _trace) = record(&source, TraceFormat::Binary);
+    let bytes = std::fs::read(&source).unwrap();
+    let broken = scratch("malformed-dst");
+
+    // A path that does not exist: I/O error, with the path in the message.
+    let missing = Trace::open(scratch("no-such-trace")).unwrap_err();
+    assert_eq!(missing.kind(), ErrorKind::TraceIo);
+    assert!(missing.trace_path().is_some());
+
+    // Truncation: the checksum no longer covers the payload.
+    std::fs::write(&broken, &bytes[..bytes.len() / 2]).unwrap();
+    let error = Trace::open(&broken).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceIo, "{error}");
+
+    // Bit corruption deep in the payload: caught by the checksum.
+    let mut corrupted = bytes.clone();
+    let last = corrupted.len() - 1;
+    corrupted[last] ^= 0x40;
+    std::fs::write(&broken, &corrupted).unwrap();
+    let error = Trace::open(&broken).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceIo);
+    assert!(error.to_string().contains("checksum"), "{error}");
+
+    // A future format version: refused by name, not misparsed.
+    let mut future = bytes.clone();
+    future[4..8].copy_from_slice(&9u32.to_le_bytes());
+    std::fs::write(&broken, &future).unwrap();
+    let error = Trace::open(&broken).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceVersion);
+
+    // Not a trace at all.
+    std::fs::write(&broken, b"GIF89a not a trace").unwrap();
+    let error = Trace::open(&broken).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceVersion);
+
+    // JSON that is valid JSON but not a trace, and JSON stamped with a
+    // foreign version: both refused with the version error.
+    std::fs::write(&broken, b"{\"hello\": \"world\"}").unwrap();
+    let error = Trace::open(&broken).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceVersion);
+
+    let json_path = scratch("malformed-json");
+    _trace.save(&json_path, TraceFormat::Json).unwrap();
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let stamped = text.replacen("\"version\": 1", "\"version\": 999", 1);
+    assert_ne!(stamped, text, "the version field must be present to stamp");
+    std::fs::write(&broken, stamped).unwrap();
+    let error = Trace::open(&broken).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceVersion);
+
+    for path in [source, broken, json_path] {
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn replays_of_the_wrong_program_or_config_are_refused_up_front() {
+    let path = scratch("refused");
+    let (_, trace) = record(&path, TraceFormat::Binary);
+
+    // Wrong program name: refused before anything launches.
+    let fresh = Runtime::new(replay_config()).unwrap();
+    let error = fresh
+        .replay_trace(Program::new("someone-else", |_| Step::Done), &trace)
+        .unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceMismatch);
+    let (what, detail) = error.trace_divergence().unwrap();
+    assert_eq!(what, "program name");
+    assert!(detail.contains("durable-workload"), "{detail}");
+
+    // Wrong configuration: a different seed changes the execution-relevant
+    // fingerprint, so the replay is refused rather than left to diverge.
+    let reseeded = Config {
+        seed: 0x0dd_5eed,
+        ..replay_config()
+    };
+    let other = Runtime::new(reseeded).unwrap();
+    let error = other.replay_trace(recorded_workload(), &trace).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceMismatch);
+    let (what, _) = error.trace_divergence().unwrap();
+    assert_eq!(what, "config fingerprint");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Same name, different body: `lock/unlock` once when recording, twice when
+/// replaying.  Non-strict replay notices at the end (fingerprint); strict
+/// replay stops at the first epoch whose order log disagrees.
+fn shape_shifter(extra_ops: bool) -> Program {
+    Program::new("shape-shifter", move |ctx| {
+        let lock = ctx.mutex();
+        ctx.lock(lock);
+        ctx.unlock(lock);
+        if extra_ops {
+            ctx.lock(lock);
+            ctx.unlock(lock);
+        }
+        Step::Done
+    })
+}
+
+#[test]
+fn strict_replay_stops_at_the_first_divergence() {
+    let path = scratch("divergence");
+    let runtime = Runtime::new(recording_config(&path, TraceFormat::Binary)).unwrap();
+    let recorded = runtime.run(shape_shifter(false)).unwrap();
+    drop(runtime);
+    let trace = Trace::open(&path).unwrap();
+
+    // Strict: the divergence is reported at the epoch boundary, naming the
+    // order log that disagreed.
+    let fresh = Runtime::new(replay_config()).unwrap();
+    let error = fresh.replay_trace_strict(shape_shifter(true), &trace).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceMismatch);
+    let (what, detail) = error.trace_divergence().unwrap();
+    assert_eq!(what, "epoch order log");
+    assert!(detail.contains("epoch"), "{detail}");
+
+    // Non-strict: the same wrong body still cannot fake the recorded
+    // fingerprint at the end of the run.
+    let fresh = Runtime::new(replay_config()).unwrap();
+    let error = fresh.replay_trace(shape_shifter(true), &trace).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceMismatch);
+    assert!(error.trace_divergence().is_some());
+
+    // The honest body replays clean in both modes.
+    let fresh = Runtime::new(replay_config()).unwrap();
+    let replayed = fresh.replay_trace_strict(shape_shifter(false), &trace).unwrap();
+    assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/durable_workload.json")
+}
+
+/// The checked-in fixture (`tests/fixtures/durable_workload.json`, produced
+/// by [`Trace::emit_test`] via the `regenerate_fixture` test below) opens
+/// and replays green, pinning the on-disk format across refactors.
+#[test]
+fn checked_in_fixture_replays_green() {
+    let trace = Trace::open(fixture_path()).unwrap();
+    assert_eq!(trace.format(), TraceFormat::Json);
+    assert_eq!(trace.version(), 1);
+    assert_eq!(trace.program(), "durable-workload");
+    assert!(trace.completed());
+
+    let fresh = Runtime::new(replay_config()).unwrap();
+    let replayed = fresh.replay_trace_strict(recorded_workload(), &trace).unwrap();
+    assert_eq!(Some(replayed.fingerprint()), trace.fingerprint());
+}
+
+/// Regenerates the checked-in fixture; run manually after an intentional
+/// format change: `cargo test -p ireplayer-tests --test trace_roundtrip
+/// regenerate_fixture -- --ignored`.
+#[test]
+#[ignore = "regenerates tests/fixtures/durable_workload.json in place"]
+fn regenerate_fixture() {
+    let path = scratch("regenerate");
+    let (_, trace) = record(&path, TraceFormat::Binary);
+    trace.emit_test(fixture_path()).unwrap();
+    let _ = std::fs::remove_file(&path);
+}
