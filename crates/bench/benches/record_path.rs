@@ -431,4 +431,12 @@ criterion_group!(
     verify_partition_arena_isolation,
     verify_poke_batching
 );
-criterion_main!(benches);
+
+/// Emits the machine-readable summary CI uploads as an artifact.
+fn emit_summary() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_record_path.json");
+    criterion::write_summary_json(path, "record_path").expect("write bench summary");
+    println!("summary written to {path}");
+}
+
+criterion_main!(benches, emit_summary);

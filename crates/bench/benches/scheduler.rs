@@ -154,4 +154,12 @@ criterion_group!(
     verify_overcommit_admission,
     verify_overcommit_identity
 );
-criterion_main!(benches);
+
+/// Emits the machine-readable summary CI uploads as an artifact.
+fn emit_summary() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scheduler.json");
+    criterion::write_summary_json(path, "scheduler").expect("write bench summary");
+    println!("summary written to {path}");
+}
+
+criterion_main!(benches, emit_summary);

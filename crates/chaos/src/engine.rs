@@ -1,0 +1,367 @@
+//! [`ChaosEngine`]: per-kernel runtime state of a chaos plan.
+//!
+//! One engine lives inside each simulated kernel (one per arena partition
+//! in a multi-tenant runtime, so plans are isolated per session by
+//! construction).  Every eligible system call consults the engine exactly
+//! once; the engine advances the matching counter and answers with the
+//! injection decision.  Counters are keyed per descriptor (sockets, file
+//! reads/writes) or per thread (allocations) wherever cross-thread
+//! interleavings could otherwise reorder a shared stream, so decisions
+//! depend only on state the application already serializes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::plan::{ChaosPlan, FaultClass};
+
+/// The socket-level outcome of a chaos decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Fail the operation with `EAGAIN` (`WouldBlock`).
+    Eagain,
+    /// Fail the operation with a connection reset.
+    Reset,
+    /// The socket is inside a partition window: the operation blocks.
+    Partitioned,
+}
+
+/// One injected socket fault: what to inject, at which per-descriptor
+/// operation index, and whether this is a fresh fault (a partition window
+/// announces itself once when it opens, not on every drained operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketFault {
+    /// The fault to inject.
+    pub fault: NetFault,
+    /// Per-descriptor operation index the decision was made at.
+    pub site: u64,
+    /// `true` for fresh faults (observers should be notified).
+    pub announce: bool,
+}
+
+/// The chaos counters consumed by calls that are **re-issued** during an
+/// in-situ replay (file reads, file writes, allocations).  Captured into
+/// the epoch checkpoint alongside file positions and restored on rollback,
+/// so re-execution injects the same faults at the same operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosRevocableState {
+    /// Per-descriptor file-read operation counters.
+    pub file_reads: Vec<(i32, u64)>,
+    /// Per-descriptor file-write operation counters.
+    pub file_writes: Vec<(i32, u64)>,
+    /// Per-thread allocation counters.
+    pub allocs: Vec<(u32, u64)>,
+}
+
+/// Runtime state of one chaos plan inside one simulated kernel.
+#[derive(Debug)]
+pub struct ChaosEngine {
+    plan: ChaosPlan,
+    // Revocable-class counters: snapshot/restored with the epoch checkpoint.
+    file_reads: BTreeMap<i32, u64>,
+    file_writes: BTreeMap<i32, u64>,
+    allocs: BTreeMap<u32, u64>,
+    // Recordable-class counters: persist across rollbacks, exactly like the
+    // descriptor and socket tables (replay never re-invokes these calls).
+    socket_ops: BTreeMap<i32, u64>,
+    partition_left: BTreeMap<i32, u32>,
+    fd_ops: u64,
+    mmap_ops: u64,
+    clock_ops: u64,
+    injected: [u64; FaultClass::ALL.len()],
+}
+
+impl ChaosEngine {
+    /// Creates an engine with all counters at zero.
+    pub fn new(plan: ChaosPlan) -> Self {
+        ChaosEngine {
+            plan,
+            file_reads: BTreeMap::new(),
+            file_writes: BTreeMap::new(),
+            allocs: BTreeMap::new(),
+            socket_ops: BTreeMap::new(),
+            partition_left: BTreeMap::new(),
+            fd_ops: 0,
+            mmap_ops: 0,
+            clock_ops: 0,
+            injected: [0; FaultClass::ALL.len()],
+        }
+    }
+
+    /// The plan this engine executes.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far, per class.
+    pub fn injected(&self) -> Vec<(FaultClass, u64)> {
+        FaultClass::ALL
+            .iter()
+            .map(|&class| (class, self.injected[class.code() as usize]))
+            .collect()
+    }
+
+    fn count(&mut self, class: FaultClass) {
+        self.injected[class.code() as usize] += 1;
+    }
+
+    /// A descriptor-producing call (`open`, `dup`, `connect`, `accept`).
+    /// `Some(site)` means: fail with `TooManyFiles`.
+    pub fn on_fd_op(&mut self) -> Option<u64> {
+        let index = self.fd_ops;
+        self.fd_ops += 1;
+        if self.plan.fires(FaultClass::FdPressure, index) {
+            self.count(FaultClass::FdPressure);
+            return Some(index);
+        }
+        None
+    }
+
+    /// A `recv`/`send` on a connected socket.  Partition windows take
+    /// precedence (and drain one operation per call); then resets, then
+    /// `EAGAIN`, each driven by the per-descriptor operation index.
+    pub fn on_socket_op(&mut self, fd: i32) -> Option<SocketFault> {
+        let index = {
+            let counter = self.socket_ops.entry(fd).or_insert(0);
+            let index = *counter;
+            *counter += 1;
+            index
+        };
+        if let Some(left) = self.partition_left.get_mut(&fd) {
+            if *left > 0 {
+                *left -= 1;
+                return Some(SocketFault {
+                    fault: NetFault::Partitioned,
+                    site: index,
+                    announce: false,
+                });
+            }
+        }
+        let fresh = |fault, site| {
+            Some(SocketFault {
+                fault,
+                site,
+                announce: true,
+            })
+        };
+        if self.plan.fires(FaultClass::NetPartition, index) {
+            self.count(FaultClass::NetPartition);
+            self.partition_left
+                .insert(fd, self.plan.profile.partition_ops.max(1) - 1);
+            return fresh(NetFault::Partitioned, index);
+        }
+        if self.plan.fires(FaultClass::NetReset, index) {
+            self.count(FaultClass::NetReset);
+            return fresh(NetFault::Reset, index);
+        }
+        if self.plan.fires(FaultClass::NetEagain, index) {
+            self.count(FaultClass::NetEagain);
+            return fresh(NetFault::Eagain, index);
+        }
+        None
+    }
+
+    /// A readiness query over one socket.  Returns `true` if the socket is
+    /// inside a partition window (and drains one operation from it), in
+    /// which case the poll must hide the socket.
+    pub fn on_poll(&mut self, fd: i32) -> bool {
+        if let Some(left) = self.partition_left.get_mut(&fd) {
+            if *left > 0 {
+                *left -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A `gettimeofday`.  `Some((jump_ns, site))` means: advance the clock
+    /// by `jump_ns` before reading it.
+    pub fn on_clock(&mut self) -> Option<(u64, u64)> {
+        let index = self.clock_ops;
+        self.clock_ops += 1;
+        if self.plan.fires(FaultClass::ClockJump, index) && self.plan.profile.clock_jump_ns > 0 {
+            self.count(FaultClass::ClockJump);
+            return Some((self.plan.profile.clock_jump_ns, index));
+        }
+        None
+    }
+
+    /// An `mmap`.  `Some(site)` means: fail with `MmapExhausted`.
+    pub fn on_mmap(&mut self) -> Option<u64> {
+        let index = self.mmap_ops;
+        self.mmap_ops += 1;
+        if self.plan.fires(FaultClass::MmapExhausted, index) {
+            self.count(FaultClass::MmapExhausted);
+            return Some(index);
+        }
+        None
+    }
+
+    /// A file `read` of `len` bytes.  `Some((short_len, site))` means:
+    /// serve only `short_len` bytes.  Progress is guaranteed: the shortened
+    /// length is never zero.
+    pub fn on_file_read(&mut self, fd: i32, len: usize) -> Option<(usize, u64)> {
+        let counter = self.file_reads.entry(fd).or_insert(0);
+        let index = *counter;
+        *counter += 1;
+        let short = len.div_ceil(2).max(1);
+        if len > 1 && short < len && self.plan.fires(FaultClass::ShortRead, index) {
+            self.count(FaultClass::ShortRead);
+            return Some((short, index));
+        }
+        None
+    }
+
+    /// A file `write` of `len` bytes.  `Some((short_len, site))` means:
+    /// persist only the first `short_len` bytes.
+    pub fn on_file_write(&mut self, fd: i32, len: usize) -> Option<(usize, u64)> {
+        let counter = self.file_writes.entry(fd).or_insert(0);
+        let index = *counter;
+        *counter += 1;
+        let short = len.div_ceil(2).max(1);
+        if len > 1 && short < len && self.plan.fires(FaultClass::ShortWrite, index) {
+            self.count(FaultClass::ShortWrite);
+            return Some((short, index));
+        }
+        None
+    }
+
+    /// A managed allocation on `thread`.  `Some(site)` means: fail it.
+    /// Fires exactly once per thread, at the thread's Nth allocation.
+    pub fn on_alloc(&mut self, thread: u32) -> Option<u64> {
+        let nth = self.plan.profile.alloc_fail_nth;
+        if nth == 0 {
+            return None;
+        }
+        let counter = self.allocs.entry(thread).or_insert(0);
+        let index = *counter;
+        *counter += 1;
+        if index + 1 == nth {
+            self.count(FaultClass::AllocFail);
+            return Some(index);
+        }
+        None
+    }
+
+    /// Captures the replay-consumed counters for the epoch checkpoint.
+    pub fn revocable_state(&self) -> ChaosRevocableState {
+        ChaosRevocableState {
+            file_reads: self.file_reads.iter().map(|(&fd, &n)| (fd, n)).collect(),
+            file_writes: self.file_writes.iter().map(|(&fd, &n)| (fd, n)).collect(),
+            allocs: self.allocs.iter().map(|(&t, &n)| (t, n)).collect(),
+        }
+    }
+
+    /// Restores the replay-consumed counters from an epoch checkpoint
+    /// (rollback); the recordable-class counters are left alone on purpose.
+    pub fn restore_revocable(&mut self, state: &ChaosRevocableState) {
+        self.file_reads = state.file_reads.iter().copied().collect();
+        self.file_writes = state.file_writes.iter().copied().collect();
+        self.allocs = state.allocs.iter().copied().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ChaosProfile, HORIZON};
+
+    fn engine(profile: ChaosProfile) -> ChaosEngine {
+        ChaosEngine::new(ChaosPlan::compile(42, profile))
+    }
+
+    #[test]
+    fn quiet_plans_never_inject() {
+        let mut e = engine(ChaosProfile::quiet());
+        for _ in 0..2 * HORIZON {
+            assert!(e.on_fd_op().is_none());
+            assert!(e.on_socket_op(5).is_none());
+            assert!(e.on_clock().is_none());
+            assert!(e.on_mmap().is_none());
+            assert!(e.on_file_read(3, 64).is_none());
+            assert!(e.on_file_write(3, 64).is_none());
+            assert!(e.on_alloc(1).is_none());
+        }
+        assert!(e.injected().iter().all(|&(_, n)| n == 0));
+    }
+
+    #[test]
+    fn heavy_plans_inject_every_class() {
+        let mut e = engine(ChaosProfile::heavy());
+        for _ in 0..2 * u64::from(HORIZON) {
+            let _ = e.on_fd_op();
+            let _ = e.on_socket_op(5);
+            let _ = e.on_clock();
+            let _ = e.on_mmap();
+            let _ = e.on_file_read(3, 64);
+            let _ = e.on_file_write(3, 64);
+            let _ = e.on_alloc(1);
+        }
+        for (class, n) in e.injected() {
+            assert!(n > 0, "{class} never injected under the heavy profile");
+        }
+    }
+
+    #[test]
+    fn alloc_fail_fires_once_per_thread_at_the_nth_site() {
+        let mut profile = ChaosProfile::quiet();
+        profile.alloc_fail_nth = 3;
+        let mut e = engine(profile);
+        let fired: Vec<bool> = (0..6).map(|_| e.on_alloc(1).is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert!(e.on_alloc(2).is_none(), "thread 2 has its own counter");
+        assert!(e.on_alloc(2).is_none());
+        assert!(e.on_alloc(2).is_some());
+    }
+
+    #[test]
+    fn partition_windows_open_and_drain_per_descriptor() {
+        let mut profile = ChaosProfile::quiet();
+        profile.net_partition_per_mille = 1000;
+        profile.partition_ops = 3;
+        let mut e = engine(profile);
+        // Every op opens or drains a window; with full intensity the first
+        // op opens a 3-op window (itself plus two more), then reopens.
+        let announced: Vec<bool> = (0..6)
+            .map(|i| {
+                let fault = e
+                    .on_socket_op(7)
+                    .unwrap_or_else(|| panic!("op {i} must be partitioned"));
+                assert_eq!(fault.fault, NetFault::Partitioned, "op {i}");
+                fault.announce
+            })
+            .collect();
+        assert_eq!(
+            announced,
+            vec![true, false, false, true, false, false],
+            "windows announce once when they open"
+        );
+        // A different descriptor has an independent window.
+        assert!(e.on_socket_op(8).is_some());
+        // Polls drain the window too.
+        let mut profile = ChaosProfile::quiet();
+        profile.net_partition_per_mille = 1000;
+        profile.partition_ops = 2;
+        let mut e = engine(profile);
+        assert!(e.on_socket_op(7).is_some(), "opens the window");
+        assert!(e.on_poll(7), "drains one op");
+        assert!(!e.on_poll(7), "window exhausted");
+    }
+
+    #[test]
+    fn revocable_counters_roundtrip_and_replays_repeat_decisions() {
+        let mut e = engine(ChaosProfile::heavy());
+        for _ in 0..10 {
+            let _ = e.on_file_read(3, 64);
+            let _ = e.on_alloc(1);
+        }
+        let snapshot = e.revocable_state();
+        let original: Vec<_> = (0..20).map(|_| e.on_file_read(3, 64).map(|(n, _)| n)).collect();
+        let allocs: Vec<_> = (0..20).map(|_| e.on_alloc(1).is_some()).collect();
+        e.restore_revocable(&snapshot);
+        let replayed: Vec<_> = (0..20).map(|_| e.on_file_read(3, 64).map(|(n, _)| n)).collect();
+        let reallocs: Vec<_> = (0..20).map(|_| e.on_alloc(1).is_some()).collect();
+        assert_eq!(original, replayed);
+        assert_eq!(allocs, reallocs);
+    }
+}

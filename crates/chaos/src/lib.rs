@@ -1,0 +1,45 @@
+//! Deterministic chaos: seeded fault plans over the simulated OS.
+//!
+//! rr's chaos mode showed that deliberately perturbing the environment is
+//! what surfaces intermittent bugs; its deployability follow-up argued the
+//! perturbations must be applied *at the host-call boundary* so recordings
+//! stay faithful.  This crate provides that plane for iReplayer:
+//!
+//! * a [`ChaosProfile`] holds per-class intensity knobs (per-mille rates
+//!   plus shape parameters such as the clock-jump magnitude);
+//! * [`ChaosPlan::compile`] turns a seed plus a profile into a *concrete
+//!   schedule* -- for every fault class, the exact set of operation slots
+//!   (indices modulo [`HORIZON`]) at which the fault fires.  The schedule
+//!   is a pure function of `(seed, profile)`, so two kernels holding the
+//!   same plan inject byte-identical fault streams;
+//! * a [`ChaosEngine`] carries the per-kernel runtime state: one operation
+//!   counter per fault class (per descriptor or per thread where replay
+//!   re-execution demands it), consulted by the simulated OS on every
+//!   eligible call.
+//!
+//! Determinism contract: every decision is a pure function of the plan and
+//! of counters that advance exactly once per eligible operation.  Counters
+//! consumed by calls that are **re-issued** during an in-situ replay (file
+//! reads/writes, allocations) are exposed via [`ChaosRevocableState`] so
+//! the runtime can snapshot them at epoch begin and restore them before a
+//! rollback -- the re-issued call then sees the same counter value and
+//! injects the same outcome.  Counters consumed by **recordable** calls
+//! (sockets, opens, mmap, clock) persist across rollbacks, exactly like
+//! the kernel tables those calls mutate: replay serves their outcomes from
+//! the log and never re-invokes the OS.
+
+mod engine;
+mod plan;
+
+pub use engine::{ChaosEngine, ChaosRevocableState, NetFault, SocketFault};
+pub use plan::{ChaosPlan, ChaosPlanError, ChaosProfile, ClassSchedule, FaultClass, HORIZON};
+
+/// SplitMix64, the same generator the scripted network peers use; public so
+/// workloads can derive deterministic payloads from plan seeds.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

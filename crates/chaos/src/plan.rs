@@ -1,0 +1,444 @@
+//! [`ChaosPlan`]: a seed plus a profile, compiled into concrete schedules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::splitmix64;
+
+/// Length of the per-class firing pattern.  Operation counters are reduced
+/// modulo this horizon before the schedule lookup, so long runs cycle
+/// through the same pattern rather than running out of faults.
+pub const HORIZON: u32 = 1024;
+
+/// The nine fault classes the chaos plane can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FaultClass {
+    /// A file `read` returns fewer bytes than requested.
+    ShortRead,
+    /// A file `write` persists only a prefix of the buffer.
+    ShortWrite,
+    /// A socket operation fails with `EAGAIN` (`WouldBlock`).
+    NetEagain,
+    /// A socket operation fails with a connection reset.
+    NetReset,
+    /// A socket enters a partition window: operations block and readiness
+    /// queries hide it until the window drains.
+    NetPartition,
+    /// `gettimeofday` observes a forward clock jump.
+    ClockJump,
+    /// `mmap` fails with address-space exhaustion.
+    MmapExhausted,
+    /// A descriptor-producing call (`open`, `dup`, `connect`, `accept`)
+    /// fails with `EMFILE` (`TooManyFiles`).
+    FdPressure,
+    /// A thread's Nth managed allocation fails.
+    AllocFail,
+}
+
+impl FaultClass {
+    /// Every class, in schedule order.
+    pub const ALL: [FaultClass; 9] = [
+        FaultClass::ShortRead,
+        FaultClass::ShortWrite,
+        FaultClass::NetEagain,
+        FaultClass::NetReset,
+        FaultClass::NetPartition,
+        FaultClass::ClockJump,
+        FaultClass::MmapExhausted,
+        FaultClass::FdPressure,
+        FaultClass::AllocFail,
+    ];
+
+    /// Stable numeric code, used in digests and diagnostics.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Stable kebab-case name, used in diagnostics and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::ShortRead => "short-read",
+            FaultClass::ShortWrite => "short-write",
+            FaultClass::NetEagain => "net-eagain",
+            FaultClass::NetReset => "net-reset",
+            FaultClass::NetPartition => "net-partition",
+            FaultClass::ClockJump => "clock-jump",
+            FaultClass::MmapExhausted => "mmap-exhausted",
+            FaultClass::FdPressure => "fd-pressure",
+            FaultClass::AllocFail => "alloc-fail",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        0x000c_4a05_u64 << 8 | u64::from(self.code())
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Intensity knobs per fault class, plus shape parameters.
+///
+/// Rates are per-mille probabilities *per eligible operation*; the compiler
+/// turns them into a fixed pattern over [`HORIZON`] slots, so the realized
+/// frequency is deterministic, not sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosProfile {
+    /// Per-mille rate of short file reads.
+    pub short_read_per_mille: u16,
+    /// Per-mille rate of short file writes.
+    pub short_write_per_mille: u16,
+    /// Per-mille rate of `EAGAIN` on socket operations.
+    pub net_eagain_per_mille: u16,
+    /// Per-mille rate of connection resets on socket operations.
+    pub net_reset_per_mille: u16,
+    /// Per-mille rate of partition-window openings on socket operations.
+    pub net_partition_per_mille: u16,
+    /// Per-mille rate of clock jumps on `gettimeofday`.
+    pub clock_jump_per_mille: u16,
+    /// Per-mille rate of `mmap` exhaustion.
+    pub mmap_exhausted_per_mille: u16,
+    /// Per-mille rate of `EMFILE` on descriptor-producing calls.
+    pub fd_pressure_per_mille: u16,
+    /// Fail each thread's Nth allocation (1-based); 0 disables the class.
+    pub alloc_fail_nth: u64,
+    /// Nanoseconds added to the virtual clock per injected jump.
+    pub clock_jump_ns: u64,
+    /// Socket operations a partition window swallows once opened.
+    pub partition_ops: u32,
+}
+
+impl ChaosProfile {
+    /// All classes off; compiling this yields an empty schedule.
+    pub fn quiet() -> Self {
+        ChaosProfile {
+            short_read_per_mille: 0,
+            short_write_per_mille: 0,
+            net_eagain_per_mille: 0,
+            net_reset_per_mille: 0,
+            net_partition_per_mille: 0,
+            clock_jump_per_mille: 0,
+            mmap_exhausted_per_mille: 0,
+            fd_pressure_per_mille: 0,
+            alloc_fail_nth: 0,
+            clock_jump_ns: 0,
+            partition_ops: 0,
+        }
+    }
+
+    /// A mild profile: occasional faults in every class, survivable by a
+    /// retrying workload.
+    pub fn light() -> Self {
+        ChaosProfile {
+            short_read_per_mille: 125,
+            short_write_per_mille: 125,
+            net_eagain_per_mille: 90,
+            net_reset_per_mille: 20,
+            net_partition_per_mille: 15,
+            clock_jump_per_mille: 60,
+            mmap_exhausted_per_mille: 250,
+            fd_pressure_per_mille: 60,
+            alloc_fail_nth: 40,
+            clock_jump_ns: 250_000_000,
+            partition_ops: 3,
+        }
+    }
+
+    /// An aggressive profile for robustness tests.
+    pub fn heavy() -> Self {
+        ChaosProfile {
+            short_read_per_mille: 400,
+            short_write_per_mille: 400,
+            net_eagain_per_mille: 250,
+            net_reset_per_mille: 60,
+            net_partition_per_mille: 40,
+            clock_jump_per_mille: 200,
+            mmap_exhausted_per_mille: 500,
+            fd_pressure_per_mille: 150,
+            alloc_fail_nth: 12,
+            clock_jump_ns: 2_000_000_000,
+            partition_ops: 5,
+        }
+    }
+
+    /// The per-mille intensity of a schedule-driven class.  [`AllocFail`]
+    /// is driven by `alloc_fail_nth` instead of a schedule; its pseudo
+    /// intensity is 1000 when enabled so validation treats a non-empty
+    /// profile consistently.
+    ///
+    /// [`AllocFail`]: FaultClass::AllocFail
+    pub fn intensity(&self, class: FaultClass) -> u16 {
+        match class {
+            FaultClass::ShortRead => self.short_read_per_mille,
+            FaultClass::ShortWrite => self.short_write_per_mille,
+            FaultClass::NetEagain => self.net_eagain_per_mille,
+            FaultClass::NetReset => self.net_reset_per_mille,
+            FaultClass::NetPartition => self.net_partition_per_mille,
+            FaultClass::ClockJump => self.clock_jump_per_mille,
+            FaultClass::MmapExhausted => self.mmap_exhausted_per_mille,
+            FaultClass::FdPressure => self.fd_pressure_per_mille,
+            FaultClass::AllocFail => {
+                if self.alloc_fail_nth > 0 {
+                    1000
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    fn digest_words(&self) -> [u64; 11] {
+        [
+            u64::from(self.short_read_per_mille),
+            u64::from(self.short_write_per_mille),
+            u64::from(self.net_eagain_per_mille),
+            u64::from(self.net_reset_per_mille),
+            u64::from(self.net_partition_per_mille),
+            u64::from(self.clock_jump_per_mille),
+            u64::from(self.mmap_exhausted_per_mille),
+            u64::from(self.fd_pressure_per_mille),
+            self.alloc_fail_nth,
+            self.clock_jump_ns,
+            u64::from(self.partition_ops),
+        ]
+    }
+}
+
+/// The compiled firing pattern of one fault class: the sorted set of
+/// operation slots (indices modulo [`HORIZON`]) at which the fault fires.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSchedule {
+    /// The class this schedule drives.
+    pub class: FaultClass,
+    /// Sorted, deduplicated firing slots in `0..HORIZON`.
+    pub slots: Vec<u32>,
+}
+
+/// Why a [`ChaosPlan`] failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosPlanError {
+    /// A class with zero intensity carries a non-empty schedule: the plan
+    /// was tampered with or assembled by hand.
+    ZeroIntensitySchedule {
+        /// The inconsistent class.
+        class: FaultClass,
+    },
+    /// A class schedule disagrees with what `compile(seed, profile)`
+    /// produces: the seed or profile no longer matches the schedule.
+    SeedProfileMismatch {
+        /// The first class whose schedule disagrees.
+        class: FaultClass,
+    },
+}
+
+impl std::fmt::Display for ChaosPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosPlanError::ZeroIntensitySchedule { class } => {
+                write!(f, "class {class} has zero intensity but a non-empty schedule")
+            }
+            ChaosPlanError::SeedProfileMismatch { class } => {
+                write!(f, "class {class} schedule does not match the plan's seed and profile")
+            }
+        }
+    }
+}
+
+/// A seeded, fully deterministic fault plan.
+///
+/// The fields are public so a plan can travel through configuration files
+/// and be inspected by tools; [`ChaosPlan::verify`] (called by
+/// `Config::validate`) rejects any hand-assembled plan whose schedule does
+/// not match its seed and profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// The seed every schedule was derived from.
+    pub seed: u64,
+    /// The intensity knobs the schedules realize.
+    pub profile: ChaosProfile,
+    /// One compiled schedule per class, in [`FaultClass::ALL`] order.
+    pub schedule: Vec<ClassSchedule>,
+}
+
+impl ChaosPlan {
+    /// Compiles `seed + profile` into a concrete plan: for every class, the
+    /// exact slots in `0..HORIZON` at which the fault fires.
+    pub fn compile(seed: u64, profile: ChaosProfile) -> ChaosPlan {
+        let schedule = FaultClass::ALL
+            .iter()
+            .map(|&class| {
+                // AllocFail is driven by the Nth-allocation rule, not by a
+                // slot pattern; its schedule stays empty.
+                let slots = if class == FaultClass::AllocFail {
+                    Vec::new()
+                } else {
+                    let intensity = u64::from(profile.intensity(class));
+                    (0..HORIZON)
+                        .filter(|&slot| {
+                            let mut state = seed ^ class.salt().wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(slot);
+                            splitmix64(&mut state) % 1000 < intensity
+                        })
+                        .collect()
+                };
+                ClassSchedule { class, slots }
+            })
+            .collect();
+        ChaosPlan {
+            seed,
+            profile,
+            schedule,
+        }
+    }
+
+    /// Returns `true` if the class fires at the given operation index (the
+    /// index is reduced modulo [`HORIZON`]).
+    pub fn fires(&self, class: FaultClass, op_index: u64) -> bool {
+        let slot = (op_index % u64::from(HORIZON)) as u32;
+        self.schedule
+            .iter()
+            .find(|s| s.class == class)
+            .map(|s| s.slots.binary_search(&slot).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Returns `true` if no class ever fires (the quiet plan).
+    pub fn is_quiet(&self) -> bool {
+        self.profile.alloc_fail_nth == 0 && self.schedule.iter().all(|s| s.slots.is_empty())
+    }
+
+    /// FNV-1a digest over the seed, the profile, and every compiled slot.
+    /// Travels in durable trace headers so `replay_trace` can refuse a
+    /// mismatched plan up front.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.seed);
+        for word in self.profile.digest_words() {
+            eat(word);
+        }
+        for class in &self.schedule {
+            eat(u64::from(class.class.code()));
+            eat(class.slots.len() as u64);
+            for &slot in &class.slots {
+                eat(u64::from(slot));
+            }
+        }
+        hash
+    }
+
+    /// Checks internal consistency: every zero-intensity class has an empty
+    /// schedule, and the schedules are exactly what `compile` produces for
+    /// this seed and profile.
+    pub fn verify(&self) -> Result<(), ChaosPlanError> {
+        for class in &self.schedule {
+            if self.profile.intensity(class.class) == 0 && !class.slots.is_empty() {
+                return Err(ChaosPlanError::ZeroIntensitySchedule { class: class.class });
+            }
+        }
+        let recompiled = ChaosPlan::compile(self.seed, self.profile);
+        if *self != recompiled {
+            let class = FaultClass::ALL
+                .iter()
+                .copied()
+                .find(|&c| {
+                    let ours = self.schedule.iter().find(|s| s.class == c);
+                    let theirs = recompiled.schedule.iter().find(|s| s.class == c);
+                    ours != theirs
+                })
+                .unwrap_or(FaultClass::ShortRead);
+            return Err(ChaosPlanError::SeedProfileMismatch { class });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_is_a_pure_function_of_seed_and_profile() {
+        let a = ChaosPlan::compile(7, ChaosProfile::light());
+        let b = ChaosPlan::compile(7, ChaosProfile::light());
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        let c = ChaosPlan::compile(8, ChaosProfile::light());
+        assert_ne!(a, c);
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn intensities_shape_the_schedule() {
+        let quiet = ChaosPlan::compile(1, ChaosProfile::quiet());
+        assert!(quiet.is_quiet());
+        assert!(quiet.verify().is_ok());
+
+        let heavy = ChaosPlan::compile(1, ChaosProfile::heavy());
+        assert!(!heavy.is_quiet());
+        for class in FaultClass::ALL {
+            if class == FaultClass::AllocFail {
+                continue;
+            }
+            let slots = &heavy.schedule.iter().find(|s| s.class == class).unwrap().slots;
+            assert!(!slots.is_empty(), "{class} never fires under the heavy profile");
+            assert!(slots.windows(2).all(|w| w[0] < w[1]), "{class} slots must be sorted");
+            assert!(slots.iter().all(|&s| s < HORIZON));
+        }
+    }
+
+    #[test]
+    fn fires_matches_the_compiled_slots() {
+        let plan = ChaosPlan::compile(3, ChaosProfile::heavy());
+        let slots = &plan
+            .schedule
+            .iter()
+            .find(|s| s.class == FaultClass::ShortRead)
+            .unwrap()
+            .slots;
+        let first = u64::from(slots[0]);
+        assert!(plan.fires(FaultClass::ShortRead, first));
+        assert!(
+            plan.fires(FaultClass::ShortRead, first + u64::from(HORIZON)),
+            "the pattern cycles"
+        );
+        let miss = (0..u64::from(HORIZON)).find(|i| !slots.contains(&(*i as u32))).unwrap();
+        assert!(!plan.fires(FaultClass::ShortRead, miss));
+    }
+
+    #[test]
+    fn tampered_plans_fail_verification() {
+        let mut zeroed = ChaosPlan::compile(11, ChaosProfile::light());
+        zeroed.profile.net_reset_per_mille = 0;
+        assert_eq!(
+            zeroed.verify(),
+            Err(ChaosPlanError::ZeroIntensitySchedule {
+                class: FaultClass::NetReset
+            })
+        );
+
+        let mut reseeded = ChaosPlan::compile(11, ChaosProfile::light());
+        reseeded.seed = 12;
+        assert!(matches!(
+            reseeded.verify(),
+            Err(ChaosPlanError::SeedProfileMismatch { .. })
+        ));
+
+        let mut edited = ChaosPlan::compile(11, ChaosProfile::light());
+        let missing = (0..HORIZON)
+            .find(|slot| !edited.schedule[0].slots.contains(slot))
+            .unwrap();
+        edited.schedule[0].slots.push(missing);
+        edited.schedule[0].slots.sort_unstable();
+        assert!(edited.verify().is_err());
+    }
+}

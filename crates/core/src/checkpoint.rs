@@ -8,7 +8,10 @@
 //!   high-water mark;
 //! * allocator metadata (super-heap cursor, per-thread heap state, the
 //!   global-lock heap in baseline mode);
-//! * simulated-OS state that replay depends on (open-file positions);
+//! * simulated-OS state that replay depends on (open-file positions, and
+//!   the chaos engine's revocable-class counters -- the per-descriptor
+//!   file-I/O and per-thread allocation indices whose calls are re-issued
+//!   during replay and must re-derive the same injection verdicts);
 //! * per-thread state: life-cycle phase, random-stream state, quarantine
 //!   contents;
 //! * detector state (canary map, site tables, pending evidence).

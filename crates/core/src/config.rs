@@ -2,6 +2,7 @@
 
 use std::path::PathBuf;
 
+use ireplayer_sys::{ChaosPlan, ChaosPlanError};
 use serde::{Deserialize, Serialize};
 
 use crate::error::Error;
@@ -213,6 +214,41 @@ pub struct Config {
     /// default, or JSON for human inspection.  Ignored when `record_to` is
     /// `None`.
     pub trace_format: TraceFormat,
+    /// Deterministic fault-injection plan, compiled with
+    /// [`ChaosPlan::compile`] and applied at the simulated-OS call boundary
+    /// of **every** partition (each partition runs its own engine with
+    /// independent counters, so plans are isolated per session while solo
+    /// and multi-tenant runs of the same program stay byte-identical).
+    /// Injected outcomes are recorded like any other system-call
+    /// nondeterminism, so a chaos run replays fingerprint-identically; the
+    /// plan's digest joins [`Config::fingerprint`] and travels in durable
+    /// traces, which refuse to replay under a different plan.  `None` (the
+    /// default) disables injection entirely.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ireplayer::{ChaosPlan, ChaosProfile, Config, Program, Runtime, Step};
+    ///
+    /// # fn main() -> Result<(), ireplayer::Error> {
+    /// let plan = ChaosPlan::compile(42, ChaosProfile::light());
+    /// let config = Config::builder()
+    ///     .arena_size(4 << 20)
+    ///     .heap_block_size(128 << 10)
+    ///     .chaos(plan)
+    ///     .build()?;
+    /// let runtime = Runtime::new(config)?;
+    /// // The clock-jump class fires on recorded time readings; everything
+    /// // stays deterministic, so the run completes normally.
+    /// let report = runtime.run(Program::new("steady", |ctx| {
+    ///     let _ = ctx.now_ns();
+    ///     Step::Done
+    /// }))?;
+    /// assert!(report.outcome.is_success());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for Config {
@@ -239,6 +275,7 @@ impl Default for Config {
             admission_queue_depth: 64,
             record_to: None,
             trace_format: TraceFormat::Binary,
+            chaos: None,
         }
     }
 }
@@ -369,6 +406,25 @@ impl Config {
                 ));
             }
         }
+        if let Some(plan) = &self.chaos {
+            match plan.verify() {
+                Ok(()) => {}
+                Err(ChaosPlanError::ZeroIntensitySchedule { class }) => {
+                    return Err(Error::invalid_config(
+                        "chaos",
+                        format!("class {class} of the plan for seed {}", plan.seed),
+                        "a zero-intensity class carries a non-empty schedule; rebuild the plan with ChaosPlan::compile",
+                    ));
+                }
+                Err(ChaosPlanError::SeedProfileMismatch { class }) => {
+                    return Err(Error::invalid_config(
+                        "chaos",
+                        format!("class {class} of the plan for seed {}", plan.seed),
+                        "a class schedule disagrees with compile(seed, profile); the plan was edited after compilation",
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -396,6 +452,9 @@ impl Config {
                 self.max_epochs,
                 self.max_events,
             ),
+            // The chaos plan shapes every injected outcome, so it is an
+            // execution knob; its digest covers seed, profile, and schedule.
+            self.chaos.as_ref().map(|plan| plan.digest()),
         );
         Fingerprint::of_debug(&deterministic)
     }
@@ -485,6 +544,12 @@ impl ConfigBuilder {
         self
     }
 
+    /// Installs a deterministic fault-injection plan (see [`Config::chaos`]).
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.config.chaos = Some(plan);
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Errors
@@ -545,6 +610,44 @@ mod tests {
         let mut resized = base;
         resized.arena_size = 32 << 20;
         assert_ne!(resized.fingerprint(), reseeded.fingerprint());
+    }
+
+    #[test]
+    fn chaos_plans_are_execution_knobs() {
+        use ireplayer_sys::ChaosProfile;
+        let base = Config::default();
+        let mut chaotic = base.clone();
+        chaotic.chaos = Some(ChaosPlan::compile(1, ChaosProfile::light()));
+        assert_ne!(base.fingerprint(), chaotic.fingerprint());
+        let mut reseeded = chaotic.clone();
+        reseeded.chaos = Some(ChaosPlan::compile(2, ChaosProfile::light()));
+        assert_ne!(chaotic.fingerprint(), reseeded.fingerprint());
+        assert!(chaotic.validate().is_ok());
+    }
+
+    #[test]
+    fn tampered_chaos_plans_are_rejected_naming_the_field() {
+        use ireplayer_sys::ChaosProfile;
+        // A schedule under a zeroed-out intensity: the plan was edited.
+        let mut zeroed = ChaosPlan::compile(9, ChaosProfile::heavy());
+        zeroed.profile.short_read_per_mille = 0;
+        let error = Config::builder().chaos(zeroed).build().unwrap_err();
+        assert_eq!(error.kind(), crate::ErrorKind::InvalidConfig);
+        assert_eq!(error.config_field(), Some("chaos"));
+        assert!(error.to_string().contains("short-read"), "{error} must name the class");
+        assert!(error.to_string().contains("zero-intensity"));
+        // A reseeded plan whose schedules no longer match.
+        let mut reseeded = ChaosPlan::compile(9, ChaosProfile::heavy());
+        reseeded.seed = 10;
+        let error = Config::builder().chaos(reseeded).build().unwrap_err();
+        assert_eq!(error.config_field(), Some("chaos"));
+        assert!(error.to_string().contains("disagrees with compile"));
+        // An untampered plan builds fine.
+        let config = Config::builder()
+            .chaos(ChaosPlan::compile(9, ChaosProfile::heavy()))
+            .build()
+            .unwrap();
+        assert!(config.chaos.is_some());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use ireplayer_log::{EventKind, SyncOp, SyscallOutcome, ThreadId, VarId};
 use ireplayer_mem::{MemAddr, Span};
-use ireplayer_sys::{SyscallKind, Whence};
+use ireplayer_sys::{SysError, SyscallKind, Whence};
 
 use crate::alloc;
 use crate::fault::{unwind_with, FaultKind, UnwindSignal};
@@ -218,6 +218,20 @@ impl<'a> ThreadCtx<'a> {
     pub fn alloc(&mut self, size: usize) -> MemAddr {
         let site = self.site(Location::caller());
         alloc::alloc(self.rt, self.vt, size, site)
+    }
+
+    /// Fallible allocation: consults the chaos plan's allocation-failure
+    /// schedule and returns `None` at the denied sites,
+    /// `Some(`[`ThreadCtx::alloc`]`)` otherwise (always `Some` with no
+    /// plan installed).  The verdict is not recorded: the per-thread
+    /// allocation counter behind it travels in the epoch checkpoint, so a
+    /// replayed re-execution recomputes the same answer.
+    #[track_caller]
+    pub fn try_alloc(&mut self, size: usize) -> Option<MemAddr> {
+        if self.rt.os.chaos_alloc_denied(self.vt.id.0) {
+            return None;
+        }
+        Some(self.alloc(size))
     }
 
     /// Frees an allocation returned by [`ThreadCtx::alloc`].
@@ -795,6 +809,60 @@ impl<'a> ThreadCtx<'a> {
         }
     }
 
+    /// Fallible `recv` -- recordable like [`ThreadCtx::recv`], but
+    /// surfaces transient failures (`EAGAIN`, a reset connection -- the
+    /// outcomes a chaos plan injects) as typed errors instead of faulting
+    /// the run.  The error is logged exactly like a successful outcome, so
+    /// replay serves it from the log without re-invoking the kernel.
+    pub fn try_recv(&mut self, fd: i32, len: usize) -> Result<Vec<u8>, SysError> {
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.os.socket_read(fd, len),
+            ExecPhase::Recording => {
+                let result = self.rt.os.socket_read(fd, len);
+                let outcome = match &result {
+                    Ok(data) => SyscallOutcome::with_data(data.len() as i64, data.clone()),
+                    Err(e) => SyscallOutcome::with_data(-e.wire_code(), e.wire_payload()),
+                };
+                syscall::record_syscall(self.rt, self.vt, SyscallKind::SocketRead, outcome);
+                result
+            }
+            ExecPhase::Replaying => {
+                let outcome = syscall::replay_syscall(self.rt, self.vt, SyscallKind::SocketRead);
+                if outcome.ret < 0 {
+                    Err(SysError::from_wire(-outcome.ret, &outcome.data))
+                } else {
+                    Ok(outcome.data)
+                }
+            }
+        }
+    }
+
+    /// Fallible `send` -- recordable; see [`ThreadCtx::try_recv`].
+    pub fn try_send(&mut self, fd: i32, data: &[u8]) -> Result<usize, SysError> {
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.os.socket_write(fd, data),
+            ExecPhase::Recording => {
+                let result = self.rt.os.socket_write(fd, data);
+                let outcome = match &result {
+                    Ok(sent) => SyscallOutcome::ret(*sent as i64),
+                    Err(e) => SyscallOutcome::with_data(-e.wire_code(), e.wire_payload()),
+                };
+                syscall::record_syscall(self.rt, self.vt, SyscallKind::SocketWrite, outcome);
+                result
+            }
+            ExecPhase::Replaying => {
+                let outcome = syscall::replay_syscall(self.rt, self.vt, SyscallKind::SocketWrite);
+                if outcome.ret < 0 {
+                    Err(SysError::from_wire(-outcome.ret, &outcome.data))
+                } else {
+                    Ok(outcome.ret as usize)
+                }
+            }
+        }
+    }
+
     /// `epoll_wait`-style readiness query -- recordable.
     pub fn poll(&mut self, fds: &[i32]) -> Vec<i32> {
         syscall::syscall_prologue(self.rt, self.vt);
@@ -875,6 +943,33 @@ impl<'a> ThreadCtx<'a> {
                 Err(e) => self.sys_fault(e, site),
             },
             ExecPhase::Replaying => syscall::replay_syscall(self.rt, self.vt, SyscallKind::Mmap).ret as u64,
+        }
+    }
+
+    /// Fallible `mmap` -- recordable; mapping-space exhaustion (the
+    /// outcome a chaos plan's mmap schedule injects) comes back as a typed
+    /// error instead of faulting the run.
+    pub fn try_mmap(&mut self, len: u64) -> Result<u64, SysError> {
+        syscall::syscall_prologue(self.rt, self.vt);
+        match self.rt.phase() {
+            ExecPhase::Passthrough => self.rt.os.mmap(len),
+            ExecPhase::Recording => {
+                let result = self.rt.os.mmap(len);
+                let outcome = match &result {
+                    Ok(addr) => SyscallOutcome::ret(*addr as i64),
+                    Err(e) => SyscallOutcome::with_data(-e.wire_code(), e.wire_payload()),
+                };
+                syscall::record_syscall(self.rt, self.vt, SyscallKind::Mmap, outcome);
+                result
+            }
+            ExecPhase::Replaying => {
+                let outcome = syscall::replay_syscall(self.rt, self.vt, SyscallKind::Mmap);
+                if outcome.ret < 0 {
+                    Err(SysError::from_wire(-outcome.ret, &outcome.data))
+                } else {
+                    Ok(outcome.ret as u64)
+                }
+            }
         }
     }
 

@@ -18,6 +18,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::time::Duration;
 
 use ireplayer_log::Divergence;
+use ireplayer_sys::FaultClass;
 
 use crate::fault::FaultRecord;
 use crate::stats::{RunOutcome, WatchHitReport};
@@ -88,6 +89,18 @@ pub enum SessionEvent {
         /// The watchpoint hit.
         hit: WatchHitReport,
     },
+    /// The chaos plane injected a fault at the simulated-OS call boundary
+    /// (original executions only: replayed re-executions re-derive or
+    /// re-serve the same outcomes without re-announcing them).  Shares the
+    /// fault event class, so [`EventFilter::faults`] delivers it.
+    FaultInjected {
+        /// The injected fault class.
+        class: FaultClass,
+        /// The class-local operation index the plan fired at.
+        site: u64,
+        /// The epoch during which the injection happened.
+        epoch: u64,
+    },
     /// The session has consumed at least three quarters of one of its
     /// per-tenant quotas ([`Config::max_epochs`](crate::Config) or
     /// [`Config::max_events`](crate::Config)).  Emitted at most once per
@@ -132,7 +145,7 @@ impl SessionEvent {
             }
             SessionEvent::ReplayStarted { .. } | SessionEvent::ReplayFinished { .. } => REPLAYS,
             SessionEvent::Diverged { .. } => DIVERGENCES,
-            SessionEvent::Faulted { .. } => FAULTS,
+            SessionEvent::Faulted { .. } | SessionEvent::FaultInjected { .. } => FAULTS,
             SessionEvent::WatchHit { .. } => WATCH_HITS,
             SessionEvent::QuotaWarning { .. } => QUOTAS,
             SessionEvent::Finished { .. } => LIFECYCLE,
@@ -351,6 +364,18 @@ mod tests {
         };
         assert!(EventFilter::none().epochs().accepts(&closed));
         assert!(!EventFilter::none().replays().accepts(&closed));
+    }
+
+    #[test]
+    fn injected_faults_share_the_fault_event_class() {
+        let injected = SessionEvent::FaultInjected {
+            class: FaultClass::NetEagain,
+            site: 4,
+            epoch: 1,
+        };
+        assert!(EventFilter::none().faults().accepts(&injected));
+        assert!(!EventFilter::none().epochs().accepts(&injected));
+        assert!(EventFilter::all().accepts(&injected));
     }
 
     #[test]

@@ -164,4 +164,6 @@ pub use trace::{Trace, TraceFormat};
 // they are re-exported so `source()` downcasts need no extra dependency.
 pub use ireplayer_log::{Divergence, DivergenceKind, SyncOp, SyscallClass, ThreadId, VarId};
 pub use ireplayer_mem::{DiffStats, MemAddr, MemError, Span};
-pub use ireplayer_sys::{PeerScript, SimOs, SysError, SyscallKind, Whence};
+pub use ireplayer_sys::{
+    ChaosPlan, ChaosPlanError, ChaosProfile, FaultClass, PeerScript, SimOs, SysError, SyscallKind, Whence,
+};

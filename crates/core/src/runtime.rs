@@ -129,6 +129,28 @@ impl Runtime {
                 rt
             })
             .collect();
+        // Surface chaos injections as diagnostics counters and session
+        // events.  Original executions only: a replayed re-execution
+        // re-derives the same revocable faults (and re-serves the recorded
+        // recordable ones), so re-announcing them would double-count.
+        for rt in &partitions {
+            if rt.config.chaos.is_none() {
+                continue;
+            }
+            let weak = Arc::downgrade(rt);
+            rt.os.set_chaos_observer(Box::new(move |class, site| {
+                let Some(rt) = weak.upgrade() else { return };
+                if rt.replaying() {
+                    return;
+                }
+                Counters::bump(&rt.diag.faults_injected[class.code() as usize]);
+                rt.emit_event(|| SessionEvent::FaultInjected {
+                    class,
+                    site,
+                    epoch: rt.epoch_number(),
+                });
+            }));
+        }
         let scheduler = Scheduler::new(partitions.clone(), Arc::clone(&pool), config.admission_queue_depth);
         Ok(Runtime {
             partitions,
@@ -402,6 +424,20 @@ impl Runtime {
                 ),
             ));
         }
+        // The chaos plan is checked before the aggregate config fingerprint
+        // (which the plan digest joins): a plan mismatch gets its specific
+        // error rather than hiding behind the generic fingerprint one.
+        let our_digest = config.chaos.as_ref().map(|plan| plan.digest()).unwrap_or(0);
+        if trace.chaos_digest() != our_digest {
+            return Err(Error::trace_mismatch(
+                "chaos plan",
+                format!(
+                    "trace was recorded under chaos-plan digest {:#018x} but this runtime's is {:#018x} (0 = no plan)",
+                    trace.chaos_digest(),
+                    our_digest
+                ),
+            ));
+        }
         let ours = config.fingerprint();
         if trace.config_fingerprint() != ours {
             return Err(Error::trace_mismatch(
@@ -435,6 +471,12 @@ impl Runtime {
             self.partitions.iter().map(|rt| partition_diagnostics(rt)).collect();
         let sum = |field: fn(&PartitionDiagnostics) -> u64| partitions.iter().map(field).sum();
         let (launches_queued, launches_admitted) = self.scheduler.admission_counts();
+        let mut faults_injected = vec![0u64; ireplayer_sys::FaultClass::ALL.len()];
+        for p in &partitions {
+            for (total, &count) in faults_injected.iter_mut().zip(&p.faults_injected) {
+                *total += count;
+            }
+        }
         DiagnosticsSnapshot {
             world_pokes: sum(|p| p.world_pokes),
             arena_allocations: sum(|p| p.arena_allocations),
@@ -446,6 +488,7 @@ impl Runtime {
             admission_queue_depth: self.scheduler.queue_len() as u64,
             launches_queued,
             launches_admitted,
+            faults_injected,
             partitions,
         }
     }
@@ -505,6 +548,7 @@ fn partition_diagnostics(rt: &RtInner) -> PartitionDiagnostics {
         quota_events_used: Counters::get(&rt.counters.events_recorded),
         quota_max_epochs: rt.config.max_epochs,
         quota_max_events: rt.config.max_events,
+        faults_injected: rt.diag.faults_injected.iter().map(Counters::get).collect(),
     }
 }
 
@@ -546,6 +590,11 @@ pub struct DiagnosticsSnapshot {
     pub launches_queued: u64,
     /// Launches admitted onto a partition (cumulative, queued or direct).
     pub launches_admitted: u64,
+    /// Chaos faults injected into original executions across every
+    /// partition, indexed by
+    /// [`FaultClass::code`](ireplayer_sys::FaultClass::code); all zeros
+    /// when no plan is configured.
+    pub faults_injected: Vec<u64>,
     /// Per-partition occupancy and counters, in partition order.
     pub partitions: Vec<PartitionDiagnostics>,
 }
@@ -612,6 +661,9 @@ pub struct PartitionDiagnostics {
     pub quota_max_epochs: u64,
     /// The configured [`Config::max_events`] quota (0 = unlimited).
     pub quota_max_events: u64,
+    /// Chaos faults this partition injected into original executions,
+    /// indexed by [`FaultClass::code`](ireplayer_sys::FaultClass::code).
+    pub faults_injected: Vec<u64>,
 }
 
 /// Former name of [`DiagnosticsSnapshot`], kept as a shim for one release.
@@ -643,6 +695,7 @@ impl DiagnosticsSnapshot {
             ),
             ("launches_queued", json::Value::Int(self.launches_queued.into())),
             ("launches_admitted", json::Value::Int(self.launches_admitted.into())),
+            ("faults_injected", faults_to_value(&self.faults_injected)),
             (
                 "partitions",
                 json::Value::Arr(self.partitions.iter().map(PartitionDiagnostics::to_value).collect()),
@@ -650,6 +703,18 @@ impl DiagnosticsSnapshot {
         ])
         .to_pretty_string()
     }
+}
+
+/// Per-class fault counts as a JSON object keyed by the class names
+/// ([`FaultClass::name`](ireplayer_sys::FaultClass::name)).
+fn faults_to_value(counts: &[u64]) -> json::Value {
+    json::obj(
+        ireplayer_sys::FaultClass::ALL
+            .iter()
+            .zip(counts)
+            .map(|(class, &count)| (class.name(), json::Value::Int(count.into())))
+            .collect(),
+    )
 }
 
 impl PartitionDiagnostics {
@@ -684,6 +749,7 @@ impl PartitionDiagnostics {
             ("quota_events_used", json::Value::Int(self.quota_events_used.into())),
             ("quota_max_epochs", json::Value::Int(self.quota_max_epochs.into())),
             ("quota_max_events", json::Value::Int(self.quota_max_events.into())),
+            ("faults_injected", faults_to_value(&self.faults_injected)),
         ])
     }
 }

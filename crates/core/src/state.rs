@@ -515,6 +515,11 @@ pub(crate) struct DiagCounters {
     pub var_lists_created: AtomicU64,
     /// Per-variable event lists recycled from the warm pool.
     pub var_lists_reused: AtomicU64,
+    /// Chaos faults injected into *original* executions, indexed by
+    /// [`FaultClass::code`](ireplayer_sys::FaultClass::code).  Replayed
+    /// re-executions re-serve the same outcomes without re-counting, so
+    /// these monotonically track the fault stream the program experienced.
+    pub faults_injected: [AtomicU64; ireplayer_sys::FaultClass::ALL.len()],
 }
 
 /// Prints a diagnostic line when the `IREPLAYER_TRACE` environment variable
@@ -581,6 +586,12 @@ impl RtInner {
         // one program must stay byte-identical).
         let os = SimOs::with_namespace(1000, partition);
         os.raise_fd_limit(RUNTIME_FD_LIMIT);
+        // Every partition runs the same plan through its own engine (own
+        // counters), so tenants are isolated without the partition index
+        // shaping injections -- solo and concurrent runs stay identical.
+        if let Some(plan) = &config.chaos {
+            os.install_chaos(plan.clone());
+        }
         let seed = config.seed;
         let super_heap_initial = super_heap.state();
         RtInner {

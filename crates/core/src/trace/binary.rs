@@ -10,6 +10,7 @@
 //!   program            string            (u32 length + UTF-8 bytes)
 //!   config_fingerprint u64
 //!   seed               u64
+//!   chaos_digest       u64               (0 = no plan installed)
 //!   inputs:
 //!     files    u32 count, then per file: name string, contents blob
 //!     peers    u32 count, then per peer: address string, script tag u8
@@ -49,6 +50,7 @@ pub(crate) fn encode(data: &TraceData) -> Vec<u8> {
     wire::put_string(&mut payload, &data.program);
     wire::put_u64(&mut payload, data.config_fingerprint.as_u64());
     wire::put_u64(&mut payload, data.seed);
+    wire::put_u64(&mut payload, data.chaos_digest);
     put_inputs(&mut payload, &data.inputs);
     wire::put_u32(&mut payload, data.epochs.len() as u32);
     for epoch in &data.epochs {
@@ -170,6 +172,7 @@ pub(crate) fn decode(bytes: &[u8], origin: &str) -> Result<TraceData, Error> {
     let program = reader.string("program name").map_err(corrupt)?;
     let config_fingerprint = Fingerprint::from_raw(reader.u64("config fingerprint").map_err(corrupt)?);
     let seed = reader.u64("seed").map_err(corrupt)?;
+    let chaos_digest = reader.u64("chaos digest").map_err(corrupt)?;
     let inputs = read_inputs(&mut reader).map_err(corrupt)?;
 
     let epoch_count = reader.u32("epoch count").map_err(corrupt)?;
@@ -204,6 +207,7 @@ pub(crate) fn decode(bytes: &[u8], origin: &str) -> Result<TraceData, Error> {
         program,
         config_fingerprint,
         seed,
+        chaos_digest,
         inputs,
         epochs,
         summary,

@@ -119,6 +119,7 @@ impl TraceJob {
                     program.to_owned(),
                     rt.config.fingerprint(),
                     rt.config.seed,
+                    rt.config.chaos.as_ref().map(|plan| plan.digest()).unwrap_or(0),
                     rt.os.staged_inputs(),
                 ));
                 recorder.rewrite()
@@ -417,7 +418,7 @@ mod tests {
 
     #[test]
     fn verifier_tracks_epoch_counts() {
-        let mut data = TraceData::new("p".into(), crate::Fingerprint::from_raw(0), 0, Default::default());
+        let mut data = TraceData::new("p".into(), crate::Fingerprint::from_raw(0), 0, 0, Default::default());
         data.epochs.push(epoch_with(vec![]));
         let mut verifier = TraceVerifier::new(data, true);
         verifier.check_epoch(epoch_with(vec![])).unwrap();

@@ -461,6 +461,7 @@ fn trace_to_value(data: &TraceData) -> Value {
         ("program", Value::Str(data.program.clone())),
         ("config_fingerprint", fingerprint_value(data.config_fingerprint)),
         ("seed", int(data.seed)),
+        ("chaos_digest", int(data.chaos_digest)),
         ("inputs", inputs_to_value(&data.inputs)),
         ("epochs", Value::Arr(data.epochs.iter().map(epoch_to_value).collect())),
         (
@@ -682,6 +683,7 @@ fn trace_from_value(root: &Value, version: u32) -> Result<TraceData, String> {
     let program = root.field("program")?.as_str("program")?.to_owned();
     let config_fingerprint = fingerprint_from(root.field("config_fingerprint")?, "config_fingerprint")?;
     let seed = root.field("seed")?.as_u64("seed")?;
+    let chaos_digest = root.field("chaos_digest")?.as_u64("chaos_digest")?;
     let inputs = inputs_from_value(root.field("inputs")?)?;
     let epochs = root
         .field("epochs")?
@@ -698,6 +700,7 @@ fn trace_from_value(root: &Value, version: u32) -> Result<TraceData, String> {
         program,
         config_fingerprint,
         seed,
+        chaos_digest,
         epochs,
         inputs,
         summary,
@@ -897,12 +900,12 @@ mod tests {
         assert_eq!(error.kind(), ErrorKind::TraceIo);
         assert!(error.to_string().contains("version"), "{error}");
 
-        let error = decode(b"{\"format\": \"something-else\", \"version\": 1}", "test").unwrap_err();
+        let error = decode(b"{\"format\": \"something-else\", \"version\": 2}", "test").unwrap_err();
         assert_eq!(error.kind(), ErrorKind::TraceVersion);
 
-        let error = decode(b"{\"format\": \"ireplayer-trace\", \"version\": 2}", "test").unwrap_err();
+        let error = decode(b"{\"format\": \"ireplayer-trace\", \"version\": 99}", "test").unwrap_err();
         assert_eq!(error.kind(), ErrorKind::TraceVersion);
-        assert!(error.to_string().contains("version 2"), "{error}");
+        assert!(error.to_string().contains("version 99"), "{error}");
     }
 
     #[test]

@@ -48,8 +48,9 @@ use crate::fingerprint::Fingerprint;
 
 /// Magic bytes opening every binary trace file.
 pub(crate) const MAGIC: [u8; 4] = *b"IRTR";
-/// The trace format version this build reads and writes.
-pub(crate) const VERSION: u32 = 1;
+/// The trace format version this build reads and writes.  Version 2 added
+/// the chaos-plan digest to the header.
+pub(crate) const VERSION: u32 = 2;
 
 /// On-disk encoding of a durable trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -135,6 +136,12 @@ pub(crate) struct TraceData {
     /// The recording configuration's seed (informational; the seed is
     /// already covered by `config_fingerprint`).
     pub seed: u64,
+    /// [`ChaosPlan::digest`](ireplayer_sys::ChaosPlan::digest) of the
+    /// fault-injection plan the run recorded under, or `0` when no plan
+    /// was installed.  Replay refuses a runtime whose plan digest differs:
+    /// injected faults are part of the recorded nondeterminism, so a
+    /// different plan could never reproduce the trace.
+    pub chaos_digest: u64,
     /// Simulated-OS inputs staged before the recorded run.
     pub inputs: OsInputs,
     /// Every epoch closed before the recording ended.
@@ -145,12 +152,19 @@ pub(crate) struct TraceData {
 
 impl TraceData {
     /// An empty recording shell, filled in by the recorder at run begin.
-    pub(crate) fn new(program: String, config_fingerprint: Fingerprint, seed: u64, inputs: OsInputs) -> Self {
+    pub(crate) fn new(
+        program: String,
+        config_fingerprint: Fingerprint,
+        seed: u64,
+        chaos_digest: u64,
+        inputs: OsInputs,
+    ) -> Self {
         TraceData {
             version: VERSION,
             program,
             config_fingerprint,
             seed,
+            chaos_digest,
             inputs,
             epochs: Vec::new(),
             summary: None,
@@ -295,6 +309,13 @@ impl Trace {
         self.data.config_fingerprint
     }
 
+    /// Digest of the chaos plan the run recorded under (`0` when the
+    /// recording runtime had no plan installed).  Replay refuses a runtime
+    /// whose own plan digest differs.
+    pub fn chaos_digest(&self) -> u64 {
+        self.data.chaos_digest
+    }
+
     /// The recorded run's report fingerprint, or `None` for a partial
     /// trace whose recording process died before the run finished.
     pub fn fingerprint(&self) -> Option<Fingerprint> {
@@ -365,6 +386,7 @@ mod tests {
             "sample \"program\"\n".into(),
             Fingerprint::from_raw(0xdead_beef_0123_4567),
             0x5eed_2018,
+            0xc4a0_5b1e_77d2_0f93,
             inputs,
         );
         data.epochs.push(TraceEpoch {

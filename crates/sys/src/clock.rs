@@ -16,6 +16,9 @@ pub struct VirtualClock {
     origin: Instant,
     base_ns: u64,
     ticks: AtomicU64,
+    /// Accumulated forward jumps injected by the chaos plane (NTP-step
+    /// analogue).  Jumps are only ever forward, preserving monotonicity.
+    jump_ns: AtomicU64,
 }
 
 impl VirtualClock {
@@ -25,6 +28,7 @@ impl VirtualClock {
             origin: Instant::now(),
             base_ns,
             ticks: AtomicU64::new(0),
+            jump_ns: AtomicU64::new(0),
         }
     }
 
@@ -35,7 +39,7 @@ impl VirtualClock {
     pub fn now_ns(&self) -> u64 {
         let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         let elapsed = self.origin.elapsed().as_nanos() as u64;
-        self.base_ns + elapsed + tick
+        self.base_ns + elapsed + tick + self.jump_ns.load(Ordering::Relaxed)
     }
 
     /// Number of times the clock has been read.
@@ -43,13 +47,23 @@ impl VirtualClock {
         self.ticks.load(Ordering::Relaxed)
     }
 
-    /// Resets the reading counter to zero (runtime warm-relaunch path).
+    /// Steps the clock forward by `ns` nanoseconds: every later reading
+    /// includes the jump.  The chaos plane uses this to inject clock jumps;
+    /// the outcome is recorded like any other `gettimeofday` result, so
+    /// replay serves the jumped reading from the log.
+    pub fn advance(&self, ns: u64) {
+        self.jump_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Resets the reading counter and accumulated jumps to zero (runtime
+    /// warm-relaunch path).
     ///
     /// The real-time component keeps advancing -- wall time cannot be
     /// rolled back -- so readings remain monotonically increasing across
     /// the reset; only the per-run tick count starts over.
     pub fn reset(&self) {
         self.ticks.store(0, Ordering::Relaxed);
+        self.jump_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -81,6 +95,22 @@ mod tests {
         assert!(clock.now_ns() >= 5_000_000);
         let default_clock = VirtualClock::default();
         assert!(default_clock.now_ns() >= 1_600_000_000_000_000_000);
+    }
+
+    #[test]
+    fn jumps_step_every_later_reading_and_reset_clears_them() {
+        let clock = VirtualClock::new(1000);
+        let before = clock.now_ns();
+        clock.advance(10_000_000_000);
+        let after = clock.now_ns();
+        assert!(after >= before + 10_000_000_000, "the jump lands in full");
+        clock.advance(5);
+        assert!(clock.now_ns() > after);
+        clock.reset();
+        assert!(
+            clock.now_ns() < 10_000_000_000 + 1000 + 1_000_000_000,
+            "reset drops accumulated jumps"
+        );
     }
 
     #[test]

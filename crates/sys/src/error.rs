@@ -60,6 +60,71 @@ impl fmt::Display for SysError {
 
 impl std::error::Error for SysError {}
 
+impl SysError {
+    /// Stable positive wire code, used by the runtime to log recordable
+    /// error outcomes (as a negated return value) so replay can serve the
+    /// same error without re-invoking the kernel.
+    pub fn wire_code(&self) -> i64 {
+        match self {
+            SysError::BadFd(_) => 1,
+            SysError::NotFound(_) => 2,
+            SysError::TooManyFiles { .. } => 3,
+            SysError::InvalidArgument(_) => 4,
+            SysError::WouldBlock => 5,
+            SysError::ConnectionClosed => 6,
+            SysError::NotASocket(_) => 7,
+            SysError::NotAFile(_) => 8,
+            SysError::MmapExhausted { .. } => 9,
+            SysError::BadMapping(_) => 10,
+        }
+    }
+
+    /// The variant payload as log bytes: a little-endian integer for the
+    /// numeric payloads, UTF-8 for the string ones, empty for unit variants.
+    pub fn wire_payload(&self) -> Vec<u8> {
+        match self {
+            SysError::BadFd(fd) | SysError::NotASocket(fd) | SysError::NotAFile(fd) => {
+                i64::from(*fd).to_le_bytes().to_vec()
+            }
+            SysError::NotFound(s) | SysError::InvalidArgument(s) => s.as_bytes().to_vec(),
+            SysError::TooManyFiles { limit } => (*limit as u64).to_le_bytes().to_vec(),
+            SysError::MmapExhausted { requested } => requested.to_le_bytes().to_vec(),
+            SysError::BadMapping(id) => id.to_le_bytes().to_vec(),
+            SysError::WouldBlock | SysError::ConnectionClosed => Vec::new(),
+        }
+    }
+
+    /// Rebuilds an error from its wire code and payload.  Unknown codes and
+    /// malformed payloads degrade to [`SysError::InvalidArgument`] rather
+    /// than panicking: a corrupted log entry surfaces as a visible error,
+    /// not an abort.
+    pub fn from_wire(code: i64, payload: &[u8]) -> SysError {
+        let int = |bytes: &[u8]| -> u64 {
+            let mut buf = [0u8; 8];
+            let n = bytes.len().min(8);
+            buf[..n].copy_from_slice(&bytes[..n]);
+            u64::from_le_bytes(buf)
+        };
+        match code {
+            1 => SysError::BadFd(int(payload) as i32),
+            2 => SysError::NotFound(String::from_utf8_lossy(payload).into_owned()),
+            3 => SysError::TooManyFiles {
+                limit: int(payload) as usize,
+            },
+            4 => SysError::InvalidArgument(String::from_utf8_lossy(payload).into_owned()),
+            5 => SysError::WouldBlock,
+            6 => SysError::ConnectionClosed,
+            7 => SysError::NotASocket(int(payload) as i32),
+            8 => SysError::NotAFile(int(payload) as i32),
+            9 => SysError::MmapExhausted {
+                requested: int(payload),
+            },
+            10 => SysError::BadMapping(int(payload)),
+            other => SysError::InvalidArgument(format!("unknown logged error code {other}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +152,35 @@ mod tests {
     fn error_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SysError>();
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_every_variant() {
+        let variants = [
+            SysError::BadFd(-7),
+            SysError::NotFound("logs/kv-3.txt".into()),
+            SysError::TooManyFiles { limit: 256 },
+            SysError::InvalidArgument("whence".into()),
+            SysError::WouldBlock,
+            SysError::ConnectionClosed,
+            SysError::NotASocket(12),
+            SysError::NotAFile(13),
+            SysError::MmapExhausted { requested: 1 << 33 },
+            SysError::BadMapping(42),
+        ];
+        for v in variants {
+            let code = v.wire_code();
+            assert!(code > 0, "codes must negate cleanly into return values");
+            let back = SysError::from_wire(code, &v.wire_payload());
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn unknown_wire_codes_degrade_to_invalid_argument() {
+        match SysError::from_wire(999, b"junk") {
+            SysError::InvalidArgument(msg) => assert!(msg.contains("999")),
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
     }
 }

@@ -24,6 +24,13 @@
 //! The [`SimOs`] facade bundles these subsystems; the runtime crate talks to
 //! it through typed methods and consults [`SyscallKind::classify`] for the
 //! record/replay policy of each call.
+//!
+//! A seeded fault-injection plan (the `ireplayer-chaos` crate) can be
+//! installed on a kernel with [`SimOs::install_chaos`]; every eligible call
+//! then consults the plan at the call boundary, which keeps injected
+//! outcomes inside the ordinary record/replay classification: recordable
+//! faults are served from the log during replay, revocable faults are
+//! re-derived from snapshot-restored counters.
 
 pub mod clock;
 pub mod error;
@@ -35,8 +42,9 @@ pub mod vfs;
 
 pub use clock::VirtualClock;
 pub use error::SysError;
+pub use ireplayer_chaos::{ChaosPlan, ChaosPlanError, ChaosProfile, ChaosRevocableState, FaultClass};
 pub use mmap::{MmapRegion, MmapTable};
 pub use net::{NetSim, PeerScript, SocketId};
-pub use os::{FilePositions, OsInputs, OsSnapshot, SimOs};
+pub use os::{ChaosObserver, FilePositions, OsInputs, OsSnapshot, SimOs};
 pub use syscall::{SyscallKind, SyscallRequest};
 pub use vfs::{Fd, FdTable, OpenFileKind, Vfs, Whence};

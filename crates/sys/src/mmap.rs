@@ -5,6 +5,11 @@
 //! not re-issued) and `munmap` is *deferrable* (tearing the mapping down
 //! eagerly would make the memory unavailable to the re-execution), exactly
 //! the situation the paper describes for `munmap`.
+//!
+//! A chaos plan's mmap-exhaustion schedule (see
+//! [`crate::os::SimOs::install_chaos`]) rejects a mapping request before it
+//! reaches this table, modelling address-space exhaustion without
+//! perturbing the table's deterministic base-address assignment.
 
 use std::collections::BTreeMap;
 

@@ -10,6 +10,12 @@
 //! data that will never be produced again, so a replay that incorrectly
 //! re-invoked a socket read would observe different data -- the same hazard
 //! the real network poses.
+//!
+//! Chaos-injected socket faults (`EAGAIN`, connection reset, partition
+//! windows; see [`crate::os::SimOs::install_chaos`]) happen at the
+//! [`crate::os::SimOs`] boundary *before* the peer script runs, so an
+//! injected failure never consumes peer data -- only a reset, which closes
+//! the connection for real, changes this module's state.
 
 use std::collections::HashMap;
 use std::fmt;

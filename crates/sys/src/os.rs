@@ -1,5 +1,8 @@
 //! The [`SimOs`] facade: one object bundling the simulated kernel state.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ireplayer_chaos::{ChaosEngine, ChaosPlan, ChaosRevocableState, FaultClass, NetFault};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -8,6 +11,12 @@ use crate::error::SysError;
 use crate::mmap::MmapTable;
 use crate::net::{NetSim, PeerScript, SocketId};
 use crate::vfs::{FdTable, OpenFileKind, Vfs, Whence};
+
+/// Callback invoked whenever the chaos plane injects a fault, with the
+/// fault class and the operation index the plan fired at.  Installed by the
+/// runtime to surface injections as session events and diagnostics; called
+/// *after* the kernel lock is released, so observers may re-enter [`SimOs`].
+pub type ChaosObserver = Box<dyn Fn(FaultClass, u64) + Send + Sync>;
 
 /// Saved positions of all open regular files, captured at epoch begin and
 /// restored before a re-execution (§3.1, §3.4).
@@ -20,10 +29,16 @@ pub struct FilePositions(pub Vec<(i32, u64)>);
 /// (re-issued writes reproduce them), sockets are recordable (never
 /// re-invoked during replay), and `close`/`munmap` are deferred past the
 /// epoch boundary, so nothing else changes under a re-execution's feet.
+/// When a chaos plan is installed, the revocable-class chaos counters ride
+/// along: re-issued reads/writes/allocations must see the same counter
+/// values so the re-execution injects the same faults.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OsSnapshot {
     /// Positions of every open regular file.
     pub positions: FilePositions,
+    /// Chaos counters consumed by replay-re-issued calls, if a plan is
+    /// installed.
+    pub chaos: Option<ChaosRevocableState>,
 }
 
 /// The staged workload inputs of a simulated kernel: everything a harness
@@ -55,6 +70,8 @@ struct OsInner {
     mmap: MmapTable,
     pid: u32,
     next_child_pid: u32,
+    /// Fault-injection engine, consulted at every eligible call boundary.
+    chaos: Option<ChaosEngine>,
 }
 
 /// The simulated operating system shared by all application threads.
@@ -63,10 +80,16 @@ struct OsInner {
 /// lock, which plays the role of kernel entry.  The runtime is responsible
 /// for the record/replay policy around each call (classification via
 /// [`crate::SyscallKind::classify`]); `SimOs` just executes them.
-#[derive(Debug)]
 pub struct SimOs {
     inner: Mutex<OsInner>,
     clock: VirtualClock,
+    /// Fast-path gate for the calls that would otherwise never take the
+    /// kernel lock (clock reads) or are allocation-hot; `true` once a chaos
+    /// plan is installed.
+    chaos_active: AtomicBool,
+    /// Injection observer, held outside the kernel lock so notifications
+    /// can run after the lock is dropped.
+    chaos_observer: Mutex<Option<ChaosObserver>>,
     /// Namespace tag of this kernel instance.  A multi-tenant runtime
     /// creates one `SimOs` per arena partition and tags it with the
     /// partition index, so fd/net/mmap/clock tables are per-session by
@@ -99,8 +122,11 @@ impl SimOs {
                 mmap: MmapTable::new(1 << 40),
                 pid,
                 next_child_pid: pid + 1,
+                chaos: None,
             }),
             clock: VirtualClock::default(),
+            chaos_active: AtomicBool::new(false),
+            chaos_observer: Mutex::new(None),
             namespace,
         }
     }
@@ -127,6 +153,13 @@ impl SimOs {
         let pid = inner.pid;
         let mut fds = FdTable::new(DEFAULT_FD_LIMIT);
         fds.raise_limit(limit);
+        // An installed chaos plan survives the reboot with fresh counters:
+        // a warm-relaunched run injects the same fault stream as the first
+        // run did, which is what makes forced replays fingerprint-identical.
+        let chaos = inner
+            .chaos
+            .as_ref()
+            .map(|engine| ChaosEngine::new(engine.plan().clone()));
         *inner = OsInner {
             vfs: Vfs::new(),
             fds,
@@ -134,9 +167,81 @@ impl SimOs {
             mmap: MmapTable::new(1 << 40),
             pid,
             next_child_pid: pid + 1,
+            chaos,
         };
         drop(inner);
         self.clock.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos plane.
+    // ------------------------------------------------------------------
+
+    /// Installs a compiled chaos plan; every later eligible system call
+    /// consults it.  Counters start from zero.  Installing on a kernel that
+    /// already has a plan replaces it (and its counters) wholesale.
+    pub fn install_chaos(&self, plan: ChaosPlan) {
+        self.inner.lock().chaos = Some(ChaosEngine::new(plan));
+        self.chaos_active.store(true, Ordering::Release);
+    }
+
+    /// Registers the injection observer (replacing any previous one).  The
+    /// observer runs with no kernel lock held.
+    pub fn set_chaos_observer(&self, observer: ChaosObserver) {
+        *self.chaos_observer.lock() = Some(observer);
+    }
+
+    /// The installed plan, if any.
+    pub fn chaos_plan(&self) -> Option<ChaosPlan> {
+        self.inner.lock().chaos.as_ref().map(|engine| engine.plan().clone())
+    }
+
+    /// Faults injected so far, per class; empty when no plan is installed.
+    pub fn chaos_injected(&self) -> Vec<(FaultClass, u64)> {
+        self.inner
+            .lock()
+            .chaos
+            .as_ref()
+            .map(|engine| engine.injected())
+            .unwrap_or_default()
+    }
+
+    /// Consults the chaos plan for a managed allocation on `thread`;
+    /// returns `true` if the allocation must fail.  Not a system call: the
+    /// runtime's allocator asks directly, and the answer is a pure function
+    /// of per-thread counters that the epoch snapshot restores, so the
+    /// decision is *not* recorded -- a replayed re-execution recomputes it
+    /// identically.
+    pub fn chaos_alloc_denied(&self, thread: u32) -> bool {
+        if !self.chaos_active.load(Ordering::Acquire) {
+            return false;
+        }
+        let site = {
+            let mut inner = self.inner.lock();
+            inner.chaos.as_mut().and_then(|engine| engine.on_alloc(thread))
+        };
+        match site {
+            Some(site) => {
+                self.notify_chaos(FaultClass::AllocFail, site);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn notify_chaos(&self, class: FaultClass, site: u64) {
+        // Never called with `self.inner` held: observers may re-enter.
+        if let Some(observer) = self.chaos_observer.lock().as_ref() {
+            observer(class, site);
+        }
+    }
+
+    /// Chaos gate shared by every descriptor-producing call.  Returns the
+    /// injection site and the current limit if the call must fail with
+    /// [`SysError::TooManyFiles`].
+    fn chaos_deny_fd(inner: &mut OsInner) -> Option<(u64, usize)> {
+        let limit = inner.fds.limit();
+        inner.chaos.as_mut()?.on_fd_op().map(|site| (site, limit))
     }
 
     // ------------------------------------------------------------------
@@ -248,8 +353,20 @@ impl SimOs {
     // Recordable calls.
     // ------------------------------------------------------------------
 
-    /// `gettimeofday()`, in nanoseconds.
+    /// `gettimeofday()`, in nanoseconds.  The chaos plan may step the clock
+    /// forward (NTP-jump analogue) before the reading is taken; the jumped
+    /// reading is recorded like any other, so replay serves it from the log.
     pub fn gettime_ns(&self) -> u64 {
+        if self.chaos_active.load(Ordering::Acquire) {
+            let jump = {
+                let mut inner = self.inner.lock();
+                inner.chaos.as_mut().and_then(|engine| engine.on_clock())
+            };
+            if let Some((ns, site)) = jump {
+                self.clock.advance(ns);
+                self.notify_chaos(FaultClass::ClockJump, site);
+            }
+        }
         self.clock.now_ns()
     }
 
@@ -258,9 +375,15 @@ impl SimOs {
     /// # Errors
     ///
     /// Returns [`SysError::NotFound`] if the file does not exist and
-    /// [`SysError::TooManyFiles`] if the descriptor limit is reached.
+    /// [`SysError::TooManyFiles`] if the descriptor limit is reached (or
+    /// the chaos plan injects descriptor pressure).
     pub fn open(&self, path: &str) -> Result<i32, SysError> {
         let mut inner = self.inner.lock();
+        if let Some((site, limit)) = Self::chaos_deny_fd(&mut inner) {
+            drop(inner);
+            self.notify_chaos(FaultClass::FdPressure, site);
+            return Err(SysError::TooManyFiles { limit });
+        }
         if !inner.vfs.exists(path) {
             return Err(SysError::NotFound(path.to_owned()));
         }
@@ -272,9 +395,14 @@ impl SimOs {
     /// # Errors
     ///
     /// Returns [`SysError::TooManyFiles`] if the descriptor limit is
-    /// reached.
+    /// reached (or the chaos plan injects descriptor pressure).
     pub fn open_create(&self, path: &str) -> Result<i32, SysError> {
         let mut inner = self.inner.lock();
+        if let Some((site, limit)) = Self::chaos_deny_fd(&mut inner) {
+            drop(inner);
+            self.notify_chaos(FaultClass::FdPressure, site);
+            return Err(SysError::TooManyFiles { limit });
+        }
         if !inner.vfs.exists(path) {
             inner.vfs.create_file(path, Vec::new());
         }
@@ -287,7 +415,13 @@ impl SimOs {
     ///
     /// Returns [`SysError::BadFd`] or [`SysError::TooManyFiles`].
     pub fn dup(&self, fd: i32) -> Result<i32, SysError> {
-        self.inner.lock().fds.dup(fd)
+        let mut inner = self.inner.lock();
+        if let Some((site, limit)) = Self::chaos_deny_fd(&mut inner) {
+            drop(inner);
+            self.notify_chaos(FaultClass::FdPressure, site);
+            return Err(SysError::TooManyFiles { limit });
+        }
+        inner.fds.dup(fd)
     }
 
     /// `connect(address)`.
@@ -295,9 +429,15 @@ impl SimOs {
     /// # Errors
     ///
     /// Returns [`SysError::NotFound`] for unknown peers and
-    /// [`SysError::TooManyFiles`] if the descriptor limit is reached.
+    /// [`SysError::TooManyFiles`] if the descriptor limit is reached (or
+    /// the chaos plan injects descriptor pressure).
     pub fn socket_connect(&self, address: &str) -> Result<i32, SysError> {
         let mut inner = self.inner.lock();
+        if let Some((site, limit)) = Self::chaos_deny_fd(&mut inner) {
+            drop(inner);
+            self.notify_chaos(FaultClass::FdPressure, site);
+            return Err(SysError::TooManyFiles { limit });
+        }
         let socket = inner.net.connect(address)?;
         inner.fds.allocate(OpenFileKind::Socket { socket })
     }
@@ -306,9 +446,15 @@ impl SimOs {
     ///
     /// # Errors
     ///
-    /// Returns [`SysError::WouldBlock`] if no client is pending.
+    /// Returns [`SysError::WouldBlock`] if no client is pending and
+    /// [`SysError::TooManyFiles`] under injected descriptor pressure.
     pub fn socket_accept(&self, address: &str) -> Result<i32, SysError> {
         let mut inner = self.inner.lock();
+        if let Some((site, limit)) = Self::chaos_deny_fd(&mut inner) {
+            drop(inner);
+            self.notify_chaos(FaultClass::FdPressure, site);
+            return Err(SysError::TooManyFiles { limit });
+        }
         let socket = inner.net.accept(address)?;
         inner.fds.allocate(OpenFileKind::Socket { socket })
     }
@@ -317,10 +463,16 @@ impl SimOs {
     ///
     /// # Errors
     ///
-    /// Returns [`SysError::BadFd`] or [`SysError::NotASocket`].
+    /// Returns [`SysError::BadFd`] or [`SysError::NotASocket`]; under
+    /// chaos, additionally [`SysError::WouldBlock`] (`EAGAIN` or a network
+    /// partition window) or [`SysError::ConnectionClosed`] (an injected
+    /// reset, which also closes the connection for real).
     pub fn socket_read(&self, fd: i32, len: usize) -> Result<Vec<u8>, SysError> {
         let mut inner = self.inner.lock();
         let socket = Self::socket_of(&inner, fd)?;
+        if let Some(fault) = inner.chaos.as_mut().and_then(|engine| engine.on_socket_op(fd)) {
+            return self.apply_socket_fault(inner, socket, fault);
+        }
         inner.net.read(socket, len)
     }
 
@@ -329,41 +481,91 @@ impl SimOs {
     /// # Errors
     ///
     /// Returns [`SysError::BadFd`], [`SysError::NotASocket`] or
-    /// [`SysError::ConnectionClosed`].
+    /// [`SysError::ConnectionClosed`]; under chaos, additionally
+    /// [`SysError::WouldBlock`] or an injected connection reset.
     pub fn socket_write(&self, fd: i32, data: &[u8]) -> Result<usize, SysError> {
         let mut inner = self.inner.lock();
         let socket = Self::socket_of(&inner, fd)?;
+        if let Some(fault) = inner.chaos.as_mut().and_then(|engine| engine.on_socket_op(fd)) {
+            return self.apply_socket_fault(inner, socket, fault).map(|_| 0);
+        }
         inner.net.write(socket, data)
     }
 
     /// `epoll_wait`-style readiness query over a set of socket descriptors:
-    /// returns the subset that is readable.
+    /// returns the subset that is readable.  Sockets inside an injected
+    /// partition window are hidden (and the query drains one operation from
+    /// the window).
     pub fn poll_readable(&self, fds: &[i32]) -> Vec<i32> {
-        let inner = self.inner.lock();
-        fds.iter()
-            .copied()
-            .filter(|fd| {
-                Self::socket_of(&inner, *fd)
-                    .map(|socket| inner.net.readable(socket))
-                    .unwrap_or(false)
-            })
-            .collect()
+        let mut inner = self.inner.lock();
+        let mut ready = Vec::new();
+        for &fd in fds {
+            let Ok(socket) = Self::socket_of(&inner, fd) else {
+                continue;
+            };
+            if inner.chaos.as_mut().is_some_and(|engine| engine.on_poll(fd)) {
+                continue;
+            }
+            if inner.net.readable(socket) {
+                ready.push(fd);
+            }
+        }
+        ready
     }
 
     /// `mmap(len)`: returns the simulated base address.
     ///
     /// # Errors
     ///
-    /// Returns [`SysError::MmapExhausted`] or [`SysError::InvalidArgument`].
+    /// Returns [`SysError::MmapExhausted`] (for real, or injected by the
+    /// chaos plan) or [`SysError::InvalidArgument`].
     pub fn mmap(&self, len: u64) -> Result<u64, SysError> {
-        self.inner.lock().mmap.mmap(len).map(|region| region.id)
+        let mut inner = self.inner.lock();
+        if len > 0 {
+            if let Some(site) = inner.chaos.as_mut().and_then(|engine| engine.on_mmap()) {
+                drop(inner);
+                self.notify_chaos(FaultClass::MmapExhausted, site);
+                return Err(SysError::MmapExhausted { requested: len });
+            }
+        }
+        inner.mmap.mmap(len).map(|region| region.id)
+    }
+
+    /// Turns a [`ireplayer_chaos::SocketFault`] into the observable kernel
+    /// behaviour.  Consumes the guard so the observer runs unlocked.
+    fn apply_socket_fault(
+        &self,
+        mut inner: parking_lot::MutexGuard<'_, OsInner>,
+        socket: SocketId,
+        fault: ireplayer_chaos::SocketFault,
+    ) -> Result<Vec<u8>, SysError> {
+        let (class, error) = match fault.fault {
+            NetFault::Eagain => (FaultClass::NetEagain, SysError::WouldBlock),
+            NetFault::Partitioned => (FaultClass::NetPartition, SysError::WouldBlock),
+            NetFault::Reset => {
+                // The reset is real: the peer connection shuts down, so
+                // later operations on this descriptor behave exactly as
+                // they would after a genuine remote close.
+                let _ = inner.net.close(socket);
+                (FaultClass::NetReset, SysError::ConnectionClosed)
+            }
+        };
+        drop(inner);
+        if fault.announce {
+            self.notify_chaos(class, fault.site);
+        }
+        Err(error)
     }
 
     // ------------------------------------------------------------------
     // Revocable calls.
     // ------------------------------------------------------------------
 
-    /// `read(fd, len)` on a regular file; advances the position.
+    /// `read(fd, len)` on a regular file; advances the position.  The chaos
+    /// plan may shorten the read (serving fewer bytes than requested, never
+    /// zero); since file reads are *revocable*, a replayed re-execution
+    /// re-issues the call against restored chaos counters and shortens it
+    /// identically.
     ///
     /// # Errors
     ///
@@ -372,12 +574,21 @@ impl SimOs {
     pub fn file_read(&self, fd: i32, len: usize) -> Result<Vec<u8>, SysError> {
         let mut inner = self.inner.lock();
         let (name, pos) = Self::file_of(&inner, fd)?;
-        let data = inner.vfs.read_at(&name, pos, len)?;
+        let short = inner.chaos.as_mut().and_then(|engine| engine.on_file_read(fd, len));
+        let effective = short.map_or(len, |(n, _)| n);
+        let data = inner.vfs.read_at(&name, pos, effective)?;
         inner.fds.get_mut(fd)?.pos = pos + data.len() as u64;
+        drop(inner);
+        if let Some((_, site)) = short {
+            self.notify_chaos(FaultClass::ShortRead, site);
+        }
         Ok(data)
     }
 
-    /// `write(fd, data)` on a regular file; advances the position.
+    /// `write(fd, data)` on a regular file; advances the position.  The
+    /// chaos plan may shorten the write (persisting only a prefix, never
+    /// zero bytes); the position advances by the bytes actually written, so
+    /// callers looping on the return value stay correct.
     ///
     /// # Errors
     ///
@@ -386,8 +597,17 @@ impl SimOs {
     pub fn file_write(&self, fd: i32, data: &[u8]) -> Result<usize, SysError> {
         let mut inner = self.inner.lock();
         let (name, pos) = Self::file_of(&inner, fd)?;
-        let written = inner.vfs.write_at(&name, pos, data)?;
+        let short = inner
+            .chaos
+            .as_mut()
+            .and_then(|engine| engine.on_file_write(fd, data.len()));
+        let effective = short.map_or(data.len(), |(n, _)| n);
+        let written = inner.vfs.write_at(&name, pos, &data[..effective])?;
         inner.fds.get_mut(fd)?.pos = pos + written as u64;
+        drop(inner);
+        if let Some((_, site)) = short {
+            self.notify_chaos(FaultClass::ShortWrite, site);
+        }
         Ok(written)
     }
 
@@ -468,14 +688,23 @@ impl SimOs {
 
     /// Captures the state that must be restored before a re-execution.
     pub fn snapshot(&self) -> OsSnapshot {
+        let inner = self.inner.lock();
         OsSnapshot {
-            positions: FilePositions(self.inner.lock().fds.file_positions()),
+            positions: FilePositions(inner.fds.file_positions()),
+            chaos: inner.chaos.as_ref().map(|engine| engine.revocable_state()),
         }
     }
 
     /// Restores a snapshot captured at the last epoch begin (rollback).
+    /// Chaos counters consumed by re-issued calls roll back with the file
+    /// positions; recordable-class counters persist, like the kernel tables
+    /// their calls mutate.
     pub fn restore(&self, snapshot: &OsSnapshot) {
-        self.inner.lock().fds.restore_positions(&snapshot.positions.0);
+        let mut inner = self.inner.lock();
+        inner.fds.restore_positions(&snapshot.positions.0);
+        if let (Some(engine), Some(state)) = (inner.chaos.as_mut(), snapshot.chaos.as_ref()) {
+            engine.restore_revocable(state);
+        }
     }
 
     fn socket_of(inner: &OsInner, fd: i32) -> Result<SocketId, SysError> {
@@ -497,6 +726,15 @@ impl SimOs {
 impl Default for SimOs {
     fn default() -> Self {
         SimOs::new(4242)
+    }
+}
+
+impl std::fmt::Debug for SimOs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimOs")
+            .field("namespace", &self.namespace)
+            .field("chaos_active", &self.chaos_active.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
     }
 }
 
@@ -685,6 +923,102 @@ mod tests {
         let a = os.socket_connect("kv:11211").unwrap();
         let b = twin.socket_connect("kv:11211").unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_shortens_file_io_and_counts_injections() {
+        use ireplayer_chaos::ChaosProfile;
+        let os = os_with_file();
+        let mut profile = ChaosProfile::quiet();
+        profile.short_read_per_mille = 1000;
+        profile.short_write_per_mille = 1000;
+        os.install_chaos(ChaosPlan::compile(7, profile));
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen = hits.clone();
+        os.set_chaos_observer(Box::new(move |_, _| {
+            seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }));
+        let fd = os.open("data.txt").unwrap();
+        // A 10-byte read is shortened to 5; the position only advances by
+        // the bytes actually served, so the next read resumes at byte 5.
+        assert_eq!(os.file_read(fd, 10).unwrap(), b"abcde");
+        assert_eq!(os.file_read(fd, 10).unwrap(), b"fghij");
+        // A 4-byte write persists only its first 2 bytes.
+        assert_eq!(os.file_write(fd, b"WXYZ").unwrap(), 2);
+        assert_eq!(os.file_contents("data.txt").unwrap()[10..13], *b"WXm");
+        let injected = os.chaos_injected();
+        let of = |class: FaultClass| injected.iter().find(|(c, _)| *c == class).unwrap().1;
+        assert_eq!(of(FaultClass::ShortRead), 2);
+        assert_eq!(of(FaultClass::ShortWrite), 1);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn chaos_resets_close_the_connection_for_real() {
+        use ireplayer_chaos::ChaosProfile;
+        let os = SimOs::default();
+        os.register_peer("kv:11211", PeerScript::Echo { response_len: 8 });
+        let fd = os.socket_connect("kv:11211").unwrap();
+        let mut profile = ChaosProfile::quiet();
+        profile.net_reset_per_mille = 1000;
+        os.install_chaos(ChaosPlan::compile(3, profile));
+        assert!(matches!(os.socket_write(fd, b"x"), Err(SysError::ConnectionClosed)));
+        // The connection is genuinely gone: even though the plan would fire
+        // again, a plain write now fails the same way a real peer-close
+        // does, and reads drain to empty.
+        let after = os.socket_write(fd, b"y");
+        assert!(after.is_err());
+    }
+
+    #[test]
+    fn chaos_snapshot_restores_short_read_decisions() {
+        use ireplayer_chaos::ChaosProfile;
+        let os = os_with_file();
+        let mut profile = ChaosProfile::quiet();
+        profile.short_read_per_mille = 500;
+        os.install_chaos(ChaosPlan::compile(11, profile));
+        let fd = os.open("data.txt").unwrap();
+        os.file_read(fd, 4).unwrap();
+        let snap = os.snapshot();
+        assert!(snap.chaos.is_some(), "chaos counters ride in the snapshot");
+        let original: Vec<_> = (0..5).map(|_| os.file_read(fd, 4).unwrap()).collect();
+        os.restore(&snap);
+        let replayed: Vec<_> = (0..5).map(|_| os.file_read(fd, 4).unwrap()).collect();
+        assert_eq!(original, replayed, "re-issued reads repeat chaos decisions");
+    }
+
+    #[test]
+    fn chaos_plan_survives_reset_with_fresh_counters() {
+        use ireplayer_chaos::ChaosProfile;
+        let os = os_with_file();
+        let mut profile = ChaosProfile::quiet();
+        profile.fd_pressure_per_mille = 1000;
+        let plan = ChaosPlan::compile(5, profile);
+        os.install_chaos(plan.clone());
+        assert!(matches!(os.open("data.txt"), Err(SysError::TooManyFiles { .. })));
+        os.reset();
+        assert_eq!(os.chaos_plan().as_ref(), Some(&plan), "reset keeps the plan");
+        assert!(
+            os.chaos_injected().iter().all(|&(_, n)| n == 0),
+            "...but zeroes the counters"
+        );
+        os.create_file("data.txt", vec![1]);
+        assert!(matches!(os.open("data.txt"), Err(SysError::TooManyFiles { .. })));
+    }
+
+    #[test]
+    fn chaos_alloc_denial_is_per_thread_and_gated() {
+        use ireplayer_chaos::ChaosProfile;
+        let os = SimOs::default();
+        assert!(!os.chaos_alloc_denied(1), "no plan, no denial");
+        let mut profile = ChaosProfile::quiet();
+        profile.alloc_fail_nth = 2;
+        os.install_chaos(ChaosPlan::compile(9, profile));
+        assert!(!os.chaos_alloc_denied(1));
+        assert!(os.chaos_alloc_denied(1));
+        assert!(!os.chaos_alloc_denied(1), "fires once per thread");
+        assert!(!os.chaos_alloc_denied(2));
+        assert!(os.chaos_alloc_denied(2));
     }
 
     #[test]

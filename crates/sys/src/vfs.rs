@@ -10,6 +10,12 @@
 //! `{open(1), close(1), open(2)}` the second open reuses the first
 //! descriptor, so replaying the sequence after an eager close could not
 //! return the same descriptor values.
+//!
+//! A chaos plan (see [`crate::os::SimOs::install_chaos`]) intercepts this
+//! layer's calls at the [`crate::os::SimOs`] boundary -- shortening file
+//! reads and writes, denying descriptors under fd-limit pressure -- so the
+//! tables themselves stay oblivious to injection: they only ever see the
+//! already-truncated lengths.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;

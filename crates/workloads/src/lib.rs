@@ -17,11 +17,13 @@ pub mod buggy;
 pub mod crasher;
 pub mod parsec;
 pub mod real;
+pub mod server;
 pub mod spec;
 pub mod util;
 
 pub use buggy::{all_known_bugs, known_bug_by_name, ExpectedBug, KnownBug};
 pub use crasher::Crasher;
+pub use server::{JobSteal, KvPool};
 pub use spec::{Workload, WorkloadSize, WorkloadSpec};
 
 use ireplayer::{Program, Runtime};
@@ -47,8 +49,15 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     ]
 }
 
-/// Looks a workload up by its table name (e.g. `"fluidanimate"`).
+/// Looks a workload up by its table name (e.g. `"fluidanimate"`).  Also
+/// resolves the chaos-suite servers (`"kv-pool"`, `"job-steal"`), which are
+/// not part of the paper tables and so not in [`all_workloads`].
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    match name {
+        "kv-pool" => return Some(Box::new(server::KvPool)),
+        "job-steal" => return Some(Box::new(server::JobSteal)),
+        _ => {}
+    }
     all_workloads().into_iter().find(|w| w.name() == name)
 }
 
@@ -86,6 +95,8 @@ mod tests {
             ]
         );
         assert!(workload_by_name("fluidanimate").is_some());
+        assert!(workload_by_name("kv-pool").is_some());
+        assert!(workload_by_name("job-steal").is_some());
         assert!(workload_by_name("doom").is_none());
     }
 }

@@ -1,0 +1,400 @@
+//! Long-running server workloads built to survive a chaos plan.
+//!
+//! Unlike the paper-table analogues in [`crate::real`], these two programs
+//! are written against the *fallible* syscall surface (`try_send`,
+//! `try_recv`, `try_alloc`) and treat every injected outcome -- `EAGAIN`,
+//! connection resets, partition windows, short file I/O, fd-limit
+//! pressure, allocation denial -- as a condition to handle, not a crash.
+//! They are the standard subjects of the chaos suite, so they are built
+//! for schedule-independent fingerprints: out-of-process trace replay
+//! re-executes under a fresh thread interleaving, which means
+//!
+//! * every descriptor (socket, log file) is opened by the main thread in a
+//!   fixed order, so per-descriptor chaos schedules attach to the same
+//!   calls in every execution;
+//! * requests are statically partitioned (`request % workers`), never
+//!   pulled from a shared queue, so each worker's syscall sequence depends
+//!   only on its own slot;
+//! * shared results are commutative sums merged under one lock, and every
+//!   per-slot cell is written by exactly one thread.
+
+use ireplayer::{MutexHandle, PeerScript, Program, Runtime, Step, SysError, ThreadCtx};
+
+use crate::spec::{implant_overflow, Workload, WorkloadSpec};
+use crate::util::mix;
+
+/// Bounded retries for a transient (`EAGAIN`/partition) socket failure.
+const RETRIES: usize = 3;
+
+// ---------------------------------------------------------------------------
+// kv-pool: a connection-pool KV client over fallible sockets.
+// ---------------------------------------------------------------------------
+
+/// A connection-pool key-value store client: each worker owns one
+/// pre-opened connection (its *slot*) and a private log file, and drives
+/// its statically assigned share of the request stream through
+/// send/receive round-trips, retrying transient failures and retiring the
+/// slot on a connection reset.
+///
+/// Exercises every chaos fault class: short reads (config load), short
+/// writes (log append), the three socket classes, clock jumps, mmap
+/// exhaustion, fd pressure (pool setup), and allocation denial (per-request
+/// scratch buffers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KvPool;
+
+impl KvPool {
+    fn requests(spec: &WorkloadSpec) -> u64 {
+        spec.scaled(24)
+    }
+}
+
+/// Per-slot record layout: socket fd, log fd, sum, served, failed.
+const SLOT_STRIDE: u64 = 40;
+
+impl Workload for KvPool {
+    fn name(&self) -> &'static str {
+        "kv-pool"
+    }
+
+    fn stage(&self, runtime: &Runtime, _spec: &WorkloadSpec) {
+        runtime
+            .os()
+            .register_peer("kv:6379", PeerScript::Echo { response_len: 32 });
+        let config: Vec<u8> = (0..4096).map(|i| (mix(i as u64) & 0xff) as u8).collect();
+        runtime.os().create_file("kv-pool.conf", config);
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let requests = Self::requests(&spec);
+        Program::new("kv-pool", move |ctx| {
+            let pool = u64::from(spec.threads);
+
+            // Load the configuration, tolerating injected short reads by
+            // looping to end of stream.
+            let conf = ctx.open("kv-pool.conf").expect("staged config file");
+            let mut conf_digest = 0u64;
+            loop {
+                let bytes = ctx.read(conf, 1024);
+                if bytes.is_empty() {
+                    break;
+                }
+                conf_digest = bytes.iter().fold(conf_digest, |acc, b| mix(acc ^ u64::from(*b)));
+            }
+            ctx.close(conf);
+            ctx.assert_that(conf_digest != 0, "configuration was read");
+            let started_at = ctx.now_ns();
+
+            // A few scratch mappings, under the mmap-exhaustion schedule.
+            for _ in 0..4 {
+                if let Ok(region) = ctx.try_mmap(4096) {
+                    ctx.munmap(region);
+                }
+            }
+
+            // Open every slot's connection and log file on the main thread,
+            // in slot order.  A denied descriptor (fd pressure) leaves the
+            // slot dead from the start; its requests are counted as failed.
+            let slots = ctx.global("kv_slots", pool * SLOT_STRIDE);
+            for slot in 0..pool {
+                let base = slots + slot * SLOT_STRIDE;
+                let socket = ctx.connect("kv:6379").map(i64::from).unwrap_or(-1);
+                let log = ctx
+                    .open_create(&format!("kv-pool-{slot}.log"))
+                    .map(i64::from)
+                    .unwrap_or(-1);
+                ctx.write_i64(base, socket);
+                ctx.write_i64(base + 8, log);
+                ctx.write_u64(base + 16, 0);
+                ctx.write_u64(base + 24, 0);
+                ctx.write_u64(base + 32, 0);
+            }
+
+            let totals = ctx.global("kv_totals", 24);
+            let stats_lock = ctx.mutex();
+            let mut handles = Vec::new();
+            for slot in 0..pool {
+                handles.push(ctx.spawn("kv-worker", move |ctx| {
+                    worker_step(ctx, slots, slot, pool, requests, stats_lock, totals)
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+
+            let served = ctx.read_u64(totals + 8);
+            let failed = ctx.read_u64(totals + 16);
+            ctx.assert_that(
+                served + failed == requests,
+                "every request was either served or accounted as failed",
+            );
+            let elapsed = ctx.now_ns().wrapping_sub(started_at);
+            std::hint::black_box(elapsed);
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+/// One pool worker's whole life: drive the slot's share of the request
+/// stream (`request % pool == slot`), then merge results.
+fn worker_step(
+    ctx: &mut ThreadCtx<'_>,
+    slots: ireplayer::MemAddr,
+    slot: u64,
+    pool: u64,
+    requests: u64,
+    stats_lock: MutexHandle,
+    totals: ireplayer::MemAddr,
+) -> Step {
+    let base = slots + slot * SLOT_STRIDE;
+    let socket = ctx.read_i64(base);
+    let log = ctx.read_i64(base + 8);
+    let mut alive = socket >= 0;
+    let mut sum = 0u64;
+    let mut served = 0u64;
+    let mut failed = 0u64;
+
+    let mut request = slot;
+    while request < requests {
+        // Per-request scratch buffer, under the allocation-failure
+        // schedule.  The request proceeds without it when denied.
+        let scratch = ctx.try_alloc(64);
+        match serve_one(ctx, socket as i32, &mut alive, request) {
+            Some(digest) => {
+                sum = sum.wrapping_add(digest);
+                served += 1;
+                if let Some(scratch) = scratch {
+                    ctx.write_u64(scratch, digest);
+                }
+                if log >= 0 {
+                    append_record(ctx, log as i32, digest);
+                }
+            }
+            None => failed += 1,
+        }
+        if let Some(scratch) = scratch {
+            ctx.free(scratch);
+        }
+        request += pool;
+    }
+
+    ctx.write_u64(base + 16, sum);
+    ctx.write_u64(base + 24, served);
+    ctx.write_u64(base + 32, failed);
+    ctx.lock(stats_lock);
+    let total = ctx.read_u64(totals);
+    ctx.write_u64(totals, total.wrapping_add(sum));
+    let count = ctx.read_u64(totals + 8);
+    ctx.write_u64(totals + 8, count + served);
+    let misses = ctx.read_u64(totals + 16);
+    ctx.write_u64(totals + 16, misses + failed);
+    ctx.unlock(stats_lock);
+    Step::Done
+}
+
+/// One request/response round-trip with bounded retries.  Returns the
+/// response digest, or `None` when the request failed (dead slot, retries
+/// exhausted, or a reset mid-flight -- which also retires the slot).
+fn serve_one(ctx: &mut ThreadCtx<'_>, socket: i32, alive: &mut bool, request: u64) -> Option<u64> {
+    if !*alive {
+        return None;
+    }
+    let payload = mix(request | 1).to_le_bytes();
+    let mut sent = false;
+    for _ in 0..RETRIES {
+        match ctx.try_send(socket, &payload) {
+            Ok(_) => {
+                sent = true;
+                break;
+            }
+            Err(SysError::WouldBlock) => continue,
+            Err(_) => {
+                *alive = false;
+                return None;
+            }
+        }
+    }
+    if !sent {
+        return None;
+    }
+    for _ in 0..RETRIES {
+        match ctx.try_recv(socket, 64) {
+            Ok(response) if response.is_empty() => continue,
+            Ok(response) => {
+                return Some(response.iter().fold(mix(request), |acc, b| mix(acc ^ u64::from(*b))));
+            }
+            Err(SysError::WouldBlock) => continue,
+            Err(_) => {
+                *alive = false;
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Appends one record to the slot's log, topping up after an injected
+/// short write (at most one retry: the schedule fires once per site).
+fn append_record(ctx: &mut ThreadCtx<'_>, log: i32, digest: u64) {
+    let bytes = digest.to_le_bytes();
+    let written = ctx.write(log, &bytes);
+    if written < bytes.len() {
+        let _ = ctx.write(log, &bytes[written..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// job-steal: a work-stealing job queue with a provably exact total.
+// ---------------------------------------------------------------------------
+
+/// A work-stealing job queue: the main thread deals jobs round-robin into
+/// per-worker queues, and every worker sweeps all queues (its own first) a
+/// fixed number of rounds, popping one job per visit under the queue's
+/// lock.  The fixed sweep count makes the per-thread synchronization
+/// sequence schedule-independent while the *assignment* of jobs to workers
+/// stays genuinely racy; the final commutative checksum proves every job
+/// was executed exactly once no matter who stole what.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobSteal;
+
+impl JobSteal {
+    fn jobs(spec: &WorkloadSpec) -> u64 {
+        spec.scaled(32)
+    }
+}
+
+impl Workload for JobSteal {
+    fn name(&self) -> &'static str {
+        "job-steal"
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let jobs = Self::jobs(&spec);
+        Program::new("job-steal", move |ctx| {
+            let workers = u64::from(spec.threads);
+            // Per-queue layout: head, tail, then `jobs` slots (a queue can
+            // hold every job, so stealing can never overflow one).
+            let stride = 16 + jobs * 8;
+            let queues = ctx.global("steal_queues", workers * stride);
+            let locks: Vec<MutexHandle> = (0..workers).map(|_| ctx.mutex()).collect();
+            for job in 0..jobs {
+                let base = queues + (job % workers) * stride;
+                let tail = ctx.read_u64(base + 8);
+                ctx.write_u64(base + 16 + tail * 8, mix(job) | 1);
+                ctx.write_u64(base + 8, tail + 1);
+            }
+
+            let totals = ctx.global("steal_totals", 16);
+            let stats_lock = ctx.mutex();
+            // Every worker sweeps all queues `jobs` times: if a job were
+            // still queued when a worker finished, that worker would have
+            // popped one job from its queue on each of `jobs` visits -- more
+            // than exist.  So the fixed bound drains everything without a
+            // schedule-dependent termination test.
+            let rounds = jobs;
+            let mut handles = Vec::new();
+            for worker in 0..workers {
+                let locks = locks.clone();
+                handles.push(ctx.spawn("stealer", move |ctx| {
+                    let mut sum = 0u64;
+                    let mut processed = 0u64;
+                    for _ in 0..rounds {
+                        for offset in 0..workers {
+                            let victim = (worker + offset) % workers;
+                            let base = queues + victim * stride;
+                            ctx.lock(locks[victim as usize]);
+                            let head = ctx.read_u64(base);
+                            let tail = ctx.read_u64(base + 8);
+                            let job = (head < tail).then(|| {
+                                let value = ctx.read_u64(base + 16 + head * 8);
+                                ctx.write_u64(base, head + 1);
+                                value
+                            });
+                            ctx.unlock(locks[victim as usize]);
+                            if let Some(value) = job {
+                                sum = sum.wrapping_add(mix(value ^ ctx.work(40)));
+                                processed += 1;
+                            }
+                        }
+                    }
+                    ctx.lock(stats_lock);
+                    let total = ctx.read_u64(totals);
+                    ctx.write_u64(totals, total.wrapping_add(sum));
+                    let count = ctx.read_u64(totals + 8);
+                    ctx.write_u64(totals + 8, count + processed);
+                    ctx.unlock(stats_lock);
+                    Step::Done
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+
+            let processed = ctx.read_u64(totals + 8);
+            ctx.assert_that(processed == jobs, "every job ran exactly once");
+            let unit = ctx.work(40);
+            let expected = (0..jobs).fold(0u64, |acc, job| acc.wrapping_add(mix((mix(job) | 1) ^ unit)));
+            let total = ctx.read_u64(totals);
+            ctx.assert_that(total == expected, "checksum proves exactly-once execution");
+
+            // A short, fallible audit log -- the workload's only file I/O,
+            // on the main thread so chaos schedules hit it identically in
+            // every execution.
+            if let Some(log) = ctx.open_create("job-steal.log") {
+                append_record(ctx, log, total);
+                ctx.close(log);
+            }
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer::{ChaosPlan, ChaosProfile, Config, Runtime};
+
+    fn config() -> ireplayer::ConfigBuilder {
+        Config::builder()
+            .arena_size(16 << 20)
+            .heap_block_size(256 << 10)
+            .quiescence_timeout_ms(20_000)
+    }
+
+    fn run_with(workload: &dyn Workload, config: Config) -> ireplayer::RunReport {
+        let runtime = Runtime::new(config).unwrap();
+        let spec = WorkloadSpec::tiny();
+        workload.stage(&runtime, &spec);
+        runtime.run(workload.program(&spec)).unwrap()
+    }
+
+    #[test]
+    fn kv_pool_serves_every_request_without_chaos() {
+        let report = run_with(&KvPool, config().build().unwrap());
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    }
+
+    #[test]
+    fn job_steal_checksum_holds_without_chaos() {
+        let report = run_with(&JobSteal, config().build().unwrap());
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    }
+
+    #[test]
+    fn both_servers_survive_a_heavy_chaos_plan() {
+        for workload in [&KvPool as &dyn Workload, &JobSteal] {
+            let plan = ChaosPlan::compile(0xc4a05, ChaosProfile::heavy());
+            let report = run_with(workload, config().chaos(plan).build().unwrap());
+            assert!(
+                report.outcome.is_success(),
+                "{} under chaos: {:?}",
+                workload.name(),
+                report.faults
+            );
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The deterministic chaos plane end to end: seeded fault plans injected at
+//! the simulated-OS boundary, recorded like any other syscall
+//! nondeterminism, and replayed byte-identically.
+//!
+//! Acceptance properties exercised here:
+//!
+//! * a chaos-enabled run of the connection-pool KV server -- with nonzero
+//!   injections in **every** fault class -- records, force-replays (in-situ
+//!   rollback at every epoch end), and trace-replays fingerprint-identically
+//!   on a fresh runtime that never saw the original;
+//! * the same identity holds under 2-partition concurrent sessions, each
+//!   partition running its own isolated copy of the plan;
+//! * the plan digest travels in the durable trace header: replaying a trace
+//!   under a different plan (or no plan at all, or a plan where none was
+//!   recorded) is refused up front with a typed `ErrorKind::TraceMismatch`
+//!   naming the chaos plan;
+//! * injected faults surface as `SessionEvent::FaultInjected` and as
+//!   per-class `DiagnosticsSnapshot` counters, and the two agree;
+//! * a checked-in chaotic-run fixture (`tests/fixtures/chaos_workload.json`)
+//!   opens and replays green, pinning the on-disk format.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ireplayer::{
+    ChaosPlan, ChaosProfile, Config, EpochDecision, EpochView, ErrorKind, EventFilter, FaultClass, Program,
+    ReplayRequest, Runtime, SessionEvent, Step, ToolHook, Trace, TraceFormat,
+};
+use ireplayer_workloads::{workload_by_name, Workload, WorkloadSpec};
+
+/// A scratch path in the system temp dir, unique per test and process.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ireplayer-chaos-{name}-{}.trace", std::process::id()))
+}
+
+/// The seed every test compiles its plan from.  Chosen (by scanning) so
+/// that a heavy plan fires at least once in **every** fault class within
+/// the operation budget of a small `kv-pool` run -- the acceptance
+/// criterion below asserts exactly that, so the seed is part of the test.
+const SPICY_SEED: u64 = 0x20;
+
+fn heavy_plan() -> ChaosPlan {
+    ChaosPlan::compile(SPICY_SEED, ChaosProfile::heavy())
+}
+
+/// The shared configuration shape; execution-relevant knobs must match
+/// between the recording and every replaying runtime.
+fn chaos_builder() -> ireplayer::ConfigBuilder {
+    Config::builder()
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .quiescence_timeout_ms(20_000)
+}
+
+fn chaos_config() -> Config {
+    chaos_builder().chaos(heavy_plan()).build().unwrap()
+}
+
+fn kv_pool() -> Box<dyn Workload> {
+    workload_by_name("kv-pool").expect("registered chaos-suite workload")
+}
+
+/// `kv-pool` at the small size: enough per-class operations that the heavy
+/// plan's schedule fires in every class (see [`SPICY_SEED`]).
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::small()
+}
+
+/// Requests one validation replay at every epoch end, forcing the
+/// checkpoint-rollback-re-execution machinery through the chaos plane.
+struct ValidateAlways;
+
+impl ToolHook for ValidateAlways {
+    fn name(&self) -> &str {
+        "chaos-validate-always"
+    }
+
+    fn at_epoch_end(&self, _view: &dyn EpochView) -> EpochDecision {
+        EpochDecision::Replay(ReplayRequest::because("chaos validation"))
+    }
+}
+
+#[test]
+fn a_chaos_run_records_force_replays_and_trace_replays_identically() {
+    let path = scratch("roundtrip");
+    let workload = kv_pool();
+
+    // Record with a durable trace, a forced replay at every epoch end, and
+    // a live fault-event subscription.
+    let runtime = Runtime::new(chaos_builder().chaos(heavy_plan()).record_to(&path).build().unwrap()).unwrap();
+    runtime.add_hook(Arc::new(ValidateAlways));
+    let events = runtime.subscribe(EventFilter::none().faults());
+    workload.stage(&runtime, &spec());
+    let recorded = runtime.run(workload.program(&spec())).unwrap();
+    assert!(recorded.outcome.is_success(), "faults: {:?}", recorded.faults);
+    assert!(!recorded.replay_validations.is_empty(), "the hook must force a replay");
+    assert!(
+        recorded.replays_identical(),
+        "the in-situ re-execution re-derived different outcomes"
+    );
+
+    // Every fault class fired at least once, and the counters agree with
+    // the live event stream (original executions only: the forced replay
+    // must not double-count).
+    let diagnostics = runtime.diagnostics();
+    let mut announced = vec![0u64; FaultClass::ALL.len()];
+    for event in events.drain() {
+        if let SessionEvent::FaultInjected { class, .. } = event {
+            announced[class.code() as usize] += 1;
+        }
+    }
+    for class in FaultClass::ALL {
+        let count = diagnostics.faults_injected[class.code() as usize];
+        assert!(count > 0, "no {} fault was injected", class.name());
+        assert_eq!(
+            announced[class.code() as usize],
+            count,
+            "{}: events and diagnostics disagree",
+            class.name()
+        );
+    }
+    drop(runtime);
+
+    // A fresh runtime with the same plan: the trace alone restores the
+    // staged inputs and the recorded injections, and reproduces the run
+    // by fingerprint -- non-strict and strict, with the hook reinstalled.
+    let trace = Trace::open(&path).unwrap();
+    assert_eq!(trace.chaos_digest(), heavy_plan().digest());
+    let fresh = Runtime::new(chaos_config()).unwrap();
+    fresh.add_hook(Arc::new(ValidateAlways));
+    let replayed = fresh.replay_trace(workload.program(&spec()), &trace).unwrap();
+    assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+    // The verifier re-executes the program (in-situ rollback replays are
+    // served from the order logs, but the out-of-process verify is a fresh
+    // original execution), so the plan deterministically re-injects the
+    // exact same per-class counts.
+    assert_eq!(
+        fresh.diagnostics().faults_injected,
+        diagnostics.faults_injected,
+        "the verifying run must re-derive the recorded injections exactly"
+    );
+
+    let strict = Runtime::new(chaos_config()).unwrap();
+    strict.add_hook(Arc::new(ValidateAlways));
+    let replayed = strict.replay_trace_strict(workload.program(&spec()), &trace).unwrap();
+    assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn chaos_fingerprints_are_invariant_under_two_partition_concurrency() {
+    let workload = kv_pool();
+
+    // The identity baseline: a solo run on a single-partition runtime.
+    // The staged config bytes are captured up front: the end-of-run reset
+    // clears the simulated filesystem.
+    let solo_runtime = Runtime::new(chaos_config()).unwrap();
+    workload.stage(&solo_runtime, &spec());
+    let staged_config = solo_runtime.os().file_contents("kv-pool.conf").unwrap();
+    let solo = solo_runtime.run(workload.program(&spec())).unwrap();
+    assert!(solo.outcome.is_success(), "faults: {:?}", solo.faults);
+
+    // The same program on both partitions of one runtime, sessions live at
+    // once.  Each partition owns an isolated copy of the plan, so each
+    // tenant sees exactly the injections the solo run saw.
+    let multi = Runtime::new(chaos_builder().partitions(2).chaos(heavy_plan()).build().unwrap()).unwrap();
+    for partition in 0..2 {
+        let os = multi.partition_os(partition).unwrap();
+        os.register_peer("kv:6379", ireplayer::PeerScript::Echo { response_len: 32 });
+        os.create_file("kv-pool.conf", staged_config.clone());
+    }
+    let sessions: Vec<_> = (0..2)
+        .map(|_| multi.launch(workload.program(&spec())).unwrap())
+        .collect();
+    for session in sessions {
+        let report = session.wait().unwrap();
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+        assert_eq!(
+            report.fingerprint(),
+            solo.fingerprint(),
+            "a concurrent chaotic tenant diverged from its solo baseline"
+        );
+    }
+
+    // Both partitions injected the same per-class counts as the solo run
+    // (isolation: neither consumed the other's schedule).
+    let solo_counts = solo_runtime.diagnostics().faults_injected;
+    let multi_counts = multi.diagnostics();
+    for class in FaultClass::ALL {
+        let index = class.code() as usize;
+        for partition in &multi_counts.partitions {
+            assert_eq!(
+                partition.faults_injected[index],
+                solo_counts[index],
+                "{}: partition {} diverged from the solo injection count",
+                class.name(),
+                partition.partition
+            );
+        }
+    }
+}
+
+#[test]
+fn a_trace_records_the_plan_and_refuses_a_mismatched_one() {
+    let path = scratch("mismatch");
+    let workload = kv_pool();
+
+    let runtime = Runtime::new(chaos_builder().chaos(heavy_plan()).record_to(&path).build().unwrap()).unwrap();
+    workload.stage(&runtime, &spec());
+    let recorded = runtime.run(workload.program(&spec())).unwrap();
+    assert!(recorded.outcome.is_success());
+    drop(runtime);
+    let trace = Trace::open(&path).unwrap();
+
+    let expect_refusal = |config: Config| {
+        let fresh = Runtime::new(config).unwrap();
+        let error = fresh.replay_trace(workload.program(&spec()), &trace).unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceMismatch);
+        let (what, detail) = error.trace_divergence().unwrap();
+        assert_eq!(what, "chaos plan");
+        assert!(detail.contains("chaos-plan digest"), "{detail}");
+        detail.to_string()
+    };
+
+    // A different plan: same shape, different seed.
+    let other = ChaosPlan::compile(SPICY_SEED + 1, ChaosProfile::heavy());
+    assert_ne!(other.digest(), heavy_plan().digest());
+    expect_refusal(chaos_builder().chaos(other).build().unwrap());
+
+    // No plan at all: the digest mismatch is reported as the chaos plan,
+    // not hidden behind the aggregate config fingerprint.
+    let detail = expect_refusal(chaos_builder().build().unwrap());
+    assert!(detail.contains("0x0000000000000000"), "{detail}");
+
+    // And the reverse direction: a planless recording refuses a chaotic
+    // replayer.
+    let planless_path = scratch("planless");
+    let runtime = Runtime::new(chaos_builder().record_to(&planless_path).build().unwrap()).unwrap();
+    workload.stage(&runtime, &spec());
+    runtime.run(workload.program(&spec())).unwrap();
+    drop(runtime);
+    let planless = Trace::open(&planless_path).unwrap();
+    assert_eq!(planless.chaos_digest(), 0);
+    let chaotic = Runtime::new(chaos_config()).unwrap();
+    let error = chaotic.replay_trace(workload.program(&spec()), &planless).unwrap_err();
+    assert_eq!(error.kind(), ErrorKind::TraceMismatch);
+    let (what, _) = error.trace_divergence().unwrap();
+    assert_eq!(what, "chaos plan");
+
+    for path in [path, planless_path] {
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn the_work_stealing_queue_survives_chaos_and_replays_identically() {
+    let workload = workload_by_name("job-steal").expect("registered chaos-suite workload");
+    let path = scratch("job-steal");
+
+    let runtime = Runtime::new(chaos_builder().chaos(heavy_plan()).record_to(&path).build().unwrap()).unwrap();
+    runtime.add_hook(Arc::new(ValidateAlways));
+    workload.stage(&runtime, &spec());
+    let recorded = runtime.run(workload.program(&spec())).unwrap();
+    assert!(recorded.outcome.is_success(), "faults: {:?}", recorded.faults);
+    assert!(recorded.replays_identical());
+    drop(runtime);
+
+    let trace = Trace::open(&path).unwrap();
+    let fresh = Runtime::new(chaos_config()).unwrap();
+    fresh.add_hook(Arc::new(ValidateAlways));
+    let replayed = fresh.replay_trace(workload.program(&spec()), &trace).unwrap();
+    assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_quiet_plan_injects_nothing_and_changes_nothing() {
+    let workload = kv_pool();
+    let quiet = ChaosPlan::compile(SPICY_SEED, ChaosProfile::quiet());
+    assert!(quiet.is_quiet());
+
+    let baseline_runtime = Runtime::new(chaos_builder().build().unwrap()).unwrap();
+    workload.stage(&baseline_runtime, &spec());
+    let baseline = baseline_runtime.run(workload.program(&spec())).unwrap();
+    assert!(baseline.outcome.is_success());
+
+    let runtime = Runtime::new(chaos_builder().chaos(quiet).build().unwrap()).unwrap();
+    workload.stage(&runtime, &spec());
+    let report = runtime.run(workload.program(&spec())).unwrap();
+    assert!(report.outcome.is_success());
+    assert_eq!(
+        runtime.diagnostics().faults_injected,
+        vec![0u64; FaultClass::ALL.len()],
+        "a quiet plan fires nothing"
+    );
+    assert_eq!(
+        report.fingerprint(),
+        baseline.fingerprint(),
+        "a quiet plan must not perturb the execution"
+    );
+}
+
+/// A deliberately fragile program: it treats every syscall as infallible
+/// (`expect`), so the heavy plan's fd-pressure schedule makes it fail --
+/// and the failure is *detectable*: the report carries the fault rather
+/// than the process crashing.
+#[test]
+fn a_fragile_program_fails_detectably_under_chaos() {
+    let fragile = || {
+        Program::new("fragile", |ctx| {
+            // Enough descriptor-producing calls that the heavy fd-pressure
+            // schedule (150 per mille) is guaranteed to hit one.
+            for i in 0..64 {
+                let fd = ctx
+                    .open_create(&format!("out-{i}.log"))
+                    .expect("fragile code assumes descriptors never run out");
+                ctx.close(fd);
+            }
+            Step::Done
+        })
+    };
+    let chaotic = Runtime::new(chaos_config()).unwrap();
+    let report = chaotic.run(fragile()).unwrap();
+    assert!(
+        !report.outcome.is_success(),
+        "the fragile program must detectably fail under fd pressure"
+    );
+    assert!(!report.faults.is_empty());
+
+    // The same program is clean without a plan: the failure is chaos's.
+    let calm = Runtime::new(chaos_builder().build().unwrap()).unwrap();
+    assert!(calm.run(fragile()).unwrap().outcome.is_success());
+}
+
+// ---------------------------------------------------------------------------
+// The checked-in chaotic fixture: a durable trace of a chaos run, part of
+// the published corpus.
+// ---------------------------------------------------------------------------
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/chaos_workload.json")
+}
+
+/// Records the fixture's run: `kv-pool` at the small size under the heavy
+/// [`SPICY_SEED`] plan.
+fn record_fixture_run(path: &Path) -> ireplayer::RunReport {
+    let workload = kv_pool();
+    let runtime = Runtime::new(
+        chaos_builder()
+            .chaos(heavy_plan())
+            .record_to(path)
+            .trace_format(TraceFormat::Binary)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    workload.stage(&runtime, &spec());
+    let report = runtime.run(workload.program(&spec())).unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    report
+}
+
+/// The checked-in fixture (`tests/fixtures/chaos_workload.json`, produced
+/// by [`Trace::emit_test`] via `regenerate_chaos_fixture` below) opens and
+/// replays green, pinning the chaotic on-disk format across refactors.
+#[test]
+fn checked_in_chaos_fixture_replays_green() {
+    let trace = Trace::open(fixture_path()).unwrap();
+    assert_eq!(trace.format(), TraceFormat::Json);
+    assert_eq!(trace.version(), 2);
+    assert_eq!(trace.program(), "kv-pool");
+    assert_eq!(trace.chaos_digest(), heavy_plan().digest());
+    assert!(trace.completed());
+
+    let fresh = Runtime::new(chaos_config()).unwrap();
+    let replayed = fresh.replay_trace_strict(kv_pool().program(&spec()), &trace).unwrap();
+    assert_eq!(Some(replayed.fingerprint()), trace.fingerprint());
+}
+
+/// Maintenance helper: scans seeds for one whose heavy plan fires every
+/// class within the small kv-pool run.  Re-run manually (`-- --ignored
+/// --nocapture`) if a profile or workload change invalidates
+/// [`SPICY_SEED`], and update the constant with what it prints.
+#[test]
+#[ignore = "seed scan for SPICY_SEED maintenance"]
+fn scan_for_a_spicy_seed() {
+    let workload = kv_pool();
+    'seeds: for seed in 0..256u64 {
+        let plan = ChaosPlan::compile(seed, ChaosProfile::heavy());
+        let runtime = Runtime::new(chaos_builder().chaos(plan).build().unwrap()).unwrap();
+        workload.stage(&runtime, &spec());
+        let report = runtime.run(workload.program(&spec())).unwrap();
+        if !report.outcome.is_success() {
+            continue;
+        }
+        let diag = runtime.diagnostics();
+        for class in FaultClass::ALL {
+            if diag.faults_injected[class.code() as usize] == 0 {
+                continue 'seeds;
+            }
+        }
+        println!("seed {seed:#x} fires every class: {:?}", diag.faults_injected);
+        return;
+    }
+    panic!("no seed in range fires every class");
+}
+
+/// Regenerates the checked-in fixture; run manually after an intentional
+/// format change: `cargo test -p ireplayer-tests --test chaos
+/// regenerate_chaos_fixture -- --ignored`.
+#[test]
+#[ignore = "regenerates tests/fixtures/chaos_workload.json in place"]
+fn regenerate_chaos_fixture() {
+    let path = scratch("regenerate");
+    record_fixture_run(&path);
+    let trace = Trace::open(&path).unwrap();
+    trace.emit_test(fixture_path()).unwrap();
+    let _ = std::fs::remove_file(&path);
+}

@@ -273,6 +273,121 @@ fn tenant_program(workers: u64, increments: u64) -> Program {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Chaos-plane properties: for random (seed, profile, partition-count)
+// tuples, a chaotic run is byte-identical across record, forced in-situ
+// replay, and out-of-process trace replay -- and the detection tools keep
+// working with a plan installed.
+// ---------------------------------------------------------------------------
+
+use ireplayer::{ChaosPlan, ChaosProfile, Trace};
+use ireplayer_detect::OverflowDetector;
+use ireplayer_workloads::{workload_by_name, WorkloadSpec};
+
+fn chaos_profile(pick: u8) -> ChaosProfile {
+    match pick % 3 {
+        0 => ChaosProfile::quiet(),
+        1 => ChaosProfile::light(),
+        _ => ChaosProfile::heavy(),
+    }
+}
+
+fn chaos_builder(partitions: usize, plan: ChaosPlan) -> ireplayer::ConfigBuilder {
+    Config::builder()
+        .partitions(partitions)
+        .arena_size(8 << 20)
+        .heap_block_size(128 << 10)
+        .quiescence_timeout_ms(20_000)
+        .chaos(plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Record -> forced-replay -> trace-replay identity of a chaotic run,
+    /// over random plans and partition counts.  The subject is the
+    /// work-stealing server: it handles every fault class fallibly, so any
+    /// plan is survivable.
+    #[test]
+    fn chaos_runs_are_identical_across_record_forced_replay_and_trace_replay(
+        seed in 0u64..(1 << 16),
+        profile_pick in 0u8..3,
+        partitions in 1usize..3,
+    ) {
+        let plan = ChaosPlan::compile(seed, chaos_profile(profile_pick));
+        let path = std::env::temp_dir().join(format!(
+            "ireplayer-chaos-prop-{seed}-{profile_pick}-{partitions}-{}.trace",
+            std::process::id()
+        ));
+        let workload = workload_by_name("job-steal").expect("chaos-suite workload");
+        let spec = WorkloadSpec::tiny();
+
+        // Record on a single partition (a durable sink requires one), with
+        // a forced in-situ replay at every epoch end.
+        let runtime = Runtime::new(chaos_builder(1, plan.clone()).record_to(&path).build().unwrap()).unwrap();
+        runtime.add_hook(Arc::new(ReplayEveryEpoch));
+        let recorded = runtime.run(workload.program(&spec)).unwrap();
+        prop_assert!(recorded.outcome.is_success(), "faults: {:?}", recorded.faults);
+        prop_assert!(!recorded.replay_validations.is_empty(), "the hook must force replays");
+        prop_assert!(recorded.replays_identical(), "forced in-situ replay diverged under chaos");
+        drop(runtime);
+
+        // The partition count is a deployment knob outside the config
+        // fingerprint, so the trace replays on a runtime of any width --
+        // and concurrent tenants on that same runtime, each under an
+        // isolated copy of the plan, reproduce the solo fingerprint too.
+        let trace = Trace::open(&path).unwrap();
+        prop_assert_eq!(trace.chaos_digest(), plan.digest());
+        let fresh = Runtime::new(chaos_builder(partitions, plan).build().unwrap()).unwrap();
+        // Hooks are part of the workload: the recording ran under forced
+        // replays, so every reproducing run installs the same hook.
+        fresh.add_hook(Arc::new(ReplayEveryEpoch));
+        let sessions: Vec<_> = (0..partitions)
+            .map(|_| fresh.launch(workload.program(&spec)).unwrap())
+            .collect();
+        for session in sessions {
+            let concurrent = session.wait().unwrap();
+            prop_assert!(concurrent.outcome.is_success(), "faults: {:?}", concurrent.faults);
+            prop_assert_eq!(
+                concurrent.fingerprint(),
+                recorded.fingerprint(),
+                "a concurrent chaotic tenant diverged from the recorded solo run"
+            );
+        }
+        let replayed = fresh.replay_trace(workload.program(&spec), &trace).unwrap();
+        prop_assert_eq!(replayed.fingerprint(), recorded.fingerprint());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Detection keeps working under chaos: the implanted heap overflow in
+    /// the work-stealing server is caught by the canary detector no matter
+    /// which plan is installed.
+    #[test]
+    fn detectors_still_fire_on_buggy_workloads_under_chaos(
+        seed in 0u64..(1 << 16),
+        profile_pick in 0u8..3,
+    ) {
+        let plan = ChaosPlan::compile(seed, chaos_profile(profile_pick));
+        let config = ireplayer_detect::detection_config()
+            .arena_size(16 << 20)
+            .heap_block_size(256 << 10)
+            .quiescence_timeout_ms(20_000)
+            .chaos(plan)
+            .build()
+            .unwrap();
+        let runtime = Runtime::new(config).unwrap();
+        let overflow = OverflowDetector::new();
+        runtime.add_hook(overflow.clone());
+        let workload = workload_by_name("job-steal").expect("chaos-suite workload");
+        let spec = WorkloadSpec::tiny().with_overflow();
+        workload.stage(&runtime, &spec);
+        let report = runtime.run(workload.program(&spec)).unwrap();
+        prop_assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+        let bugs = overflow.reports();
+        prop_assert!(!bugs.is_empty(), "the implanted overflow must be detected under chaos");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -644,6 +644,68 @@ fn bounded_step_violations_surface_as_quiescence_timeout_and_the_runtime_recover
 }
 
 #[test]
+fn injected_faults_are_delivered_live_through_the_fault_filter() {
+    // A chaotic runtime: the heavy plan's short-read schedule is dense
+    // enough (400 per mille) that a 64-chunk read loop is guaranteed to
+    // take several injections.
+    let config = Config::builder()
+        .arena_size(8 << 20)
+        .heap_block_size(256 << 10)
+        .chaos(ireplayer::ChaosPlan::compile(7, ireplayer::ChaosProfile::heavy()))
+        .build()
+        .unwrap();
+    let runtime = Runtime::new(config).unwrap();
+    let faults = runtime.subscribe(EventFilter::none().faults());
+    let unrelated = runtime.subscribe(EventFilter::none().epochs());
+    runtime.os().create_file("bulk.bin", vec![0x5a; 64 * 64]);
+    let report = runtime
+        .run(Program::new("chunk-reader", |ctx| {
+            let fd = ctx.open("bulk.bin").expect("staged file");
+            let mut total = 0usize;
+            loop {
+                let chunk = ctx.read(fd, 64);
+                if chunk.is_empty() {
+                    break;
+                }
+                total += chunk.len();
+            }
+            ctx.close(fd);
+            ctx.assert_that(total == 64 * 64, "short reads only defer bytes, never drop them");
+            Step::Done
+        }))
+        .unwrap();
+    assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+
+    // Delivery: every injection arrives as a typed event whose class and
+    // count match the diagnostics counters, and a filter without the fault
+    // class sees none of them.
+    let delivered = faults.drain();
+    let injected: Vec<_> = delivered
+        .iter()
+        .filter_map(|e| match e {
+            SessionEvent::FaultInjected { class, site, epoch } => Some((*class, *site, *epoch)),
+            _ => None,
+        })
+        .collect();
+    assert!(!injected.is_empty(), "the chaotic read loop must announce injections");
+    let short_reads = runtime.diagnostics().faults_injected[ireplayer::FaultClass::ShortRead.code() as usize];
+    assert_eq!(injected.len() as u64, short_reads, "one event per injected fault");
+    assert!(
+        injected
+            .iter()
+            .all(|(class, _, _)| *class == ireplayer::FaultClass::ShortRead),
+        "only the short-read schedule is exercised: {injected:?}"
+    );
+    assert!(
+        unrelated
+            .drain()
+            .iter()
+            .all(|e| !matches!(e, SessionEvent::FaultInjected { .. })),
+        "an epochs-only filter must not deliver fault events"
+    );
+}
+
+#[test]
 fn event_streams_survive_across_launches_on_the_same_runtime() {
     let runtime = Runtime::new(small_config()).unwrap();
     let events = runtime.subscribe(EventFilter::none().lifecycle());

@@ -297,7 +297,7 @@ fn malformed_trace_files_surface_typed_errors() {
     let json_path = scratch("malformed-json");
     _trace.save(&json_path, TraceFormat::Json).unwrap();
     let text = std::fs::read_to_string(&json_path).unwrap();
-    let stamped = text.replacen("\"version\": 1", "\"version\": 999", 1);
+    let stamped = text.replacen("\"version\": 2", "\"version\": 999", 1);
     assert_ne!(stamped, text, "the version field must be present to stamp");
     std::fs::write(&broken, stamped).unwrap();
     let error = Trace::open(&broken).unwrap_err();
@@ -397,7 +397,7 @@ fn fixture_path() -> PathBuf {
 fn checked_in_fixture_replays_green() {
     let trace = Trace::open(fixture_path()).unwrap();
     assert_eq!(trace.format(), TraceFormat::Json);
-    assert_eq!(trace.version(), 1);
+    assert_eq!(trace.version(), 2);
     assert_eq!(trace.program(), "durable-workload");
     assert!(trace.completed());
 

@@ -7,11 +7,74 @@
 //! -- backed by a simple wall-clock timer that prints one line per
 //! benchmark.  Statistical analysis, plotting, and CLI filtering are out of
 //! scope; swap in the real `criterion` once the registry is reachable.
+//!
+//! Beyond the upstream API, every completed benchmark is also collected in
+//! a process-wide registry, and [`write_summary_json`] renders the
+//! collected results as a machine-readable JSON file -- the workspace's
+//! benches use it to emit `BENCH_<name>.json` summaries that CI uploads as
+//! artifacts.
 
 use std::fmt::Display;
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One completed benchmark: its full name (`group/function/parameter`),
+/// the timed iteration count, and the mean wall-clock time per iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Full benchmark name.
+    pub name: String,
+    /// Timed iterations behind the mean.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub per_iter_ns: u128,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Every benchmark completed so far in this process, in execution order.
+pub fn results() -> Vec<BenchResult> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Writes the collected results as a machine-readable JSON summary:
+/// `{"bench": <label>, "results": [{"name", "iters", "per_iter_ns"}, ...]}`.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system error.
+pub fn write_summary_json(path: impl AsRef<Path>, label: &str) -> std::io::Result<()> {
+    let results = RESULTS.lock().unwrap();
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"bench\": \"{}\",\n", escape_json(label)));
+    body.push_str("  \"results\": [\n");
+    for (index, result) in results.iter().enumerate() {
+        let comma = if index + 1 < results.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"per_iter_ns\": {}}}{comma}\n",
+            escape_json(&result.name),
+            result.iters,
+            result.per_iter_ns
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
+}
+
+fn escape_json(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            control if control < ' ' => format!("\\u{:04x}", control as u32).chars().collect(),
+            other => vec![other],
+        })
+        .collect()
+}
 
 /// Entry point handed to every benchmark function.
 #[derive(Default)]
@@ -143,6 +206,11 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
     f(&mut bencher);
     let per_iter = bencher.elapsed.checked_div(iters as u32).unwrap_or_default();
     println!("{name:<60} time: [{per_iter:?}/iter over {iters} iters]");
+    RESULTS.lock().unwrap().push(BenchResult {
+        name: name.to_string(),
+        iters,
+        per_iter_ns: per_iter.as_nanos(),
+    });
 }
 
 /// Declares a group of benchmark functions, mirroring criterion's macro.
