@@ -11,8 +11,8 @@
 //! every fourth event orders on one variable shared by all threads (the
 //! contended case that used to convoy on the variable's mutex).
 //!
-//! Besides the criterion timings, the bench *verifies* three properties and
-//! panics if they regress:
+//! Besides the criterion timings, the bench *verifies* several properties
+//! and panics if they regress:
 //!
 //! * the uncontended lock-free record path performs **zero** mutex
 //!   acquisitions (counted by the vendored parking_lot's
@@ -27,14 +27,18 @@
 //!   sustains its full record load with zero mutex acquisitions -- there
 //!   is no cross-partition lock to take -- and zero cross-partition arena
 //!   writes (each partition's bytes hold exactly its own pattern
-//!   afterwards, and wiping one partition leaves the neighbour intact).
+//!   afterwards, and wiping one partition leaves the neighbour intact);
+//! * one recorded epoch serializes at least **4x smaller** under the
+//!   delta/varint compressed framing than under the fixed-width packed
+//!   words it replaced, with the byte counts published as
+//!   `log_bytes_per_epoch/*` metrics in the JSON summary.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ireplayer_log::{Event, EventKind, SyncOp, ThreadId, ThreadList, VarId, VarList};
+use ireplayer_log::{wire, Event, EventKind, SyncOp, ThreadId, ThreadList, VarId, VarList};
 use parking_lot::Mutex;
 
 /// Events appended per thread per measured round.  Large enough that the
@@ -363,6 +367,63 @@ fn verify_partition_arena_isolation(_c: &mut Criterion) {
     println!("record_path/partition-isolation: zero cross-partition writes across concurrent load");
 }
 
+/// One recorded epoch serializes at least **4x smaller** under the
+/// delta/varint order-log compression (trace format version 3) than under
+/// the fixed-width packed-word framing it replaced (version 2), measured on
+/// the same workload shape the throughput benches record: 8 threads,
+/// [`EVENTS_PER_THREAD`] events each, every [`CONTENDED_STRIDE`]-th event
+/// on the shared variable.  Both byte counts and the ratio are published as
+/// `log_bytes_per_epoch/*` metrics in the JSON summary so CI's bench-smoke
+/// job can fail on a regression.
+fn verify_log_compression(_c: &mut Criterion) {
+    let threads = 8;
+    let lists = LockFreeLists::new(threads);
+    for t in 0..threads {
+        for i in 0..EVENTS_PER_THREAD {
+            lists.record(t, i);
+        }
+    }
+
+    // The version-2 framing: per list, a u32 count followed by fixed-width
+    // packed words per entry (exactly what `put_epoch` wrote before the
+    // compressed framing landed).
+    let mut packed = 0usize;
+    let mut compressed = 0usize;
+    for list in &lists.threads {
+        let mut legacy = Vec::new();
+        let events = list.snapshot();
+        wire::put_u32(&mut legacy, events.len() as u32);
+        for event in &events {
+            wire::put_event(&mut legacy, event).expect("bench events fit the wire format");
+        }
+        packed += legacy.len();
+        compressed += list.compressed_log().len();
+    }
+    for var in &lists.vars {
+        let mut legacy = Vec::new();
+        let entries = var.entries();
+        wire::put_u32(&mut legacy, entries.len() as u32);
+        for entry in &entries {
+            wire::put_var_entry(&mut legacy, entry);
+        }
+        packed += legacy.len();
+        compressed += var.compressed_entries().len();
+    }
+
+    let ratio = packed as f64 / compressed as f64;
+    println!(
+        "record_path/log-compression: {packed} packed bytes -> {compressed} compressed bytes \
+         per epoch ({ratio:.2}x) across {threads} threads x {EVENTS_PER_THREAD} events"
+    );
+    criterion::record_metric("log_bytes_per_epoch/packed", packed as f64);
+    criterion::record_metric("log_bytes_per_epoch/compressed", compressed as f64);
+    criterion::record_metric("log_bytes_per_epoch/ratio", ratio);
+    assert!(
+        ratio >= 4.0,
+        "compressed epoch logs must be >= 4x smaller than the packed framing, measured {ratio:.2}x"
+    );
+}
+
 /// Supervisor wake-ups (`world_version` pokes) are batched at step and
 /// epoch boundaries.  A thread recording past its list capacity used to
 /// re-request the epoch end -- an epoch-mutex acquisition plus a world poke
@@ -429,6 +490,7 @@ criterion_group!(
     verify_speedup,
     verify_partitioned_fast_path,
     verify_partition_arena_isolation,
+    verify_log_compression,
     verify_poke_batching
 );
 

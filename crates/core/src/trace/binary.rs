@@ -22,39 +22,72 @@
 //!     number        u64
 //!     end_heap_hash u64
 //!     threads  u32 count, then per thread: id u32, name string,
-//!              event u32 count, events (ireplayer_log::wire::put_event)
+//!              order log (see below)
 //!     vars     u32 count, then per var: id u32, kind u8, parties u32,
-//!              entry u32 count, entries (wire::put_var_entry)
+//!              order log (see below)
 //!   summary  u8 present flag, then if present: fingerprint u64,
 //!            epochs u64, threads u32, final_heap_hash u64, completed u8
 //! ```
+//!
+//! The order-log encoding is what the version selects:
+//!
+//! * **version 3** (current): one self-delimiting delta/varint block per
+//!   log ([`ireplayer_log::compress`]) -- an internal event/entry count
+//!   followed by run frames, so an uncontended epoch costs a few bytes per
+//!   run instead of ~22 bytes per event.
+//! * **version 2** (still decoded, and re-encoded byte-identically for
+//!   traces opened at that version): a u32 count followed by fixed-width
+//!   events ([`ireplayer_log::wire::put_event`]) or entries
+//!   (`wire::put_var_entry`).
 //!
 //! The checksum makes bit corruption anywhere in the payload a typed
 //! [`ErrorKind::TraceIo`](crate::ErrorKind) failure instead of a silently
 //! different replay.
 
-use ireplayer_log::wire::{self, Reader, WireError};
+use ireplayer_log::{
+    compress,
+    wire::{self, Reader, WireError},
+};
 use ireplayer_sys::{OsInputs, PeerScript};
 
 use crate::error::Error;
 use crate::fingerprint::{fnv1a, Fingerprint};
-use crate::trace::{TraceData, TraceEpoch, TraceSummary, TraceThreadLog, TraceVarLog, MAGIC, VERSION};
+use crate::trace::{TraceData, TraceEpoch, TraceSummary, TraceThreadLog, TraceVarLog, MAGIC, OLDEST_VERSION, VERSION};
 
 const SCRIPT_DOWNLOAD: u8 = 0;
 const SCRIPT_ECHO: u8 = 1;
 const SCRIPT_CLIENT: u8 = 2;
 
-/// Serializes `data` into the binary trace format.
-pub(crate) fn encode(data: &TraceData) -> Vec<u8> {
+/// Serializes `data` into the binary trace format, honoring the version it
+/// was opened at (a version-2 trace re-encodes with the legacy fixed-width
+/// order logs, byte-identically).
+///
+/// # Errors
+///
+/// [`ErrorKind::TraceIo`](crate::ErrorKind) if a string, payload, or count
+/// exceeds the format's `u32` framing -- refused instead of silently
+/// truncated.
+pub(crate) fn encode(data: &TraceData) -> Result<Vec<u8>, Error> {
+    let payload = encode_payload(data)
+        .map_err(|error| Error::trace_io("encode", format!("trace of {:?}", data.program), error))?;
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(&MAGIC);
+    wire::put_u32(&mut out, data.version);
+    wire::put_u64(&mut out, fnv1a(&payload));
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+fn encode_payload(data: &TraceData) -> Result<Vec<u8>, WireError> {
     let mut payload = Vec::new();
-    wire::put_string(&mut payload, &data.program);
+    wire::put_string(&mut payload, &data.program)?;
     wire::put_u64(&mut payload, data.config_fingerprint.as_u64());
     wire::put_u64(&mut payload, data.seed);
     wire::put_u64(&mut payload, data.chaos_digest);
-    put_inputs(&mut payload, &data.inputs);
-    wire::put_u32(&mut payload, data.epochs.len() as u32);
+    put_inputs(&mut payload, &data.inputs)?;
+    wire::put_u32(&mut payload, wire::length_u32(data.epochs.len(), "epoch count")?);
     for epoch in &data.epochs {
-        put_epoch(&mut payload, epoch);
+        put_epoch(&mut payload, epoch, data.version)?;
     }
     match &data.summary {
         None => payload.push(0),
@@ -67,24 +100,18 @@ pub(crate) fn encode(data: &TraceData) -> Vec<u8> {
             payload.push(u8::from(summary.completed));
         }
     }
-
-    let mut out = Vec::with_capacity(payload.len() + 16);
-    out.extend_from_slice(&MAGIC);
-    wire::put_u32(&mut out, data.version);
-    wire::put_u64(&mut out, fnv1a(&payload));
-    out.extend_from_slice(&payload);
-    out
+    Ok(payload)
 }
 
-fn put_inputs(buf: &mut Vec<u8>, inputs: &OsInputs) {
-    wire::put_u32(buf, inputs.files.len() as u32);
+fn put_inputs(buf: &mut Vec<u8>, inputs: &OsInputs) -> Result<(), WireError> {
+    wire::put_u32(buf, wire::length_u32(inputs.files.len(), "file count")?);
     for (name, contents) in &inputs.files {
-        wire::put_string(buf, name);
-        wire::put_blob(buf, contents);
+        wire::put_string(buf, name)?;
+        wire::put_blob(buf, contents)?;
     }
-    wire::put_u32(buf, inputs.peers.len() as u32);
+    wire::put_u32(buf, wire::length_u32(inputs.peers.len(), "peer count")?);
     for (address, script) in &inputs.peers {
-        wire::put_string(buf, address);
+        wire::put_string(buf, address)?;
         match script {
             PeerScript::Download { seed, total_bytes } => {
                 buf.push(SCRIPT_DOWNLOAD);
@@ -107,36 +134,46 @@ fn put_inputs(buf: &mut Vec<u8>, inputs: &OsInputs) {
             }
         }
     }
-    wire::put_u32(buf, inputs.backlog.len() as u32);
+    wire::put_u32(buf, wire::length_u32(inputs.backlog.len(), "backlog count")?);
     for (address, clients) in &inputs.backlog {
-        wire::put_string(buf, address);
+        wire::put_string(buf, address)?;
         wire::put_u64(buf, *clients as u64);
     }
     wire::put_u64(buf, inputs.fd_limit as u64);
+    Ok(())
 }
 
-fn put_epoch(buf: &mut Vec<u8>, epoch: &TraceEpoch) {
+fn put_epoch(buf: &mut Vec<u8>, epoch: &TraceEpoch, version: u32) -> Result<(), WireError> {
     wire::put_u64(buf, epoch.number);
     wire::put_u64(buf, epoch.end_heap_hash);
-    wire::put_u32(buf, epoch.threads.len() as u32);
+    wire::put_u32(buf, wire::length_u32(epoch.threads.len(), "thread log count")?);
     for thread in &epoch.threads {
         wire::put_u32(buf, thread.thread);
-        wire::put_string(buf, &thread.name);
-        wire::put_u32(buf, thread.events.len() as u32);
-        for event in &thread.events {
-            wire::put_event(buf, event);
+        wire::put_string(buf, &thread.name)?;
+        if version >= VERSION {
+            buf.extend_from_slice(&compress::compress_events(&thread.events));
+        } else {
+            wire::put_u32(buf, wire::length_u32(thread.events.len(), "event count")?);
+            for event in &thread.events {
+                wire::put_event(buf, event)?;
+            }
         }
     }
-    wire::put_u32(buf, epoch.vars.len() as u32);
+    wire::put_u32(buf, wire::length_u32(epoch.vars.len(), "var log count")?);
     for var in &epoch.vars {
         wire::put_u32(buf, var.var);
         buf.push(var.kind);
         wire::put_u32(buf, var.parties);
-        wire::put_u32(buf, var.entries.len() as u32);
-        for entry in &var.entries {
-            wire::put_var_entry(buf, entry);
+        if version >= VERSION {
+            buf.extend_from_slice(&compress::compress_var_entries(&var.entries));
+        } else {
+            wire::put_u32(buf, wire::length_u32(var.entries.len(), "var entry count")?);
+            for entry in &var.entries {
+                wire::put_var_entry(buf, entry);
+            }
         }
     }
+    Ok(())
 }
 
 /// Decodes a binary trace file; `origin` names the source in errors.
@@ -152,7 +189,7 @@ pub(crate) fn decode(bytes: &[u8], origin: &str) -> Result<TraceData, Error> {
     let magic = reader.bytes(4, "trace magic").map_err(corrupt)?;
     debug_assert_eq!(magic, MAGIC, "caller dispatches on the magic");
     let version = reader.u32("trace version").map_err(corrupt)?;
-    if version != VERSION {
+    if !(OLDEST_VERSION..=VERSION).contains(&version) {
         return Err(Error::trace_version(
             format!("binary version {version} in {origin}"),
             VERSION,
@@ -178,7 +215,7 @@ pub(crate) fn decode(bytes: &[u8], origin: &str) -> Result<TraceData, Error> {
     let epoch_count = reader.u32("epoch count").map_err(corrupt)?;
     let mut epochs = Vec::new();
     for _ in 0..epoch_count {
-        epochs.push(read_epoch(&mut reader).map_err(corrupt)?);
+        epochs.push(read_epoch(&mut reader, version).map_err(corrupt)?);
     }
 
     let summary = match reader.u8("summary flag").map_err(corrupt)? {
@@ -253,17 +290,22 @@ fn read_inputs(reader: &mut Reader<'_>) -> Result<OsInputs, WireError> {
     Ok(inputs)
 }
 
-fn read_epoch(reader: &mut Reader<'_>) -> Result<TraceEpoch, WireError> {
+fn read_epoch(reader: &mut Reader<'_>, version: u32) -> Result<TraceEpoch, WireError> {
     let number = reader.u64("epoch number")?;
     let end_heap_hash = reader.u64("epoch heap hash")?;
     let mut threads = Vec::new();
     for _ in 0..reader.u32("thread log count")? {
         let thread = reader.u32("thread id")?;
         let name = reader.string("thread name")?;
-        let mut events = Vec::new();
-        for _ in 0..reader.u32("event count")? {
-            events.push(wire::read_event(reader)?);
-        }
+        let events = if version >= VERSION {
+            compress::decompress_events(reader)?
+        } else {
+            let mut events = Vec::new();
+            for _ in 0..reader.u32("event count")? {
+                events.push(wire::read_event(reader)?);
+            }
+            events
+        };
         threads.push(TraceThreadLog { thread, name, events });
     }
     let mut vars = Vec::new();
@@ -271,10 +313,15 @@ fn read_epoch(reader: &mut Reader<'_>) -> Result<TraceEpoch, WireError> {
         let var = reader.u32("var id")?;
         let kind = reader.u8("var kind")?;
         let parties = reader.u32("barrier parties")?;
-        let mut entries = Vec::new();
-        for _ in 0..reader.u32("var entry count")? {
-            entries.push(wire::read_var_entry(reader)?);
-        }
+        let entries = if version >= VERSION {
+            compress::decompress_var_entries(reader)?
+        } else {
+            let mut entries = Vec::new();
+            for _ in 0..reader.u32("var entry count")? {
+                entries.push(wire::read_var_entry(reader)?);
+            }
+            entries
+        };
         vars.push(TraceVarLog {
             var,
             kind,
@@ -298,21 +345,25 @@ mod tests {
 
     #[test]
     fn truncation_anywhere_is_a_typed_error() {
-        let bytes = encode(&sample_data());
-        for cut in 0..bytes.len() {
-            if bytes[..cut].starts_with(&MAGIC) {
-                let error = decode(&bytes[..cut], "test").unwrap_err();
-                assert!(
-                    matches!(error.kind(), ErrorKind::TraceIo | ErrorKind::TraceVersion),
-                    "cut at {cut}: {error}"
-                );
+        for version in [OLDEST_VERSION, VERSION] {
+            let mut data = sample_data();
+            data.version = version;
+            let bytes = encode(&data).unwrap();
+            for cut in 0..bytes.len() {
+                if bytes[..cut].starts_with(&MAGIC) {
+                    let error = decode(&bytes[..cut], "test").unwrap_err();
+                    assert!(
+                        matches!(error.kind(), ErrorKind::TraceIo | ErrorKind::TraceVersion),
+                        "v{version} cut at {cut}: {error}"
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn bit_corruption_fails_the_checksum() {
-        let mut bytes = encode(&sample_data());
+        let mut bytes = encode(&sample_data()).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         let error = decode(&bytes, "test").unwrap_err();
@@ -322,18 +373,71 @@ mod tests {
 
     #[test]
     fn foreign_versions_are_refused() {
-        let mut bytes = encode(&sample_data());
+        let mut bytes = encode(&sample_data()).unwrap();
         bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
         let error = decode(&bytes, "test").unwrap_err();
         assert_eq!(error.kind(), ErrorKind::TraceVersion);
         assert!(error.to_string().contains("version 99"), "{error}");
+
+        // Versions before the compatibility floor are foreign too.
+        let mut bytes = encode(&sample_data()).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let error = decode(&bytes, "test").unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceVersion);
+    }
+
+    #[test]
+    fn version_2_traces_still_decode_and_reencode_byte_identically() {
+        let mut data = sample_data();
+        data.version = OLDEST_VERSION;
+        let legacy = encode(&data).unwrap();
+        let reopened = decode(&legacy, "test").unwrap();
+        assert_eq!(reopened, data);
+        // A trace opened at version 2 stays version 2 on re-encode, so
+        // binary -> decode -> binary is the identity.
+        assert_eq!(encode(&reopened).unwrap(), legacy);
+    }
+
+    #[test]
+    fn compressed_epochs_shrink_the_file_and_decode_identically() {
+        use ireplayer_log::{Event, EventKind, SyncOp, ThreadId, VarEntry, VarId};
+        let mut data = sample_data();
+        data.epochs[0].threads[0].events = (0..10_000)
+            .map(|i| Event {
+                thread: ThreadId(0),
+                index: i,
+                kind: EventKind::Sync {
+                    var: VarId(if i % 4 == 0 { 0 } else { 3 }),
+                    op: SyncOp::MutexLock,
+                    result: 0,
+                },
+            })
+            .collect();
+        data.epochs[0].vars[0].entries = (0..10_000)
+            .map(|i| VarEntry {
+                thread: ThreadId(0),
+                op: SyncOp::MutexLock,
+                thread_index: i,
+            })
+            .collect();
+        let compressed = encode(&data).unwrap();
+        let mut legacy = data.clone();
+        legacy.version = OLDEST_VERSION;
+        let legacy_bytes = encode(&legacy).unwrap();
+        assert!(
+            legacy_bytes.len() >= compressed.len() * 4,
+            "legacy {} vs compressed {}",
+            legacy_bytes.len(),
+            compressed.len()
+        );
+        assert_eq!(decode(&compressed, "test").unwrap(), data);
     }
 
     #[test]
     fn trailing_garbage_is_rejected() {
         let mut data = sample_data();
         data.summary = None;
-        let mut bytes = encode(&data);
+        let mut bytes = encode(&data).unwrap();
         bytes.push(0);
         // Re-stamp the checksum so only the framing is at fault.
         let checksum = fnv1a(&bytes[16..]);

@@ -195,7 +195,7 @@ impl TraceRecorder {
             return Ok(());
         };
         let bytes = match self.format {
-            TraceFormat::Binary => binary::encode(data),
+            TraceFormat::Binary => binary::encode(data)?,
             TraceFormat::Json => json::encode(data),
         };
         write_atomically(&self.path, &bytes)

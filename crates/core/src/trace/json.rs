@@ -20,7 +20,7 @@ use ireplayer_sys::{OsInputs, PeerScript};
 
 use crate::error::Error;
 use crate::fingerprint::Fingerprint;
-use crate::trace::{TraceData, TraceEpoch, TraceSummary, TraceThreadLog, TraceVarLog, VERSION};
+use crate::trace::{TraceData, TraceEpoch, TraceSummary, TraceThreadLog, TraceVarLog, OLDEST_VERSION, VERSION};
 
 /// The `format` marker naming trace JSON documents.
 const FORMAT_MARKER: &str = "ireplayer-trace";
@@ -669,7 +669,10 @@ pub(crate) fn decode(bytes: &[u8], origin: &str) -> Result<TraceData, Error> {
         .field("version")
         .and_then(|v| v.as_u32("version"))
         .map_err(corrupt)?;
-    if version != VERSION {
+    // The JSON schema is identical across the supported versions (only the
+    // binary order-log framing changed in version 3), so decoding just
+    // records the stamp; re-encoding to binary uses the version's framing.
+    if !(OLDEST_VERSION..=VERSION).contains(&version) {
         return Err(Error::trace_version(
             format!("JSON version {version} in {origin}"),
             VERSION,
@@ -906,6 +909,21 @@ mod tests {
         let error = decode(b"{\"format\": \"ireplayer-trace\", \"version\": 99}", "test").unwrap_err();
         assert_eq!(error.kind(), ErrorKind::TraceVersion);
         assert!(error.to_string().contains("version 99"), "{error}");
+
+        let error = decode(b"{\"format\": \"ireplayer-trace\", \"version\": 1}", "test").unwrap_err();
+        assert_eq!(error.kind(), ErrorKind::TraceVersion);
+    }
+
+    #[test]
+    fn supported_versions_share_one_schema() {
+        // The same document decodes at both supported version stamps; only
+        // the recorded version differs.
+        for version in [OLDEST_VERSION, VERSION] {
+            let mut data = sample_data();
+            data.version = version;
+            let decoded = decode(&encode(&data), "test").unwrap();
+            assert_eq!(decoded, data);
+        }
     }
 
     #[test]

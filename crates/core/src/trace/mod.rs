@@ -48,9 +48,15 @@ use crate::fingerprint::Fingerprint;
 
 /// Magic bytes opening every binary trace file.
 pub(crate) const MAGIC: [u8; 4] = *b"IRTR";
-/// The trace format version this build reads and writes.  Version 2 added
-/// the chaos-plan digest to the header.
-pub(crate) const VERSION: u32 = 2;
+/// The trace format version this build writes.  Version 2 added the
+/// chaos-plan digest to the header; version 3 replaced the fixed-width
+/// per-event order logs with delta/varint-compressed run blocks
+/// ([`ireplayer_log::compress`]).
+pub(crate) const VERSION: u32 = 3;
+/// The oldest version this build still decodes.  A trace opened at an older
+/// version keeps it: re-encoding uses the version's own framing, so
+/// format conversion never silently upgrades a file.
+pub(crate) const OLDEST_VERSION: u32 = 2;
 
 /// On-disk encoding of a durable trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -255,10 +261,15 @@ impl Trace {
     }
 
     /// Serializes the trace in the given format.
-    pub(crate) fn to_bytes(&self, format: TraceFormat) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::TraceIo`](crate::ErrorKind) if a log exceeds the binary
+    /// format's `u32` framing (refused instead of silently truncated).
+    pub(crate) fn to_bytes(&self, format: TraceFormat) -> Result<Vec<u8>, Error> {
         match format {
             TraceFormat::Binary => binary::encode(&self.data),
-            TraceFormat::Json => json::encode(&self.data),
+            TraceFormat::Json => Ok(json::encode(&self.data)),
         }
     }
 
@@ -272,7 +283,7 @@ impl Trace {
     /// [`ErrorKind::TraceIo`](crate::ErrorKind) if the file cannot be
     /// written.
     pub fn save(&self, path: impl AsRef<Path>, format: TraceFormat) -> Result<(), Error> {
-        write_atomically(path.as_ref(), &self.to_bytes(format))
+        write_atomically(path.as_ref(), &self.to_bytes(format)?)
     }
 
     /// Promotes this trace into a regression fixture: writes the JSON form
@@ -441,15 +452,29 @@ mod tests {
         let data = sample_data();
         let trace = Trace::from_data(data.clone(), TraceFormat::Binary);
 
-        let binary = trace.to_bytes(TraceFormat::Binary);
+        let binary = trace.to_bytes(TraceFormat::Binary).unwrap();
         let reopened = Trace::from_bytes(&binary, "test").unwrap();
         assert_eq!(reopened.format(), TraceFormat::Binary);
         assert_eq!(reopened.data, data);
 
-        let json = trace.to_bytes(TraceFormat::Json);
+        let json = trace.to_bytes(TraceFormat::Json).unwrap();
         let reopened = Trace::from_bytes(&json, "test").unwrap();
         assert_eq!(reopened.format(), TraceFormat::Json);
         assert_eq!(reopened.data, data, "json roundtrip is lossless");
+    }
+
+    #[test]
+    fn version_2_traces_convert_between_formats_losslessly() {
+        // A trace opened at the previous version keeps that version across
+        // format conversions, so binary -> json -> binary is the identity.
+        let mut data = sample_data();
+        data.version = OLDEST_VERSION;
+        let trace = Trace::from_data(data.clone(), TraceFormat::Binary);
+        let binary = trace.to_bytes(TraceFormat::Binary).unwrap();
+        let json = trace.to_bytes(TraceFormat::Json).unwrap();
+        let via_json = Trace::from_bytes(&json, "test").unwrap();
+        assert_eq!(via_json.version(), OLDEST_VERSION);
+        assert_eq!(via_json.to_bytes(TraceFormat::Binary).unwrap(), binary);
     }
 
     #[test]
@@ -458,7 +483,7 @@ mod tests {
         data.summary = None;
         let trace = Trace::from_data(data.clone(), TraceFormat::Binary);
         for format in [TraceFormat::Binary, TraceFormat::Json] {
-            let reopened = Trace::from_bytes(&trace.to_bytes(format), "test").unwrap();
+            let reopened = Trace::from_bytes(&trace.to_bytes(format).unwrap(), "test").unwrap();
             assert_eq!(reopened.data, data);
             assert!(reopened.fingerprint().is_none());
             assert!(!reopened.completed());

@@ -1,0 +1,592 @@
+//! Delta/varint compression of epoch order logs.
+//!
+//! [`crate::wire`] defines the fixed-width encoding of one [`Event`] /
+//! [`VarEntry`]; at ~22 bytes per sync event it is the dominant constant
+//! factor in trace size.  This module defines the compressed *block*
+//! encoding used by trace-format version 3: a whole per-thread or
+//! per-variable log is encoded as a sequence of frames, where each frame
+//! covers a *run* of events whose fields repeat and whose indices advance
+//! by one.  Order logs are extremely regular -- a thread's indices are
+//! consecutive by construction, an uncontended variable sees one thread's
+//! monotone stream of identical operations -- so the common frame is a few
+//! bytes for many events.
+//!
+//! All multi-byte integers are LEB128 varints; deltas are zigzag-encoded
+//! signed varints against a running predictor (previous thread, expected
+//! next index, previous var/result/code).  Compression happens at epoch
+//! close and trace framing only: the hot append path ([`crate::ThreadList`],
+//! [`crate::VarList`]) never sees these functions.
+//!
+//! # Frame layout
+//!
+//! An event block is `uvarint event_count` followed by frames.  The frame
+//! tag byte packs the frame kind into the high nibble and the [`SyncOp`]
+//! code into the low nibble:
+//!
+//! ```text
+//! sync run   tag = 0x1k (k = op code)
+//!            uvarint run_len          events covered (>= 1)
+//!            svarint d_thread         thread - prev_thread
+//!            svarint d_index          first_index - expected_index
+//!            svarint d_var            var - prev_var
+//!            svarint d_result         result - prev_result (wrapping)
+//! syscall    tag = 0x20
+//!            svarint d_thread
+//!            svarint d_index
+//!            svarint d_code           code - prev_code
+//!            svarint d_ret            ret - prev_ret (wrapping)
+//!            uvarint data_len + raw payload bytes
+//! ```
+//!
+//! A sync run covers consecutive events on one thread with consecutive
+//! indices and identical `(var, op, result)`.  A var-entry block is the
+//! same idea with one frame kind: `tag = 0x1k`, `uvarint run_len`,
+//! `svarint d_thread`, `svarint d_index`, covering entries with one
+//! thread, one op, and consecutive `thread_index`.
+//!
+//! Decoders are total: truncated input, unknown tags, run indices that
+//! leave `u32` range, or varints past 64 bits all yield [`WireError`].
+
+use crate::event::{Event, EventKind, SyncOp, SyscallOutcome, ThreadId, VarId};
+use crate::var_list::VarEntry;
+use crate::wire::{Reader, WireError};
+
+/// Frame kind (high nibble of the tag byte): a run of sync events or var
+/// entries.
+const FRAME_RUN: u8 = 1;
+/// Frame kind: a single syscall event with its payload.
+const FRAME_SYSCALL: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+/// Appends an LEB128 unsigned varint (1 byte for values < 128).
+pub fn put_uvarint(buf: &mut Vec<u8>, mut value: u64) {
+    while value >= 0x80 {
+        buf.push((value as u8) | 0x80);
+        value >>= 7;
+    }
+    buf.push(value as u8);
+}
+
+/// Reads an LEB128 unsigned varint.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation or a varint wider than 64 bits.
+pub fn read_uvarint(reader: &mut Reader<'_>, context: &'static str) -> Result<u64, WireError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = reader.u8(context)?;
+        let payload = u64::from(byte & 0x7f);
+        if shift >= 63 && payload > 1 {
+            return Err(WireError { context });
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError { context });
+        }
+    }
+}
+
+/// Appends a zigzag-encoded signed varint (small magnitudes stay short).
+pub fn put_svarint(buf: &mut Vec<u8>, value: i64) {
+    put_uvarint(buf, ((value << 1) ^ (value >> 63)) as u64);
+}
+
+/// Reads a zigzag-encoded signed varint.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation or a varint wider than 64 bits.
+pub fn read_svarint(reader: &mut Reader<'_>, context: &'static str) -> Result<i64, WireError> {
+    let raw = read_uvarint(reader, context)?;
+    Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+}
+
+fn delta_u32(value: u32, prev: i64) -> i64 {
+    i64::from(value) - prev
+}
+
+fn apply_u32(prev: i64, delta: i64, context: &'static str) -> Result<u32, WireError> {
+    prev.checked_add(delta)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or(WireError { context })
+}
+
+// ---------------------------------------------------------------------------
+// Event blocks
+// ---------------------------------------------------------------------------
+
+/// Running predictor state shared by the event encoder and decoder.
+#[derive(Default)]
+struct EventState {
+    prev_thread: i64,
+    /// Index the next event is expected to carry (previous index + 1).
+    expected_index: i64,
+    prev_var: i64,
+    prev_result: i64,
+    prev_code: i64,
+    prev_ret: i64,
+}
+
+/// Length of the run of events starting at `events[0]` that one sync frame
+/// can cover: same thread, same `(var, op, result)`, consecutive indices.
+fn sync_run_len(events: &[Event]) -> usize {
+    let first = &events[0];
+    events
+        .iter()
+        .enumerate()
+        .take_while(|(offset, event)| {
+            event.thread == first.thread
+                && event.index == first.index.wrapping_add(*offset as u32)
+                && event.kind == first.kind
+        })
+        .count()
+}
+
+/// Compresses a per-thread order log into one self-delimiting block.
+pub fn compress_events(events: &[Event]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_uvarint(&mut buf, events.len() as u64);
+    let mut state = EventState::default();
+    let mut rest = events;
+    while let Some(first) = rest.first() {
+        match &first.kind {
+            EventKind::Sync { var, op, result } => {
+                let run = sync_run_len(rest);
+                buf.push((FRAME_RUN << 4) | op.code());
+                put_uvarint(&mut buf, run as u64);
+                put_svarint(&mut buf, delta_u32(first.thread.0, state.prev_thread));
+                put_svarint(&mut buf, i64::from(first.index) - state.expected_index);
+                put_svarint(&mut buf, delta_u32(var.0, state.prev_var));
+                put_svarint(&mut buf, result.wrapping_sub(state.prev_result));
+                state.prev_thread = i64::from(first.thread.0);
+                state.expected_index = i64::from(first.index) + run as i64;
+                state.prev_var = i64::from(var.0);
+                state.prev_result = *result;
+                rest = &rest[run..];
+            }
+            EventKind::Syscall { code, outcome } => {
+                buf.push(FRAME_SYSCALL << 4);
+                put_svarint(&mut buf, delta_u32(first.thread.0, state.prev_thread));
+                put_svarint(&mut buf, i64::from(first.index) - state.expected_index);
+                put_svarint(&mut buf, i64::from(*code) - state.prev_code);
+                put_svarint(&mut buf, outcome.ret.wrapping_sub(state.prev_ret));
+                put_uvarint(&mut buf, outcome.data.len() as u64);
+                buf.extend_from_slice(&outcome.data);
+                state.prev_thread = i64::from(first.thread.0);
+                state.expected_index = i64::from(first.index) + 1;
+                state.prev_code = i64::from(*code);
+                state.prev_ret = outcome.ret;
+                rest = &rest[1..];
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes one event block written by [`compress_events`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, an unknown frame tag or op code, or
+/// reconstructed ids/indices outside `u32` range.
+pub fn decompress_events(reader: &mut Reader<'_>) -> Result<Vec<Event>, WireError> {
+    let count = read_uvarint(reader, "event block count")?;
+    let mut events = Vec::new();
+    let mut state = EventState::default();
+    while (events.len() as u64) < count {
+        let tag = reader.u8("event frame tag")?;
+        match tag >> 4 {
+            FRAME_RUN => {
+                let op = SyncOp::from_code(tag & 0x0f).ok_or(WireError {
+                    context: "sync frame op code",
+                })?;
+                let run = read_uvarint(reader, "sync frame run length")?;
+                if run == 0 || run > count - events.len() as u64 {
+                    return Err(WireError {
+                        context: "sync frame run length",
+                    });
+                }
+                let thread = apply_u32(
+                    state.prev_thread,
+                    read_svarint(reader, "sync frame thread delta")?,
+                    "sync frame thread delta",
+                )?;
+                let first_index = apply_u32(
+                    state.expected_index,
+                    read_svarint(reader, "sync frame index delta")?,
+                    "sync frame index delta",
+                )?;
+                // Every index in the run must stay a valid u32.
+                let last_index = u64::from(first_index)
+                    .checked_add(run - 1)
+                    .filter(|last| *last <= u64::from(u32::MAX))
+                    .ok_or(WireError {
+                        context: "sync frame run length",
+                    })?;
+                let var = apply_u32(
+                    state.prev_var,
+                    read_svarint(reader, "sync frame var delta")?,
+                    "sync frame var delta",
+                )?;
+                let result = state
+                    .prev_result
+                    .wrapping_add(read_svarint(reader, "sync frame result delta")?);
+                for offset in 0..run {
+                    events.push(Event {
+                        thread: ThreadId(thread),
+                        index: first_index + offset as u32,
+                        kind: EventKind::Sync {
+                            var: VarId(var),
+                            op,
+                            result,
+                        },
+                    });
+                }
+                state.prev_thread = i64::from(thread);
+                state.expected_index = last_index as i64 + 1;
+                state.prev_var = i64::from(var);
+                state.prev_result = result;
+            }
+            FRAME_SYSCALL => {
+                let thread = apply_u32(
+                    state.prev_thread,
+                    read_svarint(reader, "syscall frame thread delta")?,
+                    "syscall frame thread delta",
+                )?;
+                let index = apply_u32(
+                    state.expected_index,
+                    read_svarint(reader, "syscall frame index delta")?,
+                    "syscall frame index delta",
+                )?;
+                let code = state
+                    .prev_code
+                    .checked_add(read_svarint(reader, "syscall frame code delta")?)
+                    .and_then(|v| u16::try_from(v).ok())
+                    .ok_or(WireError {
+                        context: "syscall frame code delta",
+                    })?;
+                let ret = state
+                    .prev_ret
+                    .wrapping_add(read_svarint(reader, "syscall frame ret delta")?);
+                let len = read_uvarint(reader, "syscall frame data length")?;
+                let len = usize::try_from(len)
+                    .ok()
+                    .filter(|n| *n <= reader.remaining())
+                    .ok_or(WireError {
+                        context: "syscall frame data length",
+                    })?;
+                let data = reader.bytes(len, "syscall frame data")?.to_vec();
+                events.push(Event {
+                    thread: ThreadId(thread),
+                    index,
+                    kind: EventKind::Syscall {
+                        code,
+                        outcome: SyscallOutcome { ret, data },
+                    },
+                });
+                state.prev_thread = i64::from(thread);
+                state.expected_index = i64::from(index) + 1;
+                state.prev_code = i64::from(code);
+                state.prev_ret = ret;
+            }
+            _ => {
+                return Err(WireError {
+                    context: "event frame tag",
+                })
+            }
+        }
+    }
+    Ok(events)
+}
+
+// ---------------------------------------------------------------------------
+// Var-entry blocks
+// ---------------------------------------------------------------------------
+
+/// Length of the run of entries starting at `entries[0]` that one frame can
+/// cover: same thread, same op, consecutive `thread_index`.
+fn var_run_len(entries: &[VarEntry]) -> usize {
+    let first = &entries[0];
+    entries
+        .iter()
+        .enumerate()
+        .take_while(|(offset, entry)| {
+            entry.thread == first.thread
+                && entry.op == first.op
+                && entry.thread_index == first.thread_index.wrapping_add(*offset as u32)
+        })
+        .count()
+}
+
+/// Compresses a per-variable order log into one self-delimiting block.
+pub fn compress_var_entries(entries: &[VarEntry]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_uvarint(&mut buf, entries.len() as u64);
+    let mut prev_thread = 0i64;
+    let mut expected_index = 0i64;
+    let mut rest = entries;
+    while let Some(first) = rest.first() {
+        let run = var_run_len(rest);
+        buf.push((FRAME_RUN << 4) | first.op.code());
+        put_uvarint(&mut buf, run as u64);
+        put_svarint(&mut buf, delta_u32(first.thread.0, prev_thread));
+        put_svarint(&mut buf, i64::from(first.thread_index) - expected_index);
+        prev_thread = i64::from(first.thread.0);
+        expected_index = i64::from(first.thread_index) + run as i64;
+        rest = &rest[run..];
+    }
+    buf
+}
+
+/// Decodes one var-entry block written by [`compress_var_entries`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, an unknown frame tag or op code, or
+/// reconstructed ids/indices outside `u32` range.
+pub fn decompress_var_entries(reader: &mut Reader<'_>) -> Result<Vec<VarEntry>, WireError> {
+    let count = read_uvarint(reader, "var block count")?;
+    let mut entries = Vec::new();
+    let mut prev_thread = 0i64;
+    let mut expected_index = 0i64;
+    while (entries.len() as u64) < count {
+        let tag = reader.u8("var frame tag")?;
+        if tag >> 4 != FRAME_RUN {
+            return Err(WireError {
+                context: "var frame tag",
+            });
+        }
+        let op = SyncOp::from_code(tag & 0x0f).ok_or(WireError {
+            context: "var frame op code",
+        })?;
+        let run = read_uvarint(reader, "var frame run length")?;
+        if run == 0 || run > count - entries.len() as u64 {
+            return Err(WireError {
+                context: "var frame run length",
+            });
+        }
+        let thread = apply_u32(
+            prev_thread,
+            read_svarint(reader, "var frame thread delta")?,
+            "var frame thread delta",
+        )?;
+        let first_index = apply_u32(
+            expected_index,
+            read_svarint(reader, "var frame index delta")?,
+            "var frame index delta",
+        )?;
+        let last_index = u64::from(first_index)
+            .checked_add(run - 1)
+            .filter(|last| *last <= u64::from(u32::MAX))
+            .ok_or(WireError {
+                context: "var frame run length",
+            })?;
+        for offset in 0..run {
+            entries.push(VarEntry {
+                thread: ThreadId(thread),
+                op,
+                thread_index: first_index + offset as u32,
+            });
+        }
+        prev_thread = i64::from(thread);
+        expected_index = last_index as i64 + 1;
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sync(thread: u32, index: u32, var: u32, op: SyncOp, result: i64) -> Event {
+        Event {
+            thread: ThreadId(thread),
+            index,
+            kind: EventKind::Sync {
+                var: VarId(var),
+                op,
+                result,
+            },
+        }
+    }
+
+    fn syscall(thread: u32, index: u32, code: u16, ret: i64, data: Vec<u8>) -> Event {
+        Event {
+            thread: ThreadId(thread),
+            index,
+            kind: EventKind::Syscall {
+                code,
+                outcome: SyscallOutcome { ret, data },
+            },
+        }
+    }
+
+    fn roundtrip_events(events: &[Event]) -> Vec<Event> {
+        let block = compress_events(events);
+        let mut reader = Reader::new(&block);
+        let decoded = decompress_events(&mut reader).unwrap();
+        assert_eq!(reader.remaining(), 0, "block is self-delimiting");
+        decoded
+    }
+
+    #[test]
+    fn varints_roundtrip_across_the_whole_range() {
+        for value in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, value);
+            assert_eq!(read_uvarint(&mut Reader::new(&buf), "t").unwrap(), value);
+        }
+        for value in [0i64, 1, -1, 63, -64, 8_192, -8_192, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_svarint(&mut buf, value);
+            assert_eq!(read_svarint(&mut Reader::new(&buf), "t").unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected() {
+        // Eleven continuation bytes overflow the 64-bit range.
+        let bad = [0xffu8; 11];
+        assert!(read_uvarint(&mut Reader::new(&bad), "t").is_err());
+        // Ten bytes whose final payload exceeds the remaining bit.
+        let bad = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert!(read_uvarint(&mut Reader::new(&bad), "t").is_err());
+        // u64::MAX itself still decodes.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert_eq!(read_uvarint(&mut Reader::new(&buf), "t").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_logs_compress_to_one_byte() {
+        assert_eq!(compress_events(&[]), vec![0]);
+        assert_eq!(compress_var_entries(&[]), vec![0]);
+        assert!(roundtrip_events(&[]).is_empty());
+    }
+
+    #[test]
+    fn uncontended_runs_collapse_to_single_frames() {
+        let events: Vec<Event> = (0..1000).map(|i| sync(3, i, 7, SyncOp::MutexLock, 0)).collect();
+        let block = compress_events(&events);
+        // One frame: count + tag + run + four deltas, all short varints.
+        assert!(block.len() < 12, "got {} bytes", block.len());
+        assert_eq!(roundtrip_events(&events), events);
+    }
+
+    #[test]
+    fn mixed_logs_roundtrip_exactly() {
+        let events = vec![
+            sync(0, 0, 1, SyncOp::MutexLock, 0),
+            sync(0, 1, 1, SyncOp::MutexLock, 0),
+            sync(0, 2, 9, SyncOp::BarrierWait, 1),
+            syscall(0, 3, 14, -2, vec![1, 2, 3, 255]),
+            syscall(0, 4, 14, 1024, Vec::new()),
+            sync(5, 0, 1, SyncOp::MutexTryLock, 1),
+            sync(0, 5, 1, SyncOp::ThreadJoin, 5),
+        ];
+        assert_eq!(roundtrip_events(&events), events);
+    }
+
+    #[test]
+    fn max_delta_jumps_roundtrip() {
+        let events = vec![
+            sync(u32::MAX, u32::MAX, u32::MAX, SyncOp::VarRegister, i64::MAX),
+            sync(0, 0, 0, SyncOp::MutexLock, i64::MIN),
+            syscall(u32::MAX, 1, u16::MAX, i64::MIN, vec![0; 3]),
+        ];
+        assert_eq!(roundtrip_events(&events), events);
+    }
+
+    #[test]
+    fn var_entries_roundtrip_and_compress_runs() {
+        let mut entries: Vec<VarEntry> = (0..300)
+            .map(|i| VarEntry {
+                thread: ThreadId(2),
+                op: SyncOp::MutexLock,
+                thread_index: 10 + i,
+            })
+            .collect();
+        let block = compress_var_entries(&entries);
+        assert!(block.len() < 8, "got {} bytes", block.len());
+
+        entries.push(VarEntry {
+            thread: ThreadId(0),
+            op: SyncOp::CondWake,
+            thread_index: u32::MAX,
+        });
+        let block = compress_var_entries(&entries);
+        let mut reader = Reader::new(&block);
+        assert_eq!(decompress_var_entries(&mut reader).unwrap(), entries);
+        assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_and_corrupted_blocks_error_without_panicking() {
+        let events = vec![sync(0, 0, 1, SyncOp::MutexLock, 0), syscall(0, 1, 14, 7, vec![9, 9])];
+        let block = compress_events(&events);
+        for cut in 0..block.len() {
+            assert!(
+                decompress_events(&mut Reader::new(&block[..cut])).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        // Unknown frame kind.
+        let bad = [1u8, 0xf0];
+        assert!(decompress_events(&mut Reader::new(&bad)).is_err());
+        // Unknown op code inside a run frame.
+        let bad = [1u8, 0x1f];
+        assert!(decompress_events(&mut Reader::new(&bad)).is_err());
+        // Run longer than the block's declared event count.
+        let mut bad = Vec::new();
+        put_uvarint(&mut bad, 1);
+        bad.push(0x10);
+        put_uvarint(&mut bad, 2);
+        assert!(decompress_events(&mut Reader::new(&bad)).is_err());
+        // Zero-length run.
+        let mut bad = Vec::new();
+        put_uvarint(&mut bad, 1);
+        bad.push(0x10);
+        put_uvarint(&mut bad, 0);
+        assert!(decompress_events(&mut Reader::new(&bad)).is_err());
+        // Index walks out of u32 range mid-run.
+        let huge = vec![sync(0, u32::MAX, 0, SyncOp::MutexLock, 0)];
+        let mut block = compress_events(&huge);
+        block[0] = 2; // claim two events so the run could extend
+        let mut tampered = block.clone();
+        tampered[2] = 2; // run length 2: indices u32::MAX, u32::MAX + 1
+        assert!(decompress_events(&mut Reader::new(&tampered)).is_err());
+    }
+
+    #[test]
+    fn compressed_blocks_beat_the_fixed_width_encoding() {
+        // The record_path bench's workload shape: every fourth event hits
+        // the shared variable, the rest a per-thread one.
+        let events: Vec<Event> = (0..4096)
+            .map(|i| {
+                let var = if i % 4 == 0 { 0 } else { 11 };
+                sync(3, i, var, SyncOp::MutexLock, 0)
+            })
+            .collect();
+        let mut packed = Vec::new();
+        for event in &events {
+            crate::wire::put_event(&mut packed, event).unwrap();
+        }
+        let compressed = compress_events(&events);
+        assert!(
+            packed.len() >= compressed.len() * 4,
+            "packed {} vs compressed {}",
+            packed.len(),
+            compressed.len()
+        );
+        assert_eq!(roundtrip_events(&events), events);
+    }
+}

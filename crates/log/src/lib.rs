@@ -29,6 +29,7 @@
 //! a packed entry word.  The full write/read discipline -- who may touch
 //! which list, and when -- is documented on [`ThreadList`] and [`VarList`].
 
+pub mod compress;
 pub mod divergence;
 pub mod event;
 pub mod lookup;

@@ -277,6 +277,16 @@ impl ThreadList {
         events
     }
 
+    /// The epoch-close form of [`ThreadList::snapshot`]: the recorded
+    /// events as one delta/varint-compressed block
+    /// ([`crate::compress::compress_events`]).  A thread's indices are
+    /// consecutive by construction, so an uncontended stretch collapses to
+    /// a few bytes regardless of length.  The append path is untouched --
+    /// compression reads the same published prefix a snapshot would.
+    pub fn compressed_log(&self) -> Vec<u8> {
+        crate::compress::compress_events(&self.snapshot())
+    }
+
     /// Safe owner-side append: `&mut` proves exclusive access, which is a
     /// superset of the single-writer contract.  Single-owner users
     /// ([`crate::EpochLog`], tests) use this.

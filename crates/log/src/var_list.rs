@@ -226,6 +226,16 @@ impl VarList {
     pub fn entries(&self) -> Vec<VarEntry> {
         (0..self.len()).map_while(|i| self.get(i)).collect()
     }
+
+    /// The epoch-close form of [`VarList::entries`]: the published prefix
+    /// as one delta/varint-compressed block
+    /// ([`crate::compress::compress_var_entries`]).  An uncontended
+    /// variable sees one thread's monotone stream of identical operations,
+    /// which collapses to a single run frame; the lock-free append path is
+    /// untouched.
+    pub fn compressed_entries(&self) -> Vec<u8> {
+        crate::compress::compress_var_entries(&self.entries())
+    }
 }
 
 impl Clone for VarList {

@@ -141,15 +141,37 @@ pub fn put_u64(buf: &mut Vec<u8>, value: u64) {
     buf.extend_from_slice(&value.to_le_bytes());
 }
 
+/// Converts a collection length to the `u32` the wire format stores.
+///
+/// The encoders used to cast with `as u32`, which silently truncates a
+/// length above `u32::MAX` and corrupts the frame; an oversized log must be
+/// refused instead.
+///
+/// # Errors
+///
+/// Returns [`WireError`] if `len` does not fit in a `u32`.
+pub fn length_u32(len: usize, context: &'static str) -> Result<u32, WireError> {
+    u32::try_from(len).map_err(|_| WireError { context })
+}
+
 /// Appends a length-prefixed byte slice (`u32` length).
-pub fn put_blob(buf: &mut Vec<u8>, value: &[u8]) {
-    put_u32(buf, value.len() as u32);
+///
+/// # Errors
+///
+/// Returns [`WireError`] if the slice is longer than `u32::MAX` bytes.
+pub fn put_blob(buf: &mut Vec<u8>, value: &[u8]) -> Result<(), WireError> {
+    put_u32(buf, length_u32(value.len(), "blob length")?);
     buf.extend_from_slice(value);
+    Ok(())
 }
 
 /// Appends a length-prefixed UTF-8 string.
-pub fn put_string(buf: &mut Vec<u8>, value: &str) {
-    put_blob(buf, value.as_bytes());
+///
+/// # Errors
+///
+/// Returns [`WireError`] if the string is longer than `u32::MAX` bytes.
+pub fn put_string(buf: &mut Vec<u8>, value: &str) -> Result<(), WireError> {
+    put_blob(buf, value.as_bytes())
 }
 
 /// Tag byte distinguishing the two event kinds on the wire.
@@ -157,7 +179,12 @@ const TAG_SYNC: u8 = 1;
 const TAG_SYSCALL: u8 = 2;
 
 /// Appends one [`Event`] from a per-thread order log.
-pub fn put_event(buf: &mut Vec<u8>, event: &Event) {
+///
+/// # Errors
+///
+/// Returns [`WireError`] if a syscall payload is longer than `u32::MAX`
+/// bytes.
+pub fn put_event(buf: &mut Vec<u8>, event: &Event) -> Result<(), WireError> {
     put_u32(buf, event.thread.0);
     put_u32(buf, event.index);
     match &event.kind {
@@ -171,9 +198,10 @@ pub fn put_event(buf: &mut Vec<u8>, event: &Event) {
             buf.push(TAG_SYSCALL);
             buf.extend_from_slice(&code.to_le_bytes());
             put_u64(buf, outcome.ret as u64);
-            put_blob(buf, &outcome.data);
+            put_blob(buf, &outcome.data)?;
         }
     }
+    Ok(())
 }
 
 /// Decodes one [`Event`] written by [`put_event`].
@@ -273,7 +301,7 @@ mod tests {
         let mut buf = Vec::new();
         let events = sample_events();
         for event in &events {
-            put_event(&mut buf, event);
+            put_event(&mut buf, event).unwrap();
         }
         let mut reader = Reader::new(&buf);
         for event in &events {
@@ -296,10 +324,21 @@ mod tests {
     }
 
     #[test]
+    fn oversized_lengths_are_refused_instead_of_truncated() {
+        // `as u32` would wrap these to small values and corrupt the frame;
+        // the checked conversion must refuse them as typed errors.
+        assert_eq!(length_u32(0, "t").unwrap(), 0);
+        assert_eq!(length_u32(u32::MAX as usize, "t").unwrap(), u32::MAX);
+        let error = length_u32(u32::MAX as usize + 1, "oversized log").unwrap_err();
+        assert_eq!(error.context, "oversized log");
+        assert!(error.to_string().contains("oversized log"));
+    }
+
+    #[test]
     fn truncated_and_corrupted_buffers_error_without_panicking() {
         let mut buf = Vec::new();
         for event in &sample_events() {
-            put_event(&mut buf, event);
+            put_event(&mut buf, event).unwrap();
         }
         // Every prefix either decodes cleanly or errors; none may panic.
         for cut in 0..buf.len() {

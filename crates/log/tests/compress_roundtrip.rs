@@ -1,0 +1,168 @@
+//! Property tests: arbitrary order logs survive compress -> decompress.
+//!
+//! The delta/varint block encoding (`ireplayer_log::compress`) must be
+//! exact for *every* log, not just the regular ones it optimizes for.
+//! These properties drive generated event and var-entry sequences --
+//! empty epochs, single-thread monotone runs, and adversarial max-delta
+//! jumps between consecutive events -- through a full round trip and
+//! require equality, mirroring the generation style of the workspace's
+//! `tests/properties.rs`.
+
+use ireplayer_log::compress::{
+    compress_events, compress_var_entries, decompress_events, decompress_var_entries, put_svarint, put_uvarint,
+    read_svarint, read_uvarint,
+};
+use ireplayer_log::wire::Reader;
+use ireplayer_log::{Event, EventKind, SyncOp, SyscallOutcome, ThreadId, VarEntry, VarId};
+use proptest::prelude::*;
+
+/// Decodes a generated word into one event.  The low bits pick the shape:
+/// mostly sync events (some forced onto the previous thread/var to create
+/// runs), occasionally a syscall, occasionally a max-delta jump.
+fn build_events(words: &[(u64, u64, u64)]) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut prev_thread = 0u32;
+    let mut prev_var = 0u32;
+    let mut next_index = 0u32;
+    for &(shape, a, b) in words {
+        let (thread, index) = match shape % 8 {
+            // Continue the current thread's run: consecutive index, same var.
+            0..=3 => (prev_thread, next_index),
+            // Same thread, but the index jumps.
+            4 => (prev_thread, (a % u64::from(u32::MAX)) as u32),
+            // Max-delta jump: far-away thread and index.
+            5 => ((a >> 32) as u32, a as u32),
+            // Back to thread 0 (a frequent real pattern).
+            _ => (0, next_index),
+        };
+        let kind = if shape % 16 == 7 {
+            EventKind::Syscall {
+                code: (b % 1000) as u16,
+                outcome: SyscallOutcome {
+                    ret: b as i64,
+                    data: a.to_le_bytes()[..(b % 9) as usize].to_vec(),
+                },
+            }
+        } else {
+            let var = match shape % 4 {
+                0 => prev_var,
+                1 => (b >> 32) as u32,
+                _ => (b % 7) as u32,
+            };
+            prev_var = var;
+            EventKind::Sync {
+                var: VarId(var),
+                op: SyncOp::from_code((b % 8) as u8).unwrap(),
+                // Mix small, repeated, and extreme results.
+                result: match shape % 4 {
+                    0 => 0,
+                    1 => i64::MIN + (b as i64 & 0xff),
+                    _ => b as i64,
+                },
+            }
+        };
+        events.push(Event {
+            thread: ThreadId(thread),
+            index,
+            kind,
+        });
+        prev_thread = thread;
+        next_index = index.wrapping_add(1);
+    }
+    events
+}
+
+fn build_var_entries(words: &[(u64, u64, u64)]) -> Vec<VarEntry> {
+    let mut entries = Vec::new();
+    let mut prev_thread = 0u32;
+    let mut next_index = 0u32;
+    for &(shape, a, b) in words {
+        let (thread, thread_index) = match shape % 4 {
+            // Extend the current run.
+            0..=1 => (prev_thread, next_index),
+            // Contended handoff to another thread.
+            2 => ((a % 16) as u32, (b % 1000) as u32),
+            // Max-delta jump.
+            _ => ((a >> 32) as u32, b as u32),
+        };
+        entries.push(VarEntry {
+            thread: ThreadId(thread),
+            op: SyncOp::from_code((a % 8) as u8).unwrap(),
+            thread_index,
+        });
+        prev_thread = thread;
+        next_index = thread_index.wrapping_add(1);
+    }
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn event_blocks_roundtrip(words in proptest::collection::vec(
+        (any::<u64>(), any::<u64>(), any::<u64>()), 0..200)) {
+        let events = build_events(&words);
+        let block = compress_events(&events);
+        let mut reader = Reader::new(&block);
+        let decoded = decompress_events(&mut reader).unwrap();
+        prop_assert_eq!(decoded, events);
+        prop_assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    fn var_entry_blocks_roundtrip(words in proptest::collection::vec(
+        (any::<u64>(), any::<u64>(), any::<u64>()), 0..200)) {
+        let entries = build_var_entries(&words);
+        let block = compress_var_entries(&entries);
+        let mut reader = Reader::new(&block);
+        let decoded = decompress_var_entries(&mut reader).unwrap();
+        prop_assert_eq!(decoded, entries);
+        prop_assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    fn single_thread_runs_stay_small_and_exact(len in 1usize..2000, start in any::<u32>()) {
+        // A monotone uncontended run -- the case the format optimizes for --
+        // must compress to one frame and decode exactly, even when the run
+        // starts near u32::MAX (the encoder refuses to wrap past it).
+        let start = start.min(u32::MAX - len as u32);
+        let events: Vec<Event> = (0..len as u32)
+            .map(|i| Event {
+                thread: ThreadId(3),
+                index: start + i,
+                kind: EventKind::Sync {
+                    var: VarId(5),
+                    op: SyncOp::MutexLock,
+                    result: 1,
+                },
+            })
+            .collect();
+        let block = compress_events(&events);
+        prop_assert!(block.len() <= 32, "one frame expected, got {} bytes", block.len());
+        let decoded = decompress_events(&mut Reader::new(&block)).unwrap();
+        prop_assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn varints_roundtrip(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, value);
+        prop_assert_eq!(read_uvarint(&mut Reader::new(&buf), "t").unwrap(), value);
+
+        let signed = value as i64;
+        let mut buf = Vec::new();
+        put_svarint(&mut buf, signed);
+        prop_assert_eq!(read_svarint(&mut Reader::new(&buf), "t").unwrap(), signed);
+    }
+
+    #[test]
+    fn truncated_blocks_never_panic(words in proptest::collection::vec(
+        (any::<u64>(), any::<u64>(), any::<u64>()), 1..40), cut_seed in any::<u64>()) {
+        let events = build_events(&words);
+        let block = compress_events(&events);
+        let cut = (cut_seed % block.len() as u64) as usize;
+        // A strict prefix must fail (the count header promises more).
+        prop_assert!(decompress_events(&mut Reader::new(&block[..cut])).is_err());
+    }
+}

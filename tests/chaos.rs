@@ -343,6 +343,10 @@ fn fixture_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/chaos_workload.json")
 }
 
+fn fixture_v2_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/chaos_workload_v2.json")
+}
+
 /// Records the fixture's run: `kv-pool` at the small size under the heavy
 /// [`SPICY_SEED`] plan.
 fn record_fixture_run(path: &Path) -> ireplayer::RunReport {
@@ -369,7 +373,7 @@ fn record_fixture_run(path: &Path) -> ireplayer::RunReport {
 fn checked_in_chaos_fixture_replays_green() {
     let trace = Trace::open(fixture_path()).unwrap();
     assert_eq!(trace.format(), TraceFormat::Json);
-    assert_eq!(trace.version(), 2);
+    assert_eq!(trace.version(), 3);
     assert_eq!(trace.program(), "kv-pool");
     assert_eq!(trace.chaos_digest(), heavy_plan().digest());
     assert!(trace.completed());
@@ -377,6 +381,24 @@ fn checked_in_chaos_fixture_replays_green() {
     let fresh = Runtime::new(chaos_config()).unwrap();
     let replayed = fresh.replay_trace_strict(kv_pool().program(&spec()), &trace).unwrap();
     assert_eq!(Some(replayed.fingerprint()), trace.fingerprint());
+}
+
+/// The frozen version-2 chaos fixture (pre-compression format) still opens
+/// and replays fingerprint-identically, fault schedule and all.
+#[test]
+fn version_2_chaos_fixture_still_replays_green() {
+    let trace = Trace::open(fixture_v2_path()).unwrap();
+    assert_eq!(trace.version(), 2);
+    assert_eq!(trace.program(), "kv-pool");
+    assert_eq!(trace.chaos_digest(), heavy_plan().digest());
+
+    let fresh = Runtime::new(chaos_config()).unwrap();
+    let replayed = fresh.replay_trace_strict(kv_pool().program(&spec()), &trace).unwrap();
+    assert_eq!(Some(replayed.fingerprint()), trace.fingerprint());
+
+    // Same recording as the regenerated version-3 sibling.
+    let current = Trace::open(fixture_path()).unwrap();
+    assert_eq!(trace.fingerprint(), current.fingerprint());
 }
 
 /// Maintenance helper: scans seeds for one whose heavy plan fires every

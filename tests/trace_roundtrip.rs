@@ -297,7 +297,7 @@ fn malformed_trace_files_surface_typed_errors() {
     let json_path = scratch("malformed-json");
     _trace.save(&json_path, TraceFormat::Json).unwrap();
     let text = std::fs::read_to_string(&json_path).unwrap();
-    let stamped = text.replacen("\"version\": 2", "\"version\": 999", 1);
+    let stamped = text.replacen("\"version\": 3", "\"version\": 999", 1);
     assert_ne!(stamped, text, "the version field must be present to stamp");
     std::fs::write(&broken, stamped).unwrap();
     let error = Trace::open(&broken).unwrap_err();
@@ -390,12 +390,33 @@ fn fixture_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/durable_workload.json")
 }
 
+fn fixture_v2_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/durable_workload_v2.json")
+}
+
 /// The checked-in fixture (`tests/fixtures/durable_workload.json`, produced
 /// by [`Trace::emit_test`] via the `regenerate_fixture` test below) opens
 /// and replays green, pinning the on-disk format across refactors.
 #[test]
 fn checked_in_fixture_replays_green() {
     let trace = Trace::open(fixture_path()).unwrap();
+    assert_eq!(trace.format(), TraceFormat::Json);
+    assert_eq!(trace.version(), 3);
+    assert_eq!(trace.program(), "durable-workload");
+    assert!(trace.completed());
+
+    let fresh = Runtime::new(replay_config()).unwrap();
+    let replayed = fresh.replay_trace_strict(recorded_workload(), &trace).unwrap();
+    assert_eq!(Some(replayed.fingerprint()), trace.fingerprint());
+}
+
+/// The frozen version-2 fixture (the pre-compression format) still opens,
+/// still replays fingerprint-identically, and describes the same run as
+/// its regenerated version-3 sibling -- the version-compatibility rule is
+/// load-bearing, not aspirational.
+#[test]
+fn version_2_fixture_still_replays_green() {
+    let trace = Trace::open(fixture_v2_path()).unwrap();
     assert_eq!(trace.format(), TraceFormat::Json);
     assert_eq!(trace.version(), 2);
     assert_eq!(trace.program(), "durable-workload");
@@ -404,6 +425,22 @@ fn checked_in_fixture_replays_green() {
     let fresh = Runtime::new(replay_config()).unwrap();
     let replayed = fresh.replay_trace_strict(recorded_workload(), &trace).unwrap();
     assert_eq!(Some(replayed.fingerprint()), trace.fingerprint());
+
+    // Both generations pin the same recording: identical fingerprint, and
+    // epoch-for-epoch the same order logs once decoded.
+    let current = Trace::open(fixture_path()).unwrap();
+    assert_eq!(trace.fingerprint(), current.fingerprint());
+    assert_eq!(trace.epoch_count(), current.epoch_count());
+    assert_eq!(trace.event_count(), current.event_count());
+
+    // A version-2 trace converts to binary and back without being silently
+    // upgraded to the new framing.
+    let binary_path = scratch("v2-fixture-binary");
+    trace.save(&binary_path, TraceFormat::Binary).unwrap();
+    let reopened = Trace::open(&binary_path).unwrap();
+    assert_eq!(reopened.version(), 2);
+    assert_eq!(reopened, trace);
+    let _ = std::fs::remove_file(&binary_path);
 }
 
 /// Regenerates the checked-in fixture; run manually after an intentional

@@ -40,14 +40,46 @@ pub fn results() -> Vec<BenchResult> {
     RESULTS.lock().unwrap().clone()
 }
 
+/// One named scalar measured alongside the timings -- byte counts, ratios,
+/// event totals -- so benches can publish quantities the wall clock cannot
+/// capture.  Rendered under `"metrics"` by [`write_summary_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricResult {
+    /// Metric name, conventionally `quantity/variant`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+static METRICS: Mutex<Vec<MetricResult>> = Mutex::new(Vec::new());
+
+/// Records a named scalar metric for the summary, in addition to the timed
+/// results.  Later recordings with the same name are kept as separate
+/// entries, in execution order.
+pub fn record_metric(name: impl Into<String>, value: f64) {
+    METRICS.lock().unwrap().push(MetricResult {
+        name: name.into(),
+        value,
+    });
+}
+
+/// Every metric recorded so far in this process, in execution order.
+pub fn metrics() -> Vec<MetricResult> {
+    METRICS.lock().unwrap().clone()
+}
+
 /// Writes the collected results as a machine-readable JSON summary:
 /// `{"bench": <label>, "results": [{"name", "iters", "per_iter_ns"}, ...]}`.
+/// When any metric was recorded via [`record_metric`], a `"metrics"`
+/// section (`[{"name", "value"}, ...]`) follows the results; the
+/// `"results"` schema itself never changes.
 ///
 /// # Errors
 ///
 /// Propagates the underlying file-system error.
 pub fn write_summary_json(path: impl AsRef<Path>, label: &str) -> std::io::Result<()> {
     let results = RESULTS.lock().unwrap();
+    let metrics = METRICS.lock().unwrap();
     let mut body = String::from("{\n");
     body.push_str(&format!("  \"bench\": \"{}\",\n", escape_json(label)));
     body.push_str("  \"results\": [\n");
@@ -60,8 +92,34 @@ pub fn write_summary_json(path: impl AsRef<Path>, label: &str) -> std::io::Resul
             result.per_iter_ns
         ));
     }
-    body.push_str("  ]\n}\n");
+    if metrics.is_empty() {
+        body.push_str("  ]\n}\n");
+    } else {
+        body.push_str("  ],\n  \"metrics\": [\n");
+        for (index, metric) in metrics.iter().enumerate() {
+            let comma = if index + 1 < metrics.len() { "," } else { "" };
+            body.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {}}}{comma}\n",
+                escape_json(&metric.name),
+                format_metric_value(metric.value)
+            ));
+        }
+        body.push_str("  ]\n}\n");
+    }
     std::fs::write(path, body)
+}
+
+/// Renders a metric value as valid JSON: integers without a fraction,
+/// everything else in Rust's shortest round-trip notation, and non-finite
+/// values (JSON has no spelling for them) as `null`.
+fn format_metric_value(value: f64) -> String {
+    if !value.is_finite() {
+        "null".to_string()
+    } else if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
 }
 
 fn escape_json(text: &str) -> String {
