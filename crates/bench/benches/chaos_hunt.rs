@@ -1,0 +1,152 @@
+//! `chaos_hunt`: explorer smoke sweep over the flaky-ledger workload.
+//!
+//! The chaos explorer is only useful if a bounded sweep reliably surfaces
+//! the bug it was built to catch.  This bench times the two halves of a
+//! hunt -- the seed sweep and the delta-debugging shrink -- and then
+//! *verifies* the end-to-end pipeline, panicking if it regresses:
+//!
+//! * **the planted bug is found**: a 16-seed heavy sweep over
+//!   [`Ledger`](ireplayer_workloads::Ledger) must surface at least one
+//!   failure whose fingerprint matches the static ledger audit;
+//! * **minimization bites**: the surviving plan must be a verified subset
+//!   of the original with at least a 4x weight reduction, and re-probing
+//!   it must reproduce the identical failure fingerprint.
+//!
+//! The summary lands in `BENCH_chaos_hunt.json` with the sweep size,
+//! failures found, probe-run count, and the per-mille shrink ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ireplayer::{ChaosExplorer, ChaosProfile, Config, FaultKind, OutcomeClass, Runtime};
+use ireplayer_workloads::{Ledger, Workload, WorkloadSpec, LEDGER_AUDIT};
+
+/// Seeds per smoke sweep: enough that the heavy profile reliably lands a
+/// reset between a send and its acknowledgement, small enough that the
+/// bench stays well inside the CI smoke budget.
+const SEED_BUDGET: u64 = 16;
+
+fn runtime(partitions: usize) -> Runtime {
+    let config = Config::builder()
+        .partitions(partitions)
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .quiescence_timeout_ms(20_000)
+        .build()
+        .expect("bench configuration");
+    Runtime::new(config).expect("bench runtime")
+}
+
+fn ledger_subject() -> ireplayer::ExploreSubject {
+    let spec = WorkloadSpec::tiny();
+    ireplayer::ExploreSubject::new("flaky-ledger", move || Ledger.program(&spec)).with_stage(Ledger::stage_os)
+}
+
+fn seeds() -> Vec<u64> {
+    (0..SEED_BUDGET).collect()
+}
+
+/// True when an outcome is the planted ledger bug (and not some
+/// artifact of the injection itself).
+fn is_planted_bug(outcome: &OutcomeClass) -> bool {
+    matches!(
+        outcome,
+        OutcomeClass::Faulted(FaultKind::AssertionFailure { message }) if message == LEDGER_AUDIT
+    )
+}
+
+fn bench_chaos_hunt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_hunt");
+    group.sample_size(10);
+
+    // The sweep alone: compile + probe SEED_BUDGET plans through the
+    // admission scheduler on two partitions.
+    let rt = runtime(2);
+    let explorer = ChaosExplorer::new(&rt, ledger_subject());
+    group.bench_function("sweep-16-seeds", |b| {
+        b.iter(|| {
+            let outcomes = explorer
+                .sweep(&seeds(), ChaosProfile::heavy())
+                .expect("sweep completes");
+            assert_eq!(outcomes.len(), SEED_BUDGET as usize);
+        });
+    });
+
+    // The shrink alone: minimize one failing plan down to its kernel.
+    let rt = runtime(1);
+    let explorer = ChaosExplorer::new(&rt, ledger_subject());
+    let outcomes = explorer
+        .sweep(&seeds(), ChaosProfile::heavy())
+        .expect("sweep completes");
+    let failing = outcomes
+        .iter()
+        .find(|o| o.outcome.is_failure())
+        .expect("a heavy sweep surfaces the planted bug")
+        .plan
+        .clone();
+    group.bench_function("minimize-one-find", |b| {
+        b.iter(|| {
+            let find = explorer.minimize(&failing).expect("minimization completes");
+            assert!(find.minimized.weight() < find.original.weight());
+        });
+    });
+    group.finish();
+}
+
+/// The end-to-end smoke hunt: the planted bug must be found, minimized to
+/// a verified subset with a real weight reduction, and reproducible.
+fn verify_planted_bug_is_found(_c: &mut Criterion) {
+    let rt = runtime(2);
+    let explorer = ChaosExplorer::new(&rt, ledger_subject());
+    let report = explorer.hunt(&seeds(), ChaosProfile::heavy()).expect("hunt completes");
+
+    println!(
+        "chaos_hunt/smoke: {} plans swept, {} failed, {} distinct fingerprint(s), {} probe runs",
+        report.outcomes.len(),
+        report.failures(),
+        report.finds.len(),
+        report.trials
+    );
+    assert!(
+        report.failures() >= 1,
+        "a {SEED_BUDGET}-seed heavy sweep must surface the planted ledger bug"
+    );
+    let find = report
+        .finds
+        .iter()
+        .find(|f| is_planted_bug(&f.outcome))
+        .expect("one find must carry the planted ledger-audit failure");
+    assert!(find.is_subset(), "the minimized plan must be a subset of the original");
+    assert!(
+        find.shrink_ratio() >= 4.0,
+        "minimization must shrink the plan at least 4x (got {:.1}x)",
+        find.shrink_ratio()
+    );
+    let reproduced = explorer.probe(&find.minimized).expect("re-probe completes");
+    assert_eq!(
+        reproduced.fingerprint(),
+        Some(find.fingerprint),
+        "the minimized plan must reproduce the identical failure fingerprint"
+    );
+    println!(
+        "chaos_hunt/smoke: minimized {} -> {} ({:.0}x) in {} trials",
+        find.original.weight(),
+        find.minimized.weight(),
+        find.shrink_ratio(),
+        find.trials
+    );
+
+    criterion::record_metric("chaos_hunt/plans_swept", report.outcomes.len() as f64);
+    criterion::record_metric("chaos_hunt/failures_found", report.failures() as f64);
+    criterion::record_metric("chaos_hunt/probe_runs", report.trials as f64);
+    criterion::record_metric("chaos_hunt/mean_shrink_ratio", report.mean_shrink_ratio());
+}
+
+criterion_group!(benches, bench_chaos_hunt, verify_planted_bug_is_found);
+
+/// Emits the machine-readable summary CI uploads as an artifact.
+fn emit_summary() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos_hunt.json");
+    criterion::write_summary_json(path, "chaos_hunt").expect("write bench summary");
+    println!("summary written to {path}");
+}
+
+criterion_main!(benches, emit_summary);

@@ -1,0 +1,167 @@
+//! Shrink steps for chaos-plan minimization.
+//!
+//! The explorer (in `ireplayer-core`) drives a delta-debugging loop over a
+//! failing [`ChaosPlan`]: it asks this module for the candidate cuts, runs
+//! each candidate, and keeps the first one that still reproduces the
+//! failure.  The cuts come in two granularities, coarse first:
+//!
+//! 1. **Drop a class** ([`ShrinkStep::DropClass`]): disable one fault class
+//!    entirely via [`ChaosPlan::without_class`].  One candidate per class
+//!    that currently contributes weight.
+//! 2. **Halve a schedule** ([`ShrinkStep::KeepFirstHalf`] /
+//!    [`ShrinkStep::KeepSecondHalf`]): replace one class's firing slots
+//!    with either half via [`ChaosPlan::with_class_slots`].  Two candidates
+//!    per class with at least two slots.
+//!
+//! Every candidate is strictly lighter than its parent
+//! ([`ChaosPlan::weight`] decreases) and a slot-subset of it
+//! ([`ChaosPlan::is_subset_of`]), so a greedy restart loop over
+//! [`shrink_candidates`] terminates and never injects a fault the original
+//! plan would not have injected.
+
+use crate::plan::{ChaosPlan, FaultClass};
+
+/// One candidate cut the minimizer can apply to a failing plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShrinkStep {
+    /// Disable the class entirely (zero its intensity knob, clear its
+    /// schedule).
+    DropClass(FaultClass),
+    /// Keep only the first half of the class's firing slots.
+    KeepFirstHalf(FaultClass),
+    /// Keep only the second half of the class's firing slots.
+    KeepSecondHalf(FaultClass),
+}
+
+impl ShrinkStep {
+    /// The fault class this step cuts.
+    pub fn class(self) -> FaultClass {
+        match self {
+            ShrinkStep::DropClass(class) | ShrinkStep::KeepFirstHalf(class) | ShrinkStep::KeepSecondHalf(class) => {
+                class
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ShrinkStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShrinkStep::DropClass(class) => write!(f, "drop {class}"),
+            ShrinkStep::KeepFirstHalf(class) => write!(f, "keep first half of {class}"),
+            ShrinkStep::KeepSecondHalf(class) => write!(f, "keep second half of {class}"),
+        }
+    }
+}
+
+/// Every strictly-smaller one-step cut of `plan`, coarse cuts first.
+///
+/// The order is the search order: dropping a whole class removes the most
+/// weight per re-execution, so those candidates come first (in
+/// [`FaultClass::ALL`] order), followed by the per-class halvings.  Classes
+/// that contribute no weight produce no candidates, so the list is empty
+/// exactly when the plan is quiet.
+pub fn shrink_candidates(plan: &ChaosPlan) -> Vec<(ShrinkStep, ChaosPlan)> {
+    let mut candidates = Vec::new();
+    for class in FaultClass::ALL {
+        let slots = plan
+            .schedule
+            .iter()
+            .find(|s| s.class == class)
+            .map(|s| s.slots.as_slice())
+            .unwrap_or(&[]);
+        let contributes = if class == FaultClass::AllocFail {
+            plan.profile.alloc_fail_nth > 0
+        } else {
+            !slots.is_empty()
+        };
+        if contributes {
+            candidates.push((ShrinkStep::DropClass(class), plan.without_class(class)));
+        }
+    }
+    for class in FaultClass::ALL {
+        let slots = plan
+            .schedule
+            .iter()
+            .find(|s| s.class == class)
+            .map(|s| s.slots.clone())
+            .unwrap_or_default();
+        if slots.len() < 2 {
+            continue;
+        }
+        let mid = slots.len() / 2;
+        candidates.push((
+            ShrinkStep::KeepFirstHalf(class),
+            plan.with_class_slots(class, slots[..mid].to_vec()),
+        ));
+        candidates.push((
+            ShrinkStep::KeepSecondHalf(class),
+            plan.with_class_slots(class, slots[mid..].to_vec()),
+        ));
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChaosProfile;
+
+    #[test]
+    fn candidates_are_strictly_smaller_verified_subsets() {
+        let plan = ChaosPlan::compile(9, ChaosProfile::heavy());
+        let candidates = shrink_candidates(&plan);
+        assert!(!candidates.is_empty());
+        for (step, candidate) in &candidates {
+            assert!(candidate.weight() < plan.weight(), "{step} did not shrink");
+            assert!(candidate.is_subset_of(&plan), "{step} is not a subset");
+            assert!(candidate.verify().is_ok(), "{step} fails verification");
+            assert!(candidate.derived);
+        }
+    }
+
+    #[test]
+    fn quiet_plans_yield_no_candidates() {
+        let quiet = ChaosPlan::compile(9, ChaosProfile::quiet());
+        assert!(shrink_candidates(&quiet).is_empty());
+    }
+
+    #[test]
+    fn drop_candidates_cover_every_contributing_class() {
+        let plan = ChaosPlan::compile(2, ChaosProfile::heavy());
+        let drops: Vec<FaultClass> = shrink_candidates(&plan)
+            .into_iter()
+            .filter_map(|(step, _)| match step {
+                ShrinkStep::DropClass(class) => Some(class),
+                _ => None,
+            })
+            .collect();
+        // The heavy profile enables every class, so every class is
+        // droppable -- including AllocFail, whose weight is the Nth rule.
+        assert_eq!(drops, FaultClass::ALL.to_vec());
+    }
+
+    #[test]
+    fn halving_stops_at_single_slot_schedules() {
+        let plan = ChaosPlan::compile(4, ChaosProfile::heavy());
+        let reads = plan
+            .schedule
+            .iter()
+            .find(|s| s.class == FaultClass::ShortRead)
+            .unwrap()
+            .slots
+            .clone();
+        let single = plan.with_class_slots(FaultClass::ShortRead, vec![reads[0]]);
+        let halves_of_reads = shrink_candidates(&single)
+            .into_iter()
+            .filter(|(step, _)| {
+                matches!(
+                    step,
+                    ShrinkStep::KeepFirstHalf(FaultClass::ShortRead)
+                        | ShrinkStep::KeepSecondHalf(FaultClass::ShortRead)
+                )
+            })
+            .count();
+        assert_eq!(halves_of_reads, 0, "a one-slot schedule cannot be halved");
+    }
+}

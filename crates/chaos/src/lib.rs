@@ -29,9 +29,11 @@
 //! the log and never re-invokes the OS.
 
 mod engine;
+mod explore;
 mod plan;
 
 pub use engine::{ChaosEngine, ChaosRevocableState, NetFault, SocketFault};
+pub use explore::{shrink_candidates, ShrinkStep};
 pub use plan::{ChaosPlan, ChaosPlanError, ChaosProfile, ClassSchedule, FaultClass, HORIZON};
 
 /// SplitMix64, the same generator the scripted network peers use; public so

@@ -253,6 +253,14 @@ impl std::fmt::Display for ChaosPlanError {
 /// and be inspected by tools; [`ChaosPlan::verify`] (called by
 /// `Config::validate`) rejects any hand-assembled plan whose schedule does
 /// not match its seed and profile.
+///
+/// A plan is either **compiled** ([`ChaosPlan::compile`], `derived ==
+/// false`), in which case its schedules must be *exactly* what the seed
+/// and profile produce, or **derived** (the shrink constructors
+/// [`ChaosPlan::without_class`] / [`ChaosPlan::with_class_slots`], used by
+/// the failure minimizer), in which case each schedule must be a *subset*
+/// of the compiled one -- removal is the sanctioned edit, addition is
+/// still tampering.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChaosPlan {
     /// The seed every schedule was derived from.
@@ -261,6 +269,9 @@ pub struct ChaosPlan {
     pub profile: ChaosProfile,
     /// One compiled schedule per class, in [`FaultClass::ALL`] order.
     pub schedule: Vec<ClassSchedule>,
+    /// `true` for plans produced by the shrink constructors: verification
+    /// admits slot-subset schedules instead of demanding exact equality.
+    pub derived: bool,
 }
 
 impl ChaosPlan {
@@ -290,7 +301,74 @@ impl ChaosPlan {
             seed,
             profile,
             schedule,
+            derived: false,
         }
+    }
+
+    /// A derived plan with one fault class disabled entirely: its intensity
+    /// knob is zeroed (`alloc_fail_nth` for [`FaultClass::AllocFail`]) and
+    /// its schedule cleared.  Every other class is untouched -- schedules
+    /// are compiled per class, so zeroing one knob cannot shift another
+    /// class's slots.  This is the minimizer's coarse cut.
+    pub fn without_class(&self, class: FaultClass) -> ChaosPlan {
+        let mut plan = self.clone();
+        plan.derived = true;
+        match class {
+            FaultClass::ShortRead => plan.profile.short_read_per_mille = 0,
+            FaultClass::ShortWrite => plan.profile.short_write_per_mille = 0,
+            FaultClass::NetEagain => plan.profile.net_eagain_per_mille = 0,
+            FaultClass::NetReset => plan.profile.net_reset_per_mille = 0,
+            FaultClass::NetPartition => plan.profile.net_partition_per_mille = 0,
+            FaultClass::ClockJump => plan.profile.clock_jump_per_mille = 0,
+            FaultClass::MmapExhausted => plan.profile.mmap_exhausted_per_mille = 0,
+            FaultClass::FdPressure => plan.profile.fd_pressure_per_mille = 0,
+            FaultClass::AllocFail => plan.profile.alloc_fail_nth = 0,
+        }
+        if let Some(schedule) = plan.schedule.iter_mut().find(|s| s.class == class) {
+            schedule.slots.clear();
+        }
+        plan
+    }
+
+    /// A derived plan with one class's firing slots replaced by `slots`
+    /// (sorted and deduplicated here).  The slots must be a subset of the
+    /// current schedule for the plan to pass [`ChaosPlan::verify`]; this is
+    /// the minimizer's fine cut (halving a schedule).
+    pub fn with_class_slots(&self, class: FaultClass, slots: Vec<u32>) -> ChaosPlan {
+        let mut plan = self.clone();
+        plan.derived = true;
+        let mut slots = slots;
+        slots.sort_unstable();
+        slots.dedup();
+        if let Some(schedule) = plan.schedule.iter_mut().find(|s| s.class == class) {
+            schedule.slots = slots;
+        }
+        plan
+    }
+
+    /// `true` if every firing slot of every class of `self` also fires in
+    /// `parent` (and `self` enables no class `parent` has off).  The
+    /// minimizer's invariant: a shrunk plan never injects a fault its
+    /// parent would not have injected.
+    pub fn is_subset_of(&self, parent: &ChaosPlan) -> bool {
+        if self.profile.alloc_fail_nth != 0 && self.profile.alloc_fail_nth != parent.profile.alloc_fail_nth {
+            return false;
+        }
+        self.schedule.iter().all(|ours| {
+            let theirs = parent.schedule.iter().find(|s| s.class == ours.class);
+            match theirs {
+                Some(theirs) => ours.slots.iter().all(|slot| theirs.slots.binary_search(slot).is_ok()),
+                None => ours.slots.is_empty(),
+            }
+        })
+    }
+
+    /// The plan's size under minimization: total firing slots across all
+    /// classes, plus one for an enabled Nth-allocation rule.  Shrink ratios
+    /// are ratios of weights.
+    pub fn weight(&self) -> u64 {
+        let slots: u64 = self.schedule.iter().map(|s| s.slots.len() as u64).sum();
+        slots + u64::from(self.profile.alloc_fail_nth > 0)
     }
 
     /// Returns `true` if the class fires at the given operation index (the
@@ -333,12 +411,20 @@ impl ChaosPlan {
                 eat(u64::from(slot));
             }
         }
+        // Compiled plans keep their pre-`derived` digests (frozen trace
+        // fixtures pin them); derived plans mix in a marker so a shrink
+        // that happens to keep every slot still gets its own digest.
+        if self.derived {
+            eat(1);
+        }
         hash
     }
 
     /// Checks internal consistency: every zero-intensity class has an empty
-    /// schedule, and the schedules are exactly what `compile` produces for
-    /// this seed and profile.
+    /// schedule, and the schedules agree with what `compile` produces for
+    /// this seed and profile -- *exactly* for a compiled plan, as a
+    /// *slot subset* for a derived one (the minimizer only ever removes
+    /// firings; a slot `compile` would not produce is tampering either way).
     pub fn verify(&self) -> Result<(), ChaosPlanError> {
         for class in &self.schedule {
             if self.profile.intensity(class.class) == 0 && !class.slots.is_empty() {
@@ -346,14 +432,24 @@ impl ChaosPlan {
             }
         }
         let recompiled = ChaosPlan::compile(self.seed, self.profile);
-        if *self != recompiled {
+        let consistent = if self.derived {
+            self.is_subset_of(&recompiled)
+        } else {
+            self.schedule == recompiled.schedule
+        };
+        if !consistent {
             let class = FaultClass::ALL
                 .iter()
                 .copied()
                 .find(|&c| {
                     let ours = self.schedule.iter().find(|s| s.class == c);
                     let theirs = recompiled.schedule.iter().find(|s| s.class == c);
-                    ours != theirs
+                    match (ours, theirs, self.derived) {
+                        (Some(ours), Some(theirs), true) => {
+                            !ours.slots.iter().all(|slot| theirs.slots.binary_search(slot).is_ok())
+                        }
+                        (ours, theirs, _) => ours != theirs,
+                    }
                 })
                 .unwrap_or(FaultClass::ShortRead);
             return Err(ChaosPlanError::SeedProfileMismatch { class });
@@ -413,6 +509,80 @@ mod tests {
         );
         let miss = (0..u64::from(HORIZON)).find(|i| !slots.contains(&(*i as u32))).unwrap();
         assert!(!plan.fires(FaultClass::ShortRead, miss));
+    }
+
+    #[test]
+    fn derived_subset_plans_verify() {
+        let parent = ChaosPlan::compile(21, ChaosProfile::heavy());
+
+        let dropped = parent.without_class(FaultClass::NetReset);
+        assert!(dropped.derived);
+        assert!(dropped.verify().is_ok(), "dropping a class is a sanctioned edit");
+        assert!(dropped.is_subset_of(&parent));
+        assert!(dropped.weight() < parent.weight());
+        assert_ne!(dropped.digest(), parent.digest());
+
+        let reads = parent
+            .schedule
+            .iter()
+            .find(|s| s.class == FaultClass::ShortRead)
+            .unwrap()
+            .slots
+            .clone();
+        let half = reads[..reads.len() / 2].to_vec();
+        let halved = parent.with_class_slots(FaultClass::ShortRead, half);
+        assert!(halved.verify().is_ok(), "halving a schedule is a sanctioned edit");
+        assert!(halved.is_subset_of(&parent));
+        assert!(halved.weight() < parent.weight());
+
+        // Stacked shrinks stay verifiable: each cut is a subset of what the
+        // (possibly modified) profile compiles to.
+        let stacked = dropped.without_class(FaultClass::ClockJump);
+        assert!(stacked.verify().is_ok());
+        assert!(stacked.is_subset_of(&parent));
+
+        // A derived plan that keeps every slot still gets its own digest.
+        let same_slots = parent.with_class_slots(FaultClass::ShortRead, reads);
+        assert_eq!(same_slots.schedule, parent.schedule);
+        assert_ne!(same_slots.digest(), parent.digest());
+    }
+
+    #[test]
+    fn derived_plans_with_added_slots_fail_verification() {
+        let parent = ChaosPlan::compile(21, ChaosProfile::light());
+        let slots = &parent
+            .schedule
+            .iter()
+            .find(|s| s.class == FaultClass::ShortRead)
+            .unwrap()
+            .slots;
+        let foreign = (0..HORIZON).find(|slot| !slots.contains(slot)).unwrap();
+        let mut grown = slots.clone();
+        grown.push(foreign);
+        let tampered = parent.with_class_slots(FaultClass::ShortRead, grown);
+        assert_eq!(
+            tampered.verify(),
+            Err(ChaosPlanError::SeedProfileMismatch {
+                class: FaultClass::ShortRead
+            })
+        );
+        assert!(!tampered.is_subset_of(&parent));
+    }
+
+    #[test]
+    fn without_alloc_fail_removes_the_nth_rule_weight() {
+        let parent = ChaosPlan::compile(5, ChaosProfile::heavy());
+        assert!(parent.profile.alloc_fail_nth > 0);
+        let cut = parent.without_class(FaultClass::AllocFail);
+        assert_eq!(cut.profile.alloc_fail_nth, 0);
+        assert!(cut.verify().is_ok());
+        assert_eq!(cut.weight(), parent.weight() - 1);
+
+        // A derived plan re-enabling AllocFail with a different Nth is not a
+        // subset: it injects faults the parent would not have injected.
+        let mut retuned = parent.clone();
+        retuned.profile.alloc_fail_nth = parent.profile.alloc_fail_nth + 1;
+        assert!(!retuned.is_subset_of(&parent));
     }
 
     #[test]

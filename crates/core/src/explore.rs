@@ -1,0 +1,720 @@
+//! [`ChaosExplorer`]: chaos-plan search over the admission scheduler.
+//!
+//! The chaos plane (see [`ChaosPlan`]) injects one seeded fault plan per
+//! run.  This module is the other half of "chaos as a bug-finder": it
+//! *searches* plan space and turns every find into a regression artifact.
+//! The loop has four stages:
+//!
+//! 1. **Sweep** ([`ChaosExplorer::sweep`]): compile many `(seed, profile)`
+//!    candidates and fan them out across the runtime's partitions through
+//!    the admission scheduler -- every candidate is one
+//!    [`Runtime::launch_with`] with a per-launch plan override, drained
+//!    through [`Session::wait_async`](crate::Session::wait_async).
+//! 2. **Classify** ([`OutcomeClass`]): each run lands in one bucket --
+//!    clean, a typed application fault, replay divergence, quota
+//!    exhaustion, or a hang cut by the quiescence deadline.
+//! 3. **Shrink** ([`ChaosExplorer::minimize`]): a failing plan is
+//!    delta-debugged against its [`FailureFingerprint`] -- drop whole
+//!    fault classes, then halve slot schedules
+//!    ([`shrink_candidates`]), re-executing after each cut and keeping a
+//!    cut only when the *same* failure reproduces -- until no strictly
+//!    smaller plan still fails that way.
+//! 4. **Fixture** ([`ChaosExplorer::emit_fixture`]): the minimized plan is
+//!    re-run on a dedicated recording runtime and saved as a durable
+//!    [`Trace`] test fixture, replayable fingerprint-identically by
+//!    [`Runtime::replay_trace`] in a process that never saw the bug.
+//!
+//! Determinism is what makes the search loop sound: a probe of the same
+//! plan on a warm runtime reproduces the same failure byte-for-byte (the
+//! supervisor reinstalls the plan with zeroed injection counters on every
+//! launch), so "still fails with the same fingerprint" is a real predicate
+//! and not a statistical one.
+
+use std::future::Future;
+use std::path::Path;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use ireplayer_sys::{shrink_candidates, ChaosPlan, ChaosProfile, ShrinkStep, SimOs};
+
+use crate::error::{Error, ErrorKind};
+use crate::fault::FaultKind;
+use crate::fingerprint::Fingerprint;
+use crate::program::Program;
+use crate::runtime::{LaunchOptions, Runtime};
+use crate::stats::{RunOutcome, RunReport};
+use crate::trace::{json, Trace};
+
+/// A minimal single-threaded executor for draining
+/// [`SessionFuture`](crate::SessionFuture)s: park until woken, re-poll.
+/// The futures are plain poll/waker machinery, so nothing heavier is
+/// needed.
+fn block_on<F: Future>(future: F) -> F::Output {
+    struct Unpark(std::thread::Thread);
+    impl Wake for Unpark {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+    let mut context = Context::from_waker(&waker);
+    let mut future = pin!(future);
+    loop {
+        match future.as_mut().poll(&mut context) {
+            Poll::Ready(output) => return output,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+/// A shared, repeatable kernel-staging closure (cf. the one-shot
+/// [`LaunchOptions::stage`] each probe derives from it).
+type SharedStage = Arc<dyn Fn(&SimOs) + Send + Sync>;
+
+/// The workload a [`ChaosExplorer`] drives: a factory for fresh
+/// [`Program`]s plus the kernel staging each run needs.
+///
+/// The factory is called once per probe -- every run gets its own program
+/// over a freshly staged kernel, so probes are independent.  The staging
+/// closure is applied per launch through [`LaunchOptions::stage`], which
+/// is what makes sweeping safe on an overcommitted runtime: a queued
+/// launch's partition is rebooted at admission, long after `sweep`
+/// returned.
+pub struct ExploreSubject {
+    name: String,
+    program: Arc<dyn Fn() -> Program + Send + Sync>,
+    stage: Option<SharedStage>,
+}
+
+impl ExploreSubject {
+    /// A subject that needs no kernel staging.
+    pub fn new(name: impl Into<String>, program: impl Fn() -> Program + Send + Sync + 'static) -> Self {
+        ExploreSubject {
+            name: name.into(),
+            program: Arc::new(program),
+            stage: None,
+        }
+    }
+
+    /// Adds per-run kernel staging (files, network peers, queued clients),
+    /// run against the claimed partition right before each probe starts.
+    pub fn with_stage(mut self, stage: impl Fn(&SimOs) + Send + Sync + 'static) -> Self {
+        self.stage = Some(Arc::new(stage));
+        self
+    }
+
+    /// The subject's display name, carried into [`ExploreReport`].
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Launch options carrying this subject's staging plus `plan`.
+    fn options(&self, plan: ChaosPlan) -> LaunchOptions {
+        let mut options = LaunchOptions::new().chaos(plan);
+        if let Some(stage) = &self.stage {
+            let stage = Arc::clone(stage);
+            options = options.stage(move |os| stage(os));
+        }
+        options
+    }
+
+    /// Launch options with this subject's staging only (no plan override).
+    fn stage_options(&self) -> LaunchOptions {
+        let mut options = LaunchOptions::new();
+        if let Some(stage) = &self.stage {
+            let stage = Arc::clone(stage);
+            options = options.stage(move |os| stage(os));
+        }
+        options
+    }
+}
+
+impl std::fmt::Debug for ExploreSubject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExploreSubject")
+            .field("name", &self.name)
+            .field("stage", &self.stage.is_some())
+            .finish()
+    }
+}
+
+/// Which bucket one probed plan landed in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutcomeClass {
+    /// The program completed without faulting.
+    Clean,
+    /// The program faulted; the payload is the typed fault.
+    Faulted(FaultKind),
+    /// The replay machinery exhausted its budget without reproducing the
+    /// recorded schedule ([`ErrorKind::ReplayBudgetExhausted`]).
+    Divergence,
+    /// A per-tenant quota cut the run off
+    /// ([`ErrorKind::QuotaExhausted`]).
+    QuotaExhausted,
+    /// The run hung and was cut by the quiescence deadline
+    /// ([`ErrorKind::QuiescenceTimeout`]).
+    Hang,
+    /// The run failed some other way; the payload is the error kind.
+    Failed(ErrorKind),
+}
+
+impl OutcomeClass {
+    /// Buckets one run result.  Program faults are data here, not errors:
+    /// the explorer's whole point is to observe them.
+    fn classify(result: &Result<RunReport, Error>) -> OutcomeClass {
+        match result {
+            Ok(report) => match &report.outcome {
+                RunOutcome::Completed => OutcomeClass::Clean,
+                RunOutcome::Faulted(fault) => OutcomeClass::Faulted(fault.kind.clone()),
+            },
+            Err(error) => match error.kind() {
+                ErrorKind::QuotaExhausted => OutcomeClass::QuotaExhausted,
+                ErrorKind::QuiescenceTimeout => OutcomeClass::Hang,
+                ErrorKind::ReplayBudgetExhausted => OutcomeClass::Divergence,
+                kind => OutcomeClass::Failed(kind),
+            },
+        }
+    }
+
+    /// `true` for every bucket except [`OutcomeClass::Clean`].
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, OutcomeClass::Clean)
+    }
+
+    /// The identity the minimizer preserves: a digest over the failure's
+    /// class and typed payload (the fault kind with its message, or the
+    /// error kind), or `None` for a clean run.  Two probes fail "the same
+    /// way" exactly when their fingerprints are equal.
+    pub fn fingerprint(&self) -> Option<FailureFingerprint> {
+        self.is_failure()
+            .then(|| FailureFingerprint(Fingerprint::of_debug(self)))
+    }
+
+    /// Stable kebab-case bucket label, used in the JSON report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutcomeClass::Clean => "clean",
+            OutcomeClass::Faulted(_) => "fault",
+            OutcomeClass::Divergence => "divergence",
+            OutcomeClass::QuotaExhausted => "quota",
+            OutcomeClass::Hang => "hang",
+            OutcomeClass::Failed(_) => "failed",
+        }
+    }
+}
+
+impl std::fmt::Display for OutcomeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutcomeClass::Faulted(kind) => write!(f, "fault: {kind}"),
+            OutcomeClass::Failed(kind) => write!(f, "failed: {kind:?}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// The identity of one way to fail (see [`OutcomeClass::fingerprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailureFingerprint(Fingerprint);
+
+impl FailureFingerprint {
+    /// The underlying digest.
+    pub fn as_fingerprint(self) -> Fingerprint {
+        self.0
+    }
+}
+
+impl std::fmt::Display for FailureFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// One probed plan and where it landed.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The probed plan (compiled, or shrunk during minimization).
+    pub plan: ChaosPlan,
+    /// The bucket the run landed in.
+    pub outcome: OutcomeClass,
+    /// Total chaos faults injected into the run (0 when the run errored
+    /// before producing a report).
+    pub faults_injected: u64,
+}
+
+impl PlanOutcome {
+    /// The failure identity of this probe, or `None` for a clean run.
+    pub fn fingerprint(&self) -> Option<FailureFingerprint> {
+        self.outcome.fingerprint()
+    }
+
+    fn to_value(&self) -> json::Value {
+        json::obj(vec![
+            ("seed", json::Value::Int(self.plan.seed.into())),
+            ("digest", json::Value::Str(format!("{:016x}", self.plan.digest()))),
+            ("weight", json::Value::Int(self.plan.weight().into())),
+            ("class", json::Value::Str(self.outcome.label().to_owned())),
+            ("outcome", json::Value::Str(self.outcome.to_string())),
+            ("faults_injected", json::Value::Int(self.faults_injected.into())),
+        ])
+    }
+}
+
+/// A failing plan delta-debugged down to its smallest reproducing form.
+#[derive(Debug, Clone)]
+pub struct MinimizedFind {
+    /// The failing plan the minimization started from.
+    pub original: ChaosPlan,
+    /// The smallest plan that still reproduces the failure.
+    pub minimized: ChaosPlan,
+    /// The failure identity every kept cut reproduced.
+    pub fingerprint: FailureFingerprint,
+    /// The minimized plan's outcome (same fingerprint as `fingerprint`).
+    pub outcome: OutcomeClass,
+    /// The accepted cuts, in application order.
+    pub steps: Vec<ShrinkStep>,
+    /// Probe runs the minimization spent (baseline plus every candidate).
+    pub trials: u64,
+}
+
+impl MinimizedFind {
+    /// Weight of the original plan over weight of the minimized plan --
+    /// "minimized 8.5x" means the fault schedule shrank 8.5-fold.
+    pub fn shrink_ratio(&self) -> f64 {
+        self.original.weight() as f64 / self.minimized.weight().max(1) as f64
+    }
+
+    /// `true` when every slot the minimized plan fires existed in the
+    /// original -- the minimizer's invariant, exposed for tests.
+    pub fn is_subset(&self) -> bool {
+        self.minimized.is_subset_of(&self.original)
+    }
+
+    fn to_value(&self) -> json::Value {
+        json::obj(vec![
+            ("seed", json::Value::Int(self.original.seed.into())),
+            (
+                "original_digest",
+                json::Value::Str(format!("{:016x}", self.original.digest())),
+            ),
+            (
+                "minimized_digest",
+                json::Value::Str(format!("{:016x}", self.minimized.digest())),
+            ),
+            ("original_weight", json::Value::Int(self.original.weight().into())),
+            ("minimized_weight", json::Value::Int(self.minimized.weight().into())),
+            (
+                "shrink_ratio_per_mille",
+                json::Value::Int((self.shrink_ratio() * 1000.0) as i128),
+            ),
+            ("fingerprint", json::Value::Str(self.fingerprint.to_string())),
+            ("outcome", json::Value::Str(self.outcome.to_string())),
+            (
+                "steps",
+                json::Value::Arr(
+                    self.steps
+                        .iter()
+                        .map(|step| json::Value::Str(step.to_string()))
+                        .collect(),
+                ),
+            ),
+            ("trials", json::Value::Int(self.trials.into())),
+        ])
+    }
+}
+
+/// What a [`ChaosExplorer::hunt`] found: every probed plan's outcome plus
+/// one [`MinimizedFind`] per distinct failure fingerprint.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// The subject that was swept.
+    pub subject: String,
+    /// Every swept plan's outcome, in sweep order.
+    pub outcomes: Vec<PlanOutcome>,
+    /// One minimized find per distinct failure fingerprint.
+    pub finds: Vec<MinimizedFind>,
+    /// Total probe runs executed (sweep plus all minimizations).
+    pub trials: u64,
+}
+
+impl ExploreReport {
+    /// How many swept plans failed (any non-clean bucket).
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.outcome.is_failure()).count()
+    }
+
+    /// Mean shrink ratio across the finds (0.0 with no finds).
+    pub fn mean_shrink_ratio(&self) -> f64 {
+        if self.finds.is_empty() {
+            return 0.0;
+        }
+        self.finds.iter().map(MinimizedFind::shrink_ratio).sum::<f64>() / self.finds.len() as f64
+    }
+
+    /// Serializes the report as pretty-printed JSON through the trace
+    /// format's encoder.  Ratios appear as integer per-mille values (the
+    /// encoder is integers-only by design).
+    pub fn to_json(&self) -> String {
+        json::obj(vec![
+            ("subject", json::Value::Str(self.subject.clone())),
+            ("plans_tried", json::Value::Int((self.outcomes.len() as u64).into())),
+            ("failures_found", json::Value::Int((self.failures() as u64).into())),
+            ("finds", json::Value::Int((self.finds.len() as u64).into())),
+            ("trials", json::Value::Int(self.trials.into())),
+            (
+                "mean_shrink_ratio_per_mille",
+                json::Value::Int((self.mean_shrink_ratio() * 1000.0) as i128),
+            ),
+            (
+                "outcomes",
+                json::Value::Arr(self.outcomes.iter().map(PlanOutcome::to_value).collect()),
+            ),
+            (
+                "minimized",
+                json::Value::Arr(self.finds.iter().map(MinimizedFind::to_value).collect()),
+            ),
+        ])
+        .to_pretty_string()
+    }
+}
+
+/// The sweep/classify/shrink/fixture driver (see the module docs).
+///
+/// Borrows the runtime it probes on: every probe is an ordinary
+/// [`Runtime::launch_with`], so a multi-partition runtime runs probes
+/// concurrently and a busy one queues them -- the explorer needs no
+/// scheduling machinery of its own.
+#[derive(Debug)]
+pub struct ChaosExplorer<'rt> {
+    runtime: &'rt Runtime,
+    subject: ExploreSubject,
+}
+
+impl<'rt> ChaosExplorer<'rt> {
+    /// An explorer probing `subject` on `runtime`.
+    pub fn new(runtime: &'rt Runtime, subject: ExploreSubject) -> Self {
+        ChaosExplorer { runtime, subject }
+    }
+
+    /// The subject under exploration.
+    pub fn subject(&self) -> &ExploreSubject {
+        &self.subject
+    }
+
+    /// Runs the subject once under `plan` and classifies the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Only *launch* failures (an invalid plan, a poisoned runtime) are
+    /// errors; everything the run itself does -- faulting, hanging into
+    /// the deadline, blowing a quota -- is data in the returned
+    /// [`PlanOutcome`].
+    pub fn probe(&self, plan: &ChaosPlan) -> Result<PlanOutcome, Error> {
+        let session = self
+            .runtime
+            .launch_with((self.subject.program)(), self.subject.options(plan.clone()))?;
+        let result = session.wait();
+        Ok(Self::outcome_of(plan.clone(), &result))
+    }
+
+    /// Compiles one plan per seed and fans the probes out across the
+    /// runtime's partitions through the admission scheduler, draining the
+    /// results with [`Session::wait_async`](crate::Session::wait_async).
+    /// Launches are issued in chunks sized to the runtime's capacity
+    /// (partitions plus admission-queue depth), so arbitrarily long seed
+    /// lists sweep without tripping the queue bound.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ChaosExplorer::probe`].
+    pub fn sweep(&self, seeds: &[u64], profile: ChaosProfile) -> Result<Vec<PlanOutcome>, Error> {
+        let capacity = (self.runtime.partition_count() + self.runtime.config().admission_queue_depth).max(1);
+        let mut outcomes = Vec::with_capacity(seeds.len());
+        for chunk in seeds.chunks(capacity) {
+            let mut in_flight = Vec::with_capacity(chunk.len());
+            for &seed in chunk {
+                let plan = ChaosPlan::compile(seed, profile);
+                let session = self
+                    .runtime
+                    .launch_with((self.subject.program)(), self.subject.options(plan.clone()))?;
+                in_flight.push((plan, session.wait_async()));
+            }
+            for (plan, future) in in_flight {
+                let result = block_on(future);
+                outcomes.push(Self::outcome_of(plan, &result));
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Delta-debugs a failing plan to the smallest one still reproducing
+    /// its failure fingerprint: greedily tries every
+    /// [`shrink_candidates`] cut (whole classes first, then schedule
+    /// halves), keeps the first cut whose probe fails identically, and
+    /// restarts from the shrunk plan until no cut survives.  Every kept
+    /// plan is strictly lighter and a slot-subset of its parent, so the
+    /// loop terminates.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::InvalidConfig`] when `plan` probes clean (only failing
+    /// plans can be minimized); launch failures as for
+    /// [`ChaosExplorer::probe`].
+    pub fn minimize(&self, plan: &ChaosPlan) -> Result<MinimizedFind, Error> {
+        let baseline = self.probe(plan)?;
+        let mut trials = 1u64;
+        let Some(target) = baseline.fingerprint() else {
+            return Err(Error::invalid_config(
+                "explore.plan",
+                format!("plan {:016x} for seed {}", plan.digest(), plan.seed),
+                "the plan probes clean; only failing plans can be minimized",
+            ));
+        };
+        let mut current = plan.clone();
+        let mut outcome = baseline.outcome;
+        let mut steps = Vec::new();
+        'shrinking: loop {
+            for (step, candidate) in shrink_candidates(&current) {
+                let probe = self.probe(&candidate)?;
+                trials += 1;
+                if probe.fingerprint() == Some(target) {
+                    current = candidate;
+                    outcome = probe.outcome;
+                    steps.push(step);
+                    // Restart: the accepted cut changes which further cuts
+                    // exist (dropping a class removes its halvings).
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        Ok(MinimizedFind {
+            original: plan.clone(),
+            minimized: current,
+            fingerprint: target,
+            outcome,
+            steps,
+            trials,
+        })
+    }
+
+    /// The whole loop: sweep `seeds`, then minimize one failing plan per
+    /// distinct failure fingerprint (the first plan that exhibited it).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ChaosExplorer::sweep`] and [`ChaosExplorer::minimize`].
+    pub fn hunt(&self, seeds: &[u64], profile: ChaosProfile) -> Result<ExploreReport, Error> {
+        let outcomes = self.sweep(seeds, profile)?;
+        let mut trials = outcomes.len() as u64;
+        let mut seen: Vec<FailureFingerprint> = Vec::new();
+        let mut finds = Vec::new();
+        for outcome in &outcomes {
+            let Some(fingerprint) = outcome.fingerprint() else {
+                continue;
+            };
+            if seen.contains(&fingerprint) {
+                continue;
+            }
+            seen.push(fingerprint);
+            let find = self.minimize(&outcome.plan)?;
+            trials += find.trials;
+            finds.push(find);
+        }
+        Ok(ExploreReport {
+            subject: self.subject.name.clone(),
+            outcomes,
+            finds,
+            trials,
+        })
+    }
+
+    /// Turns a find into a checked-in regression artifact: re-runs the
+    /// subject under the minimized plan on a **dedicated single-partition
+    /// recording runtime** (same execution-relevant configuration as the
+    /// explorer's runtime) and saves the durable trace in
+    /// [`Trace::emit_test`] fixture form at `fixture`.  The returned trace
+    /// replays fingerprint-identically via [`Runtime::replay_trace`] on
+    /// any fresh runtime configured with the minimized plan.
+    ///
+    /// The recording rides a dedicated runtime because a durable trace
+    /// header pins its runtime's *configured* plan digest -- per-launch
+    /// overrides never record (see [`Runtime::launch_with`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::TraceMismatch`](crate::ErrorKind) when the re-run does
+    /// not reproduce the find's failure fingerprint; trace I/O and launch
+    /// errors otherwise.
+    pub fn emit_fixture(&self, find: &MinimizedFind, fixture: &Path) -> Result<Trace, Error> {
+        let mut config = self.runtime.config().clone();
+        config.partitions = 1;
+        config.chaos = Some(find.minimized.clone());
+        let recording = fixture.with_extension("rec");
+        config.record_to = Some(recording.clone());
+        let runtime = Runtime::new(config)?;
+        let result = runtime
+            .launch_with((self.subject.program)(), self.subject.stage_options())?
+            .wait();
+        let reproduced = OutcomeClass::classify(&result);
+        if reproduced.fingerprint() != Some(find.fingerprint) {
+            return Err(Error::trace_mismatch(
+                "chaos fixture",
+                format!(
+                    "the minimized plan reproduced {reproduced} instead of failure {} while recording the fixture",
+                    find.fingerprint
+                ),
+            ));
+        }
+        // A faulted run is an Ok(report); anything else was caught above.
+        drop(result);
+        let trace = Trace::open(&recording)?;
+        trace.emit_test(fixture)?;
+        let _ = std::fs::remove_file(&recording);
+        Ok(trace)
+    }
+
+    /// Builds the outcome row for one finished probe.
+    fn outcome_of(plan: ChaosPlan, result: &Result<RunReport, Error>) -> PlanOutcome {
+        let outcome = OutcomeClass::classify(result);
+        let faults_injected = result
+            .as_ref()
+            .map(|report| report.faults_injected.iter().sum())
+            .unwrap_or(0);
+        PlanOutcome {
+            plan,
+            outcome,
+            faults_injected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer_log::ThreadId;
+
+    fn failing_outcome(message: &str) -> OutcomeClass {
+        OutcomeClass::Faulted(FaultKind::AssertionFailure {
+            message: message.to_owned(),
+        })
+    }
+
+    #[test]
+    fn fingerprints_identify_failures_not_runs() {
+        assert_eq!(OutcomeClass::Clean.fingerprint(), None);
+        let a = failing_outcome("posted != acked").fingerprint().unwrap();
+        let b = failing_outcome("posted != acked").fingerprint().unwrap();
+        let c = failing_outcome("other bug").fingerprint().unwrap();
+        assert_eq!(a, b, "the same failure has one identity");
+        assert_ne!(a, c, "different messages are different failures");
+        assert_ne!(
+            OutcomeClass::Hang.fingerprint(),
+            OutcomeClass::Divergence.fingerprint(),
+            "buckets are part of the identity"
+        );
+    }
+
+    #[test]
+    fn classification_buckets_run_results() {
+        let faulted = Ok(RunReport {
+            program: "p".into(),
+            wall_time: std::time::Duration::ZERO,
+            outcome: RunOutcome::Faulted(crate::fault::FaultRecord {
+                thread: ThreadId(1),
+                kind: FaultKind::AssertionFailure { message: "x".into() },
+                site: None,
+                epoch: 0,
+            }),
+            epochs: 1,
+            threads: 1,
+            sync_events: 0,
+            syscalls: 0,
+            allocations: 0,
+            frees: 0,
+            bytes_allocated: 0,
+            replay_attempts: 0,
+            divergences: 0,
+            final_heap_hash: 0,
+            replay_validations: Vec::new(),
+            watch_hits: Vec::new(),
+            faults: Vec::new(),
+            faults_injected: Vec::new(),
+        });
+        assert!(matches!(OutcomeClass::classify(&faulted), OutcomeClass::Faulted(_)));
+        assert_eq!(
+            OutcomeClass::classify(&Err(Error::quota_exhausted("epochs", 5, 5))),
+            OutcomeClass::QuotaExhausted
+        );
+        assert_eq!(
+            OutcomeClass::classify(&Err(Error::quiescence_timeout(vec![1]))),
+            OutcomeClass::Hang
+        );
+        assert_eq!(
+            OutcomeClass::classify(&Err(Error::replay_budget_exhausted(3))),
+            OutcomeClass::Divergence
+        );
+        assert_eq!(
+            OutcomeClass::classify(&Err(Error::session_active())),
+            OutcomeClass::Failed(ErrorKind::SessionActive)
+        );
+    }
+
+    #[test]
+    fn report_json_carries_the_headline_numbers() {
+        let plan = ChaosPlan::compile(3, ChaosProfile::heavy());
+        let minimized = plan.without_class(ireplayer_sys::FaultClass::ShortRead);
+        let fingerprint = failing_outcome("bug").fingerprint().unwrap();
+        let report = ExploreReport {
+            subject: "unit".into(),
+            outcomes: vec![
+                PlanOutcome {
+                    plan: plan.clone(),
+                    outcome: OutcomeClass::Clean,
+                    faults_injected: 4,
+                },
+                PlanOutcome {
+                    plan: plan.clone(),
+                    outcome: failing_outcome("bug"),
+                    faults_injected: 9,
+                },
+            ],
+            finds: vec![MinimizedFind {
+                original: plan.clone(),
+                minimized: minimized.clone(),
+                fingerprint,
+                outcome: failing_outcome("bug"),
+                steps: vec![ShrinkStep::DropClass(ireplayer_sys::FaultClass::ShortRead)],
+                trials: 7,
+            }],
+            trials: 9,
+        };
+        assert_eq!(report.failures(), 1);
+        assert!(report.mean_shrink_ratio() > 1.0);
+        let json = report.to_json();
+        for needle in [
+            "\"subject\": \"unit\"",
+            "\"plans_tried\": 2",
+            "\"failures_found\": 1",
+            "\"trials\": 9",
+            "mean_shrink_ratio_per_mille",
+            "drop short-read",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn empty_reports_do_not_divide_by_zero() {
+        let report = ExploreReport {
+            subject: "empty".into(),
+            outcomes: Vec::new(),
+            finds: Vec::new(),
+            trials: 0,
+        };
+        assert_eq!(report.failures(), 0);
+        assert_eq!(report.mean_shrink_ratio(), 0.0);
+        assert!(report.to_json().contains("\"plans_tried\": 0"));
+    }
+}

@@ -124,6 +124,7 @@ mod context;
 mod error;
 mod events;
 mod exec;
+mod explore;
 mod fault;
 mod fingerprint;
 mod hooks;
@@ -145,6 +146,9 @@ pub use config::{AllocatorMode, Config, ConfigBuilder, FaultPolicy, RunMode};
 pub use context::{BarrierHandle, CondvarHandle, JoinHandle, MutexHandle, ThreadCtx};
 pub use error::{Error, ErrorKind};
 pub use events::{EventFilter, EventStream, SessionEvent};
+pub use explore::{
+    ChaosExplorer, ExploreReport, ExploreSubject, FailureFingerprint, MinimizedFind, OutcomeClass, PlanOutcome,
+};
 pub use fault::{FaultKind, FaultRecord};
 pub use fingerprint::Fingerprint;
 pub use hooks::{EpochDecision, EpochView, Instrument, ReplayRequest, ToolHook};
@@ -152,7 +156,7 @@ pub use program::{BodyFn, Program, Step};
 pub use rng::DetRng;
 #[allow(deprecated)]
 pub use runtime::RuntimeDiagnostics;
-pub use runtime::{DiagnosticsSnapshot, PartitionDiagnostics, Runtime};
+pub use runtime::{DiagnosticsSnapshot, LaunchOptions, PartitionDiagnostics, Runtime, StageFn};
 pub use session::{RunPhase, Session, SessionFuture, SessionStatus};
 pub use site::{Site, SiteId};
 pub use stats::{ReplayValidation, RunOutcome, RunReport, WatchHitReport};
@@ -165,5 +169,6 @@ pub use trace::{Trace, TraceFormat};
 pub use ireplayer_log::{Divergence, DivergenceKind, SyncOp, SyscallClass, ThreadId, VarId};
 pub use ireplayer_mem::{DiffStats, MemAddr, MemError, Span};
 pub use ireplayer_sys::{
-    ChaosPlan, ChaosPlanError, ChaosProfile, FaultClass, PeerScript, SimOs, SysError, SyscallKind, Whence,
+    shrink_candidates, ChaosPlan, ChaosPlanError, ChaosProfile, FaultClass, PeerScript, ShrinkStep, SimOs, SysError,
+    SyscallKind, Whence,
 };

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use ireplayer_log::ThreadId;
 use ireplayer_mem::{CorruptedCanary, MemAddr, MemSnapshot, Span, UafEvidence};
-use ireplayer_sys::SimOs;
+use ireplayer_sys::{ChaosPlan, SimOs};
 
 use ireplayer_mem::Arena;
 
@@ -133,10 +133,9 @@ impl Runtime {
         // events.  Original executions only: a replayed re-execution
         // re-derives the same revocable faults (and re-serves the recorded
         // recordable ones), so re-announcing them would double-count.
+        // Registered unconditionally: a per-launch [`LaunchOptions::chaos`]
+        // override can put a plan on a partition whose config has none.
         for rt in &partitions {
-            if rt.config.chaos.is_none() {
-                continue;
-            }
             let weak = Arc::downgrade(rt);
             rt.os.set_chaos_observer(Box::new(move |class, site| {
                 let Some(rt) = weak.upgrade() else { return };
@@ -282,7 +281,51 @@ impl Runtime {
             program,
             AdmitMode::QueueWhenFull,
             TraceJob::recorder_for(self.config()),
+            LaunchOptions::new(),
         )
+    }
+
+    /// [`Runtime::launch`] with per-launch overrides: a [`ChaosPlan`] that
+    /// replaces the configured one (or adds one where the config has none)
+    /// for this launch only, and a staging closure that runs against the
+    /// claimed partition's kernel right before the program starts --
+    /// *after* the launch has been admitted, which on an overcommitted
+    /// runtime may be long after this call returned.  Both reset with the
+    /// partition: the next launch sees the configured plan again and a
+    /// freshly rebooted kernel.
+    ///
+    /// This is the fan-out primitive the [`ChaosExplorer`] sweep is built
+    /// on: many `(seed, profile)` candidates queue on one runtime without
+    /// rebuilding it per plan.  An override launch never records to
+    /// [`Config::record_to`] (the sink's trace header pins the *config's*
+    /// plan digest; a durable trace of a minimized plan is emitted by
+    /// [`ChaosExplorer::emit_fixture`] instead, on a runtime configured
+    /// with that plan).
+    ///
+    /// [`ChaosExplorer`]: crate::ChaosExplorer
+    /// [`ChaosExplorer::emit_fixture`]: crate::ChaosExplorer::emit_fixture
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::InvalidConfig`](crate::ErrorKind) when the override
+    /// plan fails [`ChaosPlan::verify`]; everything [`Runtime::launch`]
+    /// can return.
+    pub fn launch_with(&self, program: Program, options: LaunchOptions) -> Result<Session<'_>, Error> {
+        if let Some(plan) = options.chaos.as_ref() {
+            if let Err(error) = plan.verify() {
+                return Err(Error::invalid_config(
+                    "launch_options.chaos",
+                    format!("plan for seed {}: {error}", plan.seed),
+                    "the override plan fails ChaosPlan::verify; build it with compile or the shrink constructors",
+                ));
+            }
+        }
+        let trace = if options.chaos.is_some() {
+            None
+        } else {
+            TraceJob::recorder_for(self.config())
+        };
+        Session::start(self, program, AdmitMode::QueueWhenFull, trace, options)
     }
 
     /// The non-queueing variant of [`Runtime::launch`]: starts `program`
@@ -340,6 +383,7 @@ impl Runtime {
             program,
             AdmitMode::Immediate,
             TraceJob::recorder_for(self.config()),
+            LaunchOptions::new(),
         )
     }
 
@@ -449,7 +493,14 @@ impl Runtime {
             ));
         }
         let verifier = TraceJob::Verify(TraceVerifier::new(trace.data().clone(), strict));
-        Session::start(self, program, AdmitMode::QueueWhenFull, Some(verifier))?.wait()
+        Session::start(
+            self,
+            program,
+            AdmitMode::QueueWhenFull,
+            Some(verifier),
+            LaunchOptions::new(),
+        )?
+        .wait()
     }
 
     /// Allocation, wake-up, and **scheduling** diagnostics, for asserting
@@ -491,6 +542,61 @@ impl Runtime {
             faults_injected,
             partitions,
         }
+    }
+}
+
+/// The staging closure of a [`LaunchOptions`]: runs against the claimed
+/// partition's kernel (stage files, register peers, enqueue clients) right
+/// before the program starts.
+pub type StageFn = Box<dyn FnOnce(&SimOs) + Send + 'static>;
+
+/// Per-launch overrides for [`Runtime::launch_with`].
+///
+/// The default options reproduce [`Runtime::launch`] exactly; each builder
+/// method opts one launch into a deviation from the runtime's
+/// configuration.  The overrides travel with the launch through the
+/// admission queue and are applied by the supervisor on whatever partition
+/// the launch lands on.
+#[derive(Default)]
+pub struct LaunchOptions {
+    /// Chaos plan for this launch only, replacing [`Config::chaos`].
+    pub(crate) chaos: Option<ChaosPlan>,
+    /// Kernel staging for this launch only, run at admission.
+    pub(crate) stage: Option<StageFn>,
+}
+
+impl LaunchOptions {
+    /// No overrides: equivalent to [`Runtime::launch`].
+    pub fn new() -> Self {
+        LaunchOptions::default()
+    }
+
+    /// Injects `plan` for this launch instead of the configured plan (if
+    /// any).  The plan must pass [`ChaosPlan::verify`]; compiled and
+    /// derived (minimizer-shrunk) plans both qualify.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Runs `stage` against the claimed partition's kernel immediately
+    /// before the program's main thread starts -- the per-launch
+    /// equivalent of staging [`Runtime::os`] by hand, and the only way to
+    /// stage reliably when the launch may queue behind others (a queued
+    /// launch's partition is unknown until admission, and each admission
+    /// reboots the kernel).
+    pub fn stage(mut self, stage: impl FnOnce(&SimOs) + Send + 'static) -> Self {
+        self.stage = Some(Box::new(stage));
+        self
+    }
+}
+
+impl std::fmt::Debug for LaunchOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaunchOptions")
+            .field("chaos", &self.chaos.as_ref().map(|plan| plan.digest()))
+            .field("stage", &self.stage.is_some())
+            .finish()
     }
 }
 
@@ -768,8 +874,28 @@ pub(crate) fn supervise(
     program_name: String,
     main_body: BodyFn,
     mut trace_job: Option<TraceJob>,
+    mut options: LaunchOptions,
 ) -> Result<RunReport, Error> {
     let started = Instant::now();
+
+    // Establish this launch's chaos world *fresh* before anything runs.
+    // `SimOs::reset` keeps the previously installed plan, so without this
+    // a per-launch override would leak into the partition's next tenant --
+    // and, just as important for the minimizer's re-trials, reinstalling
+    // zeroes every injection counter (the `ChaosRevocableState` family and
+    // the recordable ones), so back-to-back candidate runs on a warm
+    // partition start from identical injection state.
+    match options.chaos.take().or_else(|| rt.config.chaos.clone()) {
+        Some(plan) => rt.os.install_chaos(plan),
+        None => rt.os.uninstall_chaos(),
+    }
+    // Per-launch kernel staging: the queue-safe replacement for staging
+    // `Runtime::os` by hand before `launch` (which races admission on an
+    // overcommitted runtime).  Runs before the trace job so a recorder
+    // snapshots the staged inputs.
+    if let Some(stage) = options.stage.take() {
+        stage(&rt.os);
+    }
 
     // Durable-trace work rides with the launch and starts before anything
     // runs: a recorder snapshots the staged kernel inputs and writes the
@@ -987,6 +1113,13 @@ pub(crate) fn supervise(
         Err(error)
     } else {
         let final_high_water = rt.super_heap.high_water().as_usize();
+        let faults_injected = {
+            let mut counts = vec![0u64; ireplayer_sys::FaultClass::ALL.len()];
+            for (class, count) in rt.os.chaos_injected() {
+                counts[class.code() as usize] = count;
+            }
+            counts
+        };
         let epoch_guard = rt.epoch.lock();
         Ok(RunReport {
             program: program_name,
@@ -1005,6 +1138,7 @@ pub(crate) fn supervise(
             replay_validations,
             watch_hits: epoch_guard.watch_hits.clone(),
             faults: epoch_guard.faults.clone(),
+            faults_injected,
         })
     };
 

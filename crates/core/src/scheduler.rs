@@ -39,6 +39,7 @@ use crate::error::Error;
 use crate::events::SessionEvent;
 use crate::pool::SupervisorPool;
 use crate::program::{BodyFn, Program};
+use crate::runtime::LaunchOptions;
 use crate::session::SessionShared;
 use crate::state::RtInner;
 use crate::stats::RunOutcome;
@@ -52,6 +53,9 @@ struct Pending {
     /// Durable-trace work travelling with this launch (recording sink or
     /// trace verification), driven by the supervisor.
     trace: Option<TraceJob>,
+    /// Per-launch overrides (chaos plan, kernel staging), applied by the
+    /// supervisor on whatever partition the launch lands on.
+    options: LaunchOptions,
 }
 
 /// One admission decided by the pump: this pending launch now owns this
@@ -120,6 +124,7 @@ impl Scheduler {
         program: Program,
         mode: AdmitMode,
         trace: Option<TraceJob>,
+        options: LaunchOptions,
     ) -> Result<Arc<SessionShared>, Error> {
         let (program_name, main_body) = program.into_parts();
         let shared = SessionShared::new(self.partitions[0].config.mode);
@@ -128,6 +133,7 @@ impl Scheduler {
             program_name,
             main_body,
             trace,
+            options,
         };
         let admissions = {
             let mut state = self.state.lock();
@@ -261,6 +267,7 @@ impl Scheduler {
                 pending.program_name,
                 pending.main_body,
                 pending.trace,
+                pending.options,
             );
             if let Err(error) = self.pool.execute(job) {
                 // Release the partition (and re-pump) *before* delivering
@@ -328,6 +335,7 @@ fn supervision_job(
     program_name: String,
     main_body: BodyFn,
     trace: Option<TraceJob>,
+    options: LaunchOptions,
 ) -> Box<dyn FnOnce() + Send + 'static> {
     Box::new(move || {
         // The unwind guard keeps the runtime honest even if the supervisor
@@ -337,7 +345,7 @@ fn supervision_job(
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
             let rt = Arc::clone(&rt);
             let shared = Arc::clone(&shared);
-            move || crate::runtime::supervise(rt, shared, program_name, main_body, trace)
+            move || crate::runtime::supervise(rt, shared, program_name, main_body, trace, options)
         }));
         let result = match result {
             Ok(result) => result,

@@ -256,8 +256,9 @@ impl<'rt> Session<'rt> {
         program: Program,
         mode: AdmitMode,
         trace: Option<TraceJob>,
+        options: crate::runtime::LaunchOptions,
     ) -> Result<Self, Error> {
-        let shared = runtime.scheduler.submit(program, mode, trace)?;
+        let shared = runtime.scheduler.submit(program, mode, trace, options)?;
         Ok(Session {
             shared,
             _runtime: PhantomData,

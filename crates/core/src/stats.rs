@@ -94,6 +94,13 @@ pub struct RunReport {
     pub watch_hits: Vec<WatchHitReport>,
     /// All faults observed.
     pub faults: Vec<FaultRecord>,
+    /// Chaos faults injected into this run's original execution, indexed
+    /// by [`FaultClass::code`](ireplayer_sys::FaultClass::code); all zeros
+    /// when the launch ran without a plan.  Deliberately **excluded** from
+    /// [`RunReport::fingerprint`]: the fingerprint predates this field and
+    /// frozen trace fixtures pin it, and the injections' *effects* are
+    /// already fingerprinted through the syscall and outcome fields.
+    pub faults_injected: Vec<u64>,
 }
 
 impl RunReport {
@@ -221,7 +228,20 @@ mod tests {
             }],
             watch_hits: Vec::new(),
             faults: Vec::new(),
+            faults_injected: Vec::new(),
         }
+    }
+
+    #[test]
+    fn fingerprint_ignores_injection_counts() {
+        let mut report = sample_report();
+        let baseline = report.fingerprint();
+        report.faults_injected = vec![3; 9];
+        assert_eq!(report.fingerprint(), baseline);
+        report.wall_time = Duration::from_millis(50);
+        assert_eq!(report.fingerprint(), baseline);
+        report.epochs += 1;
+        assert_ne!(report.fingerprint(), baseline);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod vfs;
 
 pub use clock::VirtualClock;
 pub use error::SysError;
-pub use ireplayer_chaos::{ChaosPlan, ChaosPlanError, ChaosProfile, ChaosRevocableState, FaultClass};
+pub use ireplayer_chaos::{
+    shrink_candidates, ChaosPlan, ChaosPlanError, ChaosProfile, ChaosRevocableState, FaultClass, ShrinkStep,
+};
 pub use mmap::{MmapRegion, MmapTable};
 pub use net::{NetSim, PeerScript, SocketId};
 pub use os::{ChaosObserver, FilePositions, OsInputs, OsSnapshot, SimOs};

@@ -185,6 +185,15 @@ impl SimOs {
         self.chaos_active.store(true, Ordering::Release);
     }
 
+    /// Removes any installed chaos plan; later system calls run fault-free.
+    /// [`SimOs::reset`] deliberately keeps an installed plan, so a launch
+    /// that must run clean on a kernel a chaotic launch used before calls
+    /// this explicitly.
+    pub fn uninstall_chaos(&self) {
+        self.inner.lock().chaos = None;
+        self.chaos_active.store(false, Ordering::Release);
+    }
+
     /// Registers the injection observer (replacing any previous one).  The
     /// observer runs with no kernel lock held.
     pub fn set_chaos_observer(&self, observer: ChaosObserver) {

@@ -1,0 +1,301 @@
+//! A ledger-posting client with a **planted ordering bug**, built as prey
+//! for the chaos explorer.
+//!
+//! [`Ledger`] follows the chaos-suite discipline of [`crate::server`]
+//! (fixed-order descriptor opens on the main thread, static partitioning
+//! of entries to workers, commutative merges) and tolerates almost every
+//! injected fault class the way [`crate::server::KvPool`] does.  The one
+//! exception is deliberate: a worker counts an entry as *posted* as soon
+//! as its send succeeds, before the acknowledgement arrives.  The
+//! timeout path compensates (an unacknowledged entry is un-posted), but
+//! the **connection-reset path forgets to** -- it retires the slot and
+//! returns with the optimistic count still in place.  The main thread's
+//! closing audit `posted == acked` then fails with a *static* assertion
+//! message, so every execution that trips the bug produces the same
+//! failure fingerprint no matter which seed, profile, or shrunken plan
+//! triggered it.
+//!
+//! The bug therefore fires exactly when a [`FaultClass::NetReset`]
+//! injection lands between a worker's send and its acknowledgement --
+//! which is what makes the workload a good minimization subject: a heavy
+//! plan that trips the audit shrinks all the way down to the handful of
+//! reset slots that matter.
+//!
+//! [`FaultClass::NetReset`]: ireplayer::FaultClass::NetReset
+
+use ireplayer::{MutexHandle, PeerScript, Program, Runtime, SimOs, Step, SysError, ThreadCtx};
+
+use crate::spec::{implant_overflow, Workload, WorkloadSpec};
+use crate::util::mix;
+
+/// Bounded retries for a transient (`EAGAIN`/partition) socket failure.
+const RETRIES: usize = 3;
+
+/// Per-slot record layout: socket fd, journal fd, posted, acked.
+const SLOT_STRIDE: u64 = 32;
+
+/// The flaky ledger client (see the module docs for the planted bug).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ledger;
+
+/// The static audit message the planted bug fails with.  Exported so the
+/// chaos-hunt tests can recognize the planted failure without stringly
+/// matching a formatted message.
+pub const LEDGER_AUDIT: &str = "ledger balances: every posted entry is acknowledged";
+
+impl Ledger {
+    fn entries(spec: &WorkloadSpec) -> u64 {
+        spec.scaled(24)
+    }
+
+    /// Stages the ledger's inputs directly on a simulated OS: the
+    /// acknowledgement peer and the rate-table file.  [`Workload::stage`]
+    /// delegates here; the chaos explorer's staging closure (which sees
+    /// the claimed partition's OS, not the runtime) calls it directly.
+    pub fn stage_os(os: &SimOs) {
+        os.register_peer("ledger:7000", PeerScript::Echo { response_len: 16 });
+        let rates: Vec<u8> = (0..2048).map(|i| (mix(i as u64) & 0xff) as u8).collect();
+        os.create_file("ledger-rates.tbl", rates);
+    }
+}
+
+impl Workload for Ledger {
+    fn name(&self) -> &'static str {
+        "flaky-ledger"
+    }
+
+    fn stage(&self, runtime: &Runtime, _spec: &WorkloadSpec) {
+        Self::stage_os(runtime.os());
+    }
+
+    fn program(&self, spec: &WorkloadSpec) -> Program {
+        let spec = *spec;
+        let entries = Self::entries(&spec);
+        Program::new("flaky-ledger", move |ctx| {
+            let workers = u64::from(spec.threads);
+
+            // Load the rate table, tolerating injected short reads (loop
+            // to end of stream) and a denied descriptor (fd pressure --
+            // pricing falls back to the built-in defaults).
+            if let Some(rates) = ctx.open("ledger-rates.tbl") {
+                let mut rate_digest = 0u64;
+                loop {
+                    let bytes = ctx.read(rates, 512);
+                    if bytes.is_empty() {
+                        break;
+                    }
+                    rate_digest = bytes.iter().fold(rate_digest, |acc, b| mix(acc ^ u64::from(*b)));
+                }
+                ctx.close(rates);
+                ctx.assert_that(rate_digest != 0, "rate table was read");
+            }
+            let started_at = ctx.now_ns();
+
+            // Scratch mappings, under the mmap-exhaustion schedule.
+            for _ in 0..2 {
+                if let Ok(region) = ctx.try_mmap(4096) {
+                    ctx.munmap(region);
+                }
+            }
+
+            // Open every slot's connection and journal on the main thread,
+            // in slot order.  A denied descriptor (fd pressure) leaves the
+            // slot dead from the start; its entries are never posted.
+            let slots = ctx.global("ledger_slots", workers * SLOT_STRIDE);
+            for slot in 0..workers {
+                let base = slots + slot * SLOT_STRIDE;
+                let socket = ctx.connect("ledger:7000").map(i64::from).unwrap_or(-1);
+                let journal = ctx
+                    .open_create(&format!("ledger-journal-{slot}.log"))
+                    .map(i64::from)
+                    .unwrap_or(-1);
+                ctx.write_i64(base, socket);
+                ctx.write_i64(base + 8, journal);
+                ctx.write_u64(base + 16, 0);
+                ctx.write_u64(base + 24, 0);
+            }
+
+            let totals = ctx.global("ledger_totals", 16);
+            let audit_lock = ctx.mutex();
+            let mut handles = Vec::new();
+            for slot in 0..workers {
+                handles.push(ctx.spawn("ledger-poster", move |ctx| {
+                    poster_step(ctx, slots, slot, workers, entries, audit_lock, totals)
+                }));
+            }
+            for handle in handles {
+                ctx.join(handle);
+            }
+
+            let posted = ctx.read_u64(totals);
+            let acked = ctx.read_u64(totals + 8);
+            // The audit the planted bug trips: a reset between send and
+            // acknowledgement leaves `posted` one ahead of `acked`.
+            ctx.assert_that(posted == acked, LEDGER_AUDIT);
+            let elapsed = ctx.now_ns().wrapping_sub(started_at);
+            std::hint::black_box(elapsed);
+            implant_overflow(ctx, &spec);
+            Step::Done
+        })
+    }
+}
+
+/// One poster's whole life: drive the slot's share of the entry stream
+/// (`entry % workers == slot`), then merge the per-slot counters.
+fn poster_step(
+    ctx: &mut ThreadCtx<'_>,
+    slots: ireplayer::MemAddr,
+    slot: u64,
+    workers: u64,
+    entries: u64,
+    audit_lock: MutexHandle,
+    totals: ireplayer::MemAddr,
+) -> Step {
+    let base = slots + slot * SLOT_STRIDE;
+    let socket = ctx.read_i64(base);
+    let journal = ctx.read_i64(base + 8);
+    let mut alive = socket >= 0;
+    let mut posted = 0u64;
+    let mut acked = 0u64;
+
+    let mut entry = slot;
+    while entry < entries {
+        // Per-entry scratch, under the allocation-failure schedule; the
+        // entry proceeds without it when denied.
+        let scratch = ctx.try_alloc(48);
+        if alive {
+            post_one(ctx, socket as i32, journal, entry, &mut alive, &mut posted, &mut acked);
+        }
+        if let Some(scratch) = scratch {
+            ctx.write_u64(scratch, mix(entry));
+            ctx.free(scratch);
+        }
+        entry += workers;
+    }
+
+    ctx.write_u64(base + 16, posted);
+    ctx.write_u64(base + 24, acked);
+    ctx.lock(audit_lock);
+    let total = ctx.read_u64(totals);
+    ctx.write_u64(totals, total + posted);
+    let confirmed = ctx.read_u64(totals + 8);
+    ctx.write_u64(totals + 8, confirmed + acked);
+    ctx.unlock(audit_lock);
+    Step::Done
+}
+
+/// Posts one entry: send, count it as posted, await the acknowledgement.
+///
+/// This is where the bug lives.  The send-failure path posts nothing, and
+/// the acknowledgement-timeout path compensates by un-posting the entry.
+/// The reset path retires the slot and returns -- **without** the
+/// compensation the timeout path has, leaving `posted` permanently one
+/// ahead of `acked`.
+fn post_one(
+    ctx: &mut ThreadCtx<'_>,
+    socket: i32,
+    journal: i64,
+    entry: u64,
+    alive: &mut bool,
+    posted: &mut u64,
+    acked: &mut u64,
+) {
+    let payload = mix(entry | 1).to_le_bytes();
+    let mut sent = false;
+    for _ in 0..RETRIES {
+        match ctx.try_send(socket, &payload) {
+            Ok(_) => {
+                sent = true;
+                break;
+            }
+            Err(SysError::WouldBlock) => continue,
+            Err(_) => {
+                // Reset during send: nothing was posted, nothing to undo.
+                *alive = false;
+                return;
+            }
+        }
+    }
+    if !sent {
+        return;
+    }
+
+    // Optimistically post the entry: it is in flight, the ledger peer
+    // will surely confirm it.
+    *posted += 1;
+
+    for _ in 0..RETRIES {
+        match ctx.try_recv(socket, 32) {
+            Ok(ack) if ack.is_empty() => continue,
+            Ok(ack) => {
+                *acked += 1;
+                if journal >= 0 {
+                    let digest = ack.iter().fold(mix(entry), |acc, b| mix(acc ^ u64::from(*b)));
+                    append_record(ctx, journal as i32, digest);
+                }
+                return;
+            }
+            Err(SysError::WouldBlock) => continue,
+            Err(_) => {
+                // THE PLANTED BUG: the reset path forgets the
+                // compensation the timeout path below performs.
+                *alive = false;
+                return;
+            }
+        }
+    }
+    // No acknowledgement within the retry budget: un-post the entry.
+    *posted -= 1;
+}
+
+/// Appends one record to the slot's journal, topping up after an injected
+/// short write (at most one retry: the schedule fires once per site).
+fn append_record(ctx: &mut ThreadCtx<'_>, journal: i32, digest: u64) {
+    let bytes = digest.to_le_bytes();
+    let written = ctx.write(journal, &bytes);
+    if written < bytes.len() {
+        let _ = ctx.write(journal, &bytes[written..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ireplayer::{ChaosPlan, ChaosProfile, Config, FaultKind, Runtime};
+
+    fn config() -> ireplayer::ConfigBuilder {
+        Config::builder()
+            .arena_size(16 << 20)
+            .heap_block_size(256 << 10)
+            .quiescence_timeout_ms(20_000)
+    }
+
+    fn run_with(config: Config) -> ireplayer::RunReport {
+        let runtime = Runtime::new(config).unwrap();
+        let spec = WorkloadSpec::tiny();
+        Ledger.stage(&runtime, &spec);
+        runtime.run(Ledger.program(&spec)).unwrap()
+    }
+
+    #[test]
+    fn ledger_balances_without_chaos() {
+        let report = run_with(config().build().unwrap());
+        assert!(report.outcome.is_success(), "faults: {:?}", report.faults);
+    }
+
+    #[test]
+    fn a_reset_heavy_plan_trips_the_audit() {
+        // The planted bug needs a reset between send and acknowledgement;
+        // sweep a few seeds of the heavy profile until one lands there.
+        let tripped = (0..32u64).any(|seed| {
+            let plan = ChaosPlan::compile(seed, ChaosProfile::heavy());
+            let report = run_with(config().chaos(plan).build().unwrap());
+            matches!(
+                &report.outcome,
+                ireplayer::RunOutcome::Faulted(fault)
+                    if fault.kind == FaultKind::AssertionFailure { message: LEDGER_AUDIT.into() }
+            )
+        });
+        assert!(tripped, "no heavy seed in 0..32 tripped the planted audit bug");
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod buggy;
 pub mod crasher;
+pub mod ledger;
 pub mod parsec;
 pub mod real;
 pub mod server;
@@ -23,6 +24,7 @@ pub mod util;
 
 pub use buggy::{all_known_bugs, known_bug_by_name, ExpectedBug, KnownBug};
 pub use crasher::Crasher;
+pub use ledger::{Ledger, LEDGER_AUDIT};
 pub use server::{JobSteal, KvPool};
 pub use spec::{Workload, WorkloadSize, WorkloadSpec};
 
@@ -50,12 +52,14 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
 }
 
 /// Looks a workload up by its table name (e.g. `"fluidanimate"`).  Also
-/// resolves the chaos-suite servers (`"kv-pool"`, `"job-steal"`), which are
-/// not part of the paper tables and so not in [`all_workloads`].
+/// resolves the chaos-suite servers (`"kv-pool"`, `"job-steal"`) and the
+/// explorer's planted-bug subject (`"flaky-ledger"`), which are not part
+/// of the paper tables and so not in [`all_workloads`].
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
     match name {
         "kv-pool" => return Some(Box::new(server::KvPool)),
         "job-steal" => return Some(Box::new(server::JobSteal)),
+        "flaky-ledger" => return Some(Box::new(ledger::Ledger)),
         _ => {}
     }
     all_workloads().into_iter().find(|w| w.name() == name)
@@ -97,6 +101,7 @@ mod tests {
         assert!(workload_by_name("fluidanimate").is_some());
         assert!(workload_by_name("kv-pool").is_some());
         assert!(workload_by_name("job-steal").is_some());
+        assert!(workload_by_name("flaky-ledger").is_some());
         assert!(workload_by_name("doom").is_none());
     }
 }

@@ -1,0 +1,113 @@
+//! Chaos hunting walkthrough: sweep seeded fault plans over a workload
+//! with a planted ordering bug, delta-debug the failing plan down to the
+//! smallest reproducer, and turn it into a durable regression fixture.
+//!
+//! Run with: `cargo run -p ireplayer --example chaos_hunt [out-dir]`
+//!
+//! Demonstrates the explorer's four stages:
+//!
+//! 1. **sweep**: one compiled [`ChaosPlan`] per seed, fanned across the
+//!    runtime's partitions through the admission scheduler;
+//! 2. **classify**: each run buckets as clean, a typed fault, divergence,
+//!    quota exhaustion, or a hang;
+//! 3. **shrink**: the failing plan is minimized against its failure
+//!    fingerprint -- whole fault classes dropped, then schedules halved,
+//!    re-executing after each cut;
+//! 4. **fixture**: the minimized plan re-runs on a recording runtime and
+//!    lands as a replayable [`Trace`] test fixture.
+
+use ireplayer::{ChaosExplorer, ChaosProfile, Config, Error, ExploreSubject, Runtime, Trace};
+use ireplayer_workloads::{Ledger, Workload, WorkloadSpec};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Error> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&out_dir).expect("create the fixture output directory");
+
+    // A two-partition runtime: the sweep probes two plans concurrently and
+    // queues the rest on the admission queue.
+    let config = Config::builder()
+        .partitions(2)
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .quiescence_timeout_ms(20_000)
+        .build()?;
+    let runtime = Runtime::new(config)?;
+
+    // The subject: a ledger-posting client that counts an entry as posted
+    // before the acknowledgement arrives -- and forgets to compensate on a
+    // connection reset.  The closing audit `posted == acked` fails exactly
+    // when a reset lands between a send and its acknowledgement.
+    let spec = WorkloadSpec::tiny();
+    let subject = ExploreSubject::new("flaky-ledger", move || Ledger.program(&spec)).with_stage(Ledger::stage_os);
+    let explorer = ChaosExplorer::new(&runtime, subject);
+
+    // 1 + 2 + 3. Hunt: sweep 32 seeds of the heavy profile, then minimize
+    // one plan per distinct failure fingerprint.
+    let seeds: Vec<u64> = (0..32).collect();
+    let report = explorer.hunt(&seeds, ChaosProfile::heavy())?;
+    println!(
+        "swept {} plans: {} failed, {} distinct failure(s), {} total probe runs",
+        report.outcomes.len(),
+        report.failures(),
+        report.finds.len(),
+        report.trials
+    );
+    for outcome in report.outcomes.iter().take(8) {
+        println!(
+            "  seed {:>3}  weight {:>5}  injected {:>3}  -> {}",
+            outcome.plan.seed,
+            outcome.plan.weight(),
+            outcome.faults_injected,
+            outcome.outcome
+        );
+    }
+
+    let Some(find) = report.finds.first() else {
+        println!("no failure found -- the planted bug needs a luckier seed range");
+        return Ok(());
+    };
+    println!(
+        "minimized seed {} from weight {} to {} ({:.0}x) in {} trials:",
+        find.original.seed,
+        find.original.weight(),
+        find.minimized.weight(),
+        find.shrink_ratio(),
+        find.trials
+    );
+    for step in &find.steps {
+        println!("  {step}");
+    }
+    println!("failure fingerprint: {}", find.fingerprint);
+
+    // 4. The fixture: a durable trace of the minimized failing run.  Any
+    // fresh runtime configured with the minimized plan replays it
+    // byte-identically -- fault and all.
+    let fixture = out_dir.join("chaos-hunt-min.json");
+    let trace = explorer.emit_fixture(find, &fixture)?;
+    println!(
+        "fixture written to {} (chaos digest {:#018x})",
+        fixture.display(),
+        trace.chaos_digest()
+    );
+
+    let mut replay_config = runtime.config().clone();
+    replay_config.partitions = 1;
+    replay_config.chaos = Some(find.minimized.clone());
+    let fresh = Runtime::new(replay_config)?;
+    let reopened = Trace::open(&fixture)?;
+    let spec = WorkloadSpec::tiny();
+    let replayed = fresh.replay_trace(Ledger.program(&spec), &reopened)?;
+    assert_eq!(Some(replayed.fingerprint()), reopened.fingerprint());
+    println!(
+        "replayed fingerprint-identically on a fresh runtime ({})",
+        replayed.fingerprint()
+    );
+
+    // The full machine-readable report.
+    println!("{}", report.to_json());
+    Ok(())
+}

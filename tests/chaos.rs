@@ -23,10 +23,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ireplayer::{
-    ChaosPlan, ChaosProfile, Config, EpochDecision, EpochView, ErrorKind, EventFilter, FaultClass, Program,
-    ReplayRequest, Runtime, SessionEvent, Step, ToolHook, Trace, TraceFormat,
+    ChaosPlan, ChaosProfile, Config, EpochDecision, EpochView, ErrorKind, EventFilter, FaultClass, LaunchOptions,
+    Program, ReplayRequest, Runtime, SessionEvent, Step, ToolHook, Trace, TraceFormat,
 };
-use ireplayer_workloads::{workload_by_name, Workload, WorkloadSpec};
+use ireplayer_workloads::{workload_by_name, Ledger, Workload, WorkloadSpec};
 
 /// A scratch path in the system temp dir, unique per test and process.
 fn scratch(name: &str) -> PathBuf {
@@ -440,4 +440,71 @@ fn regenerate_chaos_fixture() {
     let trace = Trace::open(&path).unwrap();
     trace.emit_test(fixture_path()).unwrap();
     let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Per-launch chaos overrides (the explorer's probe path).
+// ---------------------------------------------------------------------------
+
+/// Regression: warm-runtime trials must start from identical injection
+/// state.  The supervisor reinstalls the launch's plan -- with zeroed
+/// revocable-state counters -- at every admission, so two back-to-back
+/// trials of the same override on the same runtime inject identical
+/// per-class fault counts and fingerprint identically.  (Before the fix,
+/// the second trial inherited the first trial's consumed schedule.)
+#[test]
+fn warm_runtime_trials_start_from_identical_injection_state() {
+    let runtime = Runtime::new(chaos_builder().build().unwrap()).unwrap();
+    let trial = || {
+        let options = LaunchOptions::new().chaos(heavy_plan()).stage(Ledger::stage_os);
+        runtime
+            .launch_with(Ledger.program(&WorkloadSpec::tiny()), options)
+            .unwrap()
+            .wait()
+            .unwrap()
+    };
+    let first = trial();
+    let second = trial();
+    assert!(
+        first.faults_injected.iter().sum::<u64>() > 0,
+        "the override plan must inject something"
+    );
+    assert_eq!(
+        first.faults_injected, second.faults_injected,
+        "warm trial started from consumed injection state"
+    );
+    assert_eq!(
+        first.fingerprint(),
+        second.fingerprint(),
+        "warm trial diverged from the cold one"
+    );
+}
+
+/// A per-launch override neither records durably nor leaks into the next
+/// launch: on a runtime configured without a plan, the launch after a
+/// chaotic override runs fault-free.
+#[test]
+fn a_chaos_override_does_not_leak_into_the_next_launch() {
+    let runtime = Runtime::new(chaos_builder().build().unwrap()).unwrap();
+
+    let chaotic_options = LaunchOptions::new().chaos(heavy_plan()).stage(Ledger::stage_os);
+    let chaotic = runtime
+        .launch_with(Ledger.program(&WorkloadSpec::tiny()), chaotic_options)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(chaotic.faults_injected.iter().sum::<u64>() > 0);
+
+    let clean_options = LaunchOptions::new().stage(Ledger::stage_os);
+    let clean = runtime
+        .launch_with(Ledger.program(&WorkloadSpec::tiny()), clean_options)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        clean.faults_injected.iter().sum::<u64>(),
+        0,
+        "the previous launch's override leaked"
+    );
+    assert!(clean.outcome.is_success(), "faults: {:?}", clean.faults);
 }

@@ -454,3 +454,90 @@ fn regenerate_fixture() {
     trace.emit_test(fixture_path()).unwrap();
     let _ = std::fs::remove_file(&path);
 }
+
+// ---------------------------------------------------------------------------
+// The explorer-minimized chaos fixture.
+// ---------------------------------------------------------------------------
+
+use ireplayer::{ChaosPlan, ChaosProfile, FaultClass, ShrinkStep};
+use ireplayer_workloads::{Ledger, Workload, WorkloadSpec};
+
+/// The reproduction recipe the chaos explorer found for the planted
+/// `flaky-ledger` ordering bug (printed by `chaos_hunt.rs`'s
+/// `regenerate_minimized_fixture`): seed 0 of the heavy profile,
+/// delta-debugged from weight 2098 down to a single net-reset slot.
+fn minimized_ledger_plan() -> ChaosPlan {
+    use FaultClass::*;
+    use ShrinkStep::*;
+    let steps = [
+        DropClass(ShortRead),
+        DropClass(ShortWrite),
+        DropClass(NetEagain),
+        DropClass(NetPartition),
+        DropClass(ClockJump),
+        DropClass(MmapExhausted),
+        DropClass(FdPressure),
+        DropClass(AllocFail),
+        KeepFirstHalf(NetReset),
+        KeepFirstHalf(NetReset),
+        KeepFirstHalf(NetReset),
+        KeepFirstHalf(NetReset),
+        KeepFirstHalf(NetReset),
+        KeepFirstHalf(NetReset),
+    ];
+    let mut plan = ChaosPlan::compile(0, ChaosProfile::heavy());
+    for step in steps {
+        plan = ireplayer::shrink_candidates(&plan)
+            .into_iter()
+            .find(|(cut, _)| *cut == step)
+            .map(|(_, shrunk)| shrunk)
+            .expect("every recipe step is a legal shrink of its predecessor");
+    }
+    plan
+}
+
+fn chaos_fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/chaos_hunt_min.json")
+}
+
+/// The checked-in explorer fixture (`tests/fixtures/chaos_hunt_min.json`,
+/// produced by `ChaosExplorer::emit_fixture` via `chaos_hunt.rs`'s
+/// `regenerate_minimized_fixture` test) opens, matches the recipe-rebuilt
+/// minimized plan, and replays the planted ledger failure
+/// fingerprint-identically on a fresh runtime.
+#[test]
+fn minimized_chaos_fixture_replays_green() {
+    let plan = minimized_ledger_plan();
+    assert_eq!(plan.weight(), 1, "the recipe rebuilds the single-slot reproducer");
+
+    let trace = Trace::open(chaos_fixture_path()).unwrap();
+    assert_eq!(trace.format(), TraceFormat::Json);
+    assert_eq!(trace.program(), "flaky-ledger");
+    assert_eq!(
+        trace.chaos_digest(),
+        plan.digest(),
+        "the fixture pins the minimized plan"
+    );
+    assert!(!trace.completed(), "the recorded run trips the planted audit bug");
+
+    let config = Config::builder()
+        .partitions(1)
+        .arena_size(16 << 20)
+        .heap_block_size(256 << 10)
+        .quiescence_timeout_ms(20_000)
+        .chaos(plan)
+        .build()
+        .unwrap();
+    let fresh = Runtime::new(config).unwrap();
+    let replayed = fresh
+        .replay_trace(Ledger.program(&WorkloadSpec::tiny()), &trace)
+        .unwrap();
+    assert_eq!(Some(replayed.fingerprint()), trace.fingerprint());
+    assert!(
+        matches!(&replayed.outcome, ireplayer::RunOutcome::Faulted(fault)
+            if matches!(&fault.kind, ireplayer::FaultKind::AssertionFailure { message }
+                if message == ireplayer_workloads::LEDGER_AUDIT)),
+        "the replay reproduces the planted fault, got {:?}",
+        replayed.outcome
+    );
+}
